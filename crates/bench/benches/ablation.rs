@@ -1,0 +1,62 @@
+//! Criterion ablation benchmarks for the paper's design choices:
+//! store-∇m vs recompute in the Hessian matvec (§4.2: ~15% end-to-end)
+//! and linear vs cubic interpolation in the transport solve (§3.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use claire_core::{PrecondKind, RegProblem, RegistrationConfig};
+use claire_data::truth::fig3_problem;
+use claire_grid::{Grid, Layout};
+use claire_interp::{Interpolator, IpOrder};
+use claire_mpi::Comm;
+use claire_opt::GnProblem;
+use claire_semilag::{Trajectory, Transport};
+
+fn bench_store_grad(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hess_matvec_store_grad_16^3");
+    for (name, store) in [("recompute", false), ("store", true)] {
+        let mut comm = Comm::solo();
+        let layout = Layout::serial(Grid::cube(16));
+        let data = fig3_problem(layout, &mut comm);
+        let cfg = RegistrationConfig {
+            nt: 4,
+            ip_order: IpOrder::Linear,
+            store_grad: store,
+            precond: PrecondKind::InvA,
+            continuation: false,
+            ..Default::default()
+        };
+        let mut prob = RegProblem::new(data.template, data.reference, cfg, &mut comm);
+        prob.set_beta(1e-2);
+        let g = prob.gradient(&data.v_true, &mut comm);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(prob.hess_vec(black_box(&g), &mut comm)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_transport_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_solve_24^3_nt4");
+    let layout = Layout::serial(Grid::cube(24));
+    for order in [IpOrder::Linear, IpOrder::Cubic] {
+        let mut comm = Comm::solo();
+        let m0 = claire_data::brain::subject("na10", layout, &mut comm);
+        let v = claire_data::brain::random_smooth_velocity(layout, 42, 0.4, 2);
+        let mut ip = Interpolator::new(order);
+        let tr = Transport::new(4, order);
+        let traj = Trajectory::compute(&v, 4, &mut ip, &mut comm);
+        group.bench_function(order.kernel_name(), |b| {
+            b.iter(|| black_box(tr.solve_state(&traj, black_box(&m0), false, &mut ip, &mut comm)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_store_grad, bench_transport_order
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion micro-benchmarks of the three computational kernels
+//! (paper §3: interpolation, finite differences, FFT) plus the ghost
+//! exchange primitive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use claire_fft::{DistFft, Fft3};
+use claire_grid::{ghost, Grid, Layout, ScalarField, TWO_PI};
+use claire_interp::{Interpolator, IpOrder};
+use claire_mpi::Comm;
+
+fn test_field(n: usize) -> ScalarField {
+    ScalarField::from_fn(Layout::serial(Grid::cube(n)), |x, y, z| {
+        (x + 0.3).sin() * (2.0 * y).cos() + (z - 0.1 * x).sin()
+    })
+}
+
+fn bench_fd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fd_gradient");
+    for n in [16usize, 32] {
+        let f = test_field(n);
+        let mut comm = Comm::solo();
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}^3")), &n, |b, _| {
+            b.iter(|| black_box(claire_diff::fd::gradient(black_box(&f), &mut comm)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interp_kernel");
+    let n = 32;
+    let f = test_field(n);
+    let queries: Vec<[claire_grid::Real; 3]> = (0..4096)
+        .map(|i| {
+            let r = |s: u64| {
+                let a = (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(s);
+                ((a >> 16) % 100_000) as claire_grid::Real / 100_000.0 * TWO_PI
+            };
+            [r(1), r(2), r(3)]
+        })
+        .collect();
+    for (name, order) in [("GPU-TXTLIN", IpOrder::Linear), ("GPU-TXTLAG", IpOrder::Cubic)] {
+        let mut comm = Comm::solo();
+        let mut ip = Interpolator::new(order);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(ip.interp(black_box(&f), black_box(&queries), &mut comm)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft3d_r2c_pair");
+    for n in [16usize, 32] {
+        let grid = Grid::cube(n);
+        let f = test_field(n);
+        let plan = Fft3::new(grid);
+        let mut spec = vec![claire_fft::Cpx::ZERO; plan.spectral_len()];
+        let mut out = vec![0.0 as claire_grid::Real; grid.len()];
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}^3")), &n, |b, _| {
+            b.iter(|| {
+                plan.forward(black_box(f.data()), &mut spec);
+                plan.inverse(&mut spec, &mut out);
+                black_box(&out);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dist_fft_solo(c: &mut Criterion) {
+    // single-rank slab plan falls back to the 3D path, like the paper
+    let grid = Grid::cube(32);
+    let f = test_field(32);
+    let mut comm = Comm::solo();
+    let dfft = DistFft::new(grid, &comm);
+    c.bench_function("dist_fft_solo_32^3", |b| {
+        b.iter(|| {
+            let spec = dfft.forward(black_box(&f), &mut comm);
+            black_box(dfft.inverse(spec, &mut comm))
+        })
+    });
+}
+
+fn bench_ghost(c: &mut Criterion) {
+    let f = test_field(32);
+    let mut comm = Comm::solo();
+    c.bench_function("ghost_exchange_w4_32^3", |b| {
+        b.iter(|| black_box(ghost::exchange(black_box(&f), 4, &mut comm)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fd, bench_interp, bench_fft, bench_dist_fft_solo, bench_ghost
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benchmarks of the preconditioner applications (Fig. 3 /
+//! Table 6 cost side): one application of InvA vs InvH0 vs 2LInvH0, and
+//! one Gauss–Newton Hessian matvec for scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use claire_core::{PrecondKind, RegProblem, RegistrationConfig};
+use claire_data::truth::fig3_problem;
+use claire_grid::{Grid, Layout};
+use claire_interp::IpOrder;
+use claire_mpi::Comm;
+use claire_opt::GnProblem;
+
+fn make_problem(pc: PrecondKind, comm: &mut Comm) -> (RegProblem, claire_grid::VectorField) {
+    let layout = Layout::serial(Grid::cube(16));
+    let data = fig3_problem(layout, comm);
+    let cfg = RegistrationConfig {
+        nt: 4,
+        ip_order: IpOrder::Linear,
+        precond: pc,
+        continuation: false,
+        ..Default::default()
+    };
+    let mut prob = RegProblem::new(data.template, data.reference, cfg, comm);
+    prob.set_beta(5e-2);
+    let g = prob.gradient(&data.v_true, comm);
+    (prob, g)
+}
+
+fn bench_precond_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("precond_apply_16^3");
+    for pc in [PrecondKind::InvA, PrecondKind::InvH0, PrecondKind::TwoLevelInvH0] {
+        let mut comm = Comm::solo();
+        let (mut prob, g) = make_problem(pc, &mut comm);
+        group.bench_function(pc.label(), |b| {
+            b.iter(|| black_box(prob.precond(black_box(&g), 0.1, &mut comm)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hessian_matvec(c: &mut Criterion) {
+    let mut comm = Comm::solo();
+    let (mut prob, g) = make_problem(PrecondKind::InvA, &mut comm);
+    c.bench_function("hessian_matvec_16^3", |b| {
+        b.iter(|| black_box(prob.hess_vec(black_box(&g), &mut comm)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_precond_apply, bench_hessian_matvec
+}
+criterion_main!(benches);

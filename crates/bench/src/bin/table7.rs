@@ -1,0 +1,90 @@
+//! Table 7: strong and weak scaling of the full solver (SYN dataset).
+//!
+//! Part A runs the *functional* experiment on the virtual cluster: the
+//! paper's fixed-work configuration (5 Gauss–Newton iterations × 10 PCG
+//! iterations, InvA, β = 1e−3, Nt = 4, linear interpolation) on the SYN
+//! problem, at CPU-feasible sizes over 1–4 virtual GPUs. It reports
+//! modeled time, modeled % communication, measured traffic, and the
+//! memory-model estimate. Part B prints the paper-scale model against all
+//! 17 published rows.
+
+use claire_bench::{bench_n, fmt_size, header, record_json};
+use claire_core::{memory, Claire, PrecondKind, RegistrationConfig};
+use claire_data::syn::syn_problem;
+use claire_grid::Layout;
+use claire_interp::IpOrder;
+use claire_mpi::{run_cluster, Topology};
+use claire_perf::paper::TABLE7;
+use claire_perf::{solver_time, Machine, SolverCounts};
+
+fn main() {
+    let n = bench_n();
+    header("Table 7A — functional fixed-work solves (5 GN x 10 PCG, InvA, SYN) on the virtual cluster");
+    println!(
+        "{:>12} {:>5} | {:>10} {:>12} {:>8} | {:>14} {:>10}",
+        "size", "GPUs", "wall (s)", "modeled (s)", "%comm", "total MB sent", "mem model"
+    );
+    for (size, p) in [([n, n, n], 1usize), ([n, n, n], 2), ([n, n, n], 4), ([2 * n, n, n], 2), ([2 * n, 2 * n, n], 4)]
+    {
+        let grid = claire_grid::Grid::new(size);
+        let res = run_cluster(Topology::new(p, 4), move |comm| {
+            let layout = Layout::distributed(grid, comm);
+            let prob = syn_problem(size, comm);
+            let _ = layout;
+            let cfg = RegistrationConfig {
+                nt: 4,
+                ip_order: IpOrder::Linear,
+                precond: PrecondKind::InvA,
+                continuation: false,
+                beta_target: 1e-3,
+                fixed_pcg: Some(10),
+                max_gn_iter: 5,
+                grad_rtol: 1e-30, // run all 5 iterations, as the paper fixes the work
+                ..Default::default()
+            };
+            let t0 = std::time::Instant::now();
+            let mut claire = Claire::new(cfg);
+            let (_, report) = claire.register_from(&prob.template, &prob.reference, None, "SYN", comm);
+            (t0.elapsed().as_secs_f64(), report)
+        });
+        let wall = res.outputs.iter().map(|o| o.0).fold(0.0, f64::max);
+        let modeled = res.modeled_wall_time();
+        let pct = 100.0 * res.modeled_comm_fraction();
+        let mb = res.total_stats().total_bytes() as f64 / 1e6;
+        let mem = memory::estimate(grid, 4, p, IpOrder::Linear, 4).total_gb();
+        println!(
+            "{:>12} {:>5} | {:>10.2} {:>12.4} {:>8.1} | {:>14.2} {:>9.3}G",
+            fmt_size(size), p, wall, modeled, pct, mb, mem
+        );
+        record_json(
+            "table7",
+            &format!(
+                "{{\"size\":{size:?},\"p\":{p},\"wall\":{wall:.3},\"modeled\":{modeled:.4},\"comm_pct\":{pct:.1},\"mb_sent\":{mb:.2}}}"
+            ),
+        );
+    }
+
+    header("Table 7B — paper scale: modeled (m) vs published (p)");
+    println!(
+        "{:>8} {:>5} | {:>8} {:>8} {:>5} {:>5} | {:>7} {:>7} | {:>7} {:>7} | {:>8} {:>8} {:>5} {:>5} | {:>6} {:>6}",
+        "size", "GPUs", "FFT m", "FFT p", "%c m", "%c p", "SL m", "SL p", "FD m", "FD p",
+        "all m", "all p", "%c m", "%c p", "GB m", "GB p"
+    );
+    let machine = Machine::longhorn();
+    let counts = SolverCounts::table7();
+    for row in &TABLE7 {
+        let b = solver_time(&machine, row.size, row.gpus, &counts);
+        let t = b.total();
+        println!(
+            "{:>8} {:>5} | {:>8.2} {:>8.2} {:>5.0} {:>5.0} | {:>7.2} {:>7.2} | {:>7.2} {:>7.2} | {:>8.2} {:>8.2} {:>5.0} {:>5.0} | {:>6.2} {:>6.2}",
+            fmt_size(row.size), row.gpus,
+            b.fft.total(), row.fft.0, b.fft.comm_pct(), row.fft.1,
+            b.sl.total(), row.sl.0,
+            b.fd.total(), row.fd.0,
+            t.total(), row.overall.0, t.comm_pct(), row.overall.1,
+            b.memory_gb, row.memory_gb
+        );
+    }
+    println!("\nshape check: FFT dominates; %comm grows towards ~90% at scale; strong scaling of");
+    println!("512^3 saturates (communication-bound); 2048^3 on 256 GPUs is memory-limited (~12.5 GB).");
+}

@@ -1,0 +1,144 @@
+//! Registration configuration.
+
+use serde::Serialize;
+
+/// Hessian preconditioner selection (paper §2, Algorithm 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum PrecondKind {
+    /// Spectral inverse of the regularization operator, `(βA)⁻¹` — the
+    /// benchmark used in prior CLAIRE versions (`[A]` in Table 6).
+    InvA,
+    /// Zero-velocity Hessian approximation solved iteratively (`[B]`).
+    InvH0,
+    /// Two-level (half-resolution) variant of InvH0 (`[C]`) — the paper's
+    /// most effective choice.
+    TwoLevelInvH0,
+}
+
+impl PrecondKind {
+    /// Table 6 label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PrecondKind::InvA => "InvA",
+            PrecondKind::InvH0 => "InvH0",
+            PrecondKind::TwoLevelInvH0 => "2LInvH0",
+        }
+    }
+}
+
+/// Interpolation order re-export for configuration ergonomics.
+pub use claire_interp::IpOrder;
+
+/// Full registration configuration (paper defaults).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct RegistrationConfig {
+    /// Semi-Lagrangian time steps `Nt` (paper: 4 at 256³, 8 at 512³, 16 at
+    /// 1024³).
+    pub nt: usize,
+    /// Interpolation kernel (paper's production runs use linear).
+    #[serde(skip_serializing)]
+    pub ip_order: IpOrder,
+    /// Store `∇m` time series (≈15% faster Hessian matvecs, higher memory).
+    pub store_grad: bool,
+    /// Preconditioner used for β ≤ 5e−1 (InvA is always used above).
+    pub precond: PrecondKind,
+    /// Target regularization parameter of the continuation (paper: 5e−4).
+    pub beta_target: f64,
+    /// Initial β of the continuation.
+    pub beta_init: f64,
+    /// Continuation reduction factor per level.
+    pub beta_reduction: f64,
+    /// Run the continuation at all (false = solve at `beta_target` only).
+    pub continuation: bool,
+    /// Coarse-to-fine grid continuation: solve on the half-resolution grid
+    /// first and prolong the velocity as the fine-grid initial guess
+    /// (CLAIRE's grid-continuation scheme; combined with β-continuation).
+    pub grid_continuation: bool,
+    /// Inner tolerance scale `εH0` (paper: 1e−3 NIREP, 1e−2 CLARITY).
+    pub eps_h0: f64,
+    /// Lower bound for β inside H0 (paper: 5e−2).
+    pub beta_floor: f64,
+    /// Relative gradient tolerance `εN` per continuation level.
+    pub grad_rtol: f64,
+    /// Gauss–Newton iteration cap per continuation level.
+    pub max_gn_iter: usize,
+    /// PCG iteration cap per Newton step.
+    pub max_pcg_iter: usize,
+    /// Inner (H0) PCG iteration cap.
+    pub max_inner_iter: usize,
+    /// Fixed PCG iterations (Table 7 scaling mode), disables the forcing
+    /// sequence when set.
+    pub fixed_pcg: Option<usize>,
+    /// Print progress on rank 0.
+    pub verbose: bool,
+}
+
+impl Default for RegistrationConfig {
+    fn default() -> Self {
+        Self {
+            nt: 4,
+            ip_order: IpOrder::Linear,
+            store_grad: false,
+            precond: PrecondKind::TwoLevelInvH0,
+            beta_target: 5e-4,
+            beta_init: 1.0,
+            beta_reduction: 0.1,
+            continuation: true,
+            grid_continuation: false,
+            eps_h0: 1e-3,
+            beta_floor: 5e-2,
+            grad_rtol: 5e-2,
+            max_gn_iter: 25,
+            max_pcg_iter: 100,
+            max_inner_iter: 50,
+            fixed_pcg: None,
+            verbose: false,
+        }
+    }
+}
+
+impl RegistrationConfig {
+    /// The β-continuation schedule: `beta_init`, reduced by
+    /// `beta_reduction` per level, ending exactly at `beta_target`.
+    pub fn beta_schedule(&self) -> Vec<f64> {
+        if !self.continuation {
+            return vec![self.beta_target];
+        }
+        let mut betas = Vec::new();
+        let mut b = self.beta_init;
+        while b > self.beta_target * 1.0000001 {
+            betas.push(b);
+            b *= self.beta_reduction;
+        }
+        betas.push(self.beta_target);
+        betas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_schedule_hits_target() {
+        let cfg = RegistrationConfig::default();
+        let s = cfg.beta_schedule();
+        assert_eq!(s.first().copied(), Some(1.0));
+        assert_eq!(s.last().copied(), Some(5e-4));
+        for w in s.windows(2) {
+            assert!(w[1] < w[0], "schedule must decrease: {s:?}");
+        }
+    }
+
+    #[test]
+    fn no_continuation_is_single_level() {
+        let cfg = RegistrationConfig { continuation: false, ..Default::default() };
+        assert_eq!(cfg.beta_schedule(), vec![5e-4]);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(PrecondKind::InvA.label(), "InvA");
+        assert_eq!(PrecondKind::TwoLevelInvH0.label(), "2LInvH0");
+    }
+}

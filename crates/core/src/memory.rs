@@ -1,0 +1,109 @@
+//! Memory-footprint model (paper §3):
+//!
+//! ```text
+//! µtotal ≈ µPDE + µFFT + µFD + µSL + µGN/CG + µIP + µAPI
+//!        = ((24 + Nt) + 7 + 2 + 11 + 30)·N·µ0/p + µIP + µAPI
+//!        = (74 + Nt)·N·µ0/p + µIP + µAPI
+//! ```
+//!
+//! with `µ0` the scalar word size (4 B in the paper's single-precision
+//! runs), `N = N1·N2·N3`, `p` ranks, and the interpolation ghost-layer
+//! buffers `µIP ≈ 30·d·N2·N3·µ0` with polynomial degree `d`. The runtime
+//! API overhead `µAPI` (cuFFT/PETSc internals) is not modeled, as in the
+//! paper.
+
+use claire_grid::Grid;
+use claire_interp::IpOrder;
+use serde::Serialize;
+
+/// Per-rank memory estimate, broken into the paper's components.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct MemoryEstimate {
+    /// PDE state storage `(24 + Nt)·N·µ0/p` (includes the `m` time series).
+    pub pde: u64,
+    /// FFT work buffers `7·N·µ0/p`.
+    pub fft: u64,
+    /// FD work buffers `2·N·µ0/p`.
+    pub fd: u64,
+    /// Semi-Lagrangian buffers `11·N·µ0/p`.
+    pub sl: u64,
+    /// Gauss–Newton/CG vectors `30·N·µ0/p`.
+    pub gn_cg: u64,
+    /// Interpolation ghost layers `30·d·N2·N3·µ0`.
+    pub ip: u64,
+}
+
+impl MemoryEstimate {
+    /// Total bytes per rank.
+    pub fn total(&self) -> u64 {
+        self.pde + self.fft + self.fd + self.sl + self.gn_cg + self.ip
+    }
+
+    /// Total in GiB (as Table 7's "memory" column, which reports GB/GPU).
+    pub fn total_gb(&self) -> f64 {
+        self.total() as f64 / 1e9
+    }
+}
+
+/// Estimate the per-rank memory footprint.
+///
+/// `word` is the scalar size in bytes: pass 4 to reproduce the paper's
+/// single-precision numbers regardless of the build's `Real`.
+pub fn estimate(grid: Grid, nt: usize, nranks: usize, order: IpOrder, word: usize) -> MemoryEstimate {
+    let n = grid.len() as u64;
+    let per_rank = |units: u64| units * n * word as u64 / nranks as u64;
+    let d = match order {
+        IpOrder::Linear => 1u64,
+        IpOrder::Cubic | IpOrder::CubicSpline => 3u64,
+    };
+    MemoryEstimate {
+        pde: per_rank(24 + nt as u64),
+        fft: per_rank(7),
+        fd: per_rank(2),
+        sl: per_rank(11),
+        gn_cg: per_rank(30),
+        ip: 30 * d * (grid.n[1] * grid.n[2] * word) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_headline_formula() {
+        // (74 + Nt)·N·µ0/p dominates; check against the closed form.
+        let grid = Grid::cube(256);
+        let est = estimate(grid, 4, 1, IpOrder::Linear, 4);
+        let closed = (74 + 4) as u64 * grid.len() as u64 * 4;
+        let field_terms = est.pde + est.fft + est.fd + est.sl + est.gn_cg;
+        assert_eq!(field_terms, closed);
+    }
+
+    #[test]
+    fn single_gpu_256_fits_v100() {
+        // paper Table 7: 256³ on 1 GPU uses ~5.09 GB; the model should land
+        // in that ballpark (same order, below the 16 GB V100 capacity)
+        let est = estimate(Grid::cube(256), 4, 1, IpOrder::Linear, 4);
+        let gb = est.total_gb();
+        assert!(gb > 3.0 && gb < 8.0, "modeled {gb} GB");
+    }
+
+    #[test]
+    fn scaling_with_ranks() {
+        let e1 = estimate(Grid::cube(128), 4, 1, IpOrder::Linear, 4);
+        let e4 = estimate(Grid::cube(128), 4, 4, IpOrder::Linear, 4);
+        // field storage divides by p; ghost layers do not
+        assert_eq!(e4.pde, e1.pde / 4);
+        assert_eq!(e4.ip, e1.ip);
+        assert!(e4.total() < e1.total());
+    }
+
+    #[test]
+    fn largest_paper_run_fits() {
+        // 2048³ on 256 GPUs: paper reports 12.5 GB per GPU
+        let est = estimate(Grid::cube(2048), 4, 256, IpOrder::Linear, 4);
+        let gb = est.total_gb();
+        assert!(gb > 8.0 && gb < 16.0, "modeled {gb} GB per GPU for the 2048³ run");
+    }
+}

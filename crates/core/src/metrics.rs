@@ -1,0 +1,118 @@
+//! Registration-quality metrics.
+//!
+//! The NIREP evaluation protocol the paper builds on assesses registration
+//! accuracy through volumetric overlap of anatomical labels; the paper
+//! itself reports relative mismatch (Table 6) and states the achieved
+//! accuracy equals prior CLAIRE work, which reports Dice overlap. These
+//! helpers provide both.
+
+use claire_grid::{Real, ScalarField};
+use claire_mpi::Comm;
+
+/// Dice–Sørensen overlap of the level sets `{a > threshold}` and
+/// `{b > threshold}`: `2|A∩B| / (|A| + |B|)` ∈ [0, 1]. Collective.
+pub fn dice(a: &ScalarField, b: &ScalarField, threshold: Real, comm: &mut Comm) -> f64 {
+    let (mut inter, mut na, mut nb) = (0.0f64, 0.0f64, 0.0f64);
+    for (&x, &y) in a.data().iter().zip(b.data()) {
+        let ia = x > threshold;
+        let ib = y > threshold;
+        na += f64::from(ia as u8);
+        nb += f64::from(ib as u8);
+        inter += f64::from((ia && ib) as u8);
+    }
+    let mut sums = [inter, na, nb];
+    comm.allreduce_sum(&mut sums);
+    let denom = sums[1] + sums[2];
+    if denom == 0.0 {
+        1.0 // both sets empty: perfect (vacuous) agreement
+    } else {
+        2.0 * sums[0] / denom
+    }
+}
+
+/// Jaccard index of the same level sets: `|A∩B| / |A∪B|`. Collective.
+pub fn jaccard(a: &ScalarField, b: &ScalarField, threshold: Real, comm: &mut Comm) -> f64 {
+    let d = dice(a, b, threshold, comm);
+    if d == 0.0 {
+        0.0
+    } else {
+        d / (2.0 - d)
+    }
+}
+
+/// Relative L2 mismatch `‖a − b‖ / ‖r − b‖` (1.0 = no better than the
+/// unregistered baseline `r`). Collective.
+pub fn rel_mismatch(a: &ScalarField, b: &ScalarField, baseline: &ScalarField, comm: &mut Comm) -> f64 {
+    let mut num = a.clone();
+    num.axpy(-1.0, b);
+    let mut den = baseline.clone();
+    den.axpy(-1.0, b);
+    num.norm_l2(comm) / den.norm_l2(comm).max(f64::MIN_POSITIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use claire_grid::{Grid, Layout};
+
+    fn ball(layout: Layout, cx: Real, r: Real) -> ScalarField {
+        ScalarField::from_fn(layout, move |x, y, z| {
+            let d2 = (x - cx).powi(2) + (y - 3.0).powi(2) + (z - 3.0).powi(2);
+            if d2 < r * r {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn identical_sets_have_dice_one() {
+        let layout = Layout::serial(Grid::cube(16));
+        let mut comm = Comm::solo();
+        let a = ball(layout, 3.0, 1.0);
+        assert!((dice(&a, &a, 0.5, &mut comm) - 1.0).abs() < 1e-12);
+        assert!((jaccard(&a, &a, 0.5, &mut comm) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_sets_have_dice_zero() {
+        let layout = Layout::serial(Grid::cube(16));
+        let mut comm = Comm::solo();
+        let a = ball(layout, 1.0, 0.6);
+        let b = ball(layout, 5.0, 0.6);
+        assert_eq!(dice(&a, &b, 0.5, &mut comm), 0.0);
+        assert_eq!(jaccard(&a, &b, 0.5, &mut comm), 0.0);
+    }
+
+    #[test]
+    fn overlap_decreases_with_shift() {
+        let layout = Layout::serial(Grid::cube(24));
+        let mut comm = Comm::solo();
+        let a = ball(layout, 3.0, 1.2);
+        let near = ball(layout, 3.3, 1.2);
+        let far = ball(layout, 4.2, 1.2);
+        let d_near = dice(&a, &near, 0.5, &mut comm);
+        let d_far = dice(&a, &far, 0.5, &mut comm);
+        assert!(d_near > d_far, "{d_near} vs {d_far}");
+        assert!(d_near > 0.7 && d_far < 0.7);
+    }
+
+    #[test]
+    fn empty_sets_are_vacuously_perfect() {
+        let layout = Layout::serial(Grid::cube(8));
+        let mut comm = Comm::solo();
+        let z = ScalarField::zeros(layout);
+        assert_eq!(dice(&z, &z, 0.5, &mut comm), 1.0);
+    }
+
+    #[test]
+    fn rel_mismatch_baseline_is_one() {
+        let layout = Layout::serial(Grid::cube(8));
+        let mut comm = Comm::solo();
+        let a = ball(layout, 3.0, 1.0);
+        let b = ball(layout, 3.5, 1.0);
+        assert!((rel_mismatch(&a, &b, &a, &mut comm) - 1.0).abs() < 1e-12);
+        assert_eq!(rel_mismatch(&b, &b, &a, &mut comm), 0.0);
+    }
+}

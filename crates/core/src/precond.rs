@@ -1,0 +1,306 @@
+//! Hessian preconditioners: InvA, InvH0, 2LInvH0 (paper §2, Algorithm 1).
+//!
+//! * `InvA` — the spectral benchmark `s = (βA)⁻¹ r` (eq. 8): two FFTs and
+//!   a Hadamard product per application.
+//! * `InvH0` — the paper's zero-velocity preconditioner: approximately
+//!   invert `H0 = βA + ∇m̄ ⊗ ∇m̄` (eq. 9) with an inner PCG that is
+//!   left-preconditioned by `(βA)⁻¹` and runs to relative tolerance
+//!   `εH0·εK`. The matvec needs **no PDE solves** — this is the whole
+//!   point: each outer Hessian application costs two transport solves, an
+//!   H0 application costs two FFTs.
+//! * `2LInvH0` — the two-level variant: restrict the residual and `∇m̄` to
+//!   a half-resolution grid, solve (9) there, prolong, and add the
+//!   high-frequency part of `(βA)⁻¹ r` (Algorithm 1).
+//!
+//! Two refinements from the paper are implemented: `m̄` is the *deformed
+//! template at the current iterate* (refreshed each Gauss–Newton
+//! iteration), and β inside H0 is floored at 5e−2 ("if β < 5e−2, we set β
+//! in (9) to 5e−2"), which keeps the preconditioner effective for
+//! vanishing β.
+
+use claire_diff::{Spectral, TwoLevel};
+use claire_grid::{ScalarField, VectorField};
+use claire_mpi::Comm;
+use claire_opt::{pcg, PcgConfig, PcgOperator};
+
+use crate::config::{PrecondKind, RegistrationConfig};
+
+/// The zero-velocity Hessian `H0 = βA + ∇m̄ ⊗ ∇m̄` on one grid.
+struct H0Ops<'a> {
+    spectral: &'a Spectral,
+    grad_mbar: &'a VectorField,
+    beta: f64,
+}
+
+impl PcgOperator for H0Ops<'_> {
+    fn apply(&mut self, s: &VectorField, comm: &mut Comm) -> VectorField {
+        let mut out = self.spectral.reg_apply(s, self.beta, comm);
+        // rank-one-per-point term: ∇m̄ (∇m̄ · s)
+        let layout = *s.layout();
+        let mut w = ScalarField::zeros(layout);
+        for d in 0..3 {
+            w.add_scaled_product(1.0, &self.grad_mbar.c[d], &s.c[d]);
+        }
+        for d in 0..3 {
+            out.c[d].add_scaled_product(1.0, &self.grad_mbar.c[d], &w);
+        }
+        out
+    }
+
+    /// Left preconditioner `(βA)⁻¹` — "this adds vanishing computational
+    /// costs".
+    fn prec(&mut self, r: &VectorField, comm: &mut Comm) -> VectorField {
+        self.spectral.reg_inv(r, self.beta, comm)
+    }
+}
+
+/// Preconditioner state and application counters (Table 6 columns).
+pub struct PrecondState {
+    /// Configured kind for β ≤ 5e−1.
+    pub kind: PrecondKind,
+    eps_h0: f64,
+    beta_floor: f64,
+    max_inner: usize,
+    /// `∇m̄` on the fine grid (m̄ = deformed template at current iterate).
+    grad_mbar: VectorField,
+    /// Grid-transfer operators (2LInvH0 only).
+    two_level: Option<TwoLevel>,
+    /// Spectral operators on the coarse grid (2LInvH0 only).
+    spectral_c: Option<Spectral>,
+    /// `∇m̄` restricted to the coarse grid (2LInvH0 only).
+    grad_mbar_c: Option<VectorField>,
+    /// Applications of InvA (`[A]` column; includes continuation levels
+    /// with β > 5e−1).
+    pub n_inva: usize,
+    /// Applications of InvH0 / 2LInvH0 (`[B|C]` column).
+    pub n_invh0: usize,
+    /// Total inner PCG iterations spent inverting H0.
+    pub inner_iters: usize,
+}
+
+impl PrecondState {
+    /// Build preconditioner state; `m0` seeds `m̄` before the first
+    /// Gauss–Newton iteration. Collective.
+    pub fn new(cfg: &RegistrationConfig, m0: &ScalarField, comm: &mut Comm) -> PrecondState {
+        let grid = m0.layout().grid;
+        let grad_mbar = claire_diff::fd::gradient(m0, comm);
+        let (two_level, spectral_c, grad_mbar_c) = if cfg.precond == PrecondKind::TwoLevelInvH0 {
+            let tl = TwoLevel::new(grid, comm);
+            let sc = Spectral::new(tl.coarse_grid(), comm);
+            let gc = tl.restrict_vector(&grad_mbar, comm);
+            (Some(tl), Some(sc), Some(gc))
+        } else {
+            (None, None, None)
+        };
+        PrecondState {
+            kind: cfg.precond,
+            eps_h0: cfg.eps_h0,
+            beta_floor: cfg.beta_floor,
+            max_inner: cfg.max_inner_iter,
+            grad_mbar,
+            two_level,
+            spectral_c,
+            grad_mbar_c,
+            n_inva: 0,
+            n_invh0: 0,
+            inner_iters: 0,
+        }
+    }
+
+    /// Refresh `m̄` with the current deformed template (paper: "we replace
+    /// m0 in (9) with the deformed template image obtained for the current
+    /// iterate"). Collective.
+    pub fn refresh(&mut self, mbar: &ScalarField, comm: &mut Comm) {
+        if self.kind == PrecondKind::InvA {
+            return; // InvA never uses m̄
+        }
+        self.grad_mbar = claire_diff::fd::gradient(mbar, comm);
+        if let Some(tl) = &self.two_level {
+            self.grad_mbar_c = Some(tl.restrict_vector(&self.grad_mbar, comm));
+        }
+    }
+
+    /// Effective kind at the current β: the continuation always uses InvA
+    /// while the problem is regularization-dominated (β > 5e−1).
+    pub fn effective_kind(&self, beta: f64) -> PrecondKind {
+        if beta > 5e-1 {
+            PrecondKind::InvA
+        } else {
+            self.kind
+        }
+    }
+
+    /// Average inner PCG iterations per InvH0 application.
+    pub fn inner_avg(&self) -> f64 {
+        if self.n_invh0 == 0 {
+            0.0
+        } else {
+            self.inner_iters as f64 / self.n_invh0 as f64
+        }
+    }
+
+    /// Apply the preconditioner to Krylov residual `r` at the current β
+    /// with outer tolerance `eps_k`. Collective.
+    pub fn apply(
+        &mut self,
+        r: &VectorField,
+        eps_k: f64,
+        beta: f64,
+        spectral: &Spectral,
+        comm: &mut Comm,
+    ) -> VectorField {
+        match self.effective_kind(beta) {
+            PrecondKind::InvA => {
+                self.n_inva += 1;
+                spectral.reg_inv(r, beta, comm)
+            }
+            PrecondKind::InvH0 => {
+                self.n_invh0 += 1;
+                let beta_h0 = beta.max(self.beta_floor);
+                let x0 = spectral.reg_inv(r, beta_h0, comm);
+                let cfg = PcgConfig {
+                    tol_rel: (self.eps_h0 * eps_k).min(0.5),
+                    max_iter: self.max_inner,
+                    trace: false,
+                };
+                let mut ops = H0Ops { spectral, grad_mbar: &self.grad_mbar, beta: beta_h0 };
+                let (s, res) = pcg(r, Some(&x0), &cfg, &mut ops, comm);
+                self.inner_iters += res.iters;
+                s
+            }
+            PrecondKind::TwoLevelInvH0 => {
+                self.n_invh0 += 1;
+                let beta_h0 = beta.max(self.beta_floor);
+                let tl = self.two_level.as_ref().expect("2LInvH0 state missing");
+                let sc_ops = self.spectral_c.as_ref().expect("coarse spectral missing");
+                let gc = self.grad_mbar_c.as_ref().expect("coarse ∇m̄ missing");
+
+                // sf ← (βA)⁻¹ r
+                let sf = spectral.reg_inv(r, beta_h0, comm);
+                // coarse solve of (9) with restricted residual
+                let rc = tl.restrict_vector(r, comm);
+                let x0c = tl.restrict_vector(&sf, comm);
+                let cfg = PcgConfig {
+                    tol_rel: (self.eps_h0 * eps_k).min(0.5),
+                    max_iter: self.max_inner,
+                    trace: false,
+                };
+                let mut ops = H0Ops { spectral: sc_ops, grad_mbar: gc, beta: beta_h0 };
+                let (sc, res) = pcg(&rc, Some(&x0c), &cfg, &mut ops, comm);
+                self.inner_iters += res.iters;
+                // sf ← PROLONG(sc) + HIGHPASS(sf)
+                let mut out = tl.prolong_vector(&sc, comm);
+                let high = tl.highpass_vector(&sf, comm);
+                out.axpy(1.0, &high);
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use claire_grid::{Grid, Layout};
+
+    fn setup(kind: PrecondKind, comm: &mut Comm) -> (PrecondState, Spectral, Layout) {
+        let layout = Layout::serial(Grid::cube(16));
+        let m0 = ScalarField::from_fn(layout, |x, y, z| {
+            (-((x - 3.0).powi(2) + (y - 3.0).powi(2) + (z - 3.0).powi(2))).exp()
+        });
+        let cfg = RegistrationConfig { precond: kind, ..Default::default() };
+        let pc = PrecondState::new(&cfg, &m0, comm);
+        let sp = Spectral::new(layout.grid, comm);
+        (pc, sp, layout)
+    }
+
+    fn probe(layout: Layout) -> VectorField {
+        VectorField::from_fns(
+            layout,
+            |x, _, _| x.sin(),
+            |_, y, _| (2.0 * y).cos(),
+            |_, _, z| 0.3 * z.sin(),
+        )
+    }
+
+    #[test]
+    fn inva_is_exact_inverse_of_reg() {
+        let mut comm = Comm::solo();
+        let (mut pc, sp, layout) = setup(PrecondKind::InvA, &mut comm);
+        let beta = 0.1;
+        let v = probe(layout);
+        let av = sp.reg_apply(&v, beta, &mut comm);
+        let back = pc.apply(&av, 0.5, beta, &sp, &mut comm);
+        let mut d = back.clone();
+        d.axpy(-1.0, &v);
+        assert!(d.norm_l2(&mut comm) < 1e-8);
+        assert_eq!(pc.n_inva, 1);
+    }
+
+    #[test]
+    fn invh0_approximately_inverts_h0() {
+        let mut comm = Comm::solo();
+        let (mut pc, sp, layout) = setup(PrecondKind::InvH0, &mut comm);
+        let beta = 0.1;
+        let v = probe(layout);
+        // r = H0 v
+        let gm = pc.grad_mbar.clone();
+        let mut ops = H0Ops { spectral: &sp, grad_mbar: &gm, beta };
+        let r = ops.apply(&v, &mut comm);
+        let s = pc.apply(&r, 1e-3, beta, &sp, &mut comm);
+        let mut d = s.clone();
+        d.axpy(-1.0, &v);
+        let rel = d.norm_l2(&mut comm) / v.norm_l2(&mut comm);
+        assert!(rel < 1e-3, "InvH0 should invert H0 accurately: rel {rel}");
+        assert!(pc.inner_iters > 0);
+        assert_eq!(pc.n_invh0, 1);
+    }
+
+    #[test]
+    fn beta_floor_respected() {
+        // With β far below the floor, InvH0 must still act like a bounded
+        // operator (the floored system), not blow up.
+        let mut comm = Comm::solo();
+        let (mut pc, sp, layout) = setup(PrecondKind::InvH0, &mut comm);
+        let beta = 1e-5; // << 5e-2 floor
+        let r = probe(layout);
+        let s = pc.apply(&r, 0.1, beta, &sp, &mut comm);
+        let amp = s.norm_l2(&mut comm) / r.norm_l2(&mut comm);
+        // (β_floor·A)⁻¹ caps amplification at 1/(β_floor·(1+0)) = 20
+        assert!(amp < 25.0, "amplification {amp} suggests the floor was ignored");
+    }
+
+    #[test]
+    fn two_level_matches_fine_on_smooth_residuals() {
+        let mut comm = Comm::solo();
+        let (mut pc2, sp, layout) = setup(PrecondKind::TwoLevelInvH0, &mut comm);
+        let (mut pc1, _, _) = setup(PrecondKind::InvH0, &mut comm);
+        let beta = 0.1;
+        // a residual with only low-frequency content
+        let r = VectorField::from_fns(
+            layout,
+            |x, _, _| x.sin(),
+            |_, y, _| y.cos(),
+            |_, _, z| (2.0 * z).sin(),
+        );
+        let s1 = pc1.apply(&r, 1e-4, beta, &sp, &mut comm);
+        let s2 = pc2.apply(&r, 1e-4, beta, &sp, &mut comm);
+        let mut d = s1.clone();
+        d.axpy(-1.0, &s2);
+        let rel = d.norm_l2(&mut comm) / s1.norm_l2(&mut comm);
+        assert!(rel < 0.1, "2LInvH0 should agree with InvH0 on smooth data: rel {rel}");
+    }
+
+    #[test]
+    fn continuation_switch_to_inva_for_large_beta() {
+        let mut comm = Comm::solo();
+        let (mut pc, sp, layout) = setup(PrecondKind::TwoLevelInvH0, &mut comm);
+        assert_eq!(pc.effective_kind(1.0), PrecondKind::InvA);
+        assert_eq!(pc.effective_kind(0.1), PrecondKind::TwoLevelInvH0);
+        let r = probe(layout);
+        let _ = pc.apply(&r, 0.5, 1.0, &sp, &mut comm);
+        assert_eq!((pc.n_inva, pc.n_invh0), (1, 0));
+        let _ = pc.apply(&r, 0.5, 0.1, &sp, &mut comm);
+        assert_eq!((pc.n_inva, pc.n_invh0), (1, 1));
+    }
+}

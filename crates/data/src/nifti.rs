@@ -1,0 +1,161 @@
+//! Minimal NIfTI-1 (.nii, single file) reader/writer.
+//!
+//! Replaces the paper's `niftilib` dependency for image I/O. Supports the
+//! subset CLAIRE needs: 3D volumes, float32/float64 data, little-endian,
+//! no compression, data at offset 352 (the standard single-file layout).
+
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use claire_grid::{Grid, Layout, Real, ScalarField};
+
+/// NIfTI-1 datatype codes.
+const DT_FLOAT32: i16 = 16;
+const DT_FLOAT64: i16 = 64;
+/// Header size and single-file magic.
+const HDR_SIZE: i32 = 348;
+const VOX_OFFSET: f32 = 352.0;
+
+/// Write a serial-layout scalar field as `.nii` (float32).
+pub fn write(path: &Path, field: &ScalarField) -> std::io::Result<()> {
+    assert!(field.layout().is_serial(), "gather the field before writing");
+    let g = field.layout().grid;
+    let mut hdr = [0u8; 352];
+
+    let put_i32 = |h: &mut [u8], off: usize, v: i32| h[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    let put_i16 = |h: &mut [u8], off: usize, v: i16| h[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    let put_f32 = |h: &mut [u8], off: usize, v: f32| h[off..off + 4].copy_from_slice(&v.to_le_bytes());
+
+    put_i32(&mut hdr, 0, HDR_SIZE);
+    // dim[0..7]: rank 3 then nx, ny, nz (note: NIfTI is x-fastest; we store
+    // our x3-fastest array with dim1 = n3 so the file is self-consistent)
+    put_i16(&mut hdr, 40, 3);
+    put_i16(&mut hdr, 42, g.n[2] as i16);
+    put_i16(&mut hdr, 44, g.n[1] as i16);
+    put_i16(&mut hdr, 46, g.n[0] as i16);
+    put_i16(&mut hdr, 48, 1);
+    put_i16(&mut hdr, 70, DT_FLOAT32); // datatype
+    put_i16(&mut hdr, 72, 32); // bitpix
+    // pixdim
+    let h = g.spacing();
+    put_f32(&mut hdr, 76, 1.0);
+    put_f32(&mut hdr, 80, h[2] as f32);
+    put_f32(&mut hdr, 84, h[1] as f32);
+    put_f32(&mut hdr, 88, h[0] as f32);
+    put_f32(&mut hdr, 108, VOX_OFFSET);
+    put_f32(&mut hdr, 112, 1.0); // scl_slope
+    // magic "n+1\0"
+    hdr[344..348].copy_from_slice(b"n+1\0");
+
+    let mut f = File::create(path)?;
+    f.write_all(&hdr)?;
+    let mut buf = Vec::with_capacity(field.data().len() * 4);
+    for &v in field.data() {
+        buf.extend_from_slice(&(v as f32).to_le_bytes());
+    }
+    f.write_all(&buf)
+}
+
+/// Read a `.nii` file written by [`write`] (or any single-file float32/
+/// float64 little-endian NIfTI-1 volume).
+pub fn read(path: &Path) -> std::io::Result<ScalarField> {
+    let mut f = File::open(path)?;
+    let mut raw = Vec::new();
+    f.read_to_end(&mut raw)?;
+    let err = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+    if raw.len() < 352 {
+        return Err(err("file too short for a NIfTI-1 header"));
+    }
+    let get_i32 = |off: usize| i32::from_le_bytes(raw[off..off + 4].try_into().unwrap());
+    let get_i16 = |off: usize| i16::from_le_bytes(raw[off..off + 2].try_into().unwrap());
+    let get_f32 = |off: usize| f32::from_le_bytes(raw[off..off + 4].try_into().unwrap());
+    if get_i32(0) != HDR_SIZE {
+        return Err(err("bad sizeof_hdr (big-endian or not NIfTI-1?)"));
+    }
+    if &raw[344..347] != b"n+1" {
+        return Err(err("not a single-file NIfTI-1 (.nii) volume"));
+    }
+    let rank = get_i16(40);
+    if !(3..=4).contains(&rank) {
+        return Err(err("only 3D volumes are supported"));
+    }
+    let n3 = get_i16(42) as usize;
+    let n2 = get_i16(44) as usize;
+    let n1 = get_i16(46) as usize;
+    let datatype = get_i16(70);
+    let offset = get_f32(108) as usize;
+    let nvox = n1 * n2 * n3;
+
+    let mut data = Vec::with_capacity(nvox);
+    match datatype {
+        DT_FLOAT32 => {
+            if raw.len() < offset + 4 * nvox {
+                return Err(err("truncated voxel data"));
+            }
+            for i in 0..nvox {
+                let b = &raw[offset + 4 * i..offset + 4 * i + 4];
+                data.push(f32::from_le_bytes(b.try_into().unwrap()) as Real);
+            }
+        }
+        DT_FLOAT64 => {
+            if raw.len() < offset + 8 * nvox {
+                return Err(err("truncated voxel data"));
+            }
+            for i in 0..nvox {
+                let b = &raw[offset + 8 * i..offset + 8 * i + 8];
+                data.push(f64::from_le_bytes(b.try_into().unwrap()) as Real);
+            }
+        }
+        other => return Err(err(&format!("unsupported NIfTI datatype {other}"))),
+    }
+    let grid = Grid::new([n1, n2, n3]);
+    Ok(ScalarField::from_data(Layout::serial(grid), data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("claire_rs_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip() {
+        let layout = Layout::serial(Grid::new([6, 4, 8]));
+        let f = ScalarField::from_fn(layout, |x, y, z| (x + 2.0 * y).sin() + z * 0.1);
+        let path = tmpfile("roundtrip.nii");
+        write(&path, &f).unwrap();
+        let g = read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(g.layout().grid, f.layout().grid);
+        for (a, b) in g.data().iter().zip(f.data()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn header_is_standard() {
+        let layout = Layout::serial(Grid::new([4, 4, 4]));
+        let f = ScalarField::from_fn(layout, |_, _, _| 0.5);
+        let path = tmpfile("header.nii");
+        write(&path, &f).unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(i32::from_le_bytes(raw[0..4].try_into().unwrap()), 348);
+        assert_eq!(&raw[344..347], b"n+1");
+        assert_eq!(raw.len(), 352 + 64 * 4);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = tmpfile("garbage.nii");
+        std::fs::write(&path, vec![0u8; 400]).unwrap();
+        let res = read(&path);
+        std::fs::remove_file(&path).ok();
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,320 @@
+//! Spectral restriction / prolongation / high-pass between a fine grid and
+//! its half-resolution coarse grid — the grid-transfer machinery of the
+//! two-level preconditioner `2LInvH0` (paper Algorithm 1):
+//!
+//! ```text
+//! sf ← (βA)⁻¹ r
+//! sc ← RESTRICT(sf)
+//! sc ← run CG(H0c, sc, (βA)⁻¹, tol)      (on the coarse grid)
+//! sf ← PROLONG(sc) + HIGHPASS(sf)
+//! ```
+//!
+//! "The restriction and prolongation operators are implemented in the
+//! spectral domain" (§2): restriction truncates to the modes representable
+//! on the coarse grid, prolongation zero-pads, high-pass keeps the
+//! complement. Coefficients move between the fine and coarse x2-slab
+//! decompositions through an all-to-all exchange of `(index, value)` pairs.
+
+use claire_fft::{DistFft, DistSpectral};
+use claire_grid::{Grid, Real, ScalarField, Slab, VectorField};
+use claire_mpi::{AlltoallMethod, Comm, CommCat, Pod};
+
+/// One spectral coefficient in flight between decompositions.
+#[derive(Clone, Copy, Debug)]
+#[repr(C)]
+struct PackedCoef {
+    /// Linear index in the *destination* grid's global spectral array.
+    idx: u64,
+    re: Real,
+    im: Real,
+}
+
+// SAFETY: repr(C); u64 + 2×Real has no padding for Real ∈ {f32, f64}.
+unsafe impl Pod for PackedCoef {}
+
+/// Grid-transfer operators between a fine grid and `fine.coarsen()`.
+pub struct TwoLevel {
+    fine: Grid,
+    coarse: Grid,
+    fft_f: DistFft,
+    fft_c: DistFft,
+    nranks: usize,
+    rank: usize,
+}
+
+/// Whether integer wavenumber `k` survives on a grid with `m` points in that
+/// dimension (strictly below the coarse Nyquist band, so ±k pairs survive
+/// together and real fields stay real).
+fn survives(k: isize, m: usize) -> bool {
+    k.unsigned_abs() < m / 2
+}
+
+impl TwoLevel {
+    /// Build transfer operators for `fine` (must have even dims ≥ 4) on the
+    /// calling rank of `comm`.
+    pub fn new(fine: Grid, comm: &Comm) -> TwoLevel {
+        let coarse = fine.coarsen();
+        TwoLevel {
+            fine,
+            coarse,
+            fft_f: DistFft::new(fine, comm),
+            fft_c: DistFft::new(coarse, comm),
+            nranks: comm.size(),
+            rank: comm.rank(),
+        }
+    }
+
+    /// The fine grid.
+    pub fn fine_grid(&self) -> Grid {
+        self.fine
+    }
+
+    /// The coarse (half-resolution) grid.
+    pub fn coarse_grid(&self) -> Grid {
+        self.coarse
+    }
+
+    /// Restrict a fine field to the coarse grid (spectral truncation).
+    pub fn restrict(&self, f: &ScalarField, comm: &mut Comm) -> ScalarField {
+        let spec_f = self.fft_f.forward(f, comm);
+        let [m1, m2, m3] = self.coarse.n;
+        let n3c_c = m3 / 2 + 1;
+        let scale = (self.coarse.len() as f64 / self.fine.len() as f64) as Real;
+
+        let p = self.nranks;
+        let mut bufs: Vec<Vec<PackedCoef>> = (0..p).map(|_| Vec::new()).collect();
+        let n3c_f = spec_f.n3c();
+        let nj = spec_f.x2_slab.ni;
+        for i in 0..self.fine.n[0] {
+            let k1 = self.fine.wavenumber(0, i);
+            if !survives(k1, m1) {
+                continue;
+            }
+            let ic = if k1 >= 0 { k1 as usize } else { (m1 as isize + k1) as usize };
+            for jl in 0..nj {
+                let k2 = self.fine.wavenumber(1, spec_f.j_global(jl));
+                if !survives(k2, m2) {
+                    continue;
+                }
+                let jc = if k2 >= 0 { k2 as usize } else { (m2 as isize + k2) as usize };
+                let dst = Slab::owner_of(m2, p, jc);
+                let base = (i * nj + jl) * n3c_f;
+                for k in 0..m3 / 2 {
+                    let v = spec_f.data[base + k].scale(scale);
+                    let idx = ((ic * m2 + jc) * n3c_c + k) as u64;
+                    bufs[dst].push(PackedCoef { idx, re: v.re, im: v.im });
+                }
+            }
+        }
+        let parts = comm.alltoallv(&bufs, CommCat::FftTranspose, AlltoallMethod::Auto);
+
+        let my_slab = Slab::of_rank(m2, p, self.rank);
+        let mut spec_c = DistSpectral::zeros(self.coarse, my_slab);
+        place_coefs(&mut spec_c, &parts, m2, n3c_c);
+        self.fft_c.inverse(spec_c, comm)
+    }
+
+    /// Prolong a coarse field to the fine grid (spectral zero-padding).
+    ///
+    /// Coarse Nyquist modes (not representable symmetrically on the fine
+    /// grid without aliasing partners) are dropped, the standard choice for
+    /// spectral prolongation.
+    pub fn prolong(&self, fc: &ScalarField, comm: &mut Comm) -> ScalarField {
+        assert_eq!(fc.layout().grid, self.coarse, "prolong expects a coarse field");
+        let spec_c = self.fft_c.forward(fc, comm);
+        let [n1, n2, n3] = self.fine.n;
+        let [m1, m2, m3] = self.coarse.n;
+        let n3c_f = n3 / 2 + 1;
+        let scale = (self.fine.len() as f64 / self.coarse.len() as f64) as Real;
+
+        let p = self.nranks;
+        let mut bufs: Vec<Vec<PackedCoef>> = (0..p).map(|_| Vec::new()).collect();
+        let n3c_c = spec_c.n3c();
+        let nj = spec_c.x2_slab.ni;
+        for ic in 0..m1 {
+            let k1 = self.coarse.wavenumber(0, ic);
+            if !survives(k1, m1) {
+                continue; // drop coarse Nyquist
+            }
+            let i = if k1 >= 0 { k1 as usize } else { (n1 as isize + k1) as usize };
+            for jl in 0..nj {
+                let k2 = self.coarse.wavenumber(1, spec_c.j_global(jl));
+                if !survives(k2, m2) {
+                    continue;
+                }
+                let j = if k2 >= 0 { k2 as usize } else { (n2 as isize + k2) as usize };
+                let dst = Slab::owner_of(n2, p, j);
+                let base = (ic * nj + jl) * n3c_c;
+                for k in 0..m3 / 2 {
+                    let v = spec_c.data[base + k].scale(scale);
+                    let idx = ((i * n2 + j) * n3c_f + k) as u64;
+                    bufs[dst].push(PackedCoef { idx, re: v.re, im: v.im });
+                }
+            }
+        }
+        let parts = comm.alltoallv(&bufs, CommCat::FftTranspose, AlltoallMethod::Auto);
+
+        let my_slab = Slab::of_rank(n2, p, self.rank);
+        let mut spec_f = DistSpectral::zeros(self.fine, my_slab);
+        place_coefs(&mut spec_f, &parts, n2, n3c_f);
+        self.fft_f.inverse(spec_f, comm)
+    }
+
+    /// High-pass filter: zero every mode representable on the coarse grid,
+    /// keep the rest. Satisfies `PROLONG(RESTRICT(s)) + HIGHPASS(s) = s`.
+    pub fn highpass(&self, f: &ScalarField, comm: &mut Comm) -> ScalarField {
+        let mut spec = self.fft_f.forward(f, comm);
+        let [m1, m2, m3] = self.coarse.n;
+        let n3c = spec.n3c();
+        let nj = spec.x2_slab.ni;
+        for i in 0..self.fine.n[0] {
+            let k1 = self.fine.wavenumber(0, i);
+            let low1 = survives(k1, m1);
+            for jl in 0..nj {
+                let k2 = self.fine.wavenumber(1, spec.j_global(jl));
+                let low2 = survives(k2, m2);
+                if !(low1 && low2) {
+                    continue;
+                }
+                let base = (i * nj + jl) * n3c;
+                for z in spec.data[base..base + m3 / 2].iter_mut() {
+                    *z = claire_fft::Cpx::ZERO;
+                }
+            }
+        }
+        self.fft_f.inverse(spec, comm)
+    }
+
+    /// Restrict every component of a vector field.
+    pub fn restrict_vector(&self, v: &VectorField, comm: &mut Comm) -> VectorField {
+        VectorField { c: std::array::from_fn(|d| self.restrict(&v.c[d], comm)) }
+    }
+
+    /// Prolong every component of a vector field.
+    pub fn prolong_vector(&self, v: &VectorField, comm: &mut Comm) -> VectorField {
+        VectorField { c: std::array::from_fn(|d| self.prolong(&v.c[d], comm)) }
+    }
+
+    /// High-pass every component of a vector field.
+    pub fn highpass_vector(&self, v: &VectorField, comm: &mut Comm) -> VectorField {
+        VectorField { c: std::array::from_fn(|d| self.highpass(&v.c[d], comm)) }
+    }
+}
+
+/// Scatter received `(idx, value)` pairs into a spectral slab.
+fn place_coefs(spec: &mut DistSpectral, parts: &[Vec<PackedCoef>], n2: usize, n3c: usize) {
+    let slab = spec.x2_slab;
+    let nj = slab.ni;
+    for part in parts {
+        for pc in part {
+            let idx = pc.idx as usize;
+            let k = idx % n3c;
+            let j = (idx / n3c) % n2;
+            let i = idx / (n3c * n2);
+            debug_assert!(slab.owns(j), "coefficient routed to wrong rank");
+            let jl = j - slab.i0;
+            spec.data[(i * nj + jl) * n3c + k] = claire_fft::Cpx::new(pc.re, pc.im);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use claire_grid::Layout;
+    use claire_mpi::{run_cluster, Topology};
+
+    fn low_mode(x: Real, y: Real, z: Real) -> Real {
+        x.sin() * y.cos() + (z + x).cos()
+    }
+
+    #[test]
+    fn restrict_reproduces_low_modes() {
+        let fine = Grid::cube(16);
+        let mut comm = Comm::solo();
+        let tl = TwoLevel::new(fine, &comm);
+        let f = ScalarField::from_fn(Layout::serial(fine), low_mode);
+        let fc = tl.restrict(&f, &mut comm);
+        let expect = ScalarField::from_fn(Layout::serial(tl.coarse_grid()), low_mode);
+        let err = fc
+            .data()
+            .iter()
+            .zip(expect.data())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-8, "restriction should be exact on low modes: {err}");
+    }
+
+    #[test]
+    fn prolong_restrict_identity_on_low_modes() {
+        let fine = Grid::cube(16);
+        let mut comm = Comm::solo();
+        let tl = TwoLevel::new(fine, &comm);
+        let fc = ScalarField::from_fn(Layout::serial(tl.coarse_grid()), low_mode);
+        let ff = tl.prolong(&fc, &mut comm);
+        let back = tl.restrict(&ff, &mut comm);
+        let err = back
+            .data()
+            .iter()
+            .zip(fc.data())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-8, "restrict∘prolong should be identity: {err}");
+    }
+
+    #[test]
+    fn two_level_decomposition_identity() {
+        // PROLONG(RESTRICT(s)) + HIGHPASS(s) == s — the exact splitting
+        // Algorithm 1 relies on.
+        let fine = Grid::cube(8);
+        let mut comm = Comm::solo();
+        let tl = TwoLevel::new(fine, &comm);
+        let s = ScalarField::from_fn(Layout::serial(fine), |x, y, z| {
+            (3.0 * x).sin() + (x * 0.5).cos() * (2.0 * y).sin() + (3.0 * z).cos() + 0.3
+        });
+        let low = tl.prolong(&tl.restrict(&s, &mut comm), &mut comm);
+        let high = tl.highpass(&s, &mut comm);
+        let mut sum = low.clone();
+        sum.axpy(1.0, &high);
+        let err = sum
+            .data()
+            .iter()
+            .zip(s.data())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-8, "low + high should reconstruct s: {err}");
+    }
+
+    #[test]
+    fn distributed_matches_serial() {
+        let fine = Grid::cube(16);
+        let mut comm = Comm::solo();
+        let tl = TwoLevel::new(fine, &comm);
+        let f = ScalarField::from_fn(Layout::serial(fine), |x, y, z| {
+            (2.0 * x).sin() * (y).cos() + (5.0 * z).sin()
+        });
+        let expect_r = tl.restrict(&f, &mut comm).into_data();
+        let expect_h = tl.highpass(&f, &mut comm).into_data();
+
+        let res = run_cluster(Topology::new(4, 4), move |comm| {
+            let layout = Layout::distributed(fine, comm);
+            let f = ScalarField::from_fn(layout, |x, y, z| {
+                (2.0 * x).sin() * (y).cos() + (5.0 * z).sin()
+            });
+            let tl = TwoLevel::new(fine, comm);
+            let r = tl.restrict(&f, comm);
+            let h = tl.highpass(&f, comm);
+            (
+                claire_grid::redist::gather(&r, comm).map(|g| g.into_data()),
+                claire_grid::redist::gather(&h, comm).map(|g| g.into_data()),
+            )
+        });
+        let (got_r, got_h) = &res.outputs[0];
+        for (a, b) in got_r.as_ref().unwrap().iter().zip(&expect_r) {
+            assert!((a - b).abs() < 1e-9, "restrict mismatch");
+        }
+        for (a, b) in got_h.as_ref().unwrap().iter().zip(&expect_h) {
+            assert!((a - b).abs() < 1e-9, "highpass mismatch");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Differential operators for CLAIRE-rs.
+//!
+//! Two families of operators, mirroring the paper's mixed discretization:
+//!
+//! * [`fd`] — **8th-order central finite differences** for all first-order
+//!   derivatives (gradient, divergence). The paper replaced the CPU code's
+//!   spectral first derivatives with this FD scheme because it is more
+//!   accurate at the considered resolutions *and* needs only an O(N2·N3)
+//!   ghost-layer exchange instead of a global transpose (§3.2).
+//! * [`spectral`] — **spectral operators** for everything that must be
+//!   inverted: the H1 regularization operator `βA`, its inverse, the
+//!   Laplacian, the Leray projection, and Gaussian smoothing. "In spectral
+//!   methods, inverting higher order differential operators can be done at
+//!   the cost of two FFTs and a Hadamard product."
+//! * [`coarse`] — spectral restriction / prolongation / high-pass between a
+//!   fine grid and its half-resolution coarse grid, the machinery of the
+//!   two-level preconditioner `2LInvH0` (Algorithm 1).
+//!
+//! All operators run on slab-distributed fields through a [`Comm`] and work
+//! unchanged in serial (solo communicator).
+//!
+//! [`Comm`]: claire_mpi::Comm
+
+pub mod coarse;
+pub mod fd;
+pub mod spectral;
+
+pub use coarse::TwoLevel;
+pub use spectral::Spectral;

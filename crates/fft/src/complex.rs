@@ -1,0 +1,152 @@
+//! Complex arithmetic in field precision.
+
+use claire_grid::Real;
+
+/// A complex number in field precision ([`Real`]).
+///
+/// Deliberately minimal: just what the FFT and the spectral operators need.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C)]
+pub struct Cpx {
+    /// Real part.
+    pub re: Real,
+    /// Imaginary part.
+    pub im: Real,
+}
+
+// SAFETY: repr(C) struct of two Reals — no padding, any bit pattern valid.
+unsafe impl claire_mpi::Pod for Cpx {}
+
+impl Cpx {
+    /// 0 + 0i.
+    pub const ZERO: Cpx = Cpx { re: 0.0, im: 0.0 };
+    /// 1 + 0i.
+    pub const ONE: Cpx = Cpx { re: 1.0, im: 0.0 };
+
+    /// Construct from real and imaginary parts.
+    #[inline]
+    pub fn new(re: Real, im: Real) -> Cpx {
+        Cpx { re, im }
+    }
+
+    /// Purely real value.
+    #[inline]
+    pub fn real(re: Real) -> Cpx {
+        Cpx { re, im: 0.0 }
+    }
+
+    /// `e^{iθ} = cos θ + i sin θ`.
+    #[inline]
+    pub fn cis(theta: Real) -> Cpx {
+        Cpx { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Cpx {
+        Cpx { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sqr(self) -> Real {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> Real {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, a: Real) -> Cpx {
+        Cpx { re: self.re * a, im: self.im * a }
+    }
+
+    /// Multiply by `i` (90° rotation) — the spectral first derivative.
+    #[inline]
+    pub fn mul_i(self) -> Cpx {
+        Cpx { re: -self.im, im: self.re }
+    }
+}
+
+impl std::ops::Add for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn add(self, o: Cpx) -> Cpx {
+        Cpx { re: self.re + o.re, im: self.im + o.im }
+    }
+}
+
+impl std::ops::Sub for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn sub(self, o: Cpx) -> Cpx {
+        Cpx { re: self.re - o.re, im: self.im - o.im }
+    }
+}
+
+impl std::ops::Mul for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn mul(self, o: Cpx) -> Cpx {
+        Cpx {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+}
+
+impl std::ops::Neg for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn neg(self) -> Cpx {
+        Cpx { re: -self.re, im: -self.im }
+    }
+}
+
+impl std::ops::AddAssign for Cpx {
+    #[inline]
+    fn add_assign(&mut self, o: Cpx) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl std::ops::MulAssign for Cpx {
+    #[inline]
+    fn mul_assign(&mut self, o: Cpx) {
+        *self = *self * o;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplication_rotates() {
+        let i = Cpx::new(0.0, 1.0);
+        assert_eq!(i * i, Cpx::new(-1.0, 0.0));
+        let z = Cpx::new(2.0, 3.0);
+        assert_eq!(z.mul_i(), i * z);
+    }
+
+    #[test]
+    fn cis_unit_circle() {
+        let z = Cpx::cis(claire_grid::PI / 2.0);
+        assert!((z.re).abs() < 1e-6);
+        assert!((z.im - 1.0).abs() < 1e-6);
+        assert!((z.abs() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conj_product_is_norm() {
+        let z = Cpx::new(3.0, -4.0);
+        let p = z * z.conj();
+        assert!((p.re - 25.0).abs() < 1e-6);
+        assert!(p.im.abs() < 1e-6);
+    }
+}

@@ -1,0 +1,73 @@
+//! Integer factorization helpers for FFT planning.
+
+/// Smallest prime factor of `n >= 2`.
+pub fn smallest_prime_factor(n: usize) -> usize {
+    debug_assert!(n >= 2);
+    if n.is_multiple_of(2) {
+        return 2;
+    }
+    let mut f = 3;
+    while f * f <= n {
+        if n.is_multiple_of(f) {
+            return f;
+        }
+        f += 2;
+    }
+    n
+}
+
+/// Whether `n` factors entirely into 2, 3, and 5 (fast mixed-radix path).
+pub fn is_smooth(mut n: usize) -> bool {
+    if n == 0 {
+        return false;
+    }
+    for p in [2usize, 3, 5] {
+        while n.is_multiple_of(p) {
+            n /= p;
+        }
+    }
+    n == 1
+}
+
+/// Smallest power of two `>= n`.
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// Prime factorization of `n` in non-decreasing order.
+pub fn factorize(mut n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    while n > 1 {
+        let f = smallest_prime_factor(n);
+        out.push(f);
+        n /= f;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_of_composites() {
+        assert_eq!(factorize(360), vec![2, 2, 2, 3, 3, 5]);
+        assert_eq!(factorize(97), vec![97]);
+        assert_eq!(factorize(1), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn smoothness() {
+        assert!(is_smooth(256));
+        assert!(is_smooth(300)); // 2²·3·5² — the NIREP axis length
+        assert!(!is_smooth(97));
+        assert!(!is_smooth(14)); // contains 7
+    }
+
+    #[test]
+    fn pow2() {
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(17), 32);
+        assert_eq!(next_pow2(64), 64);
+    }
+}

@@ -1,0 +1,37 @@
+//! Fast Fourier transforms for CLAIRE-rs.
+//!
+//! CLAIRE needs 3D FFTs for its spectral operators (vector Laplacian,
+//! inverse regularization, Leray projection, spectral restriction and
+//! prolongation). The paper replaces the CPU code's pencil-decomposed
+//! AccFFT with cuFFT on a single GPU and, across GPUs, a **2D slab
+//! decomposition**: batched 2D FFTs in the x2–x3 plane, an all-to-all
+//! transpose to an x2 decomposition, and batched 1D FFTs along x1 (§3.3).
+//! This crate reproduces exactly that structure in pure Rust:
+//!
+//! * [`Cpx`] — complex numbers in field precision;
+//! * [`Fft1d`] — 1D complex FFT: mixed-radix Cooley–Tukey for {2,3,5}-smooth
+//!   lengths, Bluestein's algorithm otherwise (so NIREP's 300-point axis
+//!   works too);
+//! * [`RealFft1d`] — real↔half-complex 1D transforms (even lengths) via the
+//!   standard pack-into-complex trick;
+//! * [`Fft3`] — serial 3D real↔complex transform (the "cuFFT 3D" path used
+//!   on a single rank);
+//! * [`dist::DistFft`] — the distributed slab transform with the paper's
+//!   transpose communication pattern, instrumented under
+//!   [`CommCat::FftTranspose`](claire_mpi::CommCat::FftTranspose).
+//!
+//! Spectral data uses the half-spectrum convention: for real input of dims
+//! `[n1, n2, n3]`, the transform is complex of dims `[n1, n2, n3/2 + 1]`.
+
+pub mod complex;
+pub mod dist;
+pub mod factor;
+pub mod plan;
+pub mod real;
+pub mod serial3d;
+
+pub use complex::Cpx;
+pub use dist::{DistFft, DistSpectral};
+pub use plan::Fft1d;
+pub use real::RealFft1d;
+pub use serial3d::Fft3;

@@ -1,0 +1,277 @@
+//! 1D complex FFT plans: mixed-radix Cooley–Tukey and Bluestein.
+
+use claire_grid::Real;
+
+use crate::complex::Cpx;
+use crate::factor::{is_smooth, next_pow2, smallest_prime_factor};
+
+/// A planned 1D complex FFT of fixed length.
+///
+/// {2,3,5}-smooth lengths take the recursive mixed-radix Cooley–Tukey path;
+/// any other length uses Bluestein's chirp-z algorithm on top of a
+/// power-of-two plan. The forward transform uses the `e^{-i k x}` sign
+/// convention; [`Fft1d::inverse`] includes the `1/n` normalization, so
+/// `inverse(forward(x)) == x`.
+pub struct Fft1d {
+    n: usize,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Twiddle table `w[j] = e^{-2πi j / n}` for the recursive path.
+    Smooth { tw: Vec<Cpx> },
+    Bluestein {
+        /// `chirp[j] = e^{-iπ j²/n}` (j² reduced mod 2n for accuracy).
+        chirp: Vec<Cpx>,
+        /// Power-of-two inner plan of length `m`.
+        inner: Box<Fft1d>,
+        /// FFT of the chirp convolution kernel, length `m`.
+        kernel_hat: Vec<Cpx>,
+        m: usize,
+    },
+}
+
+impl Fft1d {
+    /// Plan a transform of length `n >= 1`.
+    pub fn new(n: usize) -> Fft1d {
+        assert!(n >= 1, "FFT length must be positive");
+        if is_smooth(n) || n == 1 {
+            let tw = (0..n)
+                .map(|j| {
+                    let theta = -2.0 * std::f64::consts::PI * j as f64 / n as f64;
+                    Cpx::new(theta.cos() as Real, theta.sin() as Real)
+                })
+                .collect();
+            Fft1d { n, kind: Kind::Smooth { tw } }
+        } else {
+            let m = next_pow2(2 * n - 1);
+            let inner = Box::new(Fft1d::new(m));
+            // chirp[j] = e^{-iπ j²/n}; reduce j² modulo 2n to keep the
+            // argument small (the chirp has period 2n in j).
+            let chirp: Vec<Cpx> = (0..n)
+                .map(|j| {
+                    let jsq = (j * j) % (2 * n);
+                    let theta = -std::f64::consts::PI * jsq as f64 / n as f64;
+                    Cpx::new(theta.cos() as Real, theta.sin() as Real)
+                })
+                .collect();
+            let mut kernel = vec![Cpx::ZERO; m];
+            kernel[0] = chirp[0].conj();
+            for j in 1..n {
+                kernel[j] = chirp[j].conj();
+                kernel[m - j] = chirp[j].conj();
+            }
+            let mut scratch = vec![Cpx::ZERO; m];
+            inner.forward(&mut kernel, &mut scratch);
+            Fft1d { n, kind: Kind::Bluestein { chirp, inner, kernel_hat: kernel, m } }
+        }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false (lengths are positive); present for lint symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Required scratch length for [`Fft1d::forward`]/[`Fft1d::inverse`].
+    pub fn scratch_len(&self) -> usize {
+        match &self.kind {
+            Kind::Smooth { .. } => self.n,
+            Kind::Bluestein { m, .. } => 2 * m,
+        }
+    }
+
+    /// In-place forward DFT (`e^{-ikx}` convention, unnormalized).
+    ///
+    /// `scratch` must have at least [`Fft1d::scratch_len`] elements.
+    pub fn forward(&self, data: &mut [Cpx], scratch: &mut [Cpx]) {
+        assert_eq!(data.len(), self.n, "data length mismatch");
+        assert!(scratch.len() >= self.scratch_len(), "scratch too small");
+        match &self.kind {
+            Kind::Smooth { tw } => {
+                if self.n == 1 {
+                    return;
+                }
+                let (src, _) = scratch.split_at_mut(self.n);
+                src.copy_from_slice(data);
+                fft_rec(src, 1, data, self.n, 1, tw);
+            }
+            Kind::Bluestein { chirp, inner, kernel_hat, m } => {
+                let (a, inner_scratch) = scratch.split_at_mut(*m);
+                a.fill(Cpx::ZERO);
+                for j in 0..self.n {
+                    a[j] = data[j] * chirp[j];
+                }
+                inner.forward(a, inner_scratch);
+                for (ai, &ki) in a.iter_mut().zip(kernel_hat.iter()) {
+                    *ai *= ki;
+                }
+                inner.inverse(a, inner_scratch);
+                for k in 0..self.n {
+                    data[k] = a[k] * chirp[k];
+                }
+            }
+        }
+    }
+
+    /// In-place inverse DFT including the `1/n` normalization.
+    pub fn inverse(&self, data: &mut [Cpx], scratch: &mut [Cpx]) {
+        for z in data.iter_mut() {
+            *z = z.conj();
+        }
+        self.forward(data, scratch);
+        let s = 1.0 as Real / self.n as Real;
+        for z in data.iter_mut() {
+            *z = z.conj().scale(s);
+        }
+    }
+}
+
+/// Recursive mixed-radix DIT step.
+///
+/// Computes `out[0..n] = DFT_n(inp[0], inp[s], inp[2s], …)` where the
+/// current sub-transform's twiddle `w_n^t` is the global table entry
+/// `tw[(t · ws) mod N]` (invariant: `n · ws == N == tw.len()`).
+fn fft_rec(inp: &[Cpx], s: usize, out: &mut [Cpx], n: usize, ws: usize, tw: &[Cpx]) {
+    if n == 1 {
+        out[0] = inp[0];
+        return;
+    }
+    let r = smallest_prime_factor(n);
+    let m = n / r;
+    for q in 0..r {
+        // SAFETY of indices: sub-sequence q has m elements at stride s·r.
+        fft_rec(&inp[q * s..], s * r, &mut out[q * m..(q + 1) * m], m, ws * r, tw);
+    }
+    // combine r sub-DFTs: X[p·m + k] = Σ_q w^{q(k+pm)} · Sub_q[k]
+    let nn = tw.len();
+    let mut temp = [Cpx::ZERO; 8];
+    debug_assert!(r <= 8, "smooth radix should be 2, 3, or 5");
+    for k in 0..m {
+        for (q, t) in temp.iter_mut().enumerate().take(r) {
+            *t = out[q * m + k];
+        }
+        for p in 0..r {
+            let kk = k + p * m;
+            let mut acc = temp[0];
+            for (q, &t) in temp.iter().enumerate().take(r).skip(1) {
+                acc += tw[(kk * q * ws) % nn] * t;
+            }
+            out[kk] = acc;
+        }
+    }
+}
+
+/// Reference O(n²) DFT for testing (`sign = -1` forward, `+1` inverse
+/// without normalization).
+pub fn dft_naive(input: &[Cpx], sign: f64) -> Vec<Cpx> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Cpx::ZERO;
+            for (j, &x) in input.iter().enumerate() {
+                let theta = sign * 2.0 * std::f64::consts::PI * (j * k % n) as f64 / n as f64;
+                acc += Cpx::new(theta.cos() as Real, theta.sin() as Real) * x;
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_close(a: &[Cpx], b: &[Cpx], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        let scale = b.iter().map(|z| z.abs()).fold(1.0, f64::max);
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            let d = (*x - *y).abs();
+            assert!(d <= tol * scale, "mismatch at {i}: {x:?} vs {y:?} (d={d})");
+        }
+    }
+
+    fn run_against_naive(n: usize) {
+        let input: Vec<Cpx> = (0..n)
+            .map(|j| Cpx::new(((j * 7 + 1) % 5) as Real - 2.0, ((j * 3) % 7) as Real / 7.0))
+            .collect();
+        let plan = Fft1d::new(n);
+        let mut data = input.clone();
+        let mut scratch = vec![Cpx::ZERO; plan.scratch_len()];
+        plan.forward(&mut data, &mut scratch);
+        let expect = dft_naive(&input, -1.0);
+        assert_close(&data, &expect, 1e-9);
+        plan.inverse(&mut data, &mut scratch);
+        assert_close(&data, &input, 1e-9);
+    }
+
+    #[test]
+    fn matches_naive_smooth_sizes() {
+        for n in [1usize, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 20, 27, 30, 32, 45, 60, 64, 128] {
+            run_against_naive(n);
+        }
+    }
+
+    #[test]
+    fn matches_naive_nirep_axis() {
+        run_against_naive(300); // 2²·3·5² — NIREP's 256×300×256
+    }
+
+    #[test]
+    fn matches_naive_bluestein_sizes() {
+        for n in [7usize, 11, 13, 14, 17, 21, 49, 97, 101] {
+            run_against_naive(n);
+        }
+    }
+
+    #[test]
+    fn delta_transforms_to_flat() {
+        let n = 16;
+        let plan = Fft1d::new(n);
+        let mut data = vec![Cpx::ZERO; n];
+        data[0] = Cpx::ONE;
+        let mut scratch = vec![Cpx::ZERO; plan.scratch_len()];
+        plan.forward(&mut data, &mut scratch);
+        for z in &data {
+            assert!((z.re - 1.0).abs() < 1e-10 && z.im.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval() {
+        let n = 30;
+        let input: Vec<Cpx> = (0..n).map(|j| Cpx::new((j as Real).sin(), (j as Real).cos())).collect();
+        let plan = Fft1d::new(n);
+        let mut data = input.clone();
+        let mut scratch = vec![Cpx::ZERO; plan.scratch_len()];
+        plan.forward(&mut data, &mut scratch);
+        let e_time: f64 = input.iter().map(|z| z.norm_sqr()).sum();
+        let e_freq: f64 = data.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((e_time - e_freq).abs() < 1e-8 * e_time);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random(n in 1usize..80, seed in 0u64..1000) {
+            let input: Vec<Cpx> = (0..n)
+                .map(|j| {
+                    let a = ((j as u64).wrapping_mul(6364136223846793005).wrapping_add(seed)) as f64;
+                    Cpx::new(((a % 1000.0) / 500.0 - 1.0) as Real, ((a % 777.0) / 388.0 - 1.0) as Real)
+                })
+                .collect();
+            let plan = Fft1d::new(n);
+            let mut data = input.clone();
+            let mut scratch = vec![Cpx::ZERO; plan.scratch_len()];
+            plan.forward(&mut data, &mut scratch);
+            plan.inverse(&mut data, &mut scratch);
+            for (x, y) in data.iter().zip(&input) {
+                prop_assert!((*x - *y).abs() < 1e-8, "{x:?} vs {y:?}");
+            }
+        }
+    }
+}

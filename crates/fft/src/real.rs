@@ -1,0 +1,175 @@
+//! Real ↔ half-complex 1D transforms (even lengths).
+//!
+//! The image and velocity fields are real, so the innermost (x3) transform
+//! of the 3D FFT is real-to-complex: length-`n` real input produces
+//! `n/2 + 1` complex outputs (the rest follows by Hermitian symmetry).
+//! Implemented with the standard trick of packing the even/odd samples into
+//! a complex sequence of half the length.
+
+use claire_grid::Real;
+
+use crate::complex::Cpx;
+use crate::plan::Fft1d;
+
+/// Planned real↔half-complex transform of even length `n`.
+pub struct RealFft1d {
+    n: usize,
+    half: Fft1d,
+    /// Unpacking twiddles `w^k = e^{-2πik/n}` for `k = 0..=n/2`.
+    w: Vec<Cpx>,
+}
+
+impl RealFft1d {
+    /// Plan a real transform; `n` must be even and ≥ 2.
+    pub fn new(n: usize) -> RealFft1d {
+        assert!(n >= 2 && n.is_multiple_of(2), "real FFT needs even n >= 2, got {n}");
+        let w = (0..=n / 2)
+            .map(|k| {
+                let theta = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+                Cpx::new(theta.cos() as Real, theta.sin() as Real)
+            })
+            .collect();
+        RealFft1d { n, half: Fft1d::new(n / 2), w }
+    }
+
+    /// Real length `n`.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false; for lint symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of complex outputs `n/2 + 1`.
+    pub fn spectral_len(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Required scratch (complex elements).
+    pub fn scratch_len(&self) -> usize {
+        self.n / 2 + self.half.scratch_len()
+    }
+
+    /// Forward r2c: `input.len() == n`, `out.len() == n/2 + 1`.
+    pub fn forward(&self, input: &[Real], out: &mut [Cpx], scratch: &mut [Cpx]) {
+        let m = self.n / 2;
+        assert_eq!(input.len(), self.n);
+        assert_eq!(out.len(), m + 1);
+        assert!(scratch.len() >= self.scratch_len());
+        let (z, inner_scratch) = scratch.split_at_mut(m);
+        for j in 0..m {
+            z[j] = Cpx::new(input[2 * j], input[2 * j + 1]);
+        }
+        self.half.forward(z, inner_scratch);
+        for k in 0..=m {
+            // indices wrap with period m: z[m] := z[0]
+            let zk = if k == m { z[0] } else { z[k] };
+            let zmk = if k == 0 { z[0] } else { z[m - k] };
+            let e = (zk + zmk.conj()).scale(0.5);
+            let o = (zk - zmk.conj()).scale(0.5).mul_i().scale(-1.0); // -i(z-ẑ)/2
+            out[k] = e + self.w[k] * o;
+        }
+    }
+
+    /// Inverse c2r with `1/n` normalization: `spec.len() == n/2 + 1`,
+    /// `out.len() == n`.
+    pub fn inverse(&self, spec: &[Cpx], out: &mut [Real], scratch: &mut [Cpx]) {
+        let m = self.n / 2;
+        assert_eq!(spec.len(), m + 1);
+        assert_eq!(out.len(), self.n);
+        assert!(scratch.len() >= self.scratch_len());
+        let (z, inner_scratch) = scratch.split_at_mut(m);
+        for (k, zk) in z.iter_mut().enumerate() {
+            let xk = spec[k];
+            let xmk = spec[m - k].conj();
+            let e = (xk + xmk).scale(0.5);
+            // o[k] = w^{-k} (x[k] - conj(x[m-k]))/2; w^{-k} = conj(w^k)
+            let o = self.w[k].conj() * (xk - xmk).scale(0.5);
+            *zk = e + o.mul_i();
+        }
+        self.half.inverse(z, inner_scratch);
+        for j in 0..m {
+            out[2 * j] = z[j].re;
+            out[2 * j + 1] = z[j].im;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::dft_naive;
+    use proptest::prelude::*;
+
+    fn naive_r2c(input: &[Real]) -> Vec<Cpx> {
+        let z: Vec<Cpx> = input.iter().map(|&x| Cpx::real(x)).collect();
+        let full = dft_naive(&z, -1.0);
+        full[..input.len() / 2 + 1].to_vec()
+    }
+
+    fn check_size(n: usize) {
+        let input: Vec<Real> = (0..n).map(|j| ((j * j + 3) % 11) as Real - 5.0).collect();
+        let plan = RealFft1d::new(n);
+        let mut spec = vec![Cpx::ZERO; plan.spectral_len()];
+        let mut scratch = vec![Cpx::ZERO; plan.scratch_len()];
+        plan.forward(&input, &mut spec, &mut scratch);
+        let expect = naive_r2c(&input);
+        for (k, (a, b)) in spec.iter().zip(&expect).enumerate() {
+            assert!((*a - *b).abs() < 1e-8, "n={n} k={k}: {a:?} vs {b:?}");
+        }
+        let mut back = vec![0.0 as Real; n];
+        plan.inverse(&spec, &mut back, &mut scratch);
+        for (a, b) in back.iter().zip(&input) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn matches_naive_various_even_sizes() {
+        for n in [2usize, 4, 6, 8, 10, 12, 16, 30, 32, 64, 300] {
+            check_size(n);
+        }
+    }
+
+    #[test]
+    fn dc_and_nyquist_are_real() {
+        let n = 16;
+        let input: Vec<Real> = (0..n).map(|j| (j as Real * 0.7).sin()).collect();
+        let plan = RealFft1d::new(n);
+        let mut spec = vec![Cpx::ZERO; plan.spectral_len()];
+        let mut scratch = vec![Cpx::ZERO; plan.scratch_len()];
+        plan.forward(&input, &mut spec, &mut scratch);
+        assert!(spec[0].im.abs() < 1e-10, "DC must be real");
+        assert!(spec[n / 2].im.abs() < 1e-10, "Nyquist must be real");
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_length_rejected() {
+        RealFft1d::new(7);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random(half_n in 1usize..60, seed in 0u64..500) {
+            let n = 2 * half_n;
+            let input: Vec<Real> = (0..n)
+                .map(|j| {
+                    let a = (j as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed);
+                    ((a % 2000) as Real) / 1000.0 - 1.0
+                })
+                .collect();
+            let plan = RealFft1d::new(n);
+            let mut spec = vec![Cpx::ZERO; plan.spectral_len()];
+            let mut scratch = vec![Cpx::ZERO; plan.scratch_len()];
+            plan.forward(&input, &mut spec, &mut scratch);
+            let mut back = vec![0.0; n];
+            plan.inverse(&spec, &mut back, &mut scratch);
+            for (a, b) in back.iter().zip(&input) {
+                prop_assert!((a - b).abs() < 1e-8);
+            }
+        }
+    }
+}

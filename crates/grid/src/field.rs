@@ -1,0 +1,348 @@
+//! Scalar and vector fields on (possibly distributed) periodic grids.
+
+// Reductions accumulate in f64 even when `Real = f32` (the `single`
+// feature); the casts are load-bearing there, so the lint is off.
+#![allow(clippy::unnecessary_cast)]
+
+use claire_mpi::Comm;
+
+use crate::real::Real;
+use crate::slab::Layout;
+
+/// A scalar field: this rank's slab of samples of a function on Ω.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScalarField {
+    layout: Layout,
+    data: Vec<Real>,
+}
+
+impl ScalarField {
+    /// Zero field with the given layout.
+    pub fn zeros(layout: Layout) -> Self {
+        Self { layout, data: vec![0.0 as Real; layout.local_len()] }
+    }
+
+    /// Field from existing local data (must match the layout's local length).
+    pub fn from_data(layout: Layout, data: Vec<Real>) -> Self {
+        assert_eq!(data.len(), layout.local_len(), "data/layout size mismatch");
+        Self { layout, data }
+    }
+
+    /// Sample an analytic function `f(x1, x2, x3)` at the owned grid points.
+    pub fn from_fn(layout: Layout, f: impl Fn(Real, Real, Real) -> Real) -> Self {
+        let mut field = Self::zeros(layout);
+        let g = layout.grid;
+        let h = g.spacing();
+        let [ni, n2, n3] = layout.local_dims();
+        let mut idx = 0;
+        for il in 0..ni {
+            let x1 = (layout.slab.i0 + il) as Real * h[0];
+            for j in 0..n2 {
+                let x2 = j as Real * h[1];
+                for k in 0..n3 {
+                    let x3 = k as Real * h[2];
+                    field.data[idx] = f(x1, x2, x3);
+                    idx += 1;
+                }
+            }
+        }
+        field
+    }
+
+    /// The layout (grid + slab) of this field.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Local data slice.
+    pub fn data(&self) -> &[Real] {
+        &self.data
+    }
+
+    /// Mutable local data slice.
+    pub fn data_mut(&mut self) -> &mut [Real] {
+        &mut self.data
+    }
+
+    /// Consume into the local data vector.
+    pub fn into_data(self) -> Vec<Real> {
+        self.data
+    }
+
+    /// Value at local plane `il`, `j`, `k`.
+    pub fn at(&self, il: usize, j: usize, k: usize) -> Real {
+        self.data[self.layout.local_idx(il, j, k)]
+    }
+
+    /// Mutable value at local plane `il`, `j`, `k`.
+    pub fn at_mut(&mut self, il: usize, j: usize, k: usize) -> &mut Real {
+        &mut self.data[self.layout.local_idx(il, j, k)]
+    }
+
+    // ----- elementwise operations ----------------------------------------
+
+    /// Set every sample to `v`.
+    pub fn fill(&mut self, v: Real) {
+        self.data.fill(v);
+    }
+
+    /// `self *= a`.
+    pub fn scale(&mut self, a: Real) {
+        for x in &mut self.data {
+            *x *= a;
+        }
+    }
+
+    /// `self += a·x` (same layout required).
+    pub fn axpy(&mut self, a: Real, x: &ScalarField) {
+        self.check_same_layout(x);
+        for (s, &xi) in self.data.iter_mut().zip(&x.data) {
+            *s += a * xi;
+        }
+    }
+
+    /// `self = a·self + x`.
+    pub fn aypx(&mut self, a: Real, x: &ScalarField) {
+        self.check_same_layout(x);
+        for (s, &xi) in self.data.iter_mut().zip(&x.data) {
+            *s = a * *s + xi;
+        }
+    }
+
+    /// Copy values from another field of the same layout.
+    pub fn copy_from(&mut self, x: &ScalarField) {
+        self.check_same_layout(x);
+        self.data.copy_from_slice(&x.data);
+    }
+
+    /// Apply `f` to every sample in place.
+    pub fn map_inplace(&mut self, f: impl Fn(Real) -> Real) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// `self[i] += a · x[i] · y[i]` — fused multiply-accumulate of a product,
+    /// used for `λ∇m` terms in the reduced gradient.
+    pub fn add_scaled_product(&mut self, a: Real, x: &ScalarField, y: &ScalarField) {
+        self.check_same_layout(x);
+        self.check_same_layout(y);
+        for ((s, &xi), &yi) in self.data.iter_mut().zip(&x.data).zip(&y.data) {
+            *s += a * xi * yi;
+        }
+    }
+
+    fn check_same_layout(&self, other: &ScalarField) {
+        assert_eq!(self.layout, other.layout, "field layout mismatch");
+    }
+
+    // ----- reductions ------------------------------------------------------
+
+    /// Local (this-rank) raw dot product, accumulated in f64.
+    pub fn dot_local(&self, other: &ScalarField) -> f64 {
+        self.check_same_layout(other);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum()
+    }
+
+    /// Global raw dot product (sum over all grid points).
+    pub fn dot(&self, other: &ScalarField, comm: &mut Comm) -> f64 {
+        comm.allreduce_sum_scalar(self.dot_local(other))
+    }
+
+    /// Global L2(Ω) inner product: `∫ f·g ≈ h³ Σ f·g`.
+    pub fn inner(&self, other: &ScalarField, comm: &mut Comm) -> f64 {
+        self.dot(other, comm) * self.layout.grid.cell_volume() as f64
+    }
+
+    /// Global L2(Ω) norm.
+    pub fn norm_l2(&self, comm: &mut Comm) -> f64 {
+        self.inner(self, comm).max(0.0).sqrt()
+    }
+
+    /// Global max absolute value.
+    pub fn max_abs(&self, comm: &mut Comm) -> f64 {
+        let local = self.data.iter().fold(0.0f64, |m, &x| m.max((x as f64).abs()));
+        comm.allreduce_max_scalar(local)
+    }
+
+    /// Global sum of samples.
+    pub fn sum(&self, comm: &mut Comm) -> f64 {
+        let local: f64 = self.data.iter().map(|&x| x as f64).sum();
+        comm.allreduce_sum_scalar(local)
+    }
+}
+
+/// A vector field `v : Ω → R³`, stored as three scalar components
+/// (structure-of-arrays, like CLAIRE).
+#[derive(Clone, Debug, PartialEq)]
+pub struct VectorField {
+    /// Components `[v1, v2, v3]`.
+    pub c: [ScalarField; 3],
+}
+
+impl VectorField {
+    /// Zero vector field.
+    pub fn zeros(layout: Layout) -> Self {
+        Self { c: std::array::from_fn(|_| ScalarField::zeros(layout)) }
+    }
+
+    /// Sample three analytic component functions.
+    pub fn from_fns(
+        layout: Layout,
+        f1: impl Fn(Real, Real, Real) -> Real,
+        f2: impl Fn(Real, Real, Real) -> Real,
+        f3: impl Fn(Real, Real, Real) -> Real,
+    ) -> Self {
+        Self {
+            c: [
+                ScalarField::from_fn(layout, f1),
+                ScalarField::from_fn(layout, f2),
+                ScalarField::from_fn(layout, f3),
+            ],
+        }
+    }
+
+    /// The layout shared by all components.
+    pub fn layout(&self) -> &Layout {
+        self.c[0].layout()
+    }
+
+    /// `self *= a`.
+    pub fn scale(&mut self, a: Real) {
+        for comp in &mut self.c {
+            comp.scale(a);
+        }
+    }
+
+    /// `self += a·x`.
+    pub fn axpy(&mut self, a: Real, x: &VectorField) {
+        for (s, xc) in self.c.iter_mut().zip(&x.c) {
+            s.axpy(a, xc);
+        }
+    }
+
+    /// `self = a·self + x`.
+    pub fn aypx(&mut self, a: Real, x: &VectorField) {
+        for (s, xc) in self.c.iter_mut().zip(&x.c) {
+            s.aypx(a, xc);
+        }
+    }
+
+    /// Copy from another vector field of the same layout.
+    pub fn copy_from(&mut self, x: &VectorField) {
+        for (s, xc) in self.c.iter_mut().zip(&x.c) {
+            s.copy_from(xc);
+        }
+    }
+
+    /// Set all components to zero.
+    pub fn fill(&mut self, v: Real) {
+        for comp in &mut self.c {
+            comp.fill(v);
+        }
+    }
+
+    /// Global raw dot product over all components.
+    pub fn dot(&self, other: &VectorField, comm: &mut Comm) -> f64 {
+        let local: f64 = self
+            .c
+            .iter()
+            .zip(&other.c)
+            .map(|(a, b)| a.dot_local(b))
+            .sum();
+        comm.allreduce_sum_scalar(local)
+    }
+
+    /// Global L2(Ω)³ inner product.
+    pub fn inner(&self, other: &VectorField, comm: &mut Comm) -> f64 {
+        self.dot(other, comm) * self.layout().grid.cell_volume() as f64
+    }
+
+    /// Global L2(Ω)³ norm.
+    pub fn norm_l2(&self, comm: &mut Comm) -> f64 {
+        self.inner(self, comm).max(0.0).sqrt()
+    }
+
+    /// Global max over components of max absolute value — used for the CFL
+    /// estimate that sizes the scatter buffers (paper §3.1).
+    pub fn max_abs(&self, comm: &mut Comm) -> f64 {
+        let local = self
+            .c
+            .iter()
+            .flat_map(|c| c.data().iter())
+            .fold(0.0f64, |m, &x| m.max((x as f64).abs()));
+        comm.allreduce_max_scalar(local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+    use crate::real::TWO_PI;
+
+    fn serial(n: usize) -> Layout {
+        Layout::serial(Grid::cube(n))
+    }
+
+    #[test]
+    fn from_fn_samples_coordinates() {
+        let f = ScalarField::from_fn(serial(4), |x, _, _| x);
+        let h = TWO_PI / 4.0;
+        assert!((f.at(3, 0, 0) - 3.0 * h).abs() < 1e-6);
+        assert!((f.at(0, 2, 1) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = ScalarField::from_fn(serial(4), |_, _, _| 2.0);
+        let b = ScalarField::from_fn(serial(4), |_, _, _| 3.0);
+        a.axpy(2.0, &b); // 2 + 6 = 8
+        a.scale(0.5); // 4
+        assert!(a.data().iter().all(|&x| (x - 4.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn l2_norm_of_sine() {
+        // ∫ sin²(x) dx over [0,2π)³ = π · (2π)² ⇒ ‖sin(x1)‖ = sqrt(2π³ · 2π ...)
+        let n = 32;
+        let f = ScalarField::from_fn(serial(n), |x, _, _| x.sin());
+        let mut comm = Comm::solo();
+        let norm = f.norm_l2(&mut comm);
+        let expect = (0.5 * (TWO_PI as f64).powi(3)).sqrt();
+        assert!((norm - expect).abs() < 1e-5 * expect, "{norm} vs {expect}");
+    }
+
+    #[test]
+    fn vector_dot_symmetry() {
+        let l = serial(8);
+        let v = VectorField::from_fns(l, |x, _, _| x.sin(), |_, y, _| y.cos(), |_, _, z| z.sin());
+        let w = VectorField::from_fns(l, |x, _, _| x.cos(), |_, y, _| y.sin(), |_, _, z| 1.0 + 0.0 * z);
+        let mut comm = Comm::solo();
+        let a = v.dot(&w, &mut comm);
+        let b = w.dot(&v, &mut comm);
+        assert!((a - b).abs() < 1e-10);
+    }
+
+    #[test]
+    fn add_scaled_product() {
+        let l = serial(4);
+        let mut acc = ScalarField::zeros(l);
+        let x = ScalarField::from_fn(l, |_, _, _| 3.0);
+        let y = ScalarField::from_fn(l, |_, _, _| 4.0);
+        acc.add_scaled_product(0.5, &x, &y);
+        assert!(acc.data().iter().all(|&v| (v - 6.0).abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "layout mismatch")]
+    fn layout_mismatch_panics() {
+        let mut a = ScalarField::zeros(serial(4));
+        let b = ScalarField::zeros(serial(8));
+        a.axpy(1.0, &b);
+    }
+}

@@ -1,0 +1,28 @@
+//! Floating-point precision selection.
+//!
+//! The paper runs CLAIRE in single precision on V100 GPUs. This reproduction
+//! defaults to `f64` because the functional experiments run at much smaller
+//! grid sizes where robust Krylov convergence matters more than memory
+//! footprint; enabling the `single` cargo feature switches all field storage
+//! to `f32` to reproduce the paper's precision configuration. Reductions
+//! always accumulate in `f64` regardless.
+
+/// Scalar type of all field data.
+#[cfg(feature = "single")]
+pub type Real = f32;
+
+/// Scalar type of all field data.
+#[cfg(not(feature = "single"))]
+pub type Real = f64;
+
+/// π in field precision.
+pub const PI: Real = std::f64::consts::PI as Real;
+
+/// 2π — the domain edge length of `Ω = [0, 2π)³`.
+pub const TWO_PI: Real = (2.0 * std::f64::consts::PI) as Real;
+
+/// Machine epsilon of the field precision.
+pub const REAL_EPS: Real = Real::EPSILON;
+
+/// Bytes per field scalar (the paper's `µ0`; 4 in their single-precision runs).
+pub const REAL_BYTES: usize = std::mem::size_of::<Real>();

@@ -1,0 +1,142 @@
+//! Redistribution of fields between serial and slab layouts.
+//!
+//! Because the slab dimension `x1` is outermost, each rank's slab is a
+//! contiguous chunk of the global row-major array; gather/scatter are pure
+//! concatenations/splits. Traffic is accounted under
+//! [`CommCat::FieldRedist`].
+
+use claire_mpi::{Comm, CommCat};
+
+use crate::field::{ScalarField, VectorField};
+use crate::grid::Grid;
+use crate::slab::Layout;
+
+/// Gather a distributed field to a serial-layout field on rank 0.
+///
+/// Returns `Some` on rank 0, `None` elsewhere. Collective.
+pub fn gather(field: &ScalarField, comm: &mut Comm) -> Option<ScalarField> {
+    let grid = field.layout().grid;
+    let parts = comm.gatherv(0, field.data(), CommCat::FieldRedist)?;
+    let mut data = Vec::with_capacity(grid.len());
+    for part in parts {
+        data.extend_from_slice(&part);
+    }
+    Some(ScalarField::from_data(Layout::serial(grid), data))
+}
+
+/// Scatter a serial-layout field on rank 0 to the slab layout of `comm`.
+///
+/// Rank 0 passes `Some(global)`; other ranks pass `None`. Collective.
+pub fn scatter(global: Option<&ScalarField>, grid: Grid, comm: &mut Comm) -> ScalarField {
+    let layout = Layout::distributed(grid, comm);
+    let parts: Option<Vec<Vec<crate::real::Real>>> = global.map(|gf| {
+        assert_eq!(gf.layout().grid, grid, "global field grid mismatch");
+        assert!(gf.layout().is_serial(), "scatter expects a serial-layout source");
+        let plane = grid.n[1] * grid.n[2];
+        (0..comm.size())
+            .map(|r| {
+                let slab = layout.slab_of(r);
+                gf.data()[slab.i0 * plane..slab.i_end() * plane].to_vec()
+            })
+            .collect()
+    });
+    if comm.rank() == 0 {
+        assert!(parts.is_some(), "rank 0 must provide the global field");
+    }
+    let mine = comm.scatterv(0, parts.as_deref(), CommCat::FieldRedist);
+    ScalarField::from_data(layout, mine)
+}
+
+/// Give every rank a full serial-layout copy of a distributed field.
+///
+/// Used by tests and by coarse-grid operations on few ranks. Collective.
+pub fn replicate(field: &ScalarField, comm: &mut Comm) -> ScalarField {
+    let grid = field.layout().grid;
+    if field.layout().is_serial() && comm.is_solo() {
+        return field.clone();
+    }
+    let gathered = gather(field, comm);
+    let mut data = match gathered {
+        Some(f) => f.into_data(),
+        None => Vec::new(),
+    };
+    comm.broadcast(0, &mut data);
+    ScalarField::from_data(Layout::serial(grid), data)
+}
+
+/// Gather a vector field to rank 0.
+pub fn gather_vector(v: &VectorField, comm: &mut Comm) -> Option<VectorField> {
+    let parts: Vec<Option<ScalarField>> = v.c.iter().map(|c| gather(c, comm)).collect();
+    let mut it = parts.into_iter();
+    match (it.next().unwrap(), it.next().unwrap(), it.next().unwrap()) {
+        (Some(a), Some(b), Some(c)) => Some(VectorField { c: [a, b, c] }),
+        _ => None,
+    }
+}
+
+/// Scatter a serial vector field on rank 0 to slab layout.
+pub fn scatter_vector(global: Option<&VectorField>, grid: Grid, comm: &mut Comm) -> VectorField {
+    let comps: Vec<ScalarField> = (0..3)
+        .map(|d| scatter(global.map(|v| &v.c[d]), grid, comm))
+        .collect();
+    let mut it = comps.into_iter();
+    VectorField { c: [it.next().unwrap(), it.next().unwrap(), it.next().unwrap()] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use claire_mpi::{run_cluster, Topology};
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let grid = Grid::new([8, 4, 4]);
+        let res = run_cluster(Topology::new(3, 4), move |comm| {
+            let layout = Layout::distributed(grid, comm);
+            let f = ScalarField::from_fn(layout, |x, y, z| x + 2.0 * y + 3.0 * z);
+            let g = gather(&f, comm);
+            let back = scatter(g.as_ref(), grid, comm);
+            back == f
+        });
+        assert!(res.outputs.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn replicate_matches_serial_sampling() {
+        let grid = Grid::new([8, 4, 4]);
+        let res = run_cluster(Topology::new(4, 4), move |comm| {
+            let layout = Layout::distributed(grid, comm);
+            let f = ScalarField::from_fn(layout, |x, y, z| (x * y).sin() + z);
+            let full = replicate(&f, comm);
+            let reference = ScalarField::from_fn(Layout::serial(grid), |x, y, z| (x * y).sin() + z);
+            full == reference
+        });
+        assert!(res.outputs.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn solo_roundtrip_without_cluster() {
+        let grid = Grid::cube(4);
+        let mut comm = Comm::solo();
+        let f = ScalarField::from_fn(Layout::serial(grid), |x, _, _| x);
+        let g = gather(&f, &mut comm).unwrap();
+        assert_eq!(g, f);
+        let s = scatter(Some(&g), grid, &mut comm);
+        assert_eq!(s, f);
+        let r = replicate(&f, &mut comm);
+        assert_eq!(r, f);
+    }
+
+    #[test]
+    fn vector_roundtrip() {
+        let grid = Grid::new([6, 4, 4]);
+        let res = run_cluster(Topology::new(2, 4), move |comm| {
+            let layout = Layout::distributed(grid, comm);
+            let v = VectorField::from_fns(layout, |x, _, _| x.sin(), |_, y, _| y, |_, _, z| z * z);
+            let g = gather_vector(&v, comm);
+            let back = scatter_vector(g.as_ref(), grid, comm);
+            back == v
+        });
+        assert!(res.outputs.iter().all(|&ok| ok));
+    }
+}

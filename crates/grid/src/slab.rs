@@ -1,0 +1,180 @@
+//! x1-slab decomposition of the global grid over ranks.
+//!
+//! The paper's multi-GPU implementation decomposes the spatial domain "in
+//! the outer-most dimension (i.e., x1)" (§3.3). Rank `r` owns the contiguous
+//! x1-plane range `[i0, i0 + ni)`; planes are distributed as evenly as
+//! possible (the first `n1 mod p` ranks get one extra plane).
+
+use claire_mpi::Comm;
+
+use crate::grid::Grid;
+
+/// The x1-plane range owned by one rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Slab {
+    /// First owned global x1 index.
+    pub i0: usize,
+    /// Number of owned x1 planes.
+    pub ni: usize,
+}
+
+impl Slab {
+    /// The slab owned by `rank` among `nranks` for `n1` planes.
+    pub fn of_rank(n1: usize, nranks: usize, rank: usize) -> Slab {
+        assert!(rank < nranks);
+        assert!(
+            nranks <= n1,
+            "more ranks ({nranks}) than x1 planes ({n1}): slab would be empty"
+        );
+        let base = n1 / nranks;
+        let extra = n1 % nranks;
+        let ni = base + usize::from(rank < extra);
+        let i0 = rank * base + rank.min(extra);
+        Slab { i0, ni }
+    }
+
+    /// Whole-grid slab (serial execution).
+    pub fn full(n1: usize) -> Slab {
+        Slab { i0: 0, ni: n1 }
+    }
+
+    /// One past the last owned plane.
+    pub fn i_end(&self) -> usize {
+        self.i0 + self.ni
+    }
+
+    /// Whether global plane `i` belongs to this slab.
+    pub fn owns(&self, i: usize) -> bool {
+        i >= self.i0 && i < self.i_end()
+    }
+
+    /// The rank owning global plane `i` under the balanced distribution.
+    pub fn owner_of(n1: usize, nranks: usize, i: usize) -> usize {
+        debug_assert!(i < n1);
+        let base = n1 / nranks;
+        let extra = n1 % nranks;
+        let cutoff = extra * (base + 1);
+        if i < cutoff {
+            i / (base + 1)
+        } else {
+            extra + (i - cutoff) / base
+        }
+    }
+}
+
+/// A grid together with the slab this rank holds of it.
+///
+/// A serial field is a `Layout` whose slab covers the whole grid, so kernels
+/// need only one code path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Layout {
+    /// Global grid.
+    pub grid: Grid,
+    /// Locally owned slab.
+    pub slab: Slab,
+    /// Number of ranks the grid is distributed over.
+    pub nranks: usize,
+    /// This rank's id.
+    pub rank: usize,
+}
+
+impl Layout {
+    /// Serial layout: one rank owning everything.
+    pub fn serial(grid: Grid) -> Layout {
+        Layout { grid, slab: Slab::full(grid.n[0]), nranks: 1, rank: 0 }
+    }
+
+    /// Distributed layout for the calling rank of `comm`.
+    pub fn distributed(grid: Grid, comm: &Comm) -> Layout {
+        Layout {
+            grid,
+            slab: Slab::of_rank(grid.n[0], comm.size(), comm.rank()),
+            nranks: comm.size(),
+            rank: comm.rank(),
+        }
+    }
+
+    /// Local dims `[ni, n2, n3]`.
+    pub fn local_dims(&self) -> [usize; 3] {
+        [self.slab.ni, self.grid.n[1], self.grid.n[2]]
+    }
+
+    /// Number of locally stored points.
+    pub fn local_len(&self) -> usize {
+        self.slab.ni * self.grid.n[1] * self.grid.n[2]
+    }
+
+    /// Local linear index of (local plane `il`, `j`, `k`).
+    pub fn local_idx(&self, il: usize, j: usize, k: usize) -> usize {
+        debug_assert!(il < self.slab.ni && j < self.grid.n[1] && k < self.grid.n[2]);
+        (il * self.grid.n[1] + j) * self.grid.n[2] + k
+    }
+
+    /// The slab of any rank in this layout.
+    pub fn slab_of(&self, rank: usize) -> Slab {
+        Slab::of_rank(self.grid.n[0], self.nranks, rank)
+    }
+
+    /// The rank owning global x1 plane `i`.
+    pub fn owner_of_plane(&self, i: usize) -> usize {
+        Slab::owner_of(self.grid.n[0], self.nranks, i)
+    }
+
+    /// Whether this layout spans a single rank.
+    pub fn is_serial(&self) -> bool {
+        self.nranks == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn balanced_partition() {
+        // 10 planes over 4 ranks -> 3,3,2,2
+        let slabs: Vec<Slab> = (0..4).map(|r| Slab::of_rank(10, 4, r)).collect();
+        assert_eq!(slabs[0], Slab { i0: 0, ni: 3 });
+        assert_eq!(slabs[1], Slab { i0: 3, ni: 3 });
+        assert_eq!(slabs[2], Slab { i0: 6, ni: 2 });
+        assert_eq!(slabs[3], Slab { i0: 8, ni: 2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "more ranks")]
+    fn empty_slab_rejected() {
+        Slab::of_rank(4, 8, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn partition_of_unity(n1 in 1usize..200, p in 1usize..32) {
+            prop_assume!(p <= n1);
+            let mut covered = 0;
+            for r in 0..p {
+                let s = Slab::of_rank(n1, p, r);
+                prop_assert_eq!(s.i0, covered, "slabs must be contiguous");
+                covered += s.ni;
+                prop_assert!(s.ni >= n1 / p);
+                prop_assert!(s.ni <= n1 / p + 1);
+            }
+            prop_assert_eq!(covered, n1);
+        }
+
+        #[test]
+        fn owner_matches_slab(n1 in 1usize..200, p in 1usize..32, i in 0usize..200) {
+            prop_assume!(p <= n1 && i < n1);
+            let owner = Slab::owner_of(n1, p, i);
+            prop_assert!(Slab::of_rank(n1, p, owner).owns(i));
+        }
+    }
+
+    #[test]
+    fn serial_layout_covers_grid() {
+        let l = Layout::serial(Grid::cube(8));
+        assert_eq!(l.local_len(), 512);
+        assert!(l.is_serial());
+        assert_eq!(l.owner_of_plane(5), 0);
+    }
+}

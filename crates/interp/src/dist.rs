@@ -1,0 +1,299 @@
+//! Distributed scattered interpolation with the paper's five phases.
+
+use std::time::Instant;
+
+use claire_grid::{ghost, Real, ScalarField, VectorField};
+use claire_mpi::{AlltoallMethod, Comm, CommCat};
+
+use crate::kernel::{interp_ghost, to_index, IpOrder};
+
+/// Wall/modeled seconds of the five phases of Table 2.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Ghost-layer exchange of the interpolated field(s).
+    pub ghost_comm: f64,
+    /// Returning interpolated values to the requesting rank.
+    pub interp_comm: f64,
+    /// Shipping query points to their owner rank.
+    pub scatter_comm: f64,
+    /// Local stencil evaluation.
+    pub interp_kernel: f64,
+    /// Building the per-destination MPI buffers (thrust::copy_if analogue).
+    pub scatter_mpi_buffer: f64,
+}
+
+impl PhaseTimes {
+    /// Sum of all phases.
+    pub fn total(&self) -> f64 {
+        self.ghost_comm + self.interp_comm + self.scatter_comm + self.interp_kernel + self.scatter_mpi_buffer
+    }
+
+    /// (label, value) pairs in the paper's Table 2 row order.
+    pub fn rows(&self) -> [(&'static str, f64); 5] {
+        [
+            ("ghost_comm", self.ghost_comm),
+            ("interp_comm", self.interp_comm),
+            ("scatter_comm", self.scatter_comm),
+            ("interp_kernel", self.interp_kernel),
+            ("scatter_mpi_buffer", self.scatter_mpi_buffer),
+        ]
+    }
+}
+
+/// Accumulated phase statistics (wall-clock and modeled).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseStats {
+    /// Measured wall time on this host.
+    pub wall: PhaseTimes,
+    /// Modeled time on the virtual V100 cluster.
+    pub modeled: PhaseTimes,
+}
+
+/// Distributed scattered interpolator.
+///
+/// Routes each query point to the rank owning its x1 plane, evaluates the
+/// stencil there using ghost layers for slab-boundary support, and returns
+/// values to the requester — the workflow of paper §3.1. Accumulates
+/// [`PhaseStats`] across calls for Table 2 reporting.
+pub struct Interpolator {
+    /// Stencil order (GPU-TXTLIN / GPU-TXTLAG).
+    pub order: IpOrder,
+    /// Accumulated phase timings.
+    pub stats: PhaseStats,
+}
+
+impl Interpolator {
+    /// New interpolator with zeroed stats.
+    pub fn new(order: IpOrder) -> Interpolator {
+        Interpolator { order, stats: PhaseStats::default() }
+    }
+
+    /// Zero the accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = PhaseStats::default();
+    }
+
+    /// Interpolate several fields (sharing one layout) at the same query
+    /// points; returns one value vector per field, in query order.
+    ///
+    /// Collective: every rank passes its own queries.
+    pub fn interp_many(
+        &mut self,
+        fields: &[&ScalarField],
+        queries: &[[Real; 3]],
+        comm: &mut Comm,
+    ) -> Vec<Vec<Real>> {
+        assert!(!fields.is_empty());
+        let layout = *fields[0].layout();
+        for f in fields {
+            assert_eq!(*f.layout(), layout, "all fields must share a layout");
+        }
+        let p = comm.size();
+        let nf = fields.len();
+        let n1 = layout.grid.n[0];
+
+        // ---- phase: scatter_mpi_buffer (partition queries by owner) ----
+        let t0 = Instant::now();
+        let mut dest_queries: Vec<Vec<[Real; 3]>> = (0..p).map(|_| Vec::new()).collect();
+        let mut dest_origin: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
+        for (qi, q) in queries.iter().enumerate() {
+            let u1 = to_index(q[0], n1);
+            let plane = (u1 as usize).min(n1 - 1);
+            let owner = layout.owner_of_plane(plane);
+            dest_queries[owner].push(*q);
+            dest_origin[owner].push(qi as u32);
+        }
+        // modeled: one streaming pass over the query list (copy_if analogue)
+        comm.advance_kernel(std::mem::size_of_val(queries) * 2, 4 * queries.len());
+        let buf_kernel_secs = queries.len() as f64 * 2.0 * std::mem::size_of::<[Real; 3]>() as f64
+            / comm.device().dram_bw
+            + comm.device().launch_overhead;
+        self.stats.wall.scatter_mpi_buffer += t0.elapsed().as_secs_f64();
+        self.stats.modeled.scatter_mpi_buffer += buf_kernel_secs;
+
+        // ---- phase: scatter_comm (ship query points) ----
+        let t0 = Instant::now();
+        let m0 = comm.stats().cat(CommCat::Scatter).modeled_secs;
+        let incoming = comm.alltoallv(&dest_queries, CommCat::Scatter, AlltoallMethod::Auto);
+        self.stats.wall.scatter_comm += t0.elapsed().as_secs_f64();
+        self.stats.modeled.scatter_comm += comm.stats().cat(CommCat::Scatter).modeled_secs - m0;
+
+        // ---- phase: ghost_comm (halo exchange of the fields) ----
+        let t0 = Instant::now();
+        let m0 = comm.stats().cat(CommCat::Ghost).modeled_secs;
+        let ghosts: Vec<ghost::GhostField> = fields
+            .iter()
+            .map(|f| ghost::exchange(f, IpOrder::GHOST_WIDTH, comm))
+            .collect();
+        self.stats.wall.ghost_comm += t0.elapsed().as_secs_f64();
+        self.stats.modeled.ghost_comm += comm.stats().cat(CommCat::Ghost).modeled_secs - m0;
+
+        // ---- phase: interp_kernel (local stencil evaluation) ----
+        let t0 = Instant::now();
+        let mut value_bufs: Vec<Vec<Real>> = Vec::with_capacity(p);
+        let mut nq_local = 0usize;
+        for part in &incoming {
+            let mut vals = Vec::with_capacity(part.len() * nf);
+            for gf in &ghosts {
+                for q in part {
+                    vals.push(interp_ghost(gf, self.order, *q));
+                }
+            }
+            nq_local += part.len();
+            value_bufs.push(vals);
+        }
+        let flops = nq_local * nf * self.order.flops_per_query();
+        let bytes = nq_local * nf * 2 * std::mem::size_of::<Real>();
+        comm.advance_kernel(bytes, flops);
+        self.stats.wall.interp_kernel += t0.elapsed().as_secs_f64();
+        self.stats.modeled.interp_kernel += comm.device().kernel_time(bytes, flops);
+
+        // ---- phase: interp_comm (return values) ----
+        let t0 = Instant::now();
+        let m0 = comm.stats().cat(CommCat::InterpValues).modeled_secs;
+        let returned = comm.alltoallv(&value_bufs, CommCat::InterpValues, AlltoallMethod::Auto);
+        self.stats.wall.interp_comm += t0.elapsed().as_secs_f64();
+        self.stats.modeled.interp_comm += comm.stats().cat(CommCat::InterpValues).modeled_secs - m0;
+
+        // reassemble into query order
+        let mut out: Vec<Vec<Real>> = (0..nf).map(|_| vec![0.0 as Real; queries.len()]) .collect();
+        for (src, vals) in returned.iter().enumerate() {
+            let origin = &dest_origin[src];
+            assert_eq!(vals.len(), origin.len() * nf, "returned value count mismatch");
+            for (fi, out_f) in out.iter_mut().enumerate() {
+                let chunk = &vals[fi * origin.len()..(fi + 1) * origin.len()];
+                for (&oi, &v) in origin.iter().zip(chunk) {
+                    out_f[oi as usize] = v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Interpolate one scalar field.
+    pub fn interp(
+        &mut self,
+        field: &ScalarField,
+        queries: &[[Real; 3]],
+        comm: &mut Comm,
+    ) -> Vec<Real> {
+        self.interp_many(&[field], queries, comm).pop().unwrap()
+    }
+
+    /// Interpolate a vector field; returns per-query 3-vectors.
+    pub fn interp_vector(
+        &mut self,
+        v: &VectorField,
+        queries: &[[Real; 3]],
+        comm: &mut Comm,
+    ) -> Vec<[Real; 3]> {
+        let comps = self.interp_many(&[&v.c[0], &v.c[1], &v.c[2]], queries, comm);
+        (0..queries.len())
+            .map(|i| [comps[0][i], comps[1][i], comps[2][i]])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::interp_serial;
+    use claire_grid::{Grid, Layout, TWO_PI};
+    use claire_mpi::{run_cluster, Topology};
+
+    fn test_fn(x: Real, y: Real, z: Real) -> Real {
+        (x).sin() * (y).cos() + (0.5 * z).sin() + 0.2
+    }
+
+    fn make_queries(n: usize, seed: u64) -> Vec<[Real; 3]> {
+        (0..n)
+            .map(|i| {
+                let r = |s: u64| {
+                    let a = (i as u64 + 1)
+                        .wrapping_mul(0x9E3779B97F4A7C15)
+                        .wrapping_add(seed.wrapping_mul(31).wrapping_add(s));
+                    ((a >> 16) % 100_000) as Real / 100_000.0 * TWO_PI
+                };
+                [r(1), r(2), r(3)]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn distributed_matches_serial_interpolation() {
+        let grid = Grid::new([16, 8, 8]);
+        let serial_f = ScalarField::from_fn(Layout::serial(grid), test_fn);
+        let queries = make_queries(64, 7);
+        for order in [IpOrder::Linear, IpOrder::Cubic] {
+            let expect: Vec<Real> = queries
+                .iter()
+                .map(|&q| interp_serial(&serial_f, order, q))
+                .collect();
+            for p in [1usize, 2, 3, 4] {
+                let queries = queries.clone();
+                let expect = expect.clone();
+                let res = run_cluster(Topology::new(p, 4), move |comm| {
+                    let layout = Layout::distributed(grid, comm);
+                    let f = ScalarField::from_fn(layout, test_fn);
+                    let mut ip = Interpolator::new(order);
+                    // split queries over ranks to exercise routing
+                    let chunk = queries.len() / comm.size();
+                    let lo = comm.rank() * chunk;
+                    let hi = if comm.rank() + 1 == comm.size() { queries.len() } else { lo + chunk };
+                    let got = ip.interp(&f, &queries[lo..hi], comm);
+                    let exp = &expect[lo..hi];
+                    got.iter()
+                        .zip(exp)
+                        .map(|(&a, &b)| (a - b).abs())
+                        .fold(0.0, f64::max)
+                });
+                for (r, &e) in res.outputs.iter().enumerate() {
+                    assert!(e < 1e-10, "{order:?} p={p} rank={r}: err {e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phase_stats_populated() {
+        let grid = Grid::new([8, 8, 8]);
+        let res = run_cluster(Topology::new(4, 4), move |comm| {
+            let layout = Layout::distributed(grid, comm);
+            let f = ScalarField::from_fn(layout, test_fn);
+            let mut ip = Interpolator::new(IpOrder::Cubic);
+            let queries = make_queries(32, comm.rank() as u64);
+            let _ = ip.interp(&f, &queries, comm);
+            ip.stats
+        });
+        for s in &res.outputs {
+            assert!(s.modeled.interp_kernel > 0.0);
+            assert!(s.modeled.ghost_comm > 0.0, "ghost exchange should be modeled");
+            assert!(s.wall.total() > 0.0);
+        }
+    }
+
+    #[test]
+    fn vector_interpolation_groups_components() {
+        let grid = Grid::cube(16);
+        let mut comm = Comm::solo();
+        let layout = Layout::serial(grid);
+        let v = VectorField::from_fns(layout, |x, _, _| x.sin(), |_, y, _| y.cos(), |_, _, z| z);
+        let mut ip = Interpolator::new(IpOrder::Cubic);
+        let queries = make_queries(10, 3);
+        let vals = ip.interp_vector(&v, &queries, &mut comm);
+        for (q, val) in queries.iter().zip(&vals) {
+            assert!((val[0] - q[0].sin()).abs() < 2e-3);
+            assert!((val[1] - q[1].cos()).abs() < 2e-3);
+        }
+    }
+
+    #[test]
+    fn empty_query_list() {
+        let grid = Grid::cube(8);
+        let mut comm = Comm::solo();
+        let f = ScalarField::from_fn(Layout::serial(grid), test_fn);
+        let mut ip = Interpolator::new(IpOrder::Linear);
+        let out = ip.interp(&f, &[], &mut comm);
+        assert!(out.is_empty());
+    }
+}

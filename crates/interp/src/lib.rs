@@ -1,0 +1,26 @@
+//! Scattered-data interpolation for the semi-Lagrangian scheme (paper §3.1).
+//!
+//! The semi-Lagrangian transport solver evaluates fields at the off-grid
+//! end points of backward characteristics. On the paper's multi-GPU systems
+//! this is the most important kernel; its distributed workflow has five
+//! instrumented phases that Table 2 reports:
+//!
+//! 1. `scatter_mpi_buffer` — partition the query points by owning rank
+//!    (the paper uses `thrust::copy_if` on the GPU);
+//! 2. `scatter_comm` — ship off-rank query points to their owners;
+//! 3. `ghost_comm` — exchange the x1 ghost layers of the interpolated field
+//!    needed by stencils near slab boundaries;
+//! 4. `interp_kernel` — evaluate the interpolation stencils locally;
+//! 5. `interp_comm` — return interpolated values to the requesting ranks.
+//!
+//! Two kernels are provided, mirroring the paper's production choices:
+//! trilinear (`GPU-TXTLIN`, cost ~30 flop/query) and cubic Lagrange
+//! (`GPU-TXTLAG`, ~482 flop/query). The paper prefers GPU-TXTLAG over the
+//! prefiltered spline kernel in the distributed setting because the latter
+//! would need an extra ghost exchange for the prefilter.
+
+pub mod dist;
+pub mod kernel;
+
+pub use dist::{Interpolator, PhaseStats};
+pub use kernel::IpOrder;

@@ -1,0 +1,157 @@
+//! Launching a virtual cluster: one thread per rank.
+
+use std::sync::Arc;
+
+use crossbeam::channel::unbounded;
+
+use crate::comm::{BarrierState, Comm};
+use crate::message::Message;
+use crate::model::LinkModel;
+use crate::stats::{CommStats, ModelClock};
+use crate::topology::Topology;
+
+/// Everything a cluster run produces: per-rank outputs, traffic ledgers and
+/// logical clocks (indexed by rank).
+#[derive(Debug)]
+pub struct ClusterResult<R> {
+    /// Per-rank return values of the rank function.
+    pub outputs: Vec<R>,
+    /// Per-rank traffic ledgers.
+    pub stats: Vec<CommStats>,
+    /// Per-rank logical clocks at exit.
+    pub clocks: Vec<ModelClock>,
+}
+
+impl<R> ClusterResult<R> {
+    /// Cluster-wide merged traffic ledger.
+    pub fn total_stats(&self) -> CommStats {
+        let mut total = CommStats::default();
+        for s in &self.stats {
+            total.merge(s);
+        }
+        total
+    }
+
+    /// The slowest rank's logical time — the modeled wall time of the run.
+    pub fn modeled_wall_time(&self) -> f64 {
+        self.clocks.iter().map(|c| c.now()).fold(0.0, f64::max)
+    }
+
+    /// Maximum modeled communication fraction over ranks, as reported in the
+    /// "% comm" columns of the paper's Tables 3 and 7.
+    pub fn modeled_comm_fraction(&self) -> f64 {
+        self.clocks
+            .iter()
+            .map(|c| {
+                let t = c.now();
+                if t > 0.0 {
+                    c.comm_secs() / t
+                } else {
+                    0.0
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Run `f` on every rank of a virtual cluster with the default link model.
+///
+/// Blocks until all ranks return. Rank functions communicate through the
+/// [`Comm`] handle they receive. See the crate-level example.
+pub fn run_cluster<R, F>(topo: Topology, f: F) -> ClusterResult<R>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
+    run_cluster_with_link(topo, LinkModel::default(), f)
+}
+
+/// [`run_cluster`] with an explicit link model (for calibration studies).
+pub fn run_cluster_with_link<R, F>(topo: Topology, link: LinkModel, f: F) -> ClusterResult<R>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
+    let p = topo.nranks;
+    let mut txs = Vec::with_capacity(p);
+    let mut rxs = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (tx, rx) = unbounded::<Message>();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let barrier = Arc::new(BarrierState::new(p));
+
+    let mut results: Vec<Option<(R, CommStats, ModelClock)>> = (0..p).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (rank, rx) in rxs.into_iter().enumerate() {
+            let senders = txs.clone();
+            let barrier = Arc::clone(&barrier);
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut comm = Comm::new(rank, topo, senders, rx, link, barrier);
+                let out = f(&mut comm);
+                let (stats, clock) = comm.take_results();
+                (out, stats, clock)
+            }));
+        }
+        drop(txs);
+        for (rank, h) in handles.into_iter().enumerate() {
+            results[rank] = Some(h.join().expect("rank thread panicked"));
+        }
+    });
+
+    let mut outputs = Vec::with_capacity(p);
+    let mut stats = Vec::with_capacity(p);
+    let mut clocks = Vec::with_capacity(p);
+    for r in results {
+        let (o, s, c) = r.expect("rank result missing");
+        outputs.push(o);
+        stats.push(s);
+        clocks.push(c);
+    }
+    ClusterResult { outputs, stats, clocks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::CommCat;
+
+    #[test]
+    fn outputs_indexed_by_rank() {
+        let res = run_cluster(Topology::new(5, 4), |comm| comm.rank() * comm.rank());
+        assert_eq!(res.outputs, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn total_stats_accumulate() {
+        let res = run_cluster(Topology::new(2, 4), |comm| {
+            let peer = 1 - comm.rank();
+            let got: Vec<u8> = comm.sendrecv(peer, peer, 3, CommCat::Ghost, &[0u8; 100]);
+            got.len()
+        });
+        assert_eq!(res.outputs, vec![100, 100]);
+        let total = res.total_stats();
+        assert_eq!(total.cat(CommCat::Ghost).bytes_sent, 200);
+        assert_eq!(total.cat(CommCat::Ghost).msgs_sent, 2);
+    }
+
+    #[test]
+    fn modeled_wall_time_is_max() {
+        let res = run_cluster(Topology::new(3, 4), |comm| {
+            comm.advance_compute((comm.rank() + 1) as f64);
+        });
+        assert!((res.modeled_wall_time() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_rank_cluster_matches_solo() {
+        let res = run_cluster(Topology::solo(), |comm| {
+            assert!(comm.is_solo());
+            comm.allreduce_sum_scalar(5.0)
+        });
+        assert_eq!(res.outputs, vec![5.0]);
+    }
+}

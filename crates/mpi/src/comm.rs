@@ -1,0 +1,577 @@
+//! The per-rank communicator handle.
+
+// Collectives loop over rank ids and skip self; explicit indices match
+// the MPI-style pseudocode they implement.
+#![allow(clippy::needless_range_loop)]
+
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Instant;
+
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::message::Message;
+use crate::model::{AlltoallMethod, DeviceModel, LinkModel};
+use crate::pod::{as_bytes, from_bytes, Pod};
+use crate::stats::{CommCat, CommStats, ModelClock};
+use crate::topology::Topology;
+
+/// Shared state for clock-synchronizing barriers.
+pub(crate) struct BarrierState {
+    pub(crate) enter: Barrier,
+    pub(crate) leave: Barrier,
+    pub(crate) clocks: Mutex<Vec<f64>>,
+}
+
+impl BarrierState {
+    pub(crate) fn new(n: usize) -> Self {
+        Self {
+            enter: Barrier::new(n),
+            leave: Barrier::new(n),
+            clocks: Mutex::new(vec![0.0; n]),
+        }
+    }
+}
+
+/// MPI-like communicator for one virtual rank.
+///
+/// Created by [`crate::run_cluster`] (one per rank thread) or by
+/// [`Comm::solo`] for serial execution. All collective operations must be
+/// called by every rank of the cluster, in the same order — exactly the MPI
+/// contract the paper's CLAIRE code relies on.
+pub struct Comm {
+    rank: usize,
+    topo: Topology,
+    senders: Vec<Sender<Message>>,
+    rx: Receiver<Message>,
+    pending: Vec<Message>,
+    stats: CommStats,
+    clock: ModelClock,
+    link: LinkModel,
+    device: DeviceModel,
+    barrier: Arc<BarrierState>,
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        topo: Topology,
+        senders: Vec<Sender<Message>>,
+        rx: Receiver<Message>,
+        link: LinkModel,
+        barrier: Arc<BarrierState>,
+    ) -> Self {
+        Self {
+            rank,
+            topo,
+            senders,
+            rx,
+            pending: Vec::new(),
+            stats: CommStats::default(),
+            clock: ModelClock::default(),
+            link,
+            device: DeviceModel::default(),
+            barrier,
+        }
+    }
+
+    /// A single-rank communicator for serial execution (no threads).
+    ///
+    /// Self-sends work: they are queued and matched by the next receive.
+    pub fn solo() -> Self {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        Comm::new(
+            0,
+            Topology::solo(),
+            vec![tx],
+            rx,
+            LinkModel::default(),
+            Arc::new(BarrierState::new(1)),
+        )
+    }
+
+    /// This rank's id in `0..size()`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the cluster.
+    pub fn size(&self) -> usize {
+        self.topo.nranks
+    }
+
+    /// True iff this is a single-rank communicator.
+    pub fn is_solo(&self) -> bool {
+        self.size() == 1
+    }
+
+    /// The cluster topology.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The link model used by the logical clock.
+    pub fn link(&self) -> &LinkModel {
+        &self.link
+    }
+
+    /// The device (virtual GPU) roofline model.
+    pub fn device(&self) -> &DeviceModel {
+        &self.device
+    }
+
+    /// Replace the device model (calibration studies).
+    pub fn set_device(&mut self, device: DeviceModel) {
+        self.device = device;
+    }
+
+    /// Advance the modeled clock by the roofline time of a kernel that
+    /// moved `bytes` through DRAM and executed `flops`.
+    pub fn advance_kernel(&mut self, bytes: usize, flops: usize) {
+        let t = self.device.kernel_time(bytes, flops);
+        self.clock.advance_compute(t);
+    }
+
+    /// Traffic ledger of this rank.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Logical clock of this rank.
+    pub fn clock(&self) -> &ModelClock {
+        &self.clock
+    }
+
+    /// Advance the logical clock by modeled compute seconds (roofline cost
+    /// of a kernel that just ran).
+    pub fn advance_compute(&mut self, secs: f64) {
+        self.clock.advance_compute(secs);
+    }
+
+    pub(crate) fn take_results(self) -> (CommStats, ModelClock) {
+        (self.stats, self.clock)
+    }
+
+    // ----- point to point -------------------------------------------------
+
+    /// Send a typed slice to `dst` with `tag`. Non-blocking (buffered).
+    pub fn send<T: Pod>(&mut self, dst: usize, tag: u64, cat: CommCat, data: &[T]) {
+        self.send_impl(dst, tag, cat, data, false);
+    }
+
+    fn send_impl<T: Pod>(&mut self, dst: usize, tag: u64, cat: CommCat, data: &[T], link_free: bool) {
+        let payload = Bytes::copy_from_slice(as_bytes(data));
+        let nbytes = payload.len() as u64;
+        let msg = Message {
+            src: self.rank,
+            tag,
+            cat,
+            sent_clock: self.clock.now(),
+            link_free,
+            payload,
+        };
+        self.senders[dst]
+            .send(msg)
+            .expect("virtual cluster channel closed (peer rank panicked?)");
+        let c = self.stats.cat_mut(cat);
+        c.bytes_sent += nbytes;
+        c.msgs_sent += 1;
+    }
+
+    /// Blocking receive of a typed slice from `src` with `tag`.
+    ///
+    /// Matches `(src, tag)` in FIFO order; other messages arriving in the
+    /// meantime are buffered.
+    pub fn recv<T: Pod>(&mut self, src: usize, tag: u64, cat: CommCat) -> Vec<T> {
+        let msg = self.recv_msg(src, tag, cat);
+        // logical timing: the transfer completes at sender clock + link time
+        if msg.link_free {
+            self.clock.sync_to(msg.sent_clock);
+        } else {
+            let t = self
+                .link
+                .msg_time(msg.payload.len(), self.topo.same_node(self.rank, msg.src));
+            self.clock.sync_to(msg.sent_clock + t);
+            self.stats.cat_mut(cat).modeled_secs += t;
+        }
+        from_bytes(&msg.payload)
+    }
+
+    fn recv_msg(&mut self, src: usize, tag: u64, cat: CommCat) -> Message {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|m| m.src == src && m.tag == tag)
+        {
+            return self.pending.remove(pos);
+        }
+        let t0 = Instant::now();
+        loop {
+            let msg = self
+                .rx
+                .recv()
+                .expect("virtual cluster channel closed (peer rank panicked?)");
+            if msg.src == src && msg.tag == tag {
+                self.stats.cat_mut(cat).wall_blocked += t0.elapsed();
+                return msg;
+            }
+            self.pending.push(msg);
+        }
+    }
+
+    /// Combined send to `dst` and receive from `src` (safe pairwise exchange).
+    pub fn sendrecv<T: Pod>(
+        &mut self,
+        dst: usize,
+        src: usize,
+        tag: u64,
+        cat: CommCat,
+        data: &[T],
+    ) -> Vec<T> {
+        self.send(dst, tag, cat, data);
+        self.recv(src, tag, cat)
+    }
+
+    // ----- collectives ----------------------------------------------------
+
+    /// Barrier: all ranks wait; logical clocks synchronize to the maximum.
+    pub fn barrier(&mut self) {
+        if self.is_solo() {
+            return;
+        }
+        let t0 = Instant::now();
+        {
+            let mut clocks = self.barrier.clocks.lock().unwrap();
+            clocks[self.rank] = self.clock.now();
+        }
+        self.barrier.enter.wait();
+        let max = {
+            let clocks = self.barrier.clocks.lock().unwrap();
+            clocks.iter().cloned().fold(0.0, f64::max)
+        };
+        self.barrier.leave.wait();
+        self.clock.sync_to(max);
+        let bt = self.link.barrier_time(&self.topo);
+        self.clock.advance_comm(bt);
+        let c = self.stats.cat_mut(CommCat::Reduce);
+        c.wall_blocked += t0.elapsed();
+        c.modeled_secs += bt;
+    }
+
+    /// All-reduce with a user-provided elementwise combiner.
+    ///
+    /// Implemented as gather-to-root + broadcast over the message layer;
+    /// modeled cost is a binomial tree (charged once, messages are
+    /// link-free).
+    pub fn allreduce<T: Pod, F: Fn(&mut [T], &[T])>(&mut self, data: &mut [T], op: F) {
+        if self.is_solo() {
+            return;
+        }
+        const TAG_UP: u64 = u64::MAX - 1;
+        const TAG_DOWN: u64 = u64::MAX - 2;
+        if self.rank == 0 {
+            for src in 1..self.size() {
+                let contrib: Vec<T> = self.recv_link_free(src, TAG_UP);
+                assert_eq!(contrib.len(), data.len(), "allreduce length mismatch");
+                op(data, &contrib);
+            }
+            for dst in 1..self.size() {
+                self.send_impl(dst, TAG_DOWN, CommCat::Reduce, data, true);
+            }
+        } else {
+            self.send_impl(0, TAG_UP, CommCat::Reduce, data, true);
+            let result: Vec<T> = self.recv_link_free(0, TAG_DOWN);
+            data.copy_from_slice(&result);
+        }
+        // collective-level modeled cost: two tree sweeps
+        let bytes = std::mem::size_of_val(data);
+        let t = 2.0 * self.link.tree_time(bytes, &self.topo);
+        self.clock.advance_comm(t);
+        self.stats.cat_mut(CommCat::Reduce).modeled_secs += t;
+        self.barrier_clock_sync();
+    }
+
+    fn recv_link_free<T: Pod>(&mut self, src: usize, tag: u64) -> Vec<T> {
+        let msg = self.recv_msg(src, tag, CommCat::Reduce);
+        self.clock.sync_to(msg.sent_clock);
+        from_bytes(&msg.payload)
+    }
+
+    /// Clock-only synchronization (no wait semantics beyond the messages
+    /// already exchanged); used to make collectives leave all ranks at the
+    /// same logical time, like a blocking MPI collective.
+    fn barrier_clock_sync(&mut self) {
+        let mut clocks = self.barrier.clocks.lock().unwrap();
+        clocks[self.rank] = self.clock.now();
+        drop(clocks);
+        self.barrier.enter.wait();
+        let max = {
+            let clocks = self.barrier.clocks.lock().unwrap();
+            clocks.iter().cloned().fold(0.0, f64::max)
+        };
+        self.barrier.leave.wait();
+        self.clock.sync_to(max);
+    }
+
+    /// Sum-all-reduce for `f64` slices.
+    pub fn allreduce_sum(&mut self, data: &mut [f64]) {
+        self.allreduce(data, |acc, x| {
+            for (a, b) in acc.iter_mut().zip(x) {
+                *a += *b;
+            }
+        });
+    }
+
+    /// Scalar sum-all-reduce.
+    pub fn allreduce_sum_scalar(&mut self, x: f64) -> f64 {
+        let mut buf = [x];
+        self.allreduce_sum(&mut buf);
+        buf[0]
+    }
+
+    /// Scalar max-all-reduce.
+    pub fn allreduce_max_scalar(&mut self, x: f64) -> f64 {
+        let mut buf = [x];
+        self.allreduce(&mut buf, |acc, v| {
+            if v[0] > acc[0] {
+                acc[0] = v[0];
+            }
+        });
+        buf[0]
+    }
+
+    /// Broadcast `data` from `root` to all ranks.
+    pub fn broadcast<T: Pod>(&mut self, root: usize, data: &mut Vec<T>) {
+        if self.is_solo() {
+            return;
+        }
+        const TAG_BCAST: u64 = u64::MAX - 3;
+        if self.rank == root {
+            for dst in 0..self.size() {
+                if dst != root {
+                    self.send_impl(dst, TAG_BCAST, CommCat::Reduce, data, true);
+                }
+            }
+        } else {
+            *data = self.recv_link_free(root, TAG_BCAST);
+        }
+        let bytes = data.len() * std::mem::size_of::<T>();
+        let t = self.link.tree_time(bytes, &self.topo);
+        self.clock.advance_comm(t);
+        self.stats.cat_mut(CommCat::Reduce).modeled_secs += t;
+        self.barrier_clock_sync();
+    }
+
+    /// Gather variable-length contributions to `root`.
+    ///
+    /// Returns `Some(parts)` (indexed by rank) on `root`, `None` elsewhere.
+    pub fn gatherv<T: Pod>(&mut self, root: usize, data: &[T], cat: CommCat) -> Option<Vec<Vec<T>>> {
+        if self.is_solo() {
+            return Some(vec![data.to_vec()]);
+        }
+        const TAG_GATHER: u64 = u64::MAX - 4;
+        if self.rank == root {
+            let mut parts: Vec<Vec<T>> = Vec::with_capacity(self.size());
+            for src in 0..self.size() {
+                if src == root {
+                    parts.push(data.to_vec());
+                } else {
+                    parts.push(self.recv(src, TAG_GATHER, cat));
+                }
+            }
+            Some(parts)
+        } else {
+            self.send(root, TAG_GATHER, cat, data);
+            None
+        }
+    }
+
+    /// Scatter variable-length parts from `root`; returns this rank's part.
+    pub fn scatterv<T: Pod>(
+        &mut self,
+        root: usize,
+        parts: Option<&[Vec<T>]>,
+        cat: CommCat,
+    ) -> Vec<T> {
+        if self.is_solo() {
+            return parts.expect("root must provide parts")[0].clone();
+        }
+        const TAG_SCATTER: u64 = u64::MAX - 5;
+        if self.rank == root {
+            let parts = parts.expect("root must provide parts");
+            assert_eq!(parts.len(), self.size(), "scatterv needs one part per rank");
+            for (dst, part) in parts.iter().enumerate() {
+                if dst != root {
+                    self.send(dst, TAG_SCATTER, cat, part);
+                }
+            }
+            parts[root].clone()
+        } else {
+            self.recv(root, TAG_SCATTER, cat)
+        }
+    }
+
+    /// All-to-all-v: rank `r` sends `bufs[d]` to rank `d`; returns the
+    /// received parts indexed by source rank.
+    ///
+    /// The paper's distributed FFT transpose is built on this. Both
+    /// communication paths of §3.3 are supported: the vendor `MPI_Alltoallv`
+    /// emulation and the asynchronous peer-to-peer scheme, switched at a
+    /// 512 kB per-pair volume by [`AlltoallMethod::Auto`]. Functionally the
+    /// paths are identical; they differ in the modeled cost.
+    pub fn alltoallv<T: Pod>(
+        &mut self,
+        bufs: &[Vec<T>],
+        cat: CommCat,
+        method: AlltoallMethod,
+    ) -> Vec<Vec<T>> {
+        assert_eq!(bufs.len(), self.size(), "alltoallv needs one buffer per rank");
+        const TAG_A2A: u64 = u64::MAX - 6;
+        // post all sends (asynchronous, like the paper's P2P scheme)
+        for dst in 0..self.size() {
+            if dst != self.rank {
+                self.send_impl(dst, TAG_A2A, cat, &bufs[dst], true);
+            }
+        }
+        let mut out: Vec<Vec<T>> = Vec::with_capacity(self.size());
+        for src in 0..self.size() {
+            if src == self.rank {
+                out.push(bufs[src].clone());
+            } else {
+                let msg = self.recv_msg(src, TAG_A2A, cat);
+                self.clock.sync_to(msg.sent_clock);
+                out.push(from_bytes(&msg.payload));
+            }
+        }
+        // collective-level modeled cost
+        let per_rank_bytes: usize = bufs
+            .iter()
+            .enumerate()
+            .filter(|(d, _)| *d != self.rank)
+            .map(|(_, b)| std::mem::size_of_val(b.as_slice()))
+            .sum();
+        let t = self.link.alltoall_time(per_rank_bytes, &self.topo, method);
+        self.clock.advance_comm(t);
+        self.stats.cat_mut(cat).modeled_secs += t;
+        if !self.is_solo() {
+            self.barrier_clock_sync();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::run_cluster;
+
+    #[test]
+    fn solo_self_send() {
+        let mut c = Comm::solo();
+        c.send(0, 1, CommCat::Other, &[1.0f64, 2.0]);
+        let got: Vec<f64> = c.recv(0, 1, CommCat::Other);
+        assert_eq!(got, vec![1.0, 2.0]);
+        assert_eq!(c.stats().cat(CommCat::Other).msgs_sent, 1);
+    }
+
+    #[test]
+    fn tag_matching_out_of_order() {
+        let mut c = Comm::solo();
+        c.send(0, 1, CommCat::Other, &[1u32]);
+        c.send(0, 2, CommCat::Other, &[2u32]);
+        let second: Vec<u32> = c.recv(0, 2, CommCat::Other);
+        let first: Vec<u32> = c.recv(0, 1, CommCat::Other);
+        assert_eq!((first[0], second[0]), (1, 2));
+    }
+
+    #[test]
+    fn allreduce_sum_across_ranks() {
+        let topo = Topology::new(4, 2);
+        let res = run_cluster(topo, |comm| {
+            let mut v = vec![comm.rank() as f64, 1.0];
+            comm.allreduce_sum(&mut v);
+            v
+        });
+        for out in &res.outputs {
+            assert_eq!(out, &vec![6.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_max() {
+        let topo = Topology::new(3, 4);
+        let res = run_cluster(topo, |comm| comm.allreduce_max_scalar(comm.rank() as f64));
+        assert!(res.outputs.iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn broadcast_from_root() {
+        let topo = Topology::new(3, 4);
+        let res = run_cluster(topo, |comm| {
+            let mut v = if comm.rank() == 1 { vec![42u64, 7] } else { vec![] };
+            comm.broadcast(1, &mut v);
+            v
+        });
+        assert!(res.outputs.iter().all(|v| v == &vec![42, 7]));
+    }
+
+    #[test]
+    fn gatherv_and_scatterv_roundtrip() {
+        let topo = Topology::new(4, 4);
+        let res = run_cluster(topo, |comm| {
+            let mine = vec![comm.rank() as u32; comm.rank() + 1];
+            let parts = comm.gatherv(0, &mine, CommCat::FieldRedist);
+            let back = comm.scatterv(0, parts.as_deref(), CommCat::FieldRedist);
+            back == mine
+        });
+        assert!(res.outputs.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn alltoallv_permutation() {
+        let topo = Topology::new(4, 4);
+        let res = run_cluster(topo, |comm| {
+            let bufs: Vec<Vec<u64>> = (0..comm.size())
+                .map(|d| vec![(comm.rank() * 10 + d) as u64])
+                .collect();
+            comm.alltoallv(&bufs, CommCat::FftTranspose, AlltoallMethod::Auto)
+        });
+        for (r, out) in res.outputs.iter().enumerate() {
+            for (s, part) in out.iter().enumerate() {
+                assert_eq!(part, &vec![(s * 10 + r) as u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let topo = Topology::new(4, 4);
+        let res = run_cluster(topo, |comm| {
+            comm.advance_compute(comm.rank() as f64);
+            comm.barrier();
+            comm.clock().now()
+        });
+        let max = res.outputs.iter().cloned().fold(0.0, f64::max);
+        for &t in &res.outputs {
+            assert!(t >= 3.0, "all clocks should reach the slowest rank: {t} vs {max}");
+        }
+    }
+
+    #[test]
+    fn modeled_clock_orders_pipeline() {
+        // rank 0 computes 1s then sends; rank 1 must end past 1s.
+        let topo = Topology::new(2, 4);
+        let res = run_cluster(topo, |comm| {
+            if comm.rank() == 0 {
+                comm.advance_compute(1.0);
+                comm.send(1, 9, CommCat::Ghost, &[0u8; 1024]);
+                comm.clock().now()
+            } else {
+                let _: Vec<u8> = comm.recv(0, 9, CommCat::Ghost);
+                comm.clock().now()
+            }
+        });
+        assert!(res.outputs[1] > 1.0);
+        assert!(res.outputs[1] > res.outputs[0]);
+    }
+}

@@ -1,0 +1,27 @@
+//! Wire format of the virtual cluster.
+
+use crate::stats::CommCat;
+use bytes::Bytes;
+
+/// A message in flight between two virtual ranks.
+///
+/// The payload is an owned byte buffer ([`Bytes`]), mirroring the raw device
+/// buffers CUDA-aware MPI moves between GPUs. `sent_clock` carries the
+/// sender's logical timestamp for the discrete-event timing model.
+#[derive(Clone, Debug)]
+pub struct Message {
+    /// Sending rank.
+    pub src: usize,
+    /// User tag; receives match on `(src, tag)` in FIFO order.
+    pub tag: u64,
+    /// Traffic category for accounting.
+    pub cat: CommCat,
+    /// Sender's logical clock at send time.
+    pub sent_clock: f64,
+    /// If true, the receiver only synchronizes clocks and does not charge
+    /// per-message link time (used by collectives that charge a single
+    /// collective-level cost instead).
+    pub link_free: bool,
+    /// Raw payload bytes.
+    pub payload: Bytes,
+}

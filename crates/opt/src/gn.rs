@@ -1,0 +1,360 @@
+//! The reduced-space Gauss–Newton–Krylov driver (paper Algorithm 2).
+
+use std::time::Instant;
+
+use claire_grid::{Real, VectorField};
+use claire_mpi::Comm;
+
+use crate::pcg::{pcg, PcgConfig, PcgOperator};
+
+/// The registration problem interface the driver optimizes.
+///
+/// `claire-core` implements this with the PDE-constrained objective; tests
+/// use small algebraic problems.
+pub trait GnProblem {
+    /// Objective `J(v)` (solves the state equation internally).
+    fn objective(&mut self, v: &VectorField, comm: &mut Comm) -> f64;
+
+    /// Reduced gradient `g(v)` (eq. 2). Must leave the problem's internal
+    /// state (state/adjoint trajectories) positioned at `v`, since
+    /// [`GnProblem::hess_vec`] is evaluated there.
+    fn gradient(&mut self, v: &VectorField, comm: &mut Comm) -> VectorField;
+
+    /// Gauss–Newton Hessian matvec `H(v)·ṽ` (eq. 5) at the last gradient
+    /// point.
+    fn hess_vec(&mut self, vt: &VectorField, comm: &mut Comm) -> VectorField;
+
+    /// Apply the preconditioner to a Krylov residual; `eps_k` is the outer
+    /// PCG tolerance (the inner solve of InvH0 uses `εH0·εK`).
+    fn precond(&mut self, r: &VectorField, eps_k: f64, comm: &mut Comm) -> VectorField;
+
+    /// Called after a Gauss–Newton step is accepted (InvH0 refreshes its
+    /// deformed template here).
+    fn new_iterate(&mut self, _v: &VectorField, _comm: &mut Comm) {}
+}
+
+/// Gauss–Newton options.
+#[derive(Clone, Copy, Debug)]
+pub struct GnConfig {
+    /// Cap on Gauss–Newton iterations.
+    pub max_iter: usize,
+    /// Relative gradient tolerance `εN` (paper: 5e−2).
+    pub grad_rtol: f64,
+    /// Cap on PCG iterations per Newton step.
+    pub max_pcg: usize,
+    /// Fix the PCG iteration count (the paper's scaling runs use 10 fixed
+    /// iterations "to avoid discrepancies arising from relative
+    /// tolerances"). Overrides the forcing sequence when set.
+    pub fixed_pcg: Option<usize>,
+    /// Armijo sufficient-decrease constant.
+    pub armijo_c1: f64,
+    /// Max line-search backtracks.
+    pub max_linesearch: usize,
+    /// Print per-iteration progress on rank 0.
+    pub verbose: bool,
+}
+
+impl Default for GnConfig {
+    fn default() -> Self {
+        Self {
+            max_iter: 50,
+            grad_rtol: 5e-2,
+            max_pcg: 100,
+            fixed_pcg: None,
+            armijo_c1: 1e-4,
+            max_linesearch: 20,
+            verbose: false,
+        }
+    }
+}
+
+/// Wall or modeled seconds per solver component (Table 6 / Fig. 4 columns).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Breakdown {
+    /// Preconditioner applications.
+    pub pc: f64,
+    /// Objective evaluations (state solves + line search).
+    pub obj: f64,
+    /// Gradient evaluations (state + adjoint solves).
+    pub grad: f64,
+    /// Hessian matvecs (incremental state + adjoint solves).
+    pub hess: f64,
+    /// Whole solver.
+    pub total: f64,
+}
+
+impl Breakdown {
+    /// Time outside the four instrumented components ("Other" in Fig. 4).
+    pub fn other(&self) -> f64 {
+        (self.total - self.pc - self.obj - self.grad - self.hess).max(0.0)
+    }
+}
+
+/// Statistics of one Gauss–Newton solve.
+#[derive(Clone, Debug, Default)]
+pub struct GnStats {
+    /// Gauss–Newton iterations performed.
+    pub gn_iters: usize,
+    /// PCG iterations accumulated over all Newton steps.
+    pub pcg_iters_total: usize,
+    /// Objective evaluations (≥ one per line-search trial).
+    pub obj_evals: usize,
+    /// Hessian matvecs.
+    pub hess_applies: usize,
+    /// Preconditioner applications.
+    pub pc_applies: usize,
+    /// Relative gradient norm after each iteration.
+    pub grad_rel_history: Vec<f64>,
+    /// Objective value after each iteration.
+    pub objective_history: Vec<f64>,
+    /// Wall-clock breakdown.
+    pub time: Breakdown,
+    /// Modeled (virtual cluster) breakdown.
+    pub modeled: Breakdown,
+    /// Whether the gradient tolerance was reached.
+    pub converged: bool,
+    /// Final relative gradient norm.
+    pub grad_rel: f64,
+}
+
+/// Newton-step operator wrapper: times Hessian matvecs and preconditioner
+/// applications for the Table 6 breakdown.
+struct TimedNewtonOps<'a, P: GnProblem> {
+    problem: &'a mut P,
+    eps_k: f64,
+    t_hess: f64,
+    t_pc: f64,
+    m_hess: f64,
+    m_pc: f64,
+    n_hess: usize,
+    n_pc: usize,
+}
+
+impl<P: GnProblem> PcgOperator for TimedNewtonOps<'_, P> {
+    fn apply(&mut self, p: &VectorField, comm: &mut Comm) -> VectorField {
+        let t = Instant::now();
+        let m = comm.clock().now();
+        let out = self.problem.hess_vec(p, comm);
+        self.t_hess += t.elapsed().as_secs_f64();
+        self.m_hess += comm.clock().now() - m;
+        self.n_hess += 1;
+        out
+    }
+    fn prec(&mut self, r: &VectorField, comm: &mut Comm) -> VectorField {
+        let t = Instant::now();
+        let m = comm.clock().now();
+        let out = self.problem.precond(r, self.eps_k, comm);
+        self.t_pc += t.elapsed().as_secs_f64();
+        self.m_pc += comm.clock().now() - m;
+        self.n_pc += 1;
+        out
+    }
+}
+
+/// Run the Gauss–Newton–Krylov solver from `v0`. Collective.
+pub fn gauss_newton<P: GnProblem>(
+    problem: &mut P,
+    v0: VectorField,
+    cfg: &GnConfig,
+    comm: &mut Comm,
+) -> (VectorField, GnStats) {
+    let mut stats = GnStats::default();
+    let mut v = v0;
+    let t_total = Instant::now();
+    let m_total0 = comm.clock().now();
+
+    let mut g0norm: Option<f64> = None;
+
+    for _k in 0..cfg.max_iter {
+        // gradient
+        let t0 = Instant::now();
+        let m0 = comm.clock().now();
+        let g = problem.gradient(&v, comm);
+        stats.time.grad += t0.elapsed().as_secs_f64();
+        stats.modeled.grad += comm.clock().now() - m0;
+
+        let gnorm = g.norm_l2(comm);
+        let g0 = *g0norm.get_or_insert(gnorm.max(f64::MIN_POSITIVE));
+        let rel = gnorm / g0;
+        stats.grad_rel_history.push(rel);
+        stats.grad_rel = rel;
+        if cfg.verbose && comm.rank() == 0 {
+            eprintln!(
+                "GN iter {:3}: |g|_rel = {rel:9.3e}, pcg_total = {}",
+                stats.gn_iters, stats.pcg_iters_total
+            );
+        }
+        if rel <= cfg.grad_rtol {
+            stats.converged = true;
+            break;
+        }
+
+        // Newton step: H ṽ = −g
+        let eps_k = (rel.sqrt()).min(0.5);
+        let pcg_cfg = PcgConfig {
+            tol_rel: if cfg.fixed_pcg.is_some() { 0.0 } else { eps_k },
+            max_iter: cfg.fixed_pcg.unwrap_or(cfg.max_pcg),
+            trace: false,
+        };
+        let mut rhs = g.clone();
+        rhs.scale(-1.0 as Real);
+
+        let mut ops = TimedNewtonOps {
+            problem,
+            eps_k,
+            t_hess: 0.0,
+            t_pc: 0.0,
+            m_hess: 0.0,
+            m_pc: 0.0,
+            n_hess: 0,
+            n_pc: 0,
+        };
+        let (step, pcg_res) = pcg(&rhs, None, &pcg_cfg, &mut ops, comm);
+        stats.time.hess += ops.t_hess;
+        stats.time.pc += ops.t_pc;
+        stats.modeled.hess += ops.m_hess;
+        stats.modeled.pc += ops.m_pc;
+        stats.hess_applies += ops.n_hess;
+        stats.pc_applies += ops.n_pc;
+        stats.pcg_iters_total += pcg_res.iters;
+
+        // Armijo line search on J
+        let t0 = Instant::now();
+        let m0 = comm.clock().now();
+        let j0 = problem.objective(&v, comm);
+        stats.obj_evals += 1;
+        let slope = g.inner(&step, comm);
+        let mut alpha = 1.0 as Real;
+        let mut accepted = false;
+        for _ in 0..cfg.max_linesearch {
+            let mut trial = v.clone();
+            trial.axpy(alpha, &step);
+            let j = problem.objective(&trial, comm);
+            stats.obj_evals += 1;
+            if j <= j0 + cfg.armijo_c1 * alpha as f64 * slope {
+                v = trial;
+                stats.objective_history.push(j);
+                accepted = true;
+                break;
+            }
+            alpha *= 0.5;
+        }
+        stats.time.obj += t0.elapsed().as_secs_f64();
+        stats.modeled.obj += comm.clock().now() - m0;
+        stats.gn_iters += 1;
+
+        if !accepted {
+            // line search failed — stagnation; stop with current iterate
+            break;
+        }
+        problem.new_iterate(&v, comm);
+    }
+
+    stats.time.total = t_total.elapsed().as_secs_f64();
+    stats.modeled.total = comm.clock().now() - m_total0;
+    (v, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use claire_grid::{Grid, Layout, ScalarField};
+
+    /// J(v) = ½⟨v − a, D(v − a)⟩ with diagonal SPD D.
+    struct Quadratic {
+        a: VectorField,
+        d: ScalarField,
+    }
+
+    impl Quadratic {
+        fn apply_d(&self, v: &VectorField) -> VectorField {
+            let mut out = v.clone();
+            for c in &mut out.c {
+                for (o, &d) in c.data_mut().iter_mut().zip(self.d.data()) {
+                    *o *= d;
+                }
+            }
+            out
+        }
+    }
+
+    impl GnProblem for Quadratic {
+        fn objective(&mut self, v: &VectorField, comm: &mut Comm) -> f64 {
+            let mut e = v.clone();
+            e.axpy(-1.0, &self.a);
+            let de = self.apply_d(&e);
+            0.5 * e.inner(&de, comm)
+        }
+        fn gradient(&mut self, v: &VectorField, _comm: &mut Comm) -> VectorField {
+            let mut e = v.clone();
+            e.axpy(-1.0, &self.a);
+            self.apply_d(&e)
+        }
+        fn hess_vec(&mut self, vt: &VectorField, _comm: &mut Comm) -> VectorField {
+            self.apply_d(vt)
+        }
+        fn precond(&mut self, r: &VectorField, _eps: f64, _comm: &mut Comm) -> VectorField {
+            r.clone()
+        }
+    }
+
+    #[test]
+    fn quadratic_converges_fast() {
+        let layout = Layout::serial(Grid::cube(8));
+        let mut comm = Comm::solo();
+        let mut prob = Quadratic {
+            a: VectorField::from_fns(layout, |x, _, _| x.sin(), |_, y, _| y.cos(), |_, _, z| z),
+            d: ScalarField::from_fn(layout, |x, _, _| 1.5 + x.sin().powi(2)),
+        };
+        let cfg = GnConfig { grad_rtol: 1e-8, max_iter: 10, ..Default::default() };
+        let (v, stats) = gauss_newton(&mut prob, VectorField::zeros(layout), &cfg, &mut comm);
+        assert!(stats.converged, "rel grad {}", stats.grad_rel);
+        assert!(
+            stats.gn_iters <= 8,
+            "inexact Newton with the εK forcing should converge quickly: {}",
+            stats.gn_iters
+        );
+        let mut e = v.clone();
+        e.axpy(-1.0, &prob.a);
+        assert!(e.norm_l2(&mut comm) < 1e-5);
+        // objective history is monotone decreasing
+        for w in stats.objective_history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn fixed_pcg_runs_exact_count() {
+        let layout = Layout::serial(Grid::cube(4));
+        let mut comm = Comm::solo();
+        let mut prob = Quadratic {
+            a: VectorField::from_fns(layout, |x, _, _| x.cos(), |_, _, _| 0.5, |_, _, z| z.sin()),
+            d: ScalarField::from_fn(layout, |_, y, _| 2.0 + y.cos().powi(2)),
+        };
+        let cfg = GnConfig {
+            max_iter: 2,
+            grad_rtol: 1e-30, // never satisfied
+            fixed_pcg: Some(3),
+            ..Default::default()
+        };
+        let (_, stats) = gauss_newton(&mut prob, VectorField::zeros(layout), &cfg, &mut comm);
+        assert_eq!(stats.gn_iters, 2);
+        // 3 PCG iterations per GN step, unless it converged to machine zero early
+        assert!(stats.pcg_iters_total <= 6 && stats.pcg_iters_total >= 3, "{}", stats.pcg_iters_total);
+    }
+
+    #[test]
+    fn timing_breakdown_populated() {
+        let layout = Layout::serial(Grid::cube(4));
+        let mut comm = Comm::solo();
+        let mut prob = Quadratic {
+            a: VectorField::from_fns(layout, |x, _, _| x.sin(), |_, _, _| 0.0, |_, _, _| 0.0),
+            d: ScalarField::from_fn(layout, |_, _, _| 2.0),
+        };
+        let cfg = GnConfig { grad_rtol: 1e-10, ..Default::default() };
+        let (_, stats) = gauss_newton(&mut prob, VectorField::zeros(layout), &cfg, &mut comm);
+        assert!(stats.time.total > 0.0);
+        assert!(stats.time.total + 1e-9 >= stats.time.grad);
+        assert!(stats.hess_applies > 0 && stats.pc_applies > 0 && stats.obj_evals > 0);
+    }
+}

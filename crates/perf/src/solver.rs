@@ -1,0 +1,193 @@
+//! Whole-solver cost composition (paper eq. 10) for Table 7 / Fig. 5.
+//!
+//! ```text
+//! c_total ≈ nGN · ( nCG · (2·cPDE + cH + cPC) + 2·cPDE )
+//! ```
+//!
+//! expanded into invocation counts of the three kernels for this
+//! implementation of Algorithm 2 (gradient, `nCG` Hessian matvecs + InvA
+//! preconditioner applications, and the line-search objective evaluations
+//! per Gauss–Newton iteration).
+
+use claire_mpi::model::AlltoallMethod;
+use serde::Serialize;
+
+use crate::kernels::{fd_time, fft_pair_time, ip_flops, sl_phases, WORD};
+use crate::machine::{KernelTime, Machine};
+
+/// Solver iteration counts for the composition.
+#[derive(Clone, Copy, Debug)]
+pub struct SolverCounts {
+    /// Gauss–Newton iterations.
+    pub n_gn: usize,
+    /// PCG iterations per Newton step.
+    pub n_cg: usize,
+    /// Semi-Lagrangian time steps.
+    pub nt: usize,
+    /// Cubic (true) or trilinear (false) interpolation.
+    pub cubic: bool,
+    /// Objective evaluations per Gauss–Newton iteration (line search).
+    pub obj_evals_per_gn: f64,
+}
+
+impl SolverCounts {
+    /// The paper's Table 7 configuration: 5 GN × 10 PCG, Nt = 4, linear
+    /// IP, InvA preconditioner.
+    pub fn table7() -> SolverCounts {
+        SolverCounts { n_gn: 5, n_cg: 10, nt: 4, cubic: false, obj_evals_per_gn: 2.0 }
+    }
+}
+
+/// Modeled per-kernel breakdown of a full solve (one Table 7 row).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct SolverBreakdown {
+    /// FFT kernel (spectral regularization / preconditioner).
+    pub fft: KernelTime,
+    /// Semi-Lagrangian interpolation kernel.
+    pub sl: KernelTime,
+    /// Finite-difference kernel.
+    pub fd: KernelTime,
+    /// Everything else (axpys, reductions, line-search logic).
+    pub other: KernelTime,
+    /// Modeled memory per GPU, GB (paper §3 formula).
+    pub memory_gb: f64,
+}
+
+impl SolverBreakdown {
+    /// Total modeled seconds.
+    pub fn total(&self) -> KernelTime {
+        self.fft.add(&self.sl).add(&self.fd).add(&self.other)
+    }
+}
+
+/// Invocation counts of the three kernels for one full solve.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelCounts {
+    /// 3D FFT pairs (forward + inverse).
+    pub fft_pairs: f64,
+    /// Semi-Lagrangian advection units (one unit = `(Nt+3)·N/p` queries).
+    pub sl_units: f64,
+    /// FD gradient operations (3 derivatives each).
+    pub fd_ops: f64,
+}
+
+/// Count kernel invocations per eq. (10) and this implementation of
+/// Algorithm 2.
+pub fn kernel_counts(c: &SolverCounts) -> KernelCounts {
+    let (n_gn, n_cg, nt) = (c.n_gn as f64, c.n_cg as f64, c.nt as f64);
+    let obj = c.obj_evals_per_gn;
+    // FFT pairs: 3 components per operator application
+    //   gradient: βAv (3) | per CG: Hessian βAṽ (3) + InvA (3) | objective: 3
+    let fft_pairs = n_gn * (3.0 + n_cg * 6.0 + obj * 3.0);
+    // interpolation queries in units of N/p:
+    //   trajectory: 2 RK2 sweeps × 3 components = 6
+    //   state: Nt | adjoint: 2·Nt (field + source) | incrementals: 2·2·Nt
+    let q_grad = 6.0 + nt + 2.0 * nt;
+    let q_cg = 4.0 * nt;
+    let q_obj = 6.0 + nt;
+    let queries = n_gn * (q_grad + n_cg * q_cg + obj * q_obj);
+    let sl_units = queries / (nt + 3.0);
+    // FD gradient ops: divv (1 per trajectory) + (Nt+1) state gradients in
+    // the λ∇m integral and again in the incremental-state source term
+    // (recompute path, the paper's default)
+    let fd_ops = n_gn * ((1.0 + nt + 1.0) + n_cg * 2.0 * (nt + 1.0) + obj);
+    KernelCounts { fft_pairs, sl_units, fd_ops }
+}
+
+/// Model one full solve (a Table 7 row) at paper scale.
+pub fn solver_time(machine: &Machine, n: [usize; 3], p: usize, c: &SolverCounts) -> SolverBreakdown {
+    let k = kernel_counts(c);
+    let fft1 = fft_pair_time(machine, n, p, AlltoallMethod::Auto);
+    // one SL unit = one advection; sl_phases models exactly one advection
+    let sl1 = sl_phases(machine, n, p, c.cubic, c.nt).kernel_time();
+    let fd1 = fd_time(machine, n, p);
+
+    let fft = fft1.scale(k.fft_pairs);
+    let sl = sl1.scale(k.sl_units);
+    let fd = fd1.scale(k.fd_ops);
+
+    // "other": axpys/reductions — a few dozen field sweeps per CG iteration
+    let nn = n[0] as f64 * n[1] as f64 * n[2] as f64 / p as f64;
+    let sweeps = c.n_gn as f64 * (c.n_cg as f64 + 1.0) * 30.0;
+    let other_compute = sweeps * nn * WORD / machine.device.dram_bw;
+    // reductions: 2 per CG iteration, log2(p) tree latency
+    let red = c.n_gn as f64 * c.n_cg as f64 * 4.0;
+    let topo = machine.topo(p);
+    let other_comm = red * machine.link.tree_time(8, &topo) * 2.0;
+    let other = KernelTime::new(other_compute, other_comm);
+
+    // memory per GPU: (74+Nt)·N·µ0/p + ghost layers (paper §3)
+    let d = if c.cubic { 3.0 } else { 1.0 };
+    let memory_gb = ((74.0 + c.nt as f64) * n[0] as f64 * n[1] as f64 * n[2] as f64 * WORD
+        / p as f64
+        + 30.0 * d * n[1] as f64 * n[2] as f64 * WORD)
+        / 1e9;
+
+    let _ = ip_flops(c.cubic); // constants documented in kernels
+    SolverBreakdown { fft, sl, fd, other, memory_gb }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn within(model: f64, paper: f64, factor: f64) -> bool {
+        model > paper / factor && model < paper * factor
+    }
+
+    #[test]
+    fn table7_anchor_512_4gpus() {
+        // paper: 512³ on 4 GPUs — FFT 7.33 s, SL 4.26 s, FD 1.62 s,
+        // overall 1.62e1 s, 52.5% comm, 11.2 GB/GPU
+        let m = Machine::longhorn();
+        let b = solver_time(&m, [512, 512, 512], 4, &SolverCounts::table7());
+        assert!(within(b.fft.total(), 7.33, 3.0), "FFT {}", b.fft.total());
+        assert!(within(b.sl.total(), 4.26, 3.0), "SL {}", b.sl.total());
+        assert!(within(b.fd.total(), 1.62, 3.0), "FD {}", b.fd.total());
+        assert!(within(b.total().total(), 16.2, 2.5), "total {}", b.total().total());
+        assert!(within(b.memory_gb, 11.2, 1.5), "mem {}", b.memory_gb);
+    }
+
+    #[test]
+    fn weak_scaling_comm_fraction_grows() {
+        // paper Table 7 weak scaling: 52.5% → 85.7% → 88.1% comm
+        let m = Machine::longhorn();
+        let c = SolverCounts::table7();
+        let a = solver_time(&m, [512, 512, 512], 4, &c);
+        let b = solver_time(&m, [1024, 1024, 1024], 32, &c);
+        let d = solver_time(&m, [2048, 2048, 2048], 256, &c);
+        assert!(a.total().comm_pct() < b.total().comm_pct());
+        assert!(b.total().comm_pct() < d.total().comm_pct() + 5.0);
+        assert!(b.total().comm_pct() > 60.0);
+    }
+
+    #[test]
+    fn fft_dominates_runtime() {
+        // paper Fig. 5: "the runtime is dominated by the FFT kernel"
+        let m = Machine::longhorn();
+        let b = solver_time(&m, [1024, 1024, 1024], 32, &SolverCounts::table7());
+        assert!(b.fft.total() > b.sl.total());
+        assert!(b.fft.total() > b.fd.total());
+    }
+
+    #[test]
+    fn largest_run_memory_fits_v100() {
+        // paper: 2048³ on 256 GPUs = 12.5 GB/GPU, "the largest problem we
+        // could fit"
+        let m = Machine::longhorn();
+        let b = solver_time(&m, [2048, 2048, 2048], 256, &SolverCounts::table7());
+        assert!(b.memory_gb > 8.0 && b.memory_gb < 16.0, "{}", b.memory_gb);
+    }
+
+    #[test]
+    fn strong_scaling_reduces_total() {
+        // paper Table 7 strong scaling at 512³: 16.2 → 7.72 s from 4 → 64
+        let m = Machine::longhorn();
+        let c = SolverCounts::table7();
+        let t4 = solver_time(&m, [512, 512, 512], 4, &c).total().total();
+        let t64 = solver_time(&m, [512, 512, 512], 64, &c).total().total();
+        assert!(t64 < t4, "strong scaling should reduce runtime: {t4} → {t64}");
+        // but not by 16× (communication limits it — paper gets only 2.1×)
+        assert!(t64 > t4 / 8.0, "scaling must be communication-limited");
+    }
+}

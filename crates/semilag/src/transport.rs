@@ -1,0 +1,326 @@
+//! The four transport solves of the optimality system.
+
+use claire_grid::{Real, ScalarField, VectorField};
+use claire_interp::{Interpolator, IpOrder};
+use claire_mpi::Comm;
+
+use crate::traj::Trajectory;
+
+/// Solution of the state equation: the transported intensities at every
+/// time step (`m[j] ≈ m(·, t_j)`, `j = 0..=nt`), optionally with their
+/// gradients.
+///
+/// CLAIRE stores `m` for all time steps "to avoid additional PDE solves"
+/// (§3); storing `∇m` as well is the paper's speed/memory trade-off that
+/// buys ~15% runtime for `3·Nt·N` extra words.
+pub struct StateSolution {
+    /// `m(·, t_j)` for `j = 0..=nt`.
+    pub m: Vec<ScalarField>,
+    /// `∇m(·, t_j)` if requested (the `store_grad` option).
+    pub grad_m: Option<Vec<VectorField>>,
+}
+
+impl StateSolution {
+    /// The deformed template `m(·, 1)`.
+    pub fn final_state(&self) -> &ScalarField {
+        self.m.last().expect("state solution is never empty")
+    }
+
+    /// `∇m(·, t_j)`, from the cache or recomputed with 8th-order FD.
+    pub fn grad_at(&self, j: usize, comm: &mut Comm) -> VectorField {
+        match &self.grad_m {
+            Some(g) => g[j].clone(),
+            None => claire_diff::fd::gradient(&self.m[j], comm),
+        }
+    }
+}
+
+/// Semi-Lagrangian transport driver (fixed `Nt` and interpolation order).
+pub struct Transport {
+    /// Number of time steps (paper: 4/8/16 for 256³/512³/1024³).
+    pub nt: usize,
+    /// Interpolation kernel.
+    pub order: IpOrder,
+}
+
+impl Transport {
+    /// New driver.
+    pub fn new(nt: usize, order: IpOrder) -> Transport {
+        Transport { nt, order }
+    }
+
+    /// Solve the state equation (1b) forward: `∂t m + v·∇m = 0`,
+    /// `m(0) = m0`. Returns the full time series (and gradients if
+    /// `store_grad`).
+    pub fn solve_state(
+        &self,
+        traj: &Trajectory,
+        m0: &ScalarField,
+        store_grad: bool,
+        interp: &mut Interpolator,
+        comm: &mut Comm,
+    ) -> StateSolution {
+        let mut m = Vec::with_capacity(self.nt + 1);
+        m.push(m0.clone());
+        for j in 0..self.nt {
+            let vals = interp.interp(&m[j], &traj.foot_back, comm);
+            m.push(ScalarField::from_data(*m0.layout(), vals));
+        }
+        let grad_m = store_grad.then(|| {
+            m.iter()
+                .map(|mj| claire_diff::fd::gradient(mj, comm))
+                .collect()
+        });
+        StateSolution { m, grad_m }
+    }
+
+    /// Solve a continuity equation backward in time:
+    /// `−∂t λ − ∇·(λ v) = 0` with `λ(·, 1) = final_cond`.
+    ///
+    /// Used for both the adjoint (3) (`λ(1) = m1 − m(1)`) and the
+    /// incremental adjoint (7) (`λ̃(1) = −m̃(1)`). Returns `λ(·, t_j)` for
+    /// `j = 0..=nt`. Integrates along the characteristics of `−v` with a
+    /// trapezoidal exponential source for `λ ∇·v` (2nd order).
+    pub fn solve_adjoint(
+        &self,
+        traj: &Trajectory,
+        final_cond: &ScalarField,
+        interp: &mut Interpolator,
+        comm: &mut Comm,
+    ) -> Vec<ScalarField> {
+        let layout = *final_cond.layout();
+        let mut lambda = vec![final_cond.clone()];
+        let divv = traj.div_v.data();
+        for _ in 0..self.nt {
+            let prev = lambda.last().unwrap();
+            let vals = interp.interp(prev, &traj.foot_fwd, comm);
+            let mut next = vec![0.0 as Real; vals.len()];
+            for (i, (&lam_foot, n)) in vals.iter().zip(next.iter_mut()).enumerate() {
+                let src = 0.5 * traj.dt * (traj.div_v_at_fwd[i] + divv[i]);
+                *n = lam_foot * src.exp();
+            }
+            lambda.push(ScalarField::from_data(layout, next));
+        }
+        lambda.reverse(); // index j now corresponds to time t_j
+        lambda
+    }
+
+    /// Solve the incremental state equation (6) forward:
+    /// `∂t m̃ + v·∇m̃ + ṽ·∇m = 0`, `m̃(0) = 0`. Returns `m̃(·, 1)`.
+    ///
+    /// Needs `∇m` at every step — taken from the [`StateSolution`] cache if
+    /// present (the paper's "store the gradient of the state variable"
+    /// option), otherwise recomputed with FD.
+    pub fn solve_inc_state(
+        &self,
+        traj: &Trajectory,
+        vt: &VectorField,
+        state: &StateSolution,
+        interp: &mut Interpolator,
+        comm: &mut Comm,
+    ) -> ScalarField {
+        let layout = *state.m[0].layout();
+        let n = layout.local_len();
+        // b_j = ṽ·∇m_j (source term), computed per step
+        let bdot = |grad: &VectorField| -> ScalarField {
+            let mut b = ScalarField::zeros(layout);
+            b.add_scaled_product(1.0, &vt.c[0], &grad.c[0]);
+            b.add_scaled_product(1.0, &vt.c[1], &grad.c[1]);
+            b.add_scaled_product(1.0, &vt.c[2], &grad.c[2]);
+            b
+        };
+        let mut mt = ScalarField::zeros(layout);
+        let mut b_next = bdot(&state.grad_at(0, comm));
+        for j in 0..self.nt {
+            let b_j = b_next;
+            b_next = bdot(&state.grad_at(j + 1, comm));
+            // trapezoid: m̃_{j+1}(x) = m̃_j(X) − δt/2·(b_j(X) + b_{j+1}(x))
+            let vals = interp.interp_many(&[&mt, &b_j], &traj.foot_back, comm);
+            let (mt_foot, b_foot) = (&vals[0], &vals[1]);
+            let mut next = vec![0.0 as Real; n];
+            let bn = b_next.data();
+            for i in 0..n {
+                next[i] = mt_foot[i] - 0.5 * traj.dt * (b_foot[i] + bn[i]);
+            }
+            mt = ScalarField::from_data(layout, next);
+        }
+        mt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use claire_grid::{Grid, Layout};
+    use claire_mpi::{run_cluster, Topology};
+
+    fn solo_setup(
+        n: usize,
+        nt: usize,
+    ) -> (Layout, Transport, Interpolator, Comm) {
+        let layout = Layout::serial(Grid::cube(n));
+        (layout, Transport::new(nt, IpOrder::Cubic), Interpolator::new(IpOrder::Cubic), Comm::solo())
+    }
+
+    #[test]
+    fn translation_transports_exactly() {
+        let (layout, tr, mut ip, mut comm) = solo_setup(32, 8);
+        let c = 0.5 as Real;
+        let v = VectorField::from_fns(layout, move |_, _, _| c, |_, _, _| 0.0, |_, _, _| 0.0);
+        let m0 = ScalarField::from_fn(layout, |x, _, _| x.sin());
+        let traj = Trajectory::compute(&v, tr.nt, &mut ip, &mut comm);
+        let sol = tr.solve_state(&traj, &m0, false, &mut ip, &mut comm);
+        let expect = ScalarField::from_fn(layout, move |x, _, _| (x - c).sin());
+        let err = sol
+            .final_state()
+            .data()
+            .iter()
+            .zip(expect.data())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 5e-4, "translation error {err}");
+    }
+
+    #[test]
+    fn zero_velocity_is_identity() {
+        let (layout, tr, mut ip, mut comm) = solo_setup(8, 4);
+        let v = VectorField::zeros(layout);
+        let m0 = ScalarField::from_fn(layout, |x, y, z| (x * y).sin() + z);
+        let traj = Trajectory::compute(&v, tr.nt, &mut ip, &mut comm);
+        let sol = tr.solve_state(&traj, &m0, false, &mut ip, &mut comm);
+        let err = sol
+            .final_state()
+            .data()
+            .iter()
+            .zip(m0.data())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-12, "v=0 must be exact identity: {err}");
+        // adjoint with v=0 is also the identity
+        let lam1 = ScalarField::from_fn(layout, |x, _, _| x.cos());
+        let lam = tr.solve_adjoint(&traj, &lam1, &mut ip, &mut comm);
+        assert_eq!(lam.len(), tr.nt + 1);
+        let err = lam[0]
+            .data()
+            .iter()
+            .zip(lam1.data())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-12, "adjoint with v=0: {err}");
+    }
+
+    #[test]
+    fn adjoint_conserves_mass() {
+        // the continuity equation conserves ∫λ dx exactly in the continuum
+        let (layout, tr, mut ip, mut comm) = solo_setup(24, 8);
+        let v = VectorField::from_fns(
+            layout,
+            |_, y, _| 0.3 * y.sin(),
+            |x, _, _| 0.2 * x.cos(),
+            |_, _, z| 0.1 * (2.0 * z).sin(),
+        );
+        let lam1 = ScalarField::from_fn(layout, |x, y, _| 1.0 + 0.5 * (x + y).sin());
+        let traj = Trajectory::compute(&v, tr.nt, &mut ip, &mut comm);
+        let lam = tr.solve_adjoint(&traj, &lam1, &mut ip, &mut comm);
+        let mass1 = lam1.sum(&mut comm);
+        let mass0 = lam[0].sum(&mut comm);
+        let rel = ((mass1 - mass0) / mass1).abs();
+        assert!(rel < 5e-3, "mass drift {rel}");
+    }
+
+    #[test]
+    fn incremental_state_is_directional_derivative() {
+        let (layout, tr, mut ip, mut comm) = solo_setup(16, 4);
+        let v = VectorField::from_fns(
+            layout,
+            |_, y, _| 0.2 * y.sin(),
+            |x, _, _| 0.1 * x.cos(),
+            |_, _, _| 0.0,
+        );
+        let vt = VectorField::from_fns(
+            layout,
+            |x, _, _| 0.5 * x.cos(),
+            |_, _, z| 0.3 * z.sin(),
+            |_, y, _| 0.2 * y.cos(),
+        );
+        let m0 = ScalarField::from_fn(layout, |x, y, z| x.sin() + (y - z).cos());
+
+        let traj = Trajectory::compute(&v, tr.nt, &mut ip, &mut comm);
+        let state = tr.solve_state(&traj, &m0, true, &mut ip, &mut comm);
+        let mt = tr.solve_inc_state(&traj, &vt, &state, &mut ip, &mut comm);
+
+        // finite-difference directional derivative
+        let eps = 1e-4 as Real;
+        let mut v_pert = v.clone();
+        v_pert.axpy(eps, &vt);
+        let traj_p = Trajectory::compute(&v_pert, tr.nt, &mut ip, &mut comm);
+        let m_pert = tr.solve_state(&traj_p, &m0, false, &mut ip, &mut comm);
+        let mut fd = m_pert.final_state().clone();
+        fd.axpy(-1.0, state.final_state());
+        fd.scale(1.0 / eps);
+
+        let num = {
+            let mut d = fd.clone();
+            d.axpy(-1.0, &mt);
+            d.norm_l2(&mut comm)
+        };
+        let den = fd.norm_l2(&mut comm).max(1e-12);
+        assert!(num / den < 0.05, "incremental state mismatch: rel {num}/{den}");
+    }
+
+    #[test]
+    fn store_grad_matches_recompute() {
+        let (layout, tr, mut ip, mut comm) = solo_setup(12, 4);
+        let v = VectorField::from_fns(layout, |_, y, _| 0.2 * y.sin(), |x, _, _| 0.1 * x.sin(), |_, _, _| 0.0);
+        let vt = VectorField::from_fns(layout, |x, _, _| x.cos(), |_, _, _| 0.1, |_, _, _| 0.0);
+        let m0 = ScalarField::from_fn(layout, |x, y, _| (x + y).sin());
+        let traj = Trajectory::compute(&v, tr.nt, &mut ip, &mut comm);
+        let with = tr.solve_state(&traj, &m0, true, &mut ip, &mut comm);
+        let without = tr.solve_state(&traj, &m0, false, &mut ip, &mut comm);
+        let a = tr.solve_inc_state(&traj, &vt, &with, &mut ip, &mut comm);
+        let b = tr.solve_inc_state(&traj, &vt, &without, &mut ip, &mut comm);
+        let err = a
+            .data()
+            .iter()
+            .zip(b.data())
+            .map(|(&x, &y)| (x - y).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-12, "store_grad must not change results: {err}");
+    }
+
+    #[test]
+    fn distributed_state_matches_serial() {
+        let grid = Grid::new([16, 8, 8]);
+        // serial reference
+        let layout = Layout::serial(grid);
+        let mut comm = Comm::solo();
+        let mut ip = Interpolator::new(IpOrder::Linear);
+        let tr = Transport::new(4, IpOrder::Linear);
+        let v = VectorField::from_fns(layout, |_, y, _| 0.3 * y.sin(), |x, _, _| 0.2 * x.cos(), |_, _, _| 0.1);
+        let m0 = ScalarField::from_fn(layout, |x, y, z| x.sin() + (y * 2.0).cos() + z * 0.1);
+        let traj = Trajectory::compute(&v, tr.nt, &mut ip, &mut comm);
+        let expect = tr
+            .solve_state(&traj, &m0, false, &mut ip, &mut comm)
+            .final_state()
+            .data()
+            .to_vec();
+
+        for p in [2usize, 4] {
+            let expect = expect.clone();
+            let res = run_cluster(Topology::new(p, 4), move |comm| {
+                let layout = Layout::distributed(grid, comm);
+                let v = VectorField::from_fns(layout, |_, y, _| 0.3 * y.sin(), |x, _, _| 0.2 * x.cos(), |_, _, _| 0.1);
+                let m0 = ScalarField::from_fn(layout, |x, y, z| x.sin() + (y * 2.0).cos() + z * 0.1);
+                let mut ip = Interpolator::new(IpOrder::Linear);
+                let tr = Transport::new(4, IpOrder::Linear);
+                let traj = Trajectory::compute(&v, tr.nt, &mut ip, comm);
+                let sol = tr.solve_state(&traj, &m0, false, &mut ip, comm);
+                claire_grid::redist::gather(sol.final_state(), comm).map(|g| g.into_data())
+            });
+            let got = res.outputs[0].as_ref().unwrap();
+            for (i, (a, b)) in got.iter().zip(&expect).enumerate() {
+                assert!((a - b).abs() < 1e-10, "p={p} idx={i}: {a} vs {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # CLAIRE-rs
+//!
+//! A Rust reproduction of *"Multi-Node Multi-GPU Diffeomorphic Image
+//! Registration for Large-Scale Imaging Problems"* (Brunn, Himthani, Biros,
+//! Mehl, Mang — SC 2020), the multi-node multi-GPU extension of the CLAIRE
+//! library for large-deformation diffeomorphic image registration.
+//!
+//! This umbrella crate re-exports every subsystem:
+//!
+//! * [`mpi`] — virtual cluster (ranks-as-threads) message passing with
+//!   byte-accurate traffic instrumentation and a calibrated modeled clock
+//! * [`grid`] — periodic grids, scalar/vector fields, slab decomposition
+//! * [`fft`] — mixed-radix FFTs, serial and slab-decomposed distributed 3D
+//! * [`diff`] — 8th-order finite differences and spectral operators
+//! * [`interp`] — trilinear/cubic Lagrange and distributed scattered
+//!   interpolation
+//! * [`semilag`] — semi-Lagrangian transport (state/adjoint/incremental)
+//! * [`opt`] — matrix-free PCG and Gauss–Newton–Krylov optimization
+//! * [`core`] — the registration problem, preconditioners (InvA, InvH0,
+//!   2LInvH0), β-continuation, and the end-to-end solver
+//! * [`data`] — synthetic datasets (SYN, brain phantom, CLARITY-like) and
+//!   NIfTI-1 I/O
+//! * [`perf`] — the calibrated performance model regenerating the paper's
+//!   scaling tables
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`:
+//!
+//! ```no_run
+//! use claire::core::{Claire, RegistrationConfig};
+//! use claire::data::syn::syn_problem;
+//! use claire::mpi::Comm;
+//!
+//! let mut comm = Comm::solo();
+//! let n = [32, 32, 32];
+//! let prob = syn_problem(n, &mut comm);
+//! let cfg = RegistrationConfig::default();
+//! let mut solver = Claire::new(cfg);
+//! let (velocity, report) = solver.register(&prob.template, &prob.reference, &mut comm);
+//! println!("mismatch reduced to {:.3e}", report.rel_mismatch);
+//! # let _ = velocity;
+//! ```
+
+pub use claire_core as core;
+pub use claire_data as data;
+pub use claire_diff as diff;
+pub use claire_fft as fft;
+pub use claire_grid as grid;
+pub use claire_interp as interp;
+pub use claire_mpi as mpi;
+pub use claire_opt as opt;
+pub use claire_perf as perf;
+pub use claire_semilag as semilag;

@@ -1,0 +1,103 @@
+//! Validate the performance model's communication-volume formulas against
+//! the byte-accurate traffic instrumentation of real (functional) runs on
+//! the virtual cluster. This anchors the paper-scale tables from below:
+//! the same closed forms that drive the modeled times are checked here
+//! against what the distributed kernels actually ship.
+
+use claire::fft::DistFft;
+use claire::grid::{ghost, Grid, Layout, Real, ScalarField};
+use claire::mpi::{run_cluster, CommCat, Topology};
+
+#[test]
+fn fft_transpose_volume_matches_closed_form() {
+    // paper §3.3: per-rank transpose volume is the local spectral block
+    // minus the self part: bytes = cpx · n1/p · n2 · n3c · (p-1)/p
+    for p in [2usize, 4] {
+        let n = 16;
+        let grid = Grid::new([n, n, n]);
+        let res = run_cluster(Topology::new(p, 4), move |comm| {
+            let layout = Layout::distributed(grid, comm);
+            let f = ScalarField::from_fn(layout, |x, y, z| (x + y).sin() + z.cos());
+            let dfft = DistFft::new(grid, comm);
+            let spec = dfft.forward(&f, comm);
+            let fwd_bytes = comm.stats().cat(CommCat::FftTranspose).bytes_sent;
+            let _ = dfft.inverse(spec, comm);
+            let total_bytes = comm.stats().cat(CommCat::FftTranspose).bytes_sent;
+            (fwd_bytes, total_bytes)
+        });
+        let cpx = 2 * std::mem::size_of::<Real>() as u64;
+        let n3c = (n / 2 + 1) as u64;
+        let local_block = (n as u64 / p as u64) * n as u64 * n3c * cpx;
+        let expect_fwd = local_block * (p as u64 - 1) / p as u64;
+        for (rank, &(fwd, total)) in res.outputs.iter().enumerate() {
+            assert_eq!(fwd, expect_fwd, "p={p} rank={rank}: forward transpose volume");
+            assert_eq!(total, 2 * expect_fwd, "p={p} rank={rank}: inverse doubles it");
+        }
+    }
+}
+
+#[test]
+fn ghost_volume_matches_closed_form() {
+    // paper §3.2: halo message size is O(N2·N3) per side per plane
+    for (p, width) in [(2usize, 4usize), (4, 2), (4, 4)] {
+        let grid = Grid::new([16, 8, 6]);
+        let res = run_cluster(Topology::new(p, 4), move |comm| {
+            let layout = Layout::distributed(grid, comm);
+            let f = ScalarField::from_fn(layout, |x, _, _| x.sin());
+            let _ = ghost::exchange(&f, width, comm);
+            comm.stats().cat(CommCat::Ghost).bytes_sent
+        });
+        let expect = (2 * width * 8 * 6 * std::mem::size_of::<Real>()) as u64;
+        for (rank, &bytes) in res.outputs.iter().enumerate() {
+            assert_eq!(bytes, expect, "p={p} w={width} rank={rank}");
+        }
+    }
+}
+
+#[test]
+fn scatter_volume_bounded_by_cfl() {
+    // paper §3.1: the query scatter volume is O(umax·N2·N3) — only the
+    // CFL-deep boundary layer of points leaves the rank.
+    let grid = Grid::new([16, 8, 8]);
+    let res = run_cluster(Topology::new(4, 4), move |comm| {
+        let layout = Layout::distributed(grid, comm);
+        let m0 = ScalarField::from_fn(layout, |x, y, _| (x + y).sin());
+        let v = claire::grid::VectorField::from_fns(
+            layout,
+            |_, y, _| 0.3 * y.sin(), // max displacement 0.3·dt << h·1
+            |_, _, _| 0.0,
+            |_, _, _| 0.0,
+        );
+        let mut ip = claire::interp::Interpolator::new(claire::interp::IpOrder::Linear);
+        let tr = claire::semilag::Transport::new(4, claire::interp::IpOrder::Linear);
+        let traj = claire::semilag::Trajectory::compute(&v, 4, &mut ip, comm);
+        let s0 = comm.stats().cat(CommCat::Scatter).bytes_sent;
+        let _ = tr.solve_state(&traj, &m0, false, &mut ip, comm);
+        (comm.stats().cat(CommCat::Scatter).bytes_sent - s0, traj.cfl)
+    });
+    for (rank, &(bytes, cfl)) in res.outputs.iter().enumerate() {
+        assert!(cfl < 1.0, "test velocity should be sub-CFL");
+        // bound: nt steps × ceil(cfl+1) boundary planes × plane points × 24 B
+        let bound = 4 * 2 * 8 * 8 * std::mem::size_of::<[Real; 3]>() as u64;
+        assert!(bytes <= bound, "rank {rank}: scatter {bytes} exceeds CFL bound {bound}");
+    }
+}
+
+#[test]
+fn modeled_times_scale_with_volume() {
+    // double the plane size -> the modeled ghost time roughly doubles
+    // (planes must be large enough that bandwidth, not latency, dominates)
+    let t = |n2: usize| {
+        let grid = Grid::new([8, n2, 64]);
+        let res = run_cluster(Topology::new(2, 4), move |comm| {
+            let layout = Layout::distributed(grid, comm);
+            let f = ScalarField::from_fn(layout, |x, _, _| x.sin());
+            let _ = ghost::exchange(&f, 4, comm);
+            comm.stats().cat(CommCat::Ghost).modeled_secs
+        });
+        res.outputs.iter().cloned().fold(0.0, f64::max)
+    };
+    let t64 = t(64);
+    let t128 = t(128);
+    assert!(t128 > 1.2 * t64, "modeled ghost time should grow with N2: {t64} vs {t128}");
+}
