@@ -117,7 +117,10 @@ fn main() {
         );
         let _ = tr;
     }
-    println!("expected: cubic ~{}x the flops of linear but far more accurate; the spline", 482 / 30);
+    println!(
+        "expected: cubic ~{}x the flops of linear but far more accurate; the spline",
+        482 / 30
+    );
     println!("kernel matches cubic accuracy but pays a global prefilter per advected field —");
     println!("the communication the paper avoids by choosing GPU-TXTLAG for multi-GPU runs.");
 
@@ -168,6 +171,8 @@ fn main() {
             prob.pc.inner_iters, amp
         );
     }
-    println!("expected: without the floor the inner solve works much harder (or stagnates) as β → 0.");
+    println!(
+        "expected: without the floor the inner solve works much harder (or stagnates) as β → 0."
+    );
     let _: Option<VectorField> = None;
 }

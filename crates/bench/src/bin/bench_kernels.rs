@@ -1,0 +1,190 @@
+//! Kernel bench smoke-run: per-kernel ns/grid-point, threads 1 vs. max.
+//!
+//! Emits `BENCH_kernels.json` in the repo root (or the path given as the
+//! first CLI argument). Measures the three computational kernels of the
+//! paper (§3) — 8th-order FD gradient, 3D FFT round-trip, cubic Lagrange
+//! interpolation — plus an axpy stream op, at 64³ and 128³, once with the
+//! parallel layer pinned to 1 thread and once at the host's hardware
+//! concurrency. On a single-core host the "max" run degenerates to 1
+//! thread; an extra oversubscribed 8-thread row is recorded in that case so
+//! the parallel code path is still exercised and its overhead visible.
+
+use std::time::Instant;
+
+use claire_diff::fd::{self, FdScratch};
+use claire_fft::{Cpx, DistFft, Fft3};
+use claire_grid::{Grid, Layout, Real, ScalarField, VectorField};
+use claire_interp::{Interpolator, IpOrder};
+use claire_mpi::{run_cluster, Comm, Topology};
+use claire_par::{set_threads, timing};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct BenchRow {
+    kernel: String,
+    n: usize,
+    threads: usize,
+    oversubscribed: bool,
+    reps: usize,
+    total_ms: f64,
+    ns_per_point: f64,
+}
+
+#[derive(Serialize)]
+struct CounterRow {
+    name: String,
+    calls: u64,
+    total_ms: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    host_threads: usize,
+    grids: Vec<usize>,
+    results: Vec<BenchRow>,
+    timing_counters: Vec<CounterRow>,
+}
+
+fn test_field(n: usize) -> ScalarField {
+    ScalarField::from_fn(Layout::serial(Grid::cube(n)), |x, y, z| {
+        (x + 0.3 * y).sin() * (2.0 * z).cos() + (z - 0.1 * x).sin()
+    })
+}
+
+/// Time `reps` runs of `f` and convert to a result row.
+fn measure(
+    kernel: &str,
+    n: usize,
+    threads: usize,
+    oversubscribed: bool,
+    reps: usize,
+    mut f: impl FnMut(),
+) -> BenchRow {
+    f(); // warm-up (first-touch, plan setup inside closures is hoisted out)
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    let total = t0.elapsed();
+    let points = (n * n * n * reps) as f64;
+    BenchRow {
+        kernel: kernel.to_string(),
+        n,
+        threads,
+        oversubscribed,
+        reps,
+        total_ms: total.as_secs_f64() * 1e3,
+        ns_per_point: total.as_nanos() as f64 / points,
+    }
+}
+
+fn bench_at(n: usize, threads: usize, oversubscribed: bool, out: &mut Vec<BenchRow>) {
+    set_threads(threads);
+    let reps = if n >= 128 { 2 } else { 5 };
+    let f = test_field(n);
+    let grid = f.layout().grid;
+
+    // FD8 gradient (allocation-free variant, scratch reused across reps)
+    {
+        let mut comm = Comm::solo();
+        let mut g = VectorField::zeros(*f.layout());
+        let mut scratch = FdScratch::new();
+        out.push(measure("fd_gradient", n, threads, oversubscribed, reps, || {
+            fd::gradient_into(&f, &mut comm, &mut g, &mut scratch);
+        }));
+    }
+
+    // serial 3D FFT round-trip (the single-rank cuFFT path)
+    {
+        let plan = Fft3::new(grid);
+        let mut spec = vec![Cpx::ZERO; plan.spectral_len()];
+        let mut back = vec![0.0 as Real; grid.len()];
+        out.push(measure("fft_roundtrip", n, threads, oversubscribed, reps, || {
+            plan.forward(f.data(), &mut spec);
+            plan.inverse(&mut spec, &mut back);
+        }));
+    }
+
+    // cubic Lagrange interpolation, one off-grid query per grid point
+    {
+        let h = grid.spacing();
+        let queries: Vec<[Real; 3]> = claire_semilag::traj::grid_points(f.layout())
+            .into_iter()
+            .map(|p| [p[0] + 0.37 * h[0], p[1] - 0.21 * h[1], p[2] + 0.11 * h[2]])
+            .collect();
+        let mut comm = Comm::solo();
+        let mut ip = Interpolator::new(IpOrder::Cubic);
+        out.push(measure("interp_cubic", n, threads, oversubscribed, reps, || {
+            std::hint::black_box(ip.interp(&f, &queries, &mut comm));
+        }));
+    }
+
+    // axpy stream op (memory-bandwidth bound)
+    {
+        let g = test_field(n);
+        let mut a = f.clone();
+        out.push(measure("axpy", n, threads, oversubscribed, reps * 4, || {
+            a.axpy(1.0000001, &g);
+        }));
+    }
+
+    // distributed FFT round-trip on a 2-rank virtual cluster (slab
+    // decomposition + alltoallv transpose; wall time includes the
+    // in-process channel traffic both ranks generate)
+    {
+        let row = run_cluster(Topology::new(2, 2), move |comm| {
+            let layout = Layout::distributed(grid, comm);
+            let f = ScalarField::from_fn(layout, |x, y, z| {
+                (x + 0.3 * y).sin() * (2.0 * z).cos() + (z - 0.1 * x).sin()
+            });
+            let dfft = DistFft::new(grid, comm);
+            measure("fft_dist_roundtrip_p2", n, threads, oversubscribed, reps, || {
+                let spec = dfft.forward(&f, comm);
+                std::hint::black_box(dfft.inverse(spec, comm));
+            })
+        })
+        .outputs
+        .remove(0);
+        out.push(row);
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_kernels.json".into());
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    // threads 1 vs. max; on a 1-core host add an oversubscribed 8-thread
+    // run so the parallel path is still exercised
+    let mut configs = vec![(1usize, false)];
+    if host > 1 {
+        configs.push((host, false));
+    } else {
+        configs.push((8, true));
+    }
+
+    timing::reset();
+    let mut results = Vec::new();
+    for n in [64usize, 128] {
+        for &(threads, over) in &configs {
+            eprintln!("bench: {n}^3 with {threads} thread(s)...");
+            bench_at(n, threads, over, &mut results);
+        }
+    }
+    set_threads(0); // restore default resolution
+
+    let counters = timing::snapshot()
+        .into_iter()
+        .filter(|s| s.calls > 0)
+        .map(|s| CounterRow {
+            name: s.name.to_string(),
+            calls: s.calls,
+            total_ms: s.nanos as f64 / 1e6,
+        })
+        .collect();
+
+    let report =
+        Report { host_threads: host, grids: vec![64, 128], results, timing_counters: counters };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, json + "\n").expect("write BENCH_kernels.json");
+    eprintln!("wrote {out_path}");
+}

@@ -120,5 +120,7 @@ fn main() {
             e.two_level_iters
         );
     }
-    println!("\nshape check: InvA worst and β-sensitive; InvH0/2LInvH0 few iterations, ~β-independent.");
+    println!(
+        "\nshape check: InvA worst and β-sensitive; InvH0/2LInvH0 few iterations, ~β-independent."
+    );
 }

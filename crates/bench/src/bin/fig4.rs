@@ -21,7 +21,9 @@ fn main() {
     let reference = brain::subject("na01", layout, &mut comm);
     let template = brain::subject("na10", layout, &mut comm);
 
-    header(&format!("Fig. 4 — solver runtime breakdown at {n}^3 (na10 → na01, modeled V100 seconds)"));
+    header(&format!(
+        "Fig. 4 — solver runtime breakdown at {n}^3 (na10 → na01, modeled V100 seconds)"
+    ));
     let mut rows = Vec::new();
     for pc in [PrecondKind::InvA, PrecondKind::InvH0, PrecondKind::TwoLevelInvH0] {
         let cfg = RegistrationConfig {
@@ -37,8 +39,9 @@ fn main() {
     }
     let max_total = rows.iter().map(|r| r.modeled_total).fold(0.0, f64::max);
     for r in &rows {
-        let other = (r.modeled_total - r.modeled_pc - r.modeled_obj - r.modeled_grad - r.modeled_hess)
-            .max(0.0);
+        let other =
+            (r.modeled_total - r.modeled_pc - r.modeled_obj - r.modeled_grad - r.modeled_hess)
+                .max(0.0);
         println!(
             "{:>8}  |{}| total {:.3e}s",
             r.pc,
@@ -53,9 +56,15 @@ fn main() {
     }
 
     println!("\npaper reference (256^3, na10, seconds): ");
-    println!("  InvReg : PC 0.558 / Obj 0.25  / Grad 0.525 / Hess 4.76 / Other 1.52   (total 7.61)");
-    println!("  InvH0  : PC 3.17  / Obj 0.248 / Grad 0.525 / Hess 1.91 / Other 1.4    (total 7.25)");
-    println!("  2LInvH0: PC 1.22  / Obj 0.249 / Grad 0.526 / Hess 2.01 / Other 1.45   (total 5.45)");
+    println!(
+        "  InvReg : PC 0.558 / Obj 0.25  / Grad 0.525 / Hess 4.76 / Other 1.52   (total 7.61)"
+    );
+    println!(
+        "  InvH0  : PC 3.17  / Obj 0.248 / Grad 0.525 / Hess 1.91 / Other 1.4    (total 7.25)"
+    );
+    println!(
+        "  2LInvH0: PC 1.22  / Obj 0.249 / Grad 0.526 / Hess 2.01 / Other 1.45   (total 5.45)"
+    );
     println!("\nshape check: InvA spends its time in Hessian matvecs; InvH0 moves that cost into");
     println!("the preconditioner; 2LInvH0 cuts the PC cost ~2-3x by solving on the coarse grid.");
 }

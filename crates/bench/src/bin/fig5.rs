@@ -11,10 +11,7 @@ fn main() {
     let counts = SolverCounts::table7();
 
     header("Fig. 5 (top) — strong scaling 512^3 (modeled seconds: FFT / SL / FD / Other)");
-    let strong: Vec<_> = TABLE7
-        .iter()
-        .filter(|r| r.size == [512, 512, 512])
-        .collect();
+    let strong: Vec<_> = TABLE7.iter().filter(|r| r.size == [512, 512, 512]).collect();
     let max = strong
         .iter()
         .map(|r| solver_time(&machine, r.size, r.gpus, &counts).total().total())
@@ -65,6 +62,8 @@ fn main() {
             r.fd.0,
         );
     }
-    println!("\nshape check: \"the runtime is dominated by the FFT kernel\" and \"almost the entire");
+    println!(
+        "\nshape check: \"the runtime is dominated by the FFT kernel\" and \"almost the entire"
+    );
     println!("runtime of our solver is spent in the three main computational kernels\".");
 }

@@ -22,8 +22,15 @@ fn main() {
     header("Table 2A — functional semi-Lagrangian advection on the virtual cluster");
     println!(
         "{:>14} {:>5} | {:>11} {:>11} {:>11} {:>13} {:>11} | {:>12} {:>12}",
-        "size", "GPUs", "ghost_comm", "interp_comm", "scatter_comm", "interp_kernel", "scatter_buf",
-        "ghost bytes", "scatter bytes"
+        "size",
+        "GPUs",
+        "ghost_comm",
+        "interp_comm",
+        "scatter_comm",
+        "interp_kernel",
+        "scatter_buf",
+        "ghost bytes",
+        "scatter bytes"
     );
     // weak scaling: 1 -> 2 -> 4 virtual GPUs, growing the grid alongside
     let cases = [([n, n, n], 1usize), ([2 * n, n, n], 2), ([2 * n, 2 * n, n], 4)];
@@ -52,8 +59,15 @@ fn main() {
         let w = stats.wall;
         println!(
             "{:>14} {:>5} | {:>11.3e} {:>11.3e} {:>11.3e} {:>13.3e} {:>11.3e} | {:>12} {:>12}",
-            fmt_size(size), p, w.ghost_comm, w.interp_comm, w.scatter_comm, w.interp_kernel,
-            w.scatter_mpi_buffer, gb, sb
+            fmt_size(size),
+            p,
+            w.ghost_comm,
+            w.interp_comm,
+            w.scatter_comm,
+            w.interp_kernel,
+            w.scatter_mpi_buffer,
+            gb,
+            sb
         );
         record_json(
             "table2",
@@ -67,9 +81,14 @@ fn main() {
     header("Table 2B — paper scale: modeled (this work) vs published (paper)");
     println!(
         "{:>14} {:>5} | {:>22} {:>22} {:>22} {:>24} {:>22} {:>18}",
-        "size", "GPUs",
-        "ghost_comm m|p", "interp_comm m|p", "scatter_comm m|p", "interp_kernel m|p",
-        "scatter_buf m|p", "total m|p"
+        "size",
+        "GPUs",
+        "ghost_comm m|p",
+        "interp_comm m|p",
+        "scatter_comm m|p",
+        "interp_kernel m|p",
+        "scatter_buf m|p",
+        "total m|p"
     );
     let machine = Machine::longhorn();
     for row in &TABLE2 {
@@ -85,6 +104,8 @@ fn main() {
             m.total(), row.total,
         );
     }
-    println!("\nshape check: interp_kernel ~constant under weak scaling; ghost/scatter/interp comm");
+    println!(
+        "\nshape check: interp_kernel ~constant under weak scaling; ghost/scatter/interp comm"
+    );
     println!("roughly double whenever N2 or N3 doubles; communication dominates beyond 16 GPUs.");
 }

@@ -26,7 +26,8 @@ fn main() {
         let grid = Grid::new(size);
         let res = run_cluster(Topology::new(p, 4), move |comm| {
             let layout = Layout::distributed(grid, comm);
-            let f = ScalarField::from_fn(layout, |x, y, z| (x + 0.3).sin() * (2.0 * y).cos() + z.sin());
+            let f =
+                ScalarField::from_fn(layout, |x, y, z| (x + 0.3).sin() * (2.0 * y).cos() + z.sin());
             let t0 = std::time::Instant::now();
             let m0 = comm.clock().now();
             let _ = claire_diff::fd::gradient(&f, comm);
@@ -41,7 +42,11 @@ fn main() {
         let bytes: u64 = res.outputs.iter().map(|o| o.2).sum();
         println!(
             "{:>5} {:>14} | {:>12.3e} {:>14.3e} | {:>12}",
-            p, fmt_size(size), wall, modeled, bytes
+            p,
+            fmt_size(size),
+            wall,
+            modeled,
+            bytes
         );
         record_json(
             "table3",
@@ -52,7 +57,16 @@ fn main() {
     header("Table 3B — paper scale: modeled (m) vs published (p)");
     println!(
         "{:>5} {:>14} | {:>10} {:>10} | {:>10} {:>10} | {:>10} {:>10} | {:>7} {:>7}",
-        "GPUs", "size", "comm m", "comm p", "kernel m", "kernel p", "total m", "total p", "%c m", "%c p"
+        "GPUs",
+        "size",
+        "comm m",
+        "comm p",
+        "kernel m",
+        "kernel p",
+        "total m",
+        "total p",
+        "%c m",
+        "%c p"
     );
     let machine = Machine::longhorn();
     for row in &TABLE3 {

@@ -43,7 +43,14 @@ fn main() {
             }
             println!(
                 "{:>14} {:>5} | {:>8.1} {:>8.1} | {:>8.1} {:>8.1} | {:>6} {:>8}k",
-                fmt_size(n), p, bw_mpi, row.mpi[ti], bw_p2p, row.p2p[ti], sw, per_pair / 1024
+                fmt_size(n),
+                p,
+                bw_mpi,
+                row.mpi[ti],
+                bw_p2p,
+                row.p2p[ti],
+                sw,
+                per_pair / 1024
             );
         }
     }

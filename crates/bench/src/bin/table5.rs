@@ -7,10 +7,10 @@
 use claire_bench::{bench_n, fmt_size, header, record_json};
 use claire_fft::DistFft;
 use claire_grid::{Grid, Layout, ScalarField};
+use claire_mpi::AlltoallMethod;
 use claire_mpi::{run_cluster, CommCat, Topology};
 use claire_perf::paper::{TABLE45_TASKS, TABLE5};
 use claire_perf::{fft_pair_time, Machine};
-use claire_mpi::AlltoallMethod;
 
 fn main() {
     let n = bench_n();
@@ -24,7 +24,8 @@ fn main() {
         let grid = Grid::new(size);
         let res = run_cluster(Topology::new(p, 4), move |comm| {
             let layout = Layout::distributed(grid, comm);
-            let f = ScalarField::from_fn(layout, |x, y, z| (x + 0.2).sin() * y.cos() + (2.0 * z).sin());
+            let f =
+                ScalarField::from_fn(layout, |x, y, z| (x + 0.2).sin() * y.cos() + (2.0 * z).sin());
             let dfft = DistFft::new(grid, comm);
             let t0 = std::time::Instant::now();
             let m0 = comm.clock().now();
@@ -45,11 +46,18 @@ fn main() {
         let formula = if p == 1 { 0 } else { 2 * ncpx * cpx_bytes * (p as u64 - 1) / p as u64 };
         println!(
             "{:>14} {:>5} | {:>12.3e} {:>14.3e} | {:>16} {:>14}",
-            fmt_size(size), p, wall, modeled, bytes, formula
+            fmt_size(size),
+            p,
+            wall,
+            modeled,
+            bytes,
+            formula
         );
         record_json(
             "table5",
-            &format!("{{\"size\":{size:?},\"p\":{p},\"wall\":{wall:.4e},\"transpose_bytes\":{bytes}}}"),
+            &format!(
+                "{{\"size\":{size:?},\"p\":{p},\"wall\":{wall:.4e},\"transpose_bytes\":{bytes}}}"
+            ),
         );
     }
 

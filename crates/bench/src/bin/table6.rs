@@ -84,18 +84,23 @@ fn main() {
     for row in &TABLE6 {
         println!(
             "{:>8} {:>8} {:>4}x{}x{} {:>5} {:>4} {:>5} {:>9.2e} {:>9.2e} {:>9.3}",
-            row.data, row.pc, row.size[0], row.size[1], row.size[2], row.gpus,
-            row.gn, row.pcg, row.mismatch, row.grad_rel, row.total
+            row.data,
+            row.pc,
+            row.size[0],
+            row.size[1],
+            row.size[2],
+            row.gpus,
+            row.gn,
+            row.pcg,
+            row.mismatch,
+            row.grad_rel,
+            row.total
         );
     }
 
     // headline shape checks
     let pcg_of = |data: &str, pc: &str| {
-        reports
-            .iter()
-            .find(|r| r.data == data && r.pc == pc)
-            .map(|r| r.pcg_iters)
-            .unwrap_or(0)
+        reports.iter().find(|r| r.data == data && r.pc == pc).map(|r| r.pcg_iters).unwrap_or(0)
     };
     println!("\nshape check (paper: InvH0 variants cut outer PCG iterations 2-3x vs InvA):");
     for s in ["na02", "na03", "na10"] {

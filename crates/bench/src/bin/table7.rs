@@ -19,13 +19,20 @@ use claire_perf::{solver_time, Machine, SolverCounts};
 
 fn main() {
     let n = bench_n();
-    header("Table 7A — functional fixed-work solves (5 GN x 10 PCG, InvA, SYN) on the virtual cluster");
+    header(
+        "Table 7A — functional fixed-work solves (5 GN x 10 PCG, InvA, SYN) on the virtual cluster",
+    );
     println!(
         "{:>12} {:>5} | {:>10} {:>12} {:>8} | {:>14} {:>10}",
         "size", "GPUs", "wall (s)", "modeled (s)", "%comm", "total MB sent", "mem model"
     );
-    for (size, p) in [([n, n, n], 1usize), ([n, n, n], 2), ([n, n, n], 4), ([2 * n, n, n], 2), ([2 * n, 2 * n, n], 4)]
-    {
+    for (size, p) in [
+        ([n, n, n], 1usize),
+        ([n, n, n], 2),
+        ([n, n, n], 4),
+        ([2 * n, n, n], 2),
+        ([2 * n, 2 * n, n], 4),
+    ] {
         let grid = claire_grid::Grid::new(size);
         let res = run_cluster(Topology::new(p, 4), move |comm| {
             let layout = Layout::distributed(grid, comm);
@@ -44,7 +51,8 @@ fn main() {
             };
             let t0 = std::time::Instant::now();
             let mut claire = Claire::new(cfg);
-            let (_, report) = claire.register_from(&prob.template, &prob.reference, None, "SYN", comm);
+            let (_, report) =
+                claire.register_from(&prob.template, &prob.reference, None, "SYN", comm);
             (t0.elapsed().as_secs_f64(), report)
         });
         let wall = res.outputs.iter().map(|o| o.0).fold(0.0, f64::max);
@@ -54,7 +62,13 @@ fn main() {
         let mem = memory::estimate(grid, 4, p, IpOrder::Linear, 4).total_gb();
         println!(
             "{:>12} {:>5} | {:>10.2} {:>12.4} {:>8.1} | {:>14.2} {:>9.3}G",
-            fmt_size(size), p, wall, modeled, pct, mb, mem
+            fmt_size(size),
+            p,
+            wall,
+            modeled,
+            pct,
+            mb,
+            mem
         );
         record_json(
             "table7",
@@ -86,5 +100,7 @@ fn main() {
         );
     }
     println!("\nshape check: FFT dominates; %comm grows towards ~90% at scale; strong scaling of");
-    println!("512^3 saturates (communication-bound); 2048^3 on 256 GPUs is memory-limited (~12.5 GB).");
+    println!(
+        "512^3 saturates (communication-bound); 2048^3 on 256 GPUs is memory-limited (~12.5 GB)."
+    );
 }

@@ -27,20 +27,13 @@ use std::io::Write;
 /// Base grid extent for functional runs (default 32; override with the
 /// `CLAIRE_BENCH_N` environment variable).
 pub fn bench_n() -> usize {
-    std::env::var("CLAIRE_BENCH_N")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(32)
+    std::env::var("CLAIRE_BENCH_N").ok().and_then(|s| s.parse().ok()).unwrap_or(32)
 }
 
 /// Render a simple horizontal bar of `value` against `max` (Fig. 4/5
 /// text-mode bars).
 pub fn bar(value: f64, max: f64, width: usize) -> String {
-    let filled = if max > 0.0 {
-        ((value / max) * width as f64).round() as usize
-    } else {
-        0
-    };
+    let filled = if max > 0.0 { ((value / max) * width as f64).round() as usize } else { 0 };
     let mut s = String::with_capacity(width);
     for i in 0..width {
         s.push(if i < filled { '█' } else { '·' });

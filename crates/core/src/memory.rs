@@ -49,7 +49,13 @@ impl MemoryEstimate {
 ///
 /// `word` is the scalar size in bytes: pass 4 to reproduce the paper's
 /// single-precision numbers regardless of the build's `Real`.
-pub fn estimate(grid: Grid, nt: usize, nranks: usize, order: IpOrder, word: usize) -> MemoryEstimate {
+pub fn estimate(
+    grid: Grid,
+    nt: usize,
+    nranks: usize,
+    order: IpOrder,
+    word: usize,
+) -> MemoryEstimate {
     let n = grid.len() as u64;
     let per_rank = |units: u64| units * n * word as u64 / nranks as u64;
     let d = match order {

@@ -42,7 +42,12 @@ pub fn jaccard(a: &ScalarField, b: &ScalarField, threshold: Real, comm: &mut Com
 
 /// Relative L2 mismatch `‖a − b‖ / ‖r − b‖` (1.0 = no better than the
 /// unregistered baseline `r`). Collective.
-pub fn rel_mismatch(a: &ScalarField, b: &ScalarField, baseline: &ScalarField, comm: &mut Comm) -> f64 {
+pub fn rel_mismatch(
+    a: &ScalarField,
+    b: &ScalarField,
+    baseline: &ScalarField,
+    comm: &mut Comm,
+) -> f64 {
     let mut num = a.clone();
     num.axpy(-1.0, b);
     let mut den = baseline.clone();

@@ -99,9 +99,7 @@ impl RegProblem {
     /// Solve the state equation at `v` and return `m(·, 1)`. Collective.
     pub fn deformed_template(&mut self, v: &VectorField, comm: &mut Comm) -> ScalarField {
         let traj = Trajectory::compute(v, self.cfg.nt, &mut self.interp, comm);
-        let sol = self
-            .transport
-            .solve_state(&traj, &self.m0, false, &mut self.interp, comm);
+        let sol = self.transport.solve_state(&traj, &self.m0, false, &mut self.interp, comm);
         sol.m.into_iter().next_back().unwrap()
     }
 
@@ -114,7 +112,6 @@ impl RegProblem {
         den.axpy(-1.0, &self.m1);
         num.norm_l2(comm) / den.norm_l2(comm).max(f64::MIN_POSITIVE)
     }
-
 }
 
 /// `∫ λ(t) ∇m(t) dt` by trapezoidal quadrature over the stored series.
@@ -154,16 +151,18 @@ impl GnProblem for RegProblem {
     /// each Gauss-Newton iteration".
     fn gradient(&mut self, v: &VectorField, comm: &mut Comm) -> VectorField {
         let traj = Trajectory::compute(v, self.cfg.nt, &mut self.interp, comm);
-        let state =
-            self.transport
-                .solve_state(&traj, &self.m0, self.cfg.store_grad, &mut self.interp, comm);
+        let state = self.transport.solve_state(
+            &traj,
+            &self.m0,
+            self.cfg.store_grad,
+            &mut self.interp,
+            comm,
+        );
 
         // adjoint final condition λ(1) = m1 − m(1)
         let mut lam1 = self.m1.clone();
         lam1.axpy(-1.0, state.final_state());
-        let lambda = self
-            .transport
-            .solve_adjoint(&traj, &lam1, &mut self.interp, comm);
+        let lambda = self.transport.solve_adjoint(&traj, &lam1, &mut self.interp, comm);
 
         // refresh m̄ for InvH0/2LInvH0
         let mbar = state.final_state().clone();
@@ -179,20 +178,15 @@ impl GnProblem for RegProblem {
     /// Gauss–Newton matvec `Hṽ = βAṽ + ∫ λ̃ ∇m dt` (eq. 5), requiring the
     /// incremental state (6) and incremental adjoint (7) solves.
     fn hess_vec(&mut self, vt: &VectorField, comm: &mut Comm) -> VectorField {
-        let cur = self
-            .cur
-            .take()
-            .expect("hess_vec called before gradient (no linearization point)");
+        let cur =
+            self.cur.take().expect("hess_vec called before gradient (no linearization point)");
         // solve (6): m̃(1)
         let mt_final =
-            self.transport
-                .solve_inc_state(&cur.traj, vt, &cur.state, &mut self.interp, comm);
+            self.transport.solve_inc_state(&cur.traj, vt, &cur.state, &mut self.interp, comm);
         // solve (7): λ̃ with final condition −m̃(1)
         let mut lt1 = mt_final;
         lt1.scale(-1.0);
-        let lambda_t = self
-            .transport
-            .solve_adjoint(&cur.traj, &lt1, &mut self.interp, comm);
+        let lambda_t = self.transport.solve_adjoint(&cur.traj, &lt1, &mut self.interp, comm);
         let mut hv = self.spectral.reg_apply(vt, self.beta, comm);
         let integral = lambda_grad_integral(self.layout, self.cfg.nt, &cur.state, &lambda_t, comm);
         self.cur = Some(cur);
@@ -278,8 +272,18 @@ mod tests {
         let v = test_velocity(layout);
         let _ = prob.gradient(&v, &mut comm); // set linearization point
 
-        let x = VectorField::from_fns(layout, |x, _, _| x.sin(), |_, y, _| y.cos(), |_, _, z| 0.5 * z.sin());
-        let y = VectorField::from_fns(layout, |_, y, _| (2.0 * y).sin(), |x, _, _| 0.3 * x.cos(), |_, _, z| z.cos());
+        let x = VectorField::from_fns(
+            layout,
+            |x, _, _| x.sin(),
+            |_, y, _| y.cos(),
+            |_, _, z| 0.5 * z.sin(),
+        );
+        let y = VectorField::from_fns(
+            layout,
+            |_, y, _| (2.0 * y).sin(),
+            |x, _, _| 0.3 * x.cos(),
+            |_, _, z| z.cos(),
+        );
         let hx = prob.hess_vec(&x, &mut comm);
         let hy = prob.hess_vec(&y, &mut comm);
         let a = x.inner(&hy, &mut comm);

@@ -192,10 +192,7 @@ mod tests {
                 (-d2 / 1.2).exp()
             }
         };
-        (
-            ScalarField::from_fn(layout, blob(3.0)),
-            ScalarField::from_fn(layout, blob(3.0 + shift)),
-        )
+        (ScalarField::from_fn(layout, blob(3.0)), ScalarField::from_fn(layout, blob(3.0 + shift)))
     }
 
     #[test]

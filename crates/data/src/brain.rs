@@ -77,8 +77,7 @@ pub fn random_smooth_velocity(
             })
             .collect()
     };
-    let comps: Vec<Vec<(Real, [i32; 3], [Real; 3])>> =
-        (0..3).map(|_| make_coeffs(4)).collect();
+    let comps: Vec<Vec<(Real, [i32; 3], [Real; 3])>> = (0..3).map(|_| make_coeffs(4)).collect();
     let norm = amplitude as Real / 4.0;
     let eval = move |coeffs: &[(Real, [i32; 3], [Real; 3])], x: [Real; 3]| -> Real {
         coeffs

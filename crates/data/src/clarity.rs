@@ -46,9 +46,9 @@ pub fn volume(layout: Layout, seed: u64, _comm: &mut Comm) -> ScalarField {
     let vessels: Vec<(Real, Real, Real, Real)> = (0..6)
         .map(|_| {
             (
-                rng.random_range(0.6..5.6) as Real,  // x2 offset
-                rng.random_range(0.6..5.6) as Real,  // x3 offset
-                rng.random_range(0.5..2.0) as Real,  // wiggle frequency
+                rng.random_range(0.6..5.6) as Real,                   // x2 offset
+                rng.random_range(0.6..5.6) as Real,                   // x3 offset
+                rng.random_range(0.5..2.0) as Real,                   // wiggle frequency
                 rng.random_range(0.0..std::f64::consts::TAU) as Real, // phase
             )
         })

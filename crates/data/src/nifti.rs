@@ -23,9 +23,12 @@ pub fn write(path: &Path, field: &ScalarField) -> std::io::Result<()> {
     let g = field.layout().grid;
     let mut hdr = [0u8; 352];
 
-    let put_i32 = |h: &mut [u8], off: usize, v: i32| h[off..off + 4].copy_from_slice(&v.to_le_bytes());
-    let put_i16 = |h: &mut [u8], off: usize, v: i16| h[off..off + 2].copy_from_slice(&v.to_le_bytes());
-    let put_f32 = |h: &mut [u8], off: usize, v: f32| h[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    let put_i32 =
+        |h: &mut [u8], off: usize, v: i32| h[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    let put_i16 =
+        |h: &mut [u8], off: usize, v: i16| h[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    let put_f32 =
+        |h: &mut [u8], off: usize, v: f32| h[off..off + 4].copy_from_slice(&v.to_le_bytes());
 
     put_i32(&mut hdr, 0, HDR_SIZE);
     // dim[0..7]: rank 3 then nx, ny, nz (note: NIfTI is x-fastest; we store
@@ -37,7 +40,7 @@ pub fn write(path: &Path, field: &ScalarField) -> std::io::Result<()> {
     put_i16(&mut hdr, 48, 1);
     put_i16(&mut hdr, 70, DT_FLOAT32); // datatype
     put_i16(&mut hdr, 72, 32); // bitpix
-    // pixdim
+                               // pixdim
     let h = g.spacing();
     put_f32(&mut hdr, 76, 1.0);
     put_f32(&mut hdr, 80, h[2] as f32);
@@ -45,7 +48,7 @@ pub fn write(path: &Path, field: &ScalarField) -> std::io::Result<()> {
     put_f32(&mut hdr, 88, h[0] as f32);
     put_f32(&mut hdr, 108, VOX_OFFSET);
     put_f32(&mut hdr, 112, 1.0); // scl_slope
-    // magic "n+1\0"
+                                 // magic "n+1\0"
     hdr[344..348].copy_from_slice(b"n+1\0");
 
     let mut f = File::create(path)?;

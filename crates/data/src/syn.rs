@@ -58,11 +58,7 @@ pub fn syn_problem(n: [usize; 3], comm: &mut Comm) -> SynProblem {
     let transport = Transport::new(4, IpOrder::Cubic);
     let traj = Trajectory::compute(&true_velocity, transport.nt, &mut interp, comm);
     let sol = transport.solve_state(&traj, &template, false, &mut interp, comm);
-    SynProblem {
-        reference: sol.m.into_iter().next_back().unwrap(),
-        template,
-        true_velocity,
-    }
+    SynProblem { reference: sol.m.into_iter().next_back().unwrap(), template, true_velocity }
 }
 
 #[cfg(test)]

@@ -236,12 +236,8 @@ mod tests {
         let f = ScalarField::from_fn(Layout::serial(fine), low_mode);
         let fc = tl.restrict(&f, &mut comm);
         let expect = ScalarField::from_fn(Layout::serial(tl.coarse_grid()), low_mode);
-        let err = fc
-            .data()
-            .iter()
-            .zip(expect.data())
-            .map(|(&a, &b)| (a - b).abs())
-            .fold(0.0, f64::max);
+        let err =
+            fc.data().iter().zip(expect.data()).map(|(&a, &b)| (a - b).abs()).fold(0.0, f64::max);
         assert!(err < 1e-8, "restriction should be exact on low modes: {err}");
     }
 
@@ -253,12 +249,8 @@ mod tests {
         let fc = ScalarField::from_fn(Layout::serial(tl.coarse_grid()), low_mode);
         let ff = tl.prolong(&fc, &mut comm);
         let back = tl.restrict(&ff, &mut comm);
-        let err = back
-            .data()
-            .iter()
-            .zip(fc.data())
-            .map(|(&a, &b)| (a - b).abs())
-            .fold(0.0, f64::max);
+        let err =
+            back.data().iter().zip(fc.data()).map(|(&a, &b)| (a - b).abs()).fold(0.0, f64::max);
         assert!(err < 1e-8, "restrict∘prolong should be identity: {err}");
     }
 
@@ -276,12 +268,7 @@ mod tests {
         let high = tl.highpass(&s, &mut comm);
         let mut sum = low.clone();
         sum.axpy(1.0, &high);
-        let err = sum
-            .data()
-            .iter()
-            .zip(s.data())
-            .map(|(&a, &b)| (a - b).abs())
-            .fold(0.0, f64::max);
+        let err = sum.data().iter().zip(s.data()).map(|(&a, &b)| (a - b).abs()).fold(0.0, f64::max);
         assert!(err < 1e-8, "low + high should reconstruct s: {err}");
     }
 

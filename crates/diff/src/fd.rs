@@ -6,120 +6,205 @@
 //! ghost-layer exchange along the slab dimension (`ghost_comm`) instead of a
 //! global transpose. Derivatives along x2/x3 are rank-local (the slab
 //! decomposition only splits x1).
+//!
+//! Execution model: the stencil sweep is embarrassingly parallel over output
+//! points. Like the GPU implementation (one thread per output element), the
+//! loops here split the output into `x1`-planes (dim 0/1) or `x3`-rows
+//! (dim 2) and hand contiguous blocks of them to worker threads via
+//! `claire-par`. The ghost exchange stays a serial collective — it is the
+//! `ghost_comm` phase, not kernel compute. Hot loops should hold an
+//! [`FdScratch`] and call [`deriv_into`]/[`gradient_into`] to avoid
+//! reallocating the ghost halo and output fields on every application.
 
-use claire_grid::{ghost, Real, ScalarField, VectorField};
+use claire_grid::ghost::{self, GhostField};
+use claire_grid::{Real, ScalarField, VectorField};
 use claire_mpi::Comm;
+use claire_par::par_chunks_mut;
+use claire_par::timing::{self, Kernel};
 
 /// Stencil coefficients `c_m` of the 8th-order central first derivative:
 /// `f'(x) ≈ (1/h) Σ_{m=1..4} c_m (f(x+mh) − f(x−mh))`.
-pub const FD8: [Real; 4] = [
-    4.0 / 5.0,
-    -1.0 / 5.0,
-    4.0 / 105.0,
-    -1.0 / 280.0,
-];
+pub const FD8: [Real; 4] = [4.0 / 5.0, -1.0 / 5.0, 4.0 / 105.0, -1.0 / 280.0];
 
 /// Halo width of the stencil (planes per side).
 pub const FD8_WIDTH: usize = 4;
 
+/// Reusable buffers for repeated derivative applications: the ghost halo for
+/// dim-0 sweeps and a temporary field for [`divergence_into`]. One scratch
+/// per layout; buffers are (re)allocated lazily on first use or layout change.
+#[derive(Debug, Default)]
+pub struct FdScratch {
+    ghost: Option<GhostField>,
+    tmp: Option<ScalarField>,
+}
+
+impl FdScratch {
+    /// Empty scratch; buffers are allocated on first use.
+    pub fn new() -> FdScratch {
+        FdScratch::default()
+    }
+
+    fn ghost_for(&mut self, f: &ScalarField) -> &mut GhostField {
+        let fits =
+            self.ghost.as_ref().is_some_and(|g| g.layout() == f.layout() && g.width() == FD8_WIDTH);
+        if !fits {
+            self.ghost = Some(GhostField::alloc(*f.layout(), FD8_WIDTH));
+        }
+        self.ghost.as_mut().unwrap()
+    }
+}
+
 /// Partial derivative `∂f/∂x_dim` (dim ∈ {0,1,2}); collective over `comm`
-/// when `dim == 0` (ghost exchange), local otherwise.
+/// when `dim == 0` (ghost exchange), local otherwise. Allocates the output
+/// (and halo); hot loops should use [`deriv_into`] with a scratch instead.
 pub fn deriv(f: &ScalarField, dim: usize, comm: &mut Comm) -> ScalarField {
+    let mut out = ScalarField::zeros(*f.layout());
+    let mut scratch = FdScratch::new();
+    deriv_into(f, dim, comm, &mut out, &mut scratch);
+    out
+}
+
+/// Allocation-free partial derivative: writes `∂f/∂x_dim` into `out`, reusing
+/// the halo buffer in `scratch`. Collective when `dim == 0`.
+pub fn deriv_into(
+    f: &ScalarField,
+    dim: usize,
+    comm: &mut Comm,
+    out: &mut ScalarField,
+    scratch: &mut FdScratch,
+) {
     assert!(dim < 3);
     let layout = *f.layout();
+    assert_eq!(out.layout(), &layout, "output layout mismatch");
     let g = layout.grid;
-    let h = g.spacing()[dim];
-    let inv_h = 1.0 as Real / h;
-    let [ni, n2, n3] = layout.local_dims();
-    let mut out = ScalarField::zeros(layout);
+    let inv_h = 1.0 as Real / g.spacing()[dim];
+    let [_, n2, n3] = layout.local_dims();
+    let plane = n2 * n3;
 
     match dim {
         0 => {
-            let gf = ghost::exchange(f, FD8_WIDTH, comm);
-            let o = out.data_mut();
-            let mut idx = 0;
-            for il in 0..ni as isize {
-                for j in 0..n2 {
-                    for k in 0..n3 {
-                        let mut acc = 0.0 as Real;
-                        for (m, &c) in FD8.iter().enumerate() {
-                            let d = (m + 1) as isize;
-                            acc += c * (gf.at(il + d, j, k) - gf.at(il - d, j, k));
+            let gf = scratch.ghost_for(f);
+            ghost::exchange_into(f, comm, gf);
+            let gf = &*gf;
+            timing::time(Kernel::Fd, || {
+                par_chunks_mut(out.data_mut(), plane, |il, o| {
+                    let il = il as isize;
+                    let mut idx = 0;
+                    for j in 0..n2 {
+                        for k in 0..n3 {
+                            let mut acc = 0.0 as Real;
+                            for (m, &c) in FD8.iter().enumerate() {
+                                let d = (m + 1) as isize;
+                                acc += c * (gf.at(il + d, j, k) - gf.at(il - d, j, k));
+                            }
+                            o[idx] = acc * inv_h;
+                            idx += 1;
                         }
-                        o[idx] = acc * inv_h;
-                        idx += 1;
                     }
-                }
-            }
+                });
+            });
         }
         1 => {
             let src = f.data();
-            let o = out.data_mut();
-            for il in 0..ni {
-                for j in 0..n2 {
-                    // periodic neighbour rows in x2: (j ± (m+1)) mod n2
-                    let mut rows_p = [0usize; 4];
-                    let mut rows_m = [0usize; 4];
-                    for m in 0..4 {
-                        let d = (m + 1) % n2;
-                        rows_p[m] = (il * n2 + (j + d) % n2) * n3;
-                        rows_m[m] = (il * n2 + (j + n2 - d) % n2) * n3;
-                    }
-                    let base = (il * n2 + j) * n3;
-                    for k in 0..n3 {
-                        let mut acc = 0.0 as Real;
-                        for (m, &c) in FD8.iter().enumerate() {
-                            acc += c * (src[rows_p[m] + k] - src[rows_m[m] + k]);
+            timing::time(Kernel::Fd, || {
+                par_chunks_mut(out.data_mut(), plane, |il, o| {
+                    for j in 0..n2 {
+                        // periodic neighbour rows in x2: (j ± (m+1)) mod n2
+                        let mut rows_p = [0usize; 4];
+                        let mut rows_m = [0usize; 4];
+                        for m in 0..4 {
+                            let d = (m + 1) % n2;
+                            rows_p[m] = (il * n2 + (j + d) % n2) * n3;
+                            rows_m[m] = (il * n2 + (j + n2 - d) % n2) * n3;
                         }
-                        o[base + k] = acc * inv_h;
+                        let base = j * n3;
+                        for k in 0..n3 {
+                            let mut acc = 0.0 as Real;
+                            for (m, &c) in FD8.iter().enumerate() {
+                                acc += c * (src[rows_p[m] + k] - src[rows_m[m] + k]);
+                            }
+                            o[base + k] = acc * inv_h;
+                        }
                     }
-                }
-            }
+                });
+            });
         }
         _ => {
             let src = f.data();
-            let o = out.data_mut();
-            for row in 0..ni * n2 {
-                let base = row * n3;
-                for k in 0..n3 {
-                    let mut acc = 0.0 as Real;
-                    for (m, &c) in FD8.iter().enumerate() {
-                        let d = m + 1;
-                        let kp = (k + d) % n3;
-                        let km = (k + n3 - d % n3) % n3;
-                        acc += c * (src[base + kp] - src[base + km]);
+            timing::time(Kernel::Fd, || {
+                par_chunks_mut(out.data_mut(), n3, |row, o| {
+                    let base = row * n3;
+                    for (k, ov) in o.iter_mut().enumerate() {
+                        let mut acc = 0.0 as Real;
+                        for (m, &c) in FD8.iter().enumerate() {
+                            let d = m + 1;
+                            let kp = (k + d) % n3;
+                            let km = (k + n3 - d % n3) % n3;
+                            acc += c * (src[base + kp] - src[base + km]);
+                        }
+                        *ov = acc * inv_h;
                     }
-                    o[base + k] = acc * inv_h;
-                }
-            }
+                });
+            });
         }
     }
 
     // modeled cost: DRAM-bound, ~2 field sweeps, ~20 flops/point (paper §3.2)
     let words = 2 * layout.local_len();
     comm.advance_kernel(words * std::mem::size_of::<Real>(), 20 * layout.local_len());
+}
+
+/// Gradient `∇f` via three 8th-order derivatives. Collective. Allocating
+/// wrapper over [`gradient_into`].
+pub fn gradient(f: &ScalarField, comm: &mut Comm) -> VectorField {
+    let mut out = VectorField::zeros(*f.layout());
+    let mut scratch = FdScratch::new();
+    gradient_into(f, comm, &mut out, &mut scratch);
     out
 }
 
-/// Gradient `∇f` via three 8th-order derivatives. Collective.
-pub fn gradient(f: &ScalarField, comm: &mut Comm) -> VectorField {
-    VectorField {
-        c: [
-            deriv(f, 0, comm),
-            deriv(f, 1, comm),
-            deriv(f, 2, comm),
-        ],
+/// Allocation-free gradient: writes `∇f` into `out`, reusing `scratch`.
+/// Collective.
+pub fn gradient_into(
+    f: &ScalarField,
+    comm: &mut Comm,
+    out: &mut VectorField,
+    scratch: &mut FdScratch,
+) {
+    for dim in 0..3 {
+        deriv_into(f, dim, comm, &mut out.c[dim], scratch);
     }
 }
 
-/// Divergence `∇·v` via three 8th-order derivatives. Collective.
+/// Divergence `∇·v` via three 8th-order derivatives. Collective. Allocating
+/// wrapper over [`divergence_into`].
 pub fn divergence(v: &VectorField, comm: &mut Comm) -> ScalarField {
-    let mut out = deriv(&v.c[0], 0, comm);
-    let d2 = deriv(&v.c[1], 1, comm);
-    let d3 = deriv(&v.c[2], 2, comm);
-    out.axpy(1.0, &d2);
-    out.axpy(1.0, &d3);
+    let mut out = ScalarField::zeros(*v.layout());
+    let mut scratch = FdScratch::new();
+    divergence_into(v, comm, &mut out, &mut scratch);
     out
+}
+
+/// Allocation-free divergence: writes `∇·v` into `out`, reusing the halo and
+/// temporary field in `scratch`. Collective.
+pub fn divergence_into(
+    v: &VectorField,
+    comm: &mut Comm,
+    out: &mut ScalarField,
+    scratch: &mut FdScratch,
+) {
+    deriv_into(&v.c[0], 0, comm, out, scratch);
+    // one temporary serves both tangential derivatives
+    let mut tmp = scratch
+        .tmp
+        .take()
+        .filter(|t| t.layout() == v.layout())
+        .unwrap_or_else(|| ScalarField::zeros(*v.layout()));
+    for dim in 1..3 {
+        deriv_into(&v.c[dim], dim, comm, &mut tmp, scratch);
+        out.axpy(1.0, &tmp);
+    }
+    scratch.tmp = Some(tmp);
 }
 
 #[cfg(test)]
@@ -129,11 +214,7 @@ mod tests {
     use claire_mpi::{run_cluster, Topology};
 
     fn max_err(a: &ScalarField, b: &ScalarField) -> f64 {
-        a.data()
-            .iter()
-            .zip(b.data())
-            .map(|(&x, &y)| (x - y).abs())
-            .fold(0.0, f64::max)
+        a.data().iter().zip(b.data()).map(|(&x, &y)| (x - y).abs()).fold(0.0, f64::max)
     }
 
     #[test]
@@ -170,6 +251,39 @@ mod tests {
     }
 
     #[test]
+    fn deriv_into_matches_deriv_and_reuses_scratch() {
+        let layout = Layout::serial(Grid::cube(16));
+        let mut comm = Comm::solo();
+        let f = ScalarField::from_fn(layout, |x, y, z| x.sin() * y.cos() + z.sin());
+        let mut out = ScalarField::zeros(layout);
+        let mut scratch = FdScratch::new();
+        for dim in 0..3 {
+            let expect = deriv(&f, dim, &mut comm);
+            // twice through the same scratch: second call must reuse buffers
+            deriv_into(&f, dim, &mut comm, &mut out, &mut scratch);
+            deriv_into(&f, dim, &mut comm, &mut out, &mut scratch);
+            assert_eq!(out.data(), expect.data(), "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn divergence_into_matches_divergence() {
+        let layout = Layout::serial(Grid::cube(16));
+        let mut comm = Comm::solo();
+        let v = VectorField::from_fns(
+            layout,
+            |x, y, _| (x + y).sin(),
+            |_, y, z| (y * 0.5).cos() + z.sin(),
+            |x, _, z| (x + z).cos(),
+        );
+        let expect = divergence(&v, &mut comm);
+        let mut out = ScalarField::zeros(layout);
+        let mut scratch = FdScratch::new();
+        divergence_into(&v, &mut comm, &mut out, &mut scratch);
+        assert_eq!(out.data(), expect.data());
+    }
+
+    #[test]
     fn distributed_matches_serial() {
         let grid = Grid::new([16, 8, 8]);
         let mut comm = Comm::solo();
@@ -179,8 +293,7 @@ mod tests {
         let serial_grad = gradient(&sf, &mut comm);
 
         for p in [2usize, 3, 4, 5] {
-            let expect: Vec<Vec<Real>> =
-                serial_grad.c.iter().map(|c| c.data().to_vec()).collect();
+            let expect: Vec<Vec<Real>> = serial_grad.c.iter().map(|c| c.data().to_vec()).collect();
             let res = run_cluster(Topology::new(p, 4), move |comm| {
                 let layout = Layout::distributed(grid, comm);
                 let f = ScalarField::from_fn(layout, |x, y, z| {
@@ -212,12 +325,8 @@ mod tests {
         // v = (sin(x2), sin(x3), sin(x1)) is divergence free
         let layout = Layout::serial(Grid::cube(16));
         let mut comm = Comm::solo();
-        let v = VectorField::from_fns(
-            layout,
-            |_, y, _| y.sin(),
-            |_, _, z| z.sin(),
-            |x, _, _| x.sin(),
-        );
+        let v =
+            VectorField::from_fns(layout, |_, y, _| y.sin(), |_, _, z| z.sin(), |x, _, _| x.sin());
         let div = divergence(&v, &mut comm);
         let m = div.max_abs(&mut comm);
         assert!(m < 1e-10, "divergence should vanish: {m}");

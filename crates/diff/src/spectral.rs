@@ -169,11 +169,8 @@ impl Spectral {
     /// This is the projection CLAIRE uses for the incompressibility penalty
     /// (§1.1, [48]). Collective.
     pub fn leray(&self, v: &VectorField, comm: &mut Comm) -> VectorField {
-        let mut specs: Vec<DistSpectral> = v
-            .c
-            .iter()
-            .map(|cmp| self.fft.forward(cmp, comm))
-            .collect();
+        let mut specs: Vec<DistSpectral> =
+            v.c.iter().map(|cmp| self.fft.forward(cmp, comm)).collect();
         let g = self.grid;
         let n3c = specs[0].n3c();
         let nj = specs[0].x2_slab.ni;
@@ -227,12 +224,8 @@ mod tests {
         let lap = sp.laplacian(&f, &mut comm);
         let mut expect = f.clone();
         expect.scale(-4.0);
-        let err = lap
-            .data()
-            .iter()
-            .zip(expect.data())
-            .map(|(&a, &b)| (a - b).abs())
-            .fold(0.0, f64::max);
+        let err =
+            lap.data().iter().zip(expect.data()).map(|(&a, &b)| (a - b).abs()).fold(0.0, f64::max);
         assert!(err < 1e-8, "err {err}");
     }
 
@@ -268,8 +261,18 @@ mod tests {
         let layout = Layout::serial(grid);
         let mut comm = Comm::solo();
         let sp = Spectral::new(grid, &comm);
-        let v = VectorField::from_fns(layout, |x, _, _| x.sin(), |_, y, _| (2.0 * y).cos(), |_, _, z| z.cos());
-        let w = VectorField::from_fns(layout, |x, y, _| (x - y).cos(), |_, _, z| z.sin(), |x, _, _| 1.0 + 0.0 * x);
+        let v = VectorField::from_fns(
+            layout,
+            |x, _, _| x.sin(),
+            |_, y, _| (2.0 * y).cos(),
+            |_, _, z| z.cos(),
+        );
+        let w = VectorField::from_fns(
+            layout,
+            |x, y, _| (x - y).cos(),
+            |_, _, z| z.sin(),
+            |x, _, _| 1.0 + 0.0 * x,
+        );
         let beta = 0.1;
         let av = sp.reg_apply(&v, beta, &mut comm);
         let aw = sp.reg_apply(&w, beta, &mut comm);
@@ -320,7 +323,11 @@ mod tests {
         let h = grid.spacing();
         // at grid points, spline-on-coefficients must reproduce the samples
         for &(i, j, k) in &[(0usize, 0usize, 0usize), (3, 7, 11), (15, 1, 8)] {
-            let x = [i as claire_grid::Real * h[0], j as claire_grid::Real * h[1], k as claire_grid::Real * h[2]];
+            let x = [
+                i as claire_grid::Real * h[0],
+                j as claire_grid::Real * h[1],
+                k as claire_grid::Real * h[2],
+            ];
             let v = interp_serial(&coef, IpOrder::CubicSpline, x);
             let raw = interp_serial(&f, IpOrder::CubicSpline, x); // no prefilter: blurred
             assert!(((v - f.at(i, j, k)) as f64).abs() < 1e-8, "prefiltered spline exact: {v}");
@@ -333,7 +340,11 @@ mod tests {
         let probe = [1.234 as claire_grid::Real, 2.345, 3.456];
         let exact = probe[0].sin() * probe[1].cos() + (0.5 * probe[2]).sin();
         let v = interp_serial(&coef, IpOrder::CubicSpline, probe);
-        assert!(((v - exact) as f64).abs() < 5e-4, "spline off-grid error {}", ((v - exact) as f64).abs());
+        assert!(
+            ((v - exact) as f64).abs() < 5e-4,
+            "spline off-grid error {}",
+            ((v - exact) as f64).abs()
+        );
     }
 
     #[test]

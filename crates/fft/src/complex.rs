@@ -92,10 +92,7 @@ impl std::ops::Mul for Cpx {
     type Output = Cpx;
     #[inline]
     fn mul(self, o: Cpx) -> Cpx {
-        Cpx {
-            re: self.re * o.re - self.im * o.im,
-            im: self.re * o.im + self.im * o.re,
-        }
+        Cpx { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
     }
 }
 

@@ -22,6 +22,8 @@
 
 use claire_grid::{Grid, Layout, Real, ScalarField, Slab};
 use claire_mpi::{AlltoallMethod, Comm, CommCat};
+use claire_par::timing::{self, Kernel};
+use claire_par::{par_map_collect_work, par_parts, SharedSlice};
 
 use crate::complex::Cpx;
 use crate::plan::Fft1d;
@@ -115,6 +117,110 @@ impl DistFft {
         Slab::of_rank(self.grid.n[1], self.nranks, self.rank)
     }
 
+    fn scratch_len(&self) -> usize {
+        self.r3.scratch_len().max(self.c2.scratch_len()).max(self.c1.scratch_len())
+    }
+
+    /// Step 1: batched 2-D FFT of `ni` local x2–x3 planes (r2c along x3,
+    /// complex along x2), split across workers like the serial plan.
+    fn planes2d_forward(&self, src: &[Real], work: &mut [Cpx], ni: usize) {
+        let [_, n2, n3] = self.grid.n;
+        let n3c = n3 / 2 + 1;
+        let scratch_len = self.scratch_len();
+        let shared = SharedSlice::new(work);
+        par_parts(ni * n2, ni * n2 * n3, |rows| {
+            let mut scratch = vec![Cpx::ZERO; scratch_len];
+            for row in rows {
+                // SAFETY: row ranges are disjoint across workers.
+                let dst = unsafe { shared.slice_mut(row * n3c..(row + 1) * n3c) };
+                self.r3.forward(&src[row * n3..(row + 1) * n3], dst, &mut scratch);
+            }
+        });
+        par_parts(ni * n3c, ni * n3c * n2, |lines| {
+            let mut scratch = vec![Cpx::ZERO; scratch_len];
+            let mut line = vec![Cpx::ZERO; n2];
+            for t in lines {
+                let (il, k) = (t / n3c, t % n3c);
+                let base = il * n2 * n3c + k;
+                // SAFETY: distinct (il, k) touch disjoint strided indices.
+                unsafe {
+                    for j in 0..n2 {
+                        line[j] = shared.read(base + j * n3c);
+                    }
+                    self.c2.forward(&mut line, &mut scratch);
+                    for j in 0..n2 {
+                        shared.write(base + j * n3c, line[j]);
+                    }
+                }
+            }
+        });
+    }
+
+    /// Step 1 inverse: batched inverse 2-D FFT of `ni` planes, then c2r.
+    fn planes2d_inverse(&self, work: &mut [Cpx], out: &mut [Real], ni: usize) {
+        let [_, n2, n3] = self.grid.n;
+        let n3c = n3 / 2 + 1;
+        let scratch_len = self.scratch_len();
+        let shared = SharedSlice::new(work);
+        par_parts(ni * n3c, ni * n3c * n2, |lines| {
+            let mut scratch = vec![Cpx::ZERO; scratch_len];
+            let mut line = vec![Cpx::ZERO; n2];
+            for t in lines {
+                let (il, k) = (t / n3c, t % n3c);
+                let base = il * n2 * n3c + k;
+                // SAFETY: distinct (il, k) touch disjoint strided indices.
+                unsafe {
+                    for j in 0..n2 {
+                        line[j] = shared.read(base + j * n3c);
+                    }
+                    self.c2.inverse(&mut line, &mut scratch);
+                    for j in 0..n2 {
+                        shared.write(base + j * n3c, line[j]);
+                    }
+                }
+            }
+        });
+        let out_shared = SharedSlice::new(out);
+        par_parts(ni * n2, ni * n2 * n3, |rows| {
+            let mut scratch = vec![Cpx::ZERO; scratch_len];
+            for row in rows {
+                // SAFETY: work/out row ranges are disjoint across workers and
+                // work is only read during this pass.
+                let src = unsafe { &*shared.slice_mut(row * n3c..(row + 1) * n3c) };
+                let dst = unsafe { out_shared.slice_mut(row * n3..(row + 1) * n3) };
+                self.r3.inverse(src, dst, &mut scratch);
+            }
+        });
+    }
+
+    /// Step 3: batched 1-D complex FFT along x1 with the given jk-stride,
+    /// one pencil per (j, k), split across workers.
+    fn pencils_x1(&self, data: &mut [Cpx], stride: usize, inverse: bool) {
+        let n1 = self.grid.n[0];
+        let scratch_len = self.scratch_len();
+        let shared = SharedSlice::new(data);
+        par_parts(stride, stride * n1, |lines| {
+            let mut scratch = vec![Cpx::ZERO; scratch_len];
+            let mut line1 = vec![Cpx::ZERO; n1];
+            for jk in lines {
+                // SAFETY: distinct jk touch disjoint strided indices.
+                unsafe {
+                    for i in 0..n1 {
+                        line1[i] = shared.read(i * stride + jk);
+                    }
+                    if inverse {
+                        self.c1.inverse(&mut line1, &mut scratch);
+                    } else {
+                        self.c1.forward(&mut line1, &mut scratch);
+                    }
+                    for i in 0..n1 {
+                        shared.write(i * stride + jk, line1[i]);
+                    }
+                }
+            }
+        });
+    }
+
     /// Forward r2c transform of a slab-distributed field.
     pub fn forward(&self, field: &ScalarField, comm: &mut Comm) -> DistSpectral {
         assert_eq!(field.layout().grid, self.grid, "field grid mismatch");
@@ -128,38 +234,18 @@ impl DistFft {
         }
 
         let ni = field.layout().slab.ni;
-        let mut scratch = vec![
-            Cpx::ZERO;
-            self.r3.scratch_len().max(self.c2.scratch_len()).max(self.c1.scratch_len())
-        ];
 
         // step 1: 2D FFT per local x1 plane
         let mut work = vec![Cpx::ZERO; ni * n2 * n3c];
-        for row in 0..ni * n2 {
-            self.r3.forward(
-                &field.data()[row * n3..(row + 1) * n3],
-                &mut work[row * n3c..(row + 1) * n3c],
-                &mut scratch,
-            );
-        }
-        let mut line = vec![Cpx::ZERO; n2];
-        for il in 0..ni {
-            let plane = &mut work[il * n2 * n3c..(il + 1) * n2 * n3c];
-            for k in 0..n3c {
-                for j in 0..n2 {
-                    line[j] = plane[j * n3c + k];
-                }
-                self.c2.forward(&mut line, &mut scratch);
-                for j in 0..n2 {
-                    plane[j * n3c + k] = line[j];
-                }
-            }
-        }
+        timing::time(Kernel::FftDist, || {
+            self.planes2d_forward(field.data(), &mut work, ni);
+        });
 
-        // step 2: transpose x1-slabs -> x2-slabs
+        // step 2: transpose x1-slabs -> x2-slabs; pack one block per
+        // destination rank in parallel
         let p = self.nranks;
-        let bufs: Vec<Vec<Cpx>> = (0..p)
-            .map(|dst| {
+        let bufs: Vec<Vec<Cpx>> = timing::time(Kernel::FftTranspose, || {
+            par_map_collect_work(p, ni * n2 * n3c / p.max(1), |dst| {
                 let js = Slab::of_rank(n2, p, dst);
                 let mut buf = Vec::with_capacity(ni * js.ni * n3c);
                 for il in 0..ni {
@@ -170,38 +256,39 @@ impl DistFft {
                 }
                 buf
             })
-            .collect();
+        });
         let parts = comm.alltoallv(&bufs, CommCat::FftTranspose, self.method);
 
         let my_js = self.x2_slab();
         let nj = my_js.ni;
         let mut spec = DistSpectral::zeros(self.grid, my_js);
-        for (src, part) in parts.iter().enumerate() {
-            let src_slab = Slab::of_rank(n1, p, src);
-            assert_eq!(part.len(), src_slab.ni * nj * n3c, "transpose block size mismatch");
-            let mut it = 0;
-            for il in 0..src_slab.ni {
-                let i = src_slab.i0 + il;
-                for jl in 0..nj {
-                    let base = spec.idx(i, jl, 0);
-                    spec.data[base..base + n3c].copy_from_slice(&part[it..it + n3c]);
-                    it += n3c;
+        timing::time(Kernel::FftTranspose, || {
+            // unpack: each source block covers a disjoint global-x1 range
+            let shared = SharedSlice::new(&mut spec.data);
+            par_parts(p, n1 * nj * n3c, |srcs| {
+                for src in srcs {
+                    let part = &parts[src];
+                    let src_slab = Slab::of_rank(n1, p, src);
+                    assert_eq!(part.len(), src_slab.ni * nj * n3c, "transpose block size mismatch");
+                    let mut it = 0;
+                    for il in 0..src_slab.ni {
+                        let i = src_slab.i0 + il;
+                        for jl in 0..nj {
+                            let base = (i * nj + jl) * n3c;
+                            // SAFETY: src slabs partition x1, so blocks are disjoint.
+                            let dst = unsafe { shared.slice_mut(base..base + n3c) };
+                            dst.copy_from_slice(&part[it..it + n3c]);
+                            it += n3c;
+                        }
+                    }
                 }
-            }
-        }
+            });
+        });
 
         // step 3: 1D FFT along x1 (stride nj·n3c)
-        let stride = nj * n3c;
-        let mut line1 = vec![Cpx::ZERO; n1];
-        for jk in 0..stride {
-            for i in 0..n1 {
-                line1[i] = spec.data[i * stride + jk];
-            }
-            self.c1.forward(&mut line1, &mut scratch);
-            for i in 0..n1 {
-                spec.data[i * stride + jk] = line1[i];
-            }
-        }
+        timing::time(Kernel::FftDist, || {
+            self.pencils_x1(&mut spec.data, nj * n3c, false);
+        });
         spec
     }
 
@@ -213,7 +300,12 @@ impl DistFft {
         let layout = if self.nranks == 1 {
             Layout::serial(self.grid)
         } else {
-            Layout { grid: self.grid, slab: Slab::of_rank(n1, self.nranks, self.rank), nranks: self.nranks, rank: self.rank }
+            Layout {
+                grid: self.grid,
+                slab: Slab::of_rank(n1, self.nranks, self.rank),
+                nranks: self.nranks,
+                rank: self.rank,
+            }
         };
 
         if let Some(serial) = &self.serial {
@@ -222,29 +314,17 @@ impl DistFft {
             return ScalarField::from_data(layout, out);
         }
 
-        let mut scratch = vec![
-            Cpx::ZERO;
-            self.r3.scratch_len().max(self.c2.scratch_len()).max(self.c1.scratch_len())
-        ];
         let nj = spec.x2_slab.ni;
 
         // step 3': inverse 1D along x1
-        let stride = nj * n3c;
-        let mut line1 = vec![Cpx::ZERO; n1];
-        for jk in 0..stride {
-            for i in 0..n1 {
-                line1[i] = spec.data[i * stride + jk];
-            }
-            self.c1.inverse(&mut line1, &mut scratch);
-            for i in 0..n1 {
-                spec.data[i * stride + jk] = line1[i];
-            }
-        }
+        timing::time(Kernel::FftDist, || {
+            self.pencils_x1(&mut spec.data, nj * n3c, true);
+        });
 
-        // step 2': transpose x2-slabs -> x1-slabs
+        // step 2': transpose x2-slabs -> x1-slabs; parallel pack per rank
         let p = self.nranks;
-        let bufs: Vec<Vec<Cpx>> = (0..p)
-            .map(|dst| {
+        let bufs: Vec<Vec<Cpx>> = timing::time(Kernel::FftTranspose, || {
+            par_map_collect_work(p, n1 * nj * n3c / p.max(1), |dst| {
                 let is = Slab::of_rank(n1, p, dst);
                 let mut buf = Vec::with_capacity(is.ni * nj * n3c);
                 for il in 0..is.ni {
@@ -256,46 +336,38 @@ impl DistFft {
                 }
                 buf
             })
-            .collect();
+        });
         let parts = comm.alltoallv(&bufs, CommCat::FftTranspose, self.method);
 
         let ni = layout.slab.ni;
         let mut work = vec![Cpx::ZERO; ni * n2 * n3c];
-        for (src, part) in parts.iter().enumerate() {
-            let src_js = Slab::of_rank(n2, p, src);
-            assert_eq!(part.len(), ni * src_js.ni * n3c, "transpose block size mismatch");
-            let mut it = 0;
-            for il in 0..ni {
-                for j in src_js.i0..src_js.i_end() {
-                    let base = (il * n2 + j) * n3c;
-                    work[base..base + n3c].copy_from_slice(&part[it..it + n3c]);
-                    it += n3c;
+        timing::time(Kernel::FftTranspose, || {
+            // unpack: each source block covers a disjoint global-x2 range
+            let shared = SharedSlice::new(&mut work);
+            par_parts(p, ni * n2 * n3c, |srcs| {
+                for src in srcs {
+                    let part = &parts[src];
+                    let src_js = Slab::of_rank(n2, p, src);
+                    assert_eq!(part.len(), ni * src_js.ni * n3c, "transpose block size mismatch");
+                    let mut it = 0;
+                    for il in 0..ni {
+                        for j in src_js.i0..src_js.i_end() {
+                            let base = (il * n2 + j) * n3c;
+                            // SAFETY: src slabs partition x2, so blocks are disjoint.
+                            let dst = unsafe { shared.slice_mut(base..base + n3c) };
+                            dst.copy_from_slice(&part[it..it + n3c]);
+                            it += n3c;
+                        }
+                    }
                 }
-            }
-        }
+            });
+        });
 
         // step 1': inverse 2D per plane
-        let mut line = vec![Cpx::ZERO; n2];
-        for il in 0..ni {
-            let plane = &mut work[il * n2 * n3c..(il + 1) * n2 * n3c];
-            for k in 0..n3c {
-                for j in 0..n2 {
-                    line[j] = plane[j * n3c + k];
-                }
-                self.c2.inverse(&mut line, &mut scratch);
-                for j in 0..n2 {
-                    plane[j * n3c + k] = line[j];
-                }
-            }
-        }
         let mut out = vec![0.0 as Real; ni * n2 * n3];
-        for row in 0..ni * n2 {
-            self.r3.inverse(
-                &work[row * n3c..(row + 1) * n3c],
-                &mut out[row * n3..(row + 1) * n3],
-                &mut scratch,
-            );
-        }
+        timing::time(Kernel::FftDist, || {
+            self.planes2d_inverse(&mut work, &mut out, ni);
+        });
         ScalarField::from_data(layout, out)
     }
 }

@@ -245,7 +245,8 @@ mod tests {
     #[test]
     fn parseval() {
         let n = 30;
-        let input: Vec<Cpx> = (0..n).map(|j| Cpx::new((j as Real).sin(), (j as Real).cos())).collect();
+        let input: Vec<Cpx> =
+            (0..n).map(|j| Cpx::new((j as Real).sin(), (j as Real).cos())).collect();
         let plan = Fft1d::new(n);
         let mut data = input.clone();
         let mut scratch = vec![Cpx::ZERO; plan.scratch_len()];

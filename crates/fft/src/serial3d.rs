@@ -1,9 +1,16 @@
 //! Serial 3D real↔complex FFT — the single-rank ("cuFFT 3D") path.
+//!
+//! Each of the three passes is a batch of independent 1-D transforms (rows
+//! along x3, strided lines along x2/x1); like cuFFT's batched plans, the
+//! batch is split across worker threads via `claire-par`, with per-worker
+//! line/scratch buffers and disjoint writes into the spectral array.
 
 // Strided line gathers: explicit indices keep the stride math readable.
 #![allow(clippy::needless_range_loop)]
 
 use claire_grid::{Grid, Real};
+use claire_par::timing::{self, Kernel};
+use claire_par::{par_parts, SharedSlice};
 
 use crate::complex::Cpx;
 use crate::plan::Fft1d;
@@ -48,48 +55,68 @@ impl Fft3 {
         self.grid.n[2] / 2 + 1
     }
 
+    fn scratch_len(&self) -> usize {
+        self.r3.scratch_len().max(self.c2.scratch_len()).max(self.c1.scratch_len())
+    }
+
     /// Forward r2c transform: `real.len() == N`, `out.len() == spectral_len()`.
     pub fn forward(&self, real: &[Real], out: &mut [Cpx]) {
         let [n1, n2, n3] = self.grid.n;
         let n3c = self.n3c();
         assert_eq!(real.len(), self.grid.len());
         assert_eq!(out.len(), self.spectral_len());
+        let scratch_len = self.scratch_len();
 
-        // x3: real-to-complex per (i, j) row
-        let mut scratch = vec![Cpx::ZERO; self.r3.scratch_len().max(self.c2.scratch_len()).max(self.c1.scratch_len())];
-        for row in 0..n1 * n2 {
-            self.r3.forward(
-                &real[row * n3..(row + 1) * n3],
-                &mut out[row * n3c..(row + 1) * n3c],
-                &mut scratch,
-            );
-        }
-        // x2: complex FFT with stride n3c, batched over (i, k)
-        let mut line = vec![Cpx::ZERO; n2];
-        for i in 0..n1 {
-            let plane = &mut out[i * n2 * n3c..(i + 1) * n2 * n3c];
-            for k in 0..n3c {
-                for j in 0..n2 {
-                    line[j] = plane[j * n3c + k];
+        timing::time(Kernel::FftSerial, || {
+            // x3: real-to-complex per (i, j) row — rows are disjoint output
+            // chunks, split across workers with per-worker scratch
+            let shared = SharedSlice::new(out);
+            par_parts(n1 * n2, n1 * n2 * n3, |rows| {
+                let mut scratch = vec![Cpx::ZERO; scratch_len];
+                for row in rows {
+                    // SAFETY: row ranges are disjoint across workers.
+                    let dst = unsafe { shared.slice_mut(row * n3c..(row + 1) * n3c) };
+                    self.r3.forward(&real[row * n3..(row + 1) * n3], dst, &mut scratch);
                 }
-                self.c2.forward(&mut line, &mut scratch);
-                for j in 0..n2 {
-                    plane[j * n3c + k] = line[j];
+            });
+            // x2: complex FFT with stride n3c, batched over (i, k) lines
+            par_parts(n1 * n3c, n1 * n3c * n2, |lines| {
+                let mut scratch = vec![Cpx::ZERO; scratch_len];
+                let mut line = vec![Cpx::ZERO; n2];
+                for t in lines {
+                    let (i, k) = (t / n3c, t % n3c);
+                    let base = i * n2 * n3c + k;
+                    // SAFETY: distinct (i, k) touch disjoint strided indices.
+                    unsafe {
+                        for j in 0..n2 {
+                            line[j] = shared.read(base + j * n3c);
+                        }
+                        self.c2.forward(&mut line, &mut scratch);
+                        for j in 0..n2 {
+                            shared.write(base + j * n3c, line[j]);
+                        }
+                    }
                 }
-            }
-        }
-        // x1: complex FFT with stride n2·n3c, batched over (j, k)
-        let stride = n2 * n3c;
-        let mut line1 = vec![Cpx::ZERO; n1];
-        for jk in 0..stride {
-            for i in 0..n1 {
-                line1[i] = out[i * stride + jk];
-            }
-            self.c1.forward(&mut line1, &mut scratch);
-            for i in 0..n1 {
-                out[i * stride + jk] = line1[i];
-            }
-        }
+            });
+            // x1: complex FFT with stride n2·n3c, batched over (j, k) lines
+            let stride = n2 * n3c;
+            par_parts(stride, stride * n1, |lines| {
+                let mut scratch = vec![Cpx::ZERO; scratch_len];
+                let mut line1 = vec![Cpx::ZERO; n1];
+                for jk in lines {
+                    // SAFETY: distinct jk touch disjoint strided indices.
+                    unsafe {
+                        for i in 0..n1 {
+                            line1[i] = shared.read(i * stride + jk);
+                        }
+                        self.c1.forward(&mut line1, &mut scratch);
+                        for i in 0..n1 {
+                            shared.write(i * stride + jk, line1[i]);
+                        }
+                    }
+                }
+            });
+        });
     }
 
     /// Inverse c2r transform (normalized): `spec.len() == spectral_len()`,
@@ -99,42 +126,60 @@ impl Fft3 {
         let n3c = self.n3c();
         assert_eq!(spec.len(), self.spectral_len());
         assert_eq!(out.len(), self.grid.len());
+        let scratch_len = self.scratch_len();
 
-        let mut scratch = vec![Cpx::ZERO; self.r3.scratch_len().max(self.c2.scratch_len()).max(self.c1.scratch_len())];
-        // x1 inverse
-        let stride = n2 * n3c;
-        let mut line1 = vec![Cpx::ZERO; n1];
-        for jk in 0..stride {
-            for i in 0..n1 {
-                line1[i] = spec[i * stride + jk];
-            }
-            self.c1.inverse(&mut line1, &mut scratch);
-            for i in 0..n1 {
-                spec[i * stride + jk] = line1[i];
-            }
-        }
-        // x2 inverse
-        let mut line = vec![Cpx::ZERO; n2];
-        for i in 0..n1 {
-            let plane = &mut spec[i * n2 * n3c..(i + 1) * n2 * n3c];
-            for k in 0..n3c {
-                for j in 0..n2 {
-                    line[j] = plane[j * n3c + k];
+        timing::time(Kernel::FftSerial, || {
+            let shared = SharedSlice::new(spec);
+            // x1 inverse
+            let stride = n2 * n3c;
+            par_parts(stride, stride * n1, |lines| {
+                let mut scratch = vec![Cpx::ZERO; scratch_len];
+                let mut line1 = vec![Cpx::ZERO; n1];
+                for jk in lines {
+                    // SAFETY: distinct jk touch disjoint strided indices.
+                    unsafe {
+                        for i in 0..n1 {
+                            line1[i] = shared.read(i * stride + jk);
+                        }
+                        self.c1.inverse(&mut line1, &mut scratch);
+                        for i in 0..n1 {
+                            shared.write(i * stride + jk, line1[i]);
+                        }
+                    }
                 }
-                self.c2.inverse(&mut line, &mut scratch);
-                for j in 0..n2 {
-                    plane[j * n3c + k] = line[j];
+            });
+            // x2 inverse
+            par_parts(n1 * n3c, n1 * n3c * n2, |lines| {
+                let mut scratch = vec![Cpx::ZERO; scratch_len];
+                let mut line = vec![Cpx::ZERO; n2];
+                for t in lines {
+                    let (i, k) = (t / n3c, t % n3c);
+                    let base = i * n2 * n3c + k;
+                    // SAFETY: distinct (i, k) touch disjoint strided indices.
+                    unsafe {
+                        for j in 0..n2 {
+                            line[j] = shared.read(base + j * n3c);
+                        }
+                        self.c2.inverse(&mut line, &mut scratch);
+                        for j in 0..n2 {
+                            shared.write(base + j * n3c, line[j]);
+                        }
+                    }
                 }
-            }
-        }
-        // x3 inverse (c2r)
-        for row in 0..n1 * n2 {
-            self.r3.inverse(
-                &spec[row * n3c..(row + 1) * n3c],
-                &mut out[row * n3..(row + 1) * n3],
-                &mut scratch,
-            );
-        }
+            });
+            // x3 inverse (c2r): rows are disjoint spec/output chunks
+            let out_shared = SharedSlice::new(out);
+            par_parts(n1 * n2, n1 * n2 * n3, |rows| {
+                let mut scratch = vec![Cpx::ZERO; scratch_len];
+                for row in rows {
+                    // SAFETY: spec/out row ranges are disjoint across workers
+                    // and spec is only read during this pass.
+                    let src = unsafe { &*shared.slice_mut(row * n3c..(row + 1) * n3c) };
+                    let dst = unsafe { out_shared.slice_mut(row * n3..(row + 1) * n3) };
+                    self.r3.inverse(src, dst, &mut scratch);
+                }
+            });
+        });
     }
 }
 

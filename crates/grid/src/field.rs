@@ -5,9 +5,30 @@
 #![allow(clippy::unnecessary_cast)]
 
 use claire_mpi::Comm;
+use claire_par::timing::{self, Kernel};
+use claire_par::{par_chunks_mut, par_map_collect_work, par_sum_blocks, SUM_BLOCK};
 
 use crate::real::Real;
 use crate::slab::Layout;
+
+/// Per-chunk element count for parallel element-wise loops. Matches the
+/// reduction block so element-wise and reduction passes stream the same
+/// cache-sized tiles.
+const ELEM_CHUNK: usize = SUM_BLOCK;
+
+/// Per-block max-abs partials with thread-count-independent block boundaries
+/// (same contract as [`par_sum_blocks`]; max is reorder-safe anyway, but
+/// keeping every reduction deterministic keeps the equivalence tests exact).
+fn par_max_abs(d: &[Real]) -> f64 {
+    let nb = d.len().div_ceil(SUM_BLOCK);
+    par_map_collect_work(nb, SUM_BLOCK, |b| {
+        let lo = b * SUM_BLOCK;
+        let hi = (lo + SUM_BLOCK).min(d.len());
+        d[lo..hi].iter().fold(0.0f64, |m, &x| m.max((x as f64).abs()))
+    })
+    .into_iter()
+    .fold(0.0, f64::max)
+}
 
 /// A scalar field: this rank's slab of samples of a function on Ω.
 #[derive(Clone, Debug, PartialEq)]
@@ -29,23 +50,19 @@ impl ScalarField {
     }
 
     /// Sample an analytic function `f(x1, x2, x3)` at the owned grid points.
-    pub fn from_fn(layout: Layout, f: impl Fn(Real, Real, Real) -> Real) -> Self {
+    /// Rows (fixed `il`, `j`) are sampled in parallel.
+    pub fn from_fn(layout: Layout, f: impl Fn(Real, Real, Real) -> Real + Sync) -> Self {
         let mut field = Self::zeros(layout);
-        let g = layout.grid;
-        let h = g.spacing();
-        let [ni, n2, n3] = layout.local_dims();
-        let mut idx = 0;
-        for il in 0..ni {
-            let x1 = (layout.slab.i0 + il) as Real * h[0];
-            for j in 0..n2 {
-                let x2 = j as Real * h[1];
-                for k in 0..n3 {
-                    let x3 = k as Real * h[2];
-                    field.data[idx] = f(x1, x2, x3);
-                    idx += 1;
-                }
+        let h = layout.grid.spacing();
+        let [_, n2, n3] = layout.local_dims();
+        let i0 = layout.slab.i0;
+        par_chunks_mut(&mut field.data, n3, |row, line| {
+            let x1 = (i0 + row / n2) as Real * h[0];
+            let x2 = (row % n2) as Real * h[1];
+            for (k, v) in line.iter_mut().enumerate() {
+                *v = f(x1, x2, k as Real * h[2]);
             }
-        }
+        });
         field
     }
 
@@ -88,25 +105,41 @@ impl ScalarField {
 
     /// `self *= a`.
     pub fn scale(&mut self, a: Real) {
-        for x in &mut self.data {
-            *x *= a;
-        }
+        timing::time(Kernel::FieldOps, || {
+            par_chunks_mut(&mut self.data, ELEM_CHUNK, |_, c| {
+                for x in c {
+                    *x *= a;
+                }
+            })
+        });
     }
 
     /// `self += a·x` (same layout required).
     pub fn axpy(&mut self, a: Real, x: &ScalarField) {
         self.check_same_layout(x);
-        for (s, &xi) in self.data.iter_mut().zip(&x.data) {
-            *s += a * xi;
-        }
+        let xd = &x.data;
+        timing::time(Kernel::FieldOps, || {
+            par_chunks_mut(&mut self.data, ELEM_CHUNK, |ci, c| {
+                let base = ci * ELEM_CHUNK;
+                for (i, s) in c.iter_mut().enumerate() {
+                    *s += a * xd[base + i];
+                }
+            })
+        });
     }
 
     /// `self = a·self + x`.
     pub fn aypx(&mut self, a: Real, x: &ScalarField) {
         self.check_same_layout(x);
-        for (s, &xi) in self.data.iter_mut().zip(&x.data) {
-            *s = a * *s + xi;
-        }
+        let xd = &x.data;
+        timing::time(Kernel::FieldOps, || {
+            par_chunks_mut(&mut self.data, ELEM_CHUNK, |ci, c| {
+                let base = ci * ELEM_CHUNK;
+                for (i, s) in c.iter_mut().enumerate() {
+                    *s = a * *s + xd[base + i];
+                }
+            })
+        });
     }
 
     /// Copy values from another field of the same layout.
@@ -116,10 +149,14 @@ impl ScalarField {
     }
 
     /// Apply `f` to every sample in place.
-    pub fn map_inplace(&mut self, f: impl Fn(Real) -> Real) {
-        for x in &mut self.data {
-            *x = f(*x);
-        }
+    pub fn map_inplace(&mut self, f: impl Fn(Real) -> Real + Sync) {
+        timing::time(Kernel::FieldOps, || {
+            par_chunks_mut(&mut self.data, ELEM_CHUNK, |_, c| {
+                for x in c {
+                    *x = f(*x);
+                }
+            })
+        });
     }
 
     /// `self[i] += a · x[i] · y[i]` — fused multiply-accumulate of a product,
@@ -127,9 +164,15 @@ impl ScalarField {
     pub fn add_scaled_product(&mut self, a: Real, x: &ScalarField, y: &ScalarField) {
         self.check_same_layout(x);
         self.check_same_layout(y);
-        for ((s, &xi), &yi) in self.data.iter_mut().zip(&x.data).zip(&y.data) {
-            *s += a * xi * yi;
-        }
+        let (xd, yd) = (&x.data, &y.data);
+        timing::time(Kernel::FieldOps, || {
+            par_chunks_mut(&mut self.data, ELEM_CHUNK, |ci, c| {
+                let base = ci * ELEM_CHUNK;
+                for (i, s) in c.iter_mut().enumerate() {
+                    *s += a * xd[base + i] * yd[base + i];
+                }
+            })
+        });
     }
 
     fn check_same_layout(&self, other: &ScalarField) {
@@ -138,14 +181,16 @@ impl ScalarField {
 
     // ----- reductions ------------------------------------------------------
 
-    /// Local (this-rank) raw dot product, accumulated in f64.
+    /// Local (this-rank) raw dot product, accumulated in f64 over fixed-size
+    /// blocks so the result is bitwise identical for every thread count.
     pub fn dot_local(&self, other: &ScalarField) -> f64 {
         self.check_same_layout(other);
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| a as f64 * b as f64)
-            .sum()
+        let (a, b) = (&self.data, &other.data);
+        timing::time(Kernel::FieldOps, || {
+            par_sum_blocks(a.len(), |r| {
+                a[r.clone()].iter().zip(&b[r]).map(|(&x, &y)| x as f64 * y as f64).sum()
+            })
+        })
     }
 
     /// Global raw dot product (sum over all grid points).
@@ -165,13 +210,15 @@ impl ScalarField {
 
     /// Global max absolute value.
     pub fn max_abs(&self, comm: &mut Comm) -> f64 {
-        let local = self.data.iter().fold(0.0f64, |m, &x| m.max((x as f64).abs()));
+        let local = timing::time(Kernel::FieldOps, || par_max_abs(&self.data));
         comm.allreduce_max_scalar(local)
     }
 
     /// Global sum of samples.
     pub fn sum(&self, comm: &mut Comm) -> f64 {
-        let local: f64 = self.data.iter().map(|&x| x as f64).sum();
+        let local = timing::time(Kernel::FieldOps, || {
+            par_sum_blocks(self.data.len(), |r| self.data[r].iter().map(|&x| x as f64).sum())
+        });
         comm.allreduce_sum_scalar(local)
     }
 }
@@ -193,9 +240,9 @@ impl VectorField {
     /// Sample three analytic component functions.
     pub fn from_fns(
         layout: Layout,
-        f1: impl Fn(Real, Real, Real) -> Real,
-        f2: impl Fn(Real, Real, Real) -> Real,
-        f3: impl Fn(Real, Real, Real) -> Real,
+        f1: impl Fn(Real, Real, Real) -> Real + Sync,
+        f2: impl Fn(Real, Real, Real) -> Real + Sync,
+        f3: impl Fn(Real, Real, Real) -> Real + Sync,
     ) -> Self {
         Self {
             c: [
@@ -248,12 +295,7 @@ impl VectorField {
 
     /// Global raw dot product over all components.
     pub fn dot(&self, other: &VectorField, comm: &mut Comm) -> f64 {
-        let local: f64 = self
-            .c
-            .iter()
-            .zip(&other.c)
-            .map(|(a, b)| a.dot_local(b))
-            .sum();
+        let local: f64 = self.c.iter().zip(&other.c).map(|(a, b)| a.dot_local(b)).sum();
         comm.allreduce_sum_scalar(local)
     }
 
@@ -270,11 +312,9 @@ impl VectorField {
     /// Global max over components of max absolute value — used for the CFL
     /// estimate that sizes the scatter buffers (paper §3.1).
     pub fn max_abs(&self, comm: &mut Comm) -> f64 {
-        let local = self
-            .c
-            .iter()
-            .flat_map(|c| c.data().iter())
-            .fold(0.0f64, |m, &x| m.max((x as f64).abs()));
+        let local = timing::time(Kernel::FieldOps, || {
+            self.c.iter().map(|c| par_max_abs(c.data())).fold(0.0, f64::max)
+        });
         comm.allreduce_max_scalar(local)
     }
 }
@@ -321,7 +361,8 @@ mod tests {
     fn vector_dot_symmetry() {
         let l = serial(8);
         let v = VectorField::from_fns(l, |x, _, _| x.sin(), |_, y, _| y.cos(), |_, _, z| z.sin());
-        let w = VectorField::from_fns(l, |x, _, _| x.cos(), |_, y, _| y.sin(), |_, _, z| 1.0 + 0.0 * z);
+        let w =
+            VectorField::from_fns(l, |x, _, _| x.cos(), |_, y, _| y.sin(), |_, _, z| 1.0 + 0.0 * z);
         let mut comm = Comm::solo();
         let a = v.dot(&w, &mut comm);
         let b = w.dot(&v, &mut comm);

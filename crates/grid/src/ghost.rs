@@ -11,6 +11,8 @@
 //! phase of Table 2 and the `comm` column of Table 3.
 
 use claire_mpi::{Comm, CommCat};
+use claire_par::par_chunks_mut;
+use claire_par::timing::{self, Kernel};
 
 use crate::field::ScalarField;
 use crate::real::Real;
@@ -58,129 +60,147 @@ impl GhostField {
     pub fn halo_bytes(&self) -> usize {
         2 * self.width * self.layout.grid.n[1] * self.layout.grid.n[2] * std::mem::size_of::<Real>()
     }
+
+    /// Zeroed ghost buffer sized for `layout` and `width`, to be filled by
+    /// [`exchange_into`] — allocate once, reuse across exchanges.
+    pub fn alloc(layout: Layout, width: usize) -> GhostField {
+        let g = layout.grid;
+        assert!(width <= g.n[0], "halo width {width} exceeds grid extent {}", g.n[0]);
+        let plane = g.n[1] * g.n[2];
+        GhostField { layout, width, data: vec![0.0 as Real; (layout.slab.ni + 2 * width) * plane] }
+    }
 }
 
 /// Exchange ghost layers of `width` planes for `field`.
 ///
 /// Works for any rank count, including serial (pure local periodic wrap).
-/// All ranks of the communicator must call this collectively.
+/// All ranks of the communicator must call this collectively. Allocates the
+/// ghost buffer; hot loops should hold one and call [`exchange_into`].
 pub fn exchange(field: &ScalarField, width: usize, comm: &mut Comm) -> GhostField {
+    let mut gf = GhostField::alloc(*field.layout(), width);
+    exchange_into(field, comm, &mut gf);
+    gf
+}
+
+/// Fill a pre-allocated ghost buffer (see [`GhostField::alloc`]) — the
+/// allocation-free variant used by the FD scratch path. The interior copy is
+/// parallelized over `x1`-planes; the send/receive part stays serial (it is
+/// latency-bound and must follow the virtual-MPI per-rank message order).
+pub fn exchange_into(field: &ScalarField, comm: &mut Comm, gf: &mut GhostField) {
     let layout = *field.layout();
+    assert_eq!(gf.layout, layout, "ghost buffer layout mismatch");
+    let width = gf.width;
     let g = layout.grid;
     let plane = g.n[1] * g.n[2];
     let ni = layout.slab.ni;
-    assert!(
-        width <= g.n[0],
-        "halo width {width} exceeds grid extent {}",
-        g.n[0]
-    );
+    let data = &mut gf.data;
 
-    let mut data = vec![0.0 as Real; (ni + 2 * width) * plane];
-    // interior copy
-    data[width * plane..(width + ni) * plane].copy_from_slice(field.data());
+    timing::time(Kernel::Ghost, || {
+        // interior copy, parallel over planes
+        let src = field.data();
+        par_chunks_mut(&mut data[width * plane..(width + ni) * plane], plane, |pi, dst| {
+            dst.copy_from_slice(&src[pi * plane..pi * plane + dst.len()]);
+        });
 
-    if layout.is_serial() {
-        // periodic wrap without communication
+        if layout.is_serial() {
+            // periodic wrap without communication
+            for w in 0..width {
+                let src_lo = g.wrap(0, -(1 + w as isize)); // planes n-1, n-2, ...
+                let dst_lo = width - 1 - w;
+                data.copy_within(
+                    (width + src_lo) * plane..(width + src_lo + 1) * plane,
+                    dst_lo * plane,
+                );
+                let src_hi = g.wrap(0, (ni + w) as isize);
+                let dst_hi = width + ni + w;
+                data.copy_within(
+                    (width + src_hi) * plane..(width + src_hi + 1) * plane,
+                    dst_hi * plane,
+                );
+            }
+            return;
+        }
+
+        // Global plane indices this rank needs, in halo storage order:
+        // low halo: i0-width .. i0, high halo: i_end .. i_end+width (wrapped).
+        // For every other rank, figure out (a) which of *my* planes it needs
+        // and send them, (b) which planes I need from it and receive them.
+        let p = layout.nranks;
+        let me = layout.rank;
+
+        // (plane in my halo storage) -> (owner, global plane)
+        let mut needed: Vec<(usize, usize, usize)> = Vec::with_capacity(2 * width); // (storage_plane, owner, global_i)
         for w in 0..width {
-            let src_lo = g.wrap(0, -(1 + w as isize)); // planes n-1, n-2, ...
-            let dst_lo = width - 1 - w;
-            data.copy_within(
-                (width + src_lo) * plane..(width + src_lo + 1) * plane,
-                dst_lo * plane,
-            );
-            let src_hi = g.wrap(0, (ni + w) as isize);
-            let dst_hi = width + ni + w;
-            data.copy_within(
-                (width + src_hi) * plane..(width + src_hi + 1) * plane,
-                dst_hi * plane,
-            );
+            let gi = g.wrap(0, layout.slab.i0 as isize - width as isize + w as isize);
+            needed.push((w, layout.owner_of_plane(gi), gi));
         }
-        return GhostField { layout, width, data };
-    }
-
-    // Global plane indices this rank needs, in halo storage order:
-    // low halo: i0-width .. i0, high halo: i_end .. i_end+width (wrapped).
-    // For every other rank, figure out (a) which of *my* planes it needs and
-    // send them, (b) which planes I need from it and receive them.
-    let p = layout.nranks;
-    let me = layout.rank;
-
-    // (plane in my halo storage) -> (owner, global plane)
-    let mut needed: Vec<(usize, usize, usize)> = Vec::with_capacity(2 * width); // (storage_plane, owner, global_i)
-    for w in 0..width {
-        let gi = g.wrap(0, layout.slab.i0 as isize - width as isize + w as isize);
-        needed.push((w, layout.owner_of_plane(gi), gi));
-    }
-    for w in 0..width {
-        let gi = g.wrap(0, (layout.slab.i_end() + w) as isize);
-        needed.push((width + ni + w, layout.owner_of_plane(gi), gi));
-    }
-
-    // Deterministically compute what each peer needs from me by replaying
-    // the same rule from their perspective.
-    const TAG_GHOST: u64 = 0x6805;
-    for peer in 0..p {
-        if peer == me {
-            continue;
-        }
-        let pslab = layout.slab_of(peer);
-        let mut planes_for_peer: Vec<usize> = Vec::new();
         for w in 0..width {
-            let gi = g.wrap(0, pslab.i0 as isize - width as isize + w as isize);
-            if layout.slab.owns(gi) {
-                planes_for_peer.push(gi);
-            }
-            let gi_hi = g.wrap(0, (pslab.i_end() + w) as isize);
-            if layout.slab.owns(gi_hi) {
-                planes_for_peer.push(gi_hi);
-            }
+            let gi = g.wrap(0, (layout.slab.i_end() + w) as isize);
+            needed.push((width + ni + w, layout.owner_of_plane(gi), gi));
         }
-        if !planes_for_peer.is_empty() {
-            planes_for_peer.sort_unstable();
-            planes_for_peer.dedup();
-            let mut buf: Vec<Real> = Vec::with_capacity(planes_for_peer.len() * plane);
-            for &gi in &planes_for_peer {
-                let il = gi - layout.slab.i0;
-                buf.extend_from_slice(&field.data()[il * plane..(il + 1) * plane]);
-            }
-            comm.send(peer, TAG_GHOST, CommCat::Ghost, &buf);
-        }
-    }
 
-    // Receive from each owner I depend on; planes arrive sorted by global
-    // index (the sender's ordering), deduplicated.
-    let mut owners: Vec<usize> = needed.iter().map(|&(_, o, _)| o).filter(|&o| o != me).collect();
-    owners.sort_unstable();
-    owners.dedup();
-    for owner in owners {
-        let buf: Vec<Real> = comm.recv(owner, TAG_GHOST, CommCat::Ghost);
-        let mut planes: Vec<usize> = needed
-            .iter()
-            .filter(|&&(_, o, _)| o == owner)
-            .map(|&(_, _, gi)| gi)
-            .collect();
-        planes.sort_unstable();
-        planes.dedup();
-        assert_eq!(buf.len(), planes.len() * plane, "ghost message size mismatch");
-        for (slot, &gi) in planes.iter().enumerate() {
-            for &(storage, o, need_gi) in &needed {
-                if o == owner && need_gi == gi {
-                    data[storage * plane..(storage + 1) * plane]
-                        .copy_from_slice(&buf[slot * plane..(slot + 1) * plane]);
+        // Deterministically compute what each peer needs from me by replaying
+        // the same rule from their perspective.
+        const TAG_GHOST: u64 = 0x6805;
+        for peer in 0..p {
+            if peer == me {
+                continue;
+            }
+            let pslab = layout.slab_of(peer);
+            let mut planes_for_peer: Vec<usize> = Vec::new();
+            for w in 0..width {
+                let gi = g.wrap(0, pslab.i0 as isize - width as isize + w as isize);
+                if layout.slab.owns(gi) {
+                    planes_for_peer.push(gi);
+                }
+                let gi_hi = g.wrap(0, (pslab.i_end() + w) as isize);
+                if layout.slab.owns(gi_hi) {
+                    planes_for_peer.push(gi_hi);
+                }
+            }
+            if !planes_for_peer.is_empty() {
+                planes_for_peer.sort_unstable();
+                planes_for_peer.dedup();
+                let mut buf: Vec<Real> = Vec::with_capacity(planes_for_peer.len() * plane);
+                for &gi in &planes_for_peer {
+                    let il = gi - layout.slab.i0;
+                    buf.extend_from_slice(&field.data()[il * plane..(il + 1) * plane]);
+                }
+                comm.send(peer, TAG_GHOST, CommCat::Ghost, &buf);
+            }
+        }
+
+        // Receive from each owner I depend on; planes arrive sorted by global
+        // index (the sender's ordering), deduplicated.
+        let mut owners: Vec<usize> =
+            needed.iter().map(|&(_, o, _)| o).filter(|&o| o != me).collect();
+        owners.sort_unstable();
+        owners.dedup();
+        for owner in owners {
+            let buf: Vec<Real> = comm.recv(owner, TAG_GHOST, CommCat::Ghost);
+            let mut planes: Vec<usize> =
+                needed.iter().filter(|&&(_, o, _)| o == owner).map(|&(_, _, gi)| gi).collect();
+            planes.sort_unstable();
+            planes.dedup();
+            assert_eq!(buf.len(), planes.len() * plane, "ghost message size mismatch");
+            for (slot, &gi) in planes.iter().enumerate() {
+                for &(storage, o, need_gi) in &needed {
+                    if o == owner && need_gi == gi {
+                        data[storage * plane..(storage + 1) * plane]
+                            .copy_from_slice(&buf[slot * plane..(slot + 1) * plane]);
+                    }
                 }
             }
         }
-    }
 
-    // halo planes I own myself (tiny grids / wrap-around onto my own slab)
-    for &(storage, o, gi) in &needed {
-        if o == me {
-            let il = gi - layout.slab.i0;
-            data.copy_within((width + il) * plane..(width + il + 1) * plane, storage * plane);
+        // halo planes I own myself (tiny grids / wrap-around onto my own slab)
+        for &(storage, o, gi) in &needed {
+            if o == me {
+                let il = gi - layout.slab.i0;
+                data.copy_within((width + il) * plane..(width + il + 1) * plane, storage * plane);
+            }
         }
-    }
-
-    GhostField { layout, width, data }
+    });
 }
 
 #[cfg(test)]

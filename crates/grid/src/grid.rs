@@ -37,11 +37,7 @@ impl Grid {
 
     /// Grid spacing `h = [2π/n1, 2π/n2, 2π/n3]`.
     pub fn spacing(&self) -> [Real; 3] {
-        [
-            TWO_PI / self.n[0] as Real,
-            TWO_PI / self.n[1] as Real,
-            TWO_PI / self.n[2] as Real,
-        ]
+        [TWO_PI / self.n[0] as Real, TWO_PI / self.n[1] as Real, TWO_PI / self.n[2] as Real]
     }
 
     /// Volume element `h1·h2·h3` of the midpoint quadrature used for all

@@ -76,9 +76,8 @@ pub fn gather_vector(v: &VectorField, comm: &mut Comm) -> Option<VectorField> {
 
 /// Scatter a serial vector field on rank 0 to slab layout.
 pub fn scatter_vector(global: Option<&VectorField>, grid: Grid, comm: &mut Comm) -> VectorField {
-    let comps: Vec<ScalarField> = (0..3)
-        .map(|d| scatter(global.map(|v| &v.c[d]), grid, comm))
-        .collect();
+    let comps: Vec<ScalarField> =
+        (0..3).map(|d| scatter(global.map(|v| &v.c[d]), grid, comm)).collect();
     let mut it = comps.into_iter();
     VectorField { c: [it.next().unwrap(), it.next().unwrap(), it.next().unwrap()] }
 }

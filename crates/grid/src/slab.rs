@@ -22,10 +22,7 @@ impl Slab {
     /// The slab owned by `rank` among `nranks` for `n1` planes.
     pub fn of_rank(n1: usize, nranks: usize, rank: usize) -> Slab {
         assert!(rank < nranks);
-        assert!(
-            nranks <= n1,
-            "more ranks ({nranks}) than x1 planes ({n1}): slab would be empty"
-        );
+        assert!(nranks <= n1, "more ranks ({nranks}) than x1 planes ({n1}): slab would be empty");
         let base = n1 / nranks;
         let extra = n1 % nranks;
         let ni = base + usize::from(rank < extra);

@@ -4,6 +4,8 @@ use std::time::Instant;
 
 use claire_grid::{ghost, Real, ScalarField, VectorField};
 use claire_mpi::{AlltoallMethod, Comm, CommCat};
+use claire_par::timing::{self, Kernel};
+use claire_par::{par_map_collect, par_map_collect_work};
 
 use crate::kernel::{interp_ghost, to_index, IpOrder};
 
@@ -25,7 +27,11 @@ pub struct PhaseTimes {
 impl PhaseTimes {
     /// Sum of all phases.
     pub fn total(&self) -> f64 {
-        self.ghost_comm + self.interp_comm + self.scatter_comm + self.interp_kernel + self.scatter_mpi_buffer
+        self.ghost_comm
+            + self.interp_comm
+            + self.scatter_comm
+            + self.interp_kernel
+            + self.scatter_mpi_buffer
     }
 
     /// (label, value) pairs in the paper's Table 2 row order.
@@ -94,14 +100,18 @@ impl Interpolator {
 
         // ---- phase: scatter_mpi_buffer (partition queries by owner) ----
         let t0 = Instant::now();
+        // owner lookup per query in parallel (the copy_if predicate);
+        // bucketing stays serial to keep per-owner query order stable
+        let owners: Vec<u32> = par_map_collect(queries.len(), |qi| {
+            let u1 = to_index(queries[qi][0], n1);
+            let plane = (u1 as usize).min(n1 - 1);
+            layout.owner_of_plane(plane) as u32
+        });
         let mut dest_queries: Vec<Vec<[Real; 3]>> = (0..p).map(|_| Vec::new()).collect();
         let mut dest_origin: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
-        for (qi, q) in queries.iter().enumerate() {
-            let u1 = to_index(q[0], n1);
-            let plane = (u1 as usize).min(n1 - 1);
-            let owner = layout.owner_of_plane(plane);
-            dest_queries[owner].push(*q);
-            dest_origin[owner].push(qi as u32);
+        for (qi, (q, &owner)) in queries.iter().zip(&owners).enumerate() {
+            dest_queries[owner as usize].push(*q);
+            dest_origin[owner as usize].push(qi as u32);
         }
         // modeled: one streaming pass over the query list (copy_if analogue)
         comm.advance_kernel(std::mem::size_of_val(queries) * 2, 4 * queries.len());
@@ -121,27 +131,31 @@ impl Interpolator {
         // ---- phase: ghost_comm (halo exchange of the fields) ----
         let t0 = Instant::now();
         let m0 = comm.stats().cat(CommCat::Ghost).modeled_secs;
-        let ghosts: Vec<ghost::GhostField> = fields
-            .iter()
-            .map(|f| ghost::exchange(f, IpOrder::GHOST_WIDTH, comm))
-            .collect();
+        let ghosts: Vec<ghost::GhostField> =
+            fields.iter().map(|f| ghost::exchange(f, IpOrder::GHOST_WIDTH, comm)).collect();
         self.stats.wall.ghost_comm += t0.elapsed().as_secs_f64();
         self.stats.modeled.ghost_comm += comm.stats().cat(CommCat::Ghost).modeled_secs - m0;
 
         // ---- phase: interp_kernel (local stencil evaluation) ----
         let t0 = Instant::now();
+        // every (field, query) evaluation is independent — the GPU version
+        // runs one thread per query; here the flattened field-major batch is
+        // split across workers, preserving the serial value order
+        let order = self.order;
         let mut value_bufs: Vec<Vec<Real>> = Vec::with_capacity(p);
         let mut nq_local = 0usize;
-        for part in &incoming {
-            let mut vals = Vec::with_capacity(part.len() * nf);
-            for gf in &ghosts {
-                for q in part {
-                    vals.push(interp_ghost(gf, self.order, *q));
-                }
+        timing::time(Kernel::Interp, || {
+            // weight ≈ stencil flops relative to a ~8-op element-wise point
+            let weight = (order.flops_per_query() / 8).max(1);
+            for part in &incoming {
+                let nq = part.len();
+                let vals = par_map_collect_work(nf * nq, weight, |t| {
+                    interp_ghost(&ghosts[t / nq], order, part[t % nq])
+                });
+                nq_local += nq;
+                value_bufs.push(vals);
             }
-            nq_local += part.len();
-            value_bufs.push(vals);
-        }
+        });
         let flops = nq_local * nf * self.order.flops_per_query();
         let bytes = nq_local * nf * 2 * std::mem::size_of::<Real>();
         comm.advance_kernel(bytes, flops);
@@ -156,7 +170,7 @@ impl Interpolator {
         self.stats.modeled.interp_comm += comm.stats().cat(CommCat::InterpValues).modeled_secs - m0;
 
         // reassemble into query order
-        let mut out: Vec<Vec<Real>> = (0..nf).map(|_| vec![0.0 as Real; queries.len()]) .collect();
+        let mut out: Vec<Vec<Real>> = (0..nf).map(|_| vec![0.0 as Real; queries.len()]).collect();
         for (src, vals) in returned.iter().enumerate() {
             let origin = &dest_origin[src];
             assert_eq!(vals.len(), origin.len() * nf, "returned value count mismatch");
@@ -188,9 +202,7 @@ impl Interpolator {
         comm: &mut Comm,
     ) -> Vec<[Real; 3]> {
         let comps = self.interp_many(&[&v.c[0], &v.c[1], &v.c[2]], queries, comm);
-        (0..queries.len())
-            .map(|i| [comps[0][i], comps[1][i], comps[2][i]])
-            .collect()
+        (0..queries.len()).map(|i| [comps[0][i], comps[1][i], comps[2][i]]).collect()
     }
 }
 
@@ -225,10 +237,8 @@ mod tests {
         let serial_f = ScalarField::from_fn(Layout::serial(grid), test_fn);
         let queries = make_queries(64, 7);
         for order in [IpOrder::Linear, IpOrder::Cubic] {
-            let expect: Vec<Real> = queries
-                .iter()
-                .map(|&q| interp_serial(&serial_f, order, q))
-                .collect();
+            let expect: Vec<Real> =
+                queries.iter().map(|&q| interp_serial(&serial_f, order, q)).collect();
             for p in [1usize, 2, 3, 4] {
                 let queries = queries.clone();
                 let expect = expect.clone();
@@ -239,13 +249,11 @@ mod tests {
                     // split queries over ranks to exercise routing
                     let chunk = queries.len() / comm.size();
                     let lo = comm.rank() * chunk;
-                    let hi = if comm.rank() + 1 == comm.size() { queries.len() } else { lo + chunk };
+                    let hi =
+                        if comm.rank() + 1 == comm.size() { queries.len() } else { lo + chunk };
                     let got = ip.interp(&f, &queries[lo..hi], comm);
                     let exp = &expect[lo..hi];
-                    got.iter()
-                        .zip(exp)
-                        .map(|(&a, &b)| (a - b).abs())
-                        .fold(0.0, f64::max)
+                    got.iter().zip(exp).map(|(&a, &b)| (a - b).abs()).fold(0.0, f64::max)
                 });
                 for (r, &e) in res.outputs.iter().enumerate() {
                     assert!(e < 1e-10, "{order:?} p={p} rank={r}: err {e}");

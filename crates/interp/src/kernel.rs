@@ -75,12 +75,7 @@ pub fn lagrange_weights(t: Real) -> [Real; 4] {
     let t1 = t - 1.0;
     let t2 = t - 2.0;
     let tp = t + 1.0;
-    [
-        -t * t1 * t2 / 6.0,
-        tp * t1 * t2 / 2.0,
-        -tp * t * t2 / 2.0,
-        tp * t * t1 / 6.0,
-    ]
+    [-t * t1 * t2 / 6.0, tp * t1 * t2 / 2.0, -tp * t * t2 / 2.0, tp * t * t1 / 6.0]
 }
 
 /// Wrap a physical coordinate into `[0, 2π)` and convert to continuous grid

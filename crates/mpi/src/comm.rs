@@ -25,11 +25,7 @@ pub(crate) struct BarrierState {
 
 impl BarrierState {
     pub(crate) fn new(n: usize) -> Self {
-        Self {
-            enter: Barrier::new(n),
-            leave: Barrier::new(n),
-            clocks: Mutex::new(vec![0.0; n]),
-        }
+        Self { enter: Barrier::new(n), leave: Barrier::new(n), clocks: Mutex::new(vec![0.0; n]) }
     }
 }
 
@@ -159,20 +155,19 @@ impl Comm {
         self.send_impl(dst, tag, cat, data, false);
     }
 
-    fn send_impl<T: Pod>(&mut self, dst: usize, tag: u64, cat: CommCat, data: &[T], link_free: bool) {
+    fn send_impl<T: Pod>(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        cat: CommCat,
+        data: &[T],
+        link_free: bool,
+    ) {
         let payload = Bytes::copy_from_slice(as_bytes(data));
         let nbytes = payload.len() as u64;
-        let msg = Message {
-            src: self.rank,
-            tag,
-            cat,
-            sent_clock: self.clock.now(),
-            link_free,
-            payload,
-        };
-        self.senders[dst]
-            .send(msg)
-            .expect("virtual cluster channel closed (peer rank panicked?)");
+        let msg =
+            Message { src: self.rank, tag, cat, sent_clock: self.clock.now(), link_free, payload };
+        self.senders[dst].send(msg).expect("virtual cluster channel closed (peer rank panicked?)");
         let c = self.stats.cat_mut(cat);
         c.bytes_sent += nbytes;
         c.msgs_sent += 1;
@@ -188,9 +183,7 @@ impl Comm {
         if msg.link_free {
             self.clock.sync_to(msg.sent_clock);
         } else {
-            let t = self
-                .link
-                .msg_time(msg.payload.len(), self.topo.same_node(self.rank, msg.src));
+            let t = self.link.msg_time(msg.payload.len(), self.topo.same_node(self.rank, msg.src));
             self.clock.sync_to(msg.sent_clock + t);
             self.stats.cat_mut(cat).modeled_secs += t;
         }
@@ -198,19 +191,12 @@ impl Comm {
     }
 
     fn recv_msg(&mut self, src: usize, tag: u64, cat: CommCat) -> Message {
-        if let Some(pos) = self
-            .pending
-            .iter()
-            .position(|m| m.src == src && m.tag == tag)
-        {
+        if let Some(pos) = self.pending.iter().position(|m| m.src == src && m.tag == tag) {
             return self.pending.remove(pos);
         }
         let t0 = Instant::now();
         loop {
-            let msg = self
-                .rx
-                .recv()
-                .expect("virtual cluster channel closed (peer rank panicked?)");
+            let msg = self.rx.recv().expect("virtual cluster channel closed (peer rank panicked?)");
             if msg.src == src && msg.tag == tag {
                 self.stats.cat_mut(cat).wall_blocked += t0.elapsed();
                 return msg;
@@ -365,7 +351,12 @@ impl Comm {
     /// Gather variable-length contributions to `root`.
     ///
     /// Returns `Some(parts)` (indexed by rank) on `root`, `None` elsewhere.
-    pub fn gatherv<T: Pod>(&mut self, root: usize, data: &[T], cat: CommCat) -> Option<Vec<Vec<T>>> {
+    pub fn gatherv<T: Pod>(
+        &mut self,
+        root: usize,
+        data: &[T],
+        cat: CommCat,
+    ) -> Option<Vec<Vec<T>>> {
         if self.is_solo() {
             return Some(vec![data.to_vec()]);
         }
@@ -531,9 +522,8 @@ mod tests {
     fn alltoallv_permutation() {
         let topo = Topology::new(4, 4);
         let res = run_cluster(topo, |comm| {
-            let bufs: Vec<Vec<u64>> = (0..comm.size())
-                .map(|d| vec![(comm.rank() * 10 + d) as u64])
-                .collect();
+            let bufs: Vec<Vec<u64>> =
+                (0..comm.size()).map(|d| vec![(comm.rank() * 10 + d) as u64]).collect();
             comm.alltoallv(&bufs, CommCat::FftTranspose, AlltoallMethod::Auto)
         });
         for (r, out) in res.outputs.iter().enumerate() {

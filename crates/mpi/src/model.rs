@@ -170,8 +170,8 @@ impl LinkModel {
                 let gpn = topo.gpus_per_node.min(p);
                 let intra_peers = gpn.saturating_sub(1);
                 let inter_peers = p - 1 - intra_peers;
-                let t_intra =
-                    intra_peers as f64 * self.lat_intra + (intra_peers * per_pair) as f64 / self.bw_intra;
+                let t_intra = intra_peers as f64 * self.lat_intra
+                    + (intra_peers * per_pair) as f64 / self.bw_intra;
                 let bw_inter = self.inter_bw(topo.nnodes());
                 let t_inter = inter_peers as f64 * self.lat_inter
                     + (inter_peers * per_pair) as f64 / bw_inter;
@@ -254,14 +254,8 @@ mod tests {
     #[test]
     fn auto_switch_matches_paper_rule() {
         let topo = Topology::new(8, 4);
-        assert_eq!(
-            AlltoallMethod::Auto.resolve(600 * 1024, &topo),
-            AlltoallMethod::PeerToPeer
-        );
-        assert_eq!(
-            AlltoallMethod::Auto.resolve(100 * 1024, &topo),
-            AlltoallMethod::VendorMpi
-        );
+        assert_eq!(AlltoallMethod::Auto.resolve(600 * 1024, &topo), AlltoallMethod::PeerToPeer);
+        assert_eq!(AlltoallMethod::Auto.resolve(100 * 1024, &topo), AlltoallMethod::VendorMpi);
         let one_node = Topology::new(4, 4);
         assert_eq!(
             AlltoallMethod::Auto.resolve(1, &one_node),

@@ -6,7 +6,6 @@
 //! bit pattern is a valid value. This mirrors what CUDA-aware MPI does with
 //! device buffers: raw bytes on the wire.
 
-
 /// Marker trait for types that can be reinterpreted as raw bytes.
 ///
 /// # Safety
@@ -36,9 +35,7 @@ unsafe impl<T: Pod, const N: usize> Pod for [T; N] {}
 /// View a Pod slice as its raw bytes.
 pub fn as_bytes<T: Pod>(slice: &[T]) -> &[u8] {
     // SAFETY: T: Pod guarantees no padding and full initialization.
-    unsafe {
-        std::slice::from_raw_parts(slice.as_ptr() as *const u8, std::mem::size_of_val(slice))
-    }
+    unsafe { std::slice::from_raw_parts(slice.as_ptr() as *const u8, std::mem::size_of_val(slice)) }
 }
 
 /// Copy raw bytes into a typed vector.

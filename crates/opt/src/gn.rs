@@ -340,7 +340,11 @@ mod tests {
         let (_, stats) = gauss_newton(&mut prob, VectorField::zeros(layout), &cfg, &mut comm);
         assert_eq!(stats.gn_iters, 2);
         // 3 PCG iterations per GN step, unless it converged to machine zero early
-        assert!(stats.pcg_iters_total <= 6 && stats.pcg_iters_total >= 3, "{}", stats.pcg_iters_total);
+        assert!(
+            stats.pcg_iters_total <= 6 && stats.pcg_iters_total >= 3,
+            "{}",
+            stats.pcg_iters_total
+        );
     }
 
     #[test]

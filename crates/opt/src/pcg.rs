@@ -160,14 +160,18 @@ mod tests {
         let layout = Layout::serial(Grid::cube(8));
         let mut comm = Comm::solo();
         let coef = diag_coeff(layout);
-        let xtrue = VectorField::from_fns(layout, |x, _, _| x.sin(), |_, y, _| y.cos(), |_, _, z| z);
+        let xtrue =
+            VectorField::from_fns(layout, |x, _, _| x.sin(), |_, y, _| y.cos(), |_, _, z| z);
         let b = apply_diag(&coef, &xtrue);
         let cfg = PcgConfig { tol_rel: 1e-10, max_iter: 200, trace: true };
         let (x, res) = pcg(
             &b,
             None,
             &cfg,
-            &mut FnOps(|v: &VectorField, _: &mut Comm| apply_diag(&coef, v), |r: &VectorField, _: &mut Comm| r.clone()),
+            &mut FnOps(
+                |v: &VectorField, _: &mut Comm| apply_diag(&coef, v),
+                |r: &VectorField, _: &mut Comm| r.clone(),
+            ),
             &mut comm,
         );
         assert!(res.converged, "rel {}", res.rel_residual);
@@ -184,7 +188,12 @@ mod tests {
         let layout = Layout::serial(Grid::cube(8));
         let mut comm = Comm::solo();
         let coef = diag_coeff(layout);
-        let b = VectorField::from_fns(layout, |x, _, _| x.cos(), |_, y, _| y.sin(), |_, _, z| 1.0 + 0.0 * z);
+        let b = VectorField::from_fns(
+            layout,
+            |x, _, _| x.cos(),
+            |_, y, _| y.sin(),
+            |_, _, z| 1.0 + 0.0 * z,
+        );
         let cfg = PcgConfig { tol_rel: 1e-10, max_iter: 50, trace: false };
         let inv = |r: &VectorField, _: &mut Comm| {
             let mut out = r.clone();
@@ -211,14 +220,18 @@ mod tests {
         let layout = Layout::serial(Grid::cube(8));
         let mut comm = Comm::solo();
         let coef = diag_coeff(layout);
-        let xtrue = VectorField::from_fns(layout, |x, _, _| x.sin(), |_, y, _| y, |_, _, z| z.cos());
+        let xtrue =
+            VectorField::from_fns(layout, |x, _, _| x.sin(), |_, y, _| y, |_, _, z| z.cos());
         let b = apply_diag(&coef, &xtrue);
         let cfg = PcgConfig { tol_rel: 1e-8, max_iter: 300, trace: false };
         let (_, cold) = pcg(
             &b,
             None,
             &cfg,
-            &mut FnOps(|v: &VectorField, _: &mut Comm| apply_diag(&coef, v), |r: &VectorField, _: &mut Comm| r.clone()),
+            &mut FnOps(
+                |v: &VectorField, _: &mut Comm| apply_diag(&coef, v),
+                |r: &VectorField, _: &mut Comm| r.clone(),
+            ),
             &mut comm,
         );
         // warm start at the exact solution: zero iterations needed
@@ -227,7 +240,10 @@ mod tests {
             &b,
             Some(&x0),
             &cfg,
-            &mut FnOps(|v: &VectorField, _: &mut Comm| apply_diag(&coef, v), |r: &VectorField, _: &mut Comm| r.clone()),
+            &mut FnOps(
+                |v: &VectorField, _: &mut Comm| apply_diag(&coef, v),
+                |r: &VectorField, _: &mut Comm| r.clone(),
+            ),
             &mut comm,
         );
         assert!(warm.iters == 0, "warm start at solution needs no iterations: {}", warm.iters);
@@ -245,7 +261,10 @@ mod tests {
             &b,
             None,
             &cfg,
-            &mut FnOps(|v: &VectorField, _: &mut Comm| v.clone(), |r: &VectorField, _: &mut Comm| r.clone()),
+            &mut FnOps(
+                |v: &VectorField, _: &mut Comm| v.clone(),
+                |r: &VectorField, _: &mut Comm| r.clone(),
+            ),
             &mut comm,
         );
         assert_eq!(res.iters, 0);

@@ -1,0 +1,125 @@
+//! Per-kernel timing counters.
+//!
+//! Each parallelized kernel family has one [`Kernel`] slot holding an atomic
+//! call count and accumulated wall-clock nanoseconds. Counters cover the
+//! whole kernel invocation (serial or parallel), so comparing snapshots taken
+//! under different thread counts measures the realized speedup directly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The instrumented kernel families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kernel {
+    /// Finite-difference stencil application (per-axis derivative).
+    Fd,
+    /// Single-rank 3-D FFT (forward or inverse).
+    FftSerial,
+    /// Distributed FFT compute stages (2-D plane + 1-D pencil passes).
+    FftDist,
+    /// Transpose pack/unpack around the FFT all-to-all.
+    FftTranspose,
+    /// Scattered-data interpolation kernel (per-query evaluation).
+    Interp,
+    /// Ghost-layer pack/unpack and interior copy.
+    Ghost,
+    /// Element-wise field algebra (axpy, scale, dot, …).
+    FieldOps,
+    /// Semi-Lagrangian RK2 trajectory integration.
+    SemiLag,
+}
+
+const NKERNELS: usize = 8;
+
+const NAMES: [&str; NKERNELS] =
+    ["fd", "fft_serial", "fft_dist", "fft_transpose", "interp", "ghost", "field_ops", "semilag"];
+
+struct Slot {
+    calls: AtomicU64,
+    nanos: AtomicU64,
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO_SLOT: Slot = Slot { calls: AtomicU64::new(0), nanos: AtomicU64::new(0) };
+
+static SLOTS: [Slot; NKERNELS] = [ZERO_SLOT; NKERNELS];
+
+impl Kernel {
+    fn index(self) -> usize {
+        match self {
+            Kernel::Fd => 0,
+            Kernel::FftSerial => 1,
+            Kernel::FftDist => 2,
+            Kernel::FftTranspose => 3,
+            Kernel::Interp => 4,
+            Kernel::Ghost => 5,
+            Kernel::FieldOps => 6,
+            Kernel::SemiLag => 7,
+        }
+    }
+
+    /// Stable snake_case name used in reports and `BENCH_kernels.json`.
+    pub fn name(self) -> &'static str {
+        NAMES[self.index()]
+    }
+}
+
+/// Run `f`, charging its wall time to `k`.
+pub fn time<R>(k: Kernel, f: impl FnOnce() -> R) -> R {
+    let t0 = Instant::now();
+    let out = f();
+    let slot = &SLOTS[k.index()];
+    slot.calls.fetch_add(1, Ordering::Relaxed);
+    slot.nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    out
+}
+
+/// One kernel's accumulated counters.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelStat {
+    /// Stable kernel name (see [`Kernel::name`]).
+    pub name: &'static str,
+    /// Invocations since the last [`reset`].
+    pub calls: u64,
+    /// Accumulated wall-clock nanoseconds across those invocations.
+    pub nanos: u64,
+}
+
+/// Counters for every kernel family, in declaration order (including
+/// never-invoked ones, with zero calls).
+pub fn snapshot() -> Vec<KernelStat> {
+    (0..NKERNELS)
+        .map(|i| KernelStat {
+            name: NAMES[i],
+            calls: SLOTS[i].calls.load(Ordering::Relaxed),
+            nanos: SLOTS[i].nanos.load(Ordering::Relaxed),
+        })
+        .collect()
+}
+
+/// Zero all counters.
+pub fn reset() {
+    for s in &SLOTS {
+        s.calls.store(0, Ordering::Relaxed);
+        s.nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_accumulates() {
+        reset();
+        let v = time(Kernel::Fd, || 41 + 1);
+        assert_eq!(v, 42);
+        time(Kernel::Fd, || std::thread::sleep(std::time::Duration::from_millis(1)));
+        let snap = snapshot();
+        let fd = snap.iter().find(|s| s.name == "fd").unwrap();
+        assert_eq!(fd.calls, 2);
+        assert!(fd.nanos >= 1_000_000, "expected >=1ms accumulated, got {}", fd.nanos);
+        reset();
+        assert!(snapshot().iter().all(|s| s.calls == 0 && s.nanos == 0));
+    }
+}

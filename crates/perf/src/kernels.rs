@@ -62,7 +62,12 @@ pub const SL_COMM_BW_CAP: f64 = 5.0e9;
 pub const FD_GHOST_EFF: f64 = 0.25;
 
 /// One distributed 3D FFT **pair** (forward + inverse), as Table 5 reports.
-pub fn fft_pair_time(machine: &Machine, n: [usize; 3], p: usize, method: AlltoallMethod) -> KernelTime {
+pub fn fft_pair_time(
+    machine: &Machine,
+    n: [usize; 3],
+    p: usize,
+    method: AlltoallMethod,
+) -> KernelTime {
     let ncpx = n[0] as f64 * n[1] as f64 * (n[2] / 2 + 1) as f64;
     let compute = 2.0 * FFT_PASS_FACTOR * ncpx * 2.0 * WORD / machine.device.dram_bw / p as f64
         + 6.0 * machine.device.launch_overhead;
@@ -118,7 +123,11 @@ pub struct SlPhases {
 impl SlPhases {
     /// Total of all phases.
     pub fn total(&self) -> f64 {
-        self.ghost_comm + self.interp_comm + self.scatter_comm + self.interp_kernel + self.scatter_mpi_buffer
+        self.ghost_comm
+            + self.interp_comm
+            + self.scatter_comm
+            + self.interp_kernel
+            + self.scatter_mpi_buffer
     }
 
     /// Communication-only share.
@@ -153,7 +162,8 @@ pub fn sl_phases(machine: &Machine, n: [usize; 3], p: usize, cubic: bool, nt: us
     let dram_time = total_queries * 2.0 * WORD / machine.device.dram_bw;
     let interp_kernel = flop_time.max(dram_time) + nt as f64 * machine.device.launch_overhead;
 
-    let scatter_mpi_buffer = SCATTER_BUF_PASSES * total_queries * 3.0 * WORD / machine.device.dram_bw
+    let scatter_mpi_buffer = SCATTER_BUF_PASSES * total_queries * 3.0 * WORD
+        / machine.device.dram_bw
         + nt as f64 * machine.device.launch_overhead;
 
     if p <= 1 {
@@ -233,7 +243,12 @@ mod tests {
         let s2 = sl_phases(&m, [512, 256, 256], 2, true, 4);
         let s4 = sl_phases(&m, [512, 512, 256], 4, true, 4);
         assert!(close(s2.interp_kernel, s1.interp_kernel, 1.2));
-        assert!(s4.ghost_comm > 1.5 * s2.ghost_comm, "ghost should ~double: {} vs {}", s4.ghost_comm, s2.ghost_comm);
+        assert!(
+            s4.ghost_comm > 1.5 * s2.ghost_comm,
+            "ghost should ~double: {} vs {}",
+            s4.ghost_comm,
+            s2.ghost_comm
+        );
     }
 
     #[test]

@@ -18,11 +18,7 @@ pub struct Machine {
 impl Machine {
     /// TACC Longhorn, the paper's system.
     pub fn longhorn() -> Machine {
-        Machine {
-            device: DeviceModel::default(),
-            link: LinkModel::default(),
-            gpus_per_node: 4,
-        }
+        Machine { device: DeviceModel::default(), link: LinkModel::default(), gpus_per_node: 4 }
     }
 
     /// Topology for `p` ranks on this machine.

@@ -27,13 +27,76 @@ pub struct Table2Row {
 
 /// Table 2 of the paper.
 pub const TABLE2: [Table2Row; 7] = [
-    Table2Row { size: [256, 256, 256], gpus: 1, ghost_comm: 0.0, interp_comm: 0.0, scatter_comm: 0.0, interp_kernel: 1.77e-2, scatter_mpi_buffer: 0.0, total: 1.90e-2 },
-    Table2Row { size: [512, 256, 256], gpus: 2, ghost_comm: 2.48e-3, interp_comm: 1.71e-3, scatter_comm: 2.65e-4, interp_kernel: 1.79e-2, scatter_mpi_buffer: 5.88e-3, total: 3.28e-2 },
-    Table2Row { size: [512, 512, 256], gpus: 4, ghost_comm: 3.49e-3, interp_comm: 1.80e-3, scatter_comm: 7.81e-4, interp_kernel: 1.76e-2, scatter_mpi_buffer: 7.16e-3, total: 3.53e-2 },
-    Table2Row { size: [512, 512, 512], gpus: 8, ghost_comm: 7.51e-3, interp_comm: 3.62e-3, scatter_comm: 2.02e-3, interp_kernel: 1.76e-2, scatter_mpi_buffer: 6.63e-3, total: 4.18e-2 },
-    Table2Row { size: [1024, 512, 512], gpus: 16, ghost_comm: 8.66e-3, interp_comm: 4.17e-3, scatter_comm: 2.85e-3, interp_kernel: 1.83e-2, scatter_mpi_buffer: 6.98e-3, total: 4.54e-2 },
-    Table2Row { size: [1024, 1024, 512], gpus: 32, ghost_comm: 1.31e-2, interp_comm: 5.92e-3, scatter_comm: 5.42e-3, interp_kernel: 1.84e-2, scatter_mpi_buffer: 7.00e-3, total: 5.44e-2 },
-    Table2Row { size: [1024, 1024, 1024], gpus: 64, ghost_comm: 2.23e-2, interp_comm: 9.73e-3, scatter_comm: 8.72e-3, interp_kernel: 1.87e-2, scatter_mpi_buffer: 7.30e-3, total: 7.13e-2 },
+    Table2Row {
+        size: [256, 256, 256],
+        gpus: 1,
+        ghost_comm: 0.0,
+        interp_comm: 0.0,
+        scatter_comm: 0.0,
+        interp_kernel: 1.77e-2,
+        scatter_mpi_buffer: 0.0,
+        total: 1.90e-2,
+    },
+    Table2Row {
+        size: [512, 256, 256],
+        gpus: 2,
+        ghost_comm: 2.48e-3,
+        interp_comm: 1.71e-3,
+        scatter_comm: 2.65e-4,
+        interp_kernel: 1.79e-2,
+        scatter_mpi_buffer: 5.88e-3,
+        total: 3.28e-2,
+    },
+    Table2Row {
+        size: [512, 512, 256],
+        gpus: 4,
+        ghost_comm: 3.49e-3,
+        interp_comm: 1.80e-3,
+        scatter_comm: 7.81e-4,
+        interp_kernel: 1.76e-2,
+        scatter_mpi_buffer: 7.16e-3,
+        total: 3.53e-2,
+    },
+    Table2Row {
+        size: [512, 512, 512],
+        gpus: 8,
+        ghost_comm: 7.51e-3,
+        interp_comm: 3.62e-3,
+        scatter_comm: 2.02e-3,
+        interp_kernel: 1.76e-2,
+        scatter_mpi_buffer: 6.63e-3,
+        total: 4.18e-2,
+    },
+    Table2Row {
+        size: [1024, 512, 512],
+        gpus: 16,
+        ghost_comm: 8.66e-3,
+        interp_comm: 4.17e-3,
+        scatter_comm: 2.85e-3,
+        interp_kernel: 1.83e-2,
+        scatter_mpi_buffer: 6.98e-3,
+        total: 4.54e-2,
+    },
+    Table2Row {
+        size: [1024, 1024, 512],
+        gpus: 32,
+        ghost_comm: 1.31e-2,
+        interp_comm: 5.92e-3,
+        scatter_comm: 5.42e-3,
+        interp_kernel: 1.84e-2,
+        scatter_mpi_buffer: 7.00e-3,
+        total: 5.44e-2,
+    },
+    Table2Row {
+        size: [1024, 1024, 1024],
+        gpus: 64,
+        ghost_comm: 2.23e-2,
+        interp_comm: 9.73e-3,
+        scatter_comm: 8.72e-3,
+        interp_kernel: 1.87e-2,
+        scatter_mpi_buffer: 7.30e-3,
+        total: 7.13e-2,
+    },
 ];
 
 /// One row of Table 3 (FD kernel scaling; seconds).
@@ -59,7 +122,13 @@ pub const TABLE3: [Table3Row; 7] = [
     Table3Row { gpus: 4, size: [512, 512, 512], comm: 7.01e-4, kernel: 1.70e-3, total: 2.40e-3 },
     Table3Row { gpus: 8, size: [512, 512, 512], comm: 9.86e-4, kernel: 8.66e-4, total: 1.85e-3 },
     Table3Row { gpus: 16, size: [512, 512, 512], comm: 8.94e-4, kernel: 4.60e-4, total: 1.35e-3 },
-    Table3Row { gpus: 64, size: [1024, 1024, 1024], comm: 2.85e-3, kernel: 9.03e-4, total: 3.76e-3 },
+    Table3Row {
+        gpus: 64,
+        size: [1024, 1024, 1024],
+        comm: 2.85e-3,
+        kernel: 9.03e-4,
+        total: 3.76e-3,
+    },
 ];
 
 /// One row-group of Table 4 (sustained bidirectional bandwidth, GB/s, for
@@ -76,13 +145,41 @@ pub struct Table4Row {
 
 /// Table 4 of the paper.
 pub const TABLE4: [Table4Row; 7] = [
-    Table4Row { size: [256, 256, 256], mpi: [5.6, 5.0, 3.3, 2.2, 2.0, 1.5], p2p: [35.7, 9.3, 2.2, 1.3, 1.6, 1.4] },
-    Table4Row { size: [512, 256, 256], mpi: [5.1, 5.2, 3.5, 1.5, 1.9, 1.9], p2p: [36.0, 9.5, 5.8, 1.0, 1.5, 1.4] },
-    Table4Row { size: [512, 512, 256], mpi: [5.4, 4.6, 3.5, 2.8, 1.6, 2.7], p2p: [36.6, 9.9, 6.1, 0.4, 1.7, 1.4] },
-    Table4Row { size: [512, 512, 512], mpi: [5.9, 4.9, 3.9, 2.7, 2.5, 2.7], p2p: [37.1, 9.5, 5.9, 4.7, 0.5, 1.5] },
-    Table4Row { size: [1024, 512, 512], mpi: [6.4, 5.4, 3.9, 3.4, 3.2, 2.2], p2p: [32.6, 10.1, 5.9, 4.8, 0.4, 0.5] },
-    Table4Row { size: [1024, 1024, 512], mpi: [6.7, 5.5, 4.2, 3.6, 3.4, 2.7], p2p: [36.6, 10.5, 5.4, 4.7, 4.5, 0.3] },
-    Table4Row { size: [1024, 1024, 1024], mpi: [6.7, 5.6, 4.4, 3.7, 3.4, 3.1], p2p: [36.8, 10.6, 5.2, 4.6, 4.3, 0.4] },
+    Table4Row {
+        size: [256, 256, 256],
+        mpi: [5.6, 5.0, 3.3, 2.2, 2.0, 1.5],
+        p2p: [35.7, 9.3, 2.2, 1.3, 1.6, 1.4],
+    },
+    Table4Row {
+        size: [512, 256, 256],
+        mpi: [5.1, 5.2, 3.5, 1.5, 1.9, 1.9],
+        p2p: [36.0, 9.5, 5.8, 1.0, 1.5, 1.4],
+    },
+    Table4Row {
+        size: [512, 512, 256],
+        mpi: [5.4, 4.6, 3.5, 2.8, 1.6, 2.7],
+        p2p: [36.6, 9.9, 6.1, 0.4, 1.7, 1.4],
+    },
+    Table4Row {
+        size: [512, 512, 512],
+        mpi: [5.9, 4.9, 3.9, 2.7, 2.5, 2.7],
+        p2p: [37.1, 9.5, 5.9, 4.7, 0.5, 1.5],
+    },
+    Table4Row {
+        size: [1024, 512, 512],
+        mpi: [6.4, 5.4, 3.9, 3.4, 3.2, 2.2],
+        p2p: [32.6, 10.1, 5.9, 4.8, 0.4, 0.5],
+    },
+    Table4Row {
+        size: [1024, 1024, 512],
+        mpi: [6.7, 5.5, 4.2, 3.6, 3.4, 2.7],
+        p2p: [36.6, 10.5, 5.4, 4.7, 4.5, 0.3],
+    },
+    Table4Row {
+        size: [1024, 1024, 1024],
+        mpi: [6.7, 5.6, 4.4, 3.7, 3.4, 3.1],
+        p2p: [36.8, 10.6, 5.2, 4.6, 4.3, 0.4],
+    },
 ];
 
 /// MPI task counts of the Table 4/5 columns.
@@ -103,13 +200,48 @@ pub struct Table5Row {
 
 /// Table 5 of the paper.
 pub const TABLE5: [Table5Row; 7] = [
-    Table5Row { size: [256, 256, 256], cufft3d: Some(1.41), slab1: Some(1.86), ranks: [2.83, 3.92, 4.17, 3.88, 2.93, 3.76] },
-    Table5Row { size: [512, 256, 256], cufft3d: Some(3.20), slab1: Some(3.87), ranks: [5.39, 7.65, 7.33, 5.21, 4.09, 4.30] },
-    Table5Row { size: [512, 512, 256], cufft3d: Some(7.30), slab1: Some(7.70), ranks: [8.48, 13.8, 13.3, 8.29, 5.67, 5.12] },
-    Table5Row { size: [512, 512, 512], cufft3d: Some(16.9), slab1: Some(16.9), ranks: [15.6, 25.7, 24.5, 16.7, 9.63, 7.23] },
-    Table5Row { size: [1024, 512, 512], cufft3d: Some(31.2), slab1: Some(40.1), ranks: [31.8, 51.3, 43.6, 31.3, 17.8, 11.8] },
-    Table5Row { size: [1024, 1024, 512], cufft3d: None, slab1: None, ranks: [65.7, 100.0, 90.5, 54.2, 33.4, 21.4] },
-    Table5Row { size: [1024, 1024, 1024], cufft3d: None, slab1: None, ranks: [132.0, 198.0, 182.0, 116.0, 62.0, 38.4] },
+    Table5Row {
+        size: [256, 256, 256],
+        cufft3d: Some(1.41),
+        slab1: Some(1.86),
+        ranks: [2.83, 3.92, 4.17, 3.88, 2.93, 3.76],
+    },
+    Table5Row {
+        size: [512, 256, 256],
+        cufft3d: Some(3.20),
+        slab1: Some(3.87),
+        ranks: [5.39, 7.65, 7.33, 5.21, 4.09, 4.30],
+    },
+    Table5Row {
+        size: [512, 512, 256],
+        cufft3d: Some(7.30),
+        slab1: Some(7.70),
+        ranks: [8.48, 13.8, 13.3, 8.29, 5.67, 5.12],
+    },
+    Table5Row {
+        size: [512, 512, 512],
+        cufft3d: Some(16.9),
+        slab1: Some(16.9),
+        ranks: [15.6, 25.7, 24.5, 16.7, 9.63, 7.23],
+    },
+    Table5Row {
+        size: [1024, 512, 512],
+        cufft3d: Some(31.2),
+        slab1: Some(40.1),
+        ranks: [31.8, 51.3, 43.6, 31.3, 17.8, 11.8],
+    },
+    Table5Row {
+        size: [1024, 1024, 512],
+        cufft3d: None,
+        slab1: None,
+        ranks: [65.7, 100.0, 90.5, 54.2, 33.4, 21.4],
+    },
+    Table5Row {
+        size: [1024, 1024, 1024],
+        cufft3d: None,
+        slab1: None,
+        ranks: [132.0, 198.0, 182.0, 116.0, 62.0, 38.4],
+    },
 ];
 
 /// One row of Table 6 (full registrations; seconds; key columns).
@@ -137,17 +269,127 @@ pub struct Table6Row {
 
 /// Selected rows of Table 6 (NIREP 256³ block and the largest runs).
 pub const TABLE6: [Table6Row; 11] = [
-    Table6Row { data: "na02", pc: "InvA", size: [256, 256, 256], gpus: 1, gn: 14, pcg: 75, mismatch: 2.73e-2, grad_rel: 3.09e-2, total: 6.19 },
-    Table6Row { data: "na02", pc: "InvH0", size: [256, 256, 256], gpus: 1, gn: 14, pcg: 23, mismatch: 2.62e-2, grad_rel: 2.82e-2, total: 5.54 },
-    Table6Row { data: "na02", pc: "2LInvH0", size: [256, 256, 256], gpus: 1, gn: 14, pcg: 28, mismatch: 2.79e-2, grad_rel: 3.23e-2, total: 4.44 },
-    Table6Row { data: "na03", pc: "InvA", size: [256, 256, 256], gpus: 1, gn: 17, pcg: 93, mismatch: 2.55e-2, grad_rel: 3.11e-2, total: 7.53 },
-    Table6Row { data: "na03", pc: "2LInvH0", size: [256, 256, 256], gpus: 1, gn: 17, pcg: 39, mismatch: 2.56e-2, grad_rel: 3.17e-2, total: 5.39 },
-    Table6Row { data: "na10", pc: "InvA", size: [256, 256, 256], gpus: 1, gn: 17, pcg: 94, mismatch: 1.96e-2, grad_rel: 2.94e-2, total: 7.61 },
-    Table6Row { data: "na10", pc: "2LInvH0", size: [256, 256, 256], gpus: 1, gn: 17, pcg: 38, mismatch: 1.93e-2, grad_rel: 2.90e-2, total: 5.45 },
-    Table6Row { data: "na10", pc: "2LInvH0", size: [512, 512, 512], gpus: 4, gn: 18, pcg: 37, mismatch: 2.68e-2, grad_rel: 4.39e-2, total: 29.2 },
-    Table6Row { data: "na10", pc: "2LInvH0", size: [1024, 1024, 1024], gpus: 32, gn: 22, pcg: 59, mismatch: 2.73e-2, grad_rel: 3.77e-2, total: 171.0 },
-    Table6Row { data: "clarity", pc: "2LInvH0", size: [1024, 384, 384], gpus: 4, gn: 12, pcg: 75, mismatch: 2.02e-1, grad_rel: 4.54e-2, total: 43.6 },
-    Table6Row { data: "clarity", pc: "InvH0", size: [1024, 768, 768], gpus: 16, gn: 15, pcg: 52, mismatch: 2.03e-1, grad_rel: 4.38e-2, total: 286.0 },
+    Table6Row {
+        data: "na02",
+        pc: "InvA",
+        size: [256, 256, 256],
+        gpus: 1,
+        gn: 14,
+        pcg: 75,
+        mismatch: 2.73e-2,
+        grad_rel: 3.09e-2,
+        total: 6.19,
+    },
+    Table6Row {
+        data: "na02",
+        pc: "InvH0",
+        size: [256, 256, 256],
+        gpus: 1,
+        gn: 14,
+        pcg: 23,
+        mismatch: 2.62e-2,
+        grad_rel: 2.82e-2,
+        total: 5.54,
+    },
+    Table6Row {
+        data: "na02",
+        pc: "2LInvH0",
+        size: [256, 256, 256],
+        gpus: 1,
+        gn: 14,
+        pcg: 28,
+        mismatch: 2.79e-2,
+        grad_rel: 3.23e-2,
+        total: 4.44,
+    },
+    Table6Row {
+        data: "na03",
+        pc: "InvA",
+        size: [256, 256, 256],
+        gpus: 1,
+        gn: 17,
+        pcg: 93,
+        mismatch: 2.55e-2,
+        grad_rel: 3.11e-2,
+        total: 7.53,
+    },
+    Table6Row {
+        data: "na03",
+        pc: "2LInvH0",
+        size: [256, 256, 256],
+        gpus: 1,
+        gn: 17,
+        pcg: 39,
+        mismatch: 2.56e-2,
+        grad_rel: 3.17e-2,
+        total: 5.39,
+    },
+    Table6Row {
+        data: "na10",
+        pc: "InvA",
+        size: [256, 256, 256],
+        gpus: 1,
+        gn: 17,
+        pcg: 94,
+        mismatch: 1.96e-2,
+        grad_rel: 2.94e-2,
+        total: 7.61,
+    },
+    Table6Row {
+        data: "na10",
+        pc: "2LInvH0",
+        size: [256, 256, 256],
+        gpus: 1,
+        gn: 17,
+        pcg: 38,
+        mismatch: 1.93e-2,
+        grad_rel: 2.90e-2,
+        total: 5.45,
+    },
+    Table6Row {
+        data: "na10",
+        pc: "2LInvH0",
+        size: [512, 512, 512],
+        gpus: 4,
+        gn: 18,
+        pcg: 37,
+        mismatch: 2.68e-2,
+        grad_rel: 4.39e-2,
+        total: 29.2,
+    },
+    Table6Row {
+        data: "na10",
+        pc: "2LInvH0",
+        size: [1024, 1024, 1024],
+        gpus: 32,
+        gn: 22,
+        pcg: 59,
+        mismatch: 2.73e-2,
+        grad_rel: 3.77e-2,
+        total: 171.0,
+    },
+    Table6Row {
+        data: "clarity",
+        pc: "2LInvH0",
+        size: [1024, 384, 384],
+        gpus: 4,
+        gn: 12,
+        pcg: 75,
+        mismatch: 2.02e-1,
+        grad_rel: 4.54e-2,
+        total: 43.6,
+    },
+    Table6Row {
+        data: "clarity",
+        pc: "InvH0",
+        size: [1024, 768, 768],
+        gpus: 16,
+        gn: 15,
+        pcg: 52,
+        mismatch: 2.03e-1,
+        grad_rel: 4.38e-2,
+        total: 286.0,
+    },
 ];
 
 /// One row of Table 7 (full-solver scaling; seconds; % communication).
@@ -173,23 +415,176 @@ pub struct Table7Row {
 
 /// Table 7 of the paper (all rows).
 pub const TABLE7: [Table7Row; 17] = [
-    Table7Row { size: [128, 128, 128], nodes: 1, gpus: 1, fft: (1.03e-1, 0.0), sl: (1.82e-1, 0.0), fd: (6.12e-2, 0.0), overall: (5.11e-1, 0.0), memory_gb: 1.11 },
-    Table7Row { size: [128, 128, 128], nodes: 1, gpus: 2, fft: (1.74e-1, 44.5), sl: (3.88e-1, 69.3), fd: (1.52e-1, 54.3), overall: (8.37e-1, 51.3), memory_gb: 0.95 },
-    Table7Row { size: [128, 128, 128], nodes: 1, gpus: 4, fft: (2.35e-1, 59.8), sl: (4.13e-1, 76.4), fd: (1.44e-1, 62.0), overall: (9.17e-1, 59.5), memory_gb: 0.79 },
-    Table7Row { size: [128, 128, 128], nodes: 2, gpus: 8, fft: (6.95e-1, 85.5), sl: (5.56e-1, 83.9), fd: (2.87e-1, 84.4), overall: (1.66, 78.4), memory_gb: 0.71 },
-    Table7Row { size: [128, 128, 128], nodes: 4, gpus: 16, fft: (5.38e-1, 90.0), sl: (6.19e-1, 85.5), fd: (5.72e-1, 92.1), overall: (1.87, 82.3), memory_gb: 0.66 },
-    Table7Row { size: [256, 256, 256], nodes: 1, gpus: 1, fft: (7.74e-1, 0.0), sl: (1.16, 0.0), fd: (3.72e-1, 0.0), overall: (3.32, 0.0), memory_gb: 5.09 },
-    Table7Row { size: [256, 256, 256], nodes: 1, gpus: 4, fft: (9.84e-1, 74.7), sl: (8.20e-1, 66.5), fd: (3.20e-1, 45.4), overall: (2.56, 55.6), memory_gb: 1.95 },
-    Table7Row { size: [256, 256, 256], nodes: 8, gpus: 32, fft: (1.36, 95.3), sl: (1.24, 91.4), fd: (3.59e-1, 84.0), overall: (3.15, 86.8), memory_gb: 0.78 },
-    Table7Row { size: [512, 512, 512], nodes: 1, gpus: 4, fft: (7.33, 74.0), sl: (4.26, 60.6), fd: (1.62, 32.2), overall: (1.62e1, 52.5), memory_gb: 11.2 },
-    Table7Row { size: [512, 512, 512], nodes: 2, gpus: 8, fft: (1.16e1, 90.0), sl: (2.76, 68.0), fd: (1.31, 56.4), overall: (1.73e1, 75.5), memory_gb: 5.84 },
-    Table7Row { size: [512, 512, 512], nodes: 4, gpus: 16, fft: (1.02e1, 94.5), sl: (1.93, 74.5), fd: (1.05, 70.3), overall: (1.41e1, 83.9), memory_gb: 3.32 },
-    Table7Row { size: [512, 512, 512], nodes: 8, gpus: 32, fft: (7.08, 94.3), sl: (1.56, 81.3), fd: (9.31e-1, 80.4), overall: (1.01e1, 85.9), memory_gb: 2.00 },
-    Table7Row { size: [512, 512, 512], nodes: 16, gpus: 64, fft: (4.88, 96.8), sl: (1.58, 87.9), fd: (8.75e-1, 86.9), overall: (7.72, 89.1), memory_gb: 1.31 },
-    Table7Row { size: [1024, 1024, 1024], nodes: 8, gpus: 32, fft: (4.06e1, 95.0), sl: (5.33, 73.4), fd: (2.85, 69.6), overall: (5.19e1, 85.7), memory_gb: 11.5 },
-    Table7Row { size: [1024, 1024, 1024], nodes: 16, gpus: 64, fft: (2.44e1, 95.0), sl: (4.17, 81.9), fd: (2.48, 81.4), overall: (3.27e1, 87.4), memory_gb: 6.23 },
-    Table7Row { size: [1024, 1024, 1024], nodes: 32, gpus: 128, fft: (1.47e1, 96.9), sl: (3.94, 89.2), fd: (2.20, 88.2), overall: (2.18e1, 90.2), memory_gb: 3.43 },
-    Table7Row { size: [2048, 2048, 2048], nodes: 64, gpus: 256, fft: (5.18e1, 93.1), sl: (1.46e1, 92.4), fd: (5.89, 88.5), overall: (7.60e1, 88.1), memory_gb: 12.5 },
+    Table7Row {
+        size: [128, 128, 128],
+        nodes: 1,
+        gpus: 1,
+        fft: (1.03e-1, 0.0),
+        sl: (1.82e-1, 0.0),
+        fd: (6.12e-2, 0.0),
+        overall: (5.11e-1, 0.0),
+        memory_gb: 1.11,
+    },
+    Table7Row {
+        size: [128, 128, 128],
+        nodes: 1,
+        gpus: 2,
+        fft: (1.74e-1, 44.5),
+        sl: (3.88e-1, 69.3),
+        fd: (1.52e-1, 54.3),
+        overall: (8.37e-1, 51.3),
+        memory_gb: 0.95,
+    },
+    Table7Row {
+        size: [128, 128, 128],
+        nodes: 1,
+        gpus: 4,
+        fft: (2.35e-1, 59.8),
+        sl: (4.13e-1, 76.4),
+        fd: (1.44e-1, 62.0),
+        overall: (9.17e-1, 59.5),
+        memory_gb: 0.79,
+    },
+    Table7Row {
+        size: [128, 128, 128],
+        nodes: 2,
+        gpus: 8,
+        fft: (6.95e-1, 85.5),
+        sl: (5.56e-1, 83.9),
+        fd: (2.87e-1, 84.4),
+        overall: (1.66, 78.4),
+        memory_gb: 0.71,
+    },
+    Table7Row {
+        size: [128, 128, 128],
+        nodes: 4,
+        gpus: 16,
+        fft: (5.38e-1, 90.0),
+        sl: (6.19e-1, 85.5),
+        fd: (5.72e-1, 92.1),
+        overall: (1.87, 82.3),
+        memory_gb: 0.66,
+    },
+    Table7Row {
+        size: [256, 256, 256],
+        nodes: 1,
+        gpus: 1,
+        fft: (7.74e-1, 0.0),
+        sl: (1.16, 0.0),
+        fd: (3.72e-1, 0.0),
+        overall: (3.32, 0.0),
+        memory_gb: 5.09,
+    },
+    Table7Row {
+        size: [256, 256, 256],
+        nodes: 1,
+        gpus: 4,
+        fft: (9.84e-1, 74.7),
+        sl: (8.20e-1, 66.5),
+        fd: (3.20e-1, 45.4),
+        overall: (2.56, 55.6),
+        memory_gb: 1.95,
+    },
+    Table7Row {
+        size: [256, 256, 256],
+        nodes: 8,
+        gpus: 32,
+        fft: (1.36, 95.3),
+        sl: (1.24, 91.4),
+        fd: (3.59e-1, 84.0),
+        overall: (3.15, 86.8),
+        memory_gb: 0.78,
+    },
+    Table7Row {
+        size: [512, 512, 512],
+        nodes: 1,
+        gpus: 4,
+        fft: (7.33, 74.0),
+        sl: (4.26, 60.6),
+        fd: (1.62, 32.2),
+        overall: (1.62e1, 52.5),
+        memory_gb: 11.2,
+    },
+    Table7Row {
+        size: [512, 512, 512],
+        nodes: 2,
+        gpus: 8,
+        fft: (1.16e1, 90.0),
+        sl: (2.76, 68.0),
+        fd: (1.31, 56.4),
+        overall: (1.73e1, 75.5),
+        memory_gb: 5.84,
+    },
+    Table7Row {
+        size: [512, 512, 512],
+        nodes: 4,
+        gpus: 16,
+        fft: (1.02e1, 94.5),
+        sl: (1.93, 74.5),
+        fd: (1.05, 70.3),
+        overall: (1.41e1, 83.9),
+        memory_gb: 3.32,
+    },
+    Table7Row {
+        size: [512, 512, 512],
+        nodes: 8,
+        gpus: 32,
+        fft: (7.08, 94.3),
+        sl: (1.56, 81.3),
+        fd: (9.31e-1, 80.4),
+        overall: (1.01e1, 85.9),
+        memory_gb: 2.00,
+    },
+    Table7Row {
+        size: [512, 512, 512],
+        nodes: 16,
+        gpus: 64,
+        fft: (4.88, 96.8),
+        sl: (1.58, 87.9),
+        fd: (8.75e-1, 86.9),
+        overall: (7.72, 89.1),
+        memory_gb: 1.31,
+    },
+    Table7Row {
+        size: [1024, 1024, 1024],
+        nodes: 8,
+        gpus: 32,
+        fft: (4.06e1, 95.0),
+        sl: (5.33, 73.4),
+        fd: (2.85, 69.6),
+        overall: (5.19e1, 85.7),
+        memory_gb: 11.5,
+    },
+    Table7Row {
+        size: [1024, 1024, 1024],
+        nodes: 16,
+        gpus: 64,
+        fft: (2.44e1, 95.0),
+        sl: (4.17, 81.9),
+        fd: (2.48, 81.4),
+        overall: (3.27e1, 87.4),
+        memory_gb: 6.23,
+    },
+    Table7Row {
+        size: [1024, 1024, 1024],
+        nodes: 32,
+        gpus: 128,
+        fft: (1.47e1, 96.9),
+        sl: (3.94, 89.2),
+        fd: (2.20, 88.2),
+        overall: (2.18e1, 90.2),
+        memory_gb: 3.43,
+    },
+    Table7Row {
+        size: [2048, 2048, 2048],
+        nodes: 64,
+        gpus: 256,
+        fft: (5.18e1, 93.1),
+        sl: (1.46e1, 92.4),
+        fd: (5.89, 88.5),
+        overall: (7.60e1, 88.1),
+        memory_gb: 12.5,
+    },
 ];
 
 /// Fig. 3 qualitative expectations: accumulated outer-PCG iteration counts
@@ -222,7 +617,11 @@ mod tests {
     fn tables_are_consistent() {
         // Table 2 totals ≈ sum of phases
         for r in &TABLE2 {
-            let sum = r.ghost_comm + r.interp_comm + r.scatter_comm + r.interp_kernel + r.scatter_mpi_buffer;
+            let sum = r.ghost_comm
+                + r.interp_comm
+                + r.scatter_comm
+                + r.interp_kernel
+                + r.scatter_mpi_buffer;
             // the published totals include a small unattributed remainder
             assert!((sum - r.total).abs() / r.total < 0.2, "{:?}", r.size);
         }

@@ -95,7 +95,12 @@ pub fn kernel_counts(c: &SolverCounts) -> KernelCounts {
 }
 
 /// Model one full solve (a Table 7 row) at paper scale.
-pub fn solver_time(machine: &Machine, n: [usize; 3], p: usize, c: &SolverCounts) -> SolverBreakdown {
+pub fn solver_time(
+    machine: &Machine,
+    n: [usize; 3],
+    p: usize,
+    c: &SolverCounts,
+) -> SolverBreakdown {
     let k = kernel_counts(c);
     let fft1 = fft_pair_time(machine, n, p, AlltoallMethod::Auto);
     // one SL unit = one advection; sl_phases models exactly one advection

@@ -55,9 +55,7 @@ pub fn displacement(
 /// map is not a diffeomorphism at that point.
 pub fn jacobian_det(u: &VectorField, comm: &mut Comm) -> ScalarField {
     let layout = *u.layout();
-    let g: Vec<VectorField> = (0..3)
-        .map(|d| claire_diff::fd::gradient(&u.c[d], comm))
-        .collect();
+    let g: Vec<VectorField> = (0..3).map(|d| claire_diff::fd::gradient(&u.c[d], comm)).collect();
     let mut det = ScalarField::zeros(layout);
     let n = layout.local_len();
     let out = det.data_mut();
@@ -116,16 +114,15 @@ mod tests {
         let traj = Trajectory::compute(&v, 8, &mut ip, &mut comm);
         let u = displacement(&traj, 8, &mut ip, &mut comm);
         // y = x − c  ⇒  u1 = −c everywhere
-        let err = u.c[0]
-            .data()
-            .iter()
-            .map(|&x| (x + c).abs())
-            .fold(0.0, f64::max);
+        let err = u.c[0].data().iter().map(|&x| (x + c).abs()).fold(0.0, f64::max);
         assert!(err < 1e-6, "u1 should be −c: err {err}");
         assert!(u.c[1].max_abs(&mut comm) < 1e-9);
         let det = jacobian_det(&u, &mut comm);
         let (lo, hi) = det_bounds(&det, &mut comm);
-        assert!((lo - 1.0).abs() < 1e-6 && (hi - 1.0).abs() < 1e-6, "translation is volume preserving");
+        assert!(
+            (lo - 1.0).abs() < 1e-6 && (hi - 1.0).abs() < 1e-6,
+            "translation is volume preserving"
+        );
     }
 
     #[test]

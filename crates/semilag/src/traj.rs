@@ -22,6 +22,8 @@
 use claire_grid::{Real, ScalarField, VectorField};
 use claire_interp::Interpolator;
 use claire_mpi::Comm;
+use claire_par::par_map_collect;
+use claire_par::timing::{self, Kernel};
 
 /// Pre-computed characteristic data for one stationary velocity field.
 pub struct Trajectory {
@@ -46,18 +48,14 @@ pub struct Trajectory {
 pub fn grid_points(layout: &claire_grid::Layout) -> Vec<[Real; 3]> {
     let g = layout.grid;
     let h = g.spacing();
-    let [ni, n2, n3] = layout.local_dims();
-    let mut pts = Vec::with_capacity(layout.local_len());
-    for il in 0..ni {
-        let x1 = (layout.slab.i0 + il) as Real * h[0];
-        for j in 0..n2 {
-            let x2 = j as Real * h[1];
-            for k in 0..n3 {
-                pts.push([x1, x2, k as Real * h[2]]);
-            }
-        }
-    }
-    pts
+    let [_, n2, n3] = layout.local_dims();
+    let i0 = layout.slab.i0;
+    par_map_collect(layout.local_len(), |idx| {
+        let k = idx % n3;
+        let j = (idx / n3) % n2;
+        let il = idx / (n2 * n3);
+        [(i0 + il) as Real * h[0], j as Real * h[1], k as Real * h[2]]
+    })
 }
 
 impl Trajectory {
@@ -109,31 +107,33 @@ fn rk2_feet(
     interp: &mut Interpolator,
     comm: &mut Comm,
 ) -> Vec<[Real; 3]> {
-    // Euler predictor
-    let mid: Vec<[Real; 3]> = pts
-        .iter()
-        .enumerate()
-        .map(|(i, p)| [p[0] + s * v1[i], p[1] + s * v2[i], p[2] + s * v3[i]])
-        .collect();
+    // Euler predictor — one independent update per grid point
+    let mid: Vec<[Real; 3]> = timing::time(Kernel::SemiLag, || {
+        par_map_collect(pts.len(), |i| {
+            let p = &pts[i];
+            [p[0] + s * v1[i], p[1] + s * v2[i], p[2] + s * v3[i]]
+        })
+    });
     // v at predictor points (off-grid)
     let vm = interp.interp_vector(v, &mid, comm);
-    pts.iter()
-        .enumerate()
-        .map(|(i, p)| {
+    // Heun corrector
+    timing::time(Kernel::SemiLag, || {
+        par_map_collect(pts.len(), |i| {
+            let p = &pts[i];
             [
                 p[0] + 0.5 * s * (v1[i] + vm[i][0]),
                 p[1] + 0.5 * s * (v2[i] + vm[i][1]),
                 p[2] + 0.5 * s * (v3[i] + vm[i][2]),
             ]
         })
-        .collect()
+    })
 }
 
 #[cfg(test)]
 mod tests {
-    use claire_interp::IpOrder;
     use super::*;
     use claire_grid::{Grid, Layout, TWO_PI};
+    use claire_interp::IpOrder;
 
     #[test]
     fn constant_velocity_feet_are_shifts() {

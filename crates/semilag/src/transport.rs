@@ -1,8 +1,11 @@
 //! The four transport solves of the optimality system.
 
-use claire_grid::{Real, ScalarField, VectorField};
+use claire_diff::fd::FdScratch;
+use claire_grid::{ScalarField, VectorField};
 use claire_interp::{Interpolator, IpOrder};
 use claire_mpi::Comm;
+use claire_par::par_map_collect;
+use claire_par::timing::{self, Kernel};
 
 use crate::traj::Trajectory;
 
@@ -67,8 +70,14 @@ impl Transport {
             m.push(ScalarField::from_data(*m0.layout(), vals));
         }
         let grad_m = store_grad.then(|| {
+            // one scratch (halo + temps) shared across all Nt+1 gradients
+            let mut scratch = FdScratch::new();
             m.iter()
-                .map(|mj| claire_diff::fd::gradient(mj, comm))
+                .map(|mj| {
+                    let mut g = VectorField::zeros(*mj.layout());
+                    claire_diff::fd::gradient_into(mj, comm, &mut g, &mut scratch);
+                    g
+                })
                 .collect()
         });
         StateSolution { m, grad_m }
@@ -94,11 +103,12 @@ impl Transport {
         for _ in 0..self.nt {
             let prev = lambda.last().unwrap();
             let vals = interp.interp(prev, &traj.foot_fwd, comm);
-            let mut next = vec![0.0 as Real; vals.len()];
-            for (i, (&lam_foot, n)) in vals.iter().zip(next.iter_mut()).enumerate() {
-                let src = 0.5 * traj.dt * (traj.div_v_at_fwd[i] + divv[i]);
-                *n = lam_foot * src.exp();
-            }
+            let next = timing::time(Kernel::SemiLag, || {
+                par_map_collect(vals.len(), |i| {
+                    let src = 0.5 * traj.dt * (traj.div_v_at_fwd[i] + divv[i]);
+                    vals[i] * src.exp()
+                })
+            });
             lambda.push(ScalarField::from_data(layout, next));
         }
         lambda.reverse(); // index j now corresponds to time t_j
@@ -137,11 +147,10 @@ impl Transport {
             // trapezoid: m̃_{j+1}(x) = m̃_j(X) − δt/2·(b_j(X) + b_{j+1}(x))
             let vals = interp.interp_many(&[&mt, &b_j], &traj.foot_back, comm);
             let (mt_foot, b_foot) = (&vals[0], &vals[1]);
-            let mut next = vec![0.0 as Real; n];
             let bn = b_next.data();
-            for i in 0..n {
-                next[i] = mt_foot[i] - 0.5 * traj.dt * (b_foot[i] + bn[i]);
-            }
+            let next = timing::time(Kernel::SemiLag, || {
+                par_map_collect(n, |i| mt_foot[i] - 0.5 * traj.dt * (b_foot[i] + bn[i]))
+            });
             mt = ScalarField::from_data(layout, next);
         }
         mt
@@ -151,15 +160,17 @@ impl Transport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use claire_grid::{Grid, Layout};
+    use claire_grid::{Grid, Layout, Real};
     use claire_mpi::{run_cluster, Topology};
 
-    fn solo_setup(
-        n: usize,
-        nt: usize,
-    ) -> (Layout, Transport, Interpolator, Comm) {
+    fn solo_setup(n: usize, nt: usize) -> (Layout, Transport, Interpolator, Comm) {
         let layout = Layout::serial(Grid::cube(n));
-        (layout, Transport::new(nt, IpOrder::Cubic), Interpolator::new(IpOrder::Cubic), Comm::solo())
+        (
+            layout,
+            Transport::new(nt, IpOrder::Cubic),
+            Interpolator::new(IpOrder::Cubic),
+            Comm::solo(),
+        )
     }
 
     #[test]
@@ -200,12 +211,8 @@ mod tests {
         let lam1 = ScalarField::from_fn(layout, |x, _, _| x.cos());
         let lam = tr.solve_adjoint(&traj, &lam1, &mut ip, &mut comm);
         assert_eq!(lam.len(), tr.nt + 1);
-        let err = lam[0]
-            .data()
-            .iter()
-            .zip(lam1.data())
-            .map(|(&a, &b)| (a - b).abs())
-            .fold(0.0, f64::max);
+        let err =
+            lam[0].data().iter().zip(lam1.data()).map(|(&a, &b)| (a - b).abs()).fold(0.0, f64::max);
         assert!(err < 1e-12, "adjoint with v=0: {err}");
     }
 
@@ -271,7 +278,12 @@ mod tests {
     #[test]
     fn store_grad_matches_recompute() {
         let (layout, tr, mut ip, mut comm) = solo_setup(12, 4);
-        let v = VectorField::from_fns(layout, |_, y, _| 0.2 * y.sin(), |x, _, _| 0.1 * x.sin(), |_, _, _| 0.0);
+        let v = VectorField::from_fns(
+            layout,
+            |_, y, _| 0.2 * y.sin(),
+            |x, _, _| 0.1 * x.sin(),
+            |_, _, _| 0.0,
+        );
         let vt = VectorField::from_fns(layout, |x, _, _| x.cos(), |_, _, _| 0.1, |_, _, _| 0.0);
         let m0 = ScalarField::from_fn(layout, |x, y, _| (x + y).sin());
         let traj = Trajectory::compute(&v, tr.nt, &mut ip, &mut comm);
@@ -279,12 +291,7 @@ mod tests {
         let without = tr.solve_state(&traj, &m0, false, &mut ip, &mut comm);
         let a = tr.solve_inc_state(&traj, &vt, &with, &mut ip, &mut comm);
         let b = tr.solve_inc_state(&traj, &vt, &without, &mut ip, &mut comm);
-        let err = a
-            .data()
-            .iter()
-            .zip(b.data())
-            .map(|(&x, &y)| (x - y).abs())
-            .fold(0.0, f64::max);
+        let err = a.data().iter().zip(b.data()).map(|(&x, &y)| (x - y).abs()).fold(0.0, f64::max);
         assert!(err < 1e-12, "store_grad must not change results: {err}");
     }
 
@@ -296,21 +303,29 @@ mod tests {
         let mut comm = Comm::solo();
         let mut ip = Interpolator::new(IpOrder::Linear);
         let tr = Transport::new(4, IpOrder::Linear);
-        let v = VectorField::from_fns(layout, |_, y, _| 0.3 * y.sin(), |x, _, _| 0.2 * x.cos(), |_, _, _| 0.1);
+        let v = VectorField::from_fns(
+            layout,
+            |_, y, _| 0.3 * y.sin(),
+            |x, _, _| 0.2 * x.cos(),
+            |_, _, _| 0.1,
+        );
         let m0 = ScalarField::from_fn(layout, |x, y, z| x.sin() + (y * 2.0).cos() + z * 0.1);
         let traj = Trajectory::compute(&v, tr.nt, &mut ip, &mut comm);
-        let expect = tr
-            .solve_state(&traj, &m0, false, &mut ip, &mut comm)
-            .final_state()
-            .data()
-            .to_vec();
+        let expect =
+            tr.solve_state(&traj, &m0, false, &mut ip, &mut comm).final_state().data().to_vec();
 
         for p in [2usize, 4] {
             let expect = expect.clone();
             let res = run_cluster(Topology::new(p, 4), move |comm| {
                 let layout = Layout::distributed(grid, comm);
-                let v = VectorField::from_fns(layout, |_, y, _| 0.3 * y.sin(), |x, _, _| 0.2 * x.cos(), |_, _, _| 0.1);
-                let m0 = ScalarField::from_fn(layout, |x, y, z| x.sin() + (y * 2.0).cos() + z * 0.1);
+                let v = VectorField::from_fns(
+                    layout,
+                    |_, y, _| 0.3 * y.sin(),
+                    |x, _, _| 0.2 * x.cos(),
+                    |_, _, _| 0.1,
+                );
+                let m0 =
+                    ScalarField::from_fn(layout, |x, y, z| x.sin() + (y * 2.0).cos() + z * 0.1);
                 let mut ip = Interpolator::new(IpOrder::Linear);
                 let tr = Transport::new(4, IpOrder::Linear);
                 let traj = Trajectory::compute(&v, tr.nt, &mut ip, comm);

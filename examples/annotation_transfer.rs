@@ -69,7 +69,11 @@ fn main() {
     let (v, report) = solver.register_from(&atlas, &subject, None, "na05", &mut comm);
     println!(
         "  mismatch {:.3e}, GN {}, PCG {}, det(∇y) ∈ [{:.3}, {:.3}]",
-        report.rel_mismatch, report.gn_iters, report.pcg_iters, report.jac_det_min, report.jac_det_max
+        report.rel_mismatch,
+        report.gn_iters,
+        report.pcg_iters,
+        report.jac_det_min,
+        report.jac_det_max
     );
 
     // transfer the annotation: transport the atlas mask with the computed v
@@ -88,9 +92,8 @@ fn main() {
     println!("  Dice before registration : {dice_before:.3}");
     println!("  Dice after registration  : {dice_after:.3}");
     println!("  Jaccard after            : {jaccard_after:.3}");
-    assert!(
-        dice_after > dice_before,
-        "registration must improve the annotation overlap"
+    assert!(dice_after > dice_before, "registration must improve the annotation overlap");
+    println!(
+        "\nok: the transferred annotation matches the subject anatomy better after registration."
     );
-    println!("\nok: the transferred annotation matches the subject anatomy better after registration.");
 }

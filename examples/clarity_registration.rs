@@ -14,10 +14,7 @@ use claire::grid::{Grid, Layout};
 use claire::mpi::Comm;
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(24);
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(24);
 
     let mut comm = Comm::solo();
     let size = [2 * n, n, n];

@@ -17,10 +17,7 @@ use claire::interp::IpOrder;
 use claire::mpi::{run_cluster, CommCat, Topology};
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(24);
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(24);
     let size = [n, n, n];
 
     println!(
@@ -43,7 +40,8 @@ fn main() {
             };
             let t0 = std::time::Instant::now();
             let mut solver = Claire::new(cfg);
-            let (_, report) = solver.register_from(&prob.template, &prob.reference, None, "SYN", comm);
+            let (_, report) =
+                solver.register_from(&prob.template, &prob.reference, None, "SYN", comm);
             (t0.elapsed().as_secs_f64(), report.rel_mismatch)
         });
         let wall = res.outputs.iter().map(|o| o.0).fold(0.0, f64::max);

@@ -14,21 +14,13 @@ use claire::data::syn::syn_problem;
 use claire::mpi::Comm;
 
 fn main() {
-    let n = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(24usize);
+    let n = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(24usize);
 
     let mut comm = Comm::solo();
     println!("building SYN problem at {n}^3 ...");
     let prob = syn_problem([n, n, n], &mut comm);
 
-    let cfg = RegistrationConfig {
-        nt: 4,
-        beta_target: 1e-3,
-        verbose: true,
-        ..Default::default()
-    };
+    let cfg = RegistrationConfig { nt: 4, beta_target: 1e-3, verbose: true, ..Default::default() };
     println!(
         "registering with {} (β continuation {:?} -> {:.0e}) ...",
         cfg.precond.label(),

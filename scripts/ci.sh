@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: build, tests, lints, formatting, and a kernel bench
+# smoke-run that refreshes BENCH_kernels.json (per-kernel ns/grid-point at
+# 64³/128³, threads 1 vs. max — see crates/bench/src/bin/bench_kernels.rs).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+cargo build --release --workspace
+
+echo "== tier-1 tests (root package) =="
+cargo test -q --release
+
+echo "== full workspace tests =="
+cargo test -q --release --workspace
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustfmt check =="
+cargo fmt --all --check
+
+echo "== kernel bench smoke-run =="
+cargo run --release -p claire-bench --bin bench_kernels
+
+echo "CI gate passed."

@@ -34,8 +34,12 @@ struct Options {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: claire-cli <template.nii> <reference.nii> [-o DIR] [--precond InvA|InvH0|2LInvH0]");
-    eprintln!("                  [--beta V] [--nt N] [--order linear|cubic] [--grid-cont] [--store-grad]");
+    eprintln!(
+        "usage: claire-cli <template.nii> <reference.nii> [-o DIR] [--precond InvA|InvH0|2LInvH0]"
+    );
+    eprintln!(
+        "                  [--beta V] [--nt N] [--order linear|cubic] [--grid-cont] [--store-grad]"
+    );
     eprintln!("                  [--eps-h0 V] [-q]");
     exit(2)
 }
@@ -44,11 +48,8 @@ fn parse_args() -> Options {
     let mut args = std::env::args().skip(1);
     let mut positional: Vec<String> = Vec::new();
     let mut out = PathBuf::from("claire_out");
-    let mut cfg = RegistrationConfig {
-        ip_order: IpOrder::Cubic,
-        verbose: true,
-        ..Default::default()
-    };
+    let mut cfg =
+        RegistrationConfig { ip_order: IpOrder::Cubic, verbose: true, ..Default::default() };
     let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| {
             eprintln!("missing value for {flag}");
@@ -70,7 +71,8 @@ fn parse_args() -> Options {
                 }
             }
             "--beta" => {
-                cfg.beta_target = next_value(&mut args, "--beta").parse().unwrap_or_else(|_| usage())
+                cfg.beta_target =
+                    next_value(&mut args, "--beta").parse().unwrap_or_else(|_| usage())
             }
             "--nt" => cfg.nt = next_value(&mut args, "--nt").parse().unwrap_or_else(|_| usage()),
             "--order" => {

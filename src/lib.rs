@@ -22,6 +22,9 @@
 //!   NIfTI-1 I/O
 //! * [`perf`] — the calibrated performance model regenerating the paper's
 //!   scaling tables
+//! * [`par`] — shared-memory parallel kernel execution (the CPU analogue of
+//!   the paper's GPU thread blocks) with deterministic reductions and
+//!   per-kernel timing counters
 //!
 //! ## Quickstart
 //!
@@ -50,5 +53,6 @@ pub use claire_grid as grid;
 pub use claire_interp as interp;
 pub use claire_mpi as mpi;
 pub use claire_opt as opt;
+pub use claire_par as par;
 pub use claire_perf as perf;
 pub use claire_semilag as semilag;

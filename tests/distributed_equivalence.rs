@@ -52,15 +52,8 @@ fn full_registration_matches_across_rank_counts() {
     let (v1, m1) = run_registration(1, n);
     for p in [2usize, 4] {
         let (vp, mp) = run_registration(p, n);
-        assert!(
-            (m1 - mp).abs() < 1e-9,
-            "p={p}: mismatch differs: {m1} vs {mp}"
-        );
-        let max_dv = v1
-            .iter()
-            .zip(&vp)
-            .map(|(&a, &b)| (a - b).abs())
-            .fold(0.0, f64::max);
+        assert!((m1 - mp).abs() < 1e-9, "p={p}: mismatch differs: {m1} vs {mp}");
+        let max_dv = v1.iter().zip(&vp).map(|(&a, &b)| (a - b).abs()).fold(0.0, f64::max);
         assert!(max_dv < 1e-8, "p={p}: velocity fields differ by {max_dv}");
     }
 }
@@ -72,7 +65,8 @@ fn serial_solo_matches_one_rank_cluster() {
     let mut comm = Comm::solo();
     let prob = syn_problem([n, n, n], &mut comm);
     let mut solver = Claire::new(fixed_cfg());
-    let (_, report_solo) = solver.register_from(&prob.template, &prob.reference, None, "SYN", &mut comm);
+    let (_, report_solo) =
+        solver.register_from(&prob.template, &prob.reference, None, "SYN", &mut comm);
 
     let (_, mismatch_cluster) = run_registration(1, n);
     assert!((report_solo.rel_mismatch - mismatch_cluster).abs() < 1e-12);
@@ -84,15 +78,13 @@ fn preconditioned_solves_match_distributed() {
     // ranks; the result must still match the serial run.
     let n = 16;
     let size = [n, n, n];
-    let cfg = RegistrationConfig {
-        precond: PrecondKind::TwoLevelInvH0,
-        ..fixed_cfg()
-    };
+    let cfg = RegistrationConfig { precond: PrecondKind::TwoLevelInvH0, ..fixed_cfg() };
     let run = move |p: usize| {
         let res = run_cluster(Topology::new(p, 4), move |comm| {
             let prob = syn_problem(size, comm);
             let mut solver = Claire::new(cfg);
-            let (_, report) = solver.register_from(&prob.template, &prob.reference, None, "SYN", comm);
+            let (_, report) =
+                solver.register_from(&prob.template, &prob.reference, None, "SYN", comm);
             (report.rel_mismatch, report.pcg_iters, report.gn_iters)
         });
         res.outputs[0]

@@ -30,12 +30,7 @@ fn register_images_loaded_from_disk() {
 
     assert_eq!(r0.layout().grid.n, [12, 12, 12]);
     // f32 storage quantizes f64 fields slightly
-    let max_err = m0
-        .data()
-        .iter()
-        .zip(r0.data())
-        .map(|(&a, &b)| (a - b).abs())
-        .fold(0.0, f64::max);
+    let max_err = m0.data().iter().zip(r0.data()).map(|(&a, &b)| (a - b).abs()).fold(0.0, f64::max);
     assert!(max_err < 1e-6, "NIfTI roundtrip error {max_err}");
 
     // register the loaded images

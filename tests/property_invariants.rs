@@ -152,7 +152,12 @@ fn transport_adjoint_pairing_conserved() {
     let mut comm = Comm::solo();
     let layout = Layout::serial(Grid::cube(24));
     // divergence-free velocity: v = (sin x2, sin x3, sin x1)
-    let v = VectorField::from_fns(layout, |_, y, _| 0.3 * y.sin(), |_, _, z| 0.3 * z.sin(), |x, _, _| 0.3 * x.sin());
+    let v = VectorField::from_fns(
+        layout,
+        |_, y, _| 0.3 * y.sin(),
+        |_, _, z| 0.3 * z.sin(),
+        |x, _, _| 0.3 * x.sin(),
+    );
     let m0 = ScalarField::from_fn(layout, |x, y, _| (x + y).sin());
     let lam1 = ScalarField::from_fn(layout, |_, y, z| (y - z).cos());
     let mut ip = Interpolator::new(IpOrder::Cubic);

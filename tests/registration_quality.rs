@@ -38,7 +38,8 @@ fn recovered_velocity_correlates_with_truth() {
         ..Default::default()
     };
     let mut solver = Claire::new(cfg);
-    let (v, report) = solver.register_from(&prob.template, &prob.reference, None, "truth", &mut comm);
+    let (v, report) =
+        solver.register_from(&prob.template, &prob.reference, None, "truth", &mut comm);
     assert!(report.rel_mismatch < 0.5, "mismatch {}", report.rel_mismatch);
     // cosine similarity between recovered and true velocity: registration
     // is ill-posed so we expect correlation, not identity

@@ -1,0 +1,185 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for the two shapes the workspace uses:
+//!
+//! * structs with named fields — serialized as a JSON object in declaration
+//!   order; fields annotated `#[serde(skip_serializing)]` are omitted;
+//! * enums whose variants are all unit variants — serialized as the variant
+//!   name string (serde's "externally tagged" form for unit variants).
+//!
+//! The input item is parsed directly from the `proc_macro::TokenStream`
+//! (the environment has no `syn`/`quote`), which is sufficient because the
+//! derive targets are plain non-generic items.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (the vendored trait) for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // skip outer attributes (`#[...]`, doc comments) and visibility
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` etc.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serialize): expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serialize): expected item name, got {other:?}"),
+    };
+    i += 1;
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("derive(Serialize): generic items are not supported by the vendored shim")
+            }
+            Some(_) => i += 1,
+            None => panic!("derive(Serialize): missing item body"),
+        }
+    };
+
+    let impl_body = match kind.as_str() {
+        "struct" => struct_impl(&body),
+        "enum" => enum_impl(&name, &body),
+        other => panic!("derive(Serialize): unsupported item kind `{other}`"),
+    };
+
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{impl_body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Serialize): generated impl failed to parse")
+}
+
+/// Collect named fields (name, skipped?) from a struct body stream.
+fn struct_impl(body: &TokenStream) -> String {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut fields: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // field attributes
+        let mut skip = false;
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        if attr_is_skip(&g.stream()) {
+                            skip = true;
+                        }
+                    }
+                    i += 2;
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(field)) = tokens.get(i) else {
+            break; // trailing comma / end of fields
+        };
+        let field = field.to_string();
+        i += 1;
+        // expect `:`, then skip the type until a top-level `,`
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("derive(Serialize): expected `:` after field `{field}`, got {other:?}"),
+        }
+        let mut depth = 0i32; // `<` nesting in the type
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if !skip {
+            fields.push(field);
+        }
+    }
+
+    let mut out = String::from("let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n");
+    for f in &fields {
+        out.push_str(&format!(
+            "fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+        ));
+    }
+    out.push_str("::serde::Value::Object(fields)");
+    out
+}
+
+/// Unit-variant enum: serialize as the variant name string.
+fn enum_impl(name: &str, body: &TokenStream) -> String {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut variants: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                i += 1;
+                // unit variants only: next must be `,` or end
+                match tokens.get(i) {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+                    Some(other) => panic!(
+                        "derive(Serialize): enum `{name}` has a non-unit variant near {other:?}; \
+                         the vendored shim only supports unit variants"
+                    ),
+                }
+            }
+            other => panic!("derive(Serialize): unexpected token in enum `{name}`: {other:?}"),
+        }
+    }
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"))
+        .collect();
+    format!("match self {{\n{}\n}}", arms.join("\n"))
+}
+
+/// True iff an attribute group body is `serde(...skip_serializing...)`.
+fn attr_is_skip(stream: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "skip_serializing"))
+        }
+        _ => false,
+    }
+}

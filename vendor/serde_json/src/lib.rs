@@ -1,0 +1,148 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders the vendored [`serde::Value`] tree to JSON text. Numbers follow
+//! serde_json's conventions closely enough for the workspace's result
+//! records: integers print without a decimal point, floats via Rust's
+//! shortest-roundtrip `{}` formatting, and non-finite floats as `null`.
+
+pub use serde::Value;
+
+/// Serialization error. The vendored tree rendering is total, so this is
+/// never actually produced; it exists so call sites can keep serde_json's
+/// `Result` signatures.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize to a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(v: &Value, indent: Option<usize>, level: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Num(x) => {
+            if x.is_finite() {
+                // integral floats still get a `.0` so the value reads as a float
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&format!("{x}"));
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => render_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, level + 1, out);
+                render(item, indent, level + 1, out);
+            }
+            newline_indent(indent, level, out);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, level + 1, out);
+                render_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(val, indent, level + 1, out);
+            }
+            newline_indent(indent, level, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: Option<usize>, level: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_object() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::UInt(1)),
+            ("b".into(), Value::Array(vec![Value::Num(0.5), Value::Null])),
+            ("s".into(), Value::Str("x\"y".into())),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":[0.5,null],"s":"x\"y"}"#);
+    }
+
+    #[test]
+    fn pretty_has_indentation() {
+        let v = Value::Object(vec![("k".into(), Value::Bool(true))]);
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"k\": true\n}");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&0.125f64).unwrap(), "0.125");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+}
