@@ -27,7 +27,8 @@ fn bench_store_grad(c: &mut Criterion) {
             continuation: false,
             ..Default::default()
         };
-        let mut prob = RegProblem::new(data.template, data.reference, cfg, &mut comm);
+        let mut prob = RegProblem::new(data.template, data.reference, cfg, &mut comm)
+            .expect("matching layouts by construction");
         prob.set_beta(1e-2);
         let g = prob.gradient(&data.v_true, &mut comm);
         group.bench_function(name, |b| {

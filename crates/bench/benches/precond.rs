@@ -22,7 +22,8 @@ fn make_problem(pc: PrecondKind, comm: &mut Comm) -> (RegProblem, claire_grid::V
         continuation: false,
         ..Default::default()
     };
-    let mut prob = RegProblem::new(data.template, data.reference, cfg, comm);
+    let mut prob = RegProblem::new(data.template, data.reference, cfg, comm)
+        .expect("matching layouts by construction");
     prob.set_beta(5e-2);
     let g = prob.gradient(&data.v_true, comm);
     (prob, g)

@@ -27,20 +27,21 @@ fn main() {
     header("Ablation 1 — store ∇m vs recompute (Hessian matvec cost)");
     let prob_data = fig3_problem(layout, &mut comm);
     for &store in &[false, true] {
-        let cfg = RegistrationConfig {
-            nt: 4,
-            ip_order: IpOrder::Linear,
-            store_grad: store,
-            precond: PrecondKind::InvA,
-            continuation: false,
-            ..Default::default()
-        };
+        let cfg = RegistrationConfig::builder()
+            .nt(4)
+            .ip_order(IpOrder::Linear)
+            .store_grad(store)
+            .precond(PrecondKind::InvA)
+            .continuation(false)
+            .build()
+            .expect("valid configuration");
         let mut prob = RegProblem::new(
             prob_data.template.clone(),
             prob_data.reference.clone(),
             cfg,
             &mut comm,
-        );
+        )
+        .expect("matching layouts by construction");
         prob.set_beta(1e-2);
         let m0 = comm.clock().now();
         let g = prob.gradient(&prob_data.v_true.clone(), &mut comm);
@@ -147,20 +148,21 @@ fn main() {
     // ---- 4. beta floor in H0 -----------------------------------------------
     header("Ablation 4 — β floor (5e-2) inside InvH0 for vanishing β");
     for &(floor, label) in &[(5e-2, "with floor (paper)"), (1e-12, "without floor")] {
-        let cfg = RegistrationConfig {
-            nt: 4,
-            ip_order: IpOrder::Cubic,
-            precond: PrecondKind::InvH0,
-            beta_floor: floor,
-            continuation: false,
-            ..Default::default()
-        };
+        let cfg = RegistrationConfig::builder()
+            .nt(4)
+            .ip_order(IpOrder::Cubic)
+            .precond(PrecondKind::InvH0)
+            .beta_floor(floor)
+            .continuation(false)
+            .build()
+            .expect("valid configuration");
         let mut prob = RegProblem::new(
             prob_data.template.clone(),
             prob_data.reference.clone(),
             cfg,
             &mut comm,
-        );
+        )
+        .expect("matching layouts by construction");
         let beta = 5e-4; // vanishing β regime
         prob.set_beta(beta);
         let g = prob.gradient(&prob_data.v_true.clone(), &mut comm);

@@ -60,19 +60,20 @@ fn main() {
         for &beta in &betas {
             let mut cells: Vec<String> = Vec::new();
             for &pc in &pcs {
-                let cfg = RegistrationConfig {
-                    nt: 4,
-                    ip_order: IpOrder::Cubic,
-                    precond: pc,
-                    continuation: false,
-                    ..Default::default()
-                };
+                let cfg = RegistrationConfig::builder()
+                    .nt(4)
+                    .ip_order(IpOrder::Cubic)
+                    .precond(pc)
+                    .continuation(false)
+                    .build()
+                    .expect("valid configuration");
                 let mut prob = RegProblem::new(
                     prob_data.template.clone(),
                     prob_data.reference.clone(),
                     cfg,
                     &mut comm,
-                );
+                )
+                .expect("matching layouts by construction");
                 prob.set_beta(beta);
                 // linearize at the true solution
                 let g = prob.gradient(&prob_data.v_true.clone(), &mut comm);

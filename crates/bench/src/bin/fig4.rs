@@ -26,13 +26,13 @@ fn main() {
     ));
     let mut rows = Vec::new();
     for pc in [PrecondKind::InvA, PrecondKind::InvH0, PrecondKind::TwoLevelInvH0] {
-        let cfg = RegistrationConfig {
-            nt: 4,
-            ip_order: IpOrder::Cubic, // see table6.rs: cubic at coarse grids
-            precond: pc,
-            max_gn_iter: 10,
-            ..Default::default()
-        };
+        let cfg = RegistrationConfig::builder()
+            .nt(4)
+            .ip_order(IpOrder::Cubic) // see table6.rs: cubic at coarse grids
+            .precond(pc)
+            .max_gn_iter(10)
+            .build()
+            .expect("valid configuration");
         let mut claire = Claire::new(cfg);
         let (_, r) = claire.register_from(&template, &reference, None, "na10", &mut comm);
         rows.push(r);

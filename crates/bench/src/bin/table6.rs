@@ -7,13 +7,17 @@
 //! once with modeled V100 times — followed by the published rows.
 
 use claire_bench::{bench_n, header, record_json};
-use claire_core::{Claire, PrecondKind, RegistrationConfig, RegistrationReport};
+use claire_core::{observe, Claire, PrecondKind, RegistrationConfig, RegistrationReport};
 use claire_data::{brain, clarity};
 use claire_grid::{Grid, Layout};
 use claire_interp::IpOrder;
 use claire_mpi::Comm;
+use claire_obs::report::RunReport;
 use claire_perf::paper::TABLE6;
 
+/// Run one registration with observability on and return the unified
+/// [`RunReport`] — span tree, kernel phases, GN trace, and traffic — next
+/// to the Table 6 row.
 fn run_one(
     data: &str,
     m0: &claire_grid::ScalarField,
@@ -21,24 +25,40 @@ fn run_one(
     pc: PrecondKind,
     eps_h0: f64,
     comm: &mut Comm,
-) -> RegistrationReport {
+) -> (RegistrationReport, RunReport) {
     // NOTE: the paper's Table 6 uses linear interpolation at >= 256^3; at
     // the scaled-down grids of this reproduction the linear kernel's
     // forward/adjoint inconsistency dominates the gradient, so we use the
     // cubic (GPU-TXTLAG) kernel here (see EXPERIMENTS.md).
-    let cfg = RegistrationConfig {
-        nt: 4,
-        ip_order: IpOrder::Cubic,
-        precond: pc,
-        beta_target: 5e-4,
-        eps_h0,
-        max_gn_iter: 10,
-        verbose: false,
-        ..Default::default()
-    };
+    let cfg = RegistrationConfig::builder()
+        .nt(4)
+        .ip_order(IpOrder::Cubic)
+        .precond(pc)
+        .beta(5e-4)
+        .eps_h0(eps_h0)
+        .max_gn_iter(10)
+        .verbose(false)
+        .build()
+        .expect("valid configuration");
+    observe::begin(); // fresh spans/metrics/kernel timers per run
     let mut claire = Claire::new(cfg);
     let (_, report) = claire.register_from(m0, m1, None, data, comm);
-    report
+    let run = observe::collect_run_report(data, &report, comm);
+    (report, run)
+}
+
+/// One-line FFT/IP/FD phase summary from the run report (Table 7's runtime
+/// shares, here per Table 6 row).
+fn phase_line(run: &RunReport) -> String {
+    let p = &run.phases;
+    format!(
+        "         └ phases: fft {:.3}s  ip {:.3}s  fd {:.3}s  other {:.3}s   gn_trace {} records",
+        p.fft_secs,
+        p.ip_secs,
+        p.fd_secs,
+        p.other_secs,
+        run.gn_trace.len()
+    )
 }
 
 fn main() {
@@ -53,9 +73,10 @@ fn main() {
     for subject in ["na02", "na03", "na10"] {
         let template = brain::subject(subject, layout, &mut comm);
         for pc in [PrecondKind::InvA, PrecondKind::InvH0, PrecondKind::TwoLevelInvH0] {
-            let r = run_one(subject, &template, &reference, pc, 1e-3, &mut comm);
+            let (r, run) = run_one(subject, &template, &reference, pc, 1e-3, &mut comm);
             println!("{}", r.row());
-            record_json("table6", &serde_json::to_string(&r).unwrap());
+            println!("{}", phase_line(&run));
+            record_json("table6", &serde_json::to_string(&run).unwrap());
             reports.push(r);
         }
     }
@@ -64,9 +85,10 @@ fn main() {
     let clarity_layout = Layout::serial(Grid::new([2 * n, n, n]));
     let (c0, c1) = clarity::pair(clarity_layout, &mut comm);
     for pc in [PrecondKind::InvA, PrecondKind::TwoLevelInvH0] {
-        let r = run_one("clarity", &c0, &c1, pc, 1e-2, &mut comm);
+        let (r, run) = run_one("clarity", &c0, &c1, pc, 1e-2, &mut comm);
         println!("{}", r.row());
-        record_json("table6", &serde_json::to_string(&r).unwrap());
+        println!("{}", phase_line(&run));
+        record_json("table6", &serde_json::to_string(&run).unwrap());
         reports.push(r);
     }
 

@@ -9,7 +9,7 @@
 //! 17 published rows.
 
 use claire_bench::{bench_n, fmt_size, header, record_json};
-use claire_core::{memory, Claire, PrecondKind, RegistrationConfig};
+use claire_core::{memory, observe, Claire, PrecondKind, RegistrationConfig};
 use claire_data::syn::syn_problem;
 use claire_grid::Layout;
 use claire_interp::IpOrder;
@@ -34,26 +34,32 @@ fn main() {
         ([2 * n, 2 * n, n], 4),
     ] {
         let grid = claire_grid::Grid::new(size);
+        // Arm observability once per case; rank 0 assembles the RunReport
+        // (spans are per-thread, the comm ledger per-rank; kernel timers
+        // aggregate across the whole virtual cluster).
+        observe::begin();
         let res = run_cluster(Topology::new(p, 4), move |comm| {
             let layout = Layout::distributed(grid, comm);
             let prob = syn_problem(size, comm);
             let _ = layout;
-            let cfg = RegistrationConfig {
-                nt: 4,
-                ip_order: IpOrder::Linear,
-                precond: PrecondKind::InvA,
-                continuation: false,
-                beta_target: 1e-3,
-                fixed_pcg: Some(10),
-                max_gn_iter: 5,
-                grad_rtol: 1e-30, // run all 5 iterations, as the paper fixes the work
-                ..Default::default()
-            };
+            let cfg = RegistrationConfig::builder()
+                .nt(4)
+                .ip_order(IpOrder::Linear)
+                .precond(PrecondKind::InvA)
+                .continuation(false)
+                .beta(1e-3)
+                .fixed_pcg(Some(10))
+                .max_gn_iter(5)
+                .grad_rtol(1e-30) // run all 5 iterations, as the paper fixes the work
+                .build()
+                .expect("valid configuration");
             let t0 = std::time::Instant::now();
             let mut claire = Claire::new(cfg);
             let (_, report) =
                 claire.register_from(&prob.template, &prob.reference, None, "SYN", comm);
-            (t0.elapsed().as_secs_f64(), report)
+            let run =
+                (comm.rank() == 0).then(|| observe::collect_run_report("table7", &report, comm));
+            (t0.elapsed().as_secs_f64(), run)
         });
         let wall = res.outputs.iter().map(|o| o.0).fold(0.0, f64::max);
         let modeled = res.modeled_wall_time();
@@ -70,12 +76,20 @@ fn main() {
             mb,
             mem
         );
-        record_json(
-            "table7",
-            &format!(
-                "{{\"size\":{size:?},\"p\":{p},\"wall\":{wall:.3},\"modeled\":{modeled:.4},\"comm_pct\":{pct:.1},\"mb_sent\":{mb:.2}}}"
-            ),
+        let run = res.outputs[0].1.as_ref().expect("rank 0 collects the run report");
+        println!(
+            "{:>12}       | phases: fft {:.3}s  ip {:.3}s  fd {:.3}s   rank-0 collectives: {}",
+            "",
+            run.phases.fft_secs,
+            run.phases.ip_secs,
+            run.phases.fd_secs,
+            run.collectives
+                .iter()
+                .map(|c| format!("{} x{}", c.op, c.calls))
+                .collect::<Vec<_>>()
+                .join(", ")
         );
+        record_json("table7", &serde_json::to_string(run).unwrap());
     }
 
     header("Table 7B — paper scale: modeled (m) vs published (p)");

@@ -1,5 +1,6 @@
-//! Registration configuration.
+//! Registration configuration and its validating builder.
 
+use claire_grid::{ClaireError, ClaireResult};
 use serde::Serialize;
 
 /// Hessian preconditioner selection (paper §2, Algorithm 1).
@@ -98,6 +99,68 @@ impl Default for RegistrationConfig {
 }
 
 impl RegistrationConfig {
+    /// Start a validating builder seeded with the paper defaults.
+    ///
+    /// ```
+    /// use claire_core::RegistrationConfig;
+    /// let cfg = RegistrationConfig::builder().nt(4).beta(1e-2).build().unwrap();
+    /// assert_eq!(cfg.nt, 4);
+    /// assert_eq!(cfg.beta_target, 1e-2);
+    /// ```
+    pub fn builder() -> RegistrationConfigBuilder {
+        RegistrationConfigBuilder { cfg: RegistrationConfig::default() }
+    }
+
+    /// Check invariants the solver assumes; [`RegistrationConfigBuilder::build`]
+    /// calls this, and hand-assembled configs can call it directly.
+    pub fn validate(&self) -> ClaireResult<()> {
+        fn bad(param: &'static str, message: String) -> ClaireError {
+            ClaireError::Config { param, message }
+        }
+        if self.nt < 1 {
+            return Err(bad("nt", format!("need at least 1 time step, got {}", self.nt)));
+        }
+        if self.beta_target <= 0.0 || self.beta_target.is_nan() {
+            return Err(bad("beta_target", format!("must be > 0, got {}", self.beta_target)));
+        }
+        if self.beta_init < self.beta_target {
+            return Err(bad(
+                "beta_init",
+                format!("must be >= beta_target ({}), got {}", self.beta_target, self.beta_init),
+            ));
+        }
+        if !(self.beta_reduction > 0.0 && self.beta_reduction < 1.0) {
+            return Err(bad(
+                "beta_reduction",
+                format!("must lie in (0, 1), got {}", self.beta_reduction),
+            ));
+        }
+        if !(self.eps_h0 > 0.0 && self.eps_h0 <= 1.0) {
+            return Err(bad("eps_h0", format!("must lie in (0, 1], got {}", self.eps_h0)));
+        }
+        if self.beta_floor <= 0.0 || self.beta_floor.is_nan() {
+            return Err(bad("beta_floor", format!("must be > 0, got {}", self.beta_floor)));
+        }
+        if self.grad_rtol <= 0.0 || self.grad_rtol.is_nan() {
+            return Err(bad("grad_rtol", format!("must be > 0, got {}", self.grad_rtol)));
+        }
+        if self.max_gn_iter < 1 || self.max_pcg_iter < 1 || self.max_inner_iter < 1 {
+            return Err(bad(
+                "max_gn_iter",
+                format!(
+                    "iteration caps must be >= 1, got gn={} pcg={} inner={}",
+                    self.max_gn_iter, self.max_pcg_iter, self.max_inner_iter
+                ),
+            ));
+        }
+        if let Some(fixed) = self.fixed_pcg {
+            if fixed < 1 {
+                return Err(bad("fixed_pcg", format!("must be >= 1 when set, got {fixed}")));
+            }
+        }
+        Ok(())
+    }
+
     /// The β-continuation schedule: `beta_init`, reduced by
     /// `beta_reduction` per level, ending exactly at `beta_target`.
     pub fn beta_schedule(&self) -> Vec<f64> {
@@ -112,6 +175,131 @@ impl RegistrationConfig {
         }
         betas.push(self.beta_target);
         betas
+    }
+}
+
+/// Fluent, validating constructor for [`RegistrationConfig`].
+///
+/// Every setter overrides one field of the paper-default configuration;
+/// [`RegistrationConfigBuilder::build`] runs [`RegistrationConfig::validate`]
+/// so impossible configurations are rejected with a typed
+/// [`ClaireError::Config`] instead of a mid-solve panic.
+#[derive(Clone, Debug)]
+pub struct RegistrationConfigBuilder {
+    cfg: RegistrationConfig,
+}
+
+impl RegistrationConfigBuilder {
+    /// Semi-Lagrangian time steps.
+    pub fn nt(mut self, nt: usize) -> Self {
+        self.cfg.nt = nt;
+        self
+    }
+
+    /// Target regularization weight; also disables the continuation start
+    /// below it (use [`Self::beta_init`] to restore a higher start).
+    pub fn beta(mut self, beta_target: f64) -> Self {
+        self.cfg.beta_target = beta_target;
+        if self.cfg.beta_init < beta_target {
+            self.cfg.beta_init = beta_target;
+        }
+        self
+    }
+
+    /// Initial β of the continuation.
+    pub fn beta_init(mut self, beta_init: f64) -> Self {
+        self.cfg.beta_init = beta_init;
+        self
+    }
+
+    /// Continuation reduction factor per level.
+    pub fn beta_reduction(mut self, factor: f64) -> Self {
+        self.cfg.beta_reduction = factor;
+        self
+    }
+
+    /// Run the β-continuation (true by default).
+    pub fn continuation(mut self, on: bool) -> Self {
+        self.cfg.continuation = on;
+        self
+    }
+
+    /// Coarse-to-fine grid continuation.
+    pub fn grid_continuation(mut self, on: bool) -> Self {
+        self.cfg.grid_continuation = on;
+        self
+    }
+
+    /// Hessian preconditioner.
+    pub fn precond(mut self, pc: PrecondKind) -> Self {
+        self.cfg.precond = pc;
+        self
+    }
+
+    /// Interpolation kernel order.
+    pub fn ip_order(mut self, order: IpOrder) -> Self {
+        self.cfg.ip_order = order;
+        self
+    }
+
+    /// Store `∇m` time series.
+    pub fn store_grad(mut self, on: bool) -> Self {
+        self.cfg.store_grad = on;
+        self
+    }
+
+    /// Inner tolerance scale `εH0`.
+    pub fn eps_h0(mut self, eps: f64) -> Self {
+        self.cfg.eps_h0 = eps;
+        self
+    }
+
+    /// Lower bound for β inside H0.
+    pub fn beta_floor(mut self, floor: f64) -> Self {
+        self.cfg.beta_floor = floor;
+        self
+    }
+
+    /// Relative gradient tolerance `εN`.
+    pub fn grad_rtol(mut self, tol: f64) -> Self {
+        self.cfg.grad_rtol = tol;
+        self
+    }
+
+    /// Gauss–Newton iteration cap per continuation level.
+    pub fn max_gn_iter(mut self, cap: usize) -> Self {
+        self.cfg.max_gn_iter = cap;
+        self
+    }
+
+    /// PCG iteration cap per Newton step.
+    pub fn max_pcg_iter(mut self, cap: usize) -> Self {
+        self.cfg.max_pcg_iter = cap;
+        self
+    }
+
+    /// Inner (H0) PCG iteration cap.
+    pub fn max_inner_iter(mut self, cap: usize) -> Self {
+        self.cfg.max_inner_iter = cap;
+        self
+    }
+
+    /// Fix the PCG iteration count (scaling-study mode).
+    pub fn fixed_pcg(mut self, iters: Option<usize>) -> Self {
+        self.cfg.fixed_pcg = iters;
+        self
+    }
+
+    /// Print progress on rank 0.
+    pub fn verbose(mut self, on: bool) -> Self {
+        self.cfg.verbose = on;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> ClaireResult<RegistrationConfig> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -140,5 +328,41 @@ mod tests {
     fn labels() {
         assert_eq!(PrecondKind::InvA.label(), "InvA");
         assert_eq!(PrecondKind::TwoLevelInvH0.label(), "2LInvH0");
+    }
+
+    #[test]
+    fn builder_applies_fields_and_validates() {
+        let cfg = RegistrationConfig::builder()
+            .nt(8)
+            .beta(1e-2)
+            .precond(PrecondKind::InvA)
+            .max_gn_iter(5)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.nt, 8);
+        assert_eq!(cfg.beta_target, 1e-2);
+        assert_eq!(cfg.precond, PrecondKind::InvA);
+        assert_eq!(cfg.max_gn_iter, 5);
+        // untouched fields keep paper defaults
+        assert_eq!(cfg.max_pcg_iter, RegistrationConfig::default().max_pcg_iter);
+    }
+
+    #[test]
+    fn builder_rejects_bad_configs() {
+        assert!(RegistrationConfig::builder().nt(0).build().is_err());
+        assert!(RegistrationConfig::builder().beta(-1.0).build().is_err());
+        assert!(RegistrationConfig::builder().beta_reduction(1.5).build().is_err());
+        assert!(RegistrationConfig::builder().eps_h0(0.0).build().is_err());
+        assert!(RegistrationConfig::builder().grad_rtol(0.0).build().is_err());
+        assert!(RegistrationConfig::builder().fixed_pcg(Some(0)).build().is_err());
+        let err = RegistrationConfig::builder().nt(0).build().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("nt"), "error should name the parameter: {msg}");
+    }
+
+    #[test]
+    fn beta_raises_init_when_needed() {
+        let cfg = RegistrationConfig::builder().beta(2.0).build().unwrap();
+        assert!(cfg.beta_init >= cfg.beta_target);
     }
 }

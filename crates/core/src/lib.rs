@@ -28,12 +28,15 @@
 pub mod config;
 pub mod memory;
 pub mod metrics;
+pub mod observe;
 pub mod precond;
 pub mod problem;
 pub mod report;
 pub mod solver;
 
-pub use config::{PrecondKind, RegistrationConfig};
+pub use claire_grid::{ClaireError, ClaireResult};
+pub use config::{PrecondKind, RegistrationConfig, RegistrationConfigBuilder};
+pub use observe::{begin as begin_observing, collect_run_report};
 pub use problem::RegProblem;
 pub use report::RegistrationReport;
 pub use solver::Claire;

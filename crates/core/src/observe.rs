@@ -1,0 +1,160 @@
+//! Assembling a [`RunReport`] from a finished solve.
+//!
+//! The observability layer (claire-obs) collects spans, metrics, and GN
+//! records globally while a solve runs; claire-par accumulates per-kernel
+//! timers; claire-mpi accumulates per-category and per-collective traffic.
+//! [`collect_run_report`] drains all of them into one JSON-serializable
+//! [`RunReport`] keyed by the solve's [`RegistrationReport`].
+//!
+//! Typical use (this is what `claire-cli --report` does):
+//!
+//! ```no_run
+//! use claire_core::observe;
+//! # let config = claire_core::RegistrationConfig::default();
+//! # let (m0, m1): (claire_grid::ScalarField, claire_grid::ScalarField) = unimplemented!();
+//! # let mut comm = claire_mpi::Comm::solo();
+//! observe::begin(); // enable + reset spans/metrics/records/kernel timers
+//! let (v, report) = claire_core::Claire::new(config).register(&m0, &m1, &mut comm);
+//! let run = observe::collect_run_report("na02", &report, &comm);
+//! println!("{}", run.span_summary());
+//! std::fs::write("run.json", run.to_json()).unwrap();
+//! ```
+
+use claire_mpi::{CollOp, Comm, CommCat};
+use claire_obs::report::{
+    CollectiveEntry, CommPhaseEntry, KernelEntry, PhaseShares, RunReport, RunSummary,
+};
+use claire_obs::{metrics, records, span};
+
+use crate::report::RegistrationReport;
+
+/// Arm the observability layer for a fresh run: enables collection and
+/// resets spans, metrics, GN records, and the claire-par kernel timers.
+pub fn begin() {
+    claire_obs::begin();
+    claire_par::timing::reset();
+}
+
+/// Drain every telemetry source into a unified [`RunReport`].
+///
+/// Call once, after the solve, on the rank whose ledger should be reported
+/// (rank 0 by convention; with `Comm::solo` there is only one). Draining
+/// consumes the span tree and GN records — a second call returns empty
+/// `spans`/`gn_trace`.
+pub fn collect_run_report(label: &str, report: &RegistrationReport, comm: &Comm) -> RunReport {
+    let mut run = RunReport::new(label);
+    run.grid = report.grid;
+    run.nranks = report.nranks;
+    run.nt = report.nt;
+    run.precond = report.pc.clone();
+
+    run.summary = RunSummary {
+        gn_iters: report.gn_iters,
+        pcg_iters: report.pcg_iters,
+        obj_evals: metric_value(&metrics::snapshot(), "gn.obj_evals") as usize,
+        hess_applies: metric_value(&metrics::snapshot(), "gn.hess_applies") as usize,
+        rel_mismatch: report.rel_mismatch,
+        grad_rel: report.grad_rel,
+        jac_det_min: report.jac_det_min,
+        jac_det_max: report.jac_det_max,
+        time_total: report.time_total,
+        modeled_total: report.modeled_total,
+        converged: metric_value(&metrics::snapshot(), "gn.converged") >= 1.0,
+    };
+
+    run.kernels = claire_par::timing::snapshot()
+        .into_iter()
+        .filter(|k| k.calls > 0)
+        .map(|k| KernelEntry {
+            name: k.name.to_string(),
+            calls: k.calls,
+            secs: k.nanos as f64 * 1e-9,
+        })
+        .collect();
+    run.phases = PhaseShares::from_kernels(&run.kernels, report.time_total);
+
+    let stats = comm.stats();
+    run.comm = CommCat::ALL
+        .iter()
+        .map(|&c| {
+            let s = stats.cat(c);
+            CommPhaseEntry {
+                phase: c.label().to_string(),
+                bytes: s.bytes_sent,
+                msgs: s.msgs_sent,
+                modeled_secs: s.modeled_secs,
+            }
+        })
+        .filter(|e| e.bytes > 0 || e.msgs > 0)
+        .collect();
+    run.collectives = CollOp::ALL
+        .iter()
+        .map(|&op| {
+            let s = stats.coll(op);
+            CollectiveEntry { op: op.label().to_string(), calls: s.calls, bytes: s.bytes }
+        })
+        .filter(|e| e.calls > 0)
+        .collect();
+
+    run.metrics = metrics::snapshot();
+    run.gn_trace = records::take_gn();
+    run.spans = span::take_spans();
+    run
+}
+
+fn metric_value(entries: &[metrics::MetricEntry], key: &str) -> f64 {
+    entries.iter().find(|e| e.key == key).map(|e| e.value).unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PrecondKind, RegistrationConfig};
+    use claire_grid::{Grid, Layout, ScalarField};
+
+    fn gaussian(layout: Layout, cx: f64, cy: f64, cz: f64) -> ScalarField {
+        ScalarField::from_fn(layout, move |x, y, z| {
+            let d2 = (x - cx).powi(2) + (y - cy).powi(2) + (z - cz).powi(2);
+            (-d2 / 0.5).exp()
+        })
+    }
+
+    #[test]
+    fn collects_full_report_from_solo_solve() {
+        let layout = Layout::serial(Grid::cube(8));
+        let pi = std::f64::consts::PI;
+        let m0 = gaussian(layout, pi, pi, pi);
+        let m1 = gaussian(layout, pi + 0.3, pi, pi);
+        let config = RegistrationConfig {
+            nt: 2,
+            max_gn_iter: 2,
+            max_pcg_iter: 4,
+            continuation: false,
+            precond: PrecondKind::InvA,
+            verbose: false,
+            ..Default::default()
+        };
+
+        begin();
+        let mut comm = Comm::solo();
+        let (_, report) = crate::Claire::new(config).register(&m0, &m1, &mut comm);
+        let run = collect_run_report("unit", &report, &comm);
+        claire_obs::set_enabled(false);
+
+        assert_eq!(run.grid, [8, 8, 8]);
+        assert!(run.summary.gn_iters >= 1);
+        assert!(!run.kernels.is_empty(), "kernel timers should have fired");
+        assert!(!run.spans.is_empty(), "span tree should be non-empty");
+        assert!(run.spans.iter().any(|s| s.name == "solve"));
+        assert!(!run.gn_trace.is_empty(), "per-iteration records expected");
+        // Draining is one-shot (spans are thread-local, so this is exact
+        // even with other tests running concurrently).
+        let again = collect_run_report("unit2", &report, &comm);
+        assert!(again.spans.is_empty());
+        // JSON document carries every schema key.
+        let json = run.to_json();
+        for key in claire_obs::report::SCHEMA_KEYS {
+            assert!(json.contains(&format!("\"{key}\"")), "missing key {key}");
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! The PDE-constrained registration problem (objective, gradient, Hessian).
 
 use claire_diff::Spectral;
-use claire_grid::{Layout, Real, ScalarField, VectorField};
+use claire_grid::{ClaireError, ClaireResult, Layout, Real, ScalarField, VectorField};
 use claire_interp::Interpolator;
 use claire_mpi::Comm;
 use claire_opt::GnProblem;
@@ -36,18 +36,28 @@ pub struct RegProblem {
 }
 
 impl RegProblem {
-    /// Build the problem. Collective (plans FFTs, computes `∇m0`).
+    /// Build the problem. Collective (plans FFTs, computes `∇m0`). Returns
+    /// a typed error when the template and reference layouts differ.
     pub fn new(
         m0: ScalarField,
         m1: ScalarField,
         cfg: RegistrationConfig,
         comm: &mut Comm,
-    ) -> RegProblem {
+    ) -> ClaireResult<RegProblem> {
         let layout = *m0.layout();
-        assert_eq!(layout, *m1.layout(), "template/reference layout mismatch");
+        if layout != *m1.layout() {
+            return Err(ClaireError::LayoutMismatch {
+                context: "RegProblem::new",
+                message: format!(
+                    "template layout {:?} != reference layout {:?}",
+                    layout,
+                    m1.layout()
+                ),
+            });
+        }
         let spectral = Spectral::new(layout.grid, comm);
         let pc = PrecondState::new(&cfg, &m0, comm);
-        RegProblem {
+        Ok(RegProblem {
             layout,
             beta: cfg.beta_init,
             transport: Transport::new(cfg.nt, cfg.ip_order),
@@ -58,7 +68,7 @@ impl RegProblem {
             cfg,
             m0,
             m1,
-        }
+        })
     }
 
     /// The field layout.
@@ -222,7 +232,7 @@ mod tests {
             precond: PrecondKind::InvA,
             ..Default::default()
         };
-        RegProblem::new(m0, m1, cfg, comm)
+        RegProblem::new(m0, m1, cfg, comm).expect("matching layouts by construction")
     }
 
     fn test_velocity(layout: Layout) -> VectorField {

@@ -6,9 +6,10 @@
 //! regularized levels (β > 5e−1), the configured InvH0 variant the rest.
 
 use claire_diff::TwoLevel;
-use claire_grid::{ScalarField, VectorField};
+use claire_grid::{ClaireResult, ScalarField, VectorField};
 use claire_interp::Interpolator;
 use claire_mpi::Comm;
+use claire_obs::{records, span::span};
 use claire_opt::{gauss_newton, GnConfig, GnStats};
 use claire_semilag::{displacement, Trajectory};
 
@@ -31,17 +32,30 @@ impl Claire {
 
     /// Register `m0` (template) to `m1` (reference): find `v` minimizing
     /// (1). Returns the velocity and a Table 6-style report. Collective.
+    /// Panicking convenience wrapper around [`Claire::try_register`].
     pub fn register(
         &mut self,
         m0: &ScalarField,
         m1: &ScalarField,
         comm: &mut Comm,
     ) -> (VectorField, RegistrationReport) {
-        self.register_from(m0, m1, None, "data", comm)
+        self.try_register(m0, m1, comm).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Claire::register`]: returns a typed error on mismatched
+    /// template/reference layouts instead of panicking.
+    pub fn try_register(
+        &mut self,
+        m0: &ScalarField,
+        m1: &ScalarField,
+        comm: &mut Comm,
+    ) -> ClaireResult<(VectorField, RegistrationReport)> {
+        self.try_register_from(m0, m1, None, "data", comm)
     }
 
     /// [`Claire::register`] with an initial velocity guess and a dataset
-    /// label for the report.
+    /// label for the report. Panicking convenience wrapper around
+    /// [`Claire::try_register_from`].
     pub fn register_from(
         &mut self,
         m0: &ScalarField,
@@ -50,6 +64,19 @@ impl Claire {
         label: &str,
         comm: &mut Comm,
     ) -> (VectorField, RegistrationReport) {
+        self.try_register_from(m0, m1, v_init, label, comm).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Claire::register_from`].
+    pub fn try_register_from(
+        &mut self,
+        m0: &ScalarField,
+        m1: &ScalarField,
+        v_init: Option<VectorField>,
+        label: &str,
+        comm: &mut Comm,
+    ) -> ClaireResult<(VectorField, RegistrationReport)> {
+        let _solve = span("solve");
         let layout = *m0.layout();
         let mut v_init = v_init;
 
@@ -65,15 +92,17 @@ impl Claire {
             if self.cfg.verbose && comm.rank() == 0 {
                 eprintln!("== grid continuation: solving at {:?} ==", tl.coarse_grid().n);
             }
-            let (vc, _) = coarse.register_from(&m0c, &m1c, v_init.take(), label, comm);
+            let (vc, _) = coarse.try_register_from(&m0c, &m1c, v_init.take(), label, comm)?;
             v_init = Some(tl.prolong_vector(&vc, comm));
         }
 
-        let mut problem = RegProblem::new(m0.clone(), m1.clone(), self.cfg, comm);
+        let mut problem = RegProblem::new(m0.clone(), m1.clone(), self.cfg, comm)?;
         let mut v = v_init.unwrap_or_else(|| VectorField::zeros(layout));
 
         let mut total = GnStats::default();
         for (level, beta) in self.cfg.beta_schedule().into_iter().enumerate() {
+            let _lvl = span("beta_level");
+            records::set_context(level, beta);
             problem.set_beta(beta);
             let gn_cfg = GnConfig {
                 max_iter: self.cfg.max_gn_iter,
@@ -92,7 +121,7 @@ impl Claire {
         }
 
         let report = self.build_report(&mut problem, &v, label, comm, &total);
-        (v, report)
+        Ok((v, report))
     }
 
     fn build_report(

@@ -20,8 +20,9 @@
 // offsets; iterator adapters would obscure the stride math.
 #![allow(clippy::needless_range_loop)]
 
-use claire_grid::{Grid, Layout, Real, ScalarField, Slab};
+use claire_grid::{ClaireError, ClaireResult, Grid, Layout, Real, ScalarField, Slab};
 use claire_mpi::{AlltoallMethod, Comm, CommCat};
+use claire_obs::span::span;
 use claire_par::timing::{self, Kernel};
 use claire_par::{par_map_collect_work, par_parts, SharedSlice};
 
@@ -87,15 +88,41 @@ pub struct DistFft {
 impl DistFft {
     /// Plan for the calling rank of `comm` with the paper's production
     /// communication switch ([`AlltoallMethod::Auto`]).
+    /// Panicking convenience wrapper around [`DistFft::try_new`].
     pub fn new(grid: Grid, comm: &Comm) -> DistFft {
-        DistFft::with_method(grid, comm, AlltoallMethod::Auto)
+        DistFft::try_new(grid, comm).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Plan for the calling rank of `comm`, rejecting grids the slab
+    /// decomposition cannot split across `comm.size()` ranks.
+    pub fn try_new(grid: Grid, comm: &Comm) -> ClaireResult<DistFft> {
+        DistFft::try_with_method(grid, comm, AlltoallMethod::Auto)
     }
 
     /// Plan with an explicit all-to-all method (for Table 4/5 studies).
+    /// Panicking convenience wrapper around [`DistFft::try_with_method`].
     pub fn with_method(grid: Grid, comm: &Comm, method: AlltoallMethod) -> DistFft {
+        DistFft::try_with_method(grid, comm, method).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Plan with an explicit all-to-all method, returning a typed error when
+    /// the slab decomposition needs more planes than the grid has.
+    pub fn try_with_method(
+        grid: Grid,
+        comm: &Comm,
+        method: AlltoallMethod,
+    ) -> ClaireResult<DistFft> {
         let p = comm.size();
-        assert!(p <= grid.n[0] && p <= grid.n[1], "slab decomposition needs p <= min(n1, n2)");
-        DistFft {
+        if p > grid.n[0] || p > grid.n[1] {
+            return Err(ClaireError::Decomposition {
+                context: "DistFft::new",
+                message: format!(
+                    "slab decomposition needs p <= min(n1, n2); got p = {p} for grid {}x{}x{}",
+                    grid.n[0], grid.n[1], grid.n[2]
+                ),
+            });
+        }
+        Ok(DistFft {
             grid,
             nranks: p,
             rank: comm.rank(),
@@ -104,7 +131,7 @@ impl DistFft {
             r3: RealFft1d::new(grid.n[2]),
             c2: Fft1d::new(grid.n[1]),
             c1: Fft1d::new(grid.n[0]),
-        }
+        })
     }
 
     /// The grid this plan transforms.
@@ -223,6 +250,7 @@ impl DistFft {
 
     /// Forward r2c transform of a slab-distributed field.
     pub fn forward(&self, field: &ScalarField, comm: &mut Comm) -> DistSpectral {
+        let _s = span("fft.forward");
         assert_eq!(field.layout().grid, self.grid, "field grid mismatch");
         let [n1, n2, n3] = self.grid.n;
         let n3c = n3 / 2 + 1;
@@ -257,7 +285,10 @@ impl DistFft {
                 buf
             })
         });
-        let parts = comm.alltoallv(&bufs, CommCat::FftTranspose, self.method);
+        let parts = {
+            let _c = span("fft.transpose_comm");
+            comm.alltoallv(&bufs, CommCat::FftTranspose, self.method)
+        };
 
         let my_js = self.x2_slab();
         let nj = my_js.ni;
@@ -294,6 +325,7 @@ impl DistFft {
 
     /// Inverse c2r transform back to a slab-distributed real field.
     pub fn inverse(&self, mut spec: DistSpectral, comm: &mut Comm) -> ScalarField {
+        let _s = span("fft.inverse");
         assert_eq!(spec.grid, self.grid, "spectral grid mismatch");
         let [n1, n2, n3] = self.grid.n;
         let n3c = n3 / 2 + 1;
@@ -337,7 +369,10 @@ impl DistFft {
                 buf
             })
         });
-        let parts = comm.alltoallv(&bufs, CommCat::FftTranspose, self.method);
+        let parts = {
+            let _c = span("fft.transpose_comm");
+            comm.alltoallv(&bufs, CommCat::FftTranspose, self.method)
+        };
 
         let ni = layout.slab.ni;
         let mut work = vec![Cpx::ZERO; ni * n2 * n3c];

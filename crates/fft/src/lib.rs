@@ -30,6 +30,7 @@ pub mod plan;
 pub mod real;
 pub mod serial3d;
 
+pub use claire_grid::{ClaireError, ClaireResult};
 pub use complex::Cpx;
 pub use dist::{DistFft, DistSpectral};
 pub use plan::Fft1d;

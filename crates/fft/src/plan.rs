@@ -1,6 +1,6 @@
 //! 1D complex FFT plans: mixed-radix Cooley–Tukey and Bluestein.
 
-use claire_grid::Real;
+use claire_grid::{ClaireError, ClaireResult, Real};
 
 use crate::complex::Cpx;
 use crate::factor::{is_smooth, next_pow2, smallest_prime_factor};
@@ -32,9 +32,24 @@ enum Kind {
 }
 
 impl Fft1d {
-    /// Plan a transform of length `n >= 1`.
+    /// Plan a transform of length `n >= 1`. Panicking convenience wrapper
+    /// around [`Fft1d::try_new`].
     pub fn new(n: usize) -> Fft1d {
-        assert!(n >= 1, "FFT length must be positive");
+        Fft1d::try_new(n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Plan a transform, rejecting the empty length with a typed error.
+    pub fn try_new(n: usize) -> ClaireResult<Fft1d> {
+        if n < 1 {
+            return Err(ClaireError::Config {
+                param: "n",
+                message: "FFT length must be positive (got 0)".to_string(),
+            });
+        }
+        Ok(Self::plan(n))
+    }
+
+    fn plan(n: usize) -> Fft1d {
         if is_smooth(n) || n == 1 {
             let tw = (0..n)
                 .map(|j| {

@@ -1,0 +1,84 @@
+//! Workspace-wide typed error for fallible public constructors.
+//!
+//! `claire-grid` is the foundation every solver crate builds on, so the
+//! error type lives here and is re-exported from `claire-fft`, `claire-core`
+//! and the umbrella `claire` crate. Constructors that used to `assert!` on
+//! caller mistakes (layout mismatches, invalid decompositions, bad
+//! configuration values) return `ClaireResult` instead; the panicking
+//! convenience wrappers remain but panic with the typed error's message.
+
+use std::fmt;
+
+/// Typed error for invalid inputs to CLAIRE-rs public APIs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClaireError {
+    /// A configuration parameter is out of its valid range.
+    Config {
+        /// Parameter name (e.g. `nt`, `beta_target`).
+        param: &'static str,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// Two fields/grids that must share a layout do not.
+    LayoutMismatch {
+        /// Operation that required the match (e.g. `RegProblem::new`).
+        context: &'static str,
+        /// What differed.
+        message: String,
+    },
+    /// A grid cannot be decomposed as requested (slab counts, halo widths,
+    /// FFT plan sizes).
+    Decomposition {
+        /// Operation that rejected the decomposition (e.g. `DistFft::new`).
+        context: &'static str,
+        /// Why.
+        message: String,
+    },
+    /// An I/O-layer failure surfaced through a CLAIRE API.
+    Io {
+        /// Operation that failed.
+        context: &'static str,
+        /// Underlying error text.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClaireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClaireError::Config { param, message } => {
+                write!(f, "invalid configuration: `{param}` {message}")
+            }
+            ClaireError::LayoutMismatch { context, message } => {
+                write!(f, "layout mismatch in {context}: {message}")
+            }
+            ClaireError::Decomposition { context, message } => {
+                write!(f, "invalid decomposition in {context}: {message}")
+            }
+            ClaireError::Io { context, message } => {
+                write!(f, "I/O error in {context}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClaireError {}
+
+/// Result alias used by fallible CLAIRE-rs constructors.
+pub type ClaireResult<T> = Result<T, ClaireError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = ClaireError::Config { param: "nt", message: "must be >= 1 (got 0)".into() };
+        assert_eq!(e.to_string(), "invalid configuration: `nt` must be >= 1 (got 0)");
+        let e = ClaireError::Decomposition {
+            context: "DistFft::new",
+            message: "slab decomposition needs p <= min(n1, n2)".into(),
+        };
+        assert!(e.to_string().contains("DistFft::new"));
+    }
+}

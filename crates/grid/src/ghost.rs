@@ -14,6 +14,7 @@ use claire_mpi::{Comm, CommCat};
 use claire_par::par_chunks_mut;
 use claire_par::timing::{self, Kernel};
 
+use crate::error::{ClaireError, ClaireResult};
 use crate::field::ScalarField;
 use crate::real::Real;
 use crate::slab::Layout;
@@ -61,13 +62,35 @@ impl GhostField {
         2 * self.width * self.layout.grid.n[1] * self.layout.grid.n[2] * std::mem::size_of::<Real>()
     }
 
+    /// Check that `width` is a valid halo width for `layout`.
+    pub fn validate(layout: &Layout, width: usize) -> ClaireResult<()> {
+        let n0 = layout.grid.n[0];
+        if width > n0 {
+            return Err(ClaireError::Decomposition {
+                context: "GhostField::alloc",
+                message: format!("halo width {width} exceeds grid extent {n0}"),
+            });
+        }
+        Ok(())
+    }
+
     /// Zeroed ghost buffer sized for `layout` and `width`, to be filled by
-    /// [`exchange_into`] — allocate once, reuse across exchanges.
-    pub fn alloc(layout: Layout, width: usize) -> GhostField {
+    /// [`exchange_into`] — allocate once, reuse across exchanges. Returns a
+    /// typed error when the halo width exceeds the grid extent.
+    pub fn try_alloc(layout: Layout, width: usize) -> ClaireResult<GhostField> {
+        Self::validate(&layout, width)?;
         let g = layout.grid;
-        assert!(width <= g.n[0], "halo width {width} exceeds grid extent {}", g.n[0]);
         let plane = g.n[1] * g.n[2];
-        GhostField { layout, width, data: vec![0.0 as Real; (layout.slab.ni + 2 * width) * plane] }
+        Ok(GhostField {
+            layout,
+            width,
+            data: vec![0.0 as Real; (layout.slab.ni + 2 * width) * plane],
+        })
+    }
+
+    /// Panicking convenience wrapper around [`GhostField::try_alloc`].
+    pub fn alloc(layout: Layout, width: usize) -> GhostField {
+        Self::try_alloc(layout, width).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 

@@ -21,6 +21,7 @@
 //! matching the paper's layout ("the inner-most x3 dimension is always
 //! continuous in memory").
 
+pub mod error;
 pub mod field;
 pub mod ghost;
 pub mod grid;
@@ -28,6 +29,7 @@ pub mod real;
 pub mod redist;
 pub mod slab;
 
+pub use error::{ClaireError, ClaireResult};
 pub use field::{ScalarField, VectorField};
 pub use grid::Grid;
 pub use real::{Real, PI, TWO_PI};

@@ -13,7 +13,7 @@ use crossbeam::channel::{Receiver, Sender};
 use crate::message::Message;
 use crate::model::{AlltoallMethod, DeviceModel, LinkModel};
 use crate::pod::{as_bytes, from_bytes, Pod};
-use crate::stats::{CommCat, CommStats, ModelClock};
+use crate::stats::{CollOp, CommCat, CommStats, ModelClock};
 use crate::topology::Topology;
 
 /// Shared state for clock-synchronizing barriers.
@@ -152,6 +152,7 @@ impl Comm {
 
     /// Send a typed slice to `dst` with `tag`. Non-blocking (buffered).
     pub fn send<T: Pod>(&mut self, dst: usize, tag: u64, cat: CommCat, data: &[T]) {
+        self.stats.record_coll(CollOp::P2p, std::mem::size_of_val(data) as u64);
         self.send_impl(dst, tag, cat, data, false);
     }
 
@@ -222,6 +223,7 @@ impl Comm {
 
     /// Barrier: all ranks wait; logical clocks synchronize to the maximum.
     pub fn barrier(&mut self) {
+        self.stats.record_coll(CollOp::Barrier, 0);
         if self.is_solo() {
             return;
         }
@@ -250,6 +252,7 @@ impl Comm {
     /// modeled cost is a binomial tree (charged once, messages are
     /// link-free).
     pub fn allreduce<T: Pod, F: Fn(&mut [T], &[T])>(&mut self, data: &mut [T], op: F) {
+        self.stats.record_coll(CollOp::Allreduce, std::mem::size_of_val(data) as u64);
         if self.is_solo() {
             return;
         }
@@ -328,6 +331,7 @@ impl Comm {
 
     /// Broadcast `data` from `root` to all ranks.
     pub fn broadcast<T: Pod>(&mut self, root: usize, data: &mut Vec<T>) {
+        self.stats.record_coll(CollOp::Broadcast, std::mem::size_of_val(data.as_slice()) as u64);
         if self.is_solo() {
             return;
         }
@@ -358,10 +362,12 @@ impl Comm {
         cat: CommCat,
     ) -> Option<Vec<Vec<T>>> {
         if self.is_solo() {
+            self.stats.record_coll(CollOp::Gatherv, 0);
             return Some(vec![data.to_vec()]);
         }
         const TAG_GATHER: u64 = u64::MAX - 4;
         if self.rank == root {
+            self.stats.record_coll(CollOp::Gatherv, 0);
             let mut parts: Vec<Vec<T>> = Vec::with_capacity(self.size());
             for src in 0..self.size() {
                 if src == root {
@@ -372,7 +378,8 @@ impl Comm {
             }
             Some(parts)
         } else {
-            self.send(root, TAG_GATHER, cat, data);
+            self.stats.record_coll(CollOp::Gatherv, std::mem::size_of_val(data) as u64);
+            self.send_impl(root, TAG_GATHER, cat, data, false);
             None
         }
     }
@@ -385,19 +392,28 @@ impl Comm {
         cat: CommCat,
     ) -> Vec<T> {
         if self.is_solo() {
+            self.stats.record_coll(CollOp::Scatterv, 0);
             return parts.expect("root must provide parts")[0].clone();
         }
         const TAG_SCATTER: u64 = u64::MAX - 5;
         if self.rank == root {
             let parts = parts.expect("root must provide parts");
             assert_eq!(parts.len(), self.size(), "scatterv needs one part per rank");
+            let sent: usize = parts
+                .iter()
+                .enumerate()
+                .filter(|(d, _)| *d != root)
+                .map(|(_, p)| std::mem::size_of_val(p.as_slice()))
+                .sum();
+            self.stats.record_coll(CollOp::Scatterv, sent as u64);
             for (dst, part) in parts.iter().enumerate() {
                 if dst != root {
-                    self.send(dst, TAG_SCATTER, cat, part);
+                    self.send_impl(dst, TAG_SCATTER, cat, part, false);
                 }
             }
             parts[root].clone()
         } else {
+            self.stats.record_coll(CollOp::Scatterv, 0);
             self.recv(root, TAG_SCATTER, cat)
         }
     }
@@ -441,6 +457,7 @@ impl Comm {
             .filter(|(d, _)| *d != self.rank)
             .map(|(_, b)| std::mem::size_of_val(b.as_slice()))
             .sum();
+        self.stats.record_coll(CollOp::Alltoallv, per_rank_bytes as u64);
         let t = self.link.alltoall_time(per_rank_bytes, &self.topo, method);
         self.clock.advance_comm(t);
         self.stats.cat_mut(cat).modeled_secs += t;

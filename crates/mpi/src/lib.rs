@@ -58,5 +58,5 @@ pub use cluster::{run_cluster, ClusterResult};
 pub use comm::Comm;
 pub use model::{AlltoallMethod, LinkModel};
 pub use pod::Pod;
-pub use stats::{CommCat, CommStats};
+pub use stats::{CatStats, CollOp, CollStats, CommCat, CommStats};
 pub use topology::Topology;

@@ -86,10 +86,78 @@ pub struct CatStats {
     pub modeled_secs: f64,
 }
 
+/// A communication operation, for per-collective call/byte accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CollOp {
+    /// Point-to-point sends issued directly by user code.
+    P2p,
+    /// [`crate::Comm::barrier`] / `barrier_clock_sync`.
+    Barrier,
+    /// [`crate::Comm::allreduce`].
+    Allreduce,
+    /// [`crate::Comm::broadcast`].
+    Broadcast,
+    /// [`crate::Comm::gatherv`].
+    Gatherv,
+    /// [`crate::Comm::scatterv`].
+    Scatterv,
+    /// [`crate::Comm::alltoallv`].
+    Alltoallv,
+}
+
+impl CollOp {
+    /// All operations, for iteration/reporting.
+    pub const ALL: [CollOp; 7] = [
+        CollOp::P2p,
+        CollOp::Barrier,
+        CollOp::Allreduce,
+        CollOp::Broadcast,
+        CollOp::Gatherv,
+        CollOp::Scatterv,
+        CollOp::Alltoallv,
+    ];
+
+    /// Stable dense index for array-backed counters.
+    pub fn index(self) -> usize {
+        match self {
+            CollOp::P2p => 0,
+            CollOp::Barrier => 1,
+            CollOp::Allreduce => 2,
+            CollOp::Broadcast => 3,
+            CollOp::Gatherv => 4,
+            CollOp::Scatterv => 5,
+            CollOp::Alltoallv => 6,
+        }
+    }
+
+    /// Operation name as reported (MPI naming, lowercase).
+    pub fn label(self) -> &'static str {
+        match self {
+            CollOp::P2p => "p2p",
+            CollOp::Barrier => "barrier",
+            CollOp::Allreduce => "allreduce",
+            CollOp::Broadcast => "broadcast",
+            CollOp::Gatherv => "gatherv",
+            CollOp::Scatterv => "scatterv",
+            CollOp::Alltoallv => "alltoallv",
+        }
+    }
+}
+
+/// Call/byte counters for one communication operation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CollStats {
+    /// Times this rank invoked the operation.
+    pub calls: u64,
+    /// Payload bytes this rank contributed to those invocations.
+    pub bytes: u64,
+}
+
 /// Per-rank traffic ledger.
 #[derive(Clone, Debug, Default)]
 pub struct CommStats {
     cats: [CatStats; 7],
+    colls: [CollStats; 7],
 }
 
 impl CommStats {
@@ -100,6 +168,17 @@ impl CommStats {
 
     pub(crate) fn cat_mut(&mut self, cat: CommCat) -> &mut CatStats {
         &mut self.cats[cat.index()]
+    }
+
+    /// Call/byte counters for one communication operation.
+    pub fn coll(&self, op: CollOp) -> &CollStats {
+        &self.colls[op.index()]
+    }
+
+    pub(crate) fn record_coll(&mut self, op: CollOp, bytes: u64) {
+        let c = &mut self.colls[op.index()];
+        c.calls += 1;
+        c.bytes += bytes;
     }
 
     /// Total bytes sent across all categories.
@@ -119,6 +198,10 @@ impl CommStats {
             a.msgs_sent += b.msgs_sent;
             a.wall_blocked += b.wall_blocked;
             a.modeled_secs += b.modeled_secs;
+        }
+        for (a, b) in self.colls.iter_mut().zip(other.colls.iter()) {
+            a.calls += b.calls;
+            a.bytes += b.bytes;
         }
     }
 }

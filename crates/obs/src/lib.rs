@@ -1,0 +1,78 @@
+//! Observability for the CLAIRE solver stack.
+//!
+//! Three pieces, all gated behind one global switch so the hot path costs a
+//! single relaxed atomic load + branch when disabled:
+//!
+//! * [`span`] — a hierarchical span tracer. RAII guards time `enter`/`exit`
+//!   pairs that form a tree (solve → β-level → GN iteration → PCG → kernel);
+//!   repeated spans with the same name under the same parent aggregate into
+//!   one node (call count + total time), so the tree stays bounded no matter
+//!   how many iterations run.
+//! * [`metrics`] — a registry of statically-declared counters, gauges, and
+//!   histograms with `&'static str` keys. Declaration is `const`; the first
+//!   touch self-registers the metric, after which updates are single
+//!   lock-free atomic ops.
+//! * [`report`] — [`report::RunReport`], a JSON-serializable record that
+//!   unifies what previously lived in claire-par kernel timers, claire-mpi
+//!   comm stats, `PrecondState` counters, and `core/report.rs`.
+//!
+//! Typical use: call [`begin`] before a solve (enables collection and clears
+//! prior data), run the solver, then assemble a `RunReport` (claire-core's
+//! `observe::collect_run_report` does this) and write `report.to_json()`.
+//!
+//! Span data is **per thread** — each rank thread in a virtual cluster owns
+//! its own tree and must drain it (`span::take_spans`) on that thread.
+//! Metrics and GN-iteration records are global and merge across threads.
+
+pub mod metrics;
+pub mod records;
+pub mod report;
+pub mod span;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether observability collection is currently on.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn observability collection on or off. Spans already open keep their
+/// guards balanced regardless of toggles.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Enable collection and clear all previously recorded observability data
+/// (spans on the calling thread, all metrics, GN-iteration records).
+pub fn begin() {
+    set_enabled(true);
+    reset();
+}
+
+/// Clear all recorded data without changing the enabled flag.
+pub fn reset() {
+    span::reset();
+    metrics::reset();
+    records::reset();
+}
+
+/// Serializes unit tests that toggle the global enabled flag.
+#[cfg(test)]
+pub(crate) static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enable_toggle() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+    }
+}

@@ -1,0 +1,293 @@
+//! Metrics registry: statically-declared counters, gauges, and histograms.
+//!
+//! Declare a metric as a `static` with a `const` constructor:
+//!
+//! ```
+//! static GHOST_BYTES: claire_obs::metrics::Counter =
+//!     claire_obs::metrics::Counter::new("ghost.bytes");
+//! GHOST_BYTES.add(4096);
+//! ```
+//!
+//! The first update self-registers the metric in a global registry (one
+//! compare-exchange + a short mutex hold, once per metric); every later
+//! update is a single lock-free atomic op. When observability is disabled
+//! the update is one relaxed load + branch.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of log2 buckets a [`Histogram`] keeps. Bucket `i` counts values
+/// `v` with `floor(log2(v)) == i - HIST_BUCKET_BIAS`.
+pub const HIST_BUCKETS: usize = 40;
+const HIST_BUCKET_BIAS: i32 = 20;
+
+enum MetricRef {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+static REGISTRY: Mutex<Vec<MetricRef>> = Mutex::new(Vec::new());
+
+fn register(flag: &AtomicBool, m: MetricRef) {
+    if flag.compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed).is_ok() {
+        REGISTRY.lock().unwrap().push(m);
+    }
+}
+
+/// Monotonic event/byte counter.
+pub struct Counter {
+    key: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// Const-construct a counter with a static key.
+    pub const fn new(key: &'static str) -> Self {
+        Counter { key, value: AtomicU64::new(0), registered: AtomicBool::new(false) }
+    }
+
+    /// Add `n`. No-op while observability is disabled.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        register(&self.registered, MetricRef::Counter(self));
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1. No-op while observability is disabled.
+    #[inline]
+    pub fn inc(&'static self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins instantaneous value.
+pub struct Gauge {
+    key: &'static str,
+    bits: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    /// Const-construct a gauge with a static key.
+    pub const fn new(key: &'static str) -> Self {
+        Gauge { key, bits: AtomicU64::new(0), registered: AtomicBool::new(false) }
+    }
+
+    /// Set the gauge. No-op while observability is disabled.
+    #[inline]
+    pub fn set(&'static self, v: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        register(&self.registered, MetricRef::Gauge(self));
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Count/sum/max summary with log2 buckets (e.g. for per-call durations).
+pub struct Histogram {
+    key: &'static str,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    max_bits: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    /// Const-construct a histogram with a static key.
+    pub const fn new(key: &'static str) -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            key,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+            max_bits: AtomicU64::new(0),
+            buckets: [ZERO; HIST_BUCKETS],
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Record a sample (negative samples clamp to 0). No-op while disabled.
+    #[inline]
+    pub fn record(&'static self, v: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        register(&self.registered, MetricRef::Histogram(self));
+        let v = v.max(0.0);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // f64 add via CAS loop — contention is negligible at record rates.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let mut cur = self.max_bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.max_bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        self.buckets[Self::bucket(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn bucket(v: f64) -> usize {
+        if v <= 0.0 {
+            return 0;
+        }
+        (v.log2().floor() as i32 + HIST_BUCKET_BIAS).clamp(0, HIST_BUCKETS as i32 - 1) as usize
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> f64 {
+        f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+    }
+}
+
+/// One metric's state at snapshot time.
+#[derive(Serialize, Clone, Debug)]
+pub struct MetricEntry {
+    /// Static key the metric was declared with.
+    pub key: String,
+    /// `"counter"`, `"gauge"`, or `"histogram"`.
+    pub kind: String,
+    /// Counter value / histogram sample count; 0 for gauges.
+    pub count: u64,
+    /// Gauge value / histogram sum; counter value as f64.
+    pub value: f64,
+    /// Histogram max; 0 otherwise.
+    pub max: f64,
+}
+
+/// Snapshot every registered metric, sorted by key.
+pub fn snapshot() -> Vec<MetricEntry> {
+    let reg = REGISTRY.lock().unwrap();
+    let mut out: Vec<MetricEntry> = reg
+        .iter()
+        .map(|m| match m {
+            MetricRef::Counter(c) => MetricEntry {
+                key: c.key.to_string(),
+                kind: "counter".to_string(),
+                count: c.get(),
+                value: c.get() as f64,
+                max: 0.0,
+            },
+            MetricRef::Gauge(g) => MetricEntry {
+                key: g.key.to_string(),
+                kind: "gauge".to_string(),
+                count: 0,
+                value: g.get(),
+                max: 0.0,
+            },
+            MetricRef::Histogram(h) => MetricEntry {
+                key: h.key.to_string(),
+                kind: "histogram".to_string(),
+                count: h.count(),
+                value: h.sum(),
+                max: h.max(),
+            },
+        })
+        .collect();
+    out.sort_by(|a, b| a.key.cmp(&b.key));
+    out
+}
+
+/// Zero every registered metric (registrations persist — the statics are
+/// 'static and stay in the registry).
+pub fn reset() {
+    let reg = REGISTRY.lock().unwrap();
+    for m in reg.iter() {
+        match m {
+            MetricRef::Counter(c) => c.value.store(0, Ordering::Relaxed),
+            MetricRef::Gauge(g) => g.bits.store(0, Ordering::Relaxed),
+            MetricRef::Histogram(h) => {
+                h.count.store(0, Ordering::Relaxed);
+                h.sum_bits.store(0, Ordering::Relaxed);
+                h.max_bits.store(0, Ordering::Relaxed);
+                for b in &h.buckets {
+                    b.store(0, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static C: Counter = Counter::new("test.counter");
+    static G: Gauge = Gauge::new("test.gauge");
+    static H: Histogram = Histogram::new("test.hist");
+
+    #[test]
+    fn counter_gauge_histogram() {
+        let _g = crate::TEST_LOCK.lock().unwrap();
+        crate::set_enabled(true);
+        reset();
+        C.add(5);
+        C.inc();
+        G.set(2.5);
+        H.record(1.0);
+        H.record(3.0);
+        assert_eq!(C.get(), 6);
+        assert_eq!(G.get(), 2.5);
+        assert_eq!(H.count(), 2);
+        assert_eq!(H.sum(), 4.0);
+        assert_eq!(H.max(), 3.0);
+        let snap = snapshot();
+        assert!(snap.iter().any(|e| e.key == "test.counter" && e.count == 6));
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn disabled_is_noop() {
+        let _g = crate::TEST_LOCK.lock().unwrap();
+        crate::set_enabled(false);
+        static D: Counter = Counter::new("test.disabled");
+        D.add(7);
+        assert_eq!(D.get(), 0);
+    }
+}

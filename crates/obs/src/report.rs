@@ -1,0 +1,245 @@
+//! [`RunReport`]: one JSON document per solver run.
+//!
+//! Unifies the telemetry that previously had to be scraped crate by crate:
+//! kernel phase timings (claire-par), per-phase and per-collective
+//! communication volume (claire-mpi), preconditioner/GN/PCG counters
+//! (claire-core, claire-opt), and the span tree from this crate. The
+//! paper's tables map onto it directly — Table 2 columns come from
+//! `kernels`/`comm`, Table 5 from `kernels` (FFT phases), and Table 7's
+//! FFT/IP/FD runtime shares from `phases`.
+
+use crate::metrics::MetricEntry;
+use crate::records::GnIterRecord;
+use crate::span::{self, SpanNode};
+use serde::Serialize;
+
+/// Top-level keys every emitted `RunReport` JSON object contains, in order.
+/// CI validates emitted reports against this list.
+pub const SCHEMA_KEYS: &[&str] = &[
+    "label",
+    "grid",
+    "nranks",
+    "nt",
+    "precond",
+    "summary",
+    "phases",
+    "gn_trace",
+    "kernels",
+    "comm",
+    "collectives",
+    "metrics",
+    "spans",
+];
+
+/// Headline solve outcome (mirrors the paper's Table 6 row).
+#[derive(Serialize, Clone, Debug, Default)]
+pub struct RunSummary {
+    /// Total Gauss–Newton iterations across all β-levels.
+    pub gn_iters: usize,
+    /// Total PCG iterations.
+    pub pcg_iters: usize,
+    /// Objective evaluations (line search included).
+    pub obj_evals: usize,
+    /// Hessian-vector products.
+    pub hess_applies: usize,
+    /// Relative final mismatch ‖m(1) − m₁‖/‖m₀ − m₁‖.
+    pub rel_mismatch: f64,
+    /// Relative final gradient norm.
+    pub grad_rel: f64,
+    /// Minimum determinant of the deformation-gradient field.
+    pub jac_det_min: f64,
+    /// Maximum determinant of the deformation-gradient field.
+    pub jac_det_max: f64,
+    /// Measured wall-clock seconds for the solve.
+    pub time_total: f64,
+    /// Modeled (virtual-cluster) seconds for the solve.
+    pub modeled_total: f64,
+    /// Whether the gradient tolerance was reached.
+    pub converged: bool,
+}
+
+/// Runtime share per kernel phase — the paper's Table 7 FFT/IP/FD columns.
+#[derive(Serialize, Clone, Debug, Default)]
+pub struct PhaseShares {
+    /// Spectral work: serial FFT + distributed FFT + transpose.
+    pub fft_secs: f64,
+    /// Interpolation (semi-Lagrangian evaluation).
+    pub ip_secs: f64,
+    /// Finite-difference stencils.
+    pub fd_secs: f64,
+    /// Everything else (field ops, ghost exchange, solver overhead).
+    pub other_secs: f64,
+    /// Total solve wall-clock these shares partition.
+    pub total_secs: f64,
+}
+
+impl PhaseShares {
+    /// Derive shares from per-kernel timings plus the solve wall-clock.
+    /// Kernel names follow claire-par's timer labels.
+    pub fn from_kernels(kernels: &[KernelEntry], total_secs: f64) -> Self {
+        let sum = |names: &[&str]| -> f64 {
+            kernels.iter().filter(|k| names.contains(&k.name.as_str())).map(|k| k.secs).sum()
+        };
+        let fft_secs = sum(&["fft_serial", "fft_dist", "fft_transpose"]);
+        let ip_secs = sum(&["interp"]);
+        let fd_secs = sum(&["fd"]);
+        let other_secs = (total_secs - fft_secs - ip_secs - fd_secs).max(0.0);
+        PhaseShares { fft_secs, ip_secs, fd_secs, other_secs, total_secs }
+    }
+}
+
+/// One kernel timer (from claire-par's per-kernel counters).
+#[derive(Serialize, Clone, Debug)]
+pub struct KernelEntry {
+    /// Kernel label (`fd`, `fft_serial`, `fft_dist`, `fft_transpose`,
+    /// `interp`, `ghost`, `field_ops`, `semilag`).
+    pub name: String,
+    /// Number of timed invocations.
+    pub calls: u64,
+    /// Total seconds across invocations.
+    pub secs: f64,
+}
+
+/// Communication volume for one traffic category (ghost exchange, scatter,
+/// FFT transpose, …) — claire-mpi's `CommCat` breakdown.
+#[derive(Serialize, Clone, Debug)]
+pub struct CommPhaseEntry {
+    /// Category label.
+    pub phase: String,
+    /// Payload bytes sent.
+    pub bytes: u64,
+    /// Messages sent.
+    pub msgs: u64,
+    /// Modeled network seconds for this category.
+    pub modeled_secs: f64,
+}
+
+/// Calls/bytes for one collective operation across the communicator.
+#[derive(Serialize, Clone, Debug)]
+pub struct CollectiveEntry {
+    /// Operation name (`allreduce`, `alltoallv`, `broadcast`, …).
+    pub op: String,
+    /// Number of invocations.
+    pub calls: u64,
+    /// Payload bytes moved by those invocations.
+    pub bytes: u64,
+}
+
+/// The unified per-run report. Serialize with [`RunReport::to_json`].
+#[derive(Serialize, Clone, Debug)]
+pub struct RunReport {
+    /// Free-form run label (dataset or experiment name).
+    pub label: String,
+    /// Global grid extents n₁ × n₂ × n₃.
+    pub grid: [usize; 3],
+    /// Ranks in the communicator.
+    pub nranks: usize,
+    /// Semi-Lagrangian time steps.
+    pub nt: usize,
+    /// Preconditioner label.
+    pub precond: String,
+    /// Headline outcome.
+    pub summary: RunSummary,
+    /// FFT/IP/FD runtime shares.
+    pub phases: PhaseShares,
+    /// Per-GN-iteration trace (objective, gradient norm, PCG iterations).
+    pub gn_trace: Vec<GnIterRecord>,
+    /// Per-kernel timers.
+    pub kernels: Vec<KernelEntry>,
+    /// Per-category communication volume.
+    pub comm: Vec<CommPhaseEntry>,
+    /// Per-collective calls/bytes.
+    pub collectives: Vec<CollectiveEntry>,
+    /// Registered metrics snapshot.
+    pub metrics: Vec<MetricEntry>,
+    /// Hierarchical span tree (per rank-0 thread).
+    pub spans: Vec<SpanNode>,
+}
+
+impl RunReport {
+    /// An empty report with the given label — callers fill in sections.
+    pub fn new(label: impl Into<String>) -> Self {
+        RunReport {
+            label: label.into(),
+            grid: [0; 3],
+            nranks: 1,
+            nt: 0,
+            precond: String::new(),
+            summary: RunSummary::default(),
+            phases: PhaseShares::default(),
+            gn_trace: Vec::new(),
+            kernels: Vec::new(),
+            comm: Vec::new(),
+            collectives: Vec::new(),
+            metrics: Vec::new(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// Pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("RunReport serialization is total")
+    }
+
+    /// Human-readable span-tree summary plus headline numbers.
+    pub fn span_summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "run `{}`  {}x{}x{}  ranks={}  nt={}  pc={}\n",
+            self.label,
+            self.grid[0],
+            self.grid[1],
+            self.grid[2],
+            self.nranks,
+            self.nt,
+            self.precond
+        ));
+        out.push_str(&format!(
+            "  GN {}  PCG {}  mismatch {:.3e}  |g|rel {:.3e}  {:.3} s\n",
+            self.summary.gn_iters,
+            self.summary.pcg_iters,
+            self.summary.rel_mismatch,
+            self.summary.grad_rel,
+            self.summary.time_total
+        ));
+        out.push_str(&format!(
+            "  phases: fft {:.3} s  ip {:.3} s  fd {:.3} s  other {:.3} s\n",
+            self.phases.fft_secs, self.phases.ip_secs, self.phases.fd_secs, self.phases.other_secs
+        ));
+        if !self.spans.is_empty() {
+            out.push_str("span tree:\n");
+            out.push_str(&span::render(&self.spans));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_keys_match_serialized_object() {
+        let report = RunReport::new("unit");
+        let serde::Value::Object(pairs) = serde::Serialize::to_value(&report) else {
+            panic!("RunReport must serialize to an object");
+        };
+        let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, SCHEMA_KEYS);
+    }
+
+    #[test]
+    fn phase_shares_partition_total() {
+        let kernels = vec![
+            KernelEntry { name: "fft_serial".into(), calls: 2, secs: 1.0 },
+            KernelEntry { name: "fft_transpose".into(), calls: 2, secs: 0.5 },
+            KernelEntry { name: "interp".into(), calls: 4, secs: 2.0 },
+            KernelEntry { name: "fd".into(), calls: 8, secs: 0.25 },
+        ];
+        let p = PhaseShares::from_kernels(&kernels, 5.0);
+        assert_eq!(p.fft_secs, 1.5);
+        assert_eq!(p.ip_secs, 2.0);
+        assert_eq!(p.fd_secs, 0.25);
+        assert!((p.other_secs - 1.25).abs() < 1e-12);
+    }
+}

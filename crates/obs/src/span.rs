@@ -1,0 +1,208 @@
+//! Hierarchical span tracer.
+//!
+//! [`span`] returns an RAII guard; the open-guard stack defines the tree.
+//! Entering a span whose name already exists under the current parent reuses
+//! that node and accumulates into it, so a solver that runs 50 GN iterations
+//! produces one `gn.iter` node with `calls = 50` rather than 50 siblings.
+//! Exit-matches-enter is structural: the guard's `Drop` is the only exit.
+//!
+//! All state is thread-local: each rank thread of a virtual cluster traces
+//! its own tree and must call [`take_spans`] on that thread to drain it.
+
+use serde::Serialize;
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// One aggregated node of a drained span tree.
+#[derive(Serialize, Clone, Debug)]
+pub struct SpanNode {
+    /// Span name as passed to [`span`].
+    pub name: String,
+    /// How many times this span was entered under this parent.
+    pub calls: u64,
+    /// Total wall-clock seconds across all calls (children included).
+    pub secs: f64,
+    /// Child spans, in first-entered order.
+    pub children: Vec<SpanNode>,
+}
+
+struct Node {
+    name: &'static str,
+    calls: u64,
+    nanos: u64,
+    children: Vec<usize>,
+}
+
+#[derive(Default)]
+struct Tracer {
+    nodes: Vec<Node>,
+    roots: Vec<usize>,
+    stack: Vec<usize>,
+}
+
+impl Tracer {
+    /// Find or create the child named `name` under the current stack top
+    /// (or among the roots) and return its index.
+    fn child(&mut self, name: &'static str) -> usize {
+        let siblings = match self.stack.last() {
+            Some(&parent) => &self.nodes[parent].children,
+            None => &self.roots,
+        };
+        if let Some(&id) = siblings.iter().find(|&&id| self.nodes[id].name == name) {
+            return id;
+        }
+        let id = self.nodes.len();
+        self.nodes.push(Node { name, calls: 0, nanos: 0, children: Vec::new() });
+        match self.stack.last() {
+            Some(&parent) => self.nodes[parent].children.push(id),
+            None => self.roots.push(id),
+        }
+        id
+    }
+
+    fn export(&self, id: usize) -> SpanNode {
+        let n = &self.nodes[id];
+        SpanNode {
+            name: n.name.to_string(),
+            calls: n.calls,
+            secs: n.nanos as f64 * 1e-9,
+            children: n.children.iter().map(|&c| self.export(c)).collect(),
+        }
+    }
+}
+
+thread_local! {
+    static TRACER: RefCell<Tracer> = RefCell::new(Tracer::default());
+}
+
+/// RAII guard returned by [`span`]. Dropping it exits the span and adds the
+/// elapsed time to the node it opened. Inert (near-zero cost) when
+/// observability was disabled at enter time.
+#[must_use = "a span guard times its scope; dropping it immediately records nothing useful"]
+pub struct SpanGuard {
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let nanos = start.elapsed().as_nanos() as u64;
+            TRACER.with(|t| {
+                let mut t = t.borrow_mut();
+                // The stack top is necessarily the node this guard opened:
+                // guards drop in reverse open order within a thread.
+                if let Some(id) = t.stack.pop() {
+                    t.nodes[id].nanos += nanos;
+                }
+            });
+        }
+    }
+}
+
+/// Enter a timed span. The returned guard exits it on drop.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { start: None };
+    }
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        let id = t.child(name);
+        t.nodes[id].calls += 1;
+        t.stack.push(id);
+    });
+    SpanGuard { start: Some(Instant::now()) }
+}
+
+/// Drain the calling thread's span tree, returning the roots and clearing
+/// the tracer. Open spans (guards not yet dropped) are not exported.
+pub fn take_spans() -> Vec<SpanNode> {
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        let roots: Vec<SpanNode> = t
+            .roots
+            .clone()
+            .iter()
+            .filter(|&&id| t.nodes[id].calls > 0)
+            .map(|&id| t.export(id))
+            .collect();
+        *t = Tracer::default();
+        roots
+    })
+}
+
+/// Clear the calling thread's span tree (open guards become no-ops on drop
+/// only for timing attribution; their pops still balance).
+pub fn reset() {
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        let depth = t.stack.len();
+        *t = Tracer::default();
+        // Keep the stack depth so already-open guards pop placeholders
+        // instead of underflowing into freshly created nodes.
+        for _ in 0..depth {
+            let id = t.nodes.len();
+            t.nodes.push(Node { name: "(reset)", calls: 0, nanos: 0, children: Vec::new() });
+            t.stack.push(id);
+        }
+    });
+}
+
+/// Render a drained span forest as an indented human-readable tree.
+pub fn render(spans: &[SpanNode]) -> String {
+    fn walk(node: &SpanNode, depth: usize, out: &mut String) {
+        let label = format!("{}{}", "  ".repeat(depth), node.name);
+        out.push_str(&format!("{label:<40} {:>10.3} s  x{}\n", node.secs, node.calls));
+        for c in &node.children {
+            walk(c, depth + 1, out);
+        }
+    }
+    let mut out = String::new();
+    for root in spans {
+        walk(root, 0, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_and_aggregation() {
+        let _g = crate::TEST_LOCK.lock().unwrap();
+        crate::set_enabled(true);
+        reset();
+        {
+            let _solve = span("solve");
+            for _ in 0..3 {
+                let _it = span("iter");
+                let _k = span("kernel");
+            }
+        }
+        let spans = take_spans();
+        crate::set_enabled(false);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "solve");
+        assert_eq!(spans[0].calls, 1);
+        assert_eq!(spans[0].children.len(), 1);
+        let iter = &spans[0].children[0];
+        assert_eq!(iter.calls, 3);
+        assert_eq!(iter.children[0].name, "kernel");
+        assert_eq!(iter.children[0].calls, 3);
+        // child time is contained in parent time
+        assert!(iter.secs <= spans[0].secs + 1e-9);
+        assert!(iter.children[0].secs <= iter.secs + 1e-9);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = crate::TEST_LOCK.lock().unwrap();
+        crate::set_enabled(false);
+        reset();
+        {
+            let _s = span("ghost");
+        }
+        assert!(take_spans().is_empty());
+    }
+}

@@ -4,6 +4,15 @@ use std::time::Instant;
 
 use claire_grid::{Real, VectorField};
 use claire_mpi::Comm;
+use claire_obs::{
+    metrics::{Counter, Gauge},
+    records,
+    span::span,
+};
+
+static GN_OBJ_EVALS: Counter = Counter::new("gn.obj_evals");
+static GN_HESS_APPLIES: Counter = Counter::new("gn.hess_applies");
+static GN_CONVERGED: Gauge = Gauge::new("gn.converged");
 
 use crate::pcg::{pcg, PcgConfig, PcgOperator};
 
@@ -132,6 +141,7 @@ struct TimedNewtonOps<'a, P: GnProblem> {
 
 impl<P: GnProblem> PcgOperator for TimedNewtonOps<'_, P> {
     fn apply(&mut self, p: &VectorField, comm: &mut Comm) -> VectorField {
+        let _s = span("hess_matvec");
         let t = Instant::now();
         let m = comm.clock().now();
         let out = self.problem.hess_vec(p, comm);
@@ -141,6 +151,7 @@ impl<P: GnProblem> PcgOperator for TimedNewtonOps<'_, P> {
         out
     }
     fn prec(&mut self, r: &VectorField, comm: &mut Comm) -> VectorField {
+        let _s = span("precond");
         let t = Instant::now();
         let m = comm.clock().now();
         let out = self.problem.precond(r, self.eps_k, comm);
@@ -166,10 +177,14 @@ pub fn gauss_newton<P: GnProblem>(
     let mut g0norm: Option<f64> = None;
 
     for _k in 0..cfg.max_iter {
+        let _iter_span = span("gn.iter");
         // gradient
         let t0 = Instant::now();
         let m0 = comm.clock().now();
-        let g = problem.gradient(&v, comm);
+        let g = {
+            let _s = span("gradient");
+            problem.gradient(&v, comm)
+        };
         stats.time.grad += t0.elapsed().as_secs_f64();
         stats.modeled.grad += comm.clock().now() - m0;
 
@@ -219,6 +234,7 @@ pub fn gauss_newton<P: GnProblem>(
         stats.pcg_iters_total += pcg_res.iters;
 
         // Armijo line search on J
+        let ls_span = span("linesearch");
         let t0 = Instant::now();
         let m0 = comm.clock().now();
         let j0 = problem.objective(&v, comm);
@@ -226,6 +242,7 @@ pub fn gauss_newton<P: GnProblem>(
         let slope = g.inner(&step, comm);
         let mut alpha = 1.0 as Real;
         let mut accepted = false;
+        let mut j_new = j0;
         for _ in 0..cfg.max_linesearch {
             let mut trial = v.clone();
             trial.axpy(alpha, &step);
@@ -235,12 +252,15 @@ pub fn gauss_newton<P: GnProblem>(
                 v = trial;
                 stats.objective_history.push(j);
                 accepted = true;
+                j_new = j;
                 break;
             }
             alpha *= 0.5;
         }
         stats.time.obj += t0.elapsed().as_secs_f64();
         stats.modeled.obj += comm.clock().now() - m0;
+        drop(ls_span);
+        records::push_gn(stats.gn_iters, j_new, rel, pcg_res.iters);
         stats.gn_iters += 1;
 
         if !accepted {
@@ -252,6 +272,9 @@ pub fn gauss_newton<P: GnProblem>(
 
     stats.time.total = t_total.elapsed().as_secs_f64();
     stats.modeled.total = comm.clock().now() - m_total0;
+    GN_OBJ_EVALS.add(stats.obj_evals as u64);
+    GN_HESS_APPLIES.add(stats.hess_applies as u64);
+    GN_CONVERGED.set(if stats.converged { 1.0 } else { 0.0 });
     (v, stats)
 }
 

@@ -2,6 +2,10 @@
 
 use claire_grid::VectorField;
 use claire_mpi::Comm;
+use claire_obs::{metrics::Counter, span::span};
+
+static PCG_ITERS: Counter = Counter::new("pcg.iters");
+static PCG_SOLVES: Counter = Counter::new("pcg.solves");
 
 /// PCG options.
 #[derive(Clone, Copy, Debug)]
@@ -76,6 +80,8 @@ pub fn pcg<O: PcgOperator>(
     ops: &mut O,
     comm: &mut Comm,
 ) -> (VectorField, PcgResult) {
+    let _s = span("pcg");
+    PCG_SOLVES.inc();
     let layout = *b.layout();
     let bnorm = b.norm_l2(comm).max(f64::MIN_POSITIVE);
 
@@ -115,6 +121,7 @@ pub fn pcg<O: PcgOperator>(
         x.axpy(alpha, &p);
         r.axpy(-alpha, &q);
         iters += 1;
+        PCG_ITERS.inc();
 
         rel = r.norm_l2(comm) / bnorm;
         if cfg.trace {

@@ -5,6 +5,7 @@
 //! whole kernel invocation (serial or parallel), so comparing snapshots taken
 //! under different thread counts measures the realized speedup directly.
 
+use claire_obs::metrics::Counter;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -44,6 +45,30 @@ const ZERO_SLOT: Slot = Slot { calls: AtomicU64::new(0), nanos: AtomicU64::new(0
 
 static SLOTS: [Slot; NKERNELS] = [ZERO_SLOT; NKERNELS];
 
+// Mirror counters in the claire-obs registry so kernel activity shows up in
+// `obs::metrics::snapshot()` (and hence RunReport.metrics) alongside solver
+// counters. The local SLOTS stay authoritative for `snapshot()`/`reset()`.
+static OBS_CALLS: [Counter; NKERNELS] = [
+    Counter::new("kernel.fd.calls"),
+    Counter::new("kernel.fft_serial.calls"),
+    Counter::new("kernel.fft_dist.calls"),
+    Counter::new("kernel.fft_transpose.calls"),
+    Counter::new("kernel.interp.calls"),
+    Counter::new("kernel.ghost.calls"),
+    Counter::new("kernel.field_ops.calls"),
+    Counter::new("kernel.semilag.calls"),
+];
+static OBS_NANOS: [Counter; NKERNELS] = [
+    Counter::new("kernel.fd.nanos"),
+    Counter::new("kernel.fft_serial.nanos"),
+    Counter::new("kernel.fft_dist.nanos"),
+    Counter::new("kernel.fft_transpose.nanos"),
+    Counter::new("kernel.interp.nanos"),
+    Counter::new("kernel.ghost.nanos"),
+    Counter::new("kernel.field_ops.nanos"),
+    Counter::new("kernel.semilag.nanos"),
+];
+
 impl Kernel {
     fn index(self) -> usize {
         match self {
@@ -68,9 +93,14 @@ impl Kernel {
 pub fn time<R>(k: Kernel, f: impl FnOnce() -> R) -> R {
     let t0 = Instant::now();
     let out = f();
+    let nanos = t0.elapsed().as_nanos() as u64;
     let slot = &SLOTS[k.index()];
     slot.calls.fetch_add(1, Ordering::Relaxed);
-    slot.nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    slot.nanos.fetch_add(nanos, Ordering::Relaxed);
+    if claire_obs::enabled() {
+        OBS_CALLS[k.index()].inc();
+        OBS_NANOS[k.index()].add(nanos);
+    }
     out
 }
 

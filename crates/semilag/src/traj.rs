@@ -22,6 +22,7 @@
 use claire_grid::{Real, ScalarField, VectorField};
 use claire_interp::Interpolator;
 use claire_mpi::Comm;
+use claire_obs::span::span;
 use claire_par::par_map_collect;
 use claire_par::timing::{self, Kernel};
 
@@ -69,6 +70,7 @@ impl Trajectory {
         interp: &mut Interpolator,
         comm: &mut Comm,
     ) -> Trajectory {
+        let _s = span("semilag.trajectory");
         assert!(nt >= 1, "need at least one time step");
         let layout = *v.layout();
         let dt = 1.0 as Real / nt as Real;

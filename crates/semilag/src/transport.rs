@@ -4,6 +4,7 @@ use claire_diff::fd::FdScratch;
 use claire_grid::{ScalarField, VectorField};
 use claire_interp::{Interpolator, IpOrder};
 use claire_mpi::Comm;
+use claire_obs::span::span;
 use claire_par::par_map_collect;
 use claire_par::timing::{self, Kernel};
 
@@ -63,6 +64,7 @@ impl Transport {
         interp: &mut Interpolator,
         comm: &mut Comm,
     ) -> StateSolution {
+        let _s = span("semilag.state");
         let mut m = Vec::with_capacity(self.nt + 1);
         m.push(m0.clone());
         for j in 0..self.nt {
@@ -97,6 +99,7 @@ impl Transport {
         interp: &mut Interpolator,
         comm: &mut Comm,
     ) -> Vec<ScalarField> {
+        let _s = span("semilag.adjoint");
         let layout = *final_cond.layout();
         let mut lambda = vec![final_cond.clone()];
         let divv = traj.div_v.data();
@@ -129,6 +132,7 @@ impl Transport {
         interp: &mut Interpolator,
         comm: &mut Comm,
     ) -> ScalarField {
+        let _s = span("semilag.inc_state");
         let layout = *state.m[0].layout();
         let n = layout.local_len();
         // b_j = ṽ·∇m_j (source term), computed per step

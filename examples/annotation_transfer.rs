@@ -13,11 +13,10 @@
 //! ventricle region with the Dice overlap — the NIREP-style accuracy
 //! metric.
 
-use claire::core::{metrics, Claire, RegistrationConfig};
+use claire::core::metrics;
 use claire::data::brain;
-use claire::grid::{Grid, Layout, Real, ScalarField};
-use claire::interp::{Interpolator, IpOrder};
-use claire::mpi::Comm;
+use claire::interp::Interpolator;
+use claire::prelude::*;
 use claire::semilag::{Trajectory, Transport};
 
 /// Ventricle indicator of the canonical atlas geometry (the two dark
@@ -57,13 +56,13 @@ fn main() {
     };
 
     // register atlas -> subject
-    let cfg = RegistrationConfig {
-        nt: 4,
-        ip_order: IpOrder::Cubic,
-        beta_target: 5e-4,
-        max_gn_iter: 10,
-        ..Default::default()
-    };
+    let cfg = RegistrationConfig::builder()
+        .nt(4)
+        .ip_order(IpOrder::Cubic)
+        .beta(5e-4)
+        .max_gn_iter(10)
+        .build()
+        .expect("valid configuration");
     println!("registering atlas -> subject with {} ...", cfg.precond.label());
     let mut solver = Claire::new(cfg);
     let (v, report) = solver.register_from(&atlas, &subject, None, "na05", &mut comm);

@@ -9,10 +9,8 @@
 //! writes the template, reference, deformed template, and residuals as
 //! NIfTI-1 volumes to `out/` — the full clinical-style pipeline.
 
-use claire::core::{Claire, PrecondKind, RegistrationConfig, RegistrationReport};
 use claire::data::{brain, nifti};
-use claire::grid::{Grid, Layout, ScalarField};
-use claire::mpi::Comm;
+use claire::prelude::*;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -27,15 +25,15 @@ fn main() {
     let m1 = brain::subject(&reference_name, layout, &mut comm);
 
     println!("\n{}", RegistrationReport::header());
-    let mut best: Option<(RegistrationReport, claire::grid::VectorField)> = None;
+    let mut best: Option<(RegistrationReport, VectorField)> = None;
     for pc in [PrecondKind::InvA, PrecondKind::InvH0, PrecondKind::TwoLevelInvH0] {
-        let cfg = RegistrationConfig {
-            nt: 4,
-            precond: pc,
-            beta_target: 5e-4,
-            max_gn_iter: 10,
-            ..Default::default()
-        };
+        let cfg = RegistrationConfig::builder()
+            .nt(4)
+            .precond(pc)
+            .beta(5e-4)
+            .max_gn_iter(10)
+            .build()
+            .expect("valid configuration");
         let mut solver = Claire::new(cfg);
         let (v, report) = solver.register_from(&m0, &m1, None, &template_name, &mut comm);
         println!("{}", report.row());
@@ -52,8 +50,9 @@ fn main() {
     // write the imaging products
     let out = std::path::Path::new("out");
     std::fs::create_dir_all(out).expect("create out/");
-    let cfg = RegistrationConfig { nt: 4, ..Default::default() };
-    let mut problem = claire::core::RegProblem::new(m0.clone(), m1.clone(), cfg, &mut comm);
+    let cfg = RegistrationConfig::builder().nt(4).build().expect("valid configuration");
+    let mut problem = RegProblem::new(m0.clone(), m1.clone(), cfg, &mut comm)
+        .expect("matching layouts by construction");
     let deformed = problem.deformed_template(&v, &mut comm);
     let residual_before = diff_image(&m0, &m1);
     let residual_after = diff_image(&deformed, &m1);

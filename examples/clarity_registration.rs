@@ -8,10 +8,8 @@
 //! (2n × n × n, like the paper's 1024×384×384 crop) with the looser inner
 //! tolerance `εH0 = 1e-2` the paper uses for this high-frequency data.
 
-use claire::core::{Claire, PrecondKind, RegistrationConfig, RegistrationReport};
 use claire::data::clarity;
-use claire::grid::{Grid, Layout};
-use claire::mpi::Comm;
+use claire::prelude::*;
 
 fn main() {
     let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(24);
@@ -27,14 +25,14 @@ fn main() {
 
     println!("\n{}", RegistrationReport::header());
     for pc in [PrecondKind::InvA, PrecondKind::TwoLevelInvH0] {
-        let cfg = RegistrationConfig {
-            nt: 4,
-            precond: pc,
-            eps_h0: 1e-2, // paper's CLARITY setting
-            beta_target: 5e-4,
-            max_gn_iter: 10,
-            ..Default::default()
-        };
+        let cfg = RegistrationConfig::builder()
+            .nt(4)
+            .precond(pc)
+            .eps_h0(1e-2) // paper's CLARITY setting
+            .beta(5e-4)
+            .max_gn_iter(10)
+            .build()
+            .expect("valid configuration");
         let mut solver = Claire::new(cfg);
         let (_, report) = solver.register_from(&m0, &m1, None, "clarity", &mut comm);
         println!("{}", report.row());

@@ -11,10 +11,7 @@
 //! demonstrating that the whole solver (FFTs, ghost exchanges, scattered
 //! interpolation, reductions) runs distributed.
 
-use claire::core::{Claire, PrecondKind, RegistrationConfig};
-use claire::data::syn::syn_problem;
-use claire::interp::IpOrder;
-use claire::mpi::{run_cluster, CommCat, Topology};
+use claire::prelude::*;
 
 fn main() {
     let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(24);
@@ -27,17 +24,17 @@ fn main() {
     for p in [1usize, 2, 4] {
         let res = run_cluster(Topology::new(p, 4), move |comm| {
             let prob = syn_problem(size, comm);
-            let cfg = RegistrationConfig {
-                nt: 4,
-                ip_order: IpOrder::Linear,
-                precond: PrecondKind::InvA,
-                continuation: false,
-                beta_target: 1e-3,
-                fixed_pcg: Some(10),
-                max_gn_iter: 5,
-                grad_rtol: 1e-30,
-                ..Default::default()
-            };
+            let cfg = RegistrationConfig::builder()
+                .nt(4)
+                .ip_order(IpOrder::Linear)
+                .precond(PrecondKind::InvA)
+                .continuation(false)
+                .beta(1e-3)
+                .fixed_pcg(Some(10))
+                .max_gn_iter(5)
+                .grad_rtol(1e-30)
+                .build()
+                .expect("valid configuration");
             let t0 = std::time::Instant::now();
             let mut solver = Claire::new(cfg);
             let (_, report) =

@@ -1,32 +1,57 @@
 //! Quickstart: register the paper's analytic SYN problem on a small grid.
 //!
 //! ```bash
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart -- [n] [--report PATH]
 //! ```
 //!
 //! Builds the SYN template/reference pair (§4 of the paper), runs the full
 //! β-continuation Gauss–Newton–Krylov solver with the 2LInvH0
 //! preconditioner, and prints a Table 6-style report plus diffeomorphism
-//! diagnostics.
+//! diagnostics. With `--report PATH` the run is traced end to end and the
+//! unified `RunReport` JSON (span tree, kernel phases, per-collective
+//! traffic) is written to PATH.
+//!
+//! The whole program needs exactly one `use`: the prelude.
 
-use claire::core::{Claire, RegistrationConfig, RegistrationReport};
-use claire::data::syn::syn_problem;
-use claire::mpi::Comm;
+use claire::prelude::*;
 
 fn main() {
-    let n = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(24usize);
+    let mut n = 24usize;
+    let mut report_path: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--report" => report_path = args.next().map(std::path::PathBuf::from),
+            other => {
+                n = other.parse().unwrap_or_else(|_| {
+                    eprintln!(
+                        "unrecognized argument `{other}`; usage: quickstart [n] [--report PATH]"
+                    );
+                    std::process::exit(2)
+                })
+            }
+        }
+    }
 
     let mut comm = Comm::solo();
     println!("building SYN problem at {n}^3 ...");
     let prob = syn_problem([n, n, n], &mut comm);
 
-    let cfg = RegistrationConfig { nt: 4, beta_target: 1e-3, verbose: true, ..Default::default() };
+    let cfg = RegistrationConfig::builder()
+        .nt(4)
+        .beta(1e-3)
+        .verbose(true)
+        .build()
+        .expect("quickstart configuration is valid");
     println!(
         "registering with {} (β continuation {:?} -> {:.0e}) ...",
         cfg.precond.label(),
         cfg.beta_init,
         cfg.beta_target
     );
+    if report_path.is_some() {
+        begin_observing();
+    }
     let mut solver = Claire::new(cfg);
     let t0 = std::time::Instant::now();
     let (v, report) = solver.register_from(&prob.template, &prob.reference, None, "SYN", &mut comm);
@@ -49,6 +74,14 @@ fn main() {
         norm
     };
     println!("  |v|_L2                   {vnorm:.3e}");
+
+    if let Some(path) = &report_path {
+        let run = collect_run_report("SYN", &report, &comm);
+        print!("\n{}", run.span_summary());
+        std::fs::write(path, run.to_json()).expect("write run report");
+        println!("wrote run report to {}", path.display());
+    }
+
     assert!(report.rel_mismatch < 0.5, "registration should reduce the mismatch");
     println!("\nok: mismatch reduced by {:.1}x", 1.0 / report.rel_mismatch);
 }

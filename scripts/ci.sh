@@ -23,4 +23,15 @@ cargo fmt --all --check
 echo "== kernel bench smoke-run =="
 cargo run --release -p claire-bench --bin bench_kernels
 
+echo "== observability smoke-run: quickstart --report =="
+report="$(mktemp -d)/run.json"
+cargo run --release --example quickstart -- 16 --report "$report"
+echo "validating RunReport schema keys in $report"
+for key in label grid nranks nt precond summary phases gn_trace kernels \
+           comm collectives metrics spans; do
+    grep -q "\"$key\"" "$report" || { echo "RunReport missing key: $key"; exit 1; }
+done
+grep -q '"name": "solve"' "$report" || { echo "RunReport span tree missing solve root"; exit 1; }
+rm -f "$report"
+
 echo "CI gate passed."

@@ -12,13 +12,18 @@
 //!   --grid-cont      enable coarse-to-fine grid continuation
 //!   --store-grad     cache the state gradient (faster, more memory)
 //!   --eps-h0 VALUE   inner H0 tolerance scale        (default: 1e-3)
+//!   --report PATH    write a unified RunReport JSON (spans, metrics,
+//!                    per-phase timings, per-collective traffic) to PATH
+//!                    and print the span-tree summary on exit
+//!   --syn N          skip the NIfTI inputs and register the synthetic
+//!                    N³ sinusoidal problem (smoke tests, CI)
 //!   -q               quiet (no per-iteration log)
 //! ```
 //!
 //! Writes `deformed_template.nii`, `velocity_[123].nii`, `jacobian_det.nii`
 //! and `report.json` to the output directory.
 
-use claire::core::{Claire, PrecondKind, RegistrationConfig};
+use claire::core::{observe, Claire, PrecondKind, RegistrationConfig};
 use claire::data::nifti;
 use claire::interp::{Interpolator, IpOrder};
 use claire::mpi::Comm;
@@ -30,6 +35,8 @@ struct Options {
     template: PathBuf,
     reference: PathBuf,
     out: PathBuf,
+    report: Option<PathBuf>,
+    syn: Option<usize>,
     cfg: RegistrationConfig,
 }
 
@@ -40,7 +47,7 @@ fn usage() -> ! {
     eprintln!(
         "                  [--beta V] [--nt N] [--order linear|cubic] [--grid-cont] [--store-grad]"
     );
-    eprintln!("                  [--eps-h0 V] [-q]");
+    eprintln!("                  [--eps-h0 V] [--report PATH] [--syn N] [-q]");
     exit(2)
 }
 
@@ -48,8 +55,9 @@ fn parse_args() -> Options {
     let mut args = std::env::args().skip(1);
     let mut positional: Vec<String> = Vec::new();
     let mut out = PathBuf::from("claire_out");
-    let mut cfg =
-        RegistrationConfig { ip_order: IpOrder::Cubic, verbose: true, ..Default::default() };
+    let mut report = None;
+    let mut syn = None;
+    let mut cfg = RegistrationConfig::builder().ip_order(IpOrder::Cubic).verbose(true);
     let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| {
             eprintln!("missing value for {flag}");
@@ -60,7 +68,7 @@ fn parse_args() -> Options {
         match arg.as_str() {
             "-o" => out = PathBuf::from(next_value(&mut args, "-o")),
             "--precond" => {
-                cfg.precond = match next_value(&mut args, "--precond").as_str() {
+                cfg = cfg.precond(match next_value(&mut args, "--precond").as_str() {
                     "InvA" => PrecondKind::InvA,
                     "InvH0" => PrecondKind::InvH0,
                     "2LInvH0" => PrecondKind::TwoLevelInvH0,
@@ -68,29 +76,35 @@ fn parse_args() -> Options {
                         eprintln!("unknown preconditioner {other}");
                         usage()
                     }
-                }
+                })
             }
             "--beta" => {
-                cfg.beta_target =
-                    next_value(&mut args, "--beta").parse().unwrap_or_else(|_| usage())
+                cfg = cfg.beta(next_value(&mut args, "--beta").parse().unwrap_or_else(|_| usage()))
             }
-            "--nt" => cfg.nt = next_value(&mut args, "--nt").parse().unwrap_or_else(|_| usage()),
+            "--nt" => {
+                cfg = cfg.nt(next_value(&mut args, "--nt").parse().unwrap_or_else(|_| usage()))
+            }
             "--order" => {
-                cfg.ip_order = match next_value(&mut args, "--order").as_str() {
+                cfg = cfg.ip_order(match next_value(&mut args, "--order").as_str() {
                     "linear" => IpOrder::Linear,
                     "cubic" => IpOrder::Cubic,
                     other => {
                         eprintln!("unknown interpolation order {other}");
                         usage()
                     }
-                }
+                })
             }
-            "--grid-cont" => cfg.grid_continuation = true,
-            "--store-grad" => cfg.store_grad = true,
+            "--grid-cont" => cfg = cfg.grid_continuation(true),
+            "--store-grad" => cfg = cfg.store_grad(true),
             "--eps-h0" => {
-                cfg.eps_h0 = next_value(&mut args, "--eps-h0").parse().unwrap_or_else(|_| usage())
+                cfg = cfg
+                    .eps_h0(next_value(&mut args, "--eps-h0").parse().unwrap_or_else(|_| usage()))
             }
-            "-q" => cfg.verbose = false,
+            "--report" => report = Some(PathBuf::from(next_value(&mut args, "--report"))),
+            "--syn" => {
+                syn = Some(next_value(&mut args, "--syn").parse().unwrap_or_else(|_| usage()))
+            }
+            "-q" => cfg = cfg.verbose(false),
             "-h" | "--help" => usage(),
             other if other.starts_with('-') => {
                 eprintln!("unknown option {other}");
@@ -99,15 +113,16 @@ fn parse_args() -> Options {
             other => positional.push(other.to_string()),
         }
     }
-    if positional.len() != 2 {
-        usage();
+    match (syn.is_some(), positional.len()) {
+        (true, 0) | (false, 2) => {}
+        _ => usage(),
     }
-    Options {
-        template: PathBuf::from(&positional[0]),
-        reference: PathBuf::from(&positional[1]),
-        out,
-        cfg,
-    }
+    let cfg = cfg.build().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(2)
+    });
+    let get = |i: usize| positional.get(i).map(PathBuf::from).unwrap_or_default();
+    Options { template: get(0), reference: get(1), out, report, syn, cfg }
 }
 
 fn load(path: &Path) -> claire::grid::ScalarField {
@@ -121,26 +136,41 @@ fn main() {
     let opts = parse_args();
     let mut comm = Comm::solo();
 
-    let m0 = load(&opts.template);
-    let m1 = load(&opts.reference);
-    if m0.layout().grid != m1.layout().grid {
-        eprintln!(
-            "grid mismatch: template {:?} vs reference {:?}",
-            m0.layout().grid.n,
-            m1.layout().grid.n
-        );
-        exit(1);
-    }
+    let (m0, m1) = match opts.syn {
+        Some(n) => {
+            let prob = claire::data::syn::syn_problem([n, n, n], &mut comm);
+            (prob.template, prob.reference)
+        }
+        None => {
+            let m0 = load(&opts.template);
+            let m1 = load(&opts.reference);
+            if m0.layout().grid != m1.layout().grid {
+                eprintln!(
+                    "grid mismatch: template {:?} vs reference {:?}",
+                    m0.layout().grid.n,
+                    m1.layout().grid.n
+                );
+                exit(1);
+            }
+            (m0, m1)
+        }
+    };
+    let label = match opts.syn {
+        Some(_) => "syn".to_string(),
+        None => format!("{} -> {}", opts.template.display(), opts.reference.display()),
+    };
     eprintln!(
-        "registering {} -> {} at {:?} with {} (β -> {:.1e})",
-        opts.template.display(),
-        opts.reference.display(),
+        "registering {} at {:?} with {} (β -> {:.1e})",
+        label,
         m0.layout().grid.n,
         opts.cfg.precond.label(),
         opts.cfg.beta_target
     );
 
     let cfg = opts.cfg;
+    if opts.report.is_some() {
+        observe::begin();
+    }
     let mut solver = Claire::new(cfg);
     let t0 = std::time::Instant::now();
     let (v, report) = solver.register_from(&m0, &m1, None, "cli", &mut comm);
@@ -154,12 +184,29 @@ fn main() {
         report.jac_det_max
     );
 
+    if let Some(path) = &opts.report {
+        let run = observe::collect_run_report("cli", &report, &comm);
+        eprint!("{}", run.span_summary());
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+                eprintln!("cannot create {}: {e}", dir.display());
+                exit(1)
+            });
+        }
+        std::fs::write(path, run.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            exit(1)
+        });
+        eprintln!("wrote run report to {}", path.display());
+    }
+
     std::fs::create_dir_all(&opts.out).unwrap_or_else(|e| {
         eprintln!("cannot create {}: {e}", opts.out.display());
         exit(1)
     });
     // deformed template
-    let mut problem = claire::core::RegProblem::new(m0.clone(), m1.clone(), cfg, &mut comm);
+    let mut problem = claire::core::RegProblem::new(m0.clone(), m1.clone(), cfg, &mut comm)
+        .expect("matching layouts by construction");
     let deformed = problem.deformed_template(&v, &mut comm);
     nifti::write(&opts.out.join("deformed_template.nii"), &deformed).expect("write deformed");
     // velocity components

@@ -26,19 +26,20 @@
 //!   the paper's GPU thread blocks) with deterministic reductions and
 //!   per-kernel timing counters
 //!
+//! * [`obs`] — spans, metrics, and the unified [`obs::report::RunReport`]
+//!   (enable with [`core::observe::begin`], collect with
+//!   [`core::observe::collect_run_report`])
+//!
 //! ## Quickstart
 //!
-//! See `examples/quickstart.rs`:
+//! One `use` suffices — see `examples/quickstart.rs`:
 //!
 //! ```no_run
-//! use claire::core::{Claire, RegistrationConfig};
-//! use claire::data::syn::syn_problem;
-//! use claire::mpi::Comm;
+//! use claire::prelude::*;
 //!
 //! let mut comm = Comm::solo();
-//! let n = [32, 32, 32];
-//! let prob = syn_problem(n, &mut comm);
-//! let cfg = RegistrationConfig::default();
+//! let prob = syn_problem([32, 32, 32], &mut comm);
+//! let cfg = RegistrationConfig::builder().nt(4).beta(1e-2).build().unwrap();
 //! let mut solver = Claire::new(cfg);
 //! let (velocity, report) = solver.register(&prob.template, &prob.reference, &mut comm);
 //! println!("mismatch reduced to {:.3e}", report.rel_mismatch);
@@ -52,7 +53,27 @@ pub use claire_fft as fft;
 pub use claire_grid as grid;
 pub use claire_interp as interp;
 pub use claire_mpi as mpi;
+pub use claire_obs as obs;
 pub use claire_opt as opt;
 pub use claire_par as par;
 pub use claire_perf as perf;
 pub use claire_semilag as semilag;
+
+/// Everything a typical registration program needs, one `use` away.
+///
+/// Covers the solver front door ([`core::Claire`], the validating
+/// [`core::RegistrationConfig::builder`]), fields and grids, the virtual
+/// cluster, synthetic problems, observability entry points, and the typed
+/// error. Subsystem internals stay behind their module paths.
+pub mod prelude {
+    pub use crate::core::observe::{begin as begin_observing, collect_run_report};
+    pub use crate::core::{
+        Claire, ClaireError, ClaireResult, PrecondKind, RegProblem, RegistrationConfig,
+        RegistrationConfigBuilder, RegistrationReport,
+    };
+    pub use crate::data::syn::{syn_problem, SynProblem};
+    pub use crate::grid::{Grid, Layout, Real, ScalarField, VectorField};
+    pub use crate::interp::IpOrder;
+    pub use crate::mpi::{run_cluster, Comm, CommCat, Topology};
+    pub use crate::obs::report::RunReport;
+}

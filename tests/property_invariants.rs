@@ -131,7 +131,7 @@ proptest! {
             continuation: false,
             ..Default::default()
         };
-        let mut prob = RegProblem::new(m0, m1, cfg, &mut comm);
+        let mut prob = RegProblem::new(m0, m1, cfg, &mut comm).expect("matching layouts by construction");
         prob.set_beta(0.1);
         let v = claire::data::brain::random_smooth_velocity(layout, seed, 0.2, 2);
         let _ = prob.gradient(&v, &mut comm);
