@@ -1,0 +1,233 @@
+//! Load generator for the `claire-serve` registration job service.
+//!
+//! Emits `BENCH_serve.json` (or the path given as the first non-flag CLI
+//! argument). Three phases:
+//!
+//! 1. **Calibration** — one synthetic job on a 1-worker service measures
+//!    the per-job service time this host sustains.
+//! 2. **Concurrency levels** — for ≥ 2 worker counts, an *open-loop*
+//!    producer submits jobs at a fixed rate derived from the calibration
+//!    (offered load ≈ 1.25× the level's service capacity) using
+//!    `try_submit`, so overload shows up as rejections rather than
+//!    producer back-off. Reports throughput and end-to-end latency
+//!    percentiles (p50/p95/p99) per level.
+//! 3. **Overload** — a burst of back-to-back submissions against a
+//!    capacity-2 queue demonstrates bounded-queue backpressure: the run
+//!    fails unless some submissions are rejected and exactly
+//!    `capacity + workers`-bounded work is accepted.
+//!
+//! `--smoke` shrinks the workload for CI (8³ grids, few jobs) while still
+//! exercising every phase.
+
+use std::time::{Duration, Instant};
+
+use claire_core::{PrecondKind, RegistrationConfig};
+use claire_serve::{JobInput, JobSpec, JobStatus, RegistrationService, ServiceConfig, SubmitError};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct LevelRow {
+    workers: usize,
+    queue_capacity: usize,
+    offered_rate_hz: f64,
+    submitted: usize,
+    completed: usize,
+    rejected: usize,
+    throughput_jobs_per_s: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+#[derive(Serialize)]
+struct OverloadRow {
+    workers: usize,
+    queue_capacity: usize,
+    submitted: usize,
+    accepted: usize,
+    rejected: usize,
+}
+
+#[derive(Serialize)]
+struct Report {
+    host_threads: usize,
+    smoke: bool,
+    calibration_run_secs: f64,
+    levels: Vec<LevelRow>,
+    overload: OverloadRow,
+}
+
+struct Workload {
+    grid: usize,
+    jobs_per_level: usize,
+    overload_jobs: usize,
+}
+
+fn job_config() -> RegistrationConfig {
+    RegistrationConfig {
+        nt: 2,
+        max_gn_iter: 2,
+        max_pcg_iter: 4,
+        continuation: false,
+        precond: PrecondKind::InvA,
+        verbose: false,
+        ..Default::default()
+    }
+}
+
+fn spec(label: String, grid: usize) -> JobSpec {
+    JobSpec::new(label, job_config(), JobInput::Synthetic { n: [grid; 3] })
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// One job on a quiet 1-worker service: the baseline service time.
+fn calibrate(grid: usize) -> f64 {
+    let mut svc =
+        RegistrationService::start(ServiceConfig::default().workers(1).collect_reports(false));
+    let id = svc.submit(spec("calibrate".into(), grid)).expect("calibration admission");
+    let res = svc.wait(id).expect("calibration job known");
+    assert_eq!(res.status, JobStatus::Succeeded, "calibration failed: {:?}", res.error);
+    svc.shutdown();
+    res.run_time.as_secs_f64().max(1e-4)
+}
+
+/// Open-loop load at ~1.25× the level's service capacity.
+fn run_level(workers: usize, per_job_secs: f64, w: &Workload) -> LevelRow {
+    let queue_capacity = w.jobs_per_level;
+    let mut svc = RegistrationService::start(
+        ServiceConfig::default()
+            .workers(workers)
+            .queue_capacity(queue_capacity)
+            .collect_reports(false),
+    );
+    let offered_rate_hz = 1.25 * workers as f64 / per_job_secs;
+    let interval = Duration::from_secs_f64(1.0 / offered_rate_hz);
+
+    let t0 = Instant::now();
+    let mut ids = Vec::new();
+    let mut rejected = 0usize;
+    for j in 0..w.jobs_per_level {
+        match svc.try_submit(spec(format!("w{workers}-j{j}"), w.grid)) {
+            Ok(id) => ids.push(id),
+            Err(SubmitError::QueueFull) => rejected += 1,
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+        // open loop: the producer holds its rate regardless of completions
+        std::thread::sleep(interval);
+    }
+    let mut latencies_ms: Vec<f64> = ids
+        .iter()
+        .map(|&id| {
+            let res = svc.wait(id).expect("submitted job known");
+            assert_eq!(res.status, JobStatus::Succeeded, "{:?}", res.error);
+            res.total.as_secs_f64() * 1e3
+        })
+        .collect();
+    let elapsed = t0.elapsed().as_secs_f64();
+    svc.shutdown();
+
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    LevelRow {
+        workers,
+        queue_capacity,
+        offered_rate_hz,
+        submitted: w.jobs_per_level,
+        completed: ids.len(),
+        rejected,
+        throughput_jobs_per_s: ids.len() as f64 / elapsed.max(1e-9),
+        p50_ms: percentile(&latencies_ms, 50.0),
+        p95_ms: percentile(&latencies_ms, 95.0),
+        p99_ms: percentile(&latencies_ms, 99.0),
+    }
+}
+
+/// Back-to-back burst against a tiny queue: rejections must occur.
+fn run_overload(w: &Workload) -> OverloadRow {
+    let queue_capacity = 2;
+    let mut svc = RegistrationService::start(
+        ServiceConfig::default().workers(1).queue_capacity(queue_capacity).collect_reports(false),
+    );
+    let mut accepted = Vec::new();
+    let mut rejected = 0usize;
+    for j in 0..w.overload_jobs {
+        match svc.try_submit(spec(format!("burst-{j}"), w.grid)) {
+            Ok(id) => accepted.push(id),
+            Err(SubmitError::QueueFull) => rejected += 1,
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    for id in &accepted {
+        let res = svc.wait(*id).expect("accepted job known");
+        assert_eq!(res.status, JobStatus::Succeeded, "{:?}", res.error);
+    }
+    svc.shutdown();
+    assert!(
+        rejected > 0,
+        "bounded queue must reject under a {}-job burst at capacity {queue_capacity}",
+        w.overload_jobs
+    );
+    OverloadRow {
+        workers: 1,
+        queue_capacity,
+        submitted: w.overload_jobs,
+        accepted: accepted.len(),
+        rejected,
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_serve.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let w = if smoke {
+        Workload { grid: 8, jobs_per_level: 4, overload_jobs: 8 }
+    } else {
+        Workload { grid: 16, jobs_per_level: 12, overload_jobs: 16 }
+    };
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    eprintln!("bench_serve: calibrating ({}^3 job)...", w.grid);
+    let per_job = calibrate(w.grid);
+    eprintln!("bench_serve: per-job service time {:.1} ms", per_job * 1e3);
+
+    let mut levels = Vec::new();
+    for workers in [1usize, 2] {
+        eprintln!(
+            "bench_serve: level workers={workers}, {} jobs, offered {:.2} jobs/s...",
+            w.jobs_per_level,
+            1.25 * workers as f64 / per_job
+        );
+        let row = run_level(workers, per_job, &w);
+        eprintln!(
+            "bench_serve:   throughput {:.2} jobs/s, p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms, rejected {}",
+            row.throughput_jobs_per_s, row.p50_ms, row.p95_ms, row.p99_ms, row.rejected
+        );
+        levels.push(row);
+    }
+
+    eprintln!("bench_serve: overload burst ({} jobs, capacity 2)...", w.overload_jobs);
+    let overload = run_overload(&w);
+    eprintln!(
+        "bench_serve:   accepted {}, rejected {} — bounded-queue backpressure holds",
+        overload.accepted, overload.rejected
+    );
+
+    let report =
+        Report { host_threads: host, smoke, calibration_run_secs: per_job, levels, overload };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, json + "\n").expect("write BENCH_serve.json");
+    eprintln!("wrote {out_path}");
+}

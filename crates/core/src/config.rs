@@ -120,8 +120,16 @@ impl RegistrationConfig {
         if self.nt < 1 {
             return Err(bad("nt", format!("need at least 1 time step, got {}", self.nt)));
         }
-        if self.beta_target <= 0.0 || self.beta_target.is_nan() {
-            return Err(bad("beta_target", format!("must be > 0, got {}", self.beta_target)));
+        if !(self.beta_target > 0.0 && self.beta_target.is_finite()) {
+            return Err(bad(
+                "beta_target",
+                format!("must be positive and finite, got {}", self.beta_target),
+            ));
+        }
+        if !self.beta_init.is_finite() {
+            // NaN/∞ would pass the ordering check below (NaN comparisons are
+            // false) and then hang the β-schedule loop
+            return Err(bad("beta_init", format!("must be finite, got {}", self.beta_init)));
         }
         if self.beta_init < self.beta_target {
             return Err(bad(
@@ -138,11 +146,17 @@ impl RegistrationConfig {
         if !(self.eps_h0 > 0.0 && self.eps_h0 <= 1.0) {
             return Err(bad("eps_h0", format!("must lie in (0, 1], got {}", self.eps_h0)));
         }
-        if self.beta_floor <= 0.0 || self.beta_floor.is_nan() {
-            return Err(bad("beta_floor", format!("must be > 0, got {}", self.beta_floor)));
+        if !(self.beta_floor > 0.0 && self.beta_floor.is_finite()) {
+            return Err(bad(
+                "beta_floor",
+                format!("must be positive and finite, got {}", self.beta_floor),
+            ));
         }
-        if self.grad_rtol <= 0.0 || self.grad_rtol.is_nan() {
-            return Err(bad("grad_rtol", format!("must be > 0, got {}", self.grad_rtol)));
+        if !(self.grad_rtol > 0.0 && self.grad_rtol.is_finite()) {
+            return Err(bad(
+                "grad_rtol",
+                format!("must be positive and finite, got {}", self.grad_rtol),
+            ));
         }
         if self.max_gn_iter < 1 || self.max_pcg_iter < 1 || self.max_inner_iter < 1 {
             return Err(bad(
@@ -358,6 +372,34 @@ mod tests {
         let err = RegistrationConfig::builder().nt(0).build().unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("nt"), "error should name the parameter: {msg}");
+    }
+
+    #[test]
+    fn builder_rejects_non_finite_fields() {
+        // each of these previously slipped through: NaN fails every ordering
+        // comparison, ∞ fails none
+        let nan_init = RegistrationConfig::builder().beta_init(f64::NAN).build();
+        assert!(nan_init.is_err(), "NaN beta_init must be rejected");
+        assert!(nan_init.unwrap_err().to_string().contains("beta_init"));
+
+        let inf_init = RegistrationConfig::builder().beta_init(f64::INFINITY).build();
+        assert!(inf_init.is_err(), "infinite beta_init would hang beta_schedule()");
+
+        let inf_target =
+            RegistrationConfig::builder().beta(f64::INFINITY).beta_init(f64::INFINITY).build();
+        assert!(inf_target.is_err(), "infinite beta_target must be rejected");
+
+        let inf_rtol = RegistrationConfig::builder().grad_rtol(f64::INFINITY).build();
+        assert!(inf_rtol.is_err(), "infinite grad_rtol must be rejected");
+        assert!(RegistrationConfig::builder().grad_rtol(f64::NAN).build().is_err());
+
+        let inf_floor = RegistrationConfig::builder().beta_floor(f64::INFINITY).build();
+        assert!(inf_floor.is_err(), "infinite beta_floor must be rejected");
+        assert!(RegistrationConfig::builder().beta_floor(f64::NAN).build().is_err());
+
+        // schedule stays well-defined for everything that validates
+        let ok = RegistrationConfig::builder().beta(1e-3).beta_init(0.5).build().unwrap();
+        assert!(ok.beta_schedule().len() < 64);
     }
 
     #[test]

@@ -39,4 +39,4 @@ pub use config::{PrecondKind, RegistrationConfig, RegistrationConfigBuilder};
 pub use observe::{begin as begin_observing, collect_run_report};
 pub use problem::RegProblem;
 pub use report::RegistrationReport;
-pub use solver::Claire;
+pub use solver::{CancelToken, Claire, SolverHooks, StopReason};

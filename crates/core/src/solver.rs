@@ -5,12 +5,16 @@
 //! starting from the previous velocity; InvA preconditions the strongly
 //! regularized levels (β > 5e−1), the configured InvH0 variant the rest.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
 use claire_diff::TwoLevel;
-use claire_grid::{ClaireResult, ScalarField, VectorField};
+use claire_grid::{ClaireError, ClaireResult, ScalarField, VectorField};
 use claire_interp::Interpolator;
 use claire_mpi::Comm;
 use claire_obs::{records, span::span};
-use claire_opt::{gauss_newton, GnConfig, GnStats};
+use claire_opt::{gauss_newton_hooked, GnConfig, GnStats};
 use claire_semilag::{displacement, Trajectory};
 
 use crate::config::RegistrationConfig;
@@ -18,16 +22,142 @@ use crate::memory;
 use crate::problem::RegProblem;
 use crate::report::RegistrationReport;
 
+/// Why a solve stopped before reaching its convergence criterion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// [`CancelToken::cancel`] was called.
+    Cancelled,
+    /// The token's deadline passed.
+    DeadlineExpired,
+}
+
+impl StopReason {
+    /// Short human-readable description (used in [`ClaireError::Cancelled`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            StopReason::Cancelled => "cancelled",
+            StopReason::DeadlineExpired => "deadline expired",
+        }
+    }
+}
+
+struct TokenInner {
+    created: Instant,
+    cancelled: AtomicBool,
+    /// Deadline as nanoseconds after `created`; `u64::MAX` = none.
+    deadline_nanos: AtomicU64,
+}
+
+/// Shared cooperative-cancellation handle for a solve.
+///
+/// Cloning shares the underlying flag: any clone may [`CancelToken::cancel`]
+/// or arm a deadline, and the solver polls [`CancelToken::stop_reason`] at
+/// every Gauss–Newton iteration boundary (see [`SolverHooks`]). A tripped
+/// token makes [`Claire::try_register`] return [`ClaireError::Cancelled`]
+/// instead of a result; the solver's internal state stays consistent, so the
+/// same `Claire` value can run further solves afterwards.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// Fresh token: not cancelled, no deadline.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                created: Instant::now(),
+                cancelled: AtomicBool::new(false),
+                deadline_nanos: AtomicU64::new(u64::MAX),
+            }),
+        }
+    }
+
+    /// Request cancellation. Idempotent; takes effect at the solver's next
+    /// iteration boundary.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Arm (or tighten) a deadline `d` from now. The earliest armed deadline
+    /// wins; there is no way to extend one.
+    pub fn set_deadline_in(&self, d: Duration) {
+        let nanos =
+            self.inner.created.elapsed().saturating_add(d).as_nanos().min(u64::MAX as u128 - 1)
+                as u64;
+        self.inner.deadline_nanos.fetch_min(nanos, Ordering::Relaxed);
+    }
+
+    /// Whether an armed deadline has passed.
+    pub fn deadline_expired(&self) -> bool {
+        let d = self.inner.deadline_nanos.load(Ordering::Relaxed);
+        d != u64::MAX && self.inner.created.elapsed().as_nanos() as u64 >= d
+    }
+
+    /// Why the solve should stop, if it should. Explicit cancellation takes
+    /// precedence over an expired deadline.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        if self.is_cancelled() {
+            Some(StopReason::Cancelled)
+        } else if self.deadline_expired() {
+            Some(StopReason::DeadlineExpired)
+        } else {
+            None
+        }
+    }
+}
+
+/// Observation and control hooks threaded through a solve.
+///
+/// `cancel` is polled at every Gauss–Newton iteration boundary (across all
+/// β-continuation levels and the coarse grid-continuation solve);
+/// `on_gn_iter` fires at the same boundaries with the cumulative iteration
+/// index, *before* the cancel check — so an observer can trip the token and
+/// have the solve stop before that iteration runs. `claire-serve` uses this
+/// seam for job cancellation, deadlines, and its scheduler tests.
+#[derive(Clone, Default)]
+pub struct SolverHooks {
+    /// Cooperative cancellation handle.
+    pub cancel: Option<CancelToken>,
+    /// Called with the cumulative GN iteration index at each boundary.
+    pub on_gn_iter: Option<Arc<dyn Fn(usize) + Send + Sync>>,
+}
+
+impl SolverHooks {
+    /// Hooks that only carry a cancel token.
+    pub fn with_cancel(token: CancelToken) -> SolverHooks {
+        SolverHooks { cancel: Some(token), on_gn_iter: None }
+    }
+}
+
 /// The CLAIRE registration solver.
 pub struct Claire {
     /// Configuration used for every [`Claire::register`] call.
     pub cfg: RegistrationConfig,
+    /// Cancellation/observation hooks (default: none).
+    pub hooks: SolverHooks,
 }
 
 impl Claire {
     /// New solver with the given configuration.
     pub fn new(cfg: RegistrationConfig) -> Claire {
-        Claire { cfg }
+        Claire { cfg, hooks: SolverHooks::default() }
+    }
+
+    /// New solver with cancellation/observation hooks.
+    pub fn with_hooks(cfg: RegistrationConfig, hooks: SolverHooks) -> Claire {
+        Claire { cfg, hooks }
     }
 
     /// Register `m0` (template) to `m1` (reference): find `v` minimizing
@@ -88,7 +218,7 @@ impl Claire {
             let m1c = tl.restrict(m1, comm);
             let mut coarse_cfg = self.cfg;
             coarse_cfg.grid_continuation = layout.grid.n.iter().all(|&n| n >= 16);
-            let mut coarse = Claire::new(coarse_cfg);
+            let mut coarse = Claire::with_hooks(coarse_cfg, self.hooks.clone());
             if self.cfg.verbose && comm.rank() == 0 {
                 eprintln!("== grid continuation: solving at {:?} ==", tl.coarse_grid().n);
             }
@@ -115,9 +245,37 @@ impl Claire {
             if self.cfg.verbose && comm.rank() == 0 {
                 eprintln!("== continuation level {level}: beta = {beta:.3e} ==");
             }
-            let (v_new, stats) = gauss_newton(&mut problem, v, &gn_cfg, comm);
+            // cooperative cancellation: observers fire first, then the token
+            // is polled, at every GN iteration boundary of this level
+            let base = total.gn_iters;
+            let stopped = std::cell::Cell::new(None::<StopReason>);
+            let check = |k: usize| {
+                if let Some(cb) = &self.hooks.on_gn_iter {
+                    cb(base + k);
+                }
+                match self.hooks.cancel.as_ref().and_then(CancelToken::stop_reason) {
+                    Some(reason) => {
+                        stopped.set(Some(reason));
+                        true
+                    }
+                    None => false,
+                }
+            };
+            let hooked = self.hooks.cancel.is_some() || self.hooks.on_gn_iter.is_some();
+            let stop: Option<claire_opt::StopCheck<'_>> = if hooked { Some(&check) } else { None };
+            let (v_new, stats) = gauss_newton_hooked(&mut problem, v, &gn_cfg, stop, comm);
             v = v_new;
             accumulate(&mut total, &stats);
+            if let Some(reason) = stopped.get() {
+                return Err(ClaireError::Cancelled {
+                    context: "Claire::register",
+                    message: format!(
+                        "{} after {} Gauss-Newton iteration(s) at beta level {level}",
+                        reason.label(),
+                        total.gn_iters
+                    ),
+                });
+            }
         }
 
         let report = self.build_report(&mut problem, &v, label, comm, &total);
@@ -265,6 +423,80 @@ mod tests {
         let (_, report) = claire.register(&m0, &m1, &mut comm);
         assert!(report.rel_mismatch < 0.4, "mismatch {}", report.rel_mismatch);
         assert!(report.jac_det_min > 0.0);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_iteration() {
+        let layout = Layout::serial(Grid::cube(16));
+        let mut comm = Comm::solo();
+        let (m0, m1) = blob_pair(layout, 0.5);
+        let cfg = RegistrationConfig { nt: 2, max_gn_iter: 10, ..Default::default() };
+        let token = CancelToken::new();
+        token.cancel();
+        let iters = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let seen = iters.clone();
+        let hooks = SolverHooks {
+            cancel: Some(token),
+            on_gn_iter: Some(Arc::new(move |_| {
+                seen.fetch_add(1, Ordering::Relaxed);
+            })),
+        };
+        let mut claire = Claire::with_hooks(cfg, hooks);
+        let err = claire.try_register(&m0, &m1, &mut comm).unwrap_err();
+        assert!(matches!(err, ClaireError::Cancelled { .. }), "{err}");
+        assert!(err.to_string().contains("cancelled"), "{err}");
+        assert_eq!(iters.load(Ordering::Relaxed), 1, "only the first boundary is visited");
+    }
+
+    #[test]
+    fn cancel_mid_solve_stops_at_next_boundary() {
+        let layout = Layout::serial(Grid::cube(16));
+        let mut comm = Comm::solo();
+        let (m0, m1) = blob_pair(layout, 0.5);
+        let cfg = RegistrationConfig {
+            nt: 2,
+            precond: PrecondKind::InvA,
+            continuation: false,
+            beta_target: 1e-2,
+            max_gn_iter: 25,
+            grad_rtol: 1e-12,
+            ..Default::default()
+        };
+        let token = CancelToken::new();
+        let trip = token.clone();
+        let boundaries = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let seen = boundaries.clone();
+        let hooks = SolverHooks {
+            cancel: Some(token),
+            on_gn_iter: Some(Arc::new(move |k| {
+                seen.fetch_add(1, Ordering::Relaxed);
+                if k == 1 {
+                    trip.cancel(); // cancel at the boundary of iteration 1
+                }
+            })),
+        };
+        let mut claire = Claire::with_hooks(cfg, hooks);
+        let err = claire.try_register(&m0, &m1, &mut comm).unwrap_err();
+        assert!(matches!(err, ClaireError::Cancelled { .. }), "{err}");
+        // boundaries 0 and 1 were visited, then the solve stopped: iteration
+        // 1 never ran, i.e. the cancel took effect within one GN iteration
+        assert_eq!(boundaries.load(Ordering::Relaxed), 2);
+        assert!(err.to_string().contains("after 1 Gauss-Newton"), "{err}");
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_reason() {
+        let layout = Layout::serial(Grid::cube(16));
+        let mut comm = Comm::solo();
+        let (m0, m1) = blob_pair(layout, 0.5);
+        let cfg = RegistrationConfig { nt: 2, max_gn_iter: 10, ..Default::default() };
+        let token = CancelToken::new();
+        token.set_deadline_in(Duration::ZERO);
+        assert!(token.deadline_expired());
+        assert_eq!(token.stop_reason(), Some(StopReason::DeadlineExpired));
+        let mut claire = Claire::with_hooks(cfg, SolverHooks::with_cancel(token));
+        let err = claire.try_register(&m0, &m1, &mut comm).unwrap_err();
+        assert!(err.to_string().contains("deadline expired"), "{err}");
     }
 
     #[test]

@@ -41,6 +41,14 @@ pub enum ClaireError {
         /// Underlying error text.
         message: String,
     },
+    /// A solve stopped early through its cancel token (explicit cancellation
+    /// or a deadline expiring) before producing a result.
+    Cancelled {
+        /// Operation that was interrupted (e.g. `Claire::register`).
+        context: &'static str,
+        /// Why it stopped (`cancelled`, `deadline expired`).
+        message: String,
+    },
 }
 
 impl fmt::Display for ClaireError {
@@ -57,6 +65,9 @@ impl fmt::Display for ClaireError {
             }
             ClaireError::Io { context, message } => {
                 write!(f, "I/O error in {context}: {message}")
+            }
+            ClaireError::Cancelled { context, message } => {
+                write!(f, "{context} stopped early: {message}")
             }
         }
     }

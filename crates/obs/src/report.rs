@@ -22,6 +22,7 @@ pub const SCHEMA_KEYS: &[&str] = &[
     "nt",
     "precond",
     "summary",
+    "scheduling",
     "phases",
     "gn_trace",
     "kernels",
@@ -56,6 +57,29 @@ pub struct RunSummary {
     pub modeled_total: f64,
     /// Whether the gradient tolerance was reached.
     pub converged: bool,
+}
+
+/// Scheduling metadata for solves executed through a job service
+/// (`claire-serve`): which job/worker this run was, how long it waited in
+/// the admission queue, and its end-to-end latency. Zero-valued defaults for
+/// runs executed directly (outside any service).
+#[derive(Serialize, Clone, Debug, Default)]
+pub struct SchedulingInfo {
+    /// Service-assigned job id (0 for direct runs).
+    pub job_id: u64,
+    /// Priority class label (`high`/`normal`/`low`; empty for direct runs).
+    pub priority: String,
+    /// Index of the worker that executed the job.
+    pub worker: usize,
+    /// Seconds spent queued between submission and execution start.
+    pub queue_wait_secs: f64,
+    /// Seconds executing (solve wall-clock inside the worker).
+    pub run_secs: f64,
+    /// End-to-end seconds from submission to terminal status.
+    pub total_secs: f64,
+    /// Deadline the job was admitted with, seconds from submission
+    /// (0 = none).
+    pub deadline_secs: f64,
 }
 
 /// Runtime share per kernel phase — the paper's Table 7 FFT/IP/FD columns.
@@ -140,6 +164,8 @@ pub struct RunReport {
     pub precond: String,
     /// Headline outcome.
     pub summary: RunSummary,
+    /// Queue/scheduling metadata (zeroed for runs outside `claire-serve`).
+    pub scheduling: SchedulingInfo,
     /// FFT/IP/FD runtime shares.
     pub phases: PhaseShares,
     /// Per-GN-iteration trace (objective, gradient norm, PCG iterations).
@@ -166,6 +192,7 @@ impl RunReport {
             nt: 0,
             precond: String::new(),
             summary: RunSummary::default(),
+            scheduling: SchedulingInfo::default(),
             phases: PhaseShares::default(),
             gn_trace: Vec::new(),
             kernels: Vec::new(),
@@ -206,6 +233,17 @@ impl RunReport {
             "  phases: fft {:.3} s  ip {:.3} s  fd {:.3} s  other {:.3} s\n",
             self.phases.fft_secs, self.phases.ip_secs, self.phases.fd_secs, self.phases.other_secs
         ));
+        if self.scheduling.total_secs > 0.0 {
+            out.push_str(&format!(
+                "  job {} ({}) on worker {}: queued {:.3} s, ran {:.3} s, e2e {:.3} s\n",
+                self.scheduling.job_id,
+                self.scheduling.priority,
+                self.scheduling.worker,
+                self.scheduling.queue_wait_secs,
+                self.scheduling.run_secs,
+                self.scheduling.total_secs
+            ));
+        }
         if !self.spans.is_empty() {
             out.push_str("span tree:\n");
             out.push_str(&span::render(&self.spans));

@@ -99,6 +99,15 @@ impl Breakdown {
     }
 }
 
+/// Stop-check consulted at the top of every Gauss–Newton iteration (the
+/// cooperative-cancellation seam used by `claire-serve`). It receives the
+/// 0-based iteration index about to run; returning `true` stops the solve
+/// before that iteration does any work, leaving the current iterate as the
+/// result and setting [`GnStats::cancelled`]. Iterations are never
+/// interrupted mid-flight — a cancelled solve finishes the PCG/line-search
+/// it is inside and stops at the next boundary.
+pub type StopCheck<'a> = &'a (dyn Fn(usize) -> bool + 'a);
+
 /// Statistics of one Gauss–Newton solve.
 #[derive(Clone, Debug, Default)]
 pub struct GnStats {
@@ -122,6 +131,8 @@ pub struct GnStats {
     pub modeled: Breakdown,
     /// Whether the gradient tolerance was reached.
     pub converged: bool,
+    /// Whether a [`StopCheck`] ended the solve early.
+    pub cancelled: bool,
     /// Final relative gradient norm.
     pub grad_rel: f64,
 }
@@ -169,6 +180,20 @@ pub fn gauss_newton<P: GnProblem>(
     cfg: &GnConfig,
     comm: &mut Comm,
 ) -> (VectorField, GnStats) {
+    gauss_newton_hooked(problem, v0, cfg, None, comm)
+}
+
+/// [`gauss_newton`] with a cooperative [`StopCheck`] evaluated at every
+/// iteration boundary (before the iteration's gradient is computed).
+/// Collective; every rank must pass an equivalent check so the ranks agree
+/// on when to stop.
+pub fn gauss_newton_hooked<P: GnProblem>(
+    problem: &mut P,
+    v0: VectorField,
+    cfg: &GnConfig,
+    stop: Option<StopCheck<'_>>,
+    comm: &mut Comm,
+) -> (VectorField, GnStats) {
     let mut stats = GnStats::default();
     let mut v = v0;
     let t_total = Instant::now();
@@ -177,6 +202,12 @@ pub fn gauss_newton<P: GnProblem>(
     let mut g0norm: Option<f64> = None;
 
     for _k in 0..cfg.max_iter {
+        if let Some(check) = stop {
+            if check(stats.gn_iters) {
+                stats.cancelled = true;
+                break;
+            }
+        }
         let _iter_span = span("gn.iter");
         // gradient
         let t0 = Instant::now();
@@ -368,6 +399,46 @@ mod tests {
             "{}",
             stats.pcg_iters_total
         );
+    }
+
+    #[test]
+    fn stop_check_halts_at_iteration_boundary() {
+        let layout = Layout::serial(Grid::cube(4));
+        let mut comm = Comm::solo();
+        let mut prob = Quadratic {
+            a: VectorField::from_fns(layout, |x, _, _| x.sin(), |_, y, _| y.cos(), |_, _, z| z),
+            d: ScalarField::from_fn(layout, |_, _, _| 2.0),
+        };
+        let cfg = GnConfig { grad_rtol: 1e-30, max_iter: 50, ..Default::default() };
+        let seen = std::cell::Cell::new(0usize);
+        let check = |k: usize| {
+            seen.set(seen.get().max(k + 1));
+            k >= 1 // run iteration 0, stop at the boundary of iteration 1
+        };
+        let (_, stats) = gauss_newton_hooked(
+            &mut prob,
+            VectorField::zeros(layout),
+            &cfg,
+            Some(&check),
+            &mut comm,
+        );
+        assert!(stats.cancelled);
+        assert!(!stats.converged);
+        assert_eq!(stats.gn_iters, 1, "exactly one iteration ran");
+        assert_eq!(seen.get(), 2, "check saw boundaries 0 and 1");
+
+        // a check that immediately stops performs zero work
+        let always = |_k: usize| true;
+        let (_, stats) = gauss_newton_hooked(
+            &mut prob,
+            VectorField::zeros(layout),
+            &cfg,
+            Some(&always),
+            &mut comm,
+        );
+        assert!(stats.cancelled);
+        assert_eq!(stats.gn_iters, 0);
+        assert_eq!(stats.obj_evals, 0);
     }
 
     #[test]

@@ -20,10 +20,12 @@
 //! and combine the per-block partials in index order.
 //!
 //! Thread-count resolution (first match wins):
-//! 1. [`set_threads`] programmatic override,
-//! 2. `CLAIRE_THREADS` environment variable,
-//! 3. `RAYON_NUM_THREADS` environment variable (honored for familiarity),
-//! 4. `std::thread::available_parallelism()`.
+//! 1. [`set_local_threads`] per-thread budget (how `claire-serve` partitions
+//!    the machine across concurrent jobs — each worker thread gets a slice),
+//! 2. [`set_threads`] process-wide programmatic override,
+//! 3. `CLAIRE_THREADS` environment variable,
+//! 4. `RAYON_NUM_THREADS` environment variable (honored for familiarity),
+//! 5. `std::thread::available_parallelism()`.
 //!
 //! With a resolved count of 1 every construct degenerates to a plain serial
 //! loop on the calling thread — no threads are spawned, no atomics touched.
@@ -45,6 +47,12 @@ pub const SUM_BLOCK: usize = 4096;
 /// 0 = no override; otherwise the value set via [`set_threads`].
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
+thread_local! {
+    /// 0 = no per-thread budget; otherwise the value set via
+    /// [`set_local_threads`] on this thread.
+    static LOCAL_THREADS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
 /// Force the worker-thread count for subsequent kernels (`0` clears the
 /// override and returns resolution to the environment). Mirrors
 /// `rayon::ThreadPoolBuilder::num_threads`, but takes effect immediately —
@@ -53,13 +61,48 @@ pub fn set_threads(n: usize) {
     THREAD_OVERRIDE.store(n, Ordering::Relaxed);
 }
 
+/// Give the *calling thread* its own worker-thread budget for subsequent
+/// kernels (`0` clears it). Takes precedence over every other resolution
+/// source, so a pool of job workers can partition the machine: each worker
+/// sets its slice once at startup and all kernels it launches — including
+/// the scoped threads they spawn — stay within it. `claire-serve` uses this
+/// so N concurrent registrations don't oversubscribe the host.
+pub fn set_local_threads(n: usize) {
+    LOCAL_THREADS.with(|c| c.set(n));
+}
+
+/// The calling thread's budget set via [`set_local_threads`] (0 = none).
+pub fn local_threads() -> usize {
+    LOCAL_THREADS.with(|c| c.get())
+}
+
+/// Run `f` with the calling thread's budget forced to `n`, restoring the
+/// previous per-thread budget afterwards (including on panic).
+pub fn with_local_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let guard = Restore(LOCAL_THREADS.with(|c| c.replace(n)));
+    let out = f();
+    drop(guard);
+    out
+}
+
 fn env_threads(var: &str) -> Option<usize> {
     std::env::var(var).ok()?.trim().parse::<usize>().ok().filter(|&n| n > 0)
 }
 
 /// The worker-thread count kernels will use, resolved as documented on the
-/// crate: override, `CLAIRE_THREADS`, `RAYON_NUM_THREADS`, hardware.
+/// crate: per-thread budget, global override, `CLAIRE_THREADS`,
+/// `RAYON_NUM_THREADS`, hardware.
 pub fn num_threads() -> usize {
+    let local = local_threads();
+    if local > 0 {
+        return local;
+    }
     let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
     if forced > 0 {
         return forced;
@@ -407,5 +450,40 @@ mod tests {
     #[test]
     fn env_resolution_override_wins() {
         with_threads(3, || assert_eq!(num_threads(), 3));
+    }
+
+    #[test]
+    fn local_budget_beats_global_override() {
+        with_threads(8, || {
+            assert_eq!(num_threads(), 8);
+            with_local_threads(2, || assert_eq!(num_threads(), 2));
+            assert_eq!(num_threads(), 8, "budget restored after scope");
+        });
+    }
+
+    #[test]
+    fn local_budget_is_per_thread() {
+        with_local_threads(3, || {
+            assert_eq!(local_threads(), 3);
+            let other = std::thread::spawn(local_threads).join().unwrap();
+            assert_eq!(other, 0, "budget must not leak to other threads");
+        });
+        assert_eq!(local_threads(), 0);
+    }
+
+    #[test]
+    fn local_budget_restored_on_panic() {
+        let caught = std::panic::catch_unwind(|| with_local_threads(5, || panic!("boom")));
+        assert!(caught.is_err());
+        assert_eq!(local_threads(), 0);
+    }
+
+    #[test]
+    fn kernels_respect_local_budget() {
+        // a parallel map under a 1-thread budget matches the serial result
+        let n = MIN_PAR_LEN + 9;
+        let serial = with_local_threads(1, || par_map_collect(n, |i| i * 3));
+        let par = with_local_threads(4, || par_map_collect(n, |i| i * 3));
+        assert_eq!(serial, par);
     }
 }

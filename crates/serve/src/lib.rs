@@ -1,0 +1,43 @@
+//! claire-serve: an in-process multi-tenant registration job service.
+//!
+//! The paper runs CLAIRE as a batch solver — one registration per
+//! invocation. Real deployments (clinical pipelines, atlas construction,
+//! the paper's §1 "registering hundreds of images" motivation) need many
+//! registrations multiplexed over one machine's cores. This crate provides
+//! that layer on plain std threads and channels:
+//!
+//! * **Typed jobs** — [`JobSpec`] (config + inputs + priority + deadline +
+//!   hooks) in, [`JobResult`] (status + reports + latency breakdown) out;
+//! * **Bounded admission** — a capacity-limited priority queue;
+//!   [`RegistrationService::try_submit`] rejects under overload (open-loop
+//!   backpressure), [`RegistrationService::submit`] blocks (closed-loop);
+//! * **Deadlines & cancellation** — armed on the job's
+//!   [`CancelToken`](claire_core::CancelToken) at submission and polled by
+//!   the solver at every Gauss–Newton iteration boundary, so a cancel takes
+//!   effect within one iteration without poisoning the worker;
+//! * **Thread partitioning** — each worker pins
+//!   `total_threads / workers` kernel threads via
+//!   `claire_par::set_local_threads`, so concurrent jobs never
+//!   oversubscribe the machine;
+//! * **Graceful shutdown** — [`RegistrationService::shutdown`] drains every
+//!   admitted job and rejects new ones; `shutdown_now` cancels instead.
+//!
+//! ```no_run
+//! use claire_serve::{JobInput, JobSpec, RegistrationService, ServiceConfig};
+//! let cfg = claire_core::RegistrationConfig::default();
+//! let mut svc = RegistrationService::start(ServiceConfig::default().workers(2));
+//! let id = svc
+//!     .submit(JobSpec::new("syn-64", cfg, JobInput::Synthetic { n: [64, 64, 64] }))
+//!     .expect("admission");
+//! let result = svc.wait(id).expect("known job");
+//! println!("{}: {}", result.label, result.status);
+//! svc.shutdown();
+//! ```
+
+pub mod job;
+pub mod queue;
+pub mod service;
+
+pub use job::{JobId, JobInput, JobResult, JobSpec, JobStatus, Priority};
+pub use queue::{BoundedQueue, PushError};
+pub use service::{RegistrationService, ServiceConfig, SubmitError};

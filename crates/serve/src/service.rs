@@ -1,0 +1,614 @@
+//! The registration job service: admission, scheduling, execution,
+//! shutdown.
+//!
+//! A [`RegistrationService`] owns a worker pool and a bounded priority
+//! queue. Jobs are validated and assigned a [`JobId`] at admission;
+//! [`RegistrationService::try_submit`] rejects when the queue is full
+//! (open-loop backpressure) while [`RegistrationService::submit`] blocks
+//! (closed-loop). Each worker pins a share of the machine's thread budget
+//! via `claire_par::set_local_threads`, so `workers × per-worker threads`
+//! never oversubscribes the cores the kernels would otherwise assume are
+//! all theirs. Deadlines are armed on the job's [`CancelToken`] at
+//! submission — queue wait counts against the budget — and the solver polls
+//! the token at every Gauss–Newton iteration boundary, so cancellation
+//! takes effect within one iteration. A panicking solve is caught and
+//! reported as [`JobStatus::Failed`] without poisoning the pool.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use claire_core::{CancelToken, Claire, ClaireError, RegistrationReport, SolverHooks};
+use claire_mpi::{CollOp, Comm, CommCat};
+use claire_obs::metrics::{Counter, Gauge, Histogram};
+use claire_obs::report::{
+    CollectiveEntry, CommPhaseEntry, PhaseShares, RunReport, RunSummary, SchedulingInfo,
+};
+use claire_obs::span;
+
+use crate::job::{JobId, JobInput, JobResult, JobSpec, JobStatus};
+use crate::queue::{BoundedQueue, PushError};
+
+static QUEUE_DEPTH: Gauge = Gauge::new("serve.queue.depth");
+static QUEUE_WAIT: Histogram = Histogram::new("serve.queue.wait_secs");
+static SUBMITTED: Counter = Counter::new("serve.jobs.submitted");
+static REJECTED: Counter = Counter::new("serve.jobs.rejected");
+static COMPLETED: Counter = Counter::new("serve.jobs.completed");
+static CANCELLED: Counter = Counter::new("serve.jobs.cancelled");
+static DEADLINE_EXPIRED: Counter = Counter::new("serve.jobs.deadline_expired");
+static FAILED: Counter = Counter::new("serve.jobs.failed");
+
+/// Why a submission was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is at capacity (only from
+    /// [`RegistrationService::try_submit`]).
+    QueueFull,
+    /// The service is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// The spec failed admission validation.
+    Invalid(ClaireError),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "admission queue is full"),
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+            SubmitError::Invalid(e) => write!(f, "invalid job spec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Service sizing and behaviour.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Concurrent worker threads (each runs one job at a time).
+    pub workers: usize,
+    /// Admission-queue capacity shared across priority lanes.
+    pub queue_capacity: usize,
+    /// Machine thread budget partitioned across workers; 0 means "use
+    /// `claire_par::num_threads()`" (the ambient resolution).
+    pub total_threads: usize,
+    /// Whether workers assemble a per-job [`RunReport`] (spans, comm
+    /// volume, scheduling metadata) for succeeded jobs.
+    pub collect_reports: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { workers: 1, queue_capacity: 16, total_threads: 0, collect_reports: true }
+    }
+}
+
+impl ServiceConfig {
+    /// Set the worker count (clamped to ≥ 1 at start).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Set the admission-queue capacity (clamped to ≥ 1 at start).
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n;
+        self
+    }
+
+    /// Set the machine thread budget to partition across workers.
+    pub fn total_threads(mut self, n: usize) -> Self {
+        self.total_threads = n;
+        self
+    }
+
+    /// Enable or disable per-job [`RunReport`] assembly.
+    pub fn collect_reports(mut self, on: bool) -> Self {
+        self.collect_reports = on;
+        self
+    }
+}
+
+/// A job admitted to the queue.
+struct QueuedJob {
+    id: u64,
+    spec: JobSpec,
+    token: CancelToken,
+    submitted: Instant,
+    deadline: Option<Duration>,
+}
+
+struct JobEntry {
+    status: JobStatus,
+    token: CancelToken,
+    result: Option<JobResult>,
+}
+
+struct Shared {
+    queue: BoundedQueue<QueuedJob>,
+    jobs: Mutex<HashMap<u64, JobEntry>>,
+    done: Condvar,
+    accepting: AtomicBool,
+    next_id: AtomicU64,
+}
+
+impl Shared {
+    fn finish(&self, id: u64, result: JobResult) {
+        match result.status {
+            JobStatus::Succeeded => COMPLETED.inc(),
+            JobStatus::Cancelled => CANCELLED.inc(),
+            JobStatus::DeadlineExpired => DEADLINE_EXPIRED.inc(),
+            _ => FAILED.inc(),
+        }
+        let mut jobs = self.jobs.lock().unwrap();
+        if let Some(entry) = jobs.get_mut(&id) {
+            entry.status = result.status;
+            entry.result = Some(result);
+        }
+        drop(jobs);
+        self.done.notify_all();
+    }
+
+    fn set_status(&self, id: u64, status: JobStatus) {
+        if let Some(entry) = self.jobs.lock().unwrap().get_mut(&id) {
+            entry.status = status;
+        }
+    }
+}
+
+/// An in-process multi-tenant registration job service.
+///
+/// Dropping the service performs an immediate shutdown (cancelling queued
+/// and running jobs); call [`RegistrationService::shutdown`] for a graceful
+/// drain.
+pub struct RegistrationService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    per_worker_threads: usize,
+}
+
+impl RegistrationService {
+    /// Start the worker pool.
+    pub fn start(cfg: ServiceConfig) -> RegistrationService {
+        let workers = cfg.workers.max(1);
+        let capacity = cfg.queue_capacity.max(1);
+        let machine =
+            if cfg.total_threads > 0 { cfg.total_threads } else { claire_par::num_threads() };
+        let per_worker = (machine / workers).max(1);
+
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(capacity),
+            jobs: Mutex::new(HashMap::new()),
+            done: Condvar::new(),
+            accepting: AtomicBool::new(true),
+            next_id: AtomicU64::new(1),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = shared.clone();
+                let collect = cfg.collect_reports;
+                std::thread::Builder::new()
+                    .name(format!("claire-serve-{w}"))
+                    .spawn(move || worker_loop(w, per_worker, collect, &shared))
+                    .expect("spawning a service worker thread")
+            })
+            .collect();
+        RegistrationService { shared, workers: handles, per_worker_threads: per_worker }
+    }
+
+    /// Threads each worker pins for its kernels.
+    pub fn per_worker_threads(&self) -> usize {
+        self.per_worker_threads
+    }
+
+    /// Jobs currently waiting in the admission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Non-blocking submission: validates, then fails fast with
+    /// [`SubmitError::QueueFull`] under backpressure.
+    pub fn try_submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        self.admit(spec, false)
+    }
+
+    /// Blocking submission: validates, then waits for queue capacity.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        self.admit(spec, true)
+    }
+
+    fn admit(&self, spec: JobSpec, block: bool) -> Result<JobId, SubmitError> {
+        if !self.shared.accepting.load(Ordering::Acquire) {
+            REJECTED.inc();
+            return Err(SubmitError::ShuttingDown);
+        }
+        if let Err(e) = spec.validate() {
+            REJECTED.inc();
+            return Err(SubmitError::Invalid(e));
+        }
+
+        // A caller-provided token is the cancellation seam for tests and
+        // remote cancellation; otherwise the job gets a private one.
+        let token = spec.hooks.cancel.clone().unwrap_or_default();
+        if let Some(d) = spec.deadline {
+            token.set_deadline_in(d);
+        }
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .jobs
+            .lock()
+            .unwrap()
+            .insert(id, JobEntry { status: JobStatus::Queued, token: token.clone(), result: None });
+
+        let lane = spec.priority.index();
+        let deadline = spec.deadline;
+        let job = QueuedJob { id, spec, token, submitted: Instant::now(), deadline };
+        let pushed = if block {
+            self.shared.queue.push(job, lane)
+        } else {
+            self.shared.queue.try_push(job, lane)
+        };
+        match pushed {
+            Ok(()) => {
+                SUBMITTED.inc();
+                QUEUE_DEPTH.set(self.shared.queue.len() as f64);
+                Ok(JobId(id))
+            }
+            Err(err) => {
+                self.shared.jobs.lock().unwrap().remove(&id);
+                REJECTED.inc();
+                Err(match err {
+                    PushError::Full(_) => SubmitError::QueueFull,
+                    PushError::Closed(_) => SubmitError::ShuttingDown,
+                })
+            }
+        }
+    }
+
+    /// Request cancellation of a job. Returns `true` if the job exists and
+    /// was not already terminal; takes effect within one Gauss–Newton
+    /// iteration if the job is running, immediately if still queued.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let jobs = self.shared.jobs.lock().unwrap();
+        match jobs.get(&id.0) {
+            Some(entry) if !entry.status.is_terminal() => {
+                entry.token.cancel();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Current status, or `None` for an unknown id.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        self.shared.jobs.lock().unwrap().get(&id.0).map(|e| e.status)
+    }
+
+    /// Block until the job reaches a terminal status; returns its result
+    /// (`None` for an unknown id).
+    pub fn wait(&self, id: JobId) -> Option<JobResult> {
+        let mut jobs = self.shared.jobs.lock().unwrap();
+        loop {
+            match jobs.get(&id.0) {
+                None => return None,
+                Some(entry) => {
+                    if let Some(result) = &entry.result {
+                        return Some(result.clone());
+                    }
+                }
+            }
+            jobs = self.shared.done.wait(jobs).unwrap();
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, let workers drain every admitted
+    /// job, join the pool, and return all results sorted by id. Idempotent.
+    pub fn shutdown(&mut self) -> Vec<JobResult> {
+        self.stop(false)
+    }
+
+    /// Immediate shutdown: additionally trips every non-terminal job's
+    /// cancel token, so queued jobs finish as `Cancelled` and running jobs
+    /// stop at their next iteration boundary. Idempotent.
+    pub fn shutdown_now(&mut self) -> Vec<JobResult> {
+        self.stop(true)
+    }
+
+    fn stop(&mut self, cancel_pending: bool) -> Vec<JobResult> {
+        self.shared.accepting.store(false, Ordering::Release);
+        if cancel_pending {
+            for entry in self.shared.jobs.lock().unwrap().values() {
+                if !entry.status.is_terminal() {
+                    entry.token.cancel();
+                }
+            }
+        }
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        let jobs = self.shared.jobs.lock().unwrap();
+        let mut results: Vec<JobResult> = jobs.values().filter_map(|e| e.result.clone()).collect();
+        results.sort_by_key(|r| r.id);
+        results
+    }
+}
+
+impl Drop for RegistrationService {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.shutdown_now();
+        }
+    }
+}
+
+fn worker_loop(worker: usize, budget: usize, collect_reports: bool, shared: &Shared) {
+    // Partition the machine: this worker's kernels see only its share.
+    claire_par::set_local_threads(budget);
+    while let Some(job) = shared.queue.pop() {
+        QUEUE_DEPTH.set(shared.queue.len() as f64);
+        let queue_wait = job.submitted.elapsed();
+        QUEUE_WAIT.record(queue_wait.as_secs_f64());
+        execute(worker, collect_reports, shared, job, queue_wait);
+    }
+}
+
+fn execute(
+    worker: usize,
+    collect_reports: bool,
+    shared: &Shared,
+    job: QueuedJob,
+    queue_wait: Duration,
+) {
+    let QueuedJob { id, spec, token, submitted, deadline } = job;
+    let label = spec.label.clone();
+    let mut result = JobResult {
+        id: JobId(id),
+        label: label.clone(),
+        status: JobStatus::Failed,
+        report: None,
+        run: None,
+        error: None,
+        queue_wait,
+        run_time: Duration::ZERO,
+        total: Duration::ZERO,
+    };
+
+    // The deadline may already have expired (or the job been cancelled)
+    // while it sat in the queue — don't start a doomed solve.
+    if let Some(reason) = token.stop_reason() {
+        result.status = match reason {
+            claire_core::StopReason::Cancelled => JobStatus::Cancelled,
+            claire_core::StopReason::DeadlineExpired => JobStatus::DeadlineExpired,
+        };
+        result.error = Some(format!("{} before execution started", reason.label()));
+        result.total = submitted.elapsed();
+        shared.finish(id, result);
+        return;
+    }
+
+    shared.set_status(id, JobStatus::Running);
+    let started = Instant::now();
+    let config = spec.config;
+    let prio = spec.priority;
+    let solve = catch_unwind(AssertUnwindSafe(|| run_solve(spec, &token)));
+    result.run_time = started.elapsed();
+    result.total = submitted.elapsed();
+
+    match solve {
+        Ok(Ok((report, comm))) => {
+            result.status = JobStatus::Succeeded;
+            if collect_reports {
+                let scheduling = SchedulingInfo {
+                    job_id: id,
+                    priority: prio.label().to_string(),
+                    worker,
+                    queue_wait_secs: queue_wait.as_secs_f64(),
+                    run_secs: result.run_time.as_secs_f64(),
+                    total_secs: result.total.as_secs_f64(),
+                    deadline_secs: deadline.map(|d| d.as_secs_f64()).unwrap_or(0.0),
+                };
+                result.run = Some(job_run_report(&label, &report, &config, &comm, scheduling));
+            }
+            result.report = Some(report);
+        }
+        Ok(Err(e)) => {
+            // Cancellation precedence mirrors the token: an explicit cancel
+            // wins even when the deadline also expired.
+            result.status = match &e {
+                ClaireError::Cancelled { .. } if token.is_cancelled() => JobStatus::Cancelled,
+                ClaireError::Cancelled { .. } if token.deadline_expired() => {
+                    JobStatus::DeadlineExpired
+                }
+                ClaireError::Cancelled { .. } => JobStatus::Cancelled,
+                _ => JobStatus::Failed,
+            };
+            result.error = Some(e.to_string());
+        }
+        Err(payload) => {
+            let text = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("solver panicked");
+            result.status = JobStatus::Failed;
+            result.error = Some(format!("solver panicked: {text}"));
+        }
+    }
+    // Spans are thread-local; drain them after every job so one tenant's
+    // trace never leaks into the next job on this worker.
+    let spans = span::take_spans();
+    if let Some(run) = &mut result.run {
+        run.spans = spans;
+    }
+    shared.finish(id, result);
+}
+
+/// Run one registration on the calling worker thread.
+fn run_solve(
+    spec: JobSpec,
+    token: &CancelToken,
+) -> Result<(RegistrationReport, Comm), ClaireError> {
+    let mut comm = Comm::solo();
+    let (template, reference) = match spec.input {
+        JobInput::Pair { template, reference } => (template, reference),
+        JobInput::Synthetic { n } => {
+            let p = claire_data::syn_problem(n, &mut comm);
+            (p.template, p.reference)
+        }
+    };
+    let hooks = SolverHooks { cancel: Some(token.clone()), on_gn_iter: spec.hooks.on_gn_iter };
+    let mut claire = Claire::with_hooks(spec.config, hooks);
+    let (_, report) =
+        claire.try_register_from(&template, &reference, None, &spec.label, &mut comm)?;
+    Ok((report, comm))
+}
+
+/// Assemble the per-job [`RunReport`]. Unlike
+/// `claire_core::observe::collect_run_report`, this only uses *per-job*
+/// telemetry sources — the job's own `Comm` and the worker-thread span tree
+/// — because the global metrics registry and kernel timers are shared by
+/// every concurrently running job.
+fn job_run_report(
+    label: &str,
+    report: &RegistrationReport,
+    config: &claire_core::RegistrationConfig,
+    comm: &Comm,
+    scheduling: SchedulingInfo,
+) -> RunReport {
+    let mut run = RunReport::new(label);
+    run.grid = report.grid;
+    run.nranks = report.nranks;
+    run.nt = report.nt;
+    run.precond = report.pc.clone();
+    run.summary = RunSummary {
+        gn_iters: report.gn_iters,
+        pcg_iters: report.pcg_iters,
+        obj_evals: 0,
+        hess_applies: 0,
+        rel_mismatch: report.rel_mismatch,
+        grad_rel: report.grad_rel,
+        jac_det_min: report.jac_det_min,
+        jac_det_max: report.jac_det_max,
+        time_total: report.time_total,
+        modeled_total: report.modeled_total,
+        converged: report.grad_rel <= config.grad_rtol,
+    };
+    run.scheduling = scheduling;
+    run.phases = PhaseShares::from_kernels(&[], report.time_total);
+
+    let stats = comm.stats();
+    run.comm = CommCat::ALL
+        .iter()
+        .map(|&c| {
+            let s = stats.cat(c);
+            CommPhaseEntry {
+                phase: c.label().to_string(),
+                bytes: s.bytes_sent,
+                msgs: s.msgs_sent,
+                modeled_secs: s.modeled_secs,
+            }
+        })
+        .filter(|e| e.bytes > 0 || e.msgs > 0)
+        .collect();
+    run.collectives = CollOp::ALL
+        .iter()
+        .map(|&op| {
+            let s = stats.coll(op);
+            CollectiveEntry { op: op.label().to_string(), calls: s.calls, bytes: s.bytes }
+        })
+        .filter(|e| e.calls > 0)
+        .collect();
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use claire_core::{PrecondKind, RegistrationConfig};
+
+    fn tiny_config() -> RegistrationConfig {
+        RegistrationConfig {
+            nt: 2,
+            max_gn_iter: 2,
+            max_pcg_iter: 4,
+            continuation: false,
+            precond: PrecondKind::InvA,
+            ..Default::default()
+        }
+    }
+
+    fn tiny_spec(label: &str) -> JobSpec {
+        JobSpec::new(label, tiny_config(), JobInput::Synthetic { n: [8, 8, 8] })
+    }
+
+    #[test]
+    fn submits_run_and_report_scheduling_metadata() {
+        let mut svc = RegistrationService::start(ServiceConfig::default().workers(1));
+        let id = svc.try_submit(tiny_spec("syn-8")).unwrap();
+        let res = svc.wait(id).expect("job must be known");
+        assert_eq!(res.status, JobStatus::Succeeded, "{:?}", res.error);
+        let report = res.report.expect("succeeded job carries a report");
+        assert!(report.gn_iters >= 1);
+        let run = res.run.expect("collect_reports defaults to on");
+        assert_eq!(run.scheduling.job_id, id.as_u64());
+        assert_eq!(run.scheduling.priority, "normal");
+        assert!(run.scheduling.total_secs >= run.scheduling.run_secs);
+        assert!(run.to_json().contains("\"scheduling\""));
+        let drained = svc.shutdown();
+        assert_eq!(drained.len(), 1);
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_at_admission() {
+        let mut svc = RegistrationService::start(ServiceConfig::default());
+        let mut spec = tiny_spec("bad");
+        spec.config.nt = 0;
+        match svc.try_submit(spec) {
+            Err(SubmitError::Invalid(e)) => assert!(e.to_string().contains("nt"), "{e}"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        let zero = JobSpec::new("zero", tiny_config(), JobInput::Synthetic { n: [0, 8, 8] });
+        assert!(matches!(svc.try_submit(zero), Err(SubmitError::Invalid(_))));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_submissions() {
+        let mut svc = RegistrationService::start(ServiceConfig::default());
+        svc.shutdown();
+        assert_eq!(svc.try_submit(tiny_spec("late")), Err(SubmitError::ShuttingDown));
+        assert_eq!(svc.submit(tiny_spec("late-2")), Err(SubmitError::ShuttingDown));
+        // idempotent
+        assert!(svc.shutdown().is_empty());
+    }
+
+    #[test]
+    fn deadline_expired_in_queue_is_terminal_without_running() {
+        let mut svc = RegistrationService::start(ServiceConfig::default().workers(1));
+        let spec = tiny_spec("doomed").deadline(Duration::ZERO);
+        let id = svc.try_submit(spec).unwrap();
+        let res = svc.wait(id).unwrap();
+        assert_eq!(res.status, JobStatus::DeadlineExpired);
+        assert!(res.report.is_none());
+        assert!(res.error.unwrap().contains("deadline"));
+        // the pool survives: a healthy job still runs afterwards
+        let ok = svc.try_submit(tiny_spec("healthy")).unwrap();
+        assert_eq!(svc.wait(ok).unwrap().status, JobStatus::Succeeded);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn unknown_ids_are_handled() {
+        let mut svc = RegistrationService::start(ServiceConfig::default());
+        let ghost = JobId(999);
+        assert_eq!(svc.status(ghost), None);
+        assert!(svc.wait(ghost).is_none());
+        assert!(!svc.cancel(ghost));
+        svc.shutdown();
+    }
+}

@@ -27,11 +27,22 @@ echo "== observability smoke-run: quickstart --report =="
 report="$(mktemp -d)/run.json"
 cargo run --release --example quickstart -- 16 --report "$report"
 echo "validating RunReport schema keys in $report"
-for key in label grid nranks nt precond summary phases gn_trace kernels \
-           comm collectives metrics spans; do
+for key in label grid nranks nt precond summary scheduling phases gn_trace \
+           kernels comm collectives metrics spans; do
     grep -q "\"$key\"" "$report" || { echo "RunReport missing key: $key"; exit 1; }
 done
 grep -q '"name": "solve"' "$report" || { echo "RunReport span tree missing solve root"; exit 1; }
 rm -f "$report"
+
+echo "== serve bench smoke-run: open-loop load + bounded-queue backpressure =="
+serve_json="$(mktemp -d)/BENCH_serve.json"
+cargo run --release -p claire-bench --bin bench_serve -- "$serve_json" --smoke
+echo "validating BENCH_serve schema keys in $serve_json"
+for key in host_threads smoke calibration_run_secs levels overload \
+           workers queue_capacity offered_rate_hz submitted completed rejected \
+           throughput_jobs_per_s p50_ms p95_ms p99_ms accepted; do
+    grep -q "\"$key\"" "$serve_json" || { echo "BENCH_serve missing key: $key"; exit 1; }
+done
+rm -f "$serve_json"
 
 echo "CI gate passed."

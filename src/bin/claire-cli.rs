@@ -1,7 +1,8 @@
-//! `claire-cli` — register two NIfTI volumes from the command line.
+//! `claire-cli` — register NIfTI volumes from the command line.
 //!
 //! ```bash
 //! claire-cli <template.nii> <reference.nii> [options]
+//! claire-cli batch <manifest.json> [batch options]
 //!
 //! options:
 //!   -o DIR           output directory (default: claire_out)
@@ -18,18 +19,55 @@
 //!   --syn N          skip the NIfTI inputs and register the synthetic
 //!                    N³ sinusoidal problem (smoke tests, CI)
 //!   -q               quiet (no per-iteration log)
+//!
+//! batch options:
+//!   -o DIR           output directory for per-job reports (default: claire_out)
+//!   --workers N      worker threads (overrides the manifest)
+//!   --queue-cap N    admission-queue capacity (overrides the manifest)
+//!   --threads N      machine thread budget to partition across workers
+//!   -q               quiet
 //! ```
 //!
-//! Writes `deformed_template.nii`, `velocity_[123].nii`, `jacobian_det.nii`
-//! and `report.json` to the output directory.
+//! Single mode writes `deformed_template.nii`, `velocity_[123].nii`,
+//! `jacobian_det.nii` and `report.json` to the output directory. Batch mode
+//! runs every job in the manifest through the `claire-serve` worker pool
+//! and writes one report JSON per job.
+//!
+//! Exit codes: 0 success, 2 usage, and one code per `ClaireError` variant —
+//! 3 configuration, 4 layout mismatch, 5 decomposition, 6 I/O, 7 cancelled
+//! or deadline expired. Batch mode exits 1 when any job ends non-succeeded.
 
-use claire::core::{observe, Claire, PrecondKind, RegistrationConfig};
+use claire::core::{observe, Claire, ClaireError, PrecondKind, RegistrationConfig};
 use claire::data::nifti;
 use claire::interp::{Interpolator, IpOrder};
 use claire::mpi::Comm;
 use claire::semilag::{displacement, Trajectory};
+use claire::serve::{JobInput, JobSpec, JobStatus, Priority, RegistrationService, ServiceConfig};
+use serde_json::Value;
 use std::path::{Path, PathBuf};
 use std::process::exit;
+use std::time::Duration;
+
+/// One distinct nonzero exit code per `ClaireError` variant.
+fn error_exit_code(e: &ClaireError) -> i32 {
+    match e {
+        ClaireError::Config { .. } => 3,
+        ClaireError::LayoutMismatch { .. } => 4,
+        ClaireError::Decomposition { .. } => 5,
+        ClaireError::Io { .. } => 6,
+        ClaireError::Cancelled { .. } => 7,
+    }
+}
+
+/// Print the typed error to stderr and exit with its code.
+fn fail(e: &ClaireError) -> ! {
+    eprintln!("claire-cli: {e}");
+    exit(error_exit_code(e))
+}
+
+fn io_error(context: &'static str, path: &Path, e: &std::io::Error) -> ClaireError {
+    ClaireError::Io { context, message: format!("{}: {e}", path.display()) }
+}
 
 struct Options {
     template: PathBuf,
@@ -48,11 +86,13 @@ fn usage() -> ! {
         "                  [--beta V] [--nt N] [--order linear|cubic] [--grid-cont] [--store-grad]"
     );
     eprintln!("                  [--eps-h0 V] [--report PATH] [--syn N] [-q]");
+    eprintln!("       claire-cli batch <manifest.json> [-o DIR] [--workers N] [--queue-cap N]");
+    eprintln!("                  [--threads N] [-q]");
     exit(2)
 }
 
-fn parse_args() -> Options {
-    let mut args = std::env::args().skip(1);
+fn parse_args(args: Vec<String>) -> Options {
+    let mut args = args.into_iter();
     let mut positional: Vec<String> = Vec::new();
     let mut out = PathBuf::from("claire_out");
     let mut report = None;
@@ -117,23 +157,47 @@ fn parse_args() -> Options {
         (true, 0) | (false, 2) => {}
         _ => usage(),
     }
-    let cfg = cfg.build().unwrap_or_else(|e| {
-        eprintln!("{e}");
-        exit(2)
-    });
+    if let Some(n) = syn {
+        // Grid::new asserts this; catch it here for a typed error instead
+        if n < 2 {
+            fail(&ClaireError::Config {
+                param: "syn",
+                message: format!("grid needs >= 2 points per dim, got {n}"),
+            });
+        }
+    }
+    let cfg = cfg.build().unwrap_or_else(|e| fail(&e));
     let get = |i: usize| positional.get(i).map(PathBuf::from).unwrap_or_default();
     Options { template: get(0), reference: get(1), out, report, syn, cfg }
 }
 
 fn load(path: &Path) -> claire::grid::ScalarField {
-    nifti::read(path).unwrap_or_else(|e| {
-        eprintln!("cannot read {}: {e}", path.display());
-        exit(1)
-    })
+    nifti::read(path).unwrap_or_else(|e| fail(&io_error("nifti::read", path, &e)))
+}
+
+fn write_nifti(path: &Path, field: &claire::grid::ScalarField) {
+    nifti::write(path, field).unwrap_or_else(|e| fail(&io_error("nifti::write", path, &e)));
+}
+
+fn create_dir(dir: &Path) {
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| fail(&io_error("create_dir_all", dir, &e)));
+}
+
+fn write_text(path: &Path, text: &str) {
+    std::fs::write(path, text).unwrap_or_else(|e| fail(&io_error("fs::write", path, &e)));
 }
 
 fn main() {
-    let opts = parse_args();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("batch") {
+        args.remove(0);
+        batch_main(args);
+        return;
+    }
+    single_main(parse_args(args));
+}
+
+fn single_main(opts: Options) {
     let mut comm = Comm::solo();
 
     let (m0, m1) = match opts.syn {
@@ -145,12 +209,14 @@ fn main() {
             let m0 = load(&opts.template);
             let m1 = load(&opts.reference);
             if m0.layout().grid != m1.layout().grid {
-                eprintln!(
-                    "grid mismatch: template {:?} vs reference {:?}",
-                    m0.layout().grid.n,
-                    m1.layout().grid.n
-                );
-                exit(1);
+                fail(&ClaireError::LayoutMismatch {
+                    context: "claire-cli",
+                    message: format!(
+                        "template grid {:?} vs reference grid {:?}",
+                        m0.layout().grid.n,
+                        m1.layout().grid.n
+                    ),
+                });
             }
             (m0, m1)
         }
@@ -173,7 +239,8 @@ fn main() {
     }
     let mut solver = Claire::new(cfg);
     let t0 = std::time::Instant::now();
-    let (v, report) = solver.register_from(&m0, &m1, None, "cli", &mut comm);
+    let (v, report) =
+        solver.try_register_from(&m0, &m1, None, "cli", &mut comm).unwrap_or_else(|e| fail(&e));
     eprintln!(
         "done in {:.1}s: mismatch {:.3e}, GN {}, PCG {}, det(∇y) ∈ [{:.3}, {:.3}]",
         t0.elapsed().as_secs_f64(),
@@ -188,43 +255,286 @@ fn main() {
         let run = observe::collect_run_report("cli", &report, &comm);
         eprint!("{}", run.span_summary());
         if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-            std::fs::create_dir_all(dir).unwrap_or_else(|e| {
-                eprintln!("cannot create {}: {e}", dir.display());
-                exit(1)
-            });
+            create_dir(dir);
         }
-        std::fs::write(path, run.to_json()).unwrap_or_else(|e| {
-            eprintln!("cannot write {}: {e}", path.display());
-            exit(1)
-        });
+        write_text(path, &run.to_json());
         eprintln!("wrote run report to {}", path.display());
     }
 
-    std::fs::create_dir_all(&opts.out).unwrap_or_else(|e| {
-        eprintln!("cannot create {}: {e}", opts.out.display());
-        exit(1)
-    });
+    create_dir(&opts.out);
     // deformed template
     let mut problem = claire::core::RegProblem::new(m0.clone(), m1.clone(), cfg, &mut comm)
-        .expect("matching layouts by construction");
+        .unwrap_or_else(|e| fail(&e));
     let deformed = problem.deformed_template(&v, &mut comm);
-    nifti::write(&opts.out.join("deformed_template.nii"), &deformed).expect("write deformed");
+    write_nifti(&opts.out.join("deformed_template.nii"), &deformed);
     // velocity components
     for (d, comp) in v.c.iter().enumerate() {
-        nifti::write(&opts.out.join(format!("velocity_{}.nii", d + 1)), comp)
-            .expect("write velocity");
+        write_nifti(&opts.out.join(format!("velocity_{}.nii", d + 1)), comp);
     }
     // Jacobian determinant map
     let mut ip = Interpolator::new(cfg.ip_order);
     let traj = Trajectory::compute(&v, cfg.nt, &mut ip, &mut comm);
     let u = displacement::displacement(&traj, cfg.nt, &mut ip, &mut comm);
     let det = displacement::jacobian_det(&u, &mut comm);
-    nifti::write(&opts.out.join("jacobian_det.nii"), &det).expect("write det");
+    write_nifti(&opts.out.join("jacobian_det.nii"), &det);
     // machine-readable report
-    std::fs::write(
-        opts.out.join("report.json"),
-        serde_json::to_string_pretty(&report).expect("serialize report"),
-    )
-    .expect("write report");
+    let json = serde_json::to_string_pretty(&report)
+        .unwrap_or_else(|e| fail(&ClaireError::Io { context: "report", message: e.to_string() }));
+    write_text(&opts.out.join("report.json"), &json);
     eprintln!("wrote results to {}", opts.out.display());
+}
+
+// ---------------------------------------------------------------------------
+// batch mode
+// ---------------------------------------------------------------------------
+
+/// Look up `key` in a JSON object.
+fn field<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    match v {
+        Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn field_u64(v: &Value, key: &str) -> Option<u64> {
+    match field(v, key)? {
+        Value::UInt(n) => Some(*n),
+        Value::Int(n) if *n >= 0 => Some(*n as u64),
+        Value::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
+        _ => None,
+    }
+}
+
+fn field_f64(v: &Value, key: &str) -> Option<f64> {
+    match field(v, key)? {
+        Value::Num(x) => Some(*x),
+        Value::UInt(n) => Some(*n as f64),
+        Value::Int(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+fn field_str<'a>(v: &'a Value, key: &str) -> Option<&'a str> {
+    match field(v, key)? {
+        Value::Str(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn manifest_error(message: String) -> ClaireError {
+    ClaireError::Config { param: "manifest", message }
+}
+
+/// Build one [`JobSpec`] from a manifest entry.
+fn parse_job(entry: &Value, index: usize, quiet: bool) -> Result<JobSpec, ClaireError> {
+    let label = field_str(entry, "label").map(String::from).unwrap_or(format!("job-{index}"));
+    let mut cfg = RegistrationConfig::builder().verbose(false);
+    if let Some(nt) = field_u64(entry, "nt") {
+        cfg = cfg.nt(nt as usize);
+    }
+    if let Some(beta) = field_f64(entry, "beta") {
+        cfg = cfg.beta(beta);
+    }
+    if let Some(n) = field_u64(entry, "max_gn_iter") {
+        cfg = cfg.max_gn_iter(n as usize);
+    }
+    if let Some(n) = field_u64(entry, "max_pcg_iter") {
+        cfg = cfg.max_pcg_iter(n as usize);
+    }
+    if let Some(Value::Bool(b)) = field(entry, "continuation") {
+        cfg = cfg.continuation(*b);
+    }
+    if let Some(pc) = field_str(entry, "precond") {
+        cfg = cfg.precond(match pc {
+            "InvA" => PrecondKind::InvA,
+            "InvH0" => PrecondKind::InvH0,
+            "2LInvH0" => PrecondKind::TwoLevelInvH0,
+            other => {
+                return Err(manifest_error(format!("{label}: unknown preconditioner {other}")))
+            }
+        });
+    }
+    let config = cfg.build()?;
+
+    let input = if let Some(n) = field_u64(entry, "syn") {
+        JobInput::Synthetic { n: [n as usize; 3] }
+    } else {
+        let template = field_str(entry, "template")
+            .ok_or_else(|| manifest_error(format!("{label}: needs `syn` or `template`")))?;
+        let reference = field_str(entry, "reference")
+            .ok_or_else(|| manifest_error(format!("{label}: needs `reference`")))?;
+        let t = PathBuf::from(template);
+        let r = PathBuf::from(reference);
+        let m0 = nifti::read(&t).map_err(|e| io_error("nifti::read", &t, &e))?;
+        let m1 = nifti::read(&r).map_err(|e| io_error("nifti::read", &r, &e))?;
+        JobInput::Pair { template: m0, reference: m1 }
+    };
+
+    let mut spec = JobSpec::new(label.clone(), config, input);
+    if let Some(p) = field_str(entry, "priority") {
+        spec = spec.priority(
+            Priority::parse(p)
+                .ok_or_else(|| manifest_error(format!("{label}: unknown priority {p}")))?,
+        );
+    }
+    if let Some(ms) = field_u64(entry, "deadline_ms") {
+        spec = spec.deadline(Duration::from_millis(ms));
+    }
+    if !quiet {
+        eprintln!("  {label}: grid {:?}, priority {}", spec.input.grid(), spec.priority.label());
+    }
+    Ok(spec)
+}
+
+/// Turn a job label into a safe report file name.
+fn report_file_name(label: &str) -> String {
+    let safe: String = label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect();
+    format!("{safe}.json")
+}
+
+fn batch_main(args: Vec<String>) {
+    let mut args = args.into_iter();
+    let mut manifest_path: Option<PathBuf> = None;
+    let mut out = PathBuf::from("claire_out");
+    let mut workers: Option<usize> = None;
+    let mut queue_cap: Option<usize> = None;
+    let mut threads: Option<usize> = None;
+    let mut quiet = false;
+    let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            usage()
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-o" => out = PathBuf::from(next_value(&mut args, "-o")),
+            "--workers" => {
+                workers =
+                    Some(next_value(&mut args, "--workers").parse().unwrap_or_else(|_| usage()))
+            }
+            "--queue-cap" => {
+                queue_cap =
+                    Some(next_value(&mut args, "--queue-cap").parse().unwrap_or_else(|_| usage()))
+            }
+            "--threads" => {
+                threads =
+                    Some(next_value(&mut args, "--threads").parse().unwrap_or_else(|_| usage()))
+            }
+            "-q" => quiet = true,
+            "-h" | "--help" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown option {other}");
+                usage()
+            }
+            other if manifest_path.is_none() => manifest_path = Some(PathBuf::from(other)),
+            _ => usage(),
+        }
+    }
+    let manifest_path = manifest_path.unwrap_or_else(|| usage());
+
+    let text = std::fs::read_to_string(&manifest_path)
+        .unwrap_or_else(|e| fail(&io_error("batch manifest", &manifest_path, &e)));
+    let manifest = serde_json::from_str(&text)
+        .unwrap_or_else(|e| fail(&manifest_error(format!("not valid JSON: {e}"))));
+    let jobs = match field(&manifest, "jobs") {
+        Some(Value::Array(jobs)) if !jobs.is_empty() => jobs,
+        _ => fail(&manifest_error("needs a non-empty `jobs` array".into())),
+    };
+
+    let mut svc_cfg = ServiceConfig::default()
+        .workers(workers.or(field_u64(&manifest, "workers").map(|n| n as usize)).unwrap_or(1))
+        .queue_capacity(
+            queue_cap
+                .or(field_u64(&manifest, "queue_capacity").map(|n| n as usize))
+                .unwrap_or_else(|| jobs.len().max(1)),
+        );
+    if let Some(t) = threads {
+        svc_cfg = svc_cfg.total_threads(t);
+    }
+    if !quiet {
+        eprintln!(
+            "batch: {} job(s), {} worker(s), queue capacity {}",
+            jobs.len(),
+            svc_cfg.workers,
+            svc_cfg.queue_capacity
+        );
+    }
+
+    let specs: Vec<JobSpec> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, entry)| parse_job(entry, i, quiet).unwrap_or_else(|e| fail(&e)))
+        .collect();
+
+    create_dir(&out);
+    observe::begin(); // span trees feed the per-job reports
+    let mut svc = RegistrationService::start(svc_cfg);
+    // Blocking submission: the CLI is a closed-loop producer, so a full
+    // queue applies backpressure here instead of dropping jobs.
+    let ids: Vec<_> = specs
+        .into_iter()
+        .map(|spec| {
+            svc.submit(spec).unwrap_or_else(|e| {
+                eprintln!("claire-cli: batch submission failed: {e}");
+                exit(match e {
+                    claire::serve::SubmitError::Invalid(inner) => error_exit_code(&inner),
+                    _ => 1,
+                })
+            })
+        })
+        .collect();
+
+    let mut failures = 0usize;
+    for id in ids {
+        let Some(res) = svc.wait(id) else {
+            eprintln!("claire-cli: internal error: {id} vanished from the service");
+            exit(1);
+        };
+        let file = out.join(report_file_name(&res.label));
+        match (&res.status, &res.run) {
+            (JobStatus::Succeeded, Some(run)) => write_text(&file, &run.to_json()),
+            _ => {
+                // terminal-but-unsuccessful jobs still get a report file
+                let status = res.status.label();
+                let error = res.error.clone().unwrap_or_default();
+                let doc = Value::Object(vec![
+                    ("label".into(), Value::Str(res.label.clone())),
+                    ("status".into(), Value::Str(status.into())),
+                    ("error".into(), Value::Str(error)),
+                ]);
+                let json = serde_json::to_string_pretty(&doc).unwrap_or_default();
+                write_text(&file, &json);
+            }
+        }
+        if res.status != JobStatus::Succeeded {
+            failures += 1;
+        }
+        if !quiet {
+            let mismatch = res
+                .report
+                .as_ref()
+                .map(|r| format!(", mismatch {:.3e}", r.rel_mismatch))
+                .unwrap_or_default();
+            eprintln!(
+                "  {} [{}]: queued {:.3}s, ran {:.3}s{mismatch}",
+                res.label,
+                res.status,
+                res.queue_wait.as_secs_f64(),
+                res.run_time.as_secs_f64()
+            );
+        }
+    }
+    svc.shutdown();
+    claire::obs::set_enabled(false);
+    if !quiet {
+        eprintln!("wrote batch reports to {}", out.display());
+    }
+    if failures > 0 {
+        eprintln!("claire-cli: {failures} job(s) did not succeed");
+        exit(1);
+    }
 }

@@ -29,6 +29,10 @@
 //! * [`obs`] — spans, metrics, and the unified [`obs::report::RunReport`]
 //!   (enable with [`core::observe::begin`], collect with
 //!   [`core::observe::collect_run_report`])
+//! * [`serve`] — in-process multi-tenant job service: bounded admission
+//!   queue with priorities, per-job deadlines and cancellation, a worker
+//!   pool partitioning the thread budget, graceful shutdown (drives
+//!   `claire-cli batch`)
 //!
 //! ## Quickstart
 //!
@@ -58,6 +62,7 @@ pub use claire_opt as opt;
 pub use claire_par as par;
 pub use claire_perf as perf;
 pub use claire_semilag as semilag;
+pub use claire_serve as serve;
 
 /// Everything a typical registration program needs, one `use` away.
 ///
@@ -76,4 +81,8 @@ pub mod prelude {
     pub use crate::interp::IpOrder;
     pub use crate::mpi::{run_cluster, Comm, CommCat, Topology};
     pub use crate::obs::report::RunReport;
+    pub use crate::serve::{
+        JobId, JobInput, JobResult, JobSpec, JobStatus, Priority, RegistrationService,
+        ServiceConfig, SubmitError,
+    };
 }

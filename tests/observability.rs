@@ -38,6 +38,13 @@ fn populated_report() -> RunReport {
     run.summary.grad_rel = 3.2e-2;
     run.summary.time_total = 4.5;
     run.summary.converged = true;
+    run.scheduling.job_id = 7;
+    run.scheduling.priority = "high".to_string();
+    run.scheduling.worker = 1;
+    run.scheduling.queue_wait_secs = 0.25;
+    run.scheduling.run_secs = 4.5;
+    run.scheduling.total_secs = 4.75;
+    run.scheduling.deadline_secs = 30.0;
     run.kernels = vec![
         KernelEntry { name: "fft_serial".into(), calls: 96, secs: 1.25 },
         KernelEntry { name: "interp".into(), calls: 48, secs: 2.0 },
@@ -62,6 +69,13 @@ fn run_report_json_round_trips() {
     assert_eq!(field(summary, "gn_iters"), &Value::UInt(12));
     assert_eq!(field(summary, "converged"), &Value::Bool(true));
     assert_eq!(field(summary, "rel_mismatch"), &Value::Num(2.79e-2));
+    let scheduling = field(&v, "scheduling");
+    assert_eq!(field(scheduling, "job_id"), &Value::UInt(7));
+    assert_eq!(field(scheduling, "priority"), &Value::Str("high".into()));
+    assert_eq!(field(scheduling, "worker"), &Value::UInt(1));
+    assert_eq!(field(scheduling, "queue_wait_secs"), &Value::Num(0.25));
+    assert_eq!(field(scheduling, "total_secs"), &Value::Num(4.75));
+    assert_eq!(field(scheduling, "deadline_secs"), &Value::Num(30.0));
     let grid = field(&v, "grid");
     assert_eq!(grid, &Value::Array(vec![Value::UInt(64), Value::UInt(32), Value::UInt(32)]));
 

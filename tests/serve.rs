@@ -1,0 +1,227 @@
+//! End-to-end tests of the claire-serve job service: priority scheduling,
+//! cooperative cancellation within one Gauss–Newton iteration, deadlines,
+//! graceful shutdown, and a property test over submit/cancel/shutdown
+//! interleavings (no job lost, none duplicated).
+//!
+//! Jobs are tiny synthetic problems (8³, nt ≤ 2, ≤ 2 GN iterations) so the
+//! whole file stays fast on a single-core host.
+
+use claire::core::{CancelToken, PrecondKind, RegistrationConfig, SolverHooks};
+use claire::prelude::*;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+fn tiny_config() -> RegistrationConfig {
+    RegistrationConfig {
+        nt: 2,
+        max_gn_iter: 2,
+        max_pcg_iter: 4,
+        continuation: false,
+        precond: PrecondKind::InvA,
+        ..Default::default()
+    }
+}
+
+fn tiny_spec(label: &str) -> JobSpec {
+    JobSpec::new(label, tiny_config(), JobInput::Synthetic { n: [8, 8, 8] })
+}
+
+/// Hooks whose first GN boundary appends `label` to `order` — records the
+/// order in which the worker *started* jobs.
+fn start_recorder(label: &'static str, order: &Arc<Mutex<Vec<&'static str>>>) -> SolverHooks {
+    let order = order.clone();
+    let first = AtomicBool::new(true);
+    SolverHooks {
+        cancel: None,
+        on_gn_iter: Some(Arc::new(move |_| {
+            if first.swap(false, Ordering::Relaxed) {
+                order.lock().unwrap().push(label);
+            }
+        })),
+    }
+}
+
+#[test]
+fn priority_classes_drain_in_order() {
+    // One worker; the first job parks inside its first GN boundary until we
+    // release it, so the queue is guaranteed to hold all three priority
+    // classes before the worker picks the next job.
+    let svc = RegistrationService::start(
+        ServiceConfig::default().workers(1).queue_capacity(8).collect_reports(false),
+    );
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let release_rx = Mutex::new(Some(release_rx));
+    let blocker_hooks = SolverHooks {
+        cancel: None,
+        on_gn_iter: Some(Arc::new(move |_| {
+            if let Some(rx) = release_rx.lock().unwrap().take() {
+                let _ = rx.recv_timeout(Duration::from_secs(30));
+            }
+        })),
+    };
+    let blocker = svc.submit(tiny_spec("blocker").hooks(blocker_hooks)).unwrap();
+    // the worker must be occupied before the contenders are queued
+    while svc.status(blocker) != Some(JobStatus::Running) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let order = Arc::new(Mutex::new(Vec::new()));
+    // submitted worst-first so FIFO order would be wrong
+    let low = svc
+        .submit(tiny_spec("low").priority(Priority::Low).hooks(start_recorder("low", &order)))
+        .unwrap();
+    let normal = svc.submit(tiny_spec("normal").hooks(start_recorder("normal", &order))).unwrap();
+    let high = svc
+        .submit(tiny_spec("high").priority(Priority::High).hooks(start_recorder("high", &order)))
+        .unwrap();
+    assert_eq!(svc.queue_depth(), 3);
+
+    release_tx.send(()).unwrap();
+    for id in [blocker, high, normal, low] {
+        let res = svc.wait(id).expect("job known");
+        assert_eq!(res.status, JobStatus::Succeeded, "{:?}", res.error);
+    }
+    assert_eq!(*order.lock().unwrap(), ["high", "normal", "low"]);
+}
+
+#[test]
+fn cancelled_job_stops_within_one_gn_iteration() {
+    let svc = RegistrationService::start(ServiceConfig::default().workers(1));
+    // external token through the spec's hooks: the service adopts it
+    let token = CancelToken::new();
+    let trip = token.clone();
+    let boundaries = Arc::new(AtomicUsize::new(0));
+    let seen = boundaries.clone();
+    let hooks = SolverHooks {
+        cancel: Some(token),
+        on_gn_iter: Some(Arc::new(move |k| {
+            seen.fetch_add(1, Ordering::Relaxed);
+            if k == 1 {
+                trip.cancel();
+            }
+        })),
+    };
+    let mut spec = tiny_spec("to-cancel").hooks(hooks);
+    spec.config.max_gn_iter = 25;
+    spec.config.grad_rtol = 1e-12; // keep iterating until cancelled
+
+    let id = svc.submit(spec).unwrap();
+    let res = svc.wait(id).expect("job known");
+    assert_eq!(res.status, JobStatus::Cancelled, "{:?}", res.error);
+    // boundary 0 ran the iteration, boundary 1 tripped and stopped: the
+    // cancel took effect within one GN iteration
+    assert_eq!(boundaries.load(Ordering::Relaxed), 2);
+    assert!(res.error.unwrap().contains("cancelled"));
+    assert!(res.report.is_none());
+
+    // the worker pool is not poisoned: a healthy job still succeeds
+    let ok = svc.submit(tiny_spec("after-cancel")).unwrap();
+    assert_eq!(svc.wait(ok).unwrap().status, JobStatus::Succeeded);
+}
+
+#[test]
+fn deadline_expired_job_is_terminal_and_pool_survives() {
+    let svc = RegistrationService::start(ServiceConfig::default().workers(1));
+    let id = svc.submit(tiny_spec("doomed").deadline(Duration::ZERO)).unwrap();
+    let res = svc.wait(id).expect("job known");
+    assert_eq!(res.status, JobStatus::DeadlineExpired);
+    assert!(res.status.is_terminal());
+    let ok = svc.submit(tiny_spec("healthy")).unwrap();
+    assert_eq!(svc.wait(ok).unwrap().status, JobStatus::Succeeded);
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_and_rejects_new_work() {
+    let mut svc = RegistrationService::start(
+        ServiceConfig::default().workers(2).queue_capacity(8).collect_reports(false),
+    );
+    let ids: Vec<JobId> =
+        (0..4).map(|i| svc.submit(tiny_spec(&format!("drain-{i}"))).unwrap()).collect();
+    let results = svc.shutdown();
+    assert_eq!(results.len(), ids.len(), "every admitted job must be drained");
+    for res in &results {
+        assert_eq!(res.status, JobStatus::Succeeded, "{:?}", res.error);
+    }
+    // new work is rejected after shutdown
+    assert!(matches!(svc.submit(tiny_spec("late")), Err(SubmitError::ShuttingDown)));
+    assert!(matches!(svc.try_submit(tiny_spec("late-2")), Err(SubmitError::ShuttingDown)));
+}
+
+#[test]
+fn per_job_report_records_queue_wait_and_latency() {
+    let svc = RegistrationService::start(ServiceConfig::default().workers(1));
+    let id = svc.submit(tiny_spec("observed").priority(Priority::High)).unwrap();
+    let res = svc.wait(id).expect("job known");
+    assert_eq!(res.status, JobStatus::Succeeded, "{:?}", res.error);
+    let run = res.run.expect("reports collected by default");
+    assert_eq!(run.scheduling.job_id, id.as_u64());
+    assert_eq!(run.scheduling.priority, "high");
+    assert!(run.scheduling.run_secs > 0.0);
+    assert!(run.scheduling.total_secs >= run.scheduling.run_secs);
+    assert!(
+        (run.scheduling.total_secs - res.total.as_secs_f64()).abs() < 1e-9,
+        "report and result must agree on end-to-end latency"
+    );
+    // the JSON document carries the scheduling block
+    let json = run.to_json();
+    assert!(json.contains("\"scheduling\""));
+    assert!(json.contains("\"queue_wait_secs\""));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random submit/cancel/shutdown interleavings: every accepted job
+    /// reaches exactly one terminal state (none lost, none duplicated),
+    /// ids are unique, and cancelled jobs are really terminal.
+    #[test]
+    fn no_job_lost_or_duplicated_across_interleavings(
+        n_jobs in 1usize..5,
+        workers in 1usize..3,
+        cancel_mask in 0u32..16,
+        graceful_bit in 0u32..2,
+    ) {
+        let graceful = graceful_bit == 1;
+        let mut svc = RegistrationService::start(
+            ServiceConfig::default()
+                .workers(workers)
+                .queue_capacity(n_jobs.max(1))
+                .collect_reports(false),
+        );
+        let mut cfg = tiny_config();
+        cfg.nt = 1;
+        cfg.max_gn_iter = 1;
+        let mut accepted = Vec::new();
+        for j in 0..n_jobs {
+            let spec = JobSpec::new(
+                format!("prop-{j}"),
+                cfg,
+                JobInput::Synthetic { n: [8, 8, 8] },
+            );
+            let id = svc.submit(spec).unwrap();
+            if cancel_mask & (1 << j) != 0 {
+                svc.cancel(id); // may race the solve — both outcomes valid
+            }
+            accepted.push(id);
+        }
+        let results = if graceful { svc.shutdown() } else { svc.shutdown_now() };
+
+        prop_assert_eq!(results.len(), accepted.len(), "a job was lost or duplicated");
+        let mut ids: Vec<u64> = results.iter().map(|r| r.id.as_u64()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), accepted.len(), "duplicate job ids in results");
+        for res in &results {
+            prop_assert!(res.status.is_terminal(), "non-terminal result {}", res.status);
+            prop_assert!(
+                matches!(res.status, JobStatus::Succeeded | JobStatus::Cancelled),
+                "unexpected status {} ({:?})", res.status, res.error
+            );
+        }
+        // after shutdown the service accepts nothing
+        let late = JobSpec::new("late", cfg, JobInput::Synthetic { n: [8, 8, 8] });
+        prop_assert!(matches!(svc.submit(late), Err(SubmitError::ShuttingDown)));
+    }
+}
