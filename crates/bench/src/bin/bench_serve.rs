@@ -193,6 +193,10 @@ fn main() {
         }
     }
     let w = if smoke {
+        // Pin intra-solver parallelism in the CI smoke config so the run
+        // does not depend on the host's concurrency (grid sizes are pinned
+        // by the workload below).
+        claire_par::set_threads(1);
         Workload { grid: 8, jobs_per_level: 4, overload_jobs: 8 }
     } else {
         Workload { grid: 16, jobs_per_level: 12, overload_jobs: 16 }

@@ -1,0 +1,138 @@
+//! Solver bench smoke-run: ns/grid-point and heap allocations per
+//! steady-state Gauss–Newton iteration.
+//!
+//! Emits `BENCH_solver.json` in the repo root (or the path given as the
+//! first CLI argument). Complements `bench_kernels` (isolated kernels) by
+//! timing whole Gauss–Newton iterations of the end-to-end solver, with a
+//! counting global allocator sampled at iteration boundaries — the number
+//! the workspace-pool + plan-cache work drives to zero.
+//!
+//! Configuration is pinned for cross-host comparability: 1 thread
+//! (claire-par serial fallback), 32³ and 48³ grids, nt = 2, InvA, no
+//! continuation. A warm-up solve fills the pools and plan caches before
+//! the measured solve, so the reported rows describe the steady state.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use claire_core::{Claire, PrecondKind, RegistrationConfig, SolverHooks};
+use claire_grid::{Grid, Layout, Real, ScalarField};
+use claire_mpi::Comm;
+use claire_par::alloc_counter::{allocation_count, CountingAlloc};
+use claire_par::set_threads;
+use serde::Serialize;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+#[derive(Serialize)]
+struct SolverRow {
+    kernel: String,
+    n: usize,
+    threads: usize,
+    nt: usize,
+    gn_iters: usize,
+    /// Mean wall-clock ns per grid point per steady-state GN iteration
+    /// (first iteration excluded — it warms per-solve state).
+    ns_per_point: f64,
+    total_ms: f64,
+    /// Heap allocations per steady-state GN iteration (max over the
+    /// measured tail; 0 = the pool/plan-cache hot path holds).
+    allocs_per_iter: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    threads: usize,
+    results: Vec<SolverRow>,
+}
+
+fn blob_pair(layout: Layout, shift: Real) -> (ScalarField, ScalarField) {
+    let blob = move |cx: Real| {
+        move |x: Real, y: Real, z: Real| {
+            let d2 = (x - cx).powi(2) + (y - 3.0).powi(2) + (z - 3.0).powi(2);
+            (-d2 / 1.2).exp()
+        }
+    };
+    (ScalarField::from_fn(layout, blob(3.0)), ScalarField::from_fn(layout, blob(3.0 + shift)))
+}
+
+fn bench_grid(n: usize) -> SolverRow {
+    let nt = 2;
+    let cfg = RegistrationConfig {
+        nt,
+        precond: PrecondKind::InvA,
+        continuation: false,
+        grid_continuation: false,
+        beta_target: 1e-2,
+        max_gn_iter: 6,
+        max_pcg_iter: 5,
+        grad_rtol: 1e-14, // run all iterations; this measures cost, not fit
+        verbose: false,
+        ..Default::default()
+    };
+    let mut comm = Comm::solo();
+    let layout = Layout::serial(Grid::cube(n));
+    let (m0, m1) = blob_pair(layout, 0.5);
+
+    // warm-up: fill workspace pools and FFT plan caches
+    let _ = Claire::new(cfg).register(&m0, &m1, &mut comm);
+
+    // measured solve: sample wall clock + allocation counter per boundary
+    let samples: Arc<Mutex<Vec<(Instant, u64)>>> = Arc::new(Mutex::new(Vec::with_capacity(64)));
+    let sink = samples.clone();
+    let hooks = SolverHooks {
+        cancel: None,
+        on_gn_iter: Some(Arc::new(move |_| {
+            sink.lock().unwrap().push((Instant::now(), allocation_count()));
+        })),
+    };
+    let t0 = Instant::now();
+    let (_, report) = Claire::with_hooks(cfg, hooks).register(&m0, &m1, &mut comm);
+    let total_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let s = samples.lock().unwrap();
+    assert!(s.len() >= 3, "expected several GN boundaries, got {}", s.len());
+    // skip the first gap (per-solve warm-up) when averaging
+    let gaps: Vec<(f64, u64)> = s
+        .windows(2)
+        .skip(1)
+        .map(|w| ((w[1].0 - w[0].0).as_nanos() as f64, w[1].1 - w[0].1))
+        .collect();
+    let points = (n * n * n) as f64;
+    let ns_per_point = gaps.iter().map(|g| g.0).sum::<f64>() / (gaps.len() as f64 * points);
+    let allocs_per_iter = gaps.iter().map(|g| g.1).max().unwrap_or(0);
+
+    SolverRow {
+        kernel: "gn_iteration".to_string(),
+        n,
+        threads: 1,
+        nt,
+        gn_iters: report.gn_iters,
+        ns_per_point,
+        total_ms,
+        allocs_per_iter,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_solver.json".into());
+    set_threads(1); // pinned: serial fallback, deterministic row set
+
+    let mut results = Vec::new();
+    for n in [32usize, 48] {
+        eprintln!("bench_solver: {n}^3, 1 thread...");
+        let row = bench_grid(n);
+        eprintln!(
+            "bench_solver:   {:.1} ns/pt per GN iter, {} alloc(s)/iter over {} iters",
+            row.ns_per_point, row.allocs_per_iter, row.gn_iters
+        );
+        results.push(row);
+    }
+    set_threads(0); // restore default resolution
+
+    let report = Report { threads: 1, results };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, json + "\n").expect("write BENCH_solver.json");
+    eprintln!("wrote {out_path}");
+}

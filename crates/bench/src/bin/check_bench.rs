@@ -1,0 +1,161 @@
+//! CI perf-regression gate: diff a fresh bench JSON against its committed
+//! baseline.
+//!
+//! ```text
+//! check_bench <fresh.json> <baseline.json> [--threshold <frac>]
+//! ```
+//!
+//! Works on any report with a `results` array of rows keyed by
+//! `(kernel, n, threads)` carrying `ns_per_point` — i.e. both
+//! `BENCH_kernels.json` and `BENCH_solver.json`. Only `threads == 1` rows
+//! are compared: they are the stable ones (multi-thread rows measure
+//! scheduler noise as much as code). A row regresses when its fresh
+//! `ns_per_point` exceeds baseline by more than the threshold (default
+//! 30%); any regression prints a delta table and exits non-zero, failing
+//! `ci.sh`. Rows with an `allocs_per_iter` field additionally fail on any
+//! increase — allocation regressions are exact, not noisy.
+//!
+//! A missing baseline file is seeded from the fresh run (and the gate
+//! passes): the first CI run on a host commits its own reference.
+
+use serde::Value;
+
+struct Row {
+    kernel: String,
+    n: u64,
+    threads: u64,
+    ns_per_point: f64,
+    allocs_per_iter: Option<u64>,
+}
+
+fn get<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    match v {
+        Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Num(x) => Some(*x),
+        Value::UInt(n) => Some(*n as f64),
+        Value::Int(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::UInt(n) => Some(*n),
+        Value::Int(n) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+fn load_rows(path: &str) -> Vec<Row> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("check_bench: cannot read {path}: {e}"));
+    let doc = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("check_bench: {path} is not valid JSON: {e}"));
+    let Some(Value::Array(rows)) = get(&doc, "results") else {
+        panic!("check_bench: {path} has no `results` array");
+    };
+    rows.iter()
+        .filter_map(|r| {
+            Some(Row {
+                kernel: match get(r, "kernel")? {
+                    Value::Str(s) => s.clone(),
+                    _ => return None,
+                },
+                n: as_u64(get(r, "n")?)?,
+                threads: as_u64(get(r, "threads")?)?,
+                ns_per_point: as_f64(get(r, "ns_per_point")?)?,
+                allocs_per_iter: get(r, "allocs_per_iter").and_then(as_u64),
+            })
+        })
+        .filter(|r| r.threads == 1) // only the stable serial rows gate CI
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = 0.30f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threshold" {
+            let v = it.next().expect("--threshold needs a value");
+            threshold = v.parse().expect("--threshold must be a fraction, e.g. 0.30");
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    let [fresh_path, baseline_path] = paths.as_slice() else {
+        eprintln!("usage: check_bench <fresh.json> <baseline.json> [--threshold <frac>]");
+        std::process::exit(2);
+    };
+
+    if !std::path::Path::new(baseline_path).exists() {
+        if let Some(dir) = std::path::Path::new(baseline_path).parent() {
+            std::fs::create_dir_all(dir).expect("create baseline dir");
+        }
+        std::fs::copy(fresh_path, baseline_path).expect("seed baseline");
+        println!("check_bench: no baseline at {baseline_path}; seeded from {fresh_path}");
+        println!("check_bench: commit the new baseline to arm the gate");
+        return;
+    }
+
+    let fresh = load_rows(fresh_path);
+    let baseline = load_rows(baseline_path);
+
+    println!(
+        "{:<24} {:>5} {:>12} {:>12} {:>8}  status",
+        "kernel", "n", "base ns/pt", "fresh ns/pt", "delta"
+    );
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for b in &baseline {
+        let Some(f) = fresh.iter().find(|f| f.kernel == b.kernel && f.n == b.n) else {
+            println!(
+                "{:<24} {:>5} {:>12.1} {:>12} {:>8}  MISSING",
+                b.kernel, b.n, b.ns_per_point, "-", "-"
+            );
+            regressions += 1;
+            continue;
+        };
+        compared += 1;
+        let delta = f.ns_per_point / b.ns_per_point - 1.0;
+        let mut status = if delta > threshold { "REGRESSED" } else { "ok" };
+        if let (Some(fa), Some(ba)) = (f.allocs_per_iter, b.allocs_per_iter) {
+            if fa > ba {
+                status = "ALLOC-REGRESSED";
+            }
+        }
+        if status != "ok" {
+            regressions += 1;
+        }
+        println!(
+            "{:<24} {:>5} {:>12.1} {:>12.1} {:>7.1}%  {}",
+            b.kernel,
+            b.n,
+            b.ns_per_point,
+            f.ns_per_point,
+            delta * 100.0,
+            status
+        );
+    }
+    if compared == 0 {
+        eprintln!(
+            "check_bench: no comparable threads==1 rows between {fresh_path} and {baseline_path}"
+        );
+        std::process::exit(1);
+    }
+    if regressions > 0 {
+        eprintln!(
+            "check_bench: {regressions} row(s) regressed beyond {:.0}% vs {baseline_path}",
+            threshold * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("check_bench: {compared} row(s) within {:.0}% of {baseline_path}", threshold * 100.0);
+}

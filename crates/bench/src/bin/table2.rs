@@ -47,8 +47,8 @@ fn main() {
             let g0 = comm.stats().cat(CommCat::Ghost).bytes_sent;
             let s0 = comm.stats().cat(CommCat::Scatter).bytes_sent;
             let _m: ScalarField = {
-                let sol = transport.solve_state(&traj, &m0, false, &mut ip, comm);
-                sol.m.into_iter().next_back().unwrap()
+                let mut sol = transport.solve_state(&traj, &m0, false, &mut ip, comm);
+                sol.m.pop().unwrap()
             };
             let ghost_bytes = comm.stats().cat(CommCat::Ghost).bytes_sent - g0;
             let scatter_bytes = comm.stats().cat(CommCat::Scatter).bytes_sent - s0;

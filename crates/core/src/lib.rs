@@ -34,7 +34,8 @@ pub mod problem;
 pub mod report;
 pub mod solver;
 
-pub use claire_grid::{ClaireError, ClaireResult};
+pub use claire_grid::workspace;
+pub use claire_grid::{ClaireError, ClaireResult, Pool, PoolVec, WsCat};
 pub use config::{PrecondKind, RegistrationConfig, RegistrationConfigBuilder};
 pub use observe::{begin as begin_observing, collect_run_report};
 pub use problem::RegProblem;

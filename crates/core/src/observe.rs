@@ -22,7 +22,8 @@
 
 use claire_mpi::{CollOp, Comm, CommCat};
 use claire_obs::report::{
-    CollectiveEntry, CommPhaseEntry, KernelEntry, PhaseShares, RunReport, RunSummary,
+    CollectiveEntry, CommPhaseEntry, KernelEntry, MemoryCatEntry, MemoryInfo, PhaseShares,
+    RunReport, RunSummary,
 };
 use claire_obs::{metrics, records, span};
 
@@ -33,6 +34,8 @@ use crate::report::RegistrationReport;
 pub fn begin() {
     claire_obs::begin();
     claire_par::timing::reset();
+    claire_grid::workspace::reset_stats();
+    claire_fft::cache::reset_stats();
 }
 
 /// Drain every telemetry source into a unified [`RunReport`].
@@ -97,9 +100,40 @@ pub fn collect_run_report(label: &str, report: &RegistrationReport, comm: &Comm)
         .collect();
 
     run.metrics = metrics::snapshot();
+    run.memory = collect_memory(report.memory_bytes_per_rank);
     run.gn_trace = records::take_gn();
     run.spans = span::take_spans();
     run
+}
+
+/// Snapshot the workspace pools and the FFT plan cache into the report's
+/// `memory` block, next to the analytic §3 per-rank estimate.
+fn collect_memory(modeled_bytes: u64) -> MemoryInfo {
+    use claire_grid::workspace::{self, WsCat};
+    let per_cat = workspace::stats();
+    let total = workspace::total_stats();
+    let fft = claire_fft::cache::stats();
+    MemoryInfo {
+        pool_checkouts: total.checkouts,
+        pool_misses: total.misses,
+        pool_peak_bytes: total.peak_bytes,
+        pool_in_use_bytes: total.in_use_bytes,
+        categories: WsCat::ALL
+            .iter()
+            .zip(per_cat.iter())
+            .filter(|(_, s)| s.checkouts > 0)
+            .map(|(c, s)| MemoryCatEntry {
+                cat: c.label().to_string(),
+                checkouts: s.checkouts,
+                misses: s.misses,
+                peak_bytes: s.peak_bytes,
+            })
+            .collect(),
+        fft_plans: fft.plans,
+        fft_plan_hits: fft.hits,
+        fft_plan_misses: fft.misses,
+        modeled_bytes,
+    }
 }
 
 fn metric_value(entries: &[metrics::MetricEntry], key: &str) -> f64 {
@@ -147,6 +181,14 @@ mod tests {
         assert!(!run.spans.is_empty(), "span tree should be non-empty");
         assert!(run.spans.iter().any(|s| s.name == "solve"));
         assert!(!run.gn_trace.is_empty(), "per-iteration records expected");
+        assert!(run.memory.pool_checkouts > 0, "workspace pool should be in use");
+        assert!(run.memory.pool_peak_bytes > 0);
+        assert!(run.memory.modeled_bytes > 0, "analytic model should be attached");
+        assert!(
+            run.memory.categories.iter().any(|c| c.cat == "pde"),
+            "µPDE category expected in the breakdown"
+        );
+        assert!(run.memory.fft_plans > 0, "plan cache should have planned");
         // Draining is one-shot (spans are thread-local, so this is exact
         // even with other tests running concurrently).
         let again = collect_run_report("unit2", &report, &comm);

@@ -69,6 +69,9 @@ pub struct PrecondState {
     spectral_c: Option<Spectral>,
     /// `∇m̄` restricted to the coarse grid (2LInvH0 only).
     grad_mbar_c: Option<VectorField>,
+    /// Persistent FD scratch so per-iteration refreshes reuse ghost/tmp
+    /// buffers instead of allocating.
+    fd_scratch: claire_diff::fd::FdScratch,
     /// Applications of InvA (`[A]` column; includes continuation levels
     /// with β > 5e−1).
     pub n_inva: usize,
@@ -101,6 +104,7 @@ impl PrecondState {
             two_level,
             spectral_c,
             grad_mbar_c,
+            fd_scratch: claire_diff::fd::FdScratch::new(),
             n_inva: 0,
             n_invh0: 0,
             inner_iters: 0,
@@ -114,7 +118,7 @@ impl PrecondState {
         if self.kind == PrecondKind::InvA {
             return; // InvA never uses m̄
         }
-        self.grad_mbar = claire_diff::fd::gradient(mbar, comm);
+        claire_diff::fd::gradient_into(mbar, comm, &mut self.grad_mbar, &mut self.fd_scratch);
         if let Some(tl) = &self.two_level {
             self.grad_mbar_c = Some(tl.restrict_vector(&self.grad_mbar, comm));
         }

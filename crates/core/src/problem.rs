@@ -109,8 +109,8 @@ impl RegProblem {
     /// Solve the state equation at `v` and return `m(·, 1)`. Collective.
     pub fn deformed_template(&mut self, v: &VectorField, comm: &mut Comm) -> ScalarField {
         let traj = Trajectory::compute(v, self.cfg.nt, &mut self.interp, comm);
-        let sol = self.transport.solve_state(&traj, &self.m0, false, &mut self.interp, comm);
-        sol.m.into_iter().next_back().unwrap()
+        let mut sol = self.transport.solve_state(&traj, &self.m0, false, &mut self.interp, comm);
+        sol.m.pop().unwrap()
     }
 
     /// Relative mismatch `‖m(1) − m1‖ / ‖m0 − m1‖` at `v`. Collective.
@@ -136,9 +136,19 @@ fn lambda_grad_integral(
     let mut acc = VectorField::zeros(layout);
     for (j, lam) in lambda.iter().enumerate() {
         let w = if j == 0 || j == nt { 0.5 * dt } else { dt };
-        let grad = state.grad_at(j, comm);
-        for d in 0..3 {
-            acc.c[d].add_scaled_product(w, lam, &grad.c[d]);
+        // borrow the stored gradient when available instead of cloning it
+        match &state.grad_m {
+            Some(gs) => {
+                for d in 0..3 {
+                    acc.c[d].add_scaled_product(w, lam, &gs[j].c[d]);
+                }
+            }
+            None => {
+                let grad = claire_diff::fd::gradient(&state.m[j], comm);
+                for d in 0..3 {
+                    acc.c[d].add_scaled_product(w, lam, &grad.c[d]);
+                }
+            }
         }
     }
     acc

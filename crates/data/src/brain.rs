@@ -118,8 +118,8 @@ pub fn subject(name: &str, layout: Layout, comm: &mut Comm) -> ScalarField {
     let mut interp = Interpolator::new(IpOrder::Cubic);
     let transport = Transport::new(4, IpOrder::Cubic);
     let traj = Trajectory::compute(&v, transport.nt, &mut interp, comm);
-    let sol = transport.solve_state(&traj, &atlas, false, &mut interp, comm);
-    sol.m.into_iter().next_back().unwrap()
+    let mut sol = transport.solve_state(&traj, &atlas, false, &mut interp, comm);
+    sol.m.pop().unwrap()
 }
 
 #[cfg(test)]

@@ -101,8 +101,8 @@ pub fn pair(layout: Layout, comm: &mut Comm) -> (ScalarField, ScalarField) {
     let mut interp = Interpolator::new(IpOrder::Cubic);
     let transport = Transport::new(4, IpOrder::Cubic);
     let traj = Trajectory::compute(&v, transport.nt, &mut interp, comm);
-    let sol = transport.solve_state(&traj, &base, false, &mut interp, comm);
-    let cocaine = sol.m.into_iter().next_back().unwrap();
+    let mut sol = transport.solve_state(&traj, &base, false, &mut interp, comm);
+    let cocaine = sol.m.pop().unwrap();
     (cocaine, control)
 }
 

@@ -57,8 +57,8 @@ pub fn syn_problem(n: [usize; 3], comm: &mut Comm) -> SynProblem {
     let mut interp = Interpolator::new(IpOrder::Cubic);
     let transport = Transport::new(4, IpOrder::Cubic);
     let traj = Trajectory::compute(&true_velocity, transport.nt, &mut interp, comm);
-    let sol = transport.solve_state(&traj, &template, false, &mut interp, comm);
-    SynProblem { reference: sol.m.into_iter().next_back().unwrap(), template, true_velocity }
+    let mut sol = transport.solve_state(&traj, &template, false, &mut interp, comm);
+    SynProblem { reference: sol.m.pop().unwrap(), template, true_velocity }
 }
 
 #[cfg(test)]

@@ -34,8 +34,8 @@ pub fn with_velocity(
     let mut interp = Interpolator::new(IpOrder::Cubic);
     let transport = Transport::new(nt, IpOrder::Cubic);
     let traj = Trajectory::compute(&v_true, nt, &mut interp, comm);
-    let sol = transport.solve_state(&traj, &template, false, &mut interp, comm);
-    TruthProblem { reference: sol.m.into_iter().next_back().unwrap(), template, v_true }
+    let mut sol = transport.solve_state(&traj, &template, false, &mut interp, comm);
+    TruthProblem { reference: sol.m.pop().unwrap(), template, v_true }
 }
 
 /// The Fig. 3 setup scaled to this grid: a brain-phantom template (na10

@@ -169,8 +169,7 @@ impl Spectral {
     /// This is the projection CLAIRE uses for the incompressibility penalty
     /// (§1.1, [48]). Collective.
     pub fn leray(&self, v: &VectorField, comm: &mut Comm) -> VectorField {
-        let mut specs: Vec<DistSpectral> =
-            v.c.iter().map(|cmp| self.fft.forward(cmp, comm)).collect();
+        let mut specs: [DistSpectral; 3] = [0, 1, 2].map(|d| self.fft.forward(&v.c[d], comm));
         let g = self.grid;
         let n3c = specs[0].n3c();
         let nj = specs[0].x2_slab.ni;
@@ -196,13 +195,9 @@ impl Spectral {
             }
         }
         self.charge_hadamard(comm, 3);
-        let mut it = specs.into_iter();
+        let [s0, s1, s2] = specs;
         VectorField {
-            c: [
-                self.fft.inverse(it.next().unwrap(), comm),
-                self.fft.inverse(it.next().unwrap(), comm),
-                self.fft.inverse(it.next().unwrap(), comm),
-            ],
+            c: [self.fft.inverse(s0, comm), self.fft.inverse(s1, comm), self.fft.inverse(s2, comm)],
         }
     }
 }

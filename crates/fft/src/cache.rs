@@ -1,0 +1,121 @@
+//! Process-wide FFT plan cache.
+//!
+//! Planning a transform (twiddle tables, factorization, Bluestein chirp
+//! kernels) is far more expensive than executing it on the small-to-medium
+//! grids of a continuation schedule, and the paper's solver re-plans the
+//! same grids over and over: every β-continuation level reuses the grid,
+//! grid continuation revisits each coarse level, and the two-level
+//! preconditioner plans both fine and coarse transforms per refresh. This
+//! module memoizes plans per length/grid behind `Arc`s so each is computed
+//! exactly once per process and shared by every [`Fft3`]/`DistFft` built
+//! afterwards — including across the virtual-MPI worker threads of
+//! `run_cluster`, which share these statics.
+//!
+//! Hit/miss counters feed the `memory.fft_plan_cache` block of the
+//! observability RunReport.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use claire_grid::Grid;
+
+use crate::plan::Fft1d;
+use crate::real::RealFft1d;
+use crate::serial3d::Fft3;
+
+static FFT1D: Mutex<BTreeMap<usize, Arc<Fft1d>>> = Mutex::new(BTreeMap::new());
+static REAL1D: Mutex<BTreeMap<usize, Arc<RealFft1d>>> = Mutex::new(BTreeMap::new());
+static FFT3: Mutex<BTreeMap<[usize; 3], Arc<Fft3>>> = Mutex::new(BTreeMap::new());
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn get_or_plan<K: Ord + Copy, V>(
+    cache: &Mutex<BTreeMap<K, Arc<V>>>,
+    key: K,
+    plan: impl FnOnce() -> V,
+) -> Arc<V> {
+    if let Some(v) = cache.lock().unwrap().get(&key) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(v);
+    }
+    // Plan outside the lock: planning may itself consult this cache (Fft3
+    // plans its 1-D factors through it) and can be slow. A racing planner
+    // for the same key wastes one plan; the first insert wins.
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let v = Arc::new(plan());
+    Arc::clone(cache.lock().unwrap().entry(key).or_insert(v))
+}
+
+/// Shared 1-D complex plan for length `n`.
+pub fn fft1d(n: usize) -> Arc<Fft1d> {
+    get_or_plan(&FFT1D, n, || Fft1d::new(n))
+}
+
+/// Shared 1-D real↔half-complex plan for even length `n`.
+pub fn real_fft1d(n: usize) -> Arc<RealFft1d> {
+    get_or_plan(&REAL1D, n, || RealFft1d::new(n))
+}
+
+/// Shared serial 3-D plan for `grid`.
+pub fn fft3(grid: Grid) -> Arc<Fft3> {
+    get_or_plan(&FFT3, grid.n, || Fft3::new(grid))
+}
+
+/// Snapshot of the plan cache counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Plans currently cached (1-D complex + 1-D real + 3-D).
+    pub plans: u64,
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to plan.
+    pub misses: u64,
+}
+
+/// Current plan-cache statistics.
+pub fn stats() -> CacheStats {
+    CacheStats {
+        plans: (FFT1D.lock().unwrap().len()
+            + REAL1D.lock().unwrap().len()
+            + FFT3.lock().unwrap().len()) as u64,
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Reset the hit/miss counters (cached plans are kept — warm is the point).
+pub fn reset_stats() {
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_returns_same_plan() {
+        let a = fft1d(40);
+        let b = fft1d(40);
+        assert!(Arc::ptr_eq(&a, &b), "repeated lookups must share one plan");
+        let r1 = real_fft1d(40);
+        let r2 = real_fft1d(40);
+        assert!(Arc::ptr_eq(&r1, &r2));
+        let g = Grid::new([4, 6, 8]);
+        assert!(Arc::ptr_eq(&fft3(g), &fft3(g)));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let before = stats();
+        let _ = fft1d(977); // Bluestein length, certainly un-planned so far
+        let mid = stats();
+        assert_eq!(mid.misses, before.misses + 1);
+        let _ = fft1d(977);
+        let after = stats();
+        assert_eq!(after.hits, mid.hits + 1);
+        assert!(after.plans >= 1);
+    }
+}

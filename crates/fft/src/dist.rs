@@ -20,16 +20,22 @@
 // offsets; iterator adapters would obscure the stride math.
 #![allow(clippy::needless_range_loop)]
 
-use claire_grid::{ClaireError, ClaireResult, Grid, Layout, Real, ScalarField, Slab};
+use std::sync::Arc;
+
+use claire_grid::{
+    ClaireError, ClaireResult, Grid, Layout, PoolVec, Real, ScalarField, Slab, WsCat,
+};
 use claire_mpi::{AlltoallMethod, Comm, CommCat};
 use claire_obs::span::span;
 use claire_par::timing::{self, Kernel};
 use claire_par::{par_map_collect_work, par_parts, SharedSlice};
 
+use crate::cache;
 use crate::complex::Cpx;
 use crate::plan::Fft1d;
 use crate::real::RealFft1d;
 use crate::serial3d::Fft3;
+use crate::CPX_POOL;
 
 /// Spectral coefficients distributed in x2 slabs.
 ///
@@ -41,8 +47,8 @@ pub struct DistSpectral {
     pub grid: Grid,
     /// Owned x2 range.
     pub x2_slab: Slab,
-    /// Complex coefficients, dims `[n1, nj, n3c]`.
-    pub data: Vec<Cpx>,
+    /// Complex coefficients, dims `[n1, nj, n3c]` (pooled, µFFT budget).
+    pub data: PoolVec<Cpx>,
 }
 
 impl DistSpectral {
@@ -54,7 +60,7 @@ impl DistSpectral {
     /// Zeroed spectral storage for the given grid/slab.
     pub fn zeros(grid: Grid, x2_slab: Slab) -> DistSpectral {
         let len = grid.n[0] * x2_slab.ni * (grid.n[2] / 2 + 1);
-        DistSpectral { grid, x2_slab, data: vec![Cpx::ZERO; len] }
+        DistSpectral { grid, x2_slab, data: CPX_POOL.checkout_filled(len, Cpx::ZERO, WsCat::Fft) }
     }
 
     /// Linear index of `(i, jl, k)` — global x1 `i`, local x2 `jl`, x3 `k`.
@@ -79,10 +85,10 @@ pub struct DistFft {
     nranks: usize,
     rank: usize,
     method: AlltoallMethod,
-    serial: Option<Fft3>,
-    r3: RealFft1d,
-    c2: Fft1d,
-    c1: Fft1d,
+    serial: Option<Arc<Fft3>>,
+    r3: Arc<RealFft1d>,
+    c2: Arc<Fft1d>,
+    c1: Arc<Fft1d>,
 }
 
 impl DistFft {
@@ -127,10 +133,10 @@ impl DistFft {
             nranks: p,
             rank: comm.rank(),
             method,
-            serial: if p == 1 { Some(Fft3::new(grid)) } else { None },
-            r3: RealFft1d::new(grid.n[2]),
-            c2: Fft1d::new(grid.n[1]),
-            c1: Fft1d::new(grid.n[0]),
+            serial: if p == 1 { Some(cache::fft3(grid)) } else { None },
+            r3: cache::real_fft1d(grid.n[2]),
+            c2: cache::fft1d(grid.n[1]),
+            c1: cache::fft1d(grid.n[0]),
         })
     }
 
@@ -156,7 +162,7 @@ impl DistFft {
         let scratch_len = self.scratch_len();
         let shared = SharedSlice::new(work);
         par_parts(ni * n2, ni * n2 * n3, |rows| {
-            let mut scratch = vec![Cpx::ZERO; scratch_len];
+            let mut scratch = CPX_POOL.checkout_filled(scratch_len, Cpx::ZERO, WsCat::Fft);
             for row in rows {
                 // SAFETY: row ranges are disjoint across workers.
                 let dst = unsafe { shared.slice_mut(row * n3c..(row + 1) * n3c) };
@@ -164,8 +170,8 @@ impl DistFft {
             }
         });
         par_parts(ni * n3c, ni * n3c * n2, |lines| {
-            let mut scratch = vec![Cpx::ZERO; scratch_len];
-            let mut line = vec![Cpx::ZERO; n2];
+            let mut scratch = CPX_POOL.checkout_filled(scratch_len, Cpx::ZERO, WsCat::Fft);
+            let mut line = CPX_POOL.checkout_filled(n2, Cpx::ZERO, WsCat::Fft);
             for t in lines {
                 let (il, k) = (t / n3c, t % n3c);
                 let base = il * n2 * n3c + k;
@@ -190,8 +196,8 @@ impl DistFft {
         let scratch_len = self.scratch_len();
         let shared = SharedSlice::new(work);
         par_parts(ni * n3c, ni * n3c * n2, |lines| {
-            let mut scratch = vec![Cpx::ZERO; scratch_len];
-            let mut line = vec![Cpx::ZERO; n2];
+            let mut scratch = CPX_POOL.checkout_filled(scratch_len, Cpx::ZERO, WsCat::Fft);
+            let mut line = CPX_POOL.checkout_filled(n2, Cpx::ZERO, WsCat::Fft);
             for t in lines {
                 let (il, k) = (t / n3c, t % n3c);
                 let base = il * n2 * n3c + k;
@@ -209,7 +215,7 @@ impl DistFft {
         });
         let out_shared = SharedSlice::new(out);
         par_parts(ni * n2, ni * n2 * n3, |rows| {
-            let mut scratch = vec![Cpx::ZERO; scratch_len];
+            let mut scratch = CPX_POOL.checkout_filled(scratch_len, Cpx::ZERO, WsCat::Fft);
             for row in rows {
                 // SAFETY: work/out row ranges are disjoint across workers and
                 // work is only read during this pass.
@@ -227,8 +233,8 @@ impl DistFft {
         let scratch_len = self.scratch_len();
         let shared = SharedSlice::new(data);
         par_parts(stride, stride * n1, |lines| {
-            let mut scratch = vec![Cpx::ZERO; scratch_len];
-            let mut line1 = vec![Cpx::ZERO; n1];
+            let mut scratch = CPX_POOL.checkout_filled(scratch_len, Cpx::ZERO, WsCat::Fft);
+            let mut line1 = CPX_POOL.checkout_filled(n1, Cpx::ZERO, WsCat::Fft);
             for jk in lines {
                 // SAFETY: distinct jk touch disjoint strided indices.
                 unsafe {
@@ -264,7 +270,7 @@ impl DistFft {
         let ni = field.layout().slab.ni;
 
         // step 1: 2D FFT per local x1 plane
-        let mut work = vec![Cpx::ZERO; ni * n2 * n3c];
+        let mut work = CPX_POOL.checkout_filled(ni * n2 * n3c, Cpx::ZERO, WsCat::Fft);
         timing::time(Kernel::FftDist, || {
             self.planes2d_forward(field.data(), &mut work, ni);
         });
@@ -341,9 +347,9 @@ impl DistFft {
         };
 
         if let Some(serial) = &self.serial {
-            let mut out = vec![0.0 as Real; self.grid.len()];
-            serial.inverse(&mut spec.data, &mut out);
-            return ScalarField::from_data(layout, out);
+            let mut out = ScalarField::zeros_in(layout, WsCat::Fft);
+            serial.inverse(&mut spec.data, out.data_mut());
+            return out;
         }
 
         let nj = spec.x2_slab.ni;
@@ -375,7 +381,7 @@ impl DistFft {
         };
 
         let ni = layout.slab.ni;
-        let mut work = vec![Cpx::ZERO; ni * n2 * n3c];
+        let mut work = CPX_POOL.checkout_filled(ni * n2 * n3c, Cpx::ZERO, WsCat::Fft);
         timing::time(Kernel::FftTranspose, || {
             // unpack: each source block covers a disjoint global-x2 range
             let shared = SharedSlice::new(&mut work);
@@ -399,11 +405,11 @@ impl DistFft {
         });
 
         // step 1': inverse 2D per plane
-        let mut out = vec![0.0 as Real; ni * n2 * n3];
+        let mut out = ScalarField::zeros_in(layout, WsCat::Fft);
         timing::time(Kernel::FftDist, || {
-            self.planes2d_inverse(&mut work, &mut out, ni);
+            self.planes2d_inverse(&mut work, out.data_mut(), ni);
         });
-        ScalarField::from_data(layout, out)
+        out
     }
 }
 

@@ -18,11 +18,16 @@
 //!   on a single rank);
 //! * [`dist::DistFft`] — the distributed slab transform with the paper's
 //!   transpose communication pattern, instrumented under
-//!   [`CommCat::FftTranspose`](claire_mpi::CommCat::FftTranspose).
+//!   [`CommCat::FftTranspose`](claire_mpi::CommCat::FftTranspose);
+//! * [`cache`] — process-wide plan cache: twiddle tables, factorizations and
+//!   Bluestein kernels are computed once per length/grid and shared (`Arc`)
+//!   across every plan built afterwards, including the β- and
+//!   grid-continuation levels of the solver.
 //!
 //! Spectral data uses the half-spectrum convention: for real input of dims
 //! `[n1, n2, n3]`, the transform is complex of dims `[n1, n2, n3/2 + 1]`.
 
+pub mod cache;
 pub mod complex;
 pub mod dist;
 pub mod factor;
@@ -36,3 +41,7 @@ pub use dist::{DistFft, DistSpectral};
 pub use plan::Fft1d;
 pub use real::RealFft1d;
 pub use serial3d::Fft3;
+
+/// Shared pool for complex work buffers (per-worker transform scratch,
+/// gathered lines, transpose staging) — all charged to the µFFT budget.
+pub static CPX_POOL: claire_grid::Pool<Cpx> = claire_grid::Pool::new();

@@ -8,24 +8,30 @@
 // Strided line gathers: explicit indices keep the stride math readable.
 #![allow(clippy::needless_range_loop)]
 
-use claire_grid::{Grid, Real};
+use std::sync::Arc;
+
+use claire_grid::{Grid, Real, WsCat};
 use claire_par::timing::{self, Kernel};
 use claire_par::{par_parts, SharedSlice};
 
+use crate::cache;
 use crate::complex::Cpx;
 use crate::plan::Fft1d;
 use crate::real::RealFft1d;
+use crate::CPX_POOL;
 
 /// Planned 3D real↔complex transform on a full (serial) grid.
 ///
 /// Real input has dims `[n1, n2, n3]` (x3 fastest); spectral output has dims
 /// `[n1, n2, n3/2 + 1]` in the same ordering. Forward is unnormalized;
-/// inverse includes `1/N`, so the pair is an identity.
+/// inverse includes `1/N`, so the pair is an identity. The 1-D factor plans
+/// come from the process-wide [`cache`], so constructing an `Fft3` for an
+/// already-seen grid does no planning work.
 pub struct Fft3 {
     grid: Grid,
-    r3: RealFft1d,
-    c2: Fft1d,
-    c1: Fft1d,
+    r3: Arc<RealFft1d>,
+    c2: Arc<Fft1d>,
+    c1: Arc<Fft1d>,
 }
 
 impl Fft3 {
@@ -33,9 +39,9 @@ impl Fft3 {
     pub fn new(grid: Grid) -> Fft3 {
         Fft3 {
             grid,
-            r3: RealFft1d::new(grid.n[2]),
-            c2: Fft1d::new(grid.n[1]),
-            c1: Fft1d::new(grid.n[0]),
+            r3: cache::real_fft1d(grid.n[2]),
+            c2: cache::fft1d(grid.n[1]),
+            c1: cache::fft1d(grid.n[0]),
         }
     }
 
@@ -72,7 +78,7 @@ impl Fft3 {
             // chunks, split across workers with per-worker scratch
             let shared = SharedSlice::new(out);
             par_parts(n1 * n2, n1 * n2 * n3, |rows| {
-                let mut scratch = vec![Cpx::ZERO; scratch_len];
+                let mut scratch = CPX_POOL.checkout_filled(scratch_len, Cpx::ZERO, WsCat::Fft);
                 for row in rows {
                     // SAFETY: row ranges are disjoint across workers.
                     let dst = unsafe { shared.slice_mut(row * n3c..(row + 1) * n3c) };
@@ -81,8 +87,8 @@ impl Fft3 {
             });
             // x2: complex FFT with stride n3c, batched over (i, k) lines
             par_parts(n1 * n3c, n1 * n3c * n2, |lines| {
-                let mut scratch = vec![Cpx::ZERO; scratch_len];
-                let mut line = vec![Cpx::ZERO; n2];
+                let mut scratch = CPX_POOL.checkout_filled(scratch_len, Cpx::ZERO, WsCat::Fft);
+                let mut line = CPX_POOL.checkout_filled(n2, Cpx::ZERO, WsCat::Fft);
                 for t in lines {
                     let (i, k) = (t / n3c, t % n3c);
                     let base = i * n2 * n3c + k;
@@ -101,8 +107,8 @@ impl Fft3 {
             // x1: complex FFT with stride n2·n3c, batched over (j, k) lines
             let stride = n2 * n3c;
             par_parts(stride, stride * n1, |lines| {
-                let mut scratch = vec![Cpx::ZERO; scratch_len];
-                let mut line1 = vec![Cpx::ZERO; n1];
+                let mut scratch = CPX_POOL.checkout_filled(scratch_len, Cpx::ZERO, WsCat::Fft);
+                let mut line1 = CPX_POOL.checkout_filled(n1, Cpx::ZERO, WsCat::Fft);
                 for jk in lines {
                     // SAFETY: distinct jk touch disjoint strided indices.
                     unsafe {
@@ -133,8 +139,8 @@ impl Fft3 {
             // x1 inverse
             let stride = n2 * n3c;
             par_parts(stride, stride * n1, |lines| {
-                let mut scratch = vec![Cpx::ZERO; scratch_len];
-                let mut line1 = vec![Cpx::ZERO; n1];
+                let mut scratch = CPX_POOL.checkout_filled(scratch_len, Cpx::ZERO, WsCat::Fft);
+                let mut line1 = CPX_POOL.checkout_filled(n1, Cpx::ZERO, WsCat::Fft);
                 for jk in lines {
                     // SAFETY: distinct jk touch disjoint strided indices.
                     unsafe {
@@ -150,8 +156,8 @@ impl Fft3 {
             });
             // x2 inverse
             par_parts(n1 * n3c, n1 * n3c * n2, |lines| {
-                let mut scratch = vec![Cpx::ZERO; scratch_len];
-                let mut line = vec![Cpx::ZERO; n2];
+                let mut scratch = CPX_POOL.checkout_filled(scratch_len, Cpx::ZERO, WsCat::Fft);
+                let mut line = CPX_POOL.checkout_filled(n2, Cpx::ZERO, WsCat::Fft);
                 for t in lines {
                     let (i, k) = (t / n3c, t % n3c);
                     let base = i * n2 * n3c + k;
@@ -170,7 +176,7 @@ impl Fft3 {
             // x3 inverse (c2r): rows are disjoint spec/output chunks
             let out_shared = SharedSlice::new(out);
             par_parts(n1 * n2, n1 * n2 * n3, |rows| {
-                let mut scratch = vec![Cpx::ZERO; scratch_len];
+                let mut scratch = CPX_POOL.checkout_filled(scratch_len, Cpx::ZERO, WsCat::Fft);
                 for row in rows {
                     // SAFETY: spec/out row ranges are disjoint across workers
                     // and spec is only read during this pass.

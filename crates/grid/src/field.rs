@@ -6,10 +6,11 @@
 
 use claire_mpi::Comm;
 use claire_par::timing::{self, Kernel};
-use claire_par::{par_chunks_mut, par_map_collect_work, par_sum_blocks, SUM_BLOCK};
+use claire_par::{par_chunks_mut, par_max_blocks, par_sum_blocks, SUM_BLOCK};
 
 use crate::real::Real;
 use crate::slab::Layout;
+use crate::workspace::{PoolVec, WsCat, REAL_POOL};
 
 /// Per-chunk element count for parallel element-wise loops. Matches the
 /// reduction block so element-wise and reduction passes stream the same
@@ -20,33 +21,37 @@ const ELEM_CHUNK: usize = SUM_BLOCK;
 /// (same contract as [`par_sum_blocks`]; max is reorder-safe anyway, but
 /// keeping every reduction deterministic keeps the equivalence tests exact).
 fn par_max_abs(d: &[Real]) -> f64 {
-    let nb = d.len().div_ceil(SUM_BLOCK);
-    par_map_collect_work(nb, SUM_BLOCK, |b| {
-        let lo = b * SUM_BLOCK;
-        let hi = (lo + SUM_BLOCK).min(d.len());
-        d[lo..hi].iter().fold(0.0f64, |m, &x| m.max((x as f64).abs()))
-    })
-    .into_iter()
-    .fold(0.0, f64::max)
+    par_max_blocks(d.len(), |r| d[r].iter().fold(0.0f64, |m, &x| m.max((x as f64).abs()))).max(0.0)
 }
 
 /// A scalar field: this rank's slab of samples of a function on Ω.
+///
+/// Storage comes from the workspace pool ([`crate::workspace::REAL_POOL`]):
+/// constructing a field checks a buffer out, dropping one checks it back
+/// in, so field churn in the solver hot path recycles memory instead of
+/// allocating.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ScalarField {
     layout: Layout,
-    data: Vec<Real>,
+    data: PoolVec<Real>,
 }
 
 impl ScalarField {
-    /// Zero field with the given layout.
+    /// Zero field with the given layout (pooled, charged to µPDE).
     pub fn zeros(layout: Layout) -> Self {
-        Self { layout, data: vec![0.0 as Real; layout.local_len()] }
+        Self::zeros_in(layout, WsCat::Pde)
+    }
+
+    /// Zero field charged to an explicit workspace category.
+    pub fn zeros_in(layout: Layout, cat: WsCat) -> Self {
+        Self { layout, data: REAL_POOL.checkout_filled(layout.local_len(), 0.0 as Real, cat) }
     }
 
     /// Field from existing local data (must match the layout's local length).
+    /// The vector migrates into the workspace pool when the field drops.
     pub fn from_data(layout: Layout, data: Vec<Real>) -> Self {
         assert_eq!(data.len(), layout.local_len(), "data/layout size mismatch");
-        Self { layout, data }
+        Self { layout, data: REAL_POOL.adopt(data, WsCat::Pde) }
     }
 
     /// Sample an analytic function `f(x1, x2, x3)` at the owned grid points.
@@ -81,9 +86,9 @@ impl ScalarField {
         &mut self.data
     }
 
-    /// Consume into the local data vector.
+    /// Consume into the local data vector (detached from the pool).
     pub fn into_data(self) -> Vec<Real> {
-        self.data
+        self.data.into_vec()
     }
 
     /// Value at local plane `il`, `j`, `k`.
@@ -232,9 +237,14 @@ pub struct VectorField {
 }
 
 impl VectorField {
-    /// Zero vector field.
+    /// Zero vector field (pooled, charged to µPDE).
     pub fn zeros(layout: Layout) -> Self {
-        Self { c: std::array::from_fn(|_| ScalarField::zeros(layout)) }
+        Self::zeros_in(layout, WsCat::Pde)
+    }
+
+    /// Zero vector field charged to an explicit workspace category.
+    pub fn zeros_in(layout: Layout, cat: WsCat) -> Self {
+        Self { c: std::array::from_fn(|_| ScalarField::zeros_in(layout, cat)) }
     }
 
     /// Sample three analytic component functions.

@@ -18,16 +18,19 @@ use crate::error::{ClaireError, ClaireResult};
 use crate::field::ScalarField;
 use crate::real::Real;
 use crate::slab::Layout;
+use crate::workspace::{PoolVec, WsCat, REAL_POOL};
 
 /// A scalar field extended by `width` ghost planes on both `x1` sides.
 ///
 /// Storage dims are `[ni + 2·width, n2, n3]`; local plane `il` of the owned
-/// slab lives at storage plane `il + width`.
+/// slab lives at storage plane `il + width`. Storage is pooled (µFD), so
+/// even code paths that allocate a fresh `GhostField` per exchange recycle
+/// the buffer at steady state.
 #[derive(Clone, Debug)]
 pub struct GhostField {
     layout: Layout,
     width: usize,
-    data: Vec<Real>,
+    data: PoolVec<Real>,
 }
 
 impl GhostField {
@@ -81,11 +84,8 @@ impl GhostField {
         Self::validate(&layout, width)?;
         let g = layout.grid;
         let plane = g.n[1] * g.n[2];
-        Ok(GhostField {
-            layout,
-            width,
-            data: vec![0.0 as Real; (layout.slab.ni + 2 * width) * plane],
-        })
+        let len = (layout.slab.ni + 2 * width) * plane;
+        Ok(GhostField { layout, width, data: REAL_POOL.checkout_filled(len, 0.0, WsCat::Fd) })
     }
 
     /// Panicking convenience wrapper around [`GhostField::try_alloc`].

@@ -15,7 +15,10 @@
 //! * [`ghost`] — periodic ghost-layer exchange along `x1`, the communication
 //!   primitive behind the paper's `ghost_comm` phase (Tables 2 and 3);
 //! * [`redist`] — gather/scatter/replication of fields between ranks for
-//!   I/O and testing.
+//!   I/O and testing;
+//! * [`workspace`] — the solver-wide buffer pool backing field storage and
+//!   kernel scratch, mirroring the paper's §3 memory budget categories so a
+//!   steady-state Gauss–Newton iteration performs no heap allocations.
 //!
 //! Storage order is row-major with `x3` fastest: `idx = (i·n2 + j)·n3 + k`,
 //! matching the paper's layout ("the inner-most x3 dimension is always
@@ -28,9 +31,11 @@ pub mod grid;
 pub mod real;
 pub mod redist;
 pub mod slab;
+pub mod workspace;
 
 pub use error::{ClaireError, ClaireResult};
 pub use field::{ScalarField, VectorField};
 pub use grid::Grid;
 pub use real::{Real, PI, TWO_PI};
 pub use slab::{Layout, Slab};
+pub use workspace::{Pool, PoolVec, WsCat};

@@ -2,10 +2,11 @@
 
 use std::time::Instant;
 
+use claire_grid::workspace::{WsCat, REAL_POOL};
 use claire_grid::{ghost, Real, ScalarField, VectorField};
 use claire_mpi::{AlltoallMethod, Comm, CommCat};
 use claire_par::timing::{self, Kernel};
-use claire_par::{par_map_collect, par_map_collect_work};
+use claire_par::{par_map_collect, par_map_collect_work, par_parts, SharedSlice};
 
 use crate::kernel::{interp_ghost, to_index, IpOrder};
 
@@ -89,10 +90,75 @@ impl Interpolator {
         queries: &[[Real; 3]],
         comm: &mut Comm,
     ) -> Vec<Vec<Real>> {
+        let mut out: Vec<Vec<Real>> =
+            (0..fields.len()).map(|_| vec![0.0 as Real; queries.len()]).collect();
+        let mut slices: Vec<&mut [Real]> = out.iter_mut().map(|v| v.as_mut_slice()).collect();
+        self.interp_many_into(fields, queries, comm, &mut slices);
+        out
+    }
+
+    /// Single-rank fast path: no routing, no packing, no value return — one
+    /// pooled ghost exchange per field and direct stencil evaluation into
+    /// the caller's buffer. Allocation-free at steady state.
+    fn interp_many_solo(
+        &mut self,
+        fields: &[&ScalarField],
+        queries: &[[Real; 3]],
+        comm: &mut Comm,
+        outs: &mut [&mut [Real]],
+    ) {
+        let order = self.order;
+        let weight = (order.flops_per_query() / 8).max(1);
+        let nq = queries.len();
+        for (fi, f) in fields.iter().enumerate() {
+            let t0 = Instant::now();
+            let m0 = comm.stats().cat(CommCat::Ghost).modeled_secs;
+            let g = ghost::exchange(f, IpOrder::GHOST_WIDTH, comm);
+            self.stats.wall.ghost_comm += t0.elapsed().as_secs_f64();
+            self.stats.modeled.ghost_comm += comm.stats().cat(CommCat::Ghost).modeled_secs - m0;
+
+            let t0 = Instant::now();
+            timing::time(Kernel::Interp, || {
+                let shared = SharedSlice::new(outs[fi]);
+                par_parts(nq, nq * weight, |range| {
+                    // SAFETY: worker ranges are disjoint.
+                    let dst = unsafe { shared.slice_mut(range.clone()) };
+                    for (o, qi) in dst.iter_mut().zip(range) {
+                        *o = interp_ghost(&g, order, queries[qi]);
+                    }
+                });
+            });
+            let flops = nq * order.flops_per_query();
+            let bytes = nq * 2 * std::mem::size_of::<Real>();
+            comm.advance_kernel(bytes, flops);
+            self.stats.wall.interp_kernel += t0.elapsed().as_secs_f64();
+            self.stats.modeled.interp_kernel += comm.device().kernel_time(bytes, flops);
+        }
+    }
+
+    /// [`Interpolator::interp_many`] writing into caller-provided buffers
+    /// (one per field, each of `queries.len()` values). On a single rank
+    /// this takes an allocation-free fast path.
+    ///
+    /// Collective: every rank passes its own queries.
+    pub fn interp_many_into(
+        &mut self,
+        fields: &[&ScalarField],
+        queries: &[[Real; 3]],
+        comm: &mut Comm,
+        outs: &mut [&mut [Real]],
+    ) {
         assert!(!fields.is_empty());
+        assert_eq!(outs.len(), fields.len(), "one output buffer per field");
+        for o in outs.iter() {
+            assert_eq!(o.len(), queries.len(), "output buffer/query size mismatch");
+        }
         let layout = *fields[0].layout();
         for f in fields {
             assert_eq!(*f.layout(), layout, "all fields must share a layout");
+        }
+        if comm.size() == 1 {
+            return self.interp_many_solo(fields, queries, comm, outs);
         }
         let p = comm.size();
         let nf = fields.len();
@@ -170,18 +236,16 @@ impl Interpolator {
         self.stats.modeled.interp_comm += comm.stats().cat(CommCat::InterpValues).modeled_secs - m0;
 
         // reassemble into query order
-        let mut out: Vec<Vec<Real>> = (0..nf).map(|_| vec![0.0 as Real; queries.len()]).collect();
         for (src, vals) in returned.iter().enumerate() {
             let origin = &dest_origin[src];
             assert_eq!(vals.len(), origin.len() * nf, "returned value count mismatch");
-            for (fi, out_f) in out.iter_mut().enumerate() {
+            for (fi, out_f) in outs.iter_mut().enumerate() {
                 let chunk = &vals[fi * origin.len()..(fi + 1) * origin.len()];
                 for (&oi, &v) in origin.iter().zip(chunk) {
                     out_f[oi as usize] = v;
                 }
             }
         }
-        out
     }
 
     /// Interpolate one scalar field.
@@ -194,6 +258,17 @@ impl Interpolator {
         self.interp_many(&[field], queries, comm).pop().unwrap()
     }
 
+    /// Interpolate one scalar field into a caller-provided buffer.
+    pub fn interp_into(
+        &mut self,
+        field: &ScalarField,
+        queries: &[[Real; 3]],
+        comm: &mut Comm,
+        out: &mut [Real],
+    ) {
+        self.interp_many_into(&[field], queries, comm, &mut [out]);
+    }
+
     /// Interpolate a vector field; returns per-query 3-vectors.
     pub fn interp_vector(
         &mut self,
@@ -201,8 +276,34 @@ impl Interpolator {
         queries: &[[Real; 3]],
         comm: &mut Comm,
     ) -> Vec<[Real; 3]> {
-        let comps = self.interp_many(&[&v.c[0], &v.c[1], &v.c[2]], queries, comm);
-        (0..queries.len()).map(|i| [comps[0][i], comps[1][i], comps[2][i]]).collect()
+        let mut out = vec![[0.0 as Real; 3]; queries.len()];
+        self.interp_vector_into(v, queries, comm, &mut out);
+        out
+    }
+
+    /// Interpolate a vector field into a caller-provided buffer of per-query
+    /// 3-vectors (pooled component staging, µSL budget).
+    pub fn interp_vector_into(
+        &mut self,
+        v: &VectorField,
+        queries: &[[Real; 3]],
+        comm: &mut Comm,
+        out: &mut [[Real; 3]],
+    ) {
+        assert_eq!(out.len(), queries.len(), "output buffer/query size mismatch");
+        let nq = queries.len();
+        let mut c0 = REAL_POOL.checkout_filled(nq, 0.0 as Real, WsCat::Sl);
+        let mut c1 = REAL_POOL.checkout_filled(nq, 0.0 as Real, WsCat::Sl);
+        let mut c2 = REAL_POOL.checkout_filled(nq, 0.0 as Real, WsCat::Sl);
+        self.interp_many_into(
+            &[&v.c[0], &v.c[1], &v.c[2]],
+            queries,
+            comm,
+            &mut [&mut c0, &mut c1, &mut c2],
+        );
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = [c0[i], c1[i], c2[i]];
+        }
     }
 }
 

@@ -29,6 +29,7 @@ pub const SCHEMA_KEYS: &[&str] = &[
     "comm",
     "collectives",
     "metrics",
+    "memory",
     "spans",
 ];
 
@@ -149,6 +150,47 @@ pub struct CollectiveEntry {
     pub bytes: u64,
 }
 
+/// Workspace-pool accounting for one budget category (paper §3: µPDE,
+/// µFFT, µFD, µSL, µGN/CG, plus `other`).
+#[derive(Serialize, Clone, Debug)]
+pub struct MemoryCatEntry {
+    /// Category label (`pde`, `fft`, `fd`, `sl`, `gn_cg`, `other`).
+    pub cat: String,
+    /// Buffers checked out of the pool (hits + misses).
+    pub checkouts: u64,
+    /// Checkouts that had to allocate fresh memory.
+    pub misses: u64,
+    /// High-water mark of bytes simultaneously checked out.
+    pub peak_bytes: u64,
+}
+
+/// Measured workspace-pool and FFT-plan-cache counters, next to the
+/// analytic per-rank estimate from the paper's §3 memory model
+/// (claire-core `memory::estimate`). Steady state shows up here as
+/// `pool_misses` staying flat while `pool_checkouts` keeps growing.
+#[derive(Serialize, Clone, Debug, Default)]
+pub struct MemoryInfo {
+    /// Total pool checkouts across all categories.
+    pub pool_checkouts: u64,
+    /// Total checkouts that allocated fresh memory.
+    pub pool_misses: u64,
+    /// Peak bytes simultaneously checked out (all categories).
+    pub pool_peak_bytes: u64,
+    /// Bytes still checked out when the report was collected.
+    pub pool_in_use_bytes: u64,
+    /// Per-category breakdown in the paper's §3 order.
+    pub categories: Vec<MemoryCatEntry>,
+    /// FFT plans constructed (plan-cache misses that built a plan).
+    pub fft_plans: u64,
+    /// FFT plan-cache hits.
+    pub fft_plan_hits: u64,
+    /// FFT plan-cache misses.
+    pub fft_plan_misses: u64,
+    /// Modeled per-rank bytes from the analytic §3 memory model
+    /// (0 when no model was attached).
+    pub modeled_bytes: u64,
+}
+
 /// The unified per-run report. Serialize with [`RunReport::to_json`].
 #[derive(Serialize, Clone, Debug)]
 pub struct RunReport {
@@ -178,6 +220,8 @@ pub struct RunReport {
     pub collectives: Vec<CollectiveEntry>,
     /// Registered metrics snapshot.
     pub metrics: Vec<MetricEntry>,
+    /// Workspace-pool / plan-cache counters vs the analytic memory model.
+    pub memory: MemoryInfo,
     /// Hierarchical span tree (per rank-0 thread).
     pub spans: Vec<SpanNode>,
 }
@@ -199,6 +243,7 @@ impl RunReport {
             comm: Vec::new(),
             collectives: Vec::new(),
             metrics: Vec::new(),
+            memory: MemoryInfo::default(),
             spans: Vec::new(),
         }
     }

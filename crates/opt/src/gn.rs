@@ -195,6 +195,10 @@ pub fn gauss_newton_hooked<P: GnProblem>(
     comm: &mut Comm,
 ) -> (VectorField, GnStats) {
     let mut stats = GnStats::default();
+    // size histories up front: at most one entry per iteration, so the
+    // per-iteration pushes below never reallocate
+    stats.grad_rel_history.reserve(cfg.max_iter + 1);
+    stats.objective_history.reserve(cfg.max_iter + 1);
     let mut v = v0;
     let t_total = Instant::now();
     let m_total0 = comm.clock().now();

@@ -1,0 +1,81 @@
+//! A counting global allocator for allocation-regression harnesses.
+//!
+//! [`CountingAlloc`] wraps the system allocator and counts every
+//! allocation (and allocated byte) that goes through it. Binaries that
+//! want the counts install it as their global allocator:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: claire_par::alloc_counter::CountingAlloc =
+//!     claire_par::alloc_counter::CountingAlloc::new();
+//! ```
+//!
+//! The counters are process-global statics, so [`allocation_count`] /
+//! [`allocated_bytes`] read zero unless the wrapper actually is the global
+//! allocator. The zero-allocation tier-1 test and `bench_solver` both use
+//! this to sample allocations at Gauss–Newton iteration boundaries and
+//! prove the solver hot path is allocation-free at steady state.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// System-allocator wrapper that counts allocations. Install with
+/// `#[global_allocator]`; construction alone does nothing.
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// The (stateless) wrapper; counters live in statics.
+    pub const fn new() -> CountingAlloc {
+        CountingAlloc
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        CountingAlloc::new()
+    }
+}
+
+// SAFETY: defers to `System` for every operation; the counters are
+// lock-free atomics, so no allocation or reentrancy happens in the hooks.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A growing realloc acquires memory even when it extends in place;
+        // count it like a fresh allocation of the delta.
+        if new_size > layout.size() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add((new_size - layout.size()) as u64, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Total allocations observed since process start (0 if [`CountingAlloc`]
+/// is not the global allocator).
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Total bytes requested since process start.
+pub fn allocated_bytes() -> u64 {
+    BYTES.load(Ordering::Relaxed)
+}

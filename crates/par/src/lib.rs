@@ -32,6 +32,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+pub mod alloc_counter;
 pub mod timing;
 
 /// Work-size floor below which kernels should stay serial: spawning scoped
@@ -283,10 +284,58 @@ impl<R> SharedUninit<R> {
     }
 }
 
+thread_local! {
+    /// Reused per-block partial buffer for [`par_sum_blocks`] /
+    /// [`par_max_blocks`]: after the first reduction on a thread the buffer's
+    /// capacity is retained, so steady-state reductions are allocation-free.
+    static REDUCE_PARTIALS: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Run a block reduction: `fill` writes one partial per block into the
+/// (reused) scratch buffer, `finish` folds the partials in block order.
+fn with_reduce_partials<R>(
+    nblocks: usize,
+    fill: impl FnOnce(&mut [f64]),
+    finish: impl FnOnce(&[f64]) -> R,
+) -> R {
+    REDUCE_PARTIALS.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut buf) => {
+            buf.clear();
+            buf.resize(nblocks, 0.0);
+            fill(&mut buf);
+            finish(&buf)
+        }
+        // re-entrant reduction on this thread (a block closure itself
+        // reducing): fall back to a fresh buffer
+        Err(_) => {
+            let mut buf = vec![0.0; nblocks];
+            fill(&mut buf);
+            finish(&buf)
+        }
+    })
+}
+
+fn par_fill_blocks<F>(n: usize, partials: &mut [f64], f: &F)
+where
+    F: Fn(std::ops::Range<usize>) -> f64 + Sync,
+{
+    let nblocks = partials.len();
+    let shared = SharedSlice::new(partials);
+    par_parts(nblocks, n, |r| {
+        for b in r {
+            let lo = b * SUM_BLOCK;
+            // SAFETY: par_parts hands out disjoint block ranges, so each
+            // partial slot is written by exactly one worker.
+            unsafe { shared.write(b, f(lo..(lo + SUM_BLOCK).min(n))) };
+        }
+    });
+}
+
 /// Deterministic parallel sum: `f(block_range)` computes the partial sum of
 /// one fixed-size block ([`SUM_BLOCK`] elements; boundaries independent of the
 /// thread count) and the partials are combined in block order. Returns 0.0
-/// for `n == 0`.
+/// for `n == 0`. Steady-state allocation-free (partials live in a reused
+/// thread-local buffer).
 pub fn par_sum_blocks<F>(n: usize, f: F) -> f64
 where
     F: Fn(std::ops::Range<usize>) -> f64 + Sync,
@@ -295,11 +344,25 @@ where
         return 0.0;
     }
     let nblocks = n.div_ceil(SUM_BLOCK);
-    let partials = par_map_collect_work(nblocks, SUM_BLOCK, |b| {
-        let lo = b * SUM_BLOCK;
-        f(lo..(lo + SUM_BLOCK).min(n))
-    });
-    partials.iter().sum()
+    with_reduce_partials(nblocks, |p| par_fill_blocks(n, p, &f), |p| p.iter().sum())
+}
+
+/// Deterministic parallel max: like [`par_sum_blocks`] but the per-block
+/// partials are combined with `f64::max`. Returns `f64::NEG_INFINITY` for
+/// `n == 0`.
+pub fn par_max_blocks<F>(n: usize, f: F) -> f64
+where
+    F: Fn(std::ops::Range<usize>) -> f64 + Sync,
+{
+    if n == 0 {
+        return f64::NEG_INFINITY;
+    }
+    let nblocks = n.div_ceil(SUM_BLOCK);
+    with_reduce_partials(
+        nblocks,
+        |p| par_fill_blocks(n, p, &f),
+        |p| p.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x)),
+    )
 }
 
 /// A raw view of a mutable slice that many threads may write through, for

@@ -19,27 +19,32 @@
 // avoid re-borrowing the vector field inside the hot loop.
 #![allow(clippy::too_many_arguments)]
 
+use claire_grid::workspace::{PoolVec, WsCat, R3_POOL, REAL_POOL};
 use claire_grid::{Real, ScalarField, VectorField};
 use claire_interp::Interpolator;
 use claire_mpi::Comm;
 use claire_obs::span::span;
-use claire_par::par_map_collect;
 use claire_par::timing::{self, Kernel};
+use claire_par::{par_parts, SharedSlice};
 
 /// Pre-computed characteristic data for one stationary velocity field.
+///
+/// All point/value buffers come from the µSL workspace pool, so recomputing
+/// a `Trajectory` every Gauss–Newton iteration is allocation-free at steady
+/// state.
 pub struct Trajectory {
     /// Time-step size `δt = 1/Nt`.
     pub dt: Real,
     /// Foot points of the backward characteristics of `+v` (one per owned
     /// grid point) — used by the state and incremental state equations.
-    pub foot_back: Vec<[Real; 3]>,
+    pub foot_back: PoolVec<[Real; 3]>,
     /// Foot points for the characteristics of `−v` — used by the adjoint
     /// and incremental adjoint (continuity) equations in reverse time.
-    pub foot_fwd: Vec<[Real; 3]>,
+    pub foot_fwd: PoolVec<[Real; 3]>,
     /// `∇·v` on the grid (8th-order FD).
     pub div_v: ScalarField,
     /// `∇·v` interpolated at [`Trajectory::foot_fwd`].
-    pub div_v_at_fwd: Vec<Real>,
+    pub div_v_at_fwd: PoolVec<Real>,
     /// Estimated maximum displacement in grid cells (the CFL number used to
     /// size scatter buffers, paper §3.1).
     pub cfl: f64,
@@ -47,16 +52,31 @@ pub struct Trajectory {
 
 /// Physical coordinates of all locally owned grid points.
 pub fn grid_points(layout: &claire_grid::Layout) -> Vec<[Real; 3]> {
+    let mut out = vec![[0.0 as Real; 3]; layout.local_len()];
+    grid_points_into(layout, &mut out);
+    out
+}
+
+/// Fill `out` with the physical coordinates of all locally owned grid
+/// points (`out.len() == layout.local_len()`).
+pub fn grid_points_into(layout: &claire_grid::Layout, out: &mut [[Real; 3]]) {
     let g = layout.grid;
     let h = g.spacing();
     let [_, n2, n3] = layout.local_dims();
     let i0 = layout.slab.i0;
-    par_map_collect(layout.local_len(), |idx| {
-        let k = idx % n3;
-        let j = (idx / n3) % n2;
-        let il = idx / (n2 * n3);
-        [(i0 + il) as Real * h[0], j as Real * h[1], k as Real * h[2]]
-    })
+    assert_eq!(out.len(), layout.local_len());
+    let n = out.len();
+    let shared = SharedSlice::new(out);
+    par_parts(n, n, |range| {
+        // SAFETY: worker ranges are disjoint.
+        let dst = unsafe { shared.slice_mut(range.clone()) };
+        for (o, idx) in dst.iter_mut().zip(range) {
+            let k = idx % n3;
+            let j = (idx / n3) % n2;
+            let il = idx / (n2 * n3);
+            *o = [(i0 + il) as Real * h[0], j as Real * h[1], k as Real * h[2]];
+        }
+    });
 }
 
 impl Trajectory {
@@ -74,18 +94,23 @@ impl Trajectory {
         assert!(nt >= 1, "need at least one time step");
         let layout = *v.layout();
         let dt = 1.0 as Real / nt as Real;
-        let pts = grid_points(&layout);
+        let n = layout.local_len();
+        let mut pts = R3_POOL.checkout_filled(n, [0.0 as Real; 3], WsCat::Sl);
+        grid_points_into(&layout, &mut pts);
 
         // v at grid points (no interpolation needed)
         let v1 = v.c[0].data();
         let v2 = v.c[1].data();
         let v3 = v.c[2].data();
 
-        let foot_back = rk2_feet(&pts, v, v1, v2, v3, -dt, interp, comm);
-        let foot_fwd = rk2_feet(&pts, v, v1, v2, v3, dt, interp, comm);
+        let mut foot_back = R3_POOL.checkout_filled(n, [0.0 as Real; 3], WsCat::Sl);
+        rk2_feet_into(&pts, v, v1, v2, v3, -dt, interp, comm, &mut foot_back);
+        let mut foot_fwd = R3_POOL.checkout_filled(n, [0.0 as Real; 3], WsCat::Sl);
+        rk2_feet_into(&pts, v, v1, v2, v3, dt, interp, comm, &mut foot_fwd);
 
         let div_v = claire_diff::fd::divergence(v, comm);
-        let div_v_at_fwd = interp.interp(&div_v, &foot_fwd, comm);
+        let mut div_v_at_fwd = REAL_POOL.checkout_filled(n, 0.0 as Real, WsCat::Sl);
+        interp.interp_into(&div_v, &foot_fwd, comm, &mut div_v_at_fwd);
 
         // CFL estimate for buffer sizing (max displacement / h)
         let vmax = v.max_abs(comm);
@@ -98,8 +123,9 @@ impl Trajectory {
 }
 
 /// One RK2 (Heun) sweep: `foot = x + s·(v(x) + v(x + s·v(x)))/2` where
-/// `s = ±δt` selects the transport direction.
-fn rk2_feet(
+/// `s = ±δt` selects the transport direction. Writes into `out`
+/// (`out.len() == pts.len()`); all staging buffers are pooled (µSL).
+fn rk2_feet_into(
     pts: &[[Real; 3]],
     v: &VectorField,
     v1: &[Real],
@@ -108,27 +134,42 @@ fn rk2_feet(
     s: Real,
     interp: &mut Interpolator,
     comm: &mut Comm,
-) -> Vec<[Real; 3]> {
+    out: &mut [[Real; 3]],
+) {
+    let n = pts.len();
+    assert_eq!(out.len(), n);
     // Euler predictor — one independent update per grid point
-    let mid: Vec<[Real; 3]> = timing::time(Kernel::SemiLag, || {
-        par_map_collect(pts.len(), |i| {
-            let p = &pts[i];
-            [p[0] + s * v1[i], p[1] + s * v2[i], p[2] + s * v3[i]]
-        })
+    let mut mid = R3_POOL.checkout_filled(n, [0.0 as Real; 3], WsCat::Sl);
+    timing::time(Kernel::SemiLag, || {
+        let shared = SharedSlice::new(&mut mid);
+        par_parts(n, n, |range| {
+            // SAFETY: worker ranges are disjoint.
+            let dst = unsafe { shared.slice_mut(range.clone()) };
+            for (o, i) in dst.iter_mut().zip(range) {
+                let p = &pts[i];
+                *o = [p[0] + s * v1[i], p[1] + s * v2[i], p[2] + s * v3[i]];
+            }
+        });
     });
     // v at predictor points (off-grid)
-    let vm = interp.interp_vector(v, &mid, comm);
+    let mut vm = R3_POOL.checkout_filled(n, [0.0 as Real; 3], WsCat::Sl);
+    interp.interp_vector_into(v, &mid, comm, &mut vm);
     // Heun corrector
     timing::time(Kernel::SemiLag, || {
-        par_map_collect(pts.len(), |i| {
-            let p = &pts[i];
-            [
-                p[0] + 0.5 * s * (v1[i] + vm[i][0]),
-                p[1] + 0.5 * s * (v2[i] + vm[i][1]),
-                p[2] + 0.5 * s * (v3[i] + vm[i][2]),
-            ]
-        })
-    })
+        let shared = SharedSlice::new(out);
+        par_parts(n, n, |range| {
+            // SAFETY: worker ranges are disjoint.
+            let dst = unsafe { shared.slice_mut(range.clone()) };
+            for (o, i) in dst.iter_mut().zip(range) {
+                let p = &pts[i];
+                *o = [
+                    p[0] + 0.5 * s * (v1[i] + vm[i][0]),
+                    p[1] + 0.5 * s * (v2[i] + vm[i][1]),
+                    p[2] + 0.5 * s * (v3[i] + vm[i][2]),
+                ];
+            }
+        });
+    });
 }
 
 #[cfg(test)]

@@ -1,12 +1,13 @@
 //! The four transport solves of the optimality system.
 
 use claire_diff::fd::FdScratch;
+use claire_grid::workspace::{PoolVec, WsCat, REAL_POOL, SCALAR_FIELDS, VECTOR_FIELDS};
 use claire_grid::{ScalarField, VectorField};
 use claire_interp::{Interpolator, IpOrder};
 use claire_mpi::Comm;
 use claire_obs::span::span;
-use claire_par::par_map_collect;
 use claire_par::timing::{self, Kernel};
+use claire_par::{par_parts, SharedSlice};
 
 use crate::traj::Trajectory;
 
@@ -16,12 +17,13 @@ use crate::traj::Trajectory;
 ///
 /// CLAIRE stores `m` for all time steps "to avoid additional PDE solves"
 /// (§3); storing `∇m` as well is the paper's speed/memory trade-off that
-/// buys ~15% runtime for `3·Nt·N` extra words.
+/// buys ~15% runtime for `3·Nt·N` extra words. Both time-series containers
+/// are pooled (µPDE budget), as is the storage of every field inside them.
 pub struct StateSolution {
     /// `m(·, t_j)` for `j = 0..=nt`.
-    pub m: Vec<ScalarField>,
+    pub m: PoolVec<ScalarField>,
     /// `∇m(·, t_j)` if requested (the `store_grad` option).
-    pub grad_m: Option<Vec<VectorField>>,
+    pub grad_m: Option<PoolVec<VectorField>>,
 }
 
 impl StateSolution {
@@ -65,22 +67,23 @@ impl Transport {
         comm: &mut Comm,
     ) -> StateSolution {
         let _s = span("semilag.state");
-        let mut m = Vec::with_capacity(self.nt + 1);
+        let mut m = SCALAR_FIELDS.checkout(self.nt + 1, WsCat::Pde);
         m.push(m0.clone());
         for j in 0..self.nt {
-            let vals = interp.interp(&m[j], &traj.foot_back, comm);
-            m.push(ScalarField::from_data(*m0.layout(), vals));
+            let mut next = ScalarField::zeros(*m0.layout());
+            interp.interp_into(&m[j], &traj.foot_back, comm, next.data_mut());
+            m.push(next);
         }
         let grad_m = store_grad.then(|| {
             // one scratch (halo + temps) shared across all Nt+1 gradients
             let mut scratch = FdScratch::new();
-            m.iter()
-                .map(|mj| {
-                    let mut g = VectorField::zeros(*mj.layout());
-                    claire_diff::fd::gradient_into(mj, comm, &mut g, &mut scratch);
-                    g
-                })
-                .collect()
+            let mut gs = VECTOR_FIELDS.checkout(m.len(), WsCat::Pde);
+            for mj in m.iter() {
+                let mut g = VectorField::zeros(*mj.layout());
+                claire_diff::fd::gradient_into(mj, comm, &mut g, &mut scratch);
+                gs.push(g);
+            }
+            gs
         });
         StateSolution { m, grad_m }
     }
@@ -98,21 +101,28 @@ impl Transport {
         final_cond: &ScalarField,
         interp: &mut Interpolator,
         comm: &mut Comm,
-    ) -> Vec<ScalarField> {
+    ) -> PoolVec<ScalarField> {
         let _s = span("semilag.adjoint");
         let layout = *final_cond.layout();
-        let mut lambda = vec![final_cond.clone()];
+        let n = layout.local_len();
+        let mut lambda = SCALAR_FIELDS.checkout(self.nt + 1, WsCat::Pde);
+        lambda.push(final_cond.clone());
         let divv = traj.div_v.data();
         for _ in 0..self.nt {
-            let prev = lambda.last().unwrap();
-            let vals = interp.interp(prev, &traj.foot_fwd, comm);
-            let next = timing::time(Kernel::SemiLag, || {
-                par_map_collect(vals.len(), |i| {
-                    let src = 0.5 * traj.dt * (traj.div_v_at_fwd[i] + divv[i]);
-                    vals[i] * src.exp()
-                })
+            let mut next = ScalarField::zeros(layout);
+            interp.interp_into(lambda.last().unwrap(), &traj.foot_fwd, comm, next.data_mut());
+            timing::time(Kernel::SemiLag, || {
+                let shared = SharedSlice::new(next.data_mut());
+                par_parts(n, n, |range| {
+                    // SAFETY: worker ranges are disjoint.
+                    let dst = unsafe { shared.slice_mut(range.clone()) };
+                    for (o, i) in dst.iter_mut().zip(range) {
+                        let src = 0.5 * traj.dt * (traj.div_v_at_fwd[i] + divv[i]);
+                        *o *= src.exp();
+                    }
+                });
             });
-            lambda.push(ScalarField::from_data(layout, next));
+            lambda.push(next);
         }
         lambda.reverse(); // index j now corresponds to time t_j
         lambda
@@ -145,17 +155,31 @@ impl Transport {
         };
         let mut mt = ScalarField::zeros(layout);
         let mut b_next = bdot(&state.grad_at(0, comm));
+        let mut mt_foot = REAL_POOL.checkout_filled(n, 0.0, WsCat::Sl);
+        let mut b_foot = REAL_POOL.checkout_filled(n, 0.0, WsCat::Sl);
         for j in 0..self.nt {
             let b_j = b_next;
             b_next = bdot(&state.grad_at(j + 1, comm));
             // trapezoid: m̃_{j+1}(x) = m̃_j(X) − δt/2·(b_j(X) + b_{j+1}(x))
-            let vals = interp.interp_many(&[&mt, &b_j], &traj.foot_back, comm);
-            let (mt_foot, b_foot) = (&vals[0], &vals[1]);
+            interp.interp_many_into(
+                &[&mt, &b_j],
+                &traj.foot_back,
+                comm,
+                &mut [&mut mt_foot, &mut b_foot],
+            );
             let bn = b_next.data();
-            let next = timing::time(Kernel::SemiLag, || {
-                par_map_collect(n, |i| mt_foot[i] - 0.5 * traj.dt * (b_foot[i] + bn[i]))
+            let mut next = ScalarField::zeros(layout);
+            timing::time(Kernel::SemiLag, || {
+                let shared = SharedSlice::new(next.data_mut());
+                par_parts(n, n, |range| {
+                    // SAFETY: worker ranges are disjoint.
+                    let dst = unsafe { shared.slice_mut(range.clone()) };
+                    for (o, i) in dst.iter_mut().zip(range) {
+                        *o = mt_foot[i] - 0.5 * traj.dt * (b_foot[i] + bn[i]);
+                    }
+                });
             });
-            mt = ScalarField::from_data(layout, next);
+            mt = next;
         }
         mt
     }

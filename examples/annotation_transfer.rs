@@ -51,8 +51,8 @@ fn main() {
         let mut ip = Interpolator::new(IpOrder::Cubic);
         let tr = Transport::new(4, IpOrder::Cubic);
         let traj = Trajectory::compute(&v_subj, 4, &mut ip, &mut comm);
-        let sol = tr.solve_state(&traj, &atlas_mask, false, &mut ip, &mut comm);
-        sol.m.into_iter().next_back().unwrap()
+        let mut sol = tr.solve_state(&traj, &atlas_mask, false, &mut ip, &mut comm);
+        sol.m.pop().unwrap()
     };
 
     // register atlas -> subject
@@ -80,8 +80,8 @@ fn main() {
     let tr = Transport::new(4, IpOrder::Cubic);
     let traj = Trajectory::compute(&v, 4, &mut ip, &mut comm);
     let transferred = {
-        let sol = tr.solve_state(&traj, &atlas_mask, false, &mut ip, &mut comm);
-        sol.m.into_iter().next_back().unwrap()
+        let mut sol = tr.solve_state(&traj, &atlas_mask, false, &mut ip, &mut comm);
+        sol.m.pop().unwrap()
     };
 
     let dice_before = metrics::dice(&atlas_mask, &subject_mask, 0.5, &mut comm);

@@ -1,48 +1,126 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: build, tests, lints, formatting, and a kernel bench
-# smoke-run that refreshes BENCH_kernels.json (per-kernel ns/grid-point at
-# 64³/128³, threads 1 vs. max — see crates/bench/src/bin/bench_kernels.rs).
+# CI gate, organized as named stages with per-stage wall-clock timing.
+#
+#   scripts/ci.sh            full gate: build, tests, lints, formatting,
+#                            bench smoke-runs + perf-regression check
+#                            against results/baselines/, report-schema
+#                            validation, serve load smoke-run
+#   scripts/ci.sh --quick    inner-loop gate: build + tier-1 tests + clippy
+#
+# The perf gate diffs fresh BENCH_kernels.json / BENCH_solver.json against
+# the committed baselines under results/baselines/ with check_bench
+# (>30% ns/grid-point regression on any stable threads==1 row fails; any
+# increase in allocations per GN iteration fails). Missing baselines are
+# seeded from the fresh run — commit them to arm the gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== build =="
-cargo build --release --workspace
-
-echo "== tier-1 tests (root package) =="
-cargo test -q --release
-
-echo "== full workspace tests =="
-cargo test -q --release --workspace
-
-echo "== clippy (deny warnings) =="
-cargo clippy --workspace --all-targets -- -D warnings
-
-echo "== rustfmt check =="
-cargo fmt --all --check
-
-echo "== kernel bench smoke-run =="
-cargo run --release -p claire-bench --bin bench_kernels
-
-echo "== observability smoke-run: quickstart --report =="
-report="$(mktemp -d)/run.json"
-cargo run --release --example quickstart -- 16 --report "$report"
-echo "validating RunReport schema keys in $report"
-for key in label grid nranks nt precond summary scheduling phases gn_trace \
-           kernels comm collectives metrics spans; do
-    grep -q "\"$key\"" "$report" || { echo "RunReport missing key: $key"; exit 1; }
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK=1 ;;
+        *) echo "usage: scripts/ci.sh [--quick]" >&2; exit 2 ;;
+    esac
 done
-grep -q '"name": "solve"' "$report" || { echo "RunReport span tree missing solve root"; exit 1; }
-rm -f "$report"
 
-echo "== serve bench smoke-run: open-loop load + bounded-queue backpressure =="
-serve_json="$(mktemp -d)/BENCH_serve.json"
-cargo run --release -p claire-bench --bin bench_serve -- "$serve_json" --smoke
-echo "validating BENCH_serve schema keys in $serve_json"
-for key in host_threads smoke calibration_run_secs levels overload \
-           workers queue_capacity offered_rate_hz submitted completed rejected \
-           throughput_jobs_per_s p50_ms p95_ms p99_ms accepted; do
-    grep -q "\"$key\"" "$serve_json" || { echo "BENCH_serve missing key: $key"; exit 1; }
+STAGE_NAMES=()
+STAGE_SECS=()
+stage() {
+    local name="$1"; shift
+    echo "== $name =="
+    local t0=$SECONDS
+    "$@"
+    local dt=$((SECONDS - t0))
+    STAGE_NAMES+=("$name")
+    STAGE_SECS+=("$dt")
+    echo "-- $name: ${dt}s"
+}
+
+stage_build() {
+    cargo build --release --workspace
+}
+
+stage_tier1_tests() {
+    cargo test -q --release
+}
+
+stage_workspace_tests() {
+    cargo test -q --release --workspace
+}
+
+stage_clippy() {
+    cargo clippy --workspace --all-targets -- -D warnings
+}
+
+stage_fmt() {
+    cargo fmt --all --check
+}
+
+stage_bench_kernels() {
+    local fresh
+    fresh="$(mktemp -d)/BENCH_kernels.json"
+    cargo run --release -p claire-bench --bin bench_kernels -- "$fresh"
+    cargo run --release -p claire-bench --bin check_bench -- \
+        "$fresh" results/baselines/BENCH_kernels.json
+    cp "$fresh" BENCH_kernels.json   # refresh the repo-root snapshot
+    rm -f "$fresh"
+}
+
+stage_bench_solver() {
+    local fresh
+    fresh="$(mktemp -d)/BENCH_solver.json"
+    cargo run --release -p claire-bench --bin bench_solver -- "$fresh"
+    cargo run --release -p claire-bench --bin check_bench -- \
+        "$fresh" results/baselines/BENCH_solver.json
+    cp "$fresh" BENCH_solver.json    # refresh the repo-root snapshot
+    rm -f "$fresh"
+}
+
+stage_report_schema() {
+    local report
+    report="$(mktemp -d)/run.json"
+    cargo run --release --example quickstart -- 16 --report "$report"
+    echo "validating RunReport schema keys in $report"
+    for key in label grid nranks nt precond summary scheduling phases gn_trace \
+               kernels comm collectives metrics memory spans; do
+        grep -q "\"$key\"" "$report" || { echo "RunReport missing key: $key"; exit 1; }
+    done
+    grep -q '"name": "solve"' "$report" || { echo "RunReport span tree missing solve root"; exit 1; }
+    rm -f "$report"
+}
+
+stage_bench_serve() {
+    local serve_json
+    serve_json="$(mktemp -d)/BENCH_serve.json"
+    cargo run --release -p claire-bench --bin bench_serve -- "$serve_json" --smoke
+    echo "validating BENCH_serve schema keys in $serve_json"
+    for key in host_threads smoke calibration_run_secs levels overload \
+               workers queue_capacity offered_rate_hz submitted completed rejected \
+               throughput_jobs_per_s p50_ms p95_ms p99_ms accepted; do
+        grep -q "\"$key\"" "$serve_json" || { echo "BENCH_serve missing key: $key"; exit 1; }
+    done
+    rm -f "$serve_json"
+}
+
+stage build stage_build
+stage "tier-1 tests (root package)" stage_tier1_tests
+stage "clippy (deny warnings)" stage_clippy
+if [ "$QUICK" -eq 0 ]; then
+    stage "full workspace tests" stage_workspace_tests
+    stage "rustfmt check" stage_fmt
+    stage "kernel bench + perf gate" stage_bench_kernels
+    stage "solver bench + perf gate" stage_bench_solver
+    stage "RunReport schema smoke-run" stage_report_schema
+    stage "serve bench smoke-run" stage_bench_serve
+fi
+
+echo
+echo "stage timings:"
+for i in "${!STAGE_NAMES[@]}"; do
+    printf '  %-32s %4ss\n' "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}"
 done
-rm -f "$serve_json"
-
-echo "CI gate passed."
+if [ "$QUICK" -eq 1 ]; then
+    echo "CI gate passed (--quick: build + tier-1 tests + clippy)."
+else
+    echo "CI gate passed."
+fi

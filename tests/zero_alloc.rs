@@ -1,0 +1,90 @@
+//! Tier-1 allocation-regression gate: a steady-state Gauss–Newton
+//! iteration must perform **zero** heap allocations.
+//!
+//! The solver's hot path draws every work buffer from the claire-grid
+//! workspace pools and every FFT plan from the claire-fft plan cache, so
+//! once the pools are warm (after the first iteration or two) an iteration
+//! is pure checkout/checkin traffic. This test installs a counting global
+//! allocator, runs a warm-up solve to fill pools and plan caches, then
+//! samples the allocation counter at Gauss–Newton iteration boundaries of
+//! a second solve and asserts the late iterations allocate nothing.
+//!
+//! Pinned to 1 thread: claire-par's serial fallback runs kernels inline on
+//! the calling thread (no spawns), which both makes the run deterministic
+//! and keeps scoped-thread bookkeeping out of the counter.
+
+use std::sync::{Arc, Mutex};
+
+use claire::prelude::*;
+use claire_par::alloc_counter::{allocation_count, CountingAlloc};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+fn blob_pair(layout: Layout, shift: Real) -> (ScalarField, ScalarField) {
+    let blob = move |cx: Real| {
+        move |x: Real, y: Real, z: Real| {
+            let d2 = (x - cx).powi(2) + (y - 3.0).powi(2) + (z - 3.0).powi(2);
+            (-d2 / 1.2).exp()
+        }
+    };
+    (ScalarField::from_fn(layout, blob(3.0)), ScalarField::from_fn(layout, blob(3.0 + shift)))
+}
+
+fn config() -> RegistrationConfig {
+    RegistrationConfig {
+        nt: 2,
+        precond: PrecondKind::InvA,
+        continuation: false,
+        grid_continuation: false,
+        beta_target: 1e-2,
+        max_gn_iter: 8,
+        max_pcg_iter: 5,
+        grad_rtol: 1e-14, // never converge early: we want full iterations
+        verbose: false,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn steady_state_gn_iteration_is_allocation_free() {
+    claire::par::set_threads(1);
+    claire::obs::set_enabled(false);
+    let mut comm = Comm::solo();
+    let layout = Layout::serial(Grid::cube(16));
+    let (m0, m1) = blob_pair(layout, 0.5);
+    let cfg = config();
+
+    // Warm-up solve: fills the workspace pools and the FFT plan cache.
+    let _ = Claire::new(cfg).register(&m0, &m1, &mut comm);
+
+    // Measured solve: sample the global allocation counter at every GN
+    // iteration boundary. The sample vector is pre-allocated so our own
+    // bookkeeping cannot disturb the counter.
+    let samples: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::with_capacity(64)));
+    let sink = samples.clone();
+    let hooks = claire::core::SolverHooks {
+        cancel: None,
+        on_gn_iter: Some(Arc::new(move |_| {
+            sink.lock().unwrap().push(allocation_count());
+        })),
+    };
+    let _ = Claire::with_hooks(cfg, hooks).register(&m0, &m1, &mut comm);
+
+    let s = samples.lock().unwrap();
+    assert!(
+        s.len() >= 4,
+        "need several GN iterations to observe a steady state, got {} boundaries",
+        s.len()
+    );
+    // The last boundary fires after the final full iteration; the deltas
+    // between the last three boundaries cover the two last complete
+    // iterations — by then every pool is warm.
+    let deltas: Vec<u64> = s.windows(2).map(|w| w[1] - w[0]).collect();
+    let tail = &deltas[deltas.len() - 2..];
+    assert_eq!(
+        tail,
+        &[0, 0],
+        "steady-state GN iterations must not allocate; per-iteration allocations: {deltas:?}"
+    );
+}
