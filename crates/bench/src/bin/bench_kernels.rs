@@ -1,4 +1,5 @@
-//! Kernel bench smoke-run: per-kernel ns/grid-point, threads 1 vs. 8.
+//! Kernel bench smoke-run: per-kernel ns/grid-point, threads 1 vs. 8,
+//! per SIMD backend.
 //!
 //! Emits `BENCH_kernels.json` in the repo root (or the path given as the
 //! first CLI argument). Measures the three computational kernels of the
@@ -10,6 +11,12 @@
 //! committed baseline, and host-dependent rows would break that diff.
 //! When 8 exceeds the host's concurrency the row is flagged
 //! `oversubscribed` (the parallel path is still exercised).
+//!
+//! Every kernel is measured once per *requested* SIMD backend: `scalar`
+//! (the portable reference loops) and `auto` (runtime feature detection —
+//! AVX2+FMA where the host has it). Rows are tagged with the requested
+//! name, not the resolved one, so the row keys stay host-independent; the
+//! scalar pass only emits the stable threads==1 rows that gate CI.
 
 use std::time::Instant;
 
@@ -26,6 +33,7 @@ struct BenchRow {
     kernel: String,
     n: usize,
     threads: usize,
+    backend: String,
     oversubscribed: bool,
     reps: usize,
     total_ms: f64,
@@ -54,6 +62,11 @@ fn test_field(n: usize) -> ScalarField {
 }
 
 /// Time `reps` runs of `f` and convert to a result row.
+///
+/// Reports the fastest of three timed batches: the minimum is far less
+/// sensitive to scheduler noise than a single batch, which matters because
+/// check_bench gates these rows at a 30% threshold and the sub-ns/pt
+/// kernels (axpy) finish in ~100µs per batch.
 fn measure(
     kernel: &str,
     n: usize,
@@ -63,16 +76,20 @@ fn measure(
     mut f: impl FnMut(),
 ) -> BenchRow {
     f(); // warm-up (first-touch, plan setup inside closures is hoisted out)
-    let t0 = Instant::now();
-    for _ in 0..reps {
-        f();
+    let mut total = std::time::Duration::MAX;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        total = total.min(t0.elapsed());
     }
-    let total = t0.elapsed();
     let points = (n * n * n * reps) as f64;
     BenchRow {
         kernel: kernel.to_string(),
         n,
         threads,
+        backend: String::new(), // filled in by bench_at
         oversubscribed,
         reps,
         total_ms: total.as_secs_f64() * 1e3,
@@ -80,7 +97,17 @@ fn measure(
     }
 }
 
-fn bench_at(n: usize, threads: usize, oversubscribed: bool, out: &mut Vec<BenchRow>) {
+fn bench_at(
+    n: usize,
+    threads: usize,
+    oversubscribed: bool,
+    backend: &str,
+    out: &mut Vec<BenchRow>,
+) {
+    let mut push = |mut r: BenchRow| {
+        r.backend = backend.to_string();
+        out.push(r);
+    };
     set_threads(threads);
     let reps = if n >= 128 { 2 } else { 5 };
     let f = test_field(n);
@@ -91,7 +118,7 @@ fn bench_at(n: usize, threads: usize, oversubscribed: bool, out: &mut Vec<BenchR
         let mut comm = Comm::solo();
         let mut g = VectorField::zeros(*f.layout());
         let mut scratch = FdScratch::new();
-        out.push(measure("fd_gradient", n, threads, oversubscribed, reps, || {
+        push(measure("fd_gradient", n, threads, oversubscribed, reps, || {
             fd::gradient_into(&f, &mut comm, &mut g, &mut scratch);
         }));
     }
@@ -101,7 +128,7 @@ fn bench_at(n: usize, threads: usize, oversubscribed: bool, out: &mut Vec<BenchR
         let plan = Fft3::new(grid);
         let mut spec = vec![Cpx::ZERO; plan.spectral_len()];
         let mut back = vec![0.0 as Real; grid.len()];
-        out.push(measure("fft_roundtrip", n, threads, oversubscribed, reps, || {
+        push(measure("fft_roundtrip", n, threads, oversubscribed, reps, || {
             plan.forward(f.data(), &mut spec);
             plan.inverse(&mut spec, &mut back);
         }));
@@ -116,7 +143,7 @@ fn bench_at(n: usize, threads: usize, oversubscribed: bool, out: &mut Vec<BenchR
             .collect();
         let mut comm = Comm::solo();
         let mut ip = Interpolator::new(IpOrder::Cubic);
-        out.push(measure("interp_cubic", n, threads, oversubscribed, reps, || {
+        push(measure("interp_cubic", n, threads, oversubscribed, reps, || {
             std::hint::black_box(ip.interp(&f, &queries, &mut comm));
         }));
     }
@@ -125,7 +152,7 @@ fn bench_at(n: usize, threads: usize, oversubscribed: bool, out: &mut Vec<BenchR
     {
         let g = test_field(n);
         let mut a = f.clone();
-        out.push(measure("axpy", n, threads, oversubscribed, reps * 4, || {
+        push(measure("axpy", n, threads, oversubscribed, reps * 4, || {
             a.axpy(1.0000001, &g);
         }));
     }
@@ -147,7 +174,7 @@ fn bench_at(n: usize, threads: usize, oversubscribed: bool, out: &mut Vec<BenchR
         })
         .outputs
         .remove(0);
-        out.push(row);
+        push(row);
     }
 }
 
@@ -164,12 +191,23 @@ fn main() {
 
     timing::reset();
     let mut results = Vec::new();
-    for n in [64usize, 128] {
-        for &(threads, over) in &configs {
-            eprintln!("bench: {n}^3 with {threads} thread(s)...");
-            bench_at(n, threads, over, &mut results);
+    for (choice, backend) in
+        [(claire_simd::Choice::Scalar, "scalar"), (claire_simd::Choice::Auto, "auto")]
+    {
+        claire_simd::force_backend(Some(choice));
+        for n in [64usize, 128] {
+            for &(threads, over) in &configs {
+                // the scalar pass exists to gate the vectorized speedup; only
+                // its stable threads==1 rows are comparable, so skip the rest
+                if backend == "scalar" && threads != 1 {
+                    continue;
+                }
+                eprintln!("bench: {n}^3 with {threads} thread(s), backend={backend}...");
+                bench_at(n, threads, over, backend, &mut results);
+            }
         }
     }
+    claire_simd::force_backend(None); // back to env-based resolution
     set_threads(0); // restore default resolution
 
     let counters = timing::snapshot()

@@ -9,7 +9,7 @@
 //!
 //! Configuration is pinned for cross-host comparability: 1 thread
 //! (claire-par serial fallback), 32³ and 48³ grids, nt = 2, InvA, no
-//! continuation. A warm-up solve fills the pools and plan caches before
+//! continuation, once per requested SIMD backend (`scalar` and `auto`). A warm-up solve fills the pools and plan caches before
 //! the measured solve, so the reported rows describe the steady state.
 
 use std::sync::{Arc, Mutex};
@@ -30,6 +30,7 @@ struct SolverRow {
     kernel: String,
     n: usize,
     threads: usize,
+    backend: String,
     nt: usize,
     gn_iters: usize,
     /// Mean wall-clock ns per grid point per steady-state GN iteration
@@ -57,7 +58,7 @@ fn blob_pair(layout: Layout, shift: Real) -> (ScalarField, ScalarField) {
     (ScalarField::from_fn(layout, blob(3.0)), ScalarField::from_fn(layout, blob(3.0 + shift)))
 }
 
-fn bench_grid(n: usize) -> SolverRow {
+fn bench_grid(n: usize, backend: &str) -> SolverRow {
     let nt = 2;
     let cfg = RegistrationConfig {
         nt,
@@ -107,6 +108,7 @@ fn bench_grid(n: usize) -> SolverRow {
         kernel: "gn_iteration".to_string(),
         n,
         threads: 1,
+        backend: backend.to_string(),
         nt,
         gn_iters: report.gn_iters,
         ns_per_point,
@@ -120,15 +122,21 @@ fn main() {
     set_threads(1); // pinned: serial fallback, deterministic row set
 
     let mut results = Vec::new();
-    for n in [32usize, 48] {
-        eprintln!("bench_solver: {n}^3, 1 thread...");
-        let row = bench_grid(n);
-        eprintln!(
-            "bench_solver:   {:.1} ns/pt per GN iter, {} alloc(s)/iter over {} iters",
-            row.ns_per_point, row.allocs_per_iter, row.gn_iters
-        );
-        results.push(row);
+    for (choice, backend) in
+        [(claire_simd::Choice::Scalar, "scalar"), (claire_simd::Choice::Auto, "auto")]
+    {
+        claire_simd::force_backend(Some(choice));
+        for n in [32usize, 48] {
+            eprintln!("bench_solver: {n}^3, 1 thread, backend={backend}...");
+            let row = bench_grid(n, backend);
+            eprintln!(
+                "bench_solver:   {:.1} ns/pt per GN iter, {} alloc(s)/iter over {} iters",
+                row.ns_per_point, row.allocs_per_iter, row.gn_iters
+            );
+            results.push(row);
+        }
     }
+    claire_simd::force_backend(None); // back to env-based resolution
     set_threads(0); // restore default resolution
 
     let report = Report { threads: 1, results };

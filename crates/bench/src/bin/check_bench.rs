@@ -6,8 +6,9 @@
 //! ```
 //!
 //! Works on any report with a `results` array of rows keyed by
-//! `(kernel, n, threads)` carrying `ns_per_point` — i.e. both
-//! `BENCH_kernels.json` and `BENCH_solver.json`. Only `threads == 1` rows
+//! `(kernel, n, threads, backend)` carrying `ns_per_point` — i.e. both
+//! `BENCH_kernels.json` and `BENCH_solver.json`. Rows without a `backend`
+//! field (pre-SIMD baselines) match rows with an empty one. Only `threads == 1` rows
 //! are compared: they are the stable ones (multi-thread rows measure
 //! scheduler noise as much as code). A row regresses when its fresh
 //! `ns_per_point` exceeds baseline by more than the threshold (default
@@ -24,8 +25,20 @@ struct Row {
     kernel: String,
     n: u64,
     threads: u64,
+    backend: String,
     ns_per_point: f64,
     allocs_per_iter: Option<u64>,
+}
+
+/// One comparison outcome, kept for the failure delta table.
+struct Delta {
+    kernel: String,
+    n: u64,
+    backend: String,
+    base: f64,
+    fresh: Option<f64>,
+    delta: f64,
+    status: &'static str,
 }
 
 fn get<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
@@ -69,6 +82,10 @@ fn load_rows(path: &str) -> Vec<Row> {
                 },
                 n: as_u64(get(r, "n")?)?,
                 threads: as_u64(get(r, "threads")?)?,
+                backend: match get(r, "backend") {
+                    Some(Value::Str(s)) => s.clone(),
+                    _ => String::new(), // pre-SIMD reports carry no backend
+                },
                 ns_per_point: as_f64(get(r, "ns_per_point")?)?,
                 allocs_per_iter: get(r, "allocs_per_iter").and_then(as_u64),
             })
@@ -109,18 +126,28 @@ fn main() {
     let baseline = load_rows(baseline_path);
 
     println!(
-        "{:<24} {:>5} {:>12} {:>12} {:>8}  status",
-        "kernel", "n", "base ns/pt", "fresh ns/pt", "delta"
+        "{:<24} {:>5} {:<8} {:>12} {:>12} {:>8}  status",
+        "kernel", "n", "backend", "base ns/pt", "fresh ns/pt", "delta"
     );
-    let mut regressions = 0usize;
+    let mut deltas: Vec<Delta> = Vec::new();
     let mut compared = 0usize;
     for b in &baseline {
-        let Some(f) = fresh.iter().find(|f| f.kernel == b.kernel && f.n == b.n) else {
+        let Some(f) =
+            fresh.iter().find(|f| f.kernel == b.kernel && f.n == b.n && f.backend == b.backend)
+        else {
             println!(
-                "{:<24} {:>5} {:>12.1} {:>12} {:>8}  MISSING",
-                b.kernel, b.n, b.ns_per_point, "-", "-"
+                "{:<24} {:>5} {:<8} {:>12.1} {:>12} {:>8}  MISSING",
+                b.kernel, b.n, b.backend, b.ns_per_point, "-", "-"
             );
-            regressions += 1;
+            deltas.push(Delta {
+                kernel: b.kernel.clone(),
+                n: b.n,
+                backend: b.backend.clone(),
+                base: b.ns_per_point,
+                fresh: None,
+                delta: 0.0,
+                status: "MISSING",
+            });
             continue;
         };
         compared += 1;
@@ -131,18 +158,37 @@ fn main() {
                 status = "ALLOC-REGRESSED";
             }
         }
-        if status != "ok" {
-            regressions += 1;
-        }
         println!(
-            "{:<24} {:>5} {:>12.1} {:>12.1} {:>7.1}%  {}",
+            "{:<24} {:>5} {:<8} {:>12.1} {:>12.1} {:>7.1}%  {}",
             b.kernel,
             b.n,
+            b.backend,
             b.ns_per_point,
             f.ns_per_point,
             delta * 100.0,
             status
         );
+        deltas.push(Delta {
+            kernel: b.kernel.clone(),
+            n: b.n,
+            backend: b.backend.clone(),
+            base: b.ns_per_point,
+            fresh: Some(f.ns_per_point),
+            delta,
+            status,
+        });
+    }
+    // rows the fresh run emits that the baseline lacks are informational —
+    // committing a refreshed baseline arms the gate for them
+    for f in &fresh {
+        let known =
+            baseline.iter().any(|b| b.kernel == f.kernel && b.n == f.n && b.backend == f.backend);
+        if !known {
+            println!(
+                "{:<24} {:>5} {:<8} {:>12} {:>12.1} {:>8}  NEW (not gated)",
+                f.kernel, f.n, f.backend, "-", f.ns_per_point, "-"
+            );
+        }
     }
     if compared == 0 {
         eprintln!(
@@ -150,9 +196,35 @@ fn main() {
         );
         std::process::exit(1);
     }
-    if regressions > 0 {
+    let offending: Vec<&Delta> = deltas.iter().filter(|d| d.status != "ok").collect();
+    if !offending.is_empty() {
+        eprintln!();
+        eprintln!("check_bench: offending rows (threshold {:.0}%):", threshold * 100.0);
         eprintln!(
-            "check_bench: {regressions} row(s) regressed beyond {:.0}% vs {baseline_path}",
+            "  {:<24} {:>5} {:<8} {:>12} {:>12} {:>8}  status",
+            "kernel", "n", "backend", "base ns/pt", "fresh ns/pt", "delta"
+        );
+        for d in &offending {
+            match d.fresh {
+                Some(fr) => eprintln!(
+                    "  {:<24} {:>5} {:<8} {:>12.1} {:>12.1} {:>7.1}%  {}",
+                    d.kernel,
+                    d.n,
+                    d.backend,
+                    d.base,
+                    fr,
+                    d.delta * 100.0,
+                    d.status
+                ),
+                None => eprintln!(
+                    "  {:<24} {:>5} {:<8} {:>12.1} {:>12} {:>8}  {}",
+                    d.kernel, d.n, d.backend, d.base, "-", "-", d.status
+                ),
+            }
+        }
+        eprintln!(
+            "check_bench: {} row(s) regressed beyond {:.0}% vs {baseline_path}",
+            offending.len(),
             threshold * 100.0
         );
         std::process::exit(1);

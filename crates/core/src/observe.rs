@@ -50,6 +50,7 @@ pub fn collect_run_report(label: &str, report: &RegistrationReport, comm: &Comm)
     run.nranks = report.nranks;
     run.nt = report.nt;
     run.precond = report.pc.clone();
+    run.backend = claire_simd::active_backend().label().to_string();
 
     run.summary = RunSummary {
         gn_iters: report.gn_iters,

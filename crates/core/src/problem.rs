@@ -37,7 +37,8 @@ pub struct RegProblem {
 
 impl RegProblem {
     /// Build the problem. Collective (plans FFTs, computes `∇m0`). Returns
-    /// a typed error when the template and reference layouts differ.
+    /// a typed error when the template and reference layouts differ or the
+    /// grid dimensions are unusable for the spectral/stencil machinery.
     pub fn new(
         m0: ScalarField,
         m1: ScalarField,
@@ -55,6 +56,7 @@ impl RegProblem {
                 ),
             });
         }
+        validate_grid(layout.grid)?;
         let spectral = Spectral::new(layout.grid, comm);
         let pc = PrecondState::new(&cfg, &m0, comm);
         Ok(RegProblem {
@@ -122,6 +124,33 @@ impl RegProblem {
         den.axpy(-1.0, &self.m1);
         num.norm_l2(comm) / den.norm_l2(comm).max(f64::MIN_POSITIVE)
     }
+}
+
+/// Validate grid dimensions up front so misconfigured problems fail with a
+/// typed error at construction instead of a panic deep inside the FFT plan
+/// cache (real transform needs even `n3`) or the ghost exchange (the
+/// 8th-order stencil needs a width-4 halo to fit in `n1`).
+fn validate_grid(grid: claire_grid::Grid) -> ClaireResult<()> {
+    let [n1, n2, n3] = grid.n;
+    if n3 < 2 || !n3.is_multiple_of(2) {
+        return Err(ClaireError::Config {
+            param: "grid",
+            message: format!(
+                "innermost dimension n3 must be even and >= 2 for the real FFT, got {n3} \
+                 (grid {n1}x{n2}x{n3})"
+            ),
+        });
+    }
+    if n1 < claire_diff::fd::FD8_WIDTH {
+        return Err(ClaireError::Config {
+            param: "grid",
+            message: format!(
+                "n1 must be >= {} for the 8th-order stencil halo, got {n1} (grid {n1}x{n2}x{n3})",
+                claire_diff::fd::FD8_WIDTH
+            ),
+        });
+    }
+    Ok(())
 }
 
 /// `∫ λ(t) ∇m(t) dt` by trapezoidal quadrature over the stored series.
@@ -332,6 +361,35 @@ mod tests {
             let xhx = x.inner(&hx, &mut comm);
             assert!(xhx > 0.0, "curvature must be positive: {xhx}");
         }
+    }
+
+    #[test]
+    fn unusable_grid_dims_are_typed_errors() {
+        let mut comm = Comm::solo();
+        // odd innermost dimension: the real FFT along x3 cannot be planned
+        let layout = Layout::serial(Grid::new([8, 8, 7]));
+        let m0 = ScalarField::zeros(layout);
+        let m1 = ScalarField::zeros(layout);
+        let err = match RegProblem::new(m0, m1, RegistrationConfig::default(), &mut comm) {
+            Ok(_) => panic!("odd n3 must be rejected up front"),
+            Err(e) => e,
+        };
+        match err {
+            ClaireError::Config { param, message } => {
+                assert_eq!(param, "grid");
+                assert!(message.contains("even"), "message: {message}");
+            }
+            other => panic!("expected Config error, got {other:?}"),
+        }
+        // too-thin x1 extent: the FD8 halo does not fit
+        let layout = Layout::serial(Grid::new([2, 8, 8]));
+        let m0 = ScalarField::zeros(layout);
+        let m1 = ScalarField::zeros(layout);
+        let err = match RegProblem::new(m0, m1, RegistrationConfig::default(), &mut comm) {
+            Ok(_) => panic!("thin n1 must be rejected up front"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, ClaireError::Config { param: "grid", .. }), "got {err:?}");
     }
 
     #[test]

@@ -15,6 +15,15 @@
 //! `ghost_comm` phase, not kernel compute. Hot loops should hold an
 //! [`FdScratch`] and call [`deriv_into`]/[`gradient_into`] to avoid
 //! reallocating the ghost halo and output fields on every application.
+//!
+//! Within a worker, every sweep is expressed as contiguous-x3-row combines
+//! on the runtime-dispatched SIMD layer (`claire_simd::fd8_combine`): the
+//! x1 sweep reads 8 neighbouring ghost-storage rows, the x2 sweep 8
+//! periodic neighbour rows, and the x3 sweep vectorizes its interior with
+//! shifted views of the row, keeping only the 4-point wrap at each end on
+//! the scalar path.
+
+use std::cell::RefCell;
 
 use claire_grid::ghost::{self, GhostField};
 use claire_grid::{Real, ScalarField, VectorField};
@@ -54,13 +63,29 @@ impl FdScratch {
     }
 }
 
+// The convenience wrappers (`deriv`, `gradient`, `divergence`) share one
+// thread-local scratch so repeated calls reuse the ghost halo and temporary
+// field instead of re-allocating them — the non-`_into` API no longer
+// breaks the zero-alloc story when used from examples or tests.
+thread_local! {
+    static WRAPPER_SCRATCH: RefCell<FdScratch> = RefCell::new(FdScratch::new());
+}
+
+fn with_wrapper_scratch<R>(f: impl FnOnce(&mut FdScratch) -> R) -> R {
+    WRAPPER_SCRATCH.with(|s| match s.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        // re-entrant call (defensive): fall back to a fresh scratch
+        Err(_) => f(&mut FdScratch::new()),
+    })
+}
+
 /// Partial derivative `∂f/∂x_dim` (dim ∈ {0,1,2}); collective over `comm`
-/// when `dim == 0` (ghost exchange), local otherwise. Allocates the output
-/// (and halo); hot loops should use [`deriv_into`] with a scratch instead.
+/// when `dim == 0` (ghost exchange), local otherwise. Allocates the output;
+/// the halo comes from a pooled thread-local scratch. Hot loops should
+/// still use [`deriv_into`] with their own scratch.
 pub fn deriv(f: &ScalarField, dim: usize, comm: &mut Comm) -> ScalarField {
     let mut out = ScalarField::zeros(*f.layout());
-    let mut scratch = FdScratch::new();
-    deriv_into(f, dim, comm, &mut out, &mut scratch);
+    with_wrapper_scratch(|scratch| deriv_into(f, dim, comm, &mut out, scratch));
     out
 }
 
@@ -85,21 +110,23 @@ pub fn deriv_into(
         0 => {
             let gf = scratch.ghost_for(f);
             ghost::exchange_into(f, comm, gf);
-            let gf = &*gf;
+            let gd = gf.data();
             timing::time(Kernel::Fd, || {
+                // rows (fixed storage plane, fixed j) are contiguous in x3,
+                // so each output row is one vectorized 8-row combine
                 par_chunks_mut(out.data_mut(), plane, |il, o| {
-                    let il = il as isize;
-                    let mut idx = 0;
+                    let sp = il + FD8_WIDTH; // storage plane of owned plane il
                     for j in 0..n2 {
-                        for k in 0..n3 {
-                            let mut acc = 0.0 as Real;
-                            for (m, &c) in FD8.iter().enumerate() {
-                                let d = (m + 1) as isize;
-                                acc += c * (gf.at(il + d, j, k) - gf.at(il - d, j, k));
-                            }
-                            o[idx] = acc * inv_h;
-                            idx += 1;
-                        }
+                        let row = |p: usize| &gd[(p * n2 + j) * n3..(p * n2 + j) * n3 + n3];
+                        let plus = [row(sp + 1), row(sp + 2), row(sp + 3), row(sp + 4)];
+                        let minus = [row(sp - 1), row(sp - 2), row(sp - 3), row(sp - 4)];
+                        claire_simd::fd8_combine(
+                            &mut o[j * n3..(j + 1) * n3],
+                            &plus,
+                            &minus,
+                            &FD8,
+                            inv_h,
+                        );
                     }
                 });
             });
@@ -117,14 +144,15 @@ pub fn deriv_into(
                             rows_p[m] = (il * n2 + (j + d) % n2) * n3;
                             rows_m[m] = (il * n2 + (j + n2 - d) % n2) * n3;
                         }
-                        let base = j * n3;
-                        for k in 0..n3 {
-                            let mut acc = 0.0 as Real;
-                            for (m, &c) in FD8.iter().enumerate() {
-                                acc += c * (src[rows_p[m] + k] - src[rows_m[m] + k]);
-                            }
-                            o[base + k] = acc * inv_h;
-                        }
+                        let plus = std::array::from_fn(|m| &src[rows_p[m]..rows_p[m] + n3]);
+                        let minus = std::array::from_fn(|m| &src[rows_m[m]..rows_m[m] + n3]);
+                        claire_simd::fd8_combine(
+                            &mut o[j * n3..(j + 1) * n3],
+                            &plus,
+                            &minus,
+                            &FD8,
+                            inv_h,
+                        );
                     }
                 });
             });
@@ -133,16 +161,35 @@ pub fn deriv_into(
             let src = f.data();
             timing::time(Kernel::Fd, || {
                 par_chunks_mut(out.data_mut(), n3, |row, o| {
-                    let base = row * n3;
-                    for (k, ov) in o.iter_mut().enumerate() {
-                        let mut acc = 0.0 as Real;
-                        for (m, &c) in FD8.iter().enumerate() {
-                            let d = m + 1;
-                            let kp = (k + d) % n3;
-                            let km = (k + n3 - d % n3) % n3;
-                            acc += c * (src[base + kp] - src[base + km]);
+                    let sr = &src[row * n3..(row + 1) * n3];
+                    let wrap = |o: &mut [Real], ks: std::ops::Range<usize>| {
+                        for k in ks {
+                            let mut acc = 0.0 as Real;
+                            for (m, &c) in FD8.iter().enumerate() {
+                                let d = m + 1;
+                                let kp = (k + d) % n3;
+                                let km = (k + n3 - d % n3) % n3;
+                                acc += c * (sr[kp] - sr[km]);
+                            }
+                            o[k] = acc * inv_h;
                         }
-                        *ov = acc * inv_h;
+                    };
+                    if n3 >= 2 * FD8_WIDTH {
+                        // periodic wrap only touches 4 points per end; the
+                        // interior reads contiguous shifted views of the row
+                        wrap(o, 0..FD8_WIDTH);
+                        wrap(o, n3 - FD8_WIDTH..n3);
+                        let plus = [&sr[5..], &sr[6..], &sr[7..], &sr[8..]];
+                        let minus = [&sr[3..], &sr[2..], &sr[1..], &sr[0..]];
+                        claire_simd::fd8_combine(
+                            &mut o[FD8_WIDTH..n3 - FD8_WIDTH],
+                            &plus,
+                            &minus,
+                            &FD8,
+                            inv_h,
+                        );
+                    } else {
+                        wrap(o, 0..n3);
                     }
                 });
             });
@@ -154,12 +201,11 @@ pub fn deriv_into(
     comm.advance_kernel(words * std::mem::size_of::<Real>(), 20 * layout.local_len());
 }
 
-/// Gradient `∇f` via three 8th-order derivatives. Collective. Allocating
-/// wrapper over [`gradient_into`].
+/// Gradient `∇f` via three 8th-order derivatives. Collective. Wrapper over
+/// [`gradient_into`] using the pooled thread-local scratch.
 pub fn gradient(f: &ScalarField, comm: &mut Comm) -> VectorField {
     let mut out = VectorField::zeros(*f.layout());
-    let mut scratch = FdScratch::new();
-    gradient_into(f, comm, &mut out, &mut scratch);
+    with_wrapper_scratch(|scratch| gradient_into(f, comm, &mut out, scratch));
     out
 }
 
@@ -176,12 +222,11 @@ pub fn gradient_into(
     }
 }
 
-/// Divergence `∇·v` via three 8th-order derivatives. Collective. Allocating
-/// wrapper over [`divergence_into`].
+/// Divergence `∇·v` via three 8th-order derivatives. Collective. Wrapper
+/// over [`divergence_into`] using the pooled thread-local scratch.
 pub fn divergence(v: &VectorField, comm: &mut Comm) -> ScalarField {
     let mut out = ScalarField::zeros(*v.layout());
-    let mut scratch = FdScratch::new();
-    divergence_into(v, comm, &mut out, &mut scratch);
+    with_wrapper_scratch(|scratch| divergence_into(v, comm, &mut out, scratch));
     out
 }
 
@@ -330,6 +375,23 @@ mod tests {
         let div = divergence(&v, &mut comm);
         let m = div.max_abs(&mut comm);
         assert!(m < 1e-10, "divergence should vanish: {m}");
+    }
+
+    #[test]
+    fn wrapper_reuses_pooled_scratch() {
+        let layout = Layout::serial(Grid::cube(16));
+        let mut comm = Comm::solo();
+        let f = ScalarField::from_fn(layout, |x, y, _| x.sin() + y.cos());
+        let halo_ptr = || {
+            WRAPPER_SCRATCH.with(|s| s.borrow().ghost.as_ref().map(|g| g.data().as_ptr() as usize))
+        };
+        // warm up this thread's wrapper scratch, then check the halo buffer
+        // is held (not re-allocated) across subsequent wrapper calls
+        let _ = deriv(&f, 0, &mut comm);
+        let p1 = halo_ptr().expect("wrapper scratch should hold a halo after deriv");
+        let _ = gradient(&f, &mut comm);
+        let p2 = halo_ptr().expect("wrapper scratch should hold a halo after gradient");
+        assert_eq!(p1, p2, "wrappers must reuse the thread-local halo buffer");
     }
 
     #[test]

@@ -72,6 +72,22 @@ impl Cpx {
     }
 }
 
+/// Reinterpret a complex slice as interleaved `[re, im, re, im, …]` reals —
+/// the layout the `claire-simd` complex kernels operate on.
+#[inline]
+pub fn as_real(z: &[Cpx]) -> &[Real] {
+    // SAFETY: Cpx is repr(C) { re: Real, im: Real } — no padding, same
+    // alignment as Real — so a slice of n Cpx is exactly 2n Reals.
+    unsafe { std::slice::from_raw_parts(z.as_ptr() as *const Real, z.len() * 2) }
+}
+
+/// Mutable variant of [`as_real`].
+#[inline]
+pub fn as_real_mut(z: &mut [Cpx]) -> &mut [Real] {
+    // SAFETY: see `as_real`.
+    unsafe { std::slice::from_raw_parts_mut(z.as_mut_ptr() as *mut Real, z.len() * 2) }
+}
+
 impl std::ops::Add for Cpx {
     type Output = Cpx;
     #[inline]

@@ -2,7 +2,7 @@
 
 use claire_grid::{ClaireError, ClaireResult, Real};
 
-use crate::complex::Cpx;
+use crate::complex::{as_real, as_real_mut, Cpx};
 use crate::factor::{is_smooth, next_pow2, smallest_prime_factor};
 
 /// A planned 1D complex FFT of fixed length.
@@ -118,31 +118,25 @@ impl Fft1d {
             Kind::Bluestein { chirp, inner, kernel_hat, m } => {
                 let (a, inner_scratch) = scratch.split_at_mut(*m);
                 a.fill(Cpx::ZERO);
-                for j in 0..self.n {
-                    a[j] = data[j] * chirp[j];
-                }
+                claire_simd::cpx_mul_into(
+                    as_real_mut(&mut a[..self.n]),
+                    as_real(data),
+                    as_real(chirp),
+                );
                 inner.forward(a, inner_scratch);
-                for (ai, &ki) in a.iter_mut().zip(kernel_hat.iter()) {
-                    *ai *= ki;
-                }
+                claire_simd::cpx_mul(as_real_mut(a), as_real(kernel_hat));
                 inner.inverse(a, inner_scratch);
-                for k in 0..self.n {
-                    data[k] = a[k] * chirp[k];
-                }
+                claire_simd::cpx_mul_into(as_real_mut(data), as_real(&a[..self.n]), as_real(chirp));
             }
         }
     }
 
     /// In-place inverse DFT including the `1/n` normalization.
     pub fn inverse(&self, data: &mut [Cpx], scratch: &mut [Cpx]) {
-        for z in data.iter_mut() {
-            *z = z.conj();
-        }
+        claire_simd::cpx_conj(as_real_mut(data));
         self.forward(data, scratch);
         let s = 1.0 as Real / self.n as Real;
-        for z in data.iter_mut() {
-            *z = z.conj().scale(s);
-        }
+        claire_simd::cpx_conj_scale(as_real_mut(data), s);
     }
 }
 
@@ -164,6 +158,15 @@ fn fft_rec(inp: &[Cpx], s: usize, out: &mut [Cpx], n: usize, ws: usize, tw: &[Cp
     }
     // combine r sub-DFTs: X[p·m + k] = Σ_q w^{q(k+pm)} · Sub_q[k]
     let nn = tw.len();
+    if r == 2 {
+        // Radix-2 butterfly, the hot combine of power-of-two lengths. Uses
+        // the half-period symmetry w^{k+m} = −w^k, so only the first half
+        // of the twiddle table is read and the whole pass runs as one SIMD
+        // kernel over interleaved re/im pairs.
+        let (lo, hi) = out.split_at_mut(m);
+        claire_simd::cpx_radix2_combine(as_real_mut(lo), as_real_mut(hi), as_real(tw), ws);
+        return;
+    }
     let mut temp = [Cpx::ZERO; 8];
     debug_assert!(r <= 8, "smooth radix should be 2, 3, or 5");
     for k in 0..m {

@@ -6,9 +6,9 @@
 //! Implemented with the standard trick of packing the even/odd samples into
 //! a complex sequence of half the length.
 
-use claire_grid::Real;
+use claire_grid::{ClaireError, ClaireResult, Real};
 
-use crate::complex::Cpx;
+use crate::complex::{as_real, as_real_mut, Cpx};
 use crate::plan::Fft1d;
 
 /// Planned real↔half-complex transform of even length `n`.
@@ -20,16 +20,28 @@ pub struct RealFft1d {
 }
 
 impl RealFft1d {
-    /// Plan a real transform; `n` must be even and ≥ 2.
+    /// Plan a real transform; `n` must be even and ≥ 2. Panicking
+    /// convenience wrapper around [`RealFft1d::try_new`].
     pub fn new(n: usize) -> RealFft1d {
-        assert!(n >= 2 && n.is_multiple_of(2), "real FFT needs even n >= 2, got {n}");
+        RealFft1d::try_new(n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Plan a real transform, rejecting odd or tiny lengths with a typed
+    /// error instead of a panic deep inside the plan cache.
+    pub fn try_new(n: usize) -> ClaireResult<RealFft1d> {
+        if n < 2 || !n.is_multiple_of(2) {
+            return Err(ClaireError::Config {
+                param: "n",
+                message: format!("real FFT needs even n >= 2, got {n}"),
+            });
+        }
         let w = (0..=n / 2)
             .map(|k| {
                 let theta = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
                 Cpx::new(theta.cos() as Real, theta.sin() as Real)
             })
             .collect();
-        RealFft1d { n, half: Fft1d::new(n / 2), w }
+        Ok(RealFft1d { n, half: Fft1d::try_new(n / 2)?, w })
     }
 
     /// Real length `n`.
@@ -59,9 +71,9 @@ impl RealFft1d {
         assert_eq!(out.len(), m + 1);
         assert!(scratch.len() >= self.scratch_len());
         let (z, inner_scratch) = scratch.split_at_mut(m);
-        for j in 0..m {
-            z[j] = Cpx::new(input[2 * j], input[2 * j + 1]);
-        }
+        // pack even/odd samples into z[j] = (input[2j], input[2j+1]) — a
+        // pure reinterpretation of the interleaved storage, so memcpy
+        as_real_mut(z).copy_from_slice(input);
         self.half.forward(z, inner_scratch);
         for k in 0..=m {
             // indices wrap with period m: z[m] := z[0]
@@ -90,10 +102,8 @@ impl RealFft1d {
             *zk = e + o.mul_i();
         }
         self.half.inverse(z, inner_scratch);
-        for j in 0..m {
-            out[2 * j] = z[j].re;
-            out[2 * j + 1] = z[j].im;
-        }
+        // unpack (z[j].re, z[j].im) -> (out[2j], out[2j+1]): memcpy again
+        out.copy_from_slice(as_real(z));
     }
 }
 

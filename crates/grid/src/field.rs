@@ -1,4 +1,10 @@
 //! Scalar and vector fields on (possibly distributed) periodic grids.
+//!
+//! Element-wise ops and reductions run on the runtime-dispatched SIMD
+//! layer (`claire-simd`): each `claire-par` worker applies the vectorized
+//! kernel to its fixed-size chunk, so thread-level and data-level
+//! parallelism compose and block boundaries (hence reduction order) stay
+//! independent of both thread count and backend.
 
 // Reductions accumulate in f64 even when `Real = f32` (the `single`
 // feature); the casts are load-bearing there, so the lint is off.
@@ -21,7 +27,7 @@ const ELEM_CHUNK: usize = SUM_BLOCK;
 /// (same contract as [`par_sum_blocks`]; max is reorder-safe anyway, but
 /// keeping every reduction deterministic keeps the equivalence tests exact).
 fn par_max_abs(d: &[Real]) -> f64 {
-    par_max_blocks(d.len(), |r| d[r].iter().fold(0.0f64, |m, &x| m.max((x as f64).abs()))).max(0.0)
+    par_max_blocks(d.len(), |r| claire_simd::max_abs(&d[r])).max(0.0)
 }
 
 /// A scalar field: this rank's slab of samples of a function on Ω.
@@ -111,11 +117,7 @@ impl ScalarField {
     /// `self *= a`.
     pub fn scale(&mut self, a: Real) {
         timing::time(Kernel::FieldOps, || {
-            par_chunks_mut(&mut self.data, ELEM_CHUNK, |_, c| {
-                for x in c {
-                    *x *= a;
-                }
-            })
+            par_chunks_mut(&mut self.data, ELEM_CHUNK, |_, c| claire_simd::scale(a, c))
         });
     }
 
@@ -126,9 +128,7 @@ impl ScalarField {
         timing::time(Kernel::FieldOps, || {
             par_chunks_mut(&mut self.data, ELEM_CHUNK, |ci, c| {
                 let base = ci * ELEM_CHUNK;
-                for (i, s) in c.iter_mut().enumerate() {
-                    *s += a * xd[base + i];
-                }
+                claire_simd::axpy(a, &xd[base..base + c.len()], c);
             })
         });
     }
@@ -140,9 +140,7 @@ impl ScalarField {
         timing::time(Kernel::FieldOps, || {
             par_chunks_mut(&mut self.data, ELEM_CHUNK, |ci, c| {
                 let base = ci * ELEM_CHUNK;
-                for (i, s) in c.iter_mut().enumerate() {
-                    *s = a * *s + xd[base + i];
-                }
+                claire_simd::aypx(a, &xd[base..base + c.len()], c);
             })
         });
     }
@@ -173,9 +171,12 @@ impl ScalarField {
         timing::time(Kernel::FieldOps, || {
             par_chunks_mut(&mut self.data, ELEM_CHUNK, |ci, c| {
                 let base = ci * ELEM_CHUNK;
-                for (i, s) in c.iter_mut().enumerate() {
-                    *s += a * xd[base + i] * yd[base + i];
-                }
+                claire_simd::add_scaled_product(
+                    a,
+                    &xd[base..base + c.len()],
+                    &yd[base..base + c.len()],
+                    c,
+                );
             })
         });
     }
@@ -192,9 +193,7 @@ impl ScalarField {
         self.check_same_layout(other);
         let (a, b) = (&self.data, &other.data);
         timing::time(Kernel::FieldOps, || {
-            par_sum_blocks(a.len(), |r| {
-                a[r.clone()].iter().zip(&b[r]).map(|(&x, &y)| x as f64 * y as f64).sum()
-            })
+            par_sum_blocks(a.len(), |r| claire_simd::dot(&a[r.clone()], &b[r]))
         })
     }
 
@@ -222,7 +221,7 @@ impl ScalarField {
     /// Global sum of samples.
     pub fn sum(&self, comm: &mut Comm) -> f64 {
         let local = timing::time(Kernel::FieldOps, || {
-            par_sum_blocks(self.data.len(), |r| self.data[r].iter().map(|&x| x as f64).sum())
+            par_sum_blocks(self.data.len(), |r| claire_simd::sum(&self.data[r]))
         });
         comm.allreduce_sum_scalar(local)
     }

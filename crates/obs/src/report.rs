@@ -21,6 +21,7 @@ pub const SCHEMA_KEYS: &[&str] = &[
     "nranks",
     "nt",
     "precond",
+    "backend",
     "summary",
     "scheduling",
     "phases",
@@ -204,6 +205,8 @@ pub struct RunReport {
     pub nt: usize,
     /// Preconditioner label.
     pub precond: String,
+    /// Active SIMD backend for the hot kernels (`scalar` or `avx2`).
+    pub backend: String,
     /// Headline outcome.
     pub summary: RunSummary,
     /// Queue/scheduling metadata (zeroed for runs outside `claire-serve`).
@@ -235,6 +238,7 @@ impl RunReport {
             nranks: 1,
             nt: 0,
             precond: String::new(),
+            backend: String::new(),
             summary: RunSummary::default(),
             scheduling: SchedulingInfo::default(),
             phases: PhaseShares::default(),
@@ -257,14 +261,15 @@ impl RunReport {
     pub fn span_summary(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "run `{}`  {}x{}x{}  ranks={}  nt={}  pc={}\n",
+            "run `{}`  {}x{}x{}  ranks={}  nt={}  pc={}  simd={}\n",
             self.label,
             self.grid[0],
             self.grid[1],
             self.grid[2],
             self.nranks,
             self.nt,
-            self.precond
+            self.precond,
+            self.backend
         ));
         out.push_str(&format!(
             "  GN {}  PCG {}  mismatch {:.3e}  |g|rel {:.3e}  {:.3} s\n",

@@ -391,12 +391,20 @@ mod tests {
         };
         let cfg = GnConfig {
             max_iter: 2,
-            grad_rtol: 1e-30, // never satisfied
+            grad_rtol: 1e-30, // only satisfiable by an exactly-zero gradient
             fixed_pcg: Some(3),
             ..Default::default()
         };
         let (_, stats) = gauss_newton(&mut prob, VectorField::zeros(layout), &cfg, &mut comm);
-        assert_eq!(stats.gn_iters, 2);
+        // Two GN steps, unless the first step already drove the gradient
+        // below 1e-30 relative (FMA-based backends can land there on this
+        // quadratic), in which case the loop legitimately stops after one.
+        if stats.converged {
+            assert_eq!(stats.gn_iters, 1);
+            assert!(stats.grad_rel <= 1e-30, "{}", stats.grad_rel);
+        } else {
+            assert_eq!(stats.gn_iters, 2);
+        }
         // 3 PCG iterations per GN step, unless it converged to machine zero early
         assert!(
             stats.pcg_iters_total <= 6 && stats.pcg_iters_total >= 3,

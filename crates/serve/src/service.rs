@@ -485,6 +485,7 @@ fn job_run_report(
     run.nranks = report.nranks;
     run.nt = report.nt;
     run.precond = report.pc.clone();
+    run.backend = claire_simd::active_backend().label().to_string();
     run.summary = RunSummary {
         gn_iters: report.gn_iters,
         pcg_iters: report.pcg_iters,

@@ -1,0 +1,407 @@
+//! Runtime-dispatched SIMD kernels for the solver's hot inner loops.
+//!
+//! The three computational kernels of the paper — scattered interpolation,
+//! 8th-order FD, and FFT — are memory/ILP-bound once the solver is fixed
+//! (Brunn et al., arXiv:2004.08893). CLAIRE's CUDA kernels get data-level
+//! parallelism for free from the GPU's vector units; on CPU the equivalent
+//! is AVX2+FMA, which this crate provides behind runtime dispatch:
+//!
+//! * every public kernel is a **safe slice-level function** (`axpy`,
+//!   [`fd8_combine`], [`cubic_accumulate`], [`cpx_mul`], …) that picks an
+//!   implementation per call from a cached process-wide backend choice;
+//! * the AVX2+FMA implementation is compiled with `#[target_feature]` and
+//!   only ever selected after `is_x86_feature_detected!` confirms support;
+//! * the portable scalar fallback reproduces the pre-SIMD loops **exactly**
+//!   (same operation order), so `CLAIRE_SIMD=scalar` is bit-identical to
+//!   the historical solver;
+//! * [`F64x4`] is the portable 4-lane building block (add/mul/fma, lane
+//!   shuffles, horizontal sum, masked head/tail loads) mirroring the lane
+//!   semantics the AVX2 kernels use via intrinsics.
+//!
+//! Dispatch granularity is a kernel call (a row sweep, a reduction block,
+//! a 64-point stencil), never a single vector op — a per-op branch would
+//! cost more than the op itself. The backend is resolved once from the
+//! `CLAIRE_SIMD` environment variable (`auto` | `avx2` | `scalar`,
+//! default `auto`) and cached; tests and benches can override it
+//! in-process with [`force_backend`].
+//!
+//! # Equivalence contract
+//!
+//! FMA contracts `a·b + c` into one rounding, so the AVX2 backend is not
+//! bit-identical to the scalar one. The contract (enforced by the proptest
+//! suite in `tests/`) is ≤ 1e-12 *relative* error against the scalar path
+//! per kernel call, and strict bitwise determinism *within* a backend:
+//! results never depend on thread count, timing, or allocation state —
+//! only on the input values and the selected backend.
+//!
+//! With the `single` feature (f32 fields) the vector backend is compiled
+//! out and every kernel takes the scalar path.
+
+/// Field scalar type — mirrors `claire_grid::Real` (kept in sync by the
+/// `single` feature, which `claire-grid/single` forwards here).
+#[cfg(not(feature = "single"))]
+pub type Real = f64;
+/// Field scalar type — mirrors `claire_grid::Real`.
+#[cfg(feature = "single")]
+pub type Real = f32;
+
+/// True when the f64 AVX2+FMA backend is compiled in for this build.
+#[cfg(all(target_arch = "x86_64", not(feature = "single")))]
+const AVX2_COMPILED: bool = true;
+#[cfg(not(all(target_arch = "x86_64", not(feature = "single"))))]
+const AVX2_COMPILED: bool = false;
+
+#[cfg(all(target_arch = "x86_64", not(feature = "single")))]
+mod avx2;
+mod scalar;
+mod vector;
+
+pub use vector::F64x4;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Once;
+
+/// The implementation actually executing kernel calls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable scalar loops, bit-identical to the pre-SIMD solver.
+    Scalar,
+    /// AVX2+FMA vector kernels (f64 builds on x86-64 with detected support).
+    Avx2,
+}
+
+impl Backend {
+    /// Stable label used in `RunReport` and bench rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+        }
+    }
+}
+
+/// A requested backend (what `CLAIRE_SIMD` expresses); resolves to a
+/// [`Backend`] depending on what the host supports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Choice {
+    /// Use AVX2 when compiled in and detected, scalar otherwise (default).
+    Auto,
+    /// Require AVX2; falls back to scalar with a warning if unavailable.
+    Avx2,
+    /// Force the portable scalar path.
+    Scalar,
+}
+
+impl Choice {
+    /// Parse a `CLAIRE_SIMD` value; `None` for unrecognized strings.
+    pub fn parse(s: &str) -> Option<Choice> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "" | "auto" => Some(Choice::Auto),
+            "avx2" => Some(Choice::Avx2),
+            "scalar" => Some(Choice::Scalar),
+            _ => None,
+        }
+    }
+}
+
+/// Whether the AVX2+FMA backend can run on this host (compiled in *and*
+/// detected at runtime).
+pub fn avx2_available() -> bool {
+    #[cfg(all(target_arch = "x86_64", not(feature = "single")))]
+    {
+        is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(all(target_arch = "x86_64", not(feature = "single"))))]
+    {
+        false
+    }
+}
+
+// 0 = unresolved, 1 = scalar, 2 = avx2.
+static BACKEND: AtomicU8 = AtomicU8::new(0);
+static WARN_ONCE: Once = Once::new();
+
+fn resolve(choice: Choice) -> Backend {
+    match choice {
+        Choice::Scalar => Backend::Scalar,
+        Choice::Auto => {
+            if avx2_available() {
+                Backend::Avx2
+            } else {
+                Backend::Scalar
+            }
+        }
+        Choice::Avx2 => {
+            if avx2_available() {
+                Backend::Avx2
+            } else {
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "claire-simd: CLAIRE_SIMD=avx2 requested but AVX2+FMA is {} — \
+                         falling back to the scalar backend",
+                        if AVX2_COMPILED { "not detected on this host" } else { "not compiled in" }
+                    );
+                });
+                Backend::Scalar
+            }
+        }
+    }
+}
+
+fn resolve_from_env() -> Backend {
+    let choice = match std::env::var("CLAIRE_SIMD") {
+        Ok(v) => Choice::parse(&v).unwrap_or_else(|| {
+            WARN_ONCE.call_once(|| {
+                eprintln!("claire-simd: unrecognized CLAIRE_SIMD={v:?}; using auto");
+            });
+            Choice::Auto
+        }),
+        Err(_) => Choice::Auto,
+    };
+    let b = resolve(choice);
+    BACKEND.store(b as u8 + 1, Ordering::Relaxed);
+    b
+}
+
+/// The backend executing kernel calls, resolved on first use from
+/// `CLAIRE_SIMD` (or from the last [`force_backend`] override) and cached.
+#[inline]
+pub fn active_backend() -> Backend {
+    match BACKEND.load(Ordering::Relaxed) {
+        1 => Backend::Scalar,
+        2 => Backend::Avx2,
+        _ => resolve_from_env(),
+    }
+}
+
+/// Override the dispatched backend in-process (tests / benches A/B runs).
+/// `None` clears the override so the next kernel call re-reads
+/// `CLAIRE_SIMD`. Takes effect for subsequent kernel calls process-wide.
+pub fn force_backend(choice: Option<Choice>) {
+    match choice {
+        Some(c) => BACKEND.store(resolve(c) as u8 + 1, Ordering::Relaxed),
+        None => BACKEND.store(0, Ordering::Relaxed),
+    }
+}
+
+/// Shorthand used by every kernel wrapper: take the AVX2 path when it is
+/// both compiled in and the dispatched backend.
+macro_rules! dispatch {
+    ($avx2:expr, $scalar:expr) => {{
+        #[cfg(all(target_arch = "x86_64", not(feature = "single")))]
+        if active_backend() == Backend::Avx2 {
+            // SAFETY: Backend::Avx2 is only ever cached after
+            // `is_x86_feature_detected!("avx2")` + `("fma")` succeeded.
+            return unsafe { $avx2 };
+        }
+        #[cfg(not(all(target_arch = "x86_64", not(feature = "single"))))]
+        let _ = active_backend();
+        $scalar
+    }};
+}
+
+// ----- element-wise field kernels ---------------------------------------
+
+/// `y[i] *= a`.
+pub fn scale(a: Real, y: &mut [Real]) {
+    dispatch!(avx2::scale(a, y), scalar::scale(a, y))
+}
+
+/// `y[i] += a · x[i]` (slices must have equal length).
+pub fn axpy(a: Real, x: &[Real], y: &mut [Real]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    dispatch!(avx2::axpy(a, x, y), scalar::axpy(a, x, y))
+}
+
+/// `y[i] = a · y[i] + x[i]` (slices must have equal length).
+pub fn aypx(a: Real, x: &[Real], y: &mut [Real]) {
+    assert_eq!(x.len(), y.len(), "aypx length mismatch");
+    dispatch!(avx2::aypx(a, x, y), scalar::aypx(a, x, y))
+}
+
+/// `s[i] += a · x[i] · y[i]` (slices must have equal length).
+pub fn add_scaled_product(a: Real, x: &[Real], y: &[Real], s: &mut [Real]) {
+    assert_eq!(x.len(), s.len(), "add_scaled_product length mismatch");
+    assert_eq!(y.len(), s.len(), "add_scaled_product length mismatch");
+    dispatch!(avx2::add_scaled_product(a, x, y, s), scalar::add_scaled_product(a, x, y, s))
+}
+
+// ----- reductions (f64 accumulation regardless of `Real`) ----------------
+
+/// `Σ x[i]·y[i]` accumulated in f64. Callers keep determinism across
+/// thread counts by invoking this on fixed-size blocks (`par_sum_blocks`).
+pub fn dot(x: &[Real], y: &[Real]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    dispatch!(avx2::dot(x, y), scalar::dot(x, y))
+}
+
+/// `Σ x[i]` accumulated in f64.
+pub fn sum(x: &[Real]) -> f64 {
+    dispatch!(avx2::sum(x), scalar::sum(x))
+}
+
+/// `max_i |x[i]|` as f64 (0 for an empty slice).
+pub fn max_abs(x: &[Real]) -> f64 {
+    dispatch!(avx2::max_abs(x), scalar::max_abs(x))
+}
+
+// ----- 8th-order FD stencil ----------------------------------------------
+
+/// One contiguous row of the central-difference combine:
+/// `out[k] = inv_h · Σ_m c[m] · (plus[m][k] − minus[m][k])`.
+///
+/// `plus[m]`/`minus[m]` are the rows at offsets `±(m+1)` along the
+/// differentiated dimension; all slices must be at least `out.len()` long.
+/// Serves all three dimensions of the FD8 sweep: x1/x2 rows are naturally
+/// contiguous in x3, and the x3 (periodic) sweep vectorizes its interior
+/// with shifted sub-slices of the same row.
+pub fn fd8_combine(
+    out: &mut [Real],
+    plus: &[&[Real]; 4],
+    minus: &[&[Real]; 4],
+    c: &[Real; 4],
+    inv_h: Real,
+) {
+    for m in 0..4 {
+        assert!(plus[m].len() >= out.len(), "fd8_combine plus[{m}] too short");
+        assert!(minus[m].len() >= out.len(), "fd8_combine minus[{m}] too short");
+    }
+    dispatch!(
+        avx2::fd8_combine(out, plus, minus, c, inv_h),
+        scalar::fd8_combine(out, plus, minus, c, inv_h)
+    )
+}
+
+// ----- cubic interpolation -----------------------------------------------
+
+/// Cubic Lagrange basis weights at fraction `t ∈ [0,1)` for node offsets
+/// `{−1, 0, 1, 2}` — the weight-evaluation half of the 64-point kernel.
+pub fn lagrange_weights(t: Real) -> [Real; 4] {
+    dispatch!(avx2::lagrange_weights(t), scalar::lagrange_weights(t))
+}
+
+/// The 64-point (4×4×4) weighted accumulation of the cubic kernel on a
+/// wrap-free support:
+/// `Σ_{a,b,c} w1[a]·w2[b]·w3[c] · data[base + a·plane_stride + b·row_stride + c]`.
+///
+/// The caller guarantees the support does not cross a periodic seam in
+/// x2/x3 (the seam case stays on the scalar gather path in `claire-interp`).
+pub fn cubic_accumulate(
+    data: &[Real],
+    base: usize,
+    plane_stride: usize,
+    row_stride: usize,
+    w1: &[Real; 4],
+    w2: &[Real; 4],
+    w3: &[Real; 4],
+) -> Real {
+    let last = base + 3 * plane_stride + 3 * row_stride;
+    assert!(last + 4 <= data.len(), "cubic_accumulate support out of bounds");
+    dispatch!(
+        avx2::cubic_accumulate(data, base, plane_stride, row_stride, w1, w2, w3),
+        scalar::cubic_accumulate(data, base, plane_stride, row_stride, w1, w2, w3)
+    )
+}
+
+// ----- interleaved complex kernels (re,im pairs; two complexes/vector) ----
+
+/// Element-wise complex multiply `dst[j] *= src[j]` on interleaved
+/// `[re, im, re, im, …]` slices of equal even length.
+pub fn cpx_mul(dst: &mut [Real], src: &[Real]) {
+    assert_eq!(dst.len(), src.len(), "cpx_mul length mismatch");
+    assert_eq!(dst.len() % 2, 0, "cpx_mul needs interleaved re/im pairs");
+    dispatch!(avx2::cpx_mul(dst, src), scalar::cpx_mul(dst, src))
+}
+
+/// Element-wise complex multiply `out[j] = a[j] · b[j]` (interleaved).
+pub fn cpx_mul_into(out: &mut [Real], a: &[Real], b: &[Real]) {
+    assert_eq!(out.len(), a.len(), "cpx_mul_into length mismatch");
+    assert_eq!(out.len(), b.len(), "cpx_mul_into length mismatch");
+    assert_eq!(out.len() % 2, 0, "cpx_mul_into needs interleaved re/im pairs");
+    dispatch!(avx2::cpx_mul_into(out, a, b), scalar::cpx_mul_into(out, a, b))
+}
+
+/// In-place complex conjugate of an interleaved slice.
+pub fn cpx_conj(data: &mut [Real]) {
+    assert_eq!(data.len() % 2, 0, "cpx_conj needs interleaved re/im pairs");
+    dispatch!(avx2::cpx_conj(data), scalar::cpx_conj(data))
+}
+
+/// In-place fused conjugate-and-scale: `z[j] = conj(z[j]) · s` (interleaved)
+/// — the tail of the inverse FFT (`1/n` normalization).
+pub fn cpx_conj_scale(data: &mut [Real], s: Real) {
+    assert_eq!(data.len() % 2, 0, "cpx_conj_scale needs interleaved re/im pairs");
+    dispatch!(avx2::cpx_conj_scale(data, s), scalar::cpx_conj_scale(data, s))
+}
+
+/// Radix-2 DIT butterfly combine over interleaved half-spectra:
+/// for each `k`, with `w = tw[k·ws]` (complex index into the global
+/// twiddle table), `lo[k], hi[k] = lo[k] + w·hi[k], lo[k] − w·hi[k]`.
+///
+/// Uses the half-period symmetry `w_{k+m} = −w_k` of the twiddle table, so
+/// only the first half of the table is read (indices `k·ws < tw.len()/2`).
+pub fn cpx_radix2_combine(lo: &mut [Real], hi: &mut [Real], tw: &[Real], ws: usize) {
+    assert_eq!(lo.len(), hi.len(), "cpx_radix2_combine half length mismatch");
+    assert_eq!(lo.len() % 2, 0, "cpx_radix2_combine needs interleaved re/im pairs");
+    let m = lo.len() / 2;
+    if m > 0 {
+        assert!(2 * ((m - 1) * ws) + 1 < tw.len(), "cpx_radix2_combine twiddle table too short");
+    }
+    dispatch!(avx2::cpx_radix2_combine(lo, hi, tw, ws), scalar::cpx_radix2_combine(lo, hi, tw, ws))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn choice_parsing() {
+        assert_eq!(Choice::parse("auto"), Some(Choice::Auto));
+        assert_eq!(Choice::parse(""), Some(Choice::Auto));
+        assert_eq!(Choice::parse("AVX2"), Some(Choice::Avx2));
+        assert_eq!(Choice::parse(" scalar "), Some(Choice::Scalar));
+        assert_eq!(Choice::parse("neon"), None);
+    }
+
+    #[test]
+    fn forced_scalar_backend_sticks() {
+        force_backend(Some(Choice::Scalar));
+        assert_eq!(active_backend(), Backend::Scalar);
+        assert_eq!(active_backend().label(), "scalar");
+        force_backend(None);
+    }
+
+    #[test]
+    fn auto_matches_detection() {
+        force_backend(Some(Choice::Auto));
+        let expect = if avx2_available() { Backend::Avx2 } else { Backend::Scalar };
+        assert_eq!(active_backend(), expect);
+        force_backend(None);
+    }
+
+    #[test]
+    fn avx2_request_never_panics() {
+        force_backend(Some(Choice::Avx2));
+        let b = active_backend();
+        assert!(b == Backend::Avx2 || !avx2_available());
+        force_backend(None);
+    }
+
+    #[test]
+    fn scalar_kernels_match_reference_loops() {
+        force_backend(Some(Choice::Scalar));
+        let x: Vec<Real> = (0..13).map(|i| i as Real * 0.5 - 3.0).collect();
+        let mut y: Vec<Real> = (0..13).map(|i| 1.0 - i as Real * 0.25).collect();
+        let mut expect = y.clone();
+        for (e, &xv) in expect.iter_mut().zip(&x) {
+            *e += 2.5 * xv;
+        }
+        axpy(2.5, &x, &mut y);
+        assert_eq!(y, expect);
+        let d = dot(&x, &y);
+        #[allow(clippy::unnecessary_cast)] // Real = f32 under `single`
+        let dref: f64 = x.iter().zip(&y).map(|(&a, &b)| a as f64 * b as f64).sum();
+        assert_eq!(d, dref);
+        force_backend(None);
+    }
+}

@@ -1,0 +1,140 @@
+//! Portable scalar fallback — the reference semantics of every kernel.
+//!
+//! These loops reproduce the pre-SIMD solver's operation order exactly
+//! (separate multiply and add, left-to-right accumulation), so the scalar
+//! backend is bit-identical to the historical code and serves as the
+//! reference side of the ≤1e-12 SIMD equivalence contract.
+
+// `Real as f64` is a real conversion under the `single` (f32) feature and
+// an identity cast in the default build — keep the cast either way.
+#![allow(clippy::unnecessary_cast)]
+
+use crate::Real;
+
+pub fn scale(a: Real, y: &mut [Real]) {
+    for v in y {
+        *v *= a;
+    }
+}
+
+pub fn axpy(a: Real, x: &[Real], y: &mut [Real]) {
+    for (v, &xv) in y.iter_mut().zip(x) {
+        *v += a * xv;
+    }
+}
+
+pub fn aypx(a: Real, x: &[Real], y: &mut [Real]) {
+    for (v, &xv) in y.iter_mut().zip(x) {
+        *v = a * *v + xv;
+    }
+}
+
+pub fn add_scaled_product(a: Real, x: &[Real], y: &[Real], s: &mut [Real]) {
+    for (i, v) in s.iter_mut().enumerate() {
+        *v += a * x[i] * y[i];
+    }
+}
+
+pub fn dot(x: &[Real], y: &[Real]) -> f64 {
+    x.iter().zip(y).map(|(&a, &b)| a as f64 * b as f64).sum()
+}
+
+pub fn sum(x: &[Real]) -> f64 {
+    x.iter().map(|&v| v as f64).sum()
+}
+
+pub fn max_abs(x: &[Real]) -> f64 {
+    x.iter().fold(0.0f64, |m, &v| m.max((v as f64).abs()))
+}
+
+pub fn fd8_combine(
+    out: &mut [Real],
+    plus: &[&[Real]; 4],
+    minus: &[&[Real]; 4],
+    c: &[Real; 4],
+    inv_h: Real,
+) {
+    for (k, ov) in out.iter_mut().enumerate() {
+        let mut acc = 0.0 as Real;
+        for (m, &cm) in c.iter().enumerate() {
+            acc += cm * (plus[m][k] - minus[m][k]);
+        }
+        *ov = acc * inv_h;
+    }
+}
+
+pub fn lagrange_weights(t: Real) -> [Real; 4] {
+    let t1 = t - 1.0;
+    let t2 = t - 2.0;
+    let tp = t + 1.0;
+    [-t * t1 * t2 / 6.0, tp * t1 * t2 / 2.0, -tp * t * t2 / 2.0, tp * t * t1 / 6.0]
+}
+
+pub fn cubic_accumulate(
+    data: &[Real],
+    base: usize,
+    plane_stride: usize,
+    row_stride: usize,
+    w1: &[Real; 4],
+    w2: &[Real; 4],
+    w3: &[Real; 4],
+) -> Real {
+    let mut acc = 0.0 as Real;
+    for (a, &wa) in w1.iter().enumerate() {
+        let pa = base + a * plane_stride;
+        for (b, &wb) in w2.iter().enumerate() {
+            let wab = wa * wb;
+            let row = &data[pa + b * row_stride..pa + b * row_stride + 4];
+            for (c, &wc) in w3.iter().enumerate() {
+                acc += wab * wc * row[c];
+            }
+        }
+    }
+    acc
+}
+
+pub fn cpx_mul(dst: &mut [Real], src: &[Real]) {
+    for (d, s) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
+        let (ar, ai) = (d[0], d[1]);
+        let (br, bi) = (s[0], s[1]);
+        d[0] = ar * br - ai * bi;
+        d[1] = ar * bi + ai * br;
+    }
+}
+
+pub fn cpx_mul_into(out: &mut [Real], a: &[Real], b: &[Real]) {
+    for ((o, x), y) in out.chunks_exact_mut(2).zip(a.chunks_exact(2)).zip(b.chunks_exact(2)) {
+        let (ar, ai) = (x[0], x[1]);
+        let (br, bi) = (y[0], y[1]);
+        o[0] = ar * br - ai * bi;
+        o[1] = ar * bi + ai * br;
+    }
+}
+
+pub fn cpx_conj(data: &mut [Real]) {
+    for z in data.chunks_exact_mut(2) {
+        z[1] = -z[1];
+    }
+}
+
+pub fn cpx_conj_scale(data: &mut [Real], s: Real) {
+    for z in data.chunks_exact_mut(2) {
+        z[0] *= s;
+        z[1] = -z[1] * s;
+    }
+}
+
+pub fn cpx_radix2_combine(lo: &mut [Real], hi: &mut [Real], tw: &[Real], ws: usize) {
+    let m = lo.len() / 2;
+    for k in 0..m {
+        let (wr, wi) = (tw[2 * k * ws], tw[2 * k * ws + 1]);
+        let (t0r, t0i) = (lo[2 * k], lo[2 * k + 1]);
+        let (t1r, t1i) = (hi[2 * k], hi[2 * k + 1]);
+        let xr = wr * t1r - wi * t1i;
+        let xi = wr * t1i + wi * t1r;
+        lo[2 * k] = t0r + xr;
+        lo[2 * k + 1] = t0i + xi;
+        hi[2 * k] = t0r - xr;
+        hi[2 * k + 1] = t0i - xi;
+    }
+}

@@ -1,0 +1,138 @@
+//! `F64x4` — the portable 4-lane vector the kernels are specified against.
+//!
+//! This type is the *semantic model* of one AVX2 `__m256d`: the runtime
+//! kernels in `avx2.rs` perform exactly these lane operations via
+//! intrinsics, and the proptest suite checks the two agree. It is safe and
+//! available on every target, so shared code (tests, reference kernels,
+//! future ports) can be written against it without `unsafe` or feature
+//! detection. `mul_add` is a *fused* multiply-add per lane, matching the
+//! FMA instruction the AVX2 backend issues — which is exactly why the
+//! vector backends are not bit-identical to the scalar path (one rounding
+//! instead of two).
+
+/// Four f64 lanes with value semantics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C, align(32))]
+pub struct F64x4(pub [f64; 4]);
+
+impl F64x4 {
+    /// All lanes zero.
+    pub const ZERO: F64x4 = F64x4([0.0; 4]);
+
+    /// Broadcast one value to all lanes.
+    #[inline]
+    pub fn splat(v: f64) -> F64x4 {
+        F64x4([v; 4])
+    }
+
+    /// Load 4 lanes from the front of a slice (panics if `s.len() < 4`).
+    #[inline]
+    pub fn load(s: &[f64]) -> F64x4 {
+        F64x4([s[0], s[1], s[2], s[3]])
+    }
+
+    /// Masked tail load: up to 4 leading elements, missing lanes zero —
+    /// the portable equivalent of `_mm256_maskload_pd`.
+    #[inline]
+    pub fn load_partial(s: &[f64]) -> F64x4 {
+        let mut out = [0.0; 4];
+        for (o, &v) in out.iter_mut().zip(s.iter().take(4)) {
+            *o = v;
+        }
+        F64x4(out)
+    }
+
+    /// Store all 4 lanes to the front of a slice.
+    #[inline]
+    pub fn store(self, s: &mut [f64]) {
+        s[..4].copy_from_slice(&self.0);
+    }
+
+    /// Masked tail store: writes `min(4, s.len())` leading lanes — the
+    /// portable equivalent of `_mm256_maskstore_pd`.
+    #[inline]
+    pub fn store_partial(self, s: &mut [f64]) {
+        for (o, &v) in s.iter_mut().zip(self.0.iter()) {
+            *o = v;
+        }
+    }
+
+    /// Fused multiply-add per lane: `self · b + c` with a single rounding.
+    #[inline]
+    pub fn mul_add(self, b: F64x4, c: F64x4) -> F64x4 {
+        F64x4(std::array::from_fn(|i| self.0[i].mul_add(b.0[i], c.0[i])))
+    }
+
+    /// Lane rotation by `N` (gather-free shuffle): lane `i` takes the value
+    /// of lane `(i + N) % 4`.
+    #[inline]
+    pub fn rotate_lanes_left<const N: usize>(self) -> F64x4 {
+        F64x4(std::array::from_fn(|i| self.0[(i + N) % 4]))
+    }
+
+    /// Swap lanes pairwise (`[1, 0, 3, 2]`) — the re/im swap of the
+    /// interleaved complex product (`_mm256_permute_pd(x, 0x5)`).
+    #[inline]
+    pub fn swap_pairs(self) -> F64x4 {
+        F64x4([self.0[1], self.0[0], self.0[3], self.0[2]])
+    }
+
+    /// Fixed-shape horizontal sum `(l0 + l2) + (l1 + l3)` — the same fold
+    /// the AVX2 reductions use (128-bit halves, then the final pair).
+    #[inline]
+    pub fn hsum(self) -> f64 {
+        (self.0[0] + self.0[2]) + (self.0[1] + self.0[3])
+    }
+}
+
+impl std::ops::Add for F64x4 {
+    type Output = F64x4;
+    #[inline]
+    fn add(self, o: F64x4) -> F64x4 {
+        F64x4(std::array::from_fn(|i| self.0[i] + o.0[i]))
+    }
+}
+
+impl std::ops::Sub for F64x4 {
+    type Output = F64x4;
+    #[inline]
+    fn sub(self, o: F64x4) -> F64x4 {
+        F64x4(std::array::from_fn(|i| self.0[i] - o.0[i]))
+    }
+}
+
+impl std::ops::Mul for F64x4 {
+    type Output = F64x4;
+    #[inline]
+    fn mul(self, o: F64x4) -> F64x4 {
+        F64x4(std::array::from_fn(|i| self.0[i] * o.0[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_ops() {
+        let a = F64x4([1.0, 2.0, 3.0, 4.0]);
+        let b = F64x4::splat(2.0);
+        assert_eq!((a + b).0, [3.0, 4.0, 5.0, 6.0]);
+        assert_eq!((a * b).0, [2.0, 4.0, 6.0, 8.0]);
+        assert_eq!((a - b).0, [-1.0, 0.0, 1.0, 2.0]);
+        assert_eq!(a.mul_add(b, a).0, [3.0, 6.0, 9.0, 12.0]);
+        assert_eq!(a.hsum(), 10.0);
+        assert_eq!(a.swap_pairs().0, [2.0, 1.0, 4.0, 3.0]);
+        assert_eq!(a.rotate_lanes_left::<1>().0, [2.0, 3.0, 4.0, 1.0]);
+    }
+
+    #[test]
+    fn masked_tail_roundtrip() {
+        let src = [5.0, 6.0, 7.0];
+        let v = F64x4::load_partial(&src);
+        assert_eq!(v.0, [5.0, 6.0, 7.0, 0.0]);
+        let mut dst = [0.0; 3];
+        v.store_partial(&mut dst);
+        assert_eq!(dst, src);
+    }
+}

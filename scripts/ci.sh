@@ -41,7 +41,11 @@ stage_build() {
 }
 
 stage_tier1_tests() {
-    cargo test -q --release
+    # the SIMD dispatch makes backend choice part of the tested surface:
+    # run the tier-1 suite once on the portable scalar path and once with
+    # runtime feature detection (AVX2 where the host supports it)
+    CLAIRE_SIMD=scalar cargo test -q --release
+    CLAIRE_SIMD=auto cargo test -q --release
 }
 
 stage_workspace_tests() {
@@ -81,7 +85,7 @@ stage_report_schema() {
     report="$(mktemp -d)/run.json"
     cargo run --release --example quickstart -- 16 --report "$report"
     echo "validating RunReport schema keys in $report"
-    for key in label grid nranks nt precond summary scheduling phases gn_trace \
+    for key in label grid nranks nt precond backend summary scheduling phases gn_trace \
                kernels comm collectives metrics memory spans; do
         grep -q "\"$key\"" "$report" || { echo "RunReport missing key: $key"; exit 1; }
     done

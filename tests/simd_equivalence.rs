@@ -1,0 +1,261 @@
+//! Tier-1 SIMD equivalence gate: the vectorized backend must agree with
+//! the portable scalar reference on every kernel, and the end-to-end
+//! solver must be insensitive to the backend choice.
+//!
+//! Two layers:
+//! - proptest cases drive every `claire-simd` kernel with random sizes —
+//!   including ragged tails (`n % 4 != 0`) — under both backends and
+//!   require ≤1e-12 relative agreement (the FMA contract: one rounding
+//!   instead of two, never a different algorithm);
+//! - a smoke registration solve under `CLAIRE_SIMD=scalar` and `=auto`
+//!   must reach the same Gauss–Newton iteration count and the same final
+//!   mismatch to 6 significant digits.
+//!
+//! The backend override is process-global, so every test serializes on one
+//! mutex before flipping it. On hosts without AVX2+FMA the `auto` side
+//! resolves to scalar and the comparisons pass trivially.
+
+use std::sync::Mutex;
+
+use claire::prelude::*;
+use claire_simd::Choice;
+use proptest::prelude::*;
+
+/// Serializes backend flips across this binary's tests.
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` under both backends and return (scalar result, auto result).
+/// Takes the lock so concurrent tests cannot observe a half-flipped state.
+fn both<R>(mut f: impl FnMut() -> R) -> (R, R) {
+    let _g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    claire_simd::force_backend(Some(Choice::Scalar));
+    let s = f();
+    claire_simd::force_backend(Some(Choice::Avx2));
+    let v = f();
+    claire_simd::force_backend(None);
+    (s, v)
+}
+
+fn assert_close(a: f64, b: f64, what: &str) {
+    let tol = 1e-12 * b.abs().max(1.0);
+    assert!((a - b).abs() <= tol, "{what}: scalar {b} vs simd {a} (diff {})", (a - b).abs());
+}
+
+fn assert_slices_close(a: &[Real], b: &[Real], what: &str) {
+    assert_eq!(a.len(), b.len());
+    for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+        assert_close(x, y, &format!("{what}[{i}]"));
+    }
+}
+
+/// Deterministic value stream (SplitMix64) so each proptest case derives
+/// its vectors from a sampled `seed` — the vendored proptest shim only
+/// samples scalars from ranges.
+fn fill(seed: u64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0x517C_C1B7_2722_0A95);
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            let u = ((z ^ (z >> 31)) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            lo + u * (hi - lo)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // n in 0..131 sweeps full 4-lane vectors, ragged tails (n % 4 != 0),
+    // and sub-vector lengths (0..=3) for every kernel below.
+
+    #[test]
+    fn elementwise_ops_match(n in 0usize..131, seed in 0u64..1_000_000, a in -3.0f64..3.0) {
+        let x = fill(seed, n, -100.0, 100.0);
+        let y = fill(seed + 1, n, -100.0, 100.0);
+        let s = fill(seed + 2, n, -100.0, 100.0);
+        let (r_scalar, r_simd) = both(|| {
+            let mut ys = y.clone();
+            claire_simd::scale(a, &mut ys);
+            let mut ya = y.clone();
+            claire_simd::axpy(a, &x, &mut ya);
+            let mut yp = y.clone();
+            claire_simd::aypx(a, &x, &mut yp);
+            let mut sp = s.clone();
+            claire_simd::add_scaled_product(a, &x, &y, &mut sp);
+            (ys, ya, yp, sp)
+        });
+        assert_slices_close(&r_simd.0, &r_scalar.0, "scale");
+        assert_slices_close(&r_simd.1, &r_scalar.1, "axpy");
+        assert_slices_close(&r_simd.2, &r_scalar.2, "aypx");
+        assert_slices_close(&r_simd.3, &r_scalar.3, "add_scaled_product");
+    }
+
+    #[test]
+    fn reductions_match(n in 0usize..131, seed in 0u64..1_000_000) {
+        let x = fill(seed, n, -100.0, 100.0);
+        let y = fill(seed + 1, n, -100.0, 100.0);
+        let (r_scalar, r_simd) = both(|| {
+            (claire_simd::dot(&x, &y), claire_simd::sum(&x), claire_simd::max_abs(&x))
+        });
+        assert_close(r_simd.0, r_scalar.0, "dot");
+        assert_close(r_simd.1, r_scalar.1, "sum");
+        assert_close(r_simd.2, r_scalar.2, "max_abs");
+    }
+
+    #[test]
+    fn fd8_combine_matches(n in 0usize..131, seed in 0u64..1_000_000, inv_h in 0.1f64..10.0) {
+        let rows: Vec<Vec<Real>> = (0..8).map(|r| fill(seed + r, n, -100.0, 100.0)).collect();
+        let cv = fill(seed + 8, 4, -1.0, 1.0);
+        let c = [cv[0], cv[1], cv[2], cv[3]];
+        let plus: [&[Real]; 4] = [&rows[0], &rows[1], &rows[2], &rows[3]];
+        let minus: [&[Real]; 4] = [&rows[4], &rows[5], &rows[6], &rows[7]];
+        let (r_scalar, r_simd) = both(|| {
+            let mut out = vec![0.0 as Real; n];
+            claire_simd::fd8_combine(&mut out, &plus, &minus, &c, inv_h);
+            out
+        });
+        assert_slices_close(&r_simd, &r_scalar, "fd8_combine");
+    }
+
+    #[test]
+    fn interp_kernels_match(
+        t in 0.0f64..1.0,
+        base in 0usize..3,
+        rs in 4usize..8,
+        seed in 0u64..1_000_000,
+    ) {
+        let (w_scalar, w_simd) = both(|| claire_simd::lagrange_weights(t));
+        assert_slices_close(&w_simd, &w_scalar, "lagrange_weights");
+
+        let ps = 4 * rs; // 4 rows per plane, rows `rs` apart
+        let body = fill(seed, base + 3 * ps + 3 * rs + 4, -100.0, 100.0);
+        let (w1, w2, w3) = (
+            claire_simd::lagrange_weights(t),
+            claire_simd::lagrange_weights(1.0 - t),
+            claire_simd::lagrange_weights(t * t),
+        );
+        let (r_scalar, r_simd) =
+            both(|| claire_simd::cubic_accumulate(&body, base, ps, rs, &w1, &w2, &w3));
+        assert_close(r_simd, r_scalar, "cubic_accumulate");
+    }
+
+    #[test]
+    fn complex_kernels_match(m in 0usize..131, seed in 0u64..1_000_000, s in -2.0f64..2.0) {
+        let a = fill(seed, 2 * m, -100.0, 100.0);
+        let b = fill(seed + 1, 2 * m, -100.0, 100.0);
+        let (r_scalar, r_simd) = both(|| {
+            let mut d = a.clone();
+            claire_simd::cpx_mul(&mut d, &b);
+            let mut o = vec![0.0 as Real; a.len()];
+            claire_simd::cpx_mul_into(&mut o, &a, &b);
+            let mut cj = a.clone();
+            claire_simd::cpx_conj(&mut cj);
+            let mut cs = a.clone();
+            claire_simd::cpx_conj_scale(&mut cs, s);
+            (d, o, cj, cs)
+        });
+        assert_slices_close(&r_simd.0, &r_scalar.0, "cpx_mul");
+        assert_slices_close(&r_simd.1, &r_scalar.1, "cpx_mul_into");
+        assert_slices_close(&r_simd.2, &r_scalar.2, "cpx_conj");
+        assert_slices_close(&r_simd.3, &r_scalar.3, "cpx_conj_scale");
+    }
+
+    #[test]
+    fn radix2_butterfly_matches(m in 1usize..18, ws in 1usize..4, seed in 0u64..1_000_000) {
+        // full twiddle table for a length-2m·ws transform, like fft_rec uses
+        let nn = 2 * m * ws;
+        let tw: Vec<Real> = (0..nn)
+            .flat_map(|j| {
+                let theta = -2.0 * std::f64::consts::PI * j as f64 / nn as f64;
+                [theta.cos() as Real, theta.sin() as Real]
+            })
+            .collect();
+        let lo0 = fill(seed, 2 * m, -1.0, 1.0);
+        let hi0 = fill(seed + 7, 2 * m, -1.0, 1.0);
+        let (r_scalar, r_simd) = both(|| {
+            let mut lo = lo0.clone();
+            let mut hi = hi0.clone();
+            claire_simd::cpx_radix2_combine(&mut lo, &mut hi, &tw, ws);
+            (lo, hi)
+        });
+        assert_slices_close(&r_simd.0, &r_scalar.0, "radix2 lo");
+        assert_slices_close(&r_simd.1, &r_scalar.1, "radix2 hi");
+    }
+}
+
+/// Within one backend the kernels must be bitwise deterministic: same
+/// inputs, same bits, run to run.
+#[test]
+fn backend_is_bitwise_deterministic() {
+    let _g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    for choice in [Choice::Scalar, Choice::Avx2] {
+        claire_simd::force_backend(Some(choice));
+        let x: Vec<Real> = (0..1003).map(|i| ((i * 37 % 101) as Real) / 17.0 - 2.5).collect();
+        let y: Vec<Real> = (0..1003).map(|i| ((i * 23 % 97) as Real) / 13.0 - 3.1).collect();
+        let d1 = claire_simd::dot(&x, &y);
+        let d2 = claire_simd::dot(&x, &y);
+        assert_eq!(d1.to_bits(), d2.to_bits(), "{choice:?} dot must be bitwise stable");
+        let mut y1 = y.clone();
+        let mut y2 = y.clone();
+        claire_simd::axpy(1.2345, &x, &mut y1);
+        claire_simd::axpy(1.2345, &x, &mut y2);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{choice:?} axpy must be bitwise stable");
+        }
+    }
+    claire_simd::force_backend(None);
+}
+
+fn blob_pair(layout: Layout, shift: Real) -> (ScalarField, ScalarField) {
+    let blob = move |cx: Real| {
+        move |x: Real, y: Real, z: Real| {
+            let d2 = (x - cx).powi(2) + (y - 3.0).powi(2) + (z - 3.0).powi(2);
+            (-d2 / 1.2).exp()
+        }
+    };
+    (ScalarField::from_fn(layout, blob(3.0)), ScalarField::from_fn(layout, blob(3.0 + shift)))
+}
+
+/// The solver must take the same Gauss–Newton path regardless of backend:
+/// identical iteration counts, final mismatch equal to 6 significant
+/// digits. This is the contract that lets `CLAIRE_SIMD` be a pure
+/// performance knob.
+#[test]
+fn smoke_solve_is_backend_insensitive() {
+    let _g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    claire::par::set_threads(1);
+    let cfg = RegistrationConfig {
+        nt: 2,
+        precond: PrecondKind::InvA,
+        continuation: false,
+        grid_continuation: false,
+        beta_target: 1e-2,
+        max_gn_iter: 5,
+        max_pcg_iter: 5,
+        verbose: false,
+        ..Default::default()
+    };
+    let layout = Layout::serial(Grid::cube(16));
+    let (m0, m1) = blob_pair(layout, 0.5);
+
+    let run = |choice: Choice| {
+        claire_simd::force_backend(Some(choice));
+        let mut comm = Comm::solo();
+        let (_, report) = Claire::new(cfg).register(&m0, &m1, &mut comm);
+        (report.gn_iters, report.rel_mismatch)
+    };
+    let (gn_scalar, mm_scalar) = run(Choice::Scalar);
+    let (gn_auto, mm_auto) = run(Choice::Auto);
+    claire_simd::force_backend(None);
+
+    assert_eq!(gn_scalar, gn_auto, "backend choice must not change the GN iteration count");
+    let rel = ((mm_scalar - mm_auto) / mm_scalar.abs().max(1e-300)).abs();
+    assert!(
+        rel < 1e-6,
+        "final mismatch must agree to 6 digits: scalar {mm_scalar} vs auto {mm_auto} (rel {rel:.2e})"
+    );
+    claire::par::set_threads(0);
+}

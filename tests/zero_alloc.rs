@@ -12,6 +12,10 @@
 //! Pinned to 1 thread: claire-par's serial fallback runs kernels inline on
 //! the calling thread (no spawns), which both makes the run deterministic
 //! and keeps scoped-thread bookkeeping out of the counter.
+//!
+//! The whole measurement runs once per SIMD backend (scalar and auto) —
+//! the vectorized kernels must be as allocation-free as the loops they
+//! replaced.
 
 use std::sync::{Arc, Mutex};
 
@@ -55,36 +59,42 @@ fn steady_state_gn_iteration_is_allocation_free() {
     let (m0, m1) = blob_pair(layout, 0.5);
     let cfg = config();
 
-    // Warm-up solve: fills the workspace pools and the FFT plan cache.
-    let _ = Claire::new(cfg).register(&m0, &m1, &mut comm);
+    for choice in [claire_simd::Choice::Scalar, claire_simd::Choice::Auto] {
+        claire_simd::force_backend(Some(choice));
 
-    // Measured solve: sample the global allocation counter at every GN
-    // iteration boundary. The sample vector is pre-allocated so our own
-    // bookkeeping cannot disturb the counter.
-    let samples: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::with_capacity(64)));
-    let sink = samples.clone();
-    let hooks = claire::core::SolverHooks {
-        cancel: None,
-        on_gn_iter: Some(Arc::new(move |_| {
-            sink.lock().unwrap().push(allocation_count());
-        })),
-    };
-    let _ = Claire::with_hooks(cfg, hooks).register(&m0, &m1, &mut comm);
+        // Warm-up solve: fills the workspace pools and the FFT plan cache.
+        let _ = Claire::new(cfg).register(&m0, &m1, &mut comm);
 
-    let s = samples.lock().unwrap();
-    assert!(
-        s.len() >= 4,
-        "need several GN iterations to observe a steady state, got {} boundaries",
-        s.len()
-    );
-    // The last boundary fires after the final full iteration; the deltas
-    // between the last three boundaries cover the two last complete
-    // iterations — by then every pool is warm.
-    let deltas: Vec<u64> = s.windows(2).map(|w| w[1] - w[0]).collect();
-    let tail = &deltas[deltas.len() - 2..];
-    assert_eq!(
-        tail,
-        &[0, 0],
-        "steady-state GN iterations must not allocate; per-iteration allocations: {deltas:?}"
-    );
+        // Measured solve: sample the global allocation counter at every GN
+        // iteration boundary. The sample vector is pre-allocated so our own
+        // bookkeeping cannot disturb the counter.
+        let samples: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::with_capacity(64)));
+        let sink = samples.clone();
+        let hooks = claire::core::SolverHooks {
+            cancel: None,
+            on_gn_iter: Some(Arc::new(move |_| {
+                sink.lock().unwrap().push(allocation_count());
+            })),
+        };
+        let _ = Claire::with_hooks(cfg, hooks).register(&m0, &m1, &mut comm);
+
+        let s = samples.lock().unwrap();
+        assert!(
+            s.len() >= 4,
+            "need several GN iterations to observe a steady state, got {} boundaries",
+            s.len()
+        );
+        // The last boundary fires after the final full iteration; the deltas
+        // between the last three boundaries cover the two last complete
+        // iterations — by then every pool is warm.
+        let deltas: Vec<u64> = s.windows(2).map(|w| w[1] - w[0]).collect();
+        let tail = &deltas[deltas.len() - 2..];
+        assert_eq!(
+            tail,
+            &[0, 0],
+            "steady-state GN iterations must not allocate under {choice:?}; \
+             per-iteration allocations: {deltas:?}"
+        );
+    }
+    claire_simd::force_backend(None);
 }
