@@ -63,10 +63,10 @@ fn test_field(n: usize) -> ScalarField {
 
 /// Time `reps` runs of `f` and convert to a result row.
 ///
-/// Reports the fastest of three timed batches: the minimum is far less
+/// Reports the fastest of five timed batches: the minimum is far less
 /// sensitive to scheduler noise than a single batch, which matters because
-/// check_bench gates these rows at a 30% threshold and the sub-ns/pt
-/// kernels (axpy) finish in ~100µs per batch.
+/// check_bench gates these rows and the sub-ns/pt kernels (axpy) finish in
+/// ~100µs per batch.
 fn measure(
     kernel: &str,
     n: usize,
@@ -77,7 +77,7 @@ fn measure(
 ) -> BenchRow {
     f(); // warm-up (first-touch, plan setup inside closures is hoisted out)
     let mut total = std::time::Duration::MAX;
-    for _ in 0..3 {
+    for _ in 0..5 {
         let t0 = Instant::now();
         for _ in 0..reps {
             f();

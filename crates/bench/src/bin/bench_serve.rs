@@ -1,7 +1,7 @@
 //! Load generator for the `claire-serve` registration job service.
 //!
 //! Emits `BENCH_serve.json` (or the path given as the first non-flag CLI
-//! argument). Three phases:
+//! argument). Four phases:
 //!
 //! 1. **Calibration** — one synthetic job on a 1-worker service measures
 //!    the per-job service time this host sustains.
@@ -15,6 +15,9 @@
 //!    capacity-2 queue demonstrates bounded-queue backpressure: the run
 //!    fails unless some submissions are rejected and exactly
 //!    `capacity + workers`-bounded work is accepted.
+//! 4. **Batching** — the same identical-spec burst through one worker with
+//!    job coalescing off vs on; reports jobs/s both ways, the speedup, and
+//!    the largest batch the scheduler formed.
 //!
 //! `--smoke` shrinks the workload for CI (8³ grids, few jobs) while still
 //! exercising every phase.
@@ -49,12 +52,26 @@ struct OverloadRow {
 }
 
 #[derive(Serialize)]
+struct BatchingRow {
+    workers: usize,
+    jobs: usize,
+    max_batch: usize,
+    seq_jobs_per_s: f64,
+    batched_jobs_per_s: f64,
+    /// Batched over sequential throughput on the same burst.
+    batching_speedup: f64,
+    /// Largest coalesced batch the scheduler actually formed.
+    largest_batch: usize,
+}
+
+#[derive(Serialize)]
 struct Report {
     host_threads: usize,
     smoke: bool,
     calibration_run_secs: f64,
     levels: Vec<LevelRow>,
     overload: OverloadRow,
+    batching: BatchingRow,
 }
 
 struct Workload {
@@ -182,6 +199,52 @@ fn run_overload(w: &Workload) -> OverloadRow {
     }
 }
 
+/// Identical-spec burst through one worker, coalescing off vs on: the
+/// service-level view of `BatchSolver` setup amortization. The first job
+/// usually starts solo before companions queue up; the rest coalesce into
+/// batches of up to `max_batch`.
+fn run_batching(w: &Workload) -> BatchingRow {
+    let jobs = w.overload_jobs;
+    let max_batch = 8usize;
+    let mut rates = [0.0f64; 2];
+    let mut largest = 0usize;
+    for (i, batching) in [false, true].into_iter().enumerate() {
+        let mut svc = RegistrationService::start(
+            ServiceConfig::default()
+                .workers(1)
+                .queue_capacity(jobs)
+                .collect_reports(true)
+                .batching(batching)
+                .max_batch(max_batch),
+        );
+        let t0 = Instant::now();
+        let ids: Vec<_> = (0..jobs)
+            .map(|j| svc.submit(spec(format!("batching-{j}"), w.grid)).expect("burst admission"))
+            .collect();
+        for id in &ids {
+            let res = svc.wait(*id).expect("submitted job known");
+            assert_eq!(res.status, JobStatus::Succeeded, "{:?}", res.error);
+            if batching {
+                if let Some(run) = &res.run {
+                    largest = largest.max(run.scheduling.batch_size);
+                }
+            }
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        svc.shutdown();
+        rates[i] = jobs as f64 / elapsed.max(1e-9);
+    }
+    BatchingRow {
+        workers: 1,
+        jobs,
+        max_batch,
+        seq_jobs_per_s: rates[0],
+        batched_jobs_per_s: rates[1],
+        batching_speedup: rates[1] / rates[0].max(1e-9),
+        largest_batch: largest,
+    }
+}
+
 fn main() {
     let mut smoke = false;
     let mut out_path = "BENCH_serve.json".to_string();
@@ -229,8 +292,27 @@ fn main() {
         overload.accepted, overload.rejected
     );
 
-    let report =
-        Report { host_threads: host, smoke, calibration_run_secs: per_job, levels, overload };
+    eprintln!(
+        "bench_serve: batching burst ({} identical jobs, coalescing off vs on)...",
+        w.overload_jobs
+    );
+    let batching = run_batching(&w);
+    eprintln!(
+        "bench_serve:   sequential {:.2} jobs/s, batched {:.2} jobs/s ({:.2}x), largest batch {}",
+        batching.seq_jobs_per_s,
+        batching.batched_jobs_per_s,
+        batching.batching_speedup,
+        batching.largest_batch
+    );
+
+    let report = Report {
+        host_threads: host,
+        smoke,
+        calibration_run_secs: per_job,
+        levels,
+        overload,
+        batching,
+    };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&out_path, json + "\n").expect("write BENCH_serve.json");
     eprintln!("wrote {out_path}");

@@ -6,15 +6,18 @@
 //! ```
 //!
 //! Works on any report with a `results` array of rows keyed by
-//! `(kernel, n, threads, backend)` carrying `ns_per_point` — i.e. both
-//! `BENCH_kernels.json` and `BENCH_solver.json`. Rows without a `backend`
-//! field (pre-SIMD baselines) match rows with an empty one. Only `threads == 1` rows
-//! are compared: they are the stable ones (multi-thread rows measure
-//! scheduler noise as much as code). A row regresses when its fresh
-//! `ns_per_point` exceeds baseline by more than the threshold (default
-//! 30%); any regression prints a delta table and exits non-zero, failing
-//! `ci.sh`. Rows with an `allocs_per_iter` field additionally fail on any
-//! increase — allocation regressions are exact, not noisy.
+//! `(kernel, n, threads, backend)` carrying one gated metric — either
+//! `ns_per_point` (lower is better: `BENCH_kernels.json`,
+//! `BENCH_solver.json`) or `pairs_per_sec` (higher is better:
+//! `BENCH_batch.json` throughput rows). Rows without a `backend` field
+//! (pre-SIMD baselines) match rows with an empty one. Only `threads == 1`
+//! rows are compared: they are the stable ones (multi-thread rows measure
+//! scheduler noise as much as code). A row regresses when its fresh metric
+//! moves in the bad direction by more than the threshold (default 30%):
+//! `ns_per_point` above baseline, `pairs_per_sec` below it. Any regression
+//! prints a delta table and exits non-zero, failing `ci.sh`. Rows with an
+//! `allocs_per_iter` field additionally fail on any increase — allocation
+//! regressions are exact, not noisy.
 //!
 //! A missing baseline file is seeded from the fresh run (and the gate
 //! passes): the first CI run on a host commits its own reference.
@@ -26,7 +29,11 @@ struct Row {
     n: u64,
     threads: u64,
     backend: String,
-    ns_per_point: f64,
+    /// Gated metric value plus its display unit.
+    value: f64,
+    unit: &'static str,
+    /// `pairs_per_sec` rows gate on drops, `ns_per_point` rows on rises.
+    higher_is_better: bool,
     allocs_per_iter: Option<u64>,
 }
 
@@ -35,6 +42,7 @@ struct Delta {
     kernel: String,
     n: u64,
     backend: String,
+    unit: &'static str,
     base: f64,
     fresh: Option<f64>,
     delta: f64,
@@ -75,6 +83,14 @@ fn load_rows(path: &str) -> Vec<Row> {
     };
     rows.iter()
         .filter_map(|r| {
+            let (value, unit, higher_is_better) =
+                if let Some(v) = get(r, "ns_per_point").and_then(as_f64) {
+                    (v, "ns/pt", false)
+                } else if let Some(v) = get(r, "pairs_per_sec").and_then(as_f64) {
+                    (v, "pairs/s", true)
+                } else {
+                    return None; // row carries no gated metric
+                };
             Some(Row {
                 kernel: match get(r, "kernel")? {
                     Value::Str(s) => s.clone(),
@@ -86,7 +102,9 @@ fn load_rows(path: &str) -> Vec<Row> {
                     Some(Value::Str(s)) => s.clone(),
                     _ => String::new(), // pre-SIMD reports carry no backend
                 },
-                ns_per_point: as_f64(get(r, "ns_per_point")?)?,
+                value,
+                unit,
+                higher_is_better,
                 allocs_per_iter: get(r, "allocs_per_iter").and_then(as_u64),
             })
         })
@@ -126,8 +144,8 @@ fn main() {
     let baseline = load_rows(baseline_path);
 
     println!(
-        "{:<24} {:>5} {:<8} {:>12} {:>12} {:>8}  status",
-        "kernel", "n", "backend", "base ns/pt", "fresh ns/pt", "delta"
+        "{:<24} {:>5} {:<8} {:<8} {:>12} {:>12} {:>8}  status",
+        "kernel", "n", "backend", "unit", "base", "fresh", "delta"
     );
     let mut deltas: Vec<Delta> = Vec::new();
     let mut compared = 0usize;
@@ -136,14 +154,15 @@ fn main() {
             fresh.iter().find(|f| f.kernel == b.kernel && f.n == b.n && f.backend == b.backend)
         else {
             println!(
-                "{:<24} {:>5} {:<8} {:>12.1} {:>12} {:>8}  MISSING",
-                b.kernel, b.n, b.backend, b.ns_per_point, "-", "-"
+                "{:<24} {:>5} {:<8} {:<8} {:>12.1} {:>12} {:>8}  MISSING",
+                b.kernel, b.n, b.backend, b.unit, b.value, "-", "-"
             );
             deltas.push(Delta {
                 kernel: b.kernel.clone(),
                 n: b.n,
                 backend: b.backend.clone(),
-                base: b.ns_per_point,
+                unit: b.unit,
+                base: b.value,
                 fresh: None,
                 delta: 0.0,
                 status: "MISSING",
@@ -151,20 +170,24 @@ fn main() {
             continue;
         };
         compared += 1;
-        let delta = f.ns_per_point / b.ns_per_point - 1.0;
-        let mut status = if delta > threshold { "REGRESSED" } else { "ok" };
+        let delta = f.value / b.value - 1.0;
+        // the bad direction flips with the metric: slower (ns up) or less
+        // throughput (pairs/s down)
+        let regressed = if b.higher_is_better { delta < -threshold } else { delta > threshold };
+        let mut status = if regressed { "REGRESSED" } else { "ok" };
         if let (Some(fa), Some(ba)) = (f.allocs_per_iter, b.allocs_per_iter) {
             if fa > ba {
                 status = "ALLOC-REGRESSED";
             }
         }
         println!(
-            "{:<24} {:>5} {:<8} {:>12.1} {:>12.1} {:>7.1}%  {}",
+            "{:<24} {:>5} {:<8} {:<8} {:>12.1} {:>12.1} {:>7.1}%  {}",
             b.kernel,
             b.n,
             b.backend,
-            b.ns_per_point,
-            f.ns_per_point,
+            b.unit,
+            b.value,
+            f.value,
             delta * 100.0,
             status
         );
@@ -172,8 +195,9 @@ fn main() {
             kernel: b.kernel.clone(),
             n: b.n,
             backend: b.backend.clone(),
-            base: b.ns_per_point,
-            fresh: Some(f.ns_per_point),
+            unit: b.unit,
+            base: b.value,
+            fresh: Some(f.value),
             delta,
             status,
         });
@@ -185,8 +209,8 @@ fn main() {
             baseline.iter().any(|b| b.kernel == f.kernel && b.n == f.n && b.backend == f.backend);
         if !known {
             println!(
-                "{:<24} {:>5} {:<8} {:>12} {:>12.1} {:>8}  NEW (not gated)",
-                f.kernel, f.n, f.backend, "-", f.ns_per_point, "-"
+                "{:<24} {:>5} {:<8} {:<8} {:>12} {:>12.1} {:>8}  NEW (not gated)",
+                f.kernel, f.n, f.backend, f.unit, "-", f.value, "-"
             );
         }
     }
@@ -201,24 +225,25 @@ fn main() {
         eprintln!();
         eprintln!("check_bench: offending rows (threshold {:.0}%):", threshold * 100.0);
         eprintln!(
-            "  {:<24} {:>5} {:<8} {:>12} {:>12} {:>8}  status",
-            "kernel", "n", "backend", "base ns/pt", "fresh ns/pt", "delta"
+            "  {:<24} {:>5} {:<8} {:<8} {:>12} {:>12} {:>8}  status",
+            "kernel", "n", "backend", "unit", "base", "fresh", "delta"
         );
         for d in &offending {
             match d.fresh {
                 Some(fr) => eprintln!(
-                    "  {:<24} {:>5} {:<8} {:>12.1} {:>12.1} {:>7.1}%  {}",
+                    "  {:<24} {:>5} {:<8} {:<8} {:>12.1} {:>12.1} {:>7.1}%  {}",
                     d.kernel,
                     d.n,
                     d.backend,
+                    d.unit,
                     d.base,
                     fr,
                     d.delta * 100.0,
                     d.status
                 ),
                 None => eprintln!(
-                    "  {:<24} {:>5} {:<8} {:>12.1} {:>12} {:>8}  {}",
-                    d.kernel, d.n, d.backend, d.base, "-", "-", d.status
+                    "  {:<24} {:>5} {:<8} {:<8} {:>12.1} {:>12} {:>8}  {}",
+                    d.kernel, d.n, d.backend, d.unit, d.base, "-", "-", d.status
                 ),
             }
         }

@@ -1,0 +1,484 @@
+//! Batched multi-pair registration: K solves on one grid, interleaved at
+//! Gauss–Newton-iteration granularity.
+//!
+//! Per-solve setup — FFT plans, workspace-pool warm-up, preconditioner
+//! scaffolding (`TwoLevel` transfer operators, coarse spectral symbols) —
+//! is identical for every image pair on the same grid. [`BatchSolver`]
+//! amortizes it: one [`SolverScaffold`](crate::problem::SolverScaffold) and
+//! one warm pool/plan family back all K pairs, and the pairs' Gauss–Newton
+//! iterations run round-robin (pair 1 iter i, pair 2 iter i, …) so the hot
+//! working set of each kernel stays cache- and pool-resident across pairs.
+//! Pairs retire as soon as their own continuation schedule converges; the
+//! rest keep iterating.
+//!
+//! The arithmetic is *identical* to K independent [`Claire`](crate::Claire)
+//! solves: each pair has its own [`RegProblem`], its own β-continuation
+//! state, and steps through the same [`GnState`] loop body — interleaving
+//! only changes the order in which independent solves touch the shared
+//! (immutable) scaffolding. `tests/batch_equivalence.rs` pins this down
+//! bitwise on both SIMD backends.
+//!
+//! Per-pair [`SolverHooks`] (cancellation, deadlines, iteration observers)
+//! fire at that pair's own iteration boundaries, exactly as in the
+//! sequential driver; a cancelled pair retires early with
+//! [`ClaireError::Cancelled`] while the rest of the batch continues.
+
+use std::time::Instant;
+
+use claire_fft::cache as fft_cache;
+use claire_grid::{workspace, ClaireError, ClaireResult, ScalarField, VectorField};
+use claire_mpi::Comm;
+use claire_obs::{records, span::span};
+use claire_opt::{GnConfig, GnState, GnStats};
+
+use crate::config::RegistrationConfig;
+use crate::problem::{RegProblem, SolverScaffold};
+use crate::report::RegistrationReport;
+use crate::solver::{
+    accumulate, build_report, coarse_solvable, level_gn_config, CancelToken, SolverHooks,
+};
+
+/// One registration job in a batch: a (template, reference) pair plus its
+/// own control hooks.
+pub struct BatchPair {
+    /// Dataset label for the pair's report.
+    pub label: String,
+    /// Template image `m0`.
+    pub template: ScalarField,
+    /// Reference image `m1`.
+    pub reference: ScalarField,
+    /// Per-pair cancellation/observation hooks.
+    pub hooks: SolverHooks,
+}
+
+impl BatchPair {
+    /// A pair with default (empty) hooks.
+    pub fn new(label: impl Into<String>, template: ScalarField, reference: ScalarField) -> Self {
+        BatchPair { label: label.into(), template, reference, hooks: SolverHooks::default() }
+    }
+
+    /// Attach hooks (builder style).
+    pub fn with_hooks(mut self, hooks: SolverHooks) -> Self {
+        self.hooks = hooks;
+        self
+    }
+}
+
+/// Pool and plan-cache activity attributed to one batch member.
+///
+/// The pools and the FFT plan cache are process-global, so their raw
+/// counters cover the whole batch. Because the interleave is sequential
+/// within one [`BatchSolver::solve`] call, sampling the counters around
+/// each member's own steps yields **exact per-member deltas** for event
+/// counts (checkouts, misses, plan hits). Byte *levels* (peak, in-use) are
+/// properties of the shared pool family and are deliberately not split per
+/// member — summing them across members would double-count shared buffers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemberMemStats {
+    /// Pool checkouts by this member, per [`workspace::WsCat`] index.
+    pub cat_checkouts: [u64; 6],
+    /// Pool misses (fresh allocations) by this member, per category index.
+    pub cat_misses: [u64; 6],
+    /// FFT plan-cache hits during this member's construction and steps.
+    pub fft_plan_hits: u64,
+    /// FFT plan-cache misses (plans computed) for this member.
+    pub fft_plan_misses: u64,
+}
+
+impl MemberMemStats {
+    /// Total pool checkouts across categories.
+    pub fn pool_checkouts(&self) -> u64 {
+        self.cat_checkouts.iter().sum()
+    }
+
+    /// Total pool misses across categories.
+    pub fn pool_misses(&self) -> u64 {
+        self.cat_misses.iter().sum()
+    }
+
+    fn add_delta(
+        &mut self,
+        ws0: &[workspace::CatStats; 6],
+        ws1: &[workspace::CatStats; 6],
+        fft0: fft_cache::CacheStats,
+        fft1: fft_cache::CacheStats,
+    ) {
+        for i in 0..6 {
+            self.cat_checkouts[i] += ws1[i].checkouts.saturating_sub(ws0[i].checkouts);
+            self.cat_misses[i] += ws1[i].misses.saturating_sub(ws0[i].misses);
+        }
+        self.fft_plan_hits += fft1.hits.saturating_sub(fft0.hits);
+        self.fft_plan_misses += fft1.misses.saturating_sub(fft0.misses);
+    }
+}
+
+/// Whole-batch accounting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchStats {
+    /// Number of pairs in the batch.
+    pub pairs: usize,
+    /// Interleave rounds executed (a round steps every active pair once).
+    pub rounds: usize,
+    /// Seconds spent on shared + per-pair setup (scaffold planning, problem
+    /// construction) across all grid levels. Amortized over `pairs`.
+    pub setup_secs: f64,
+    /// Seconds spent in the interleaved iterations and report assembly.
+    pub solve_secs: f64,
+}
+
+/// Result for one batch member.
+pub struct BatchItem {
+    /// The pair's label, as submitted.
+    pub label: String,
+    /// The solve result: velocity + report, or the per-pair error
+    /// (cancellation, deadline, invalid input).
+    pub outcome: ClaireResult<(VectorField, RegistrationReport)>,
+    /// Gauss–Newton statistics accumulated over the pair's β-levels on the
+    /// finest grid (default-empty when the pair failed before iterating).
+    pub gn: GnStats,
+    /// Pool/plan-cache activity attributed to this member.
+    pub memory: MemberMemStats,
+}
+
+/// The full outcome of a batch solve: one item per pair, same order as
+/// submitted, plus whole-batch stats.
+pub struct BatchOutcome {
+    /// Per-pair results, in submission order.
+    pub items: Vec<BatchItem>,
+    /// Whole-batch accounting.
+    pub stats: BatchStats,
+}
+
+/// Registration solver for K pairs sharing one grid and configuration.
+///
+/// ```no_run
+/// # use claire_core::{batch::{BatchPair, BatchSolver}, RegistrationConfig};
+/// # use claire_grid::{Grid, Layout, ScalarField};
+/// # let layout = Layout::serial(Grid::cube(16));
+/// # let (m0a, m1a) = (ScalarField::zeros(layout), ScalarField::zeros(layout));
+/// # let (m0b, m1b) = (ScalarField::zeros(layout), ScalarField::zeros(layout));
+/// let solver = BatchSolver::new(RegistrationConfig::default());
+/// let outcome = solver
+///     .solve(vec![BatchPair::new("a", m0a, m1a), BatchPair::new("b", m0b, m1b)])
+///     .unwrap();
+/// for item in &outcome.items {
+///     let (v, report) = item.outcome.as_ref().unwrap();
+///     println!("{}: mismatch {:.3}", item.label, report.rel_mismatch);
+/// }
+/// ```
+pub struct BatchSolver {
+    /// Configuration applied to every pair.
+    pub cfg: RegistrationConfig,
+    thread_budget: usize,
+}
+
+impl BatchSolver {
+    /// New batch solver; every pair uses `cfg`.
+    pub fn new(cfg: RegistrationConfig) -> BatchSolver {
+        BatchSolver { cfg, thread_budget: 0 }
+    }
+
+    /// Cap the worker threads the whole batch may use (0 = inherit the
+    /// ambient budget). A batch is *one* unit of schedulable work: without
+    /// a cap, a K-pair batch on a claire-serve worker would inherit the
+    /// worker's single-job slice and still be just one kernel at a time —
+    /// correct — but an explicit budget lets the scheduler hand a batch the
+    /// slice it actually merged (e.g. the K jobs' combined share) without
+    /// oversubscribing claire-par.
+    pub fn with_thread_budget(mut self, threads: usize) -> BatchSolver {
+        self.thread_budget = threads;
+        self
+    }
+
+    /// Solve all `pairs`. Returns per-pair outcomes in submission order;
+    /// the call itself only fails for batch-level misuse (empty batch,
+    /// mixed layouts, invalid config) — per-pair failures (cancellation,
+    /// deadlines) are reported inside the affected [`BatchItem`] while the
+    /// remaining pairs complete normally.
+    pub fn solve(&self, pairs: Vec<BatchPair>) -> ClaireResult<BatchOutcome> {
+        self.cfg.validate()?;
+        if pairs.is_empty() {
+            return Err(ClaireError::Config {
+                param: "batch",
+                message: "batch must contain at least one pair".into(),
+            });
+        }
+        let layout = *pairs[0].template.layout();
+        for p in &pairs {
+            if *p.template.layout() != layout || *p.reference.layout() != layout {
+                return Err(ClaireError::LayoutMismatch {
+                    context: "BatchSolver::solve",
+                    message: format!(
+                        "all batch members must share one grid/layout; pair {:?} differs \
+                         from the batch grid {:?}",
+                        p.label, layout.grid.n
+                    ),
+                });
+            }
+        }
+        if self.thread_budget > 0 {
+            claire_par::with_local_threads(self.thread_budget, || self.solve_inner(pairs))
+        } else {
+            self.solve_inner(pairs)
+        }
+    }
+
+    fn solve_inner(&self, pairs: Vec<BatchPair>) -> ClaireResult<BatchOutcome> {
+        let _batch_span = span("batch.solve");
+        let k = pairs.len();
+        let t0 = Instant::now();
+        let mut comms: Vec<Comm> = (0..k).map(|_| Comm::solo()).collect();
+        let mut mem: Vec<MemberMemStats> = vec![MemberMemStats::default(); k];
+        let mut rounds = 0usize;
+        let mut setup_secs = 0.0f64;
+
+        let labels: Vec<String> = pairs.iter().map(|p| p.label.clone()).collect();
+        let inputs: Vec<PairInput> = pairs
+            .into_iter()
+            .map(|p| PairInput {
+                label: p.label,
+                hooks: p.hooks,
+                m0: p.template,
+                m1: p.reference,
+                v_init: None,
+            })
+            .collect();
+
+        let results =
+            solve_level(&self.cfg, inputs, &mut comms, &mut mem, &mut rounds, &mut setup_secs);
+
+        let mut items = Vec::with_capacity(k);
+        for (((res, label), comm), mem) in
+            results.into_iter().zip(labels).zip(comms.iter_mut()).zip(mem)
+        {
+            let item = match res {
+                Ok((mut problem, v, stats)) => {
+                    let report = build_report(&self.cfg, &mut problem, &v, &label, comm, &stats);
+                    BatchItem { label, outcome: Ok((v, report)), gn: stats, memory: mem }
+                }
+                Err(e) => BatchItem { label, outcome: Err(e), gn: GnStats::default(), memory: mem },
+            };
+            items.push(item);
+        }
+        let solve_secs = (t0.elapsed().as_secs_f64() - setup_secs).max(0.0);
+        Ok(BatchOutcome { items, stats: BatchStats { pairs: k, rounds, setup_secs, solve_secs } })
+    }
+}
+
+/// One pair's inputs for a grid level.
+struct PairInput {
+    label: String,
+    hooks: SolverHooks,
+    m0: ScalarField,
+    m1: ScalarField,
+    v_init: Option<VectorField>,
+}
+
+type PairResult = Result<(RegProblem, VectorField, GnStats), ClaireError>;
+
+/// Solve every pair on the inputs' grid (recursing to the half-resolution
+/// grid first when grid continuation applies, exactly like
+/// `Claire::try_register_from`). Returns per-pair results in order.
+fn solve_level(
+    cfg: &RegistrationConfig,
+    mut inputs: Vec<PairInput>,
+    comms: &mut [Comm],
+    mem: &mut [MemberMemStats],
+    rounds: &mut usize,
+    setup_secs: &mut f64,
+) -> Vec<PairResult> {
+    let layout = *inputs[0].m0.layout();
+    let k = inputs.len();
+    let mut failed: Vec<Option<ClaireError>> = (0..k).map(|_| None).collect();
+
+    // coarse-to-fine grid continuation: solve the whole batch at half
+    // resolution first, prolonging each velocity as that pair's warm start
+    if cfg.grid_continuation && coarse_solvable(&layout) {
+        let tl = claire_diff::TwoLevel::new(layout.grid, &comms[0]);
+        let mut coarse_cfg = *cfg;
+        coarse_cfg.grid_continuation = layout.grid.n.iter().all(|&n| n >= 16);
+        let coarse_inputs: Vec<PairInput> = inputs
+            .iter_mut()
+            .zip(comms.iter_mut())
+            .map(|(p, comm)| PairInput {
+                label: p.label.clone(),
+                hooks: p.hooks.clone(),
+                m0: tl.restrict(&p.m0, comm),
+                m1: tl.restrict(&p.m1, comm),
+                v_init: p.v_init.take(),
+            })
+            .collect();
+        let coarse = solve_level(&coarse_cfg, coarse_inputs, comms, mem, rounds, setup_secs);
+        for (i, res) in coarse.into_iter().enumerate() {
+            match res {
+                Ok((_, vc, _)) => inputs[i].v_init = Some(tl.prolong_vector(&vc, &mut comms[i])),
+                Err(e) => failed[i] = Some(e),
+            }
+        }
+    }
+
+    // shared per-grid scaffolding (FFT symbols, 2LInvH0 transfer operators)
+    let t_setup = Instant::now();
+    let scaffold = SolverScaffold::new(cfg, layout.grid, &mut comms[0]);
+    let betas = cfg.beta_schedule();
+    let gn_cfg = level_gn_config(cfg);
+
+    let mut out: Vec<Option<PairResult>> = (0..k).map(|_| None).collect();
+    let mut drivers: Vec<Option<PairDriver>> = Vec::with_capacity(k);
+    for (i, p) in inputs.into_iter().enumerate() {
+        if let Some(e) = failed[i].take() {
+            out[i] = Some(Err(e));
+            drivers.push(None);
+            continue;
+        }
+        let ws0 = workspace::stats();
+        let fft0 = fft_cache::stats();
+        match RegProblem::with_scaffold(p.m0, p.m1, *cfg, &scaffold, &mut comms[i]) {
+            Ok(mut problem) => {
+                problem.set_beta(betas[0]);
+                let state =
+                    GnState::new(p.v_init.unwrap_or_else(|| VectorField::zeros(layout)), &gn_cfg);
+                let hooked = p.hooks.cancel.is_some() || p.hooks.on_gn_iter.is_some();
+                // reserve the whole-run histories up front so retiring a
+                // pair (accumulate on level close) never allocates inside
+                // a measured interleave round
+                let mut total = GnStats::default();
+                let cap = betas.len() * (gn_cfg.max_iter + 1);
+                total.grad_rel_history.reserve(cap);
+                total.objective_history.reserve(cap);
+                drivers.push(Some(PairDriver {
+                    hooks: p.hooks,
+                    hooked,
+                    problem,
+                    state: Some(state),
+                    v: None,
+                    level: 0,
+                    base: 0,
+                    total,
+                    outcome_err: None,
+                    done: false,
+                }));
+            }
+            Err(e) => {
+                out[i] = Some(Err(e));
+                drivers.push(None);
+            }
+        }
+        mem[i].add_delta(&ws0, &workspace::stats(), fft0, fft_cache::stats());
+    }
+    *setup_secs += t_setup.elapsed().as_secs_f64();
+
+    // the interleave: step every active pair once per round
+    loop {
+        let mut any = false;
+        for (i, slot) in drivers.iter_mut().enumerate() {
+            let Some(drv) = slot else { continue };
+            if drv.done {
+                continue;
+            }
+            any = true;
+            let ws0 = workspace::stats();
+            let fft0 = fft_cache::stats();
+            drv.advance(cfg, &gn_cfg, &betas, &mut comms[i]);
+            mem[i].add_delta(&ws0, &workspace::stats(), fft0, fft_cache::stats());
+        }
+        if !any {
+            break;
+        }
+        *rounds += 1;
+    }
+
+    for (i, slot) in drivers.into_iter().enumerate() {
+        if let Some(drv) = slot {
+            out[i] = Some(match drv.outcome_err {
+                Some(e) => Err(e),
+                None => Ok((
+                    drv.problem,
+                    drv.v.expect("finished driver holds final velocity"),
+                    drv.total,
+                )),
+            });
+        }
+    }
+    out.into_iter().map(|r| r.expect("every pair resolved")).collect()
+}
+
+/// One pair's in-flight solver state during the interleave.
+struct PairDriver {
+    hooks: SolverHooks,
+    hooked: bool,
+    problem: RegProblem,
+    /// Current β-level's Gauss–Newton state (`None` transiently while a
+    /// level is being closed).
+    state: Option<GnState>,
+    /// Final velocity, set once all levels are done.
+    v: Option<VectorField>,
+    level: usize,
+    /// Cumulative GN iterations before the current level (hook indices are
+    /// cumulative across levels, matching `Claire`).
+    base: usize,
+    total: GnStats,
+    outcome_err: Option<ClaireError>,
+    done: bool,
+}
+
+impl PairDriver {
+    /// Run one Gauss–Newton iteration boundary + iteration for this pair:
+    /// fire observers, poll cancellation, step, and roll to the next
+    /// β-level (or retire) when the current level finishes. The sequence of
+    /// boundaries and iterations this pair sees is identical to a
+    /// sequential `Claire` solve.
+    fn advance(
+        &mut self,
+        cfg: &RegistrationConfig,
+        gn_cfg: &GnConfig,
+        betas: &[f64],
+        comm: &mut Comm,
+    ) {
+        if self.hooked {
+            let k = self.base + self.state.as_ref().map_or(0, |s| s.stats().gn_iters);
+            if let Some(cb) = &self.hooks.on_gn_iter {
+                cb(k);
+            }
+            if let Some(reason) = self.hooks.cancel.as_ref().and_then(CancelToken::stop_reason) {
+                let mut state = self.state.take().expect("active driver has a level state");
+                state.cancel();
+                let (v, stats) = state.finish();
+                accumulate(&mut self.total, &stats);
+                self.v = Some(v);
+                self.outcome_err = Some(ClaireError::Cancelled {
+                    context: "BatchSolver::solve",
+                    message: format!(
+                        "{} after {} Gauss-Newton iteration(s) at beta level {}",
+                        reason.label(),
+                        self.total.gn_iters,
+                        self.level
+                    ),
+                });
+                self.done = true;
+                return;
+            }
+        }
+        records::set_context(self.level, betas[self.level]);
+        let state = self.state.as_mut().expect("active driver has a level state");
+        if state.step(&mut self.problem, gn_cfg, comm) {
+            let (v, stats) = self.state.take().unwrap().finish();
+            accumulate(&mut self.total, &stats);
+            self.level += 1;
+            if self.level < betas.len() {
+                if cfg.verbose && comm.rank() == 0 {
+                    eprintln!(
+                        "== continuation level {}: beta = {:.3e} ==",
+                        self.level, betas[self.level]
+                    );
+                }
+                self.problem.set_beta(betas[self.level]);
+                self.base = self.total.gn_iters;
+                self.state = Some(GnState::new(v, gn_cfg));
+            } else {
+                self.v = Some(v);
+                self.done = true;
+            }
+        }
+    }
+}

@@ -18,12 +18,15 @@
 //! in (9) to 5e−2"), which keeps the preconditioner effective for
 //! vanishing β.
 
+use std::sync::Arc;
+
 use claire_diff::{Spectral, TwoLevel};
 use claire_grid::{ScalarField, VectorField};
 use claire_mpi::Comm;
 use claire_opt::{pcg, PcgConfig, PcgOperator};
 
 use crate::config::{PrecondKind, RegistrationConfig};
+use crate::problem::SolverScaffold;
 
 /// The zero-velocity Hessian `H0 = βA + ∇m̄ ⊗ ∇m̄` on one grid.
 struct H0Ops<'a> {
@@ -63,10 +66,12 @@ pub struct PrecondState {
     max_inner: usize,
     /// `∇m̄` on the fine grid (m̄ = deformed template at current iterate).
     grad_mbar: VectorField,
-    /// Grid-transfer operators (2LInvH0 only).
-    two_level: Option<TwoLevel>,
-    /// Spectral operators on the coarse grid (2LInvH0 only).
-    spectral_c: Option<Spectral>,
+    /// Grid-transfer operators (2LInvH0 only); `Arc` so a batch of
+    /// problems on one grid shares one set.
+    two_level: Option<Arc<TwoLevel>>,
+    /// Spectral operators on the coarse grid (2LInvH0 only); shared like
+    /// `two_level`.
+    spectral_c: Option<Arc<Spectral>>,
     /// `∇m̄` restricted to the coarse grid (2LInvH0 only).
     grad_mbar_c: Option<VectorField>,
     /// Persistent FD scratch so per-iteration refreshes reuse ghost/tmp
@@ -88,10 +93,55 @@ impl PrecondState {
         let grid = m0.layout().grid;
         let grad_mbar = claire_diff::fd::gradient(m0, comm);
         let (two_level, spectral_c, grad_mbar_c) = if cfg.precond == PrecondKind::TwoLevelInvH0 {
-            let tl = TwoLevel::new(grid, comm);
-            let sc = Spectral::new(tl.coarse_grid(), comm);
+            let tl = Arc::new(TwoLevel::new(grid, comm));
+            let sc = Arc::new(Spectral::new(tl.coarse_grid(), comm));
             let gc = tl.restrict_vector(&grad_mbar, comm);
             (Some(tl), Some(sc), Some(gc))
+        } else {
+            (None, None, None)
+        };
+        PrecondState {
+            kind: cfg.precond,
+            eps_h0: cfg.eps_h0,
+            beta_floor: cfg.beta_floor,
+            max_inner: cfg.max_inner_iter,
+            grad_mbar,
+            two_level,
+            spectral_c,
+            grad_mbar_c,
+            fd_scratch: claire_diff::fd::FdScratch::new(),
+            n_inva: 0,
+            n_invh0: 0,
+            inner_iters: 0,
+        }
+    }
+
+    /// [`PrecondState::new`] drawing the grid-dependent scaffolding
+    /// (`TwoLevel`, coarse `Spectral`) from a shared [`SolverScaffold`]
+    /// instead of building private copies. Only the per-pair `∇m̄` fields
+    /// are computed here. Collective.
+    pub(crate) fn with_scaffold(
+        cfg: &RegistrationConfig,
+        m0: &ScalarField,
+        scaffold: &SolverScaffold,
+        comm: &mut Comm,
+    ) -> PrecondState {
+        let grad_mbar = claire_diff::fd::gradient(m0, comm);
+        let (two_level, spectral_c, grad_mbar_c) = if cfg.precond == PrecondKind::TwoLevelInvH0 {
+            match (&scaffold.two_level, &scaffold.spectral_c) {
+                (Some(tl), Some(sc)) => {
+                    let gc = tl.restrict_vector(&grad_mbar, comm);
+                    (Some(Arc::clone(tl)), Some(Arc::clone(sc)), Some(gc))
+                }
+                // scaffold built for a different preconditioner kind:
+                // fall back to private copies
+                _ => {
+                    let tl = Arc::new(TwoLevel::new(m0.layout().grid, comm));
+                    let sc = Arc::new(Spectral::new(tl.coarse_grid(), comm));
+                    let gc = tl.restrict_vector(&grad_mbar, comm);
+                    (Some(tl), Some(sc), Some(gc))
+                }
+            }
         } else {
             (None, None, None)
         };
@@ -189,7 +239,7 @@ impl PrecondState {
                     max_iter: self.max_inner,
                     trace: false,
                 };
-                let mut ops = H0Ops { spectral: sc_ops, grad_mbar: gc, beta: beta_h0 };
+                let mut ops = H0Ops { spectral: sc_ops.as_ref(), grad_mbar: gc, beta: beta_h0 };
                 let (sc, res) = pcg(&rc, Some(&x0c), &cfg, &mut ops, comm);
                 self.inner_iters += res.iters;
                 // sf ← PROLONG(sc) + HIGHPASS(sf)

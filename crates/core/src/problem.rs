@@ -1,14 +1,52 @@
 //! The PDE-constrained registration problem (objective, gradient, Hessian).
 
-use claire_diff::Spectral;
+use std::sync::Arc;
+
+use claire_diff::{Spectral, TwoLevel};
 use claire_grid::{ClaireError, ClaireResult, Layout, Real, ScalarField, VectorField};
 use claire_interp::Interpolator;
 use claire_mpi::Comm;
 use claire_opt::GnProblem;
 use claire_semilag::{StateSolution, Trajectory, Transport};
 
-use crate::config::RegistrationConfig;
+use crate::config::{PrecondKind, RegistrationConfig};
 use crate::precond::PrecondState;
+
+/// Pair-independent solver machinery for one grid: the spectral operators
+/// and (for `2LInvH0`) the grid-transfer/coarse-spectral scaffolding.
+///
+/// Everything here depends only on the grid and the preconditioner kind —
+/// never on the images — so one scaffold can back any number of
+/// [`RegProblem`]s on the same grid. `BatchSolver` builds one per batch and
+/// shares it across all K members; [`RegProblem::new`] builds a private one.
+/// All shared pieces are immutable (`&self` methods only), so sharing does
+/// not change any arithmetic.
+pub struct SolverScaffold {
+    pub(crate) grid: claire_grid::Grid,
+    pub(crate) spectral: Arc<Spectral>,
+    pub(crate) two_level: Option<Arc<TwoLevel>>,
+    pub(crate) spectral_c: Option<Arc<Spectral>>,
+}
+
+impl SolverScaffold {
+    /// Plan the shared machinery for `grid` under `cfg`. Collective (plans
+    /// FFTs on the fine and, for `2LInvH0`, the coarse grid).
+    pub fn new(
+        cfg: &RegistrationConfig,
+        grid: claire_grid::Grid,
+        comm: &mut Comm,
+    ) -> SolverScaffold {
+        let spectral = Arc::new(Spectral::new(grid, comm));
+        let (two_level, spectral_c) = if cfg.precond == PrecondKind::TwoLevelInvH0 {
+            let tl = TwoLevel::new(grid, comm);
+            let sc = Arc::new(Spectral::new(tl.coarse_grid(), comm));
+            (Some(Arc::new(tl)), Some(sc))
+        } else {
+            (None, None)
+        };
+        SolverScaffold { grid, spectral, two_level, spectral_c }
+    }
+}
 
 /// State cached at the last gradient point (needed by Hessian matvecs).
 struct Current {
@@ -29,7 +67,7 @@ pub struct RegProblem {
     transport: Transport,
     /// Shared interpolator (accumulates Table 2 phase stats).
     pub interp: Interpolator,
-    spectral: Spectral,
+    spectral: Arc<Spectral>,
     /// Preconditioner state and counters.
     pub pc: PrecondState,
     cur: Option<Current>,
@@ -46,25 +84,41 @@ impl RegProblem {
         comm: &mut Comm,
     ) -> ClaireResult<RegProblem> {
         let layout = *m0.layout();
-        if layout != *m1.layout() {
+        check_layouts(&m0, &m1, "RegProblem::new")?;
+        validate_grid(layout.grid)?;
+        let scaffold = SolverScaffold::new(&cfg, layout.grid, comm);
+        Self::with_scaffold(m0, m1, cfg, &scaffold, comm)
+    }
+
+    /// [`RegProblem::new`] backed by a pre-built [`SolverScaffold`] — the
+    /// batch path: K problems on one grid share one scaffold instead of
+    /// planning K copies. The scaffold's grid must match the images' grid.
+    pub fn with_scaffold(
+        m0: ScalarField,
+        m1: ScalarField,
+        cfg: RegistrationConfig,
+        scaffold: &SolverScaffold,
+        comm: &mut Comm,
+    ) -> ClaireResult<RegProblem> {
+        let layout = *m0.layout();
+        check_layouts(&m0, &m1, "RegProblem::with_scaffold")?;
+        validate_grid(layout.grid)?;
+        if scaffold.grid != layout.grid {
             return Err(ClaireError::LayoutMismatch {
-                context: "RegProblem::new",
+                context: "RegProblem::with_scaffold",
                 message: format!(
-                    "template layout {:?} != reference layout {:?}",
-                    layout,
-                    m1.layout()
+                    "scaffold grid {:?} != image grid {:?}",
+                    scaffold.grid.n, layout.grid.n
                 ),
             });
         }
-        validate_grid(layout.grid)?;
-        let spectral = Spectral::new(layout.grid, comm);
-        let pc = PrecondState::new(&cfg, &m0, comm);
+        let pc = PrecondState::with_scaffold(&cfg, &m0, scaffold, comm);
         Ok(RegProblem {
             layout,
             beta: cfg.beta_init,
             transport: Transport::new(cfg.nt, cfg.ip_order),
             interp: Interpolator::new(cfg.ip_order),
-            spectral,
+            spectral: Arc::clone(&scaffold.spectral),
             pc,
             cur: None,
             cfg,
@@ -90,7 +144,7 @@ impl RegProblem {
 
     /// Access the spectral operators.
     pub fn spectral(&self) -> &Spectral {
-        &self.spectral
+        self.spectral.as_ref()
     }
 
     /// Template image.
@@ -124,6 +178,20 @@ impl RegProblem {
         den.axpy(-1.0, &self.m1);
         num.norm_l2(comm) / den.norm_l2(comm).max(f64::MIN_POSITIVE)
     }
+}
+
+fn check_layouts(m0: &ScalarField, m1: &ScalarField, context: &'static str) -> ClaireResult<()> {
+    if m0.layout() != m1.layout() {
+        return Err(ClaireError::LayoutMismatch {
+            context,
+            message: format!(
+                "template layout {:?} != reference layout {:?}",
+                m0.layout(),
+                m1.layout()
+            ),
+        });
+    }
+    Ok(())
 }
 
 /// Validate grid dimensions up front so misconfigured problems fail with a

@@ -234,14 +234,7 @@ impl Claire {
             let _lvl = span("beta_level");
             records::set_context(level, beta);
             problem.set_beta(beta);
-            let gn_cfg = GnConfig {
-                max_iter: self.cfg.max_gn_iter,
-                grad_rtol: self.cfg.grad_rtol,
-                max_pcg: self.cfg.max_pcg_iter,
-                fixed_pcg: self.cfg.fixed_pcg,
-                verbose: self.cfg.verbose,
-                ..Default::default()
-            };
+            let gn_cfg = level_gn_config(&self.cfg);
             if self.cfg.verbose && comm.rank() == 0 {
                 eprintln!("== continuation level {level}: beta = {beta:.3e} ==");
             }
@@ -278,72 +271,87 @@ impl Claire {
             }
         }
 
-        let report = self.build_report(&mut problem, &v, label, comm, &total);
+        let report = build_report(&self.cfg, &mut problem, &v, label, comm, &total);
         Ok((v, report))
     }
+}
 
-    fn build_report(
-        &self,
-        problem: &mut RegProblem,
-        v: &VectorField,
-        label: &str,
-        comm: &mut Comm,
-        stats: &GnStats,
-    ) -> RegistrationReport {
-        let layout = problem.layout();
-        let rel_mismatch = problem.rel_mismatch(v, comm);
+/// Gauss–Newton options for one β-continuation level of `cfg`. Shared by
+/// [`Claire`] and `BatchSolver` so the two paths run identical iterations.
+pub(crate) fn level_gn_config(cfg: &RegistrationConfig) -> GnConfig {
+    GnConfig {
+        max_iter: cfg.max_gn_iter,
+        grad_rtol: cfg.grad_rtol,
+        max_pcg: cfg.max_pcg_iter,
+        fixed_pcg: cfg.fixed_pcg,
+        verbose: cfg.verbose,
+        ..Default::default()
+    }
+}
 
-        // diffeomorphism diagnostics
-        let mut interp = Interpolator::new(self.cfg.ip_order);
-        let traj = Trajectory::compute(v, self.cfg.nt, &mut interp, comm);
-        let u = displacement::displacement(&traj, self.cfg.nt, &mut interp, comm);
-        let det = displacement::jacobian_det(&u, comm);
-        let (jac_det_min, jac_det_max) = displacement::det_bounds(&det, comm);
+/// Assemble the Table 6-style report for a finished solve. Collective
+/// (computes the final mismatch and diffeomorphism diagnostics).
+pub(crate) fn build_report(
+    cfg: &RegistrationConfig,
+    problem: &mut RegProblem,
+    v: &VectorField,
+    label: &str,
+    comm: &mut Comm,
+    stats: &GnStats,
+) -> RegistrationReport {
+    let layout = problem.layout();
+    let rel_mismatch = problem.rel_mismatch(v, comm);
 
-        let mem = memory::estimate(layout.grid, self.cfg.nt, layout.nranks, self.cfg.ip_order, 4);
+    // diffeomorphism diagnostics
+    let mut interp = Interpolator::new(cfg.ip_order);
+    let traj = Trajectory::compute(v, cfg.nt, &mut interp, comm);
+    let u = displacement::displacement(&traj, cfg.nt, &mut interp, comm);
+    let det = displacement::jacobian_det(&u, comm);
+    let (jac_det_min, jac_det_max) = displacement::det_bounds(&det, comm);
 
-        RegistrationReport {
-            data: label.to_string(),
-            pc: self.cfg.precond.label().to_string(),
-            grid: layout.grid.n,
-            nt: self.cfg.nt,
-            nranks: layout.nranks,
-            gn_iters: stats.gn_iters,
-            pcg_iters: stats.pcg_iters_total,
-            rel_mismatch,
-            grad_rel: stats.grad_rel,
-            n_inva: problem.pc.n_inva,
-            n_invh0: problem.pc.n_invh0,
-            inner_cg_total: problem.pc.inner_iters,
-            inner_cg_avg: problem.pc.inner_avg(),
-            time_pc: stats.time.pc,
-            time_obj: stats.time.obj,
-            time_grad: stats.time.grad,
-            time_hess: stats.time.hess,
-            time_total: stats.time.total,
-            modeled_pc: stats.modeled.pc,
-            modeled_obj: stats.modeled.obj,
-            modeled_grad: stats.modeled.grad,
-            modeled_hess: stats.modeled.hess,
-            modeled_total: stats.modeled.total,
-            jac_det_min,
-            jac_det_max,
-            memory_bytes_per_rank: mem.total(),
-        }
+    let mem = memory::estimate(layout.grid, cfg.nt, layout.nranks, cfg.ip_order, 4);
+
+    RegistrationReport {
+        data: label.to_string(),
+        pc: cfg.precond.label().to_string(),
+        grid: layout.grid.n,
+        nt: cfg.nt,
+        nranks: layout.nranks,
+        gn_iters: stats.gn_iters,
+        pcg_iters: stats.pcg_iters_total,
+        rel_mismatch,
+        grad_rel: stats.grad_rel,
+        n_inva: problem.pc.n_inva,
+        n_invh0: problem.pc.n_invh0,
+        inner_cg_total: problem.pc.inner_iters,
+        inner_cg_avg: problem.pc.inner_avg(),
+        time_pc: stats.time.pc,
+        time_obj: stats.time.obj,
+        time_grad: stats.time.grad,
+        time_hess: stats.time.hess,
+        time_total: stats.time.total,
+        modeled_pc: stats.modeled.pc,
+        modeled_obj: stats.modeled.obj,
+        modeled_grad: stats.modeled.grad,
+        modeled_hess: stats.modeled.hess,
+        modeled_total: stats.modeled.total,
+        jac_det_min,
+        jac_det_max,
+        memory_bytes_per_rank: mem.total(),
     }
 }
 
 /// Whether the half-resolution grid still supports this layout's rank
 /// count and the spectral coarsening (even dims ≥ 8 so the 2LInvH0
 /// preconditioner's own coarse grid stays valid too).
-fn coarse_solvable(layout: &claire_grid::Layout) -> bool {
+pub(crate) fn coarse_solvable(layout: &claire_grid::Layout) -> bool {
     layout.grid.n.iter().all(|&n| n >= 16 && n % 4 == 0)
         && layout.nranks <= layout.grid.n[0] / 2
         && layout.nranks <= layout.grid.n[1] / 2
 }
 
 /// Accumulate per-level Gauss–Newton statistics into a whole-run total.
-fn accumulate(total: &mut GnStats, level: &GnStats) {
+pub(crate) fn accumulate(total: &mut GnStats, level: &GnStats) {
     total.gn_iters += level.gn_iters;
     total.pcg_iters_total += level.pcg_iters_total;
     total.obj_evals += level.obj_evals;

@@ -91,6 +91,16 @@ pub fn reset_stats() {
     MISSES.store(0, Ordering::Relaxed);
 }
 
+/// Drop every cached plan (counters are kept). Plans still held by live
+/// `Arc`s stay usable; the next lookup re-plans. This exists for benchmarks
+/// that model a cold process (e.g. `bench_batch`'s sequential baseline) —
+/// production code should never need it.
+pub fn clear() {
+    FFT1D.lock().unwrap().clear();
+    REAL1D.lock().unwrap().clear();
+    FFT3.lock().unwrap().clear();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -346,6 +346,17 @@ pub fn real_zeroed(len: usize, cat: WsCat) -> PoolVec<Real> {
     REAL_POOL.checkout_filled(len, 0.0 as Real, cat)
 }
 
+/// Free every shelved buffer in all four solver pools. Checked-out buffers
+/// are unaffected. This exists for benchmarks that model a cold process
+/// (e.g. `bench_batch`'s sequential baseline) — production code should
+/// never need it.
+pub fn drain_all() {
+    REAL_POOL.drain();
+    R3_POOL.drain();
+    SCALAR_FIELDS.drain();
+    VECTOR_FIELDS.drain();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

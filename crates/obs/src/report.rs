@@ -82,6 +82,12 @@ pub struct SchedulingInfo {
     /// Deadline the job was admitted with, seconds from submission
     /// (0 = none).
     pub deadline_secs: f64,
+    /// Identifier of the coalesced batch this job ran in (0 = solo run,
+    /// not batched). Jobs sharing a `batch_id` were solved by one
+    /// `BatchSolver` invocation with interleaved Gauss–Newton iterations.
+    pub batch_id: u64,
+    /// Number of jobs coalesced into that batch (0 = solo run).
+    pub batch_size: usize,
 }
 
 /// Runtime share per kernel phase — the paper's Table 7 FFT/IP/FD columns.
@@ -169,23 +175,39 @@ pub struct MemoryCatEntry {
 /// analytic per-rank estimate from the paper's §3 memory model
 /// (claire-core `memory::estimate`). Steady state shows up here as
 /// `pool_misses` staying flat while `pool_checkouts` keeps growing.
+///
+/// **Sharing semantics.** The pools and the plan cache are process-global
+/// and shared by every solve — in a batched run (`scheduling.batch_id`
+/// nonzero), by all members at once. Event counts (`pool_checkouts`,
+/// `pool_misses`, `fft_plan_hits`, `fft_plan_misses`) are attributed to
+/// *this job only*: they are exact deltas sampled around the job's own
+/// solver steps, so summing them across a batch's reports double-counts
+/// nothing. Byte *levels* (`pool_peak_bytes`, `pool_in_use_bytes`, the
+/// per-category `peak_bytes`) are properties of the shared pool family and
+/// are reported family-wide — identical across a batch's members and not
+/// summable.
 #[derive(Serialize, Clone, Debug, Default)]
 pub struct MemoryInfo {
-    /// Total pool checkouts across all categories.
+    /// Pool checkouts attributed to this job (exact per-job delta, even
+    /// inside a batch).
     pub pool_checkouts: u64,
-    /// Total checkouts that allocated fresh memory.
+    /// Checkouts by this job that allocated fresh memory (per-job delta).
     pub pool_misses: u64,
-    /// Peak bytes simultaneously checked out (all categories).
+    /// Peak bytes simultaneously checked out of the shared pool family
+    /// (not per-job; identical across batch members).
     pub pool_peak_bytes: u64,
-    /// Bytes still checked out when the report was collected.
+    /// Bytes still checked out of the shared pool family when the report
+    /// was collected (not per-job).
     pub pool_in_use_bytes: u64,
     /// Per-category breakdown in the paper's §3 order.
     pub categories: Vec<MemoryCatEntry>,
-    /// FFT plans constructed (plan-cache misses that built a plan).
+    /// Plans resident in the shared FFT plan cache (process-wide level,
+    /// not per-job).
     pub fft_plans: u64,
-    /// FFT plan-cache hits.
+    /// FFT plan-cache hits attributed to this job (per-job delta).
     pub fft_plan_hits: u64,
-    /// FFT plan-cache misses.
+    /// FFT plan-cache misses (plans built) attributed to this job
+    /// (per-job delta).
     pub fft_plan_misses: u64,
     /// Modeled per-rank bytes from the analytic §3 memory model
     /// (0 when no model was attached).

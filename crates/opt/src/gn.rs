@@ -183,48 +183,93 @@ pub fn gauss_newton<P: GnProblem>(
     gauss_newton_hooked(problem, v0, cfg, None, comm)
 }
 
-/// [`gauss_newton`] with a cooperative [`StopCheck`] evaluated at every
-/// iteration boundary (before the iteration's gradient is computed).
-/// Collective; every rank must pass an equivalent check so the ranks agree
-/// on when to stop.
-pub fn gauss_newton_hooked<P: GnProblem>(
-    problem: &mut P,
-    v0: VectorField,
-    cfg: &GnConfig,
-    stop: Option<StopCheck<'_>>,
-    comm: &mut Comm,
-) -> (VectorField, GnStats) {
-    let mut stats = GnStats::default();
-    // size histories up front: at most one entry per iteration, so the
-    // per-iteration pushes below never reallocate
-    stats.grad_rel_history.reserve(cfg.max_iter + 1);
-    stats.objective_history.reserve(cfg.max_iter + 1);
-    let mut v = v0;
-    let t_total = Instant::now();
-    let m_total0 = comm.clock().now();
+/// Resumable Gauss–Newton state: the solver loop broken into single
+/// iterations.
+///
+/// [`gauss_newton_hooked`] is a thin loop over this type. `claire-core`'s
+/// `BatchSolver` drives several `GnState`s round-robin so K registration
+/// pairs interleave at GN-iteration granularity — the arithmetic of a solve
+/// is identical either way, because [`GnState::step`] *is* the loop body.
+pub struct GnState {
+    v: VectorField,
+    stats: GnStats,
+    g0norm: Option<f64>,
+    finished: bool,
+    t_total: f64,
+    m_total: f64,
+}
 
-    let mut g0norm: Option<f64> = None;
-
-    for _k in 0..cfg.max_iter {
-        if let Some(check) = stop {
-            if check(stats.gn_iters) {
-                stats.cancelled = true;
-                break;
-            }
+impl GnState {
+    /// Start a solve at `v0`. No work happens until [`GnState::step`].
+    pub fn new(v0: VectorField, cfg: &GnConfig) -> GnState {
+        let mut stats = GnStats::default();
+        // size histories up front: at most one entry per iteration, so the
+        // per-iteration pushes in `step` never reallocate
+        stats.grad_rel_history.reserve(cfg.max_iter + 1);
+        stats.objective_history.reserve(cfg.max_iter + 1);
+        GnState {
+            v: v0,
+            stats,
+            g0norm: None,
+            finished: cfg.max_iter == 0,
+            t_total: 0.0,
+            m_total: 0.0,
         }
+    }
+
+    /// Whether the solve is over (converged, stagnated, iteration cap, or
+    /// cancelled). Once true, [`GnState::step`] is a no-op.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The current iterate.
+    pub fn v(&self) -> &VectorField {
+        &self.v
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &GnStats {
+        &self.stats
+    }
+
+    /// Mark the solve cancelled (a [`StopCheck`] fired at this boundary).
+    /// The current iterate stays the result.
+    pub fn cancel(&mut self) {
+        self.stats.cancelled = true;
+        self.finished = true;
+    }
+
+    /// Run exactly one Gauss–Newton iteration (gradient, Newton-PCG,
+    /// Armijo line search). Returns [`GnState::finished`] afterwards.
+    /// Collective.
+    pub fn step<P: GnProblem>(&mut self, problem: &mut P, cfg: &GnConfig, comm: &mut Comm) -> bool {
+        if self.finished {
+            return true;
+        }
+        let t0 = Instant::now();
+        let m0 = comm.clock().now();
+        self.step_body(problem, cfg, comm);
+        self.t_total += t0.elapsed().as_secs_f64();
+        self.m_total += comm.clock().now() - m0;
+        self.finished
+    }
+
+    fn step_body<P: GnProblem>(&mut self, problem: &mut P, cfg: &GnConfig, comm: &mut Comm) {
+        let stats = &mut self.stats;
         let _iter_span = span("gn.iter");
         // gradient
         let t0 = Instant::now();
         let m0 = comm.clock().now();
         let g = {
             let _s = span("gradient");
-            problem.gradient(&v, comm)
+            problem.gradient(&self.v, comm)
         };
         stats.time.grad += t0.elapsed().as_secs_f64();
         stats.modeled.grad += comm.clock().now() - m0;
 
         let gnorm = g.norm_l2(comm);
-        let g0 = *g0norm.get_or_insert(gnorm.max(f64::MIN_POSITIVE));
+        let g0 = *self.g0norm.get_or_insert(gnorm.max(f64::MIN_POSITIVE));
         let rel = gnorm / g0;
         stats.grad_rel_history.push(rel);
         stats.grad_rel = rel;
@@ -236,7 +281,8 @@ pub fn gauss_newton_hooked<P: GnProblem>(
         }
         if rel <= cfg.grad_rtol {
             stats.converged = true;
-            break;
+            self.finished = true;
+            return;
         }
 
         // Newton step: H ṽ = −g
@@ -272,19 +318,19 @@ pub fn gauss_newton_hooked<P: GnProblem>(
         let ls_span = span("linesearch");
         let t0 = Instant::now();
         let m0 = comm.clock().now();
-        let j0 = problem.objective(&v, comm);
+        let j0 = problem.objective(&self.v, comm);
         stats.obj_evals += 1;
         let slope = g.inner(&step, comm);
         let mut alpha = 1.0 as Real;
         let mut accepted = false;
         let mut j_new = j0;
         for _ in 0..cfg.max_linesearch {
-            let mut trial = v.clone();
+            let mut trial = self.v.clone();
             trial.axpy(alpha, &step);
             let j = problem.objective(&trial, comm);
             stats.obj_evals += 1;
             if j <= j0 + cfg.armijo_c1 * alpha as f64 * slope {
-                v = trial;
+                self.v = trial;
                 stats.objective_history.push(j);
                 accepted = true;
                 j_new = j;
@@ -300,17 +346,49 @@ pub fn gauss_newton_hooked<P: GnProblem>(
 
         if !accepted {
             // line search failed — stagnation; stop with current iterate
-            break;
+            self.finished = true;
+            return;
         }
-        problem.new_iterate(&v, comm);
+        problem.new_iterate(&self.v, comm);
+        if stats.gn_iters >= cfg.max_iter {
+            self.finished = true;
+        }
     }
 
-    stats.time.total = t_total.elapsed().as_secs_f64();
-    stats.modeled.total = comm.clock().now() - m_total0;
-    GN_OBJ_EVALS.add(stats.obj_evals as u64);
-    GN_HESS_APPLIES.add(stats.hess_applies as u64);
-    GN_CONVERGED.set(if stats.converged { 1.0 } else { 0.0 });
-    (v, stats)
+    /// Close out the solve: stamp the accumulated totals into the stats and
+    /// bump the end-of-solve metrics. Consumes the state.
+    pub fn finish(mut self) -> (VectorField, GnStats) {
+        self.stats.time.total = self.t_total;
+        self.stats.modeled.total = self.m_total;
+        GN_OBJ_EVALS.add(self.stats.obj_evals as u64);
+        GN_HESS_APPLIES.add(self.stats.hess_applies as u64);
+        GN_CONVERGED.set(if self.stats.converged { 1.0 } else { 0.0 });
+        (self.v, self.stats)
+    }
+}
+
+/// [`gauss_newton`] with a cooperative [`StopCheck`] evaluated at every
+/// iteration boundary (before the iteration's gradient is computed).
+/// Collective; every rank must pass an equivalent check so the ranks agree
+/// on when to stop.
+pub fn gauss_newton_hooked<P: GnProblem>(
+    problem: &mut P,
+    v0: VectorField,
+    cfg: &GnConfig,
+    stop: Option<StopCheck<'_>>,
+    comm: &mut Comm,
+) -> (VectorField, GnStats) {
+    let mut state = GnState::new(v0, cfg);
+    while !state.finished() {
+        if let Some(check) = stop {
+            if check(state.stats().gn_iters) {
+                state.cancel();
+                break;
+            }
+        }
+        state.step(problem, cfg, comm);
+    }
+    state.finish()
 }
 
 #[cfg(test)]

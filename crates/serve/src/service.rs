@@ -14,23 +14,31 @@
 //! takes effect within one iteration. A panicking solve is caught and
 //! reported as [`JobStatus::Failed`] without poisoning the pool.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use claire_core::{CancelToken, Claire, ClaireError, RegistrationReport, SolverHooks};
+use claire_core::{
+    BatchPair, BatchSolver, CancelToken, Claire, ClaireError, MemberMemStats, RegistrationConfig,
+    RegistrationReport, SolverHooks,
+};
+use claire_fft::cache as fft_cache;
+use claire_grid::workspace;
 use claire_mpi::{CollOp, Comm, CommCat};
 use claire_obs::metrics::{Counter, Gauge, Histogram};
 use claire_obs::report::{
-    CollectiveEntry, CommPhaseEntry, PhaseShares, RunReport, RunSummary, SchedulingInfo,
+    CollectiveEntry, CommPhaseEntry, MemoryCatEntry, MemoryInfo, PhaseShares, RunReport,
+    RunSummary, SchedulingInfo,
 };
 use claire_obs::span;
 
-use crate::job::{JobId, JobInput, JobResult, JobSpec, JobStatus};
+use crate::job::{JobId, JobInput, JobResult, JobSpec, JobStatus, Priority};
 use crate::queue::{BoundedQueue, PushError};
 
 static QUEUE_DEPTH: Gauge = Gauge::new("serve.queue.depth");
@@ -41,6 +49,8 @@ static COMPLETED: Counter = Counter::new("serve.jobs.completed");
 static CANCELLED: Counter = Counter::new("serve.jobs.cancelled");
 static DEADLINE_EXPIRED: Counter = Counter::new("serve.jobs.deadline_expired");
 static FAILED: Counter = Counter::new("serve.jobs.failed");
+static BATCHES: Counter = Counter::new("serve.batches.executed");
+static BATCHED_JOBS: Counter = Counter::new("serve.batches.jobs");
 
 /// Why a submission was refused.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -79,11 +89,30 @@ pub struct ServiceConfig {
     /// Whether workers assemble a per-job [`RunReport`] (spans, comm
     /// volume, scheduling metadata) for succeeded jobs.
     pub collect_reports: bool,
+    /// Batch-aware scheduling: when a worker pops a job it also drains
+    /// queued jobs with the same grid/config fingerprint from the *same*
+    /// priority lane and solves them as one
+    /// [`BatchSolver`](claire_core::BatchSolver) run — amortizing FFT
+    /// planning, pool warm-up, and preconditioner scaffolding, and
+    /// interleaving the Gauss–Newton iterations. Per-job deadlines,
+    /// cancellation, priorities, and [`RunReport`]s are preserved; results
+    /// are bitwise identical to solo runs.
+    pub batching: bool,
+    /// Largest batch one worker coalesces (≥ 2 to ever coalesce; the head
+    /// job counts). Only read when `batching` is on.
+    pub max_batch: usize,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        ServiceConfig { workers: 1, queue_capacity: 16, total_threads: 0, collect_reports: true }
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 16,
+            total_threads: 0,
+            collect_reports: true,
+            batching: false,
+            max_batch: 8,
+        }
     }
 }
 
@@ -111,6 +140,18 @@ impl ServiceConfig {
         self.collect_reports = on;
         self
     }
+
+    /// Enable or disable batch-aware scheduling (job coalescing).
+    pub fn batching(mut self, on: bool) -> Self {
+        self.batching = on;
+        self
+    }
+
+    /// Set the largest batch one worker coalesces.
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.max_batch = n;
+        self
+    }
 }
 
 /// A job admitted to the queue.
@@ -134,6 +175,7 @@ struct Shared {
     done: Condvar,
     accepting: AtomicBool,
     next_id: AtomicU64,
+    next_batch_id: AtomicU64,
 }
 
 impl Shared {
@@ -186,14 +228,16 @@ impl RegistrationService {
             done: Condvar::new(),
             accepting: AtomicBool::new(true),
             next_id: AtomicU64::new(1),
+            next_batch_id: AtomicU64::new(1),
         });
+        let max_batch = if cfg.batching { cfg.max_batch.max(1) } else { 1 };
         let handles = (0..workers)
             .map(|w| {
                 let shared = shared.clone();
                 let collect = cfg.collect_reports;
                 std::thread::Builder::new()
                     .name(format!("claire-serve-{w}"))
-                    .spawn(move || worker_loop(w, per_worker, collect, &shared))
+                    .spawn(move || worker_loop(w, per_worker, collect, max_batch, &shared))
                     .expect("spawning a service worker thread")
             })
             .collect();
@@ -346,14 +390,243 @@ impl Drop for RegistrationService {
     }
 }
 
-fn worker_loop(worker: usize, budget: usize, collect_reports: bool, shared: &Shared) {
+fn worker_loop(
+    worker: usize,
+    budget: usize,
+    collect_reports: bool,
+    max_batch: usize,
+    shared: &Shared,
+) {
     // Partition the machine: this worker's kernels see only its share.
     claire_par::set_local_threads(budget);
     while let Some(job) = shared.queue.pop() {
+        // Batch-aware scheduling: drain compatible companions from the
+        // popped job's own lane (never across lanes, so priorities hold).
+        let mut companions = Vec::new();
+        if max_batch > 1 {
+            let fp = fingerprint(&job.spec);
+            let lane = job.spec.priority.index();
+            companions =
+                shared.queue.take_matching(lane, max_batch - 1, |j| fingerprint(&j.spec) == fp);
+        }
         QUEUE_DEPTH.set(shared.queue.len() as f64);
+        if companions.is_empty() {
+            let queue_wait = job.submitted.elapsed();
+            QUEUE_WAIT.record(queue_wait.as_secs_f64());
+            execute(worker, collect_reports, shared, job, queue_wait);
+        } else {
+            let mut batch = Vec::with_capacity(1 + companions.len());
+            batch.push(job);
+            batch.append(&mut companions);
+            execute_batch(worker, budget, collect_reports, shared, batch);
+        }
+    }
+}
+
+/// Coalescing compatibility key: jobs may share one `BatchSolver` run only
+/// when their grid extents and every solver-relevant configuration field
+/// agree — the batch then provably runs each member through the same
+/// arithmetic as a solo solve. Labels, priorities, deadlines, and hooks are
+/// deliberately *not* part of the key; they stay per-job inside the batch.
+fn fingerprint(spec: &JobSpec) -> u64 {
+    let mut h = DefaultHasher::new();
+    spec.input.grid().hash(&mut h);
+    let c: &RegistrationConfig = &spec.config;
+    c.nt.hash(&mut h);
+    std::mem::discriminant(&c.ip_order).hash(&mut h);
+    c.store_grad.hash(&mut h);
+    std::mem::discriminant(&c.precond).hash(&mut h);
+    c.beta_target.to_bits().hash(&mut h);
+    c.beta_init.to_bits().hash(&mut h);
+    c.beta_reduction.to_bits().hash(&mut h);
+    c.continuation.hash(&mut h);
+    c.grid_continuation.hash(&mut h);
+    c.eps_h0.to_bits().hash(&mut h);
+    c.beta_floor.to_bits().hash(&mut h);
+    c.grad_rtol.to_bits().hash(&mut h);
+    c.max_gn_iter.hash(&mut h);
+    c.max_pcg_iter.hash(&mut h);
+    c.max_inner_iter.hash(&mut h);
+    c.fixed_pcg.hash(&mut h);
+    c.verbose.hash(&mut h);
+    h.finish()
+}
+
+/// Run a coalesced batch on the calling worker thread: pre-screen doomed
+/// members, solve the rest through one [`BatchSolver`] (interleaved
+/// Gauss–Newton, shared scaffolding), then finish every member with its own
+/// per-job result and report.
+fn execute_batch(
+    worker: usize,
+    budget: usize,
+    collect_reports: bool,
+    shared: &Shared,
+    batch: Vec<QueuedJob>,
+) {
+    // A deadline may have expired (or a cancel landed) while a member sat
+    // in the queue — retire those without letting them hold up the batch.
+    let mut live: Vec<QueuedJob> = Vec::with_capacity(batch.len());
+    for job in batch {
         let queue_wait = job.submitted.elapsed();
         QUEUE_WAIT.record(queue_wait.as_secs_f64());
-        execute(worker, collect_reports, shared, job, queue_wait);
+        if let Some(reason) = job.token.stop_reason() {
+            let status = match reason {
+                claire_core::StopReason::Cancelled => JobStatus::Cancelled,
+                claire_core::StopReason::DeadlineExpired => JobStatus::DeadlineExpired,
+            };
+            shared.finish(
+                job.id,
+                JobResult {
+                    id: JobId(job.id),
+                    label: job.spec.label.clone(),
+                    status,
+                    report: None,
+                    run: None,
+                    error: Some(format!("{} before execution started", reason.label())),
+                    queue_wait,
+                    run_time: Duration::ZERO,
+                    total: job.submitted.elapsed(),
+                },
+            );
+        } else {
+            live.push(job);
+        }
+    }
+    match live.len() {
+        0 => return,
+        1 => {
+            // everyone else was doomed in the queue; no batch to amortize
+            let job = live.pop().expect("len checked");
+            let queue_wait = job.submitted.elapsed();
+            execute(worker, collect_reports, shared, job, queue_wait);
+            return;
+        }
+        _ => {}
+    }
+
+    let batch_id = shared.next_batch_id.fetch_add(1, Ordering::Relaxed);
+    let batch_size = live.len();
+    BATCHES.inc();
+    BATCHED_JOBS.add(batch_size as u64);
+
+    let mut comm = Comm::solo();
+    let mut pairs = Vec::with_capacity(batch_size);
+    let mut meta = Vec::with_capacity(batch_size);
+    let config = live[0].spec.config;
+    for job in live {
+        let QueuedJob { id, spec, token, submitted, deadline } = job;
+        shared.set_status(id, JobStatus::Running);
+        let (template, reference) = match spec.input {
+            JobInput::Pair { template, reference } => (template, reference),
+            JobInput::Synthetic { n } => {
+                let p = claire_data::syn_problem(n, &mut comm);
+                (p.template, p.reference)
+            }
+        };
+        let hooks =
+            SolverHooks { cancel: Some(token.clone()), on_gn_iter: spec.hooks.on_gn_iter.clone() };
+        pairs.push(BatchPair::new(spec.label.clone(), template, reference).with_hooks(hooks));
+        meta.push((id, spec.label, spec.priority, deadline, token, submitted));
+    }
+
+    let started = Instant::now();
+    // The batch is ONE unit of schedulable work: hand it this worker's
+    // exact thread slice so K coalesced jobs never oversubscribe claire-par
+    // (K × per-worker threads would, under the one-job-per-worker split).
+    let solver = BatchSolver::new(config).with_thread_budget(budget);
+    let solve = catch_unwind(AssertUnwindSafe(|| solver.solve(pairs)));
+    let run_time = started.elapsed();
+    // Spans cover the whole interleaved batch; every member gets the tree.
+    let spans = span::take_spans();
+
+    let items = match solve {
+        Ok(Ok(outcome)) => outcome.items,
+        Ok(Err(e)) => {
+            fail_batch(shared, &meta, run_time, &e.to_string());
+            return;
+        }
+        Err(payload) => {
+            let text = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("solver panicked");
+            fail_batch(shared, &meta, run_time, &format!("solver panicked: {text}"));
+            return;
+        }
+    };
+
+    for (item, (id, label, priority, deadline, token, submitted)) in items.into_iter().zip(meta) {
+        let queue_wait = started.duration_since(submitted);
+        let mut result = JobResult {
+            id: JobId(id),
+            label: label.clone(),
+            status: JobStatus::Failed,
+            report: None,
+            run: None,
+            error: None,
+            queue_wait,
+            run_time,
+            total: submitted.elapsed(),
+        };
+        match item.outcome {
+            Ok((_, report)) => {
+                result.status = JobStatus::Succeeded;
+                if collect_reports {
+                    let scheduling = SchedulingInfo {
+                        job_id: id,
+                        priority: priority.label().to_string(),
+                        worker,
+                        queue_wait_secs: queue_wait.as_secs_f64(),
+                        run_secs: run_time.as_secs_f64(),
+                        total_secs: result.total.as_secs_f64(),
+                        deadline_secs: deadline.map(|d| d.as_secs_f64()).unwrap_or(0.0),
+                        batch_id,
+                        batch_size,
+                    };
+                    let mut run =
+                        job_run_report(&label, &report, &config, &comm, scheduling, &item.memory);
+                    run.spans = spans.clone();
+                    result.run = Some(run);
+                }
+                result.report = Some(report);
+            }
+            Err(e) => {
+                result.status = match &e {
+                    ClaireError::Cancelled { .. } if token.is_cancelled() => JobStatus::Cancelled,
+                    ClaireError::Cancelled { .. } if token.deadline_expired() => {
+                        JobStatus::DeadlineExpired
+                    }
+                    ClaireError::Cancelled { .. } => JobStatus::Cancelled,
+                    _ => JobStatus::Failed,
+                };
+                result.error = Some(e.to_string());
+            }
+        }
+        shared.finish(id, result);
+    }
+}
+
+type BatchMeta = (u64, String, Priority, Option<Duration>, CancelToken, Instant);
+
+/// Finish every batch member as `Failed` with the same batch-level error
+/// (whole-batch misuse or a panicking solve).
+fn fail_batch(shared: &Shared, meta: &[BatchMeta], run_time: Duration, error: &str) {
+    for (id, label, _, _, _, submitted) in meta {
+        shared.finish(
+            *id,
+            JobResult {
+                id: JobId(*id),
+                label: label.clone(),
+                status: JobStatus::Failed,
+                report: None,
+                run: None,
+                error: Some(error.to_string()),
+                queue_wait: Duration::ZERO,
+                run_time,
+                total: submitted.elapsed(),
+            },
+        );
     }
 }
 
@@ -395,7 +668,14 @@ fn execute(
     let started = Instant::now();
     let config = spec.config;
     let prio = spec.priority;
+    // Sample the shared pool/plan-cache counters around the solve: the
+    // delta is this job's own activity (exact when no other worker runs
+    // concurrently; an upper bound otherwise).
+    let ws0 = workspace::stats();
+    let fft0 = fft_cache::stats();
     let solve = catch_unwind(AssertUnwindSafe(|| run_solve(spec, &token)));
+    let mut mem = MemberMemStats::default();
+    mem_delta(&mut mem, &ws0, fft0);
     result.run_time = started.elapsed();
     result.total = submitted.elapsed();
 
@@ -411,8 +691,11 @@ fn execute(
                     run_secs: result.run_time.as_secs_f64(),
                     total_secs: result.total.as_secs_f64(),
                     deadline_secs: deadline.map(|d| d.as_secs_f64()).unwrap_or(0.0),
+                    batch_id: 0,
+                    batch_size: 0,
                 };
-                result.run = Some(job_run_report(&label, &report, &config, &comm, scheduling));
+                result.run =
+                    Some(job_run_report(&label, &report, &config, &comm, scheduling, &mem));
             }
             result.report = Some(report);
         }
@@ -468,17 +751,66 @@ fn run_solve(
     Ok((report, comm))
 }
 
+/// Accumulate the shared-counter movement since the `(ws0, fft0)` snapshot
+/// into `mem` — the same delta arithmetic `BatchSolver` uses per member.
+fn mem_delta(
+    mem: &mut MemberMemStats,
+    ws0: &[workspace::CatStats; 6],
+    fft0: fft_cache::CacheStats,
+) {
+    let ws1 = workspace::stats();
+    let fft1 = fft_cache::stats();
+    for i in 0..6 {
+        mem.cat_checkouts[i] += ws1[i].checkouts.saturating_sub(ws0[i].checkouts);
+        mem.cat_misses[i] += ws1[i].misses.saturating_sub(ws0[i].misses);
+    }
+    mem.fft_plan_hits += fft1.hits.saturating_sub(fft0.hits);
+    mem.fft_plan_misses += fft1.misses.saturating_sub(fft0.misses);
+}
+
+/// Build the report's memory block from this job's own counter deltas
+/// (event counts) plus the shared family's current byte levels — see the
+/// sharing-semantics note on [`MemoryInfo`].
+fn job_memory(mem: &MemberMemStats, modeled_bytes: u64) -> MemoryInfo {
+    let ws = workspace::stats();
+    let total = workspace::total_stats();
+    let fft = fft_cache::stats();
+    MemoryInfo {
+        pool_checkouts: mem.pool_checkouts(),
+        pool_misses: mem.pool_misses(),
+        pool_peak_bytes: total.peak_bytes,
+        pool_in_use_bytes: total.in_use_bytes,
+        categories: workspace::WsCat::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, cat)| MemoryCatEntry {
+                cat: cat.label().to_string(),
+                checkouts: mem.cat_checkouts[i],
+                misses: mem.cat_misses[i],
+                peak_bytes: ws[i].peak_bytes,
+            })
+            .filter(|c| c.checkouts > 0)
+            .collect(),
+        fft_plans: fft.plans,
+        fft_plan_hits: mem.fft_plan_hits,
+        fft_plan_misses: mem.fft_plan_misses,
+        modeled_bytes,
+    }
+}
+
 /// Assemble the per-job [`RunReport`]. Unlike
 /// `claire_core::observe::collect_run_report`, this only uses *per-job*
-/// telemetry sources — the job's own `Comm` and the worker-thread span tree
-/// — because the global metrics registry and kernel timers are shared by
-/// every concurrently running job.
+/// telemetry sources — the job's own `Comm`, the worker-thread span tree,
+/// and the job's own pool/plan-cache counter deltas — because the global
+/// metrics registry and kernel timers are shared by every concurrently
+/// running job.
 fn job_run_report(
     label: &str,
     report: &RegistrationReport,
     config: &claire_core::RegistrationConfig,
     comm: &Comm,
     scheduling: SchedulingInfo,
+    mem: &MemberMemStats,
 ) -> RunReport {
     let mut run = RunReport::new(label);
     run.grid = report.grid;
@@ -501,6 +833,7 @@ fn job_run_report(
     };
     run.scheduling = scheduling;
     run.phases = PhaseShares::from_kernels(&[], report.time_total);
+    run.memory = job_memory(mem, report.memory_bytes_per_rank);
 
     let stats = comm.stats();
     run.comm = CommCat::ALL
@@ -600,6 +933,146 @@ mod tests {
         // the pool survives: a healthy job still runs afterwards
         let ok = svc.try_submit(tiny_spec("healthy")).unwrap();
         assert_eq!(svc.wait(ok).unwrap().status, JobStatus::Succeeded);
+        svc.shutdown();
+    }
+
+    /// A job whose `on_gn_iter` hook blocks until released — keeps the
+    /// single worker busy so later submissions pile up in the queue and the
+    /// coalescing path is exercised deterministically.
+    fn blocking_spec(label: &str) -> (JobSpec, Arc<(Mutex<bool>, Condvar)>) {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = gate.clone();
+        let hooks = SolverHooks {
+            cancel: None,
+            on_gn_iter: Some(Arc::new(move |_| {
+                let (lock, cv) = &*waiter;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            })),
+        };
+        // a different grid size than tiny_spec ⇒ never coalesces with it
+        let spec =
+            JobSpec::new(label, tiny_config(), JobInput::Synthetic { n: [4, 4, 4] }).hooks(hooks);
+        (spec, gate)
+    }
+
+    fn open_gate(gate: &Arc<(Mutex<bool>, Condvar)>) {
+        let (lock, cv) = &**gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    }
+
+    #[test]
+    fn compatible_queued_jobs_coalesce_into_one_batch() {
+        let mut svc =
+            RegistrationService::start(ServiceConfig::default().workers(1).batching(true));
+        let (blocker, gate) = blocking_spec("blocker");
+        let b = svc.try_submit(blocker).unwrap();
+        let ids: Vec<_> =
+            (0..3).map(|i| svc.try_submit(tiny_spec(&format!("m{i}"))).unwrap()).collect();
+        open_gate(&gate);
+
+        assert_eq!(svc.wait(b).unwrap().status, JobStatus::Succeeded);
+        let runs: Vec<_> = ids
+            .iter()
+            .map(|&id| {
+                let res = svc.wait(id).unwrap();
+                assert_eq!(res.status, JobStatus::Succeeded, "{:?}", res.error);
+                assert!(res.report.is_some());
+                res.run.expect("collect_reports defaults to on")
+            })
+            .collect();
+        let batch_id = runs[0].scheduling.batch_id;
+        assert!(batch_id > 0, "coalesced members carry a nonzero batch id");
+        for run in &runs {
+            assert_eq!(run.scheduling.batch_id, batch_id, "one batch for all three");
+            assert_eq!(run.scheduling.batch_size, 3);
+            assert!(
+                run.memory.pool_checkouts > 0,
+                "per-member memory attribution must see this member's checkouts"
+            );
+        }
+        // members attribute disjoint event deltas — no double counting
+        let total: u64 = runs.iter().map(|r| r.memory.pool_checkouts).sum();
+        assert!(
+            total > runs[0].memory.pool_checkouts,
+            "deltas are per member, not the batch total"
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn coalescing_never_crosses_priority_lanes() {
+        let mut svc =
+            RegistrationService::start(ServiceConfig::default().workers(1).batching(true));
+        let (blocker, gate) = blocking_spec("blocker");
+        let b = svc.try_submit(blocker).unwrap();
+        let hi = svc.try_submit(tiny_spec("hi").priority(Priority::High)).unwrap();
+        let n1 = svc.try_submit(tiny_spec("n1")).unwrap();
+        let n2 = svc.try_submit(tiny_spec("n2")).unwrap();
+        open_gate(&gate);
+
+        svc.wait(b).unwrap();
+        let hi_run = svc.wait(hi).unwrap().run.unwrap();
+        assert_eq!(hi_run.scheduling.batch_id, 0, "the lone high job runs solo");
+        let r1 = svc.wait(n1).unwrap().run.unwrap();
+        let r2 = svc.wait(n2).unwrap().run.unwrap();
+        assert!(r1.scheduling.batch_id > 0);
+        assert_eq!(r1.scheduling.batch_id, r2.scheduling.batch_id);
+        assert_eq!(r1.scheduling.batch_size, 2);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn expired_member_retires_without_holding_up_its_batch() {
+        let mut svc =
+            RegistrationService::start(ServiceConfig::default().workers(1).batching(true));
+        let (blocker, gate) = blocking_spec("blocker");
+        let b = svc.try_submit(blocker).unwrap();
+        let doomed = svc.try_submit(tiny_spec("doomed").deadline(Duration::ZERO)).unwrap();
+        let ok1 = svc.try_submit(tiny_spec("ok1")).unwrap();
+        let ok2 = svc.try_submit(tiny_spec("ok2")).unwrap();
+        open_gate(&gate);
+
+        svc.wait(b).unwrap();
+        let res = svc.wait(doomed).unwrap();
+        assert_eq!(res.status, JobStatus::DeadlineExpired);
+        assert!(res.error.unwrap().contains("before execution started"));
+        for id in [ok1, ok2] {
+            let res = svc.wait(id).unwrap();
+            assert_eq!(res.status, JobStatus::Succeeded, "{:?}", res.error);
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn batched_and_solo_runs_agree_bitwise() {
+        // the scheduler seam must not change arithmetic: a job solved in a
+        // coalesced batch reports the same mismatch as the same spec solo
+        let mut solo_svc = RegistrationService::start(ServiceConfig::default().workers(1));
+        let id = solo_svc.try_submit(tiny_spec("ref")).unwrap();
+        let solo = solo_svc.wait(id).unwrap().report.unwrap();
+        solo_svc.shutdown();
+
+        let mut svc =
+            RegistrationService::start(ServiceConfig::default().workers(1).batching(true));
+        let (blocker, gate) = blocking_spec("blocker");
+        svc.try_submit(blocker).unwrap();
+        let a = svc.try_submit(tiny_spec("a")).unwrap();
+        let b = svc.try_submit(tiny_spec("b")).unwrap();
+        open_gate(&gate);
+        for id in [a, b] {
+            let res = svc.wait(id).unwrap();
+            let report = res.report.unwrap();
+            assert_eq!(
+                report.rel_mismatch.to_bits(),
+                solo.rel_mismatch.to_bits(),
+                "batched member must match the solo solve bitwise"
+            );
+            assert!(res.run.unwrap().scheduling.batch_id > 0, "actually took the batch path");
+        }
         svc.shutdown();
     }
 

@@ -25,6 +25,10 @@
 //!   --workers N      worker threads (overrides the manifest)
 //!   --queue-cap N    admission-queue capacity (overrides the manifest)
 //!   --threads N      machine thread budget to partition across workers
+//!   --no-batch       disable job coalescing (one BatchSolver run per
+//!                    group of queued jobs with identical grid/config is
+//!                    the default fast path)
+//!   --max-batch N    largest coalesced batch (default: 8)
 //!   -q               quiet
 //! ```
 //!
@@ -87,7 +91,7 @@ fn usage() -> ! {
     );
     eprintln!("                  [--eps-h0 V] [--report PATH] [--syn N] [-q]");
     eprintln!("       claire-cli batch <manifest.json> [-o DIR] [--workers N] [--queue-cap N]");
-    eprintln!("                  [--threads N] [-q]");
+    eprintln!("                  [--threads N] [--no-batch] [--max-batch N] [-q]");
     exit(2)
 }
 
@@ -402,6 +406,8 @@ fn batch_main(args: Vec<String>) {
     let mut workers: Option<usize> = None;
     let mut queue_cap: Option<usize> = None;
     let mut threads: Option<usize> = None;
+    let mut batching = true;
+    let mut max_batch: Option<usize> = None;
     let mut quiet = false;
     let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| {
@@ -423,6 +429,11 @@ fn batch_main(args: Vec<String>) {
             "--threads" => {
                 threads =
                     Some(next_value(&mut args, "--threads").parse().unwrap_or_else(|_| usage()))
+            }
+            "--no-batch" => batching = false,
+            "--max-batch" => {
+                max_batch =
+                    Some(next_value(&mut args, "--max-batch").parse().unwrap_or_else(|_| usage()))
             }
             "-q" => quiet = true,
             "-h" | "--help" => usage(),
@@ -455,12 +466,20 @@ fn batch_main(args: Vec<String>) {
     if let Some(t) = threads {
         svc_cfg = svc_cfg.total_threads(t);
     }
+    // Fast path: queued jobs with identical grid/config fingerprints are
+    // coalesced into one BatchSolver run (shared FFT plans and scaffolding,
+    // interleaved iterations); results stay bitwise identical to solo runs.
+    svc_cfg = svc_cfg.batching(batching);
+    if let Some(m) = max_batch {
+        svc_cfg = svc_cfg.max_batch(m);
+    }
     if !quiet {
         eprintln!(
-            "batch: {} job(s), {} worker(s), queue capacity {}",
+            "batch: {} job(s), {} worker(s), queue capacity {}, coalescing {}",
             jobs.len(),
             svc_cfg.workers,
-            svc_cfg.queue_capacity
+            svc_cfg.queue_capacity,
+            if svc_cfg.batching { "on" } else { "off" }
         );
     }
 

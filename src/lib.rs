@@ -31,8 +31,9 @@
 //!   [`core::observe::collect_run_report`])
 //! * [`serve`] — in-process multi-tenant job service: bounded admission
 //!   queue with priorities, per-job deadlines and cancellation, a worker
-//!   pool partitioning the thread budget, graceful shutdown (drives
-//!   `claire-cli batch`)
+//!   pool partitioning the thread budget, graceful shutdown, and
+//!   coalescing of compatible queued jobs into shared
+//!   [`core::BatchSolver`] runs (drives `claire-cli batch`)
 //!
 //! ## Quickstart
 //!
@@ -73,8 +74,8 @@ pub use claire_serve as serve;
 pub mod prelude {
     pub use crate::core::observe::{begin as begin_observing, collect_run_report};
     pub use crate::core::{
-        Claire, ClaireError, ClaireResult, PrecondKind, RegProblem, RegistrationConfig,
-        RegistrationConfigBuilder, RegistrationReport,
+        BatchOutcome, BatchPair, BatchSolver, Claire, ClaireError, ClaireResult, PrecondKind,
+        RegProblem, RegistrationConfig, RegistrationConfigBuilder, RegistrationReport,
     };
     pub use crate::data::syn::{syn_problem, SynProblem};
     pub use crate::grid::{Grid, Layout, Real, ScalarField, VectorField};

@@ -170,6 +170,63 @@ fn per_job_report_records_queue_wait_and_latency() {
     assert!(json.contains("\"queue_wait_secs\""));
 }
 
+#[test]
+fn batching_preserves_per_job_cancellation_and_reports() {
+    // One worker with coalescing on. A blocker (incompatible 4³ grid)
+    // parks in its first GN boundary so three compatible jobs pile up; one
+    // of them cancels itself at its own iteration boundary ≥ 1 — the batch
+    // must retire exactly that member while the rest complete with full
+    // per-job reports carrying the shared batch id.
+    let svc = RegistrationService::start(ServiceConfig::default().workers(1).batching(true));
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let release_rx = Mutex::new(Some(release_rx));
+    let blocker_hooks = SolverHooks {
+        cancel: None,
+        on_gn_iter: Some(Arc::new(move |_| {
+            if let Some(rx) = release_rx.lock().unwrap().take() {
+                let _ = rx.recv_timeout(Duration::from_secs(30));
+            }
+        })),
+    };
+    let blocker = JobSpec::new("blocker", tiny_config(), JobInput::Synthetic { n: [4, 4, 4] })
+        .hooks(blocker_hooks);
+    let b = svc.submit(blocker).unwrap();
+
+    // the self-cancelling member: trips its own token at boundary 1
+    let token = CancelToken::new();
+    let trip = token.clone();
+    let self_cancel = SolverHooks {
+        cancel: Some(token),
+        on_gn_iter: Some(Arc::new(move |k| {
+            if k >= 1 {
+                trip.cancel();
+            }
+        })),
+    };
+    let quitter = svc.submit(tiny_spec("quitter").hooks(self_cancel)).unwrap();
+    let ok1 = svc.submit(tiny_spec("ok1")).unwrap();
+    let ok2 = svc.submit(tiny_spec("ok2")).unwrap();
+    release_tx.send(()).unwrap();
+
+    assert_eq!(svc.wait(b).unwrap().status, JobStatus::Succeeded);
+    let quit = svc.wait(quitter).unwrap();
+    assert_eq!(quit.status, JobStatus::Cancelled, "{:?}", quit.error);
+    assert!(quit.error.unwrap().contains("cancelled"));
+
+    let mut batch_ids = Vec::new();
+    for id in [ok1, ok2] {
+        let res = svc.wait(id).unwrap();
+        assert_eq!(res.status, JobStatus::Succeeded, "{:?}", res.error);
+        assert!(res.report.is_some(), "coalesced members keep their own reports");
+        let run = res.run.expect("reports on");
+        assert_eq!(run.scheduling.batch_size, 3, "quitter was admitted to the batch");
+        assert!(run.memory.pool_checkouts > 0, "per-member memory attribution");
+        batch_ids.push(run.scheduling.batch_id);
+    }
+    assert!(batch_ids[0] > 0);
+    assert_eq!(batch_ids[0], batch_ids[1], "both survivors ran in the same batch");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
