@@ -18,6 +18,12 @@
 //! 4. **Batching** — the same identical-spec burst through one worker with
 //!    job coalescing off vs on; reports jobs/s both ways, the speedup, and
 //!    the largest batch the scheduler formed.
+//! 5. **Networked** — the same jobs submitted through a loopback
+//!    `NetServer` + `Client` pair: closed-loop end-to-end latency
+//!    (p50/p95) with the result cache off, then cache-hit throughput with
+//!    it on. These two emit `results` rows (`serve_net_e2e`,
+//!    `serve_net_cache_hit`, jobs/s as `pairs_per_sec`) so `check_bench`
+//!    gates them against `results/baselines/BENCH_serve.json`.
 //!
 //! `--smoke` shrinks the workload for CI (8³ grids, few jobs) while still
 //! exercising every phase.
@@ -25,7 +31,10 @@
 use std::time::{Duration, Instant};
 
 use claire_core::{PrecondKind, RegistrationConfig};
-use claire_serve::{JobInput, JobSpec, JobStatus, RegistrationService, ServiceConfig, SubmitError};
+use claire_serve::{
+    Client, JobInput, JobSpec, JobStatus, NetServer, NetServerConfig, RegistrationService,
+    ServiceConfig, SubmitError, WireJobSpec,
+};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -64,6 +73,22 @@ struct BatchingRow {
     largest_batch: usize,
 }
 
+/// One gated row of the networked phase (`check_bench` keys on
+/// `(kernel, n, threads, backend)` and gates `pairs_per_sec`).
+#[derive(Serialize)]
+struct NetRow {
+    kernel: String,
+    n: u64,
+    threads: u64,
+    backend: String,
+    jobs: usize,
+    pairs_per_sec: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    /// Content-hash cache hits observed server-side during this row.
+    cache_hits: u64,
+}
+
 #[derive(Serialize)]
 struct Report {
     host_threads: usize,
@@ -72,6 +97,8 @@ struct Report {
     levels: Vec<LevelRow>,
     overload: OverloadRow,
     batching: BatchingRow,
+    /// Networked rows, under the standard perf-gate schema.
+    results: Vec<NetRow>,
 }
 
 struct Workload {
@@ -245,6 +272,91 @@ fn run_batching(w: &Workload) -> BatchingRow {
     }
 }
 
+/// Closed-loop submissions over loopback TCP, result cache off: the wire
+/// protocol's end-to-end overhead on top of the solve itself.
+fn run_net_e2e(w: &Workload) -> NetRow {
+    let cfg = ServiceConfig::default()
+        .workers(1)
+        .queue_capacity(w.jobs_per_level.max(4))
+        .collect_reports(false);
+    let mut server = NetServer::bind("127.0.0.1:0", NetServerConfig::default().service(cfg))
+        .expect("bind loopback server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let mut latencies_ms = Vec::with_capacity(w.jobs_per_level);
+    let t0 = Instant::now();
+    for j in 0..w.jobs_per_level {
+        let wire = WireJobSpec::from_spec(&spec(format!("net-{j}"), w.grid));
+        let t = Instant::now();
+        let adm = client.submit(&wire).expect("net submission");
+        let res = client.wait(adm.id).expect("net result");
+        assert_eq!(res.status, JobStatus::Succeeded, "{:?}", res.error);
+        assert!(!adm.cached, "cache is off in the e2e row");
+        latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    server.shutdown();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    NetRow {
+        kernel: "serve_net_e2e".into(),
+        n: w.grid as u64,
+        threads: 1,
+        backend: String::new(),
+        jobs: w.jobs_per_level,
+        pairs_per_sec: w.jobs_per_level as f64 / elapsed.max(1e-9),
+        p50_ms: percentile(&latencies_ms, 50.0),
+        p95_ms: percentile(&latencies_ms, 95.0),
+        cache_hits: 0,
+    }
+}
+
+/// Identical submissions against a cache-enabled server: after one warm-up
+/// solve every request is served from the content-hash cache, so this row
+/// measures pure protocol + cache throughput.
+fn run_net_cache(w: &Workload) -> NetRow {
+    let cfg = ServiceConfig::default()
+        .workers(1)
+        .queue_capacity(4)
+        .collect_reports(false)
+        .result_cache(8);
+    let mut server = NetServer::bind("127.0.0.1:0", NetServerConfig::default().service(cfg))
+        .expect("bind loopback server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let wire = WireJobSpec::from_spec(&spec("net-cache".into(), w.grid));
+    let warm = client.submit(&wire).expect("warm-up submission");
+    assert!(!warm.cached);
+    let res = client.wait(warm.id).expect("warm-up result");
+    assert_eq!(res.status, JobStatus::Succeeded, "{:?}", res.error);
+
+    let hits = w.overload_jobs;
+    let mut latencies_ms = Vec::with_capacity(hits);
+    let t0 = Instant::now();
+    for _ in 0..hits {
+        let t = Instant::now();
+        let adm = client.submit(&wire).expect("cache-hit submission");
+        assert!(adm.cached, "identical content must hit the cache");
+        let res = client.wait(adm.id).expect("cache-hit result");
+        assert_eq!(res.status, JobStatus::Succeeded);
+        assert!(res.cached);
+        latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats = server.service().cache_stats();
+    assert_eq!(server.service().solver_invocations(), 1, "hits must not run the solver");
+    server.shutdown();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    NetRow {
+        kernel: "serve_net_cache_hit".into(),
+        n: w.grid as u64,
+        threads: 1,
+        backend: String::new(),
+        jobs: hits,
+        pairs_per_sec: hits as f64 / elapsed.max(1e-9),
+        p50_ms: percentile(&latencies_ms, 50.0),
+        p95_ms: percentile(&latencies_ms, 95.0),
+        cache_hits: stats.hits,
+    }
+}
+
 fn main() {
     let mut smoke = false;
     let mut out_path = "BENCH_serve.json".to_string();
@@ -305,6 +417,19 @@ fn main() {
         batching.largest_batch
     );
 
+    eprintln!("bench_serve: networked e2e over loopback ({} jobs, cache off)...", w.jobs_per_level);
+    let net_e2e = run_net_e2e(&w);
+    eprintln!(
+        "bench_serve:   {:.2} jobs/s end-to-end, p50 {:.1} ms, p95 {:.1} ms",
+        net_e2e.pairs_per_sec, net_e2e.p50_ms, net_e2e.p95_ms
+    );
+    eprintln!("bench_serve: networked cache hits ({} identical jobs)...", w.overload_jobs);
+    let net_cache = run_net_cache(&w);
+    eprintln!(
+        "bench_serve:   {:.2} hits/s, p50 {:.2} ms ({} server-side hits, 1 solve)",
+        net_cache.pairs_per_sec, net_cache.p50_ms, net_cache.cache_hits
+    );
+
     let report = Report {
         host_threads: host,
         smoke,
@@ -312,6 +437,7 @@ fn main() {
         levels,
         overload,
         batching,
+        results: vec![net_e2e, net_cache],
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&out_path, json + "\n").expect("write BENCH_serve.json");

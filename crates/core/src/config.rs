@@ -31,7 +31,7 @@ impl PrecondKind {
 pub use claire_interp::IpOrder;
 
 /// Full registration configuration (paper defaults).
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
 pub struct RegistrationConfig {
     /// Semi-Lagrangian time steps `Nt` (paper: 4 at 256³, 8 at 512³, 16 at
     /// 1024³).

@@ -133,6 +133,8 @@ fn collect_memory(modeled_bytes: u64) -> MemoryInfo {
         fft_plans: fft.plans,
         fft_plan_hits: fft.hits,
         fft_plan_misses: fft.misses,
+        result_cache_hits: 0,
+        result_cache_misses: 0,
         modeled_bytes,
     }
 }

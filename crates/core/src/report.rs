@@ -4,7 +4,7 @@ use serde::Serialize;
 
 /// Everything Table 6 reports about one registration run, plus
 //  diffeomorphism diagnostics and modeled (virtual-cluster) timings.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct RegistrationReport {
     /// Dataset label (e.g. `na02`).
     pub data: String,

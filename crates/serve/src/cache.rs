@@ -1,0 +1,210 @@
+//! Content-hash result cache: identical registrations served without
+//! solving.
+//!
+//! A registration is a pure function of its input images and solver
+//! configuration, so two jobs whose *content* agrees bitwise must produce
+//! bitwise-identical results — the batch-equivalence tests prove the solver
+//! holds that invariant. The cache keys on a 128-bit FNV-1a digest of the
+//! grid extents, every solver-relevant config field (the same field set as
+//! the coalescing fingerprint), and the raw `f64` bits of both images
+//! (synthetic inputs hash their extents — the generator is deterministic).
+//! Labels, tenants, priorities, and deadlines are *not* part of the key;
+//! they are identity, not content.
+//!
+//! Only `Succeeded` results are stored (a cancelled or failed run says
+//! nothing about what the solve would have produced). Eviction is FIFO at
+//! a fixed capacity — registrations are expensive enough that even a small
+//! cache pays for itself, and FIFO keeps the structure allocation-light.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::job::{JobInput, JobResult, JobSpec, JobStatus};
+use crate::wire::{hash_config, Fnv};
+
+/// Cache hit/miss/occupancy counters (monotone over the service lifetime,
+/// except `entries`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResultCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (the job went on to solve).
+    pub misses: u64,
+    /// Results currently stored.
+    pub entries: usize,
+}
+
+/// 128-bit content key: two independent FNV-1a streams (different offset
+/// bases) over the same byte sequence, so single-stream collisions don't
+/// collide the pair.
+pub fn content_key(spec: &JobSpec) -> u128 {
+    let n = spec.input.grid();
+    let mut lo = Fnv::new();
+    let mut hi = Fnv(0x6c62272e07bb0142); // FNV-1a 128 offset basis, high half
+    for h in [&mut lo, &mut hi] {
+        hash_config(h, n, &spec.config);
+        match &spec.input {
+            JobInput::Synthetic { .. } => h.write(b"synthetic"),
+            JobInput::Pair { template, reference } => {
+                h.write(b"pair");
+                for field in [template, reference] {
+                    for &x in field.data() {
+                        h.write_u64(x.to_bits());
+                    }
+                }
+            }
+        }
+    }
+    ((hi.0 as u128) << 64) | lo.0 as u128
+}
+
+struct Inner {
+    map: HashMap<u128, JobResult>,
+    order: VecDeque<u128>,
+}
+
+/// Bounded FIFO map from content key to the succeeded [`JobResult`].
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` results.
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::with_capacity(capacity.min(64)),
+                order: VecDeque::with_capacity(capacity.min(64)),
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a content key, counting the hit or miss.
+    pub fn lookup(&self, key: u128) -> Option<JobResult> {
+        let inner = self.inner.lock().unwrap();
+        match inner.map.get(&key) {
+            Some(result) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(result.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a succeeded result (anything else is ignored). Overwrites an
+    /// existing entry for the same key without disturbing FIFO order.
+    pub fn insert(&self, key: u128, result: &JobResult) {
+        if result.status != JobStatus::Succeeded {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        if inner.map.insert(key, result.clone()).is_none() {
+            inner.order.push_back(key);
+            while inner.order.len() > self.capacity {
+                if let Some(old) = inner.order.pop_front() {
+                    inner.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ResultCacheStats {
+        ResultCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.inner.lock().unwrap().map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+    use claire_core::RegistrationConfig;
+    use claire_grid::{Grid, Layout, Real, ScalarField};
+    use std::time::Duration;
+
+    fn result(label: &str, status: JobStatus) -> JobResult {
+        JobResult {
+            id: JobId::from_u64(1),
+            label: label.into(),
+            status,
+            report: None,
+            run: None,
+            error: None,
+            from_cache: false,
+            queue_wait: Duration::ZERO,
+            run_time: Duration::ZERO,
+            total: Duration::ZERO,
+        }
+    }
+
+    fn syn_spec(label: &str, n: usize) -> JobSpec {
+        JobSpec::new(label, RegistrationConfig::default(), JobInput::Synthetic { n: [n; 3] })
+    }
+
+    #[test]
+    fn key_ignores_identity_fields() {
+        let a = syn_spec("a", 8).tenant("t1").deadline(Duration::from_secs(1));
+        let b = syn_spec("b", 8);
+        assert_eq!(content_key(&a), content_key(&b));
+        assert_ne!(content_key(&a), content_key(&syn_spec("a", 16)));
+        let mut c = syn_spec("a", 8);
+        c.config.max_gn_iter += 1;
+        assert_ne!(content_key(&a), content_key(&c));
+    }
+
+    #[test]
+    fn key_sees_image_bits() {
+        let layout = Layout::serial(Grid::cube(4));
+        let mk = |bump: Real| {
+            let mut t = ScalarField::zeros(layout);
+            t.data_mut()[7] = 0.25 + bump;
+            let r = ScalarField::zeros(layout);
+            JobSpec::new(
+                "pair",
+                RegistrationConfig::default(),
+                JobInput::Pair { template: t, reference: r },
+            )
+        };
+        assert_eq!(content_key(&mk(0.0)), content_key(&mk(0.0)));
+        // one ulp of one voxel changes the key
+        assert_ne!(content_key(&mk(0.0)), content_key(&mk(Real::EPSILON)));
+    }
+
+    #[test]
+    fn fifo_eviction_and_counters() {
+        let cache = ResultCache::new(2);
+        assert!(cache.lookup(1).is_none());
+        cache.insert(1, &result("one", JobStatus::Succeeded));
+        cache.insert(2, &result("two", JobStatus::Succeeded));
+        cache.insert(3, &result("three", JobStatus::Succeeded));
+        assert!(cache.lookup(1).is_none(), "oldest entry evicted");
+        assert_eq!(cache.lookup(2).unwrap().label, "two");
+        assert_eq!(cache.lookup(3).unwrap().label, "three");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (2, 2, 2));
+    }
+
+    #[test]
+    fn only_successes_are_stored() {
+        let cache = ResultCache::new(4);
+        for status in [JobStatus::Failed, JobStatus::Cancelled, JobStatus::DeadlineExpired] {
+            cache.insert(9, &result("nope", status));
+        }
+        assert!(cache.lookup(9).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Blocking TCP client for a [`NetServer`](crate::server::NetServer).
+//!
+//! [`Client::connect`] performs the `Hello` handshake (refusing servers
+//! that speak a different [`PROTOCOL_VERSION`]) and then exposes the
+//! request envelope as plain methods: [`Client::submit`],
+//! [`Client::status`], [`Client::cancel`], [`Client::wait`], and
+//! [`Client::stream`]. One `Client` is one connection; requests on it are
+//! strictly sequential (submit many jobs first, then wait on each — the
+//! server executes them concurrently regardless).
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::job::{JobId, JobStatus};
+use crate::wire::{
+    decode_response, read_frame, send, ErrorCode, RemoteJobResult, Request, Response, StreamEvent,
+    WireError, WireJobSpec, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+
+/// Outcome of a remote submission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RemoteAdmission {
+    /// Server-assigned job id.
+    pub id: JobId,
+    /// Whether the result was served from the server's content-hash cache
+    /// (the job is already terminal; no solve will run).
+    pub cached: bool,
+}
+
+/// A blocking connection to a claire-serve network server.
+pub struct Client {
+    stream: TcpStream,
+    /// Server identification from the handshake.
+    server: String,
+}
+
+impl Client {
+    /// Connect and perform the version handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, WireError> {
+        Self::connect_as(addr, "claire-client")
+    }
+
+    /// [`Client::connect`] with an explicit client identification string.
+    pub fn connect_as(addr: impl ToSocketAddrs, name: &str) -> Result<Client, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut client = Client { stream, server: String::new() };
+        client.send(&Request::Hello { protocol: PROTOCOL_VERSION, client: name.to_string() })?;
+        match client.recv(None)? {
+            Response::Hello { protocol, server } if protocol == PROTOCOL_VERSION => {
+                client.server = server;
+                Ok(client)
+            }
+            Response::Hello { protocol, .. } => {
+                Err(WireError::VersionMismatch { ours: PROTOCOL_VERSION, theirs: protocol })
+            }
+            Response::Error { code: ErrorCode::VersionMismatch, message } => {
+                Err(WireError::Protocol(message))
+            }
+            other => Err(WireError::Protocol(format!("unexpected handshake reply: {other:?}"))),
+        }
+    }
+
+    /// Server identification string from the handshake.
+    pub fn server_name(&self) -> &str {
+        &self.server
+    }
+
+    /// Submit a job; returns its id and whether it was a cache hit.
+    pub fn submit(&mut self, spec: &WireJobSpec) -> Result<RemoteAdmission, WireError> {
+        self.send(&Request::Submit { spec: spec.clone() })?;
+        match self.recv(None)? {
+            Response::Submitted { id, cached } => Ok(RemoteAdmission { id, cached }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Query a job's lifecycle status.
+    pub fn status(&mut self, id: JobId) -> Result<JobStatus, WireError> {
+        self.send(&Request::Status { id })?;
+        match self.recv(None)? {
+            Response::Status { id: got, status } if got == id => Ok(status),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Request cancellation; returns whether a live job was reached.
+    pub fn cancel(&mut self, id: JobId) -> Result<bool, WireError> {
+        self.send(&Request::Cancel { id })?;
+        match self.recv(None)? {
+            Response::Cancelled { id: got, delivered } if got == id => Ok(delivered),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Block until the job is terminal and fetch its full result.
+    pub fn wait(&mut self, id: JobId) -> Result<RemoteJobResult, WireError> {
+        self.send(&Request::Result { id })?;
+        match self.recv(None)? {
+            Response::Result { result } => Ok(result),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Subscribe to a job's status stream, invoking `on_event` for every
+    /// event until the terminal one (inclusive). Returns the terminal
+    /// status.
+    pub fn stream(
+        &mut self,
+        id: JobId,
+        mut on_event: impl FnMut(StreamEvent),
+    ) -> Result<JobStatus, WireError> {
+        self.send(&Request::Stream { id })?;
+        loop {
+            match self.recv(None)? {
+                Response::Event { id: got, event } if got == id => {
+                    on_event(event);
+                    if let StreamEvent::Terminal { status } = event {
+                        return Ok(status);
+                    }
+                }
+                other => return Err(unexpected(other)),
+            }
+        }
+    }
+
+    fn send<T: serde::Serialize + ?Sized>(&mut self, msg: &T) -> Result<(), WireError> {
+        send(&mut self.stream, msg)
+    }
+
+    /// Receive one response, surfacing server-side `Error` frames as
+    /// [`WireError::Remote`]. `timeout` bounds the wait (None = forever).
+    fn recv(&mut self, timeout: Option<Duration>) -> Result<Response, WireError> {
+        self.stream.set_read_timeout(timeout)?;
+        match decode_response(&read_frame(&mut self.stream, MAX_FRAME_BYTES)?)? {
+            Response::Error { code, message } => Err(WireError::Remote { code, message }),
+            resp => Ok(resp),
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> WireError {
+    WireError::Protocol(format!("unexpected response: {resp:?}"))
+}

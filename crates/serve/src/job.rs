@@ -25,11 +25,43 @@ impl JobId {
     pub fn as_u64(self) -> u64 {
         self.0
     }
+
+    /// Reconstruct an id from its raw numeric form (e.g. out of a report's
+    /// scheduling block). The service only knows ids it assigned itself;
+    /// fabricated ids are simply unknown.
+    pub fn from_u64(raw: u64) -> JobId {
+        JobId(raw)
+    }
 }
 
 impl fmt::Display for JobId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "job-{}", self.0)
+    }
+}
+
+/// Error from parsing a [`JobId`]'s string form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseJobIdError(String);
+
+impl fmt::Display for ParseJobIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid job id `{}` (expected `job-<number>`)", self.0)
+    }
+}
+
+impl std::error::Error for ParseJobIdError {}
+
+impl std::str::FromStr for JobId {
+    type Err = ParseJobIdError;
+
+    /// Parse the stable string form `job-<number>` produced by `Display`,
+    /// so ids round-trip through the wire protocol and logs.
+    fn from_str(s: &str) -> Result<JobId, ParseJobIdError> {
+        s.strip_prefix("job-")
+            .and_then(|raw| raw.parse::<u64>().ok())
+            .map(JobId)
+            .ok_or_else(|| ParseJobIdError(s.to_string()))
     }
 }
 
@@ -108,6 +140,11 @@ impl JobInput {
 pub struct JobSpec {
     /// Free-form label (dataset or experiment name; used in reports).
     pub label: String,
+    /// Tenant name for quota accounting and the report's scheduling block
+    /// (empty = the default tenant). Deliberately *not* part of the
+    /// coalescing fingerprint or the result-cache key: a registration is a
+    /// pure function of its images and config.
+    pub tenant: String,
     /// Solver configuration.
     pub config: RegistrationConfig,
     /// Input images.
@@ -127,12 +164,19 @@ impl JobSpec {
     pub fn new(label: impl Into<String>, config: RegistrationConfig, input: JobInput) -> JobSpec {
         JobSpec {
             label: label.into(),
+            tenant: String::new(),
             config,
             input,
             priority: Priority::default(),
             deadline: None,
             hooks: SolverHooks::default(),
         }
+    }
+
+    /// Set the tenant name for quota accounting.
+    pub fn tenant(mut self, tenant: impl Into<String>) -> JobSpec {
+        self.tenant = tenant.into();
+        self
     }
 
     /// Set the priority class.
@@ -206,6 +250,19 @@ impl JobStatus {
         !matches!(self, JobStatus::Queued | JobStatus::Running)
     }
 
+    /// Parse a wire/report label back into a status.
+    pub fn parse(s: &str) -> Option<JobStatus> {
+        match s {
+            "queued" => Some(JobStatus::Queued),
+            "running" => Some(JobStatus::Running),
+            "succeeded" => Some(JobStatus::Succeeded),
+            "failed" => Some(JobStatus::Failed),
+            "cancelled" => Some(JobStatus::Cancelled),
+            "deadline_expired" => Some(JobStatus::DeadlineExpired),
+            _ => None,
+        }
+    }
+
     /// Lower-case label used in reports and logs.
     pub fn label(self) -> &'static str {
         match self {
@@ -243,6 +300,9 @@ pub struct JobResult {
     pub run: Option<RunReport>,
     /// Error text (`Failed`/`Cancelled`/`DeadlineExpired`).
     pub error: Option<String>,
+    /// Whether this result was served from the content-hash result cache
+    /// (a verbatim clone of an earlier solve, no new solver run).
+    pub from_cache: bool,
     /// Time spent queued between submission and execution start.
     pub queue_wait: Duration,
     /// Time spent executing on the worker.
@@ -270,6 +330,33 @@ mod tests {
         assert_eq!(Priority::parse("HIGH"), Some(Priority::High));
         assert_eq!(Priority::parse("urgent"), None);
         assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn job_id_string_form_round_trips() {
+        let id = JobId::from_u64(42);
+        assert_eq!(id.to_string(), "job-42");
+        assert_eq!("job-42".parse::<JobId>().unwrap(), id);
+        assert_eq!("job-0".parse::<JobId>().unwrap().as_u64(), 0);
+        for bad in ["42", "job-", "job--3", "job-1x", "JOB-42", " job-42"] {
+            let err = bad.parse::<JobId>().unwrap_err();
+            assert!(err.to_string().contains(bad.trim()), "{err}");
+        }
+    }
+
+    #[test]
+    fn status_labels_round_trip() {
+        for s in [
+            JobStatus::Queued,
+            JobStatus::Running,
+            JobStatus::Succeeded,
+            JobStatus::Failed,
+            JobStatus::Cancelled,
+            JobStatus::DeadlineExpired,
+        ] {
+            assert_eq!(JobStatus::parse(s.label()), Some(s));
+        }
+        assert_eq!(JobStatus::parse("exploded"), None);
     }
 
     #[test]

@@ -1,10 +1,11 @@
-//! claire-serve: an in-process multi-tenant registration job service.
+//! claire-serve: a multi-tenant registration job service, in-process or
+//! over TCP.
 //!
 //! The paper runs CLAIRE as a batch solver — one registration per
 //! invocation. Real deployments (clinical pipelines, atlas construction,
 //! the paper's §1 "registering hundreds of images" motivation) need many
-//! registrations multiplexed over one machine's cores. This crate provides
-//! that layer on plain std threads and channels:
+//! registrations multiplexed over machines. This crate provides that layer
+//! on plain std threads, channels, and sockets:
 //!
 //! * **Typed jobs** — [`JobSpec`] (config + inputs + priority + deadline +
 //!   hooks) in, [`JobResult`] (status + reports + latency breakdown) out;
@@ -13,14 +14,19 @@
 //!   backpressure), [`RegistrationService::submit`] blocks (closed-loop);
 //! * **Deadlines & cancellation** — armed on the job's
 //!   [`CancelToken`](claire_core::CancelToken) at submission and polled by
-//!   the solver at every Gauss–Newton iteration boundary, so a cancel takes
-//!   effect within one iteration without poisoning the worker;
-//! * **Thread partitioning** — each worker pins
-//!   `total_threads / workers` kernel threads via
-//!   `claire_par::set_local_threads`, so concurrent jobs never
-//!   oversubscribe the machine;
-//! * **Graceful shutdown** — [`RegistrationService::shutdown`] drains every
-//!   admitted job and rejects new ones; `shutdown_now` cancels instead.
+//!   the solver at every Gauss–Newton iteration boundary;
+//! * **Result cache & quotas** — a content-hash [`cache`] that serves
+//!   repeated identical registrations without solving, and per-tenant
+//!   token-bucket [`quota`]s checked at admission;
+//! * **Networking** — [`server::NetServer`] puts the service behind a
+//!   length-framed, versioned JSON protocol ([`wire`]); [`client::Client`]
+//!   is the matching blocking client; [`router::Router`] shards jobs
+//!   across several servers by consistent-hashing the solver fingerprint
+//!   so batch coalescing keeps working fleet-wide.
+//!
+//! The crate splits server from client: embed
+//! [`server::RegistrationService`] (or [`server::NetServer`]) in a daemon;
+//! link only [`client::Client`] + [`wire`] types in tools that submit.
 //!
 //! ```no_run
 //! use claire_serve::{JobInput, JobSpec, RegistrationService, ServiceConfig};
@@ -34,10 +40,31 @@
 //! svc.shutdown();
 //! ```
 
+pub mod cache;
+pub mod client;
 pub mod job;
 pub mod queue;
-pub mod service;
+pub mod quota;
+pub mod router;
+pub mod server;
+pub mod wire;
 
-pub use job::{JobId, JobInput, JobResult, JobSpec, JobStatus, Priority};
+/// Pre-split location of the service types (moved to [`server::service`]).
+#[deprecated(note = "use `claire_serve::server::service` (or the root re-exports)")]
+pub mod service {
+    pub use crate::server::service::*;
+}
+
+pub use cache::ResultCacheStats;
+pub use client::{Client, RemoteAdmission};
+pub use job::{JobId, JobInput, JobResult, JobSpec, JobStatus, ParseJobIdError, Priority};
 pub use queue::{BoundedQueue, PushError};
-pub use service::{RegistrationService, ServiceConfig, SubmitError};
+pub use quota::QuotaConfig;
+pub use router::Router;
+pub use server::{
+    Admission, NetServer, NetServerConfig, RegistrationService, ServiceConfig, SubmitError,
+};
+pub use wire::{
+    ErrorCode, RemoteJobResult, Request, Response, StreamEvent, WireError, WireInput, WireJobSpec,
+    PROTOCOL_VERSION,
+};

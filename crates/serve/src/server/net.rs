@@ -1,0 +1,433 @@
+//! TCP front door for a [`RegistrationService`].
+//!
+//! [`NetServer`] binds a listener, performs the [`crate::wire`] `Hello`
+//! handshake on every connection (refusing incompatible
+//! [`PROTOCOL_VERSION`]s with a typed error), and serves the full request
+//! envelope: `Submit`, `Status`, `Cancel`, `Result`, and `Stream`.
+//!
+//! Streaming rides the solver's [`SolverHooks::on_gn_iter`] seam: at
+//! submission the server splices a hook that publishes each Gauss–Newton
+//! iteration index into a per-job [`Hub`]; a later `Stream` request replays
+//! the buffered iterations and then follows live until the job is
+//! terminal, so subscribers see `Queued → Running → GnIter* → Terminal`
+//! regardless of when they attach. Cache hits skip the solver entirely and
+//! stream straight to `Terminal`.
+//!
+//! One thread per connection, 100 ms read timeouts as poll ticks, and a
+//! stop flag checked on every tick make shutdown deterministic: stop the
+//! accept loop, join the connection threads, then drain the service.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use claire_core::SolverHooks;
+
+use crate::job::{JobId, JobStatus};
+use crate::server::service::{RegistrationService, ServiceConfig, SubmitError};
+use crate::wire::{
+    decode_request, read_frame, send, ErrorCode, RemoteJobResult, Request, Response, StreamEvent,
+    WireError, PROTOCOL_VERSION,
+};
+
+/// Poll tick for connection reads and stream waits.
+const TICK: Duration = Duration::from_millis(100);
+
+/// How a [`NetServer`] is sized and identified.
+#[derive(Clone, Debug)]
+pub struct NetServerConfig {
+    /// Configuration for the embedded [`RegistrationService`].
+    pub service: ServiceConfig,
+    /// Server identification returned in the `Hello` handshake.
+    pub name: String,
+    /// Largest request frame accepted (guards allocation; see
+    /// [`crate::wire::MAX_FRAME_BYTES`] for the protocol ceiling).
+    pub max_frame_bytes: usize,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            service: ServiceConfig::default(),
+            name: "claire-serve".to_string(),
+            max_frame_bytes: crate::wire::MAX_FRAME_BYTES,
+        }
+    }
+}
+
+impl NetServerConfig {
+    /// Set the embedded service configuration.
+    pub fn service(mut self, cfg: ServiceConfig) -> Self {
+        self.service = cfg;
+        self
+    }
+
+    /// Set the handshake server name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Cap accepted request frames at `bytes`.
+    pub fn max_frame_bytes(mut self, bytes: usize) -> Self {
+        self.max_frame_bytes = bytes;
+        self
+    }
+}
+
+/// Per-job event hub: the solver-side hook pushes Gauss–Newton iteration
+/// indices, stream subscribers replay and then follow.
+struct Hub {
+    iters: Mutex<Vec<usize>>,
+    cv: Condvar,
+}
+
+impl Hub {
+    fn new() -> Hub {
+        Hub { iters: Mutex::new(Vec::new()), cv: Condvar::new() }
+    }
+
+    fn push(&self, iter: usize) {
+        self.iters.lock().unwrap().push(iter);
+        self.cv.notify_all();
+    }
+
+    /// Copy iterations `[from..]`, waiting up to `timeout` if none are new.
+    fn drain_from(&self, from: usize, timeout: Duration) -> Vec<usize> {
+        let mut iters = self.iters.lock().unwrap();
+        if iters.len() <= from {
+            let (guard, _) = self.cv.wait_timeout(iters, timeout).unwrap();
+            iters = guard;
+        }
+        iters.get(from..).map(<[usize]>::to_vec).unwrap_or_default()
+    }
+}
+
+/// State shared between the accept loop and every connection thread.
+struct NetShared {
+    svc: RegistrationService,
+    hubs: Mutex<HashMap<u64, Arc<Hub>>>,
+    stop: AtomicBool,
+    name: String,
+    max_frame: usize,
+}
+
+/// A TCP server wrapping a [`RegistrationService`].
+///
+/// ```no_run
+/// use claire_serve::server::{NetServer, NetServerConfig};
+/// let mut srv = NetServer::bind("127.0.0.1:0", NetServerConfig::default()).unwrap();
+/// println!("listening on {}", srv.local_addr());
+/// // ... clients connect ...
+/// srv.shutdown();
+/// ```
+pub struct NetServer {
+    shared: Arc<NetShared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl NetServer {
+    /// Bind `addr`, start the embedded service, and begin accepting.
+    pub fn bind(addr: impl ToSocketAddrs, cfg: NetServerConfig) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(NetShared {
+            svc: RegistrationService::start(cfg.service),
+            hubs: Mutex::new(HashMap::new()),
+            stop: AtomicBool::new(false),
+            name: cfg.name,
+            max_frame: cfg.max_frame_bytes,
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            thread::Builder::new()
+                .name("claire-net-accept".into())
+                .spawn(move || accept_loop(listener, shared, conns))
+                .expect("spawn accept thread")
+        };
+        Ok(NetServer { shared, addr: local, accept: Some(accept), conns })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The embedded service (counters, cache stats, direct submission).
+    pub fn service(&self) -> &RegistrationService {
+        &self.shared.svc
+    }
+
+    /// Stop accepting, join connection threads, drain the service.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles = std::mem::take(&mut *self.conns.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+        // Every connection thread has dropped its Arc, so the service can
+        // be drained in place; if a clone somehow leaked, dropping the
+        // server still shuts the pool down via RegistrationService::drop.
+        if let Some(shared) = Arc::get_mut(&mut self.shared) {
+            shared.svc.shutdown();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<NetShared>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(&shared);
+                let handle = thread::Builder::new()
+                    .name("claire-net-conn".into())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, &shared);
+                    })
+                    .expect("spawn connection thread");
+                conns.lock().unwrap().push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Run one connection to completion: handshake, then a request loop.
+fn serve_connection(mut stream: TcpStream, shared: &NetShared) -> Result<(), WireError> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(TICK))?;
+
+    // Handshake: the first frame must be a version-compatible Hello.
+    loop {
+        match read_frame(&mut stream, shared.max_frame) {
+            Ok(bytes) => match decode_request(&bytes) {
+                Ok(Request::Hello { protocol, client: _ }) if protocol == PROTOCOL_VERSION => {
+                    send(
+                        &mut stream,
+                        &Response::Hello {
+                            protocol: PROTOCOL_VERSION,
+                            server: shared.name.clone(),
+                        },
+                    )?;
+                    break;
+                }
+                Ok(Request::Hello { protocol, .. }) => {
+                    send(
+                        &mut stream,
+                        &Response::Error {
+                            code: ErrorCode::VersionMismatch,
+                            message: format!(
+                                "server speaks protocol {PROTOCOL_VERSION}, client sent {protocol}"
+                            ),
+                        },
+                    )?;
+                    return Err(WireError::VersionMismatch {
+                        ours: PROTOCOL_VERSION,
+                        theirs: protocol,
+                    });
+                }
+                Ok(_) => {
+                    send(
+                        &mut stream,
+                        &Response::Error {
+                            code: ErrorCode::Unsupported,
+                            message: "first frame must be Hello".into(),
+                        },
+                    )?;
+                    return Err(WireError::Protocol("first frame must be Hello".into()));
+                }
+                Err(e) => {
+                    send(
+                        &mut stream,
+                        &Response::Error { code: ErrorCode::Malformed, message: e.to_string() },
+                    )?;
+                    return Err(e);
+                }
+            },
+            Err(WireError::Timeout) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            Err(WireError::Closed) => return Ok(()),
+            Err(e) => return Err(e),
+        }
+    }
+
+    // Request loop.
+    loop {
+        let bytes = match read_frame(&mut stream, shared.max_frame) {
+            Ok(b) => b,
+            Err(WireError::Timeout) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(WireError::Closed) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let req = match decode_request(&bytes) {
+            Ok(r) => r,
+            Err(e) => {
+                send(
+                    &mut stream,
+                    &Response::Error { code: ErrorCode::Malformed, message: e.to_string() },
+                )?;
+                continue;
+            }
+        };
+        match req {
+            Request::Hello { .. } => {
+                // Idempotent re-greeting is harmless; re-acknowledge.
+                send(
+                    &mut stream,
+                    &Response::Hello { protocol: PROTOCOL_VERSION, server: shared.name.clone() },
+                )?;
+            }
+            Request::Submit { spec } => handle_submit(&mut stream, shared, spec)?,
+            Request::Status { id } => match shared.svc.status(id) {
+                Some(status) => send(&mut stream, &Response::Status { id, status })?,
+                None => send_unknown(&mut stream, id)?,
+            },
+            Request::Cancel { id } => {
+                let delivered = shared.svc.cancel(id);
+                send(&mut stream, &Response::Cancelled { id, delivered })?;
+            }
+            Request::Result { id } => match wait_result(shared, id) {
+                Some(result) => {
+                    shared.hubs.lock().unwrap().remove(&id.as_u64());
+                    send(&mut stream, &Response::Result { result })?;
+                }
+                None => send_unknown(&mut stream, id)?,
+            },
+            Request::Stream { id } => handle_stream(&mut stream, shared, id)?,
+        }
+    }
+}
+
+fn send_unknown(stream: &mut TcpStream, id: JobId) -> Result<(), WireError> {
+    send(stream, &Response::Error { code: ErrorCode::UnknownJob, message: format!("no job {id}") })
+}
+
+fn handle_submit(
+    stream: &mut TcpStream,
+    shared: &NetShared,
+    spec: crate::wire::WireJobSpec,
+) -> Result<(), WireError> {
+    let mut spec = match spec.into_spec() {
+        Ok(s) => s,
+        Err(e) => {
+            return send(
+                stream,
+                &Response::Error { code: ErrorCode::InvalidSpec, message: e.to_string() },
+            );
+        }
+    };
+    // Splice the streaming hook before admission so no iteration is lost.
+    let hub = Arc::new(Hub::new());
+    let publish = Arc::clone(&hub);
+    spec.hooks =
+        SolverHooks { cancel: None, on_gn_iter: Some(Arc::new(move |iter| publish.push(iter))) };
+    match shared.svc.try_submit_traced(spec) {
+        Ok(adm) => {
+            if !adm.cached {
+                shared.hubs.lock().unwrap().insert(adm.id.as_u64(), hub);
+            }
+            send(stream, &Response::Submitted { id: adm.id, cached: adm.cached })
+        }
+        Err(e) => {
+            let code = match &e {
+                SubmitError::QueueFull => ErrorCode::QueueFull,
+                SubmitError::ShuttingDown => ErrorCode::ShuttingDown,
+                SubmitError::Invalid(_) => ErrorCode::InvalidSpec,
+                SubmitError::QuotaExceeded { .. } => ErrorCode::QuotaExceeded,
+            };
+            send(stream, &Response::Error { code, message: e.to_string() })
+        }
+    }
+}
+
+/// Wait for a terminal result, bounded by the stop flag.
+fn wait_result(shared: &NetShared, id: JobId) -> Option<crate::wire::RemoteJobResult> {
+    shared.svc.wait(id).map(|r| RemoteJobResult::from_result(&r))
+}
+
+fn handle_stream(stream: &mut TcpStream, shared: &NetShared, id: JobId) -> Result<(), WireError> {
+    if shared.svc.status(id).is_none() {
+        return send_unknown(stream, id);
+    }
+    let hub = shared.hubs.lock().unwrap().get(&id.as_u64()).cloned();
+    send(stream, &Response::Event { id, event: StreamEvent::Queued })?;
+    let mut sent_running = false;
+    let mut next = 0usize;
+    loop {
+        // Read the status *before* draining the hub: iterations published
+        // before the job went terminal are still replayed afterwards.
+        let status = shared
+            .svc
+            .status(id)
+            .ok_or_else(|| WireError::Protocol(format!("job {id} vanished mid-stream")))?;
+        if !sent_running && status != JobStatus::Queued {
+            sent_running = true;
+            send(stream, &Response::Event { id, event: StreamEvent::Running })?;
+        }
+        // Iterations are only relayed once `Running` went out; nothing is
+        // lost because the hub replays from `next` on the following tick.
+        let fresh = if sent_running {
+            match &hub {
+                Some(hub) if status.is_terminal() => hub.drain_from(next, Duration::ZERO),
+                Some(hub) => hub.drain_from(next, TICK),
+                None => Vec::new(),
+            }
+        } else {
+            Vec::new()
+        };
+        for iter in fresh {
+            next += 1;
+            send(stream, &Response::Event { id, event: StreamEvent::GnIter { iter } })?;
+        }
+        if status.is_terminal() {
+            return send(stream, &Response::Event { id, event: StreamEvent::Terminal { status } });
+        }
+        if !sent_running || hub.is_none() {
+            std::thread::sleep(TICK);
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            return send(
+                stream,
+                &Response::Error {
+                    code: ErrorCode::ShuttingDown,
+                    message: "server shutting down".into(),
+                },
+            );
+        }
+    }
+}

@@ -38,8 +38,10 @@ use claire_obs::report::{
 };
 use claire_obs::span;
 
+use crate::cache::{content_key, ResultCache, ResultCacheStats};
 use crate::job::{JobId, JobInput, JobResult, JobSpec, JobStatus, Priority};
 use crate::queue::{BoundedQueue, PushError};
+use crate::quota::{QuotaConfig, TenantQuotas};
 
 static QUEUE_DEPTH: Gauge = Gauge::new("serve.queue.depth");
 static QUEUE_WAIT: Histogram = Histogram::new("serve.queue.wait_secs");
@@ -51,6 +53,10 @@ static DEADLINE_EXPIRED: Counter = Counter::new("serve.jobs.deadline_expired");
 static FAILED: Counter = Counter::new("serve.jobs.failed");
 static BATCHES: Counter = Counter::new("serve.batches.executed");
 static BATCHED_JOBS: Counter = Counter::new("serve.batches.jobs");
+static CACHE_HITS: Counter = Counter::new("serve.cache.hits");
+static CACHE_MISSES: Counter = Counter::new("serve.cache.misses");
+static QUOTA_REJECTED: Counter = Counter::new("serve.jobs.quota_rejected");
+static SOLVER_RUNS: Counter = Counter::new("serve.solver.runs");
 
 /// Why a submission was refused.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -62,6 +68,13 @@ pub enum SubmitError {
     ShuttingDown,
     /// The spec failed admission validation.
     Invalid(ClaireError),
+    /// The tenant's token bucket is empty; retry after the hinted duration.
+    QuotaExceeded {
+        /// Tenant whose bucket ran dry.
+        tenant: String,
+        /// Time until one token will have refilled.
+        retry_after: Duration,
+    },
 }
 
 impl fmt::Display for SubmitError {
@@ -70,6 +83,11 @@ impl fmt::Display for SubmitError {
             SubmitError::QueueFull => write!(f, "admission queue is full"),
             SubmitError::ShuttingDown => write!(f, "service is shutting down"),
             SubmitError::Invalid(e) => write!(f, "invalid job spec: {e}"),
+            SubmitError::QuotaExceeded { tenant, retry_after } => write!(
+                f,
+                "tenant `{tenant}` exceeded its submission quota; retry in {:.3} s",
+                retry_after.as_secs_f64()
+            ),
         }
     }
 }
@@ -101,6 +119,17 @@ pub struct ServiceConfig {
     /// Largest batch one worker coalesces (≥ 2 to ever coalesce; the head
     /// job counts). Only read when `batching` is on.
     pub max_batch: usize,
+    /// Content-hash result-cache capacity in entries (0 disables the
+    /// cache). When on, a submission whose images and config hash to a
+    /// previously *succeeded* job's content key completes immediately with
+    /// a clone of the cached result — no queueing, no solve. Off by
+    /// default: in-process callers often submit identical specs on purpose
+    /// (benchmarks, coalescing); the network front door enables it.
+    pub result_cache: usize,
+    /// Per-tenant token-bucket admission quota (None = unlimited). Checked
+    /// before queue capacity and before the result cache, so a tenant
+    /// cannot launder load through cache hits.
+    pub quota: Option<QuotaConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -112,6 +141,8 @@ impl Default for ServiceConfig {
             collect_reports: true,
             batching: false,
             max_batch: 8,
+            result_cache: 0,
+            quota: None,
         }
     }
 }
@@ -152,6 +183,29 @@ impl ServiceConfig {
         self.max_batch = n;
         self
     }
+
+    /// Set the result-cache capacity (0 disables).
+    pub fn result_cache(mut self, entries: usize) -> Self {
+        self.result_cache = entries;
+        self
+    }
+
+    /// Set the per-tenant admission quota.
+    pub fn quota(mut self, q: QuotaConfig) -> Self {
+        self.quota = Some(q);
+        self
+    }
+}
+
+/// What a (traced) submission produced: the assigned id, and whether the
+/// result was served straight from the content-hash cache (in which case
+/// the job is already terminal).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Admission {
+    /// Service-assigned job id.
+    pub id: JobId,
+    /// `true` when the result came from the cache without queueing.
+    pub cached: bool,
 }
 
 /// A job admitted to the queue.
@@ -161,6 +215,9 @@ struct QueuedJob {
     token: CancelToken,
     submitted: Instant,
     deadline: Option<Duration>,
+    /// Content key computed at admission (Some iff the cache is enabled);
+    /// a succeeded result is stored under it.
+    cache_key: Option<u128>,
 }
 
 struct JobEntry {
@@ -176,6 +233,12 @@ struct Shared {
     accepting: AtomicBool,
     next_id: AtomicU64,
     next_batch_id: AtomicU64,
+    cache: Option<ResultCache>,
+    quotas: Option<TenantQuotas>,
+    /// Solver invocations (batched runs count once) — the counter the
+    /// cache-bypass tests assert against. Per-service, unlike the obs
+    /// counters, which are global and gated on observability being on.
+    solver_runs: AtomicU64,
 }
 
 impl Shared {
@@ -229,6 +292,9 @@ impl RegistrationService {
             accepting: AtomicBool::new(true),
             next_id: AtomicU64::new(1),
             next_batch_id: AtomicU64::new(1),
+            cache: (cfg.result_cache > 0).then(|| ResultCache::new(cfg.result_cache)),
+            quotas: cfg.quota.map(TenantQuotas::new),
+            solver_runs: AtomicU64::new(0),
         });
         let max_batch = if cfg.batching { cfg.max_batch.max(1) } else { 1 };
         let handles = (0..workers)
@@ -257,15 +323,27 @@ impl RegistrationService {
     /// Non-blocking submission: validates, then fails fast with
     /// [`SubmitError::QueueFull`] under backpressure.
     pub fn try_submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
-        self.admit(spec, false)
+        self.admit(spec, false).map(|a| a.id)
     }
 
     /// Blocking submission: validates, then waits for queue capacity.
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        self.admit(spec, true).map(|a| a.id)
+    }
+
+    /// [`RegistrationService::try_submit`], additionally reporting whether
+    /// the result came straight from the content-hash cache.
+    pub fn try_submit_traced(&self, spec: JobSpec) -> Result<Admission, SubmitError> {
+        self.admit(spec, false)
+    }
+
+    /// [`RegistrationService::submit`], additionally reporting whether the
+    /// result came straight from the content-hash cache.
+    pub fn submit_traced(&self, spec: JobSpec) -> Result<Admission, SubmitError> {
         self.admit(spec, true)
     }
 
-    fn admit(&self, spec: JobSpec, block: bool) -> Result<JobId, SubmitError> {
+    fn admit(&self, spec: JobSpec, block: bool) -> Result<Admission, SubmitError> {
         if !self.shared.accepting.load(Ordering::Acquire) {
             REJECTED.inc();
             return Err(SubmitError::ShuttingDown);
@@ -273,6 +351,36 @@ impl RegistrationService {
         if let Err(e) = spec.validate() {
             REJECTED.inc();
             return Err(SubmitError::Invalid(e));
+        }
+        // Quota before queue capacity and before the cache: admission is
+        // the unit the token pays for, hit or miss.
+        if let Some(quotas) = &self.shared.quotas {
+            if let Err(retry_after) = quotas.try_take(&spec.tenant) {
+                QUOTA_REJECTED.inc();
+                REJECTED.inc();
+                return Err(SubmitError::QuotaExceeded { tenant: spec.tenant, retry_after });
+            }
+        }
+
+        // Content-hash cache: an identical registration that already
+        // succeeded is served as a terminal job without touching the queue.
+        let cache_key = self.shared.cache.as_ref().map(|_| content_key(&spec));
+        if let (Some(cache), Some(key)) = (&self.shared.cache, cache_key) {
+            if let Some(hit) = cache.lookup(key) {
+                CACHE_HITS.inc();
+                SUBMITTED.inc();
+                let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+                let result = cached_result(id, &spec, hit);
+                let token = spec.hooks.cancel.clone().unwrap_or_default();
+                self.shared.jobs.lock().unwrap().insert(
+                    id,
+                    JobEntry { status: JobStatus::Succeeded, token, result: Some(result) },
+                );
+                COMPLETED.inc();
+                self.shared.done.notify_all();
+                return Ok(Admission { id: JobId(id), cached: true });
+            }
+            CACHE_MISSES.inc();
         }
 
         // A caller-provided token is the cancellation seam for tests and
@@ -290,7 +398,7 @@ impl RegistrationService {
 
         let lane = spec.priority.index();
         let deadline = spec.deadline;
-        let job = QueuedJob { id, spec, token, submitted: Instant::now(), deadline };
+        let job = QueuedJob { id, spec, token, submitted: Instant::now(), deadline, cache_key };
         let pushed = if block {
             self.shared.queue.push(job, lane)
         } else {
@@ -300,7 +408,7 @@ impl RegistrationService {
             Ok(()) => {
                 SUBMITTED.inc();
                 QUEUE_DEPTH.set(self.shared.queue.len() as f64);
-                Ok(JobId(id))
+                Ok(Admission { id: JobId(id), cached: false })
             }
             Err(err) => {
                 self.shared.jobs.lock().unwrap().remove(&id);
@@ -311,6 +419,17 @@ impl RegistrationService {
                 })
             }
         }
+    }
+
+    /// Solver invocations so far (a coalesced batch counts once). A cache
+    /// hit leaves this untouched — the seam the cache tests assert on.
+    pub fn solver_invocations(&self) -> u64 {
+        self.shared.solver_runs.load(Ordering::Relaxed)
+    }
+
+    /// Result-cache counters (all zero when the cache is disabled).
+    pub fn cache_stats(&self) -> ResultCacheStats {
+        self.shared.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
     }
 
     /// Request cancellation of a job. Returns `true` if the job exists and
@@ -483,6 +602,7 @@ fn execute_batch(
                     report: None,
                     run: None,
                     error: Some(format!("{} before execution started", reason.label())),
+                    from_cache: false,
                     queue_wait,
                     run_time: Duration::ZERO,
                     total: job.submitted.elapsed(),
@@ -514,7 +634,7 @@ fn execute_batch(
     let mut meta = Vec::with_capacity(batch_size);
     let config = live[0].spec.config;
     for job in live {
-        let QueuedJob { id, spec, token, submitted, deadline } = job;
+        let QueuedJob { id, spec, token, submitted, deadline, cache_key } = job;
         shared.set_status(id, JobStatus::Running);
         let (template, reference) = match spec.input {
             JobInput::Pair { template, reference } => (template, reference),
@@ -526,10 +646,21 @@ fn execute_batch(
         let hooks =
             SolverHooks { cancel: Some(token.clone()), on_gn_iter: spec.hooks.on_gn_iter.clone() };
         pairs.push(BatchPair::new(spec.label.clone(), template, reference).with_hooks(hooks));
-        meta.push((id, spec.label, spec.priority, deadline, token, submitted));
+        meta.push((
+            id,
+            spec.label,
+            spec.priority,
+            deadline,
+            token,
+            submitted,
+            spec.tenant,
+            cache_key,
+        ));
     }
 
     let started = Instant::now();
+    shared.solver_runs.fetch_add(1, Ordering::Relaxed);
+    SOLVER_RUNS.inc();
     // The batch is ONE unit of schedulable work: hand it this worker's
     // exact thread slice so K coalesced jobs never oversubscribe claire-par
     // (K × per-worker threads would, under the one-job-per-worker split).
@@ -556,7 +687,9 @@ fn execute_batch(
         }
     };
 
-    for (item, (id, label, priority, deadline, token, submitted)) in items.into_iter().zip(meta) {
+    for (item, (id, label, priority, deadline, token, submitted, tenant, cache_key)) in
+        items.into_iter().zip(meta)
+    {
         let queue_wait = started.duration_since(submitted);
         let mut result = JobResult {
             id: JobId(id),
@@ -565,6 +698,7 @@ fn execute_batch(
             report: None,
             run: None,
             error: None,
+            from_cache: false,
             queue_wait,
             run_time,
             total: submitted.elapsed(),
@@ -583,10 +717,15 @@ fn execute_batch(
                         deadline_secs: deadline.map(|d| d.as_secs_f64()).unwrap_or(0.0),
                         batch_id,
                         batch_size,
+                        tenant,
+                        from_cache: false,
                     };
                     let mut run =
                         job_run_report(&label, &report, &config, &comm, scheduling, &item.memory);
                     run.spans = spans.clone();
+                    if cache_key.is_some() {
+                        run.memory.result_cache_misses = 1;
+                    }
                     result.run = Some(run);
                 }
                 result.report = Some(report);
@@ -603,16 +742,20 @@ fn execute_batch(
                 result.error = Some(e.to_string());
             }
         }
+        if let (Some(cache), Some(key)) = (&shared.cache, cache_key) {
+            cache.insert(key, &result);
+        }
         shared.finish(id, result);
     }
 }
 
-type BatchMeta = (u64, String, Priority, Option<Duration>, CancelToken, Instant);
+type BatchMeta =
+    (u64, String, Priority, Option<Duration>, CancelToken, Instant, String, Option<u128>);
 
 /// Finish every batch member as `Failed` with the same batch-level error
 /// (whole-batch misuse or a panicking solve).
 fn fail_batch(shared: &Shared, meta: &[BatchMeta], run_time: Duration, error: &str) {
-    for (id, label, _, _, _, submitted) in meta {
+    for (id, label, _, _, _, submitted, _, _) in meta {
         shared.finish(
             *id,
             JobResult {
@@ -622,6 +765,7 @@ fn fail_batch(shared: &Shared, meta: &[BatchMeta], run_time: Duration, error: &s
                 report: None,
                 run: None,
                 error: Some(error.to_string()),
+                from_cache: false,
                 queue_wait: Duration::ZERO,
                 run_time,
                 total: submitted.elapsed(),
@@ -637,8 +781,9 @@ fn execute(
     job: QueuedJob,
     queue_wait: Duration,
 ) {
-    let QueuedJob { id, spec, token, submitted, deadline } = job;
+    let QueuedJob { id, spec, token, submitted, deadline, cache_key } = job;
     let label = spec.label.clone();
+    let tenant = spec.tenant.clone();
     let mut result = JobResult {
         id: JobId(id),
         label: label.clone(),
@@ -646,6 +791,7 @@ fn execute(
         report: None,
         run: None,
         error: None,
+        from_cache: false,
         queue_wait,
         run_time: Duration::ZERO,
         total: Duration::ZERO,
@@ -673,6 +819,8 @@ fn execute(
     // concurrently; an upper bound otherwise).
     let ws0 = workspace::stats();
     let fft0 = fft_cache::stats();
+    shared.solver_runs.fetch_add(1, Ordering::Relaxed);
+    SOLVER_RUNS.inc();
     let solve = catch_unwind(AssertUnwindSafe(|| run_solve(spec, &token)));
     let mut mem = MemberMemStats::default();
     mem_delta(&mut mem, &ws0, fft0);
@@ -693,9 +841,14 @@ fn execute(
                     deadline_secs: deadline.map(|d| d.as_secs_f64()).unwrap_or(0.0),
                     batch_id: 0,
                     batch_size: 0,
+                    tenant,
+                    from_cache: false,
                 };
-                result.run =
-                    Some(job_run_report(&label, &report, &config, &comm, scheduling, &mem));
+                let mut run = job_run_report(&label, &report, &config, &comm, scheduling, &mem);
+                if cache_key.is_some() {
+                    run.memory.result_cache_misses = 1;
+                }
+                result.run = Some(run);
             }
             result.report = Some(report);
         }
@@ -728,7 +881,42 @@ fn execute(
     if let Some(run) = &mut result.run {
         run.spans = spans;
     }
+    if let (Some(cache), Some(key)) = (&shared.cache, cache_key) {
+        cache.insert(key, &result);
+    }
     shared.finish(id, result);
+}
+
+/// Rewrite a cached result as this submission's own terminal outcome: new
+/// id/label and scheduling identity, zero latencies, cache counters set to
+/// "hit". The solve artifacts themselves — `report`, the run's summary,
+/// traces, and memory event counts — are a verbatim clone of the original
+/// run, so the registration numbers are bitwise-identical to solving again
+/// (`report.data` keeps the original submission's label: it is part of the
+/// cached artifact).
+fn cached_result(id: u64, spec: &JobSpec, mut hit: JobResult) -> JobResult {
+    hit.id = JobId(id);
+    hit.label = spec.label.clone();
+    hit.error = None;
+    hit.from_cache = true;
+    hit.queue_wait = Duration::ZERO;
+    hit.run_time = Duration::ZERO;
+    hit.total = Duration::ZERO;
+    if let Some(run) = &mut hit.run {
+        run.label = spec.label.clone();
+        run.scheduling.job_id = id;
+        run.scheduling.priority = spec.priority.label().to_string();
+        run.scheduling.tenant = spec.tenant.clone();
+        run.scheduling.from_cache = true;
+        run.scheduling.queue_wait_secs = 0.0;
+        run.scheduling.run_secs = 0.0;
+        run.scheduling.total_secs = 0.0;
+        run.scheduling.batch_id = 0;
+        run.scheduling.batch_size = 0;
+        run.memory.result_cache_hits = 1;
+        run.memory.result_cache_misses = 0;
+    }
+    hit
 }
 
 /// Run one registration on the calling worker thread.
@@ -795,6 +983,8 @@ fn job_memory(mem: &MemberMemStats, modeled_bytes: u64) -> MemoryInfo {
         fft_plan_hits: mem.fft_plan_hits,
         fft_plan_misses: mem.fft_plan_misses,
         modeled_bytes,
+        result_cache_hits: 0,
+        result_cache_misses: 0,
     }
 }
 
@@ -1072,6 +1262,79 @@ mod tests {
                 "batched member must match the solo solve bitwise"
             );
             assert!(res.run.unwrap().scheduling.batch_id > 0, "actually took the batch path");
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn cache_hit_skips_the_solver_and_is_bitwise_identical() {
+        let mut svc =
+            RegistrationService::start(ServiceConfig::default().workers(1).result_cache(8));
+        let first = svc.try_submit_traced(tiny_spec("orig").tenant("t1")).unwrap();
+        assert!(!first.cached);
+        let a = svc.wait(first.id).unwrap();
+        assert_eq!(a.status, JobStatus::Succeeded, "{:?}", a.error);
+        assert_eq!(svc.solver_invocations(), 1);
+        assert_eq!(a.run.as_ref().unwrap().memory.result_cache_misses, 1);
+
+        // different label/tenant, same content → hit, no solver run
+        let second = svc.try_submit_traced(tiny_spec("replay").tenant("t2")).unwrap();
+        assert!(second.cached, "identical content must be served from the cache");
+        assert_ne!(second.id, first.id, "every submission keeps its own id");
+        let b = svc.wait(second.id).unwrap();
+        assert_eq!(svc.solver_invocations(), 1, "cache hit must not run the solver");
+        assert_eq!(b.status, JobStatus::Succeeded);
+        assert_eq!(b.label, "replay");
+        let (ra, rb) = (a.report.unwrap(), b.report.unwrap());
+        assert_eq!(ra, rb, "cached report must be a verbatim clone");
+        assert_eq!(ra.rel_mismatch.to_bits(), rb.rel_mismatch.to_bits());
+        let run = b.run.unwrap();
+        assert!(run.scheduling.from_cache);
+        assert_eq!(run.scheduling.tenant, "t2");
+        assert_eq!(run.memory.result_cache_hits, 1);
+        let stats = svc.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn distinct_content_misses_the_cache() {
+        let mut svc =
+            RegistrationService::start(ServiceConfig::default().workers(1).result_cache(8));
+        let a = svc.try_submit_traced(tiny_spec("a")).unwrap();
+        svc.wait(a.id).unwrap();
+        let mut spec = tiny_spec("b");
+        spec.config.max_gn_iter = 1;
+        let b = svc.try_submit_traced(spec).unwrap();
+        assert!(!b.cached);
+        svc.wait(b.id).unwrap();
+        assert_eq!(svc.solver_invocations(), 2);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn quota_rejects_with_retry_hint_and_isolates_tenants() {
+        let mut svc = RegistrationService::start(
+            ServiceConfig::default()
+                .workers(1)
+                .queue_capacity(16)
+                .quota(QuotaConfig::new(2.0, 0.01)),
+        );
+        let ids: Vec<_> = (0..2)
+            .map(|i| svc.try_submit(tiny_spec(&format!("q{i}")).tenant("greedy")).unwrap())
+            .collect();
+        match svc.try_submit(tiny_spec("q2").tenant("greedy")) {
+            Err(SubmitError::QuotaExceeded { tenant, retry_after }) => {
+                assert_eq!(tenant, "greedy");
+                assert!(retry_after > Duration::ZERO);
+            }
+            other => panic!("expected QuotaExceeded, got {other:?}"),
+        }
+        // another tenant (and the default tenant) still get in
+        let other = svc.try_submit(tiny_spec("polite").tenant("polite")).unwrap();
+        let default = svc.try_submit(tiny_spec("default")).unwrap();
+        for id in ids.into_iter().chain([other, default]) {
+            assert_eq!(svc.wait(id).unwrap().status, JobStatus::Succeeded);
         }
         svc.shutdown();
     }

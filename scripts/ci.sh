@@ -8,7 +8,8 @@
 #   scripts/ci.sh --quick    inner-loop gate: build + tier-1 tests + clippy
 #
 # The perf gate diffs fresh BENCH_kernels.json / BENCH_solver.json /
-# BENCH_batch.json against the committed baselines under results/baselines/
+# BENCH_batch.json / BENCH_serve.json against the committed baselines under
+# results/baselines/
 # with check_bench (>30% regression on any stable threads==1 row fails —
 # ns/grid-point up, or batched pairs/sec down; any increase in allocations
 # per GN iteration fails). Missing baselines are seeded from the fresh
@@ -115,10 +116,92 @@ stage_bench_serve() {
     for key in host_threads smoke calibration_run_secs levels overload batching \
                workers queue_capacity offered_rate_hz submitted completed rejected \
                throughput_jobs_per_s p50_ms p95_ms p99_ms accepted \
-               seq_jobs_per_s batched_jobs_per_s batching_speedup largest_batch; do
+               seq_jobs_per_s batched_jobs_per_s batching_speedup largest_batch \
+               results serve_net_e2e serve_net_cache_hit pairs_per_sec cache_hits; do
         grep -q "\"$key\"" "$serve_json" || { echo "BENCH_serve missing key: $key"; exit 1; }
     done
+    # networked rows are end-to-end measurements over loopback TCP on a
+    # shared host: give them the same headroom as the micro-kernel rows
+    cargo run --release -p claire-bench --bin check_bench -- \
+        "$serve_json" results/baselines/BENCH_serve.json --threshold 0.60
+    cp "$serve_json" BENCH_serve.json   # refresh the repo-root snapshot
     rm -f "$serve_json"
+}
+
+stage_net_smoke() {
+    # Boot two claire-serve workers and a claire-router on loopback, push a
+    # manifest through `claire-cli submit --stream`, and validate the
+    # streamed status schema end to end. Everything runs on ephemeral
+    # ports scraped from the servers' stdout.
+    local dir; dir="$(mktemp -d)"
+    local manifest="$dir/manifest.json"
+    cat > "$manifest" <<'EOF'
+{"jobs": [
+  {"label": "net-a", "syn": 8, "max_gn_iter": 2, "max_pcg_iter": 4,
+   "continuation": false, "precond": "InvA"},
+  {"label": "net-b", "syn": 8, "max_gn_iter": 2, "max_pcg_iter": 4,
+   "continuation": false, "precond": "InvA"}
+]}
+EOF
+    NET_PIDS=()
+    cleanup_net() { for p in "${NET_PIDS[@]:-}"; do kill "$p" 2>/dev/null || true; done; }
+    trap cleanup_net EXIT
+
+    ./target/release/claire-cli serve --listen 127.0.0.1:0 --cache 8 -q > "$dir/w1.out" &
+    NET_PIDS+=($!)
+    ./target/release/claire-cli serve --listen 127.0.0.1:0 --cache 8 -q > "$dir/w2.out" &
+    NET_PIDS+=($!)
+    for i in $(seq 1 50); do
+        grep -q "listening on" "$dir/w1.out" && grep -q "listening on" "$dir/w2.out" && break
+        sleep 0.2
+    done
+    local w1 w2
+    w1="$(sed -n 's/.*listening on //p' "$dir/w1.out" | head -1)"
+    w2="$(sed -n 's/.*listening on //p' "$dir/w2.out" | head -1)"
+    [ -n "$w1" ] && [ -n "$w2" ] || { echo "net smoke: workers did not come up"; exit 1; }
+
+    ./target/release/claire-router --listen 127.0.0.1:0 \
+        --worker "$w1" --worker "$w2" -q > "$dir/router.out" &
+    NET_PIDS+=($!)
+    for i in $(seq 1 50); do
+        grep -q "listening on" "$dir/router.out" && break
+        sleep 0.2
+    done
+    local router
+    router="$(sed -n 's/.*listening on \([^ ]*\).*/\1/p' "$dir/router.out" | head -1)"
+    [ -n "$router" ] || { echo "net smoke: router did not come up"; exit 1; }
+
+    # readiness probe through the full handshake, against the router
+    for i in $(seq 1 50); do
+        if ./target/release/claire-cli submit --addr "$router" --ping -q 2>/dev/null; then
+            break
+        fi
+        sleep 0.2
+    done
+
+    ./target/release/claire-cli submit --addr "$router" "$manifest" \
+        -o "$dir/out" --stream -q > "$dir/stream.out"
+    echo "validating streamed status schema in $dir/stream.out"
+    for pat in '"type":"event"' '"event":"queued"' '"event":"running"' \
+               '"event":"terminal"' '"status":"succeeded"'; do
+        grep -q "$pat" "$dir/stream.out" || {
+            echo "net smoke: streamed output missing $pat"; cat "$dir/stream.out"; exit 1; }
+    done
+    for job in net-a net-b; do
+        [ -f "$dir/out/$job.json" ] || { echo "net smoke: missing report for $job"; exit 1; }
+    done
+    # a repeated identical submission must be answered from a worker's
+    # result cache without another solve
+    ./target/release/claire-cli submit --addr "$router" "$manifest" \
+        -o "$dir/out2" 2> "$dir/second.err" > /dev/null
+    grep -q "cache hit" "$dir/second.err" || {
+        echo "net smoke: repeat submission was not served from the cache"
+        cat "$dir/second.err"; exit 1; }
+
+    cleanup_net
+    trap - EXIT
+    rm -rf "$dir"
+    echo "net smoke: router + 2 workers served, streamed, and cached OK"
 }
 
 stage build stage_build
@@ -131,7 +214,8 @@ if [ "$QUICK" -eq 0 ]; then
     stage "solver bench + perf gate" stage_bench_solver
     stage "batch bench + perf gate" stage_bench_batch
     stage "RunReport schema smoke-run" stage_report_schema
-    stage "serve bench smoke-run" stage_bench_serve
+    stage "serve bench + perf gate" stage_bench_serve
+    stage "networked serve smoke-run" stage_net_smoke
 fi
 
 echo

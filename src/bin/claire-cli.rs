@@ -3,6 +3,8 @@
 //! ```bash
 //! claire-cli <template.nii> <reference.nii> [options]
 //! claire-cli batch <manifest.json> [batch options]
+//! claire-cli serve --listen ADDR [serve options]
+//! claire-cli submit --addr ADDR <manifest.json> [submit options]
 //!
 //! options:
 //!   -o DIR           output directory (default: claire_out)
@@ -30,12 +32,38 @@
 //!                    the default fast path)
 //!   --max-batch N    largest coalesced batch (default: 8)
 //!   -q               quiet
+//!
+//! serve options (plus --workers/--queue-cap/--threads/--no-batch/
+//! --max-batch/-q as in batch mode):
+//!   --listen ADDR    TCP address to bind (e.g. 127.0.0.1:7741; port 0
+//!                    picks a free port, printed on stdout)
+//!   --cache N        content-hash result cache capacity in entries
+//!                    (default: 0 = off); repeated identical submissions
+//!                    are answered without running the solver
+//!   --quota B:R      per-tenant token bucket: burst B jobs, refill R
+//!                    jobs/second (default: unlimited)
+//!
+//! submit options:
+//!   --addr ADDR      server (or claire-router) address to submit to
+//!   -o DIR           output directory for per-job reports (default:
+//!                    claire_out)
+//!   --tenant NAME    tenant for quota accounting (default: "")
+//!   --stream         print one JSON status event per line on stdout
+//!                    (queued/running/gn_iter/terminal) while each job runs
+//!   --ping           just check the server answers the handshake; exit 0/1
+//!   -q               quiet
 //! ```
 //!
 //! Single mode writes `deformed_template.nii`, `velocity_[123].nii`,
 //! `jacobian_det.nii` and `report.json` to the output directory. Batch mode
 //! runs every job in the manifest through the `claire-serve` worker pool
-//! and writes one report JSON per job.
+//! and writes one report JSON per job. `serve` exposes the same worker pool
+//! over the versioned claire-serve wire protocol; `submit` sends a batch
+//! manifest to such a server (or to `claire-router`, which shards across
+//! several) and writes the same per-job reports. For multi-client or
+//! multi-machine use prefer `serve` + `submit`: in-process `batch` stays
+//! supported for single-shot local runs but new scheduling features
+//! (result cache, tenant quotas, sharding) land on the served path only.
 //!
 //! Exit codes: 0 success, 2 usage, and one code per `ClaireError` variant —
 //! 3 configuration, 4 layout mismatch, 5 decomposition, 6 I/O, 7 cancelled
@@ -46,7 +74,10 @@ use claire::data::nifti;
 use claire::interp::{Interpolator, IpOrder};
 use claire::mpi::Comm;
 use claire::semilag::{displacement, Trajectory};
-use claire::serve::{JobInput, JobSpec, JobStatus, Priority, RegistrationService, ServiceConfig};
+use claire::serve::{
+    Client, JobInput, JobSpec, JobStatus, NetServer, NetServerConfig, Priority, QuotaConfig,
+    RegistrationService, ServiceConfig, StreamEvent, WireJobSpec,
+};
 use serde_json::Value;
 use std::path::{Path, PathBuf};
 use std::process::exit;
@@ -92,6 +123,14 @@ fn usage() -> ! {
     eprintln!("                  [--eps-h0 V] [--report PATH] [--syn N] [-q]");
     eprintln!("       claire-cli batch <manifest.json> [-o DIR] [--workers N] [--queue-cap N]");
     eprintln!("                  [--threads N] [--no-batch] [--max-batch N] [-q]");
+    eprintln!("       claire-cli serve --listen ADDR [--workers N] [--queue-cap N] [--threads N]");
+    eprintln!("                  [--no-batch] [--max-batch N] [--cache N] [--quota B:R] [-q]");
+    eprintln!("       claire-cli submit --addr ADDR <manifest.json> [-o DIR] [--tenant NAME]");
+    eprintln!("                  [--stream] [--ping] [-q]");
+    eprintln!();
+    eprintln!("note: `batch` runs jobs in-process and stays supported for one-shot local");
+    eprintln!("runs; shared deployments should move to `serve` + `submit` (same manifest),");
+    eprintln!("where new scheduling features (result cache, quotas, sharding) land.");
     exit(2)
 }
 
@@ -193,12 +232,21 @@ fn write_text(path: &Path, text: &str) {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("batch") {
-        args.remove(0);
-        batch_main(args);
-        return;
+    match args.first().map(String::as_str) {
+        Some("batch") => {
+            args.remove(0);
+            batch_main(args);
+        }
+        Some("serve") => {
+            args.remove(0);
+            serve_main(args);
+        }
+        Some("submit") => {
+            args.remove(0);
+            submit_main(args);
+        }
+        _ => single_main(parse_args(args)),
     }
-    single_main(parse_args(args));
 }
 
 fn single_main(opts: Options) {
@@ -551,6 +599,282 @@ fn batch_main(args: Vec<String>) {
     claire::obs::set_enabled(false);
     if !quiet {
         eprintln!("wrote batch reports to {}", out.display());
+    }
+    if failures > 0 {
+        eprintln!("claire-cli: {failures} job(s) did not succeed");
+        exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// serve mode (network server)
+// ---------------------------------------------------------------------------
+
+fn serve_main(args: Vec<String>) {
+    let mut args = args.into_iter();
+    let mut listen: Option<String> = None;
+    let mut workers: Option<usize> = None;
+    let mut queue_cap: Option<usize> = None;
+    let mut threads: Option<usize> = None;
+    let mut batching = true;
+    let mut max_batch: Option<usize> = None;
+    let mut cache = 0usize;
+    let mut quota: Option<QuotaConfig> = None;
+    let mut quiet = false;
+    let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            usage()
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = Some(next_value(&mut args, "--listen")),
+            "--workers" => {
+                workers =
+                    Some(next_value(&mut args, "--workers").parse().unwrap_or_else(|_| usage()))
+            }
+            "--queue-cap" => {
+                queue_cap =
+                    Some(next_value(&mut args, "--queue-cap").parse().unwrap_or_else(|_| usage()))
+            }
+            "--threads" => {
+                threads =
+                    Some(next_value(&mut args, "--threads").parse().unwrap_or_else(|_| usage()))
+            }
+            "--no-batch" => batching = false,
+            "--max-batch" => {
+                max_batch =
+                    Some(next_value(&mut args, "--max-batch").parse().unwrap_or_else(|_| usage()))
+            }
+            "--cache" => {
+                cache = next_value(&mut args, "--cache").parse().unwrap_or_else(|_| usage())
+            }
+            "--quota" => {
+                let v = next_value(&mut args, "--quota");
+                let (burst, rate) = v.split_once(':').unwrap_or_else(|| usage());
+                quota = Some(QuotaConfig::new(
+                    burst.parse().unwrap_or_else(|_| usage()),
+                    rate.parse().unwrap_or_else(|_| usage()),
+                ));
+            }
+            "-q" => quiet = true,
+            "-h" | "--help" => usage(),
+            other => {
+                eprintln!("unknown option {other}");
+                usage()
+            }
+        }
+    }
+    let listen = listen.unwrap_or_else(|| usage());
+
+    let mut svc_cfg = ServiceConfig::default()
+        .workers(workers.unwrap_or(1))
+        .queue_capacity(queue_cap.unwrap_or(64))
+        .batching(batching)
+        .result_cache(cache);
+    if let Some(t) = threads {
+        svc_cfg = svc_cfg.total_threads(t);
+    }
+    if let Some(m) = max_batch {
+        svc_cfg = svc_cfg.max_batch(m);
+    }
+    if let Some(q) = quota {
+        svc_cfg = svc_cfg.quota(q);
+    }
+
+    let server = NetServer::bind(&listen[..], NetServerConfig::default().service(svc_cfg))
+        .unwrap_or_else(|e| {
+            fail(&ClaireError::Io { context: "serve --listen", message: format!("{listen}: {e}") })
+        });
+    // The bound address goes to stdout so scripts can scrape it (port 0).
+    println!("claire-serve listening on {}", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    if !quiet {
+        eprintln!(
+            "workers {}, queue capacity {}, coalescing {}, cache {} entries, quota {}",
+            workers.unwrap_or(1),
+            queue_cap.unwrap_or(64),
+            if batching { "on" } else { "off" },
+            cache,
+            match quota {
+                Some(q) => format!("{}:{} per tenant", q.burst, q.per_sec),
+                None => "unlimited".into(),
+            }
+        );
+    }
+    // Serve until killed; job lifecycle is driven by connection threads.
+    loop {
+        std::thread::park();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// submit mode (network client)
+// ---------------------------------------------------------------------------
+
+/// Render one streamed status event as a JSON line for stdout.
+fn event_line(label: &str, id: claire::serve::JobId, event: StreamEvent) -> String {
+    let (kind, extra) = match event {
+        StreamEvent::Queued => ("queued", String::new()),
+        StreamEvent::Running => ("running", String::new()),
+        StreamEvent::GnIter { iter } => ("gn_iter", format!(",\"iter\":{iter}")),
+        StreamEvent::Terminal { status } => {
+            ("terminal", format!(",\"status\":\"{}\"", status.label()))
+        }
+        _ => ("unknown", String::new()),
+    };
+    format!(
+        "{{\"type\":\"event\",\"job\":\"{id}\",\"label\":\"{label}\",\"event\":\"{kind}\"{extra}}}"
+    )
+}
+
+fn submit_main(args: Vec<String>) {
+    let mut args = args.into_iter();
+    let mut addr: Option<String> = None;
+    let mut manifest_path: Option<PathBuf> = None;
+    let mut out = PathBuf::from("claire_out");
+    let mut tenant = String::new();
+    let mut stream = false;
+    let mut ping = false;
+    let mut quiet = false;
+    let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            usage()
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(next_value(&mut args, "--addr")),
+            "-o" => out = PathBuf::from(next_value(&mut args, "-o")),
+            "--tenant" => tenant = next_value(&mut args, "--tenant"),
+            "--stream" => stream = true,
+            "--ping" => ping = true,
+            "-q" => quiet = true,
+            "-h" | "--help" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown option {other}");
+                usage()
+            }
+            other if manifest_path.is_none() => manifest_path = Some(PathBuf::from(other)),
+            _ => usage(),
+        }
+    }
+    let addr = addr.unwrap_or_else(|| usage());
+
+    let mut client = match Client::connect(&addr[..]) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("claire-cli: cannot reach {addr}: {e}");
+            exit(if ping { 1 } else { 6 })
+        }
+    };
+    if ping {
+        if !quiet {
+            eprintln!(
+                "{} at {addr} answers protocol {}",
+                client.server_name(),
+                claire::serve::PROTOCOL_VERSION
+            );
+        }
+        return;
+    }
+    let manifest_path = manifest_path.unwrap_or_else(|| usage());
+
+    // Same manifest format as `batch`; jobs are lowered to wire specs.
+    let text = std::fs::read_to_string(&manifest_path)
+        .unwrap_or_else(|e| fail(&io_error("submit manifest", &manifest_path, &e)));
+    let manifest = serde_json::from_str(&text)
+        .unwrap_or_else(|e| fail(&manifest_error(format!("not valid JSON: {e}"))));
+    let jobs = match field(&manifest, "jobs") {
+        Some(Value::Array(jobs)) if !jobs.is_empty() => jobs,
+        _ => fail(&manifest_error("needs a non-empty `jobs` array".into())),
+    };
+    let specs: Vec<WireJobSpec> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, entry)| {
+            let spec =
+                parse_job(entry, i, quiet).unwrap_or_else(|e| fail(&e)).tenant(tenant.clone());
+            WireJobSpec::from_spec(&spec)
+        })
+        .collect();
+
+    create_dir(&out);
+    let mut admissions = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        match client.submit(spec) {
+            Ok(adm) => {
+                if !quiet {
+                    eprintln!(
+                        "  submitted {} as {}{}",
+                        spec.label,
+                        adm.id,
+                        if adm.cached { " (cache hit)" } else { "" }
+                    );
+                }
+                admissions.push((spec.label.clone(), adm));
+            }
+            Err(e) => {
+                eprintln!("claire-cli: submission of {} refused: {e}", spec.label);
+                exit(1)
+            }
+        }
+    }
+
+    let mut failures = 0usize;
+    for (label, adm) in admissions {
+        if stream {
+            let streamed = client.stream(adm.id, |event| {
+                println!("{}", event_line(&label, adm.id, event));
+            });
+            if let Err(e) = streamed {
+                eprintln!("claire-cli: stream for {label} broke: {e}");
+                exit(1)
+            }
+        }
+        let res = client.wait(adm.id).unwrap_or_else(|e| {
+            eprintln!("claire-cli: waiting on {label} failed: {e}");
+            exit(1)
+        });
+        let file = out.join(report_file_name(&res.label));
+        match (&res.status, &res.run) {
+            (JobStatus::Succeeded, Some(run)) => {
+                let json = serde_json::to_string_pretty(run).unwrap_or_default();
+                write_text(&file, &json);
+            }
+            _ => {
+                let doc = Value::Object(vec![
+                    ("label".into(), Value::Str(res.label.clone())),
+                    ("status".into(), Value::Str(res.status.label().into())),
+                    ("error".into(), Value::Str(res.error.clone().unwrap_or_default())),
+                ]);
+                write_text(&file, &serde_json::to_string_pretty(&doc).unwrap_or_default());
+            }
+        }
+        if res.status != JobStatus::Succeeded {
+            failures += 1;
+        }
+        if !quiet {
+            let mismatch = res
+                .report
+                .as_ref()
+                .map(|r| format!(", mismatch {:.3e}", r.rel_mismatch))
+                .unwrap_or_default();
+            eprintln!(
+                "  {} [{}]{}: queued {:.3}s, ran {:.3}s{mismatch}",
+                res.label,
+                res.status,
+                if res.cached { " (cached)" } else { "" },
+                res.queue_wait_secs,
+                res.run_secs
+            );
+        }
+    }
+    if !quiet {
+        eprintln!("wrote reports to {}", out.display());
     }
     if failures > 0 {
         eprintln!("claire-cli: {failures} job(s) did not succeed");

@@ -1,0 +1,219 @@
+//! `claire-router` — shard claire-serve submissions across worker servers.
+//!
+//! ```bash
+//! claire-router --listen ADDR --worker ADDR [--worker ADDR ...] [-q]
+//! ```
+//!
+//! Listens on `--listen` speaking the ordinary claire-serve wire protocol
+//! and forwards every request to one of the `--worker` servers, placing
+//! submissions by consistent-hashing their solver fingerprint (grid +
+//! solver config): jobs that could coalesce into one batch land on the
+//! same worker, so worker-local batch scheduling keeps finding peers.
+//! Identity fields (label, tenant, priority) never move a job.
+//!
+//! A worker that stops answering (transport error after one reconnect
+//! attempt) is marked dead; its in-flight jobs are re-submitted to the
+//! next alive worker on the ring when their results are claimed, and new
+//! work routes around it. Because the router speaks the same protocol on
+//! both sides, `claire-cli submit --addr <router>` works unchanged — and
+//! routers can front other routers.
+//!
+//! Exit codes: 0 clean shutdown, 2 usage, 6 bind failure.
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::process::exit;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use claire::serve::wire::{
+    decode_request, read_frame, send, ErrorCode, Request, Response, WireError, MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+};
+use claire::serve::{JobStatus, Router, StreamEvent};
+
+fn usage() -> ! {
+    eprintln!("usage: claire-router --listen ADDR --worker ADDR [--worker ADDR ...] [-q]");
+    exit(2)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut listen: Option<String> = None;
+    let mut workers: Vec<String> = Vec::new();
+    let mut quiet = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = args.next().or_else(|| usage()),
+            "--worker" => workers.push(args.next().unwrap_or_else(|| usage())),
+            "-q" => quiet = true,
+            "-h" | "--help" => usage(),
+            other => {
+                eprintln!("unknown option {other}");
+                usage()
+            }
+        }
+    }
+    let listen = listen.unwrap_or_else(|| usage());
+    if workers.is_empty() {
+        usage()
+    }
+
+    let router = Arc::new(Router::new(&workers).unwrap_or_else(|e| {
+        eprintln!("claire-router: {e}");
+        exit(2)
+    }));
+    let listener = TcpListener::bind(&listen[..]).unwrap_or_else(|e| {
+        eprintln!("claire-router: cannot bind {listen}: {e}");
+        exit(6)
+    });
+    let local = listener.local_addr().expect("bound listener has an address");
+    println!("claire-router listening on {local} over {} worker(s)", workers.len());
+    use io::Write as _;
+    io::stdout().flush().ok();
+    if !quiet {
+        for w in router.backend_addrs() {
+            eprintln!("  worker {w}");
+        }
+    }
+
+    for stream in listener.incoming() {
+        match stream {
+            Ok(conn) => {
+                let router = Arc::clone(&router);
+                thread::spawn(move || {
+                    let _ = serve_connection(conn, &router);
+                });
+            }
+            Err(_) => thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Serve one client connection: handshake, then proxy the envelope onto
+/// the router's sharded backends.
+fn serve_connection(mut stream: TcpStream, router: &Router) -> Result<(), WireError> {
+    stream.set_nodelay(true).ok();
+    // Handshake mirrors claire-serve: first frame must be a version-matched
+    // Hello.
+    let bytes = read_frame(&mut stream, MAX_FRAME_BYTES)?;
+    match decode_request(&bytes) {
+        Ok(Request::Hello { protocol, .. }) if protocol == PROTOCOL_VERSION => {
+            send(
+                &mut stream,
+                &Response::Hello { protocol: PROTOCOL_VERSION, server: "claire-router".into() },
+            )?;
+        }
+        Ok(Request::Hello { protocol, .. }) => {
+            send(
+                &mut stream,
+                &Response::Error {
+                    code: ErrorCode::VersionMismatch,
+                    message: format!(
+                        "router speaks protocol {PROTOCOL_VERSION}, client sent {protocol}"
+                    ),
+                },
+            )?;
+            return Err(WireError::VersionMismatch { ours: PROTOCOL_VERSION, theirs: protocol });
+        }
+        _ => {
+            send(
+                &mut stream,
+                &Response::Error {
+                    code: ErrorCode::Unsupported,
+                    message: "first frame must be Hello".into(),
+                },
+            )?;
+            return Err(WireError::Protocol("first frame must be Hello".into()));
+        }
+    }
+
+    loop {
+        let bytes = match read_frame(&mut stream, MAX_FRAME_BYTES) {
+            Ok(b) => b,
+            Err(WireError::Closed) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let req = match decode_request(&bytes) {
+            Ok(r) => r,
+            Err(e) => {
+                send(
+                    &mut stream,
+                    &Response::Error { code: ErrorCode::Malformed, message: e.to_string() },
+                )?;
+                continue;
+            }
+        };
+        match req {
+            Request::Hello { .. } => send(
+                &mut stream,
+                &Response::Hello { protocol: PROTOCOL_VERSION, server: "claire-router".into() },
+            )?,
+            Request::Submit { spec } => match router.submit(&spec) {
+                Ok(adm) => {
+                    send(&mut stream, &Response::Submitted { id: adm.id, cached: adm.cached })?
+                }
+                Err(e) => send(&mut stream, &refusal(e))?,
+            },
+            Request::Status { id } => match router.status(id) {
+                Ok(status) => send(&mut stream, &Response::Status { id, status })?,
+                Err(e) => send(&mut stream, &refusal(e))?,
+            },
+            Request::Cancel { id } => match router.cancel(id) {
+                Ok(delivered) => send(&mut stream, &Response::Cancelled { id, delivered })?,
+                Err(e) => send(&mut stream, &refusal(e))?,
+            },
+            Request::Result { id } => match router.wait(id) {
+                Ok(result) => send(&mut stream, &Response::Result { result })?,
+                Err(e) => send(&mut stream, &refusal(e))?,
+            },
+            Request::Stream { id } => {
+                // The router does not hold worker stream subscriptions open;
+                // it synthesizes a coarse stream by polling the shard.
+                match poll_stream(&mut stream, router, id) {
+                    Ok(()) => {}
+                    Err(e) => send(&mut stream, &refusal(e))?,
+                }
+            }
+            _ => send(
+                &mut stream,
+                &Response::Error {
+                    code: ErrorCode::Unsupported,
+                    message: "request not supported by claire-router".into(),
+                },
+            )?,
+        }
+    }
+}
+
+/// Coarse status stream: `Queued` → `Running` → `Terminal`, polled from
+/// the backend at 100 ms. Per-iteration events stay a direct-worker
+/// feature; the router's job is placement, not fan-in.
+fn poll_stream(
+    stream: &mut TcpStream,
+    router: &Router,
+    id: claire::serve::JobId,
+) -> Result<(), WireError> {
+    send(stream, &Response::Event { id, event: StreamEvent::Queued })?;
+    let mut sent_running = false;
+    loop {
+        let status = router.status(id)?;
+        if !sent_running && status != JobStatus::Queued {
+            sent_running = true;
+            send(stream, &Response::Event { id, event: StreamEvent::Running })?;
+        }
+        if status.is_terminal() {
+            return send(stream, &Response::Event { id, event: StreamEvent::Terminal { status } });
+        }
+        thread::sleep(Duration::from_millis(100));
+    }
+}
+
+fn refusal(e: WireError) -> Response {
+    let code = match &e {
+        WireError::Remote { code, .. } => *code,
+        _ => ErrorCode::Internal,
+    };
+    Response::Error { code, message: e.to_string() }
+}

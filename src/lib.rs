@@ -29,11 +29,14 @@
 //! * [`obs`] — spans, metrics, and the unified [`obs::report::RunReport`]
 //!   (enable with [`core::observe::begin`], collect with
 //!   [`core::observe::collect_run_report`])
-//! * [`serve`] — in-process multi-tenant job service: bounded admission
-//!   queue with priorities, per-job deadlines and cancellation, a worker
-//!   pool partitioning the thread budget, graceful shutdown, and
-//!   coalescing of compatible queued jobs into shared
-//!   [`core::BatchSolver`] runs (drives `claire-cli batch`)
+//! * [`serve`] — multi-tenant job service, in-process or over TCP:
+//!   bounded admission queue with priorities, per-job deadlines and
+//!   cancellation, a worker pool partitioning the thread budget, batch
+//!   coalescing into shared [`core::BatchSolver`] runs, a content-hash
+//!   result cache, per-tenant quotas, a versioned length-framed wire
+//!   protocol (`serve::wire`) with a blocking client, and a
+//!   consistent-hash sharding router (drives `claire-cli serve`/`submit`
+//!   and `claire-router`)
 //!
 //! ## Quickstart
 //!
@@ -83,7 +86,9 @@ pub mod prelude {
     pub use crate::mpi::{run_cluster, Comm, CommCat, Topology};
     pub use crate::obs::report::RunReport;
     pub use crate::serve::{
-        JobId, JobInput, JobResult, JobSpec, JobStatus, Priority, RegistrationService,
-        ServiceConfig, SubmitError,
+        Admission, Client, JobId, JobInput, JobResult, JobSpec, JobStatus, NetServer,
+        NetServerConfig, Priority, QuotaConfig, RegistrationService, RemoteAdmission,
+        RemoteJobResult, Router, ServiceConfig, StreamEvent, SubmitError, WireError, WireInput,
+        WireJobSpec, PROTOCOL_VERSION,
     };
 }

@@ -1,0 +1,273 @@
+//! End-to-end tests of the networked claire-serve stack: a TCP-submitted
+//! job returns the same registration (bitwise on the deterministic report
+//! fields) as an in-process run of the identical spec, repeated identical
+//! submissions are served from the content-hash cache without running the
+//! solver, tenant quotas surface as typed wire errors, streamed status
+//! follows the documented `Queued → Running → GnIter* → Terminal` order,
+//! and the sharding router co-locates same-fingerprint jobs and re-routes
+//! work off a dead worker.
+//!
+//! Jobs are tiny synthetic problems (8³, nt = 2, ≤ 2 GN iterations) so the
+//! whole file stays fast on a single-core host.
+
+use claire::core::{PrecondKind, RegistrationConfig, RegistrationReport};
+use claire::serve::{
+    Client, ErrorCode, JobInput, JobSpec, JobStatus, NetServer, NetServerConfig, QuotaConfig,
+    RegistrationService, Router, ServiceConfig, StreamEvent, WireError, WireJobSpec,
+};
+
+fn tiny_config() -> RegistrationConfig {
+    RegistrationConfig {
+        nt: 2,
+        max_gn_iter: 2,
+        max_pcg_iter: 4,
+        continuation: false,
+        precond: PrecondKind::InvA,
+        verbose: false,
+        ..Default::default()
+    }
+}
+
+fn tiny_spec(label: &str) -> JobSpec {
+    JobSpec::new(label, tiny_config(), JobInput::Synthetic { n: [8, 8, 8] })
+}
+
+fn boot(cfg: ServiceConfig) -> (NetServer, Client) {
+    let server = NetServer::bind("127.0.0.1:0", NetServerConfig::default().service(cfg))
+        .expect("bind loopback server");
+    let client = Client::connect(server.local_addr()).expect("connect");
+    (server, client)
+}
+
+/// The registration arithmetic is deterministic (fixed-block reductions),
+/// so everything except wall-clock timings must match bitwise between two
+/// solves of the same spec — in particular across the wire.
+fn assert_reports_bitwise_equal(a: &RegistrationReport, b: &RegistrationReport) {
+    assert_eq!(a.grid, b.grid);
+    assert_eq!(a.nt, b.nt);
+    assert_eq!((a.gn_iters, a.pcg_iters), (b.gn_iters, b.pcg_iters));
+    assert_eq!((a.n_inva, a.n_invh0, a.inner_cg_total), (b.n_inva, b.n_invh0, b.inner_cg_total));
+    assert_eq!(a.rel_mismatch.to_bits(), b.rel_mismatch.to_bits(), "rel_mismatch drifted");
+    assert_eq!(a.grad_rel.to_bits(), b.grad_rel.to_bits(), "grad_rel drifted");
+    assert_eq!(a.jac_det_min.to_bits(), b.jac_det_min.to_bits(), "jac_det_min drifted");
+    assert_eq!(a.jac_det_max.to_bits(), b.jac_det_max.to_bits(), "jac_det_max drifted");
+    assert_eq!(a.memory_bytes_per_rank, b.memory_bytes_per_rank);
+}
+
+#[test]
+fn tcp_submission_matches_in_process_bitwise() {
+    // in-process reference
+    let mut svc = RegistrationService::start(ServiceConfig::default().workers(1));
+    let id = svc.submit(tiny_spec("local")).expect("local admission");
+    let local = svc.wait(id).expect("local job known");
+    assert_eq!(local.status, JobStatus::Succeeded, "{:?}", local.error);
+    svc.shutdown();
+
+    // the same spec over TCP
+    let (mut server, mut client) = boot(ServiceConfig::default().workers(1));
+    let wire = WireJobSpec::from_spec(&tiny_spec("remote"));
+    let adm = client.submit(&wire).expect("remote admission");
+    assert!(!adm.cached);
+    let remote = client.wait(adm.id).expect("remote result");
+    assert_eq!(remote.status, JobStatus::Succeeded, "{:?}", remote.error);
+    server.shutdown();
+
+    let a = local.report.expect("local report");
+    let b = remote.report.expect("remote report");
+    assert_reports_bitwise_equal(&a, &b);
+}
+
+#[test]
+fn repeated_submission_is_served_from_the_cache_without_solving() {
+    let (mut server, mut client) = boot(ServiceConfig::default().workers(1).result_cache(8));
+    let wire = WireJobSpec::from_spec(&tiny_spec("first"));
+
+    let first = client.submit(&wire).expect("first admission");
+    assert!(!first.cached);
+    let solved = client.wait(first.id).expect("first result");
+    assert_eq!(solved.status, JobStatus::Succeeded, "{:?}", solved.error);
+    assert_eq!(server.service().solver_invocations(), 1);
+
+    // identical content, different label/tenant → cache hit, no solve
+    let mut replay = WireJobSpec::from_spec(&tiny_spec("replay"));
+    replay.tenant = "someone-else".into();
+    let second = client.submit(&replay).expect("second admission");
+    assert!(second.cached, "identical content must be served from the cache");
+    let cached = client.wait(second.id).expect("cached result");
+    assert_eq!(server.service().solver_invocations(), 1, "cache hit must not run the solver");
+    assert_eq!(cached.status, JobStatus::Succeeded);
+    assert!(cached.cached);
+    assert_eq!(cached.label, "replay", "identity fields follow the new submission");
+
+    // the cached registration is a verbatim clone — bitwise, not re-solved
+    let a = solved.report.expect("solved report");
+    let b = cached.report.expect("cached report");
+    assert_eq!(a, b, "cached report must be identical to the stored one");
+    assert_reports_bitwise_equal(&a, &b);
+
+    let stats = server.service().cache_stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+    server.shutdown();
+}
+
+#[test]
+fn quota_refusals_surface_as_typed_wire_errors() {
+    let (mut server, mut client) = boot(
+        ServiceConfig::default().workers(1).queue_capacity(16).quota(QuotaConfig::new(2.0, 0.001)),
+    );
+    let mut spec = WireJobSpec::from_spec(&tiny_spec("quota"));
+    spec.tenant = "greedy".into();
+    let a = client.submit(&spec).expect("first within burst");
+    let b = client.submit(&spec).expect("second within burst");
+    match client.submit(&spec) {
+        Err(WireError::Remote { code: ErrorCode::QuotaExceeded, message }) => {
+            assert!(message.contains("greedy"), "refusal names the tenant: {message}");
+        }
+        other => panic!("expected a QuotaExceeded refusal, got {other:?}"),
+    }
+    // the client connection survives the refusal, and other tenants pass
+    let mut polite = WireJobSpec::from_spec(&tiny_spec("polite"));
+    polite.tenant = "polite".into();
+    let c = client.submit(&polite).expect("other tenant admitted");
+    for id in [a.id, b.id, c.id] {
+        assert_eq!(client.wait(id).expect("result").status, JobStatus::Succeeded);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn streamed_status_follows_the_lifecycle_order() {
+    let (mut server, mut client) = boot(ServiceConfig::default().workers(1));
+    let wire = WireJobSpec::from_spec(&tiny_spec("streamed"));
+    let adm = client.submit(&wire).expect("admission");
+    let mut events = Vec::new();
+    let terminal = client.stream(adm.id, |e| events.push(e)).expect("stream to completion");
+    assert_eq!(terminal, JobStatus::Succeeded);
+
+    assert_eq!(events.first(), Some(&StreamEvent::Queued), "stream opens with Queued");
+    match events.last() {
+        Some(StreamEvent::Terminal { status: JobStatus::Succeeded }) => {}
+        other => panic!("stream must end with Terminal(Succeeded), got {other:?}"),
+    }
+    let running_at = events
+        .iter()
+        .position(|e| matches!(e, StreamEvent::Running))
+        .expect("a Running event is emitted");
+    let iters: Vec<usize> = events
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| match e {
+            StreamEvent::GnIter { iter } => {
+                assert!(i > running_at, "GnIter events follow Running");
+                Some(*iter)
+            }
+            _ => None,
+        })
+        .collect();
+    assert!(!iters.is_empty(), "a 2-iteration job must stream GN progress");
+    assert!(iters.windows(2).all(|w| w[0] < w[1]), "GN iterations are monotone: {iters:?}");
+
+    // the job result is still claimable after streaming
+    let res = client.wait(adm.id).expect("result after stream");
+    assert_eq!(res.status, JobStatus::Succeeded);
+    server.shutdown();
+}
+
+#[test]
+fn cancel_over_the_wire_reaches_a_queued_job() {
+    // zero workers is not possible; use one worker busy with a first job so
+    // the second stays queued long enough to cancel deterministically — the
+    // first job is itself tiny, so worst case the cancel just races and we
+    // only assert the protocol round trip.
+    let (mut server, mut client) = boot(ServiceConfig::default().workers(1).queue_capacity(8));
+    let first = client.submit(&WireJobSpec::from_spec(&tiny_spec("busy"))).expect("first");
+    let second = client
+        .submit(&WireJobSpec::from_spec(&{
+            let mut s = tiny_spec("doomed");
+            s.config.max_gn_iter = 1; // different content: no coalescing surprises
+            s
+        }))
+        .expect("second");
+    let delivered = client.cancel(second.id).expect("cancel round trip");
+    let res = client.wait(second.id).expect("terminal result");
+    if delivered && res.status == JobStatus::Cancelled {
+        assert!(res.error.is_some(), "cancelled results carry a reason");
+    } else {
+        // the race went the other way: the job ran to completion
+        assert_eq!(res.status, JobStatus::Succeeded);
+    }
+    assert_eq!(client.wait(first.id).expect("first result").status, JobStatus::Succeeded);
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// router
+// ---------------------------------------------------------------------------
+
+#[test]
+fn router_colocates_same_fingerprint_jobs_and_round_trips() {
+    let mut w1 = NetServer::bind("127.0.0.1:0", NetServerConfig::default()).expect("worker 1");
+    let mut w2 = NetServer::bind("127.0.0.1:0", NetServerConfig::default()).expect("worker 2");
+    let addrs = [w1.local_addr().to_string(), w2.local_addr().to_string()];
+    let router = Router::new(&addrs).expect("router");
+
+    // same solver fingerprint (grid + config) → same shard, regardless of
+    // identity fields; a config change may move the job
+    let base = WireJobSpec::from_spec(&tiny_spec("a"));
+    let mut relabeled = base.clone();
+    relabeled.label = "b".into();
+    relabeled.tenant = "tenant-b".into();
+    assert_eq!(
+        router.shard_of(&base),
+        router.shard_of(&relabeled),
+        "identity fields must not split a coalescable pair across workers"
+    );
+
+    let adm1 = router.submit(&base).expect("first routed admission");
+    let adm2 = router.submit(&relabeled).expect("second routed admission");
+    assert_ne!(adm1.id, adm2.id);
+    for (adm, label) in [(adm1, "a"), (adm2, "b")] {
+        let res = router.wait(adm.id).expect("routed result");
+        assert_eq!(res.status, JobStatus::Succeeded, "{:?}", res.error);
+        assert_eq!(res.label, label);
+        assert_eq!(res.id, adm.id, "results are rewritten into the router's id space");
+    }
+    assert_eq!(router.rerouted(), 0);
+    w1.shutdown();
+    w2.shutdown();
+}
+
+#[test]
+fn router_reroutes_jobs_off_a_dead_worker() {
+    let mut w1 = NetServer::bind("127.0.0.1:0", NetServerConfig::default()).expect("worker 1");
+    let mut w2 = NetServer::bind("127.0.0.1:0", NetServerConfig::default()).expect("worker 2");
+    let addrs = [w1.local_addr().to_string(), w2.local_addr().to_string()];
+    let router = Router::new(&addrs).expect("router");
+
+    let spec = WireJobSpec::from_spec(&tiny_spec("survivor"));
+    let shard = router.shard_of(&spec).expect("an alive shard");
+    let adm = router.submit(&spec).expect("routed admission");
+
+    // kill the worker the job landed on before claiming the result
+    if shard == 0 {
+        w1.shutdown();
+    } else {
+        w2.shutdown();
+    }
+
+    let res = router.wait(adm.id).expect("rerouted result");
+    assert_eq!(res.status, JobStatus::Succeeded, "{:?}", res.error);
+    assert_eq!(res.id, adm.id);
+    assert_eq!(router.rerouted(), 1, "the dead worker's job must be re-submitted exactly once");
+    assert_eq!(router.alive_backends(), 1);
+
+    // new work keeps flowing to the surviving worker
+    let adm2 = router.submit(&spec).expect("post-failure admission");
+    assert_eq!(router.wait(adm2.id).expect("result").status, JobStatus::Succeeded);
+
+    if shard == 0 {
+        w2.shutdown();
+    } else {
+        w1.shutdown();
+    }
+}
