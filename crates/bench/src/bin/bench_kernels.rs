@@ -24,7 +24,7 @@ use claire_diff::fd::{self, FdScratch};
 use claire_fft::{Cpx, DistFft, Fft3};
 use claire_grid::{Grid, Layout, Real, ScalarField, VectorField};
 use claire_interp::{Interpolator, IpOrder};
-use claire_mpi::{run_cluster, Comm, Topology};
+use claire_mpi::{run_cluster, AlltoallMethod, Comm, CommCat, Topology};
 use claire_par::{set_threads, timing};
 use serde::Serialize;
 
@@ -178,6 +178,44 @@ fn bench_at(
     }
 }
 
+/// Socket-transport collectives over real Unix-domain sockets: the FFT
+/// alltoallv transpose payload and a width-4 ghost exchange at `n`³, on 2
+/// and 4 ranks. Unlike the in-process channel rows these cross the kernel
+/// socket layer (framing, eager/rendezvous negotiation, reader threads),
+/// so they track the per-message cost a multi-process launch pays. Rows
+/// are threads==1 so `check_bench` gates them against the baseline.
+fn bench_socket(n: usize, backend: &str, out: &mut Vec<BenchRow>) {
+    set_threads(1);
+    let grid = Grid::cube(n);
+    for p in [2usize, 4] {
+        let rows = claire_ipc::run_socket_cluster(Topology::new(p, 2), move |comm| {
+            // alltoallv with the per-pair volume of a slab-transpose at n³
+            let per_dest = grid.len() / (p * p);
+            let bufs: Vec<Vec<Real>> = (0..p).map(|d| vec![0.5 + d as Real; per_dest]).collect();
+            let a2a = measure(&format!("alltoallv_sock_p{p}"), n, 1, false, 5, || {
+                std::hint::black_box(comm.alltoallv(
+                    &bufs,
+                    CommCat::FftTranspose,
+                    AlltoallMethod::Auto,
+                ));
+            });
+            // width-4 halo exchange on a distributed field (FD8 stencil width)
+            let layout = Layout::distributed(grid, comm);
+            let f = ScalarField::from_fn(layout, |x, y, z| (x + 0.3 * y).sin() + z);
+            let gx = measure(&format!("ghost_sock_p{p}"), n, 1, false, 5, || {
+                std::hint::black_box(claire_grid::ghost::exchange(&f, 4, comm));
+            });
+            [a2a, gx]
+        })
+        .outputs
+        .remove(0);
+        for mut r in rows {
+            r.backend = backend.to_string();
+            out.push(r);
+        }
+    }
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_kernels.json".into());
     let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -205,6 +243,11 @@ fn main() {
                 eprintln!("bench: {n}^3 with {threads} thread(s), backend={backend}...");
                 bench_at(n, threads, over, backend, &mut results);
             }
+        }
+        // socket rows cost real syscalls, not SIMD lanes; one pass suffices
+        if backend == "auto" {
+            eprintln!("bench: socket-transport collectives at 64^3, backend={backend}...");
+            bench_socket(64, backend, &mut results);
         }
     }
     claire_simd::force_backend(None); // back to env-based resolution

@@ -7,6 +7,13 @@
 //! modeled time, modeled % communication, measured traffic, and the
 //! memory-model estimate. Part B prints the paper-scale model against all
 //! 17 published rows.
+//!
+//! With `--proc` the Part A ranks talk over the Unix-domain-socket
+//! transport instead of in-process channels — the same wire path a
+//! `claire-cli launch` cluster uses — so the traffic column reports real
+//! framed bytes and the wall column includes genuine socket latency. The
+//! numbers trajectory (mismatch, iterations, collective counts) is
+//! bitwise-identical between the two modes.
 
 use claire_bench::{bench_n, fmt_size, header, record_json};
 use claire_core::{memory, observe, Claire, PrecondKind, RegistrationConfig};
@@ -19,9 +26,11 @@ use claire_perf::{solver_time, Machine, SolverCounts};
 
 fn main() {
     let n = bench_n();
-    header(
-        "Table 7A — functional fixed-work solves (5 GN x 10 PCG, InvA, SYN) on the virtual cluster",
-    );
+    let proc_mode = std::env::args().any(|a| a == "--proc");
+    let transport = if proc_mode { "socket transport" } else { "in-process channels" };
+    header(&format!(
+        "Table 7A — functional fixed-work solves (5 GN x 10 PCG, InvA, SYN) on the virtual cluster ({transport})",
+    ));
     println!(
         "{:>12} {:>5} | {:>10} {:>12} {:>8} | {:>14} {:>10}",
         "size", "GPUs", "wall (s)", "modeled (s)", "%comm", "total MB sent", "mem model"
@@ -38,7 +47,7 @@ fn main() {
         // (spans are per-thread, the comm ledger per-rank; kernel timers
         // aggregate across the whole virtual cluster).
         observe::begin();
-        let res = run_cluster(Topology::new(p, 4), move |comm| {
+        let solve = move |comm: &mut claire_mpi::Comm| {
             let layout = Layout::distributed(grid, comm);
             let prob = syn_problem(size, comm);
             let _ = layout;
@@ -60,7 +69,12 @@ fn main() {
             let run =
                 (comm.rank() == 0).then(|| observe::collect_run_report("table7", &report, comm));
             (t0.elapsed().as_secs_f64(), run)
-        });
+        };
+        let res = if proc_mode {
+            claire_ipc::run_socket_cluster(Topology::new(p, 4), solve)
+        } else {
+            run_cluster(Topology::new(p, 4), solve)
+        };
         let wall = res.outputs.iter().map(|o| o.0).fold(0.0, f64::max);
         let modeled = res.modeled_wall_time();
         let pct = 100.0 * res.modeled_comm_fraction();

@@ -51,6 +51,7 @@ pub fn collect_run_report(label: &str, report: &RegistrationReport, comm: &Comm)
     run.nt = report.nt;
     run.precond = report.pc.clone();
     run.backend = claire_simd::active_backend().label().to_string();
+    run.transport = comm.transport_kind().to_string();
 
     run.summary = RunSummary {
         gn_iters: report.gn_iters,
@@ -86,10 +87,11 @@ pub fn collect_run_report(label: &str, report: &RegistrationReport, comm: &Comm)
                 phase: c.label().to_string(),
                 bytes: s.bytes_sent,
                 msgs: s.msgs_sent,
+                wire_bytes: s.wire_bytes,
                 modeled_secs: s.modeled_secs,
             }
         })
-        .filter(|e| e.bytes > 0 || e.msgs > 0)
+        .filter(|e| e.bytes > 0 || e.msgs > 0 || e.wire_bytes > 0)
         .collect();
     run.collectives = CollOp::ALL
         .iter()

@@ -490,6 +490,29 @@ mod tests {
     }
 
     #[test]
+    fn transform_matches_over_socket_transport() {
+        // Same mixed-radix grid, same 3-rank cluster — once over crossbeam
+        // channels, once over real Unix-domain sockets. The transpose
+        // schedule is deterministic, so every spectrum and roundtrip bit
+        // must match.
+        let grid = Grid::new([8, 6, 4]);
+        let f = move |comm: &mut Comm| {
+            let layout = Layout::distributed(grid, comm);
+            let f = test_field(layout);
+            let dfft = DistFft::new(grid, comm);
+            let spec = dfft.forward(&f, comm);
+            let mut bits: Vec<_> =
+                spec.data.iter().flat_map(|c| [c.re.to_bits(), c.im.to_bits()]).collect();
+            let back = dfft.inverse(spec, comm);
+            bits.extend(back.data().iter().map(|x| x.to_bits()));
+            bits
+        };
+        let chan = run_cluster(Topology::new(3, 4), f);
+        let sock = claire_ipc::run_socket_cluster(Topology::new(3, 4), f);
+        assert_eq!(chan.outputs, sock.outputs, "transports must agree bitwise");
+    }
+
+    #[test]
     fn roundtrip_through_gather() {
         // end-to-end sanity: forward+inverse on 3 ranks reproduces the
         // serial field after gathering.

@@ -49,6 +49,15 @@ pub enum ClaireError {
         /// Why it stopped (`cancelled`, `deadline expired`).
         message: String,
     },
+    /// One rank of a distributed run died (panicked thread or dead worker
+    /// process); the remaining ranks were reaped instead of left to hang.
+    RankFailed {
+        /// The rank that failed first.
+        rank: usize,
+        /// Description of the failure (panic message, exit status, or
+        /// transport error).
+        message: String,
+    },
 }
 
 impl fmt::Display for ClaireError {
@@ -69,11 +78,20 @@ impl fmt::Display for ClaireError {
             ClaireError::Cancelled { context, message } => {
                 write!(f, "{context} stopped early: {message}")
             }
+            ClaireError::RankFailed { rank, message } => {
+                write!(f, "rank {rank} failed: {message}")
+            }
         }
     }
 }
 
 impl std::error::Error for ClaireError {}
+
+impl From<claire_mpi::ClusterError> for ClaireError {
+    fn from(e: claire_mpi::ClusterError) -> Self {
+        ClaireError::RankFailed { rank: e.rank, message: e.detail }
+    }
+}
 
 /// Result alias used by fallible CLAIRE-rs constructors.
 pub type ClaireResult<T> = Result<T, ClaireError>;
@@ -91,5 +109,13 @@ mod tests {
             message: "slab decomposition needs p <= min(n1, n2)".into(),
         };
         assert!(e.to_string().contains("DistFft::new"));
+    }
+
+    #[test]
+    fn cluster_error_converts_to_rank_failed() {
+        let ce = claire_mpi::ClusterError { rank: 3, detail: "socket reset".into() };
+        let e: ClaireError = ce.into();
+        assert_eq!(e, ClaireError::RankFailed { rank: 3, message: "socket reset".into() });
+        assert_eq!(e.to_string(), "rank 3 failed: socket reset");
     }
 }

@@ -300,6 +300,30 @@ mod tests {
     }
 
     #[test]
+    fn exchange_matches_over_socket_transport() {
+        // Width-2 halos over 4 ranks, once per transport: every halo plane
+        // must be byte-identical whether it traveled a channel or a socket.
+        let f = |comm: &mut Comm| {
+            let layout = Layout::distributed(Grid::new([8, 3, 2]), comm);
+            let f = indexed_field(layout);
+            let gf = exchange(&f, 2, comm);
+            let (l, w) = (gf.layout(), gf.width() as isize);
+            let mut bits = Vec::new();
+            for ii in -w..(l.slab.ni as isize + w) {
+                for j in 0..l.grid.n[1] {
+                    for k in 0..l.grid.n[2] {
+                        bits.push(gf.at(ii, j, k).to_bits());
+                    }
+                }
+            }
+            bits
+        };
+        let chan = run_cluster(Topology::new(4, 4), f);
+        let sock = claire_ipc::run_socket_cluster(Topology::new(4, 4), f);
+        assert_eq!(chan.outputs, sock.outputs, "transports must agree bitwise");
+    }
+
+    #[test]
     fn ghost_volume_matches_formula() {
         // paper: message size for ghost_comm is O(N2 N3) per side
         let res = run_cluster(Topology::new(2, 4), |comm| {

@@ -127,6 +127,21 @@ mod tests {
     }
 
     #[test]
+    fn redistribution_matches_over_socket_transport() {
+        let grid = Grid::new([8, 4, 4]);
+        let f = move |comm: &mut Comm| {
+            let layout = Layout::distributed(grid, comm);
+            let f = ScalarField::from_fn(layout, |x, y, z| (x * y).sin() + 3.0 * z);
+            let full = replicate(&f, comm);
+            let back = scatter(gather(&f, comm).as_ref(), grid, comm);
+            full.data().iter().chain(back.data()).map(|x| x.to_bits()).collect::<Vec<_>>()
+        };
+        let chan = run_cluster(Topology::new(3, 4), f);
+        let sock = claire_ipc::run_socket_cluster(Topology::new(3, 4), f);
+        assert_eq!(chan.outputs, sock.outputs, "transports must agree bitwise");
+    }
+
+    #[test]
     fn vector_roundtrip() {
         let grid = Grid::new([6, 4, 4]);
         let res = run_cluster(Topology::new(2, 4), move |comm| {

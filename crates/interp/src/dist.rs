@@ -364,6 +364,26 @@ mod tests {
     }
 
     #[test]
+    fn interpolation_matches_over_socket_transport() {
+        // Scattered cubic interpolation routes queries to owner ranks and
+        // ships coefficients back — all of it must be transport-invariant.
+        let grid = Grid::new([16, 8, 8]);
+        let queries = make_queries(48, 11);
+        let f = move |comm: &mut Comm| {
+            let layout = Layout::distributed(grid, comm);
+            let f = ScalarField::from_fn(layout, test_fn);
+            let mut ip = Interpolator::new(IpOrder::Cubic);
+            let chunk = queries.len() / comm.size();
+            let lo = comm.rank() * chunk;
+            let hi = if comm.rank() + 1 == comm.size() { queries.len() } else { lo + chunk };
+            ip.interp(&f, &queries[lo..hi], comm).iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        };
+        let chan = run_cluster(Topology::new(3, 4), &f);
+        let sock = claire_ipc::run_socket_cluster(Topology::new(3, 4), &f);
+        assert_eq!(chan.outputs, sock.outputs, "transports must agree bitwise");
+    }
+
+    #[test]
     fn phase_stats_populated() {
         let grid = Grid::new([8, 8, 8]);
         let res = run_cluster(Topology::new(4, 4), move |comm| {

@@ -1,0 +1,198 @@
+//! The length-framed byte codec shared by every CLAIRE-rs wire protocol.
+//!
+//! One frame is a 4-byte big-endian payload length followed by the payload.
+//! This is the framing discipline `claire-serve`'s JSON protocol introduced;
+//! the socket transport's binary rank messages reuse it verbatim, so the
+//! codec lives here once and both protocols wrap it (`claire-serve` maps
+//! [`FrameError`] onto its `WireError`).
+//!
+//! Semantics the callers rely on:
+//!
+//! * the length prefix is validated against a cap *before* allocating, so a
+//!   hostile or corrupt peer cannot trigger a huge allocation;
+//! * a clean EOF on a frame boundary is [`FrameError::Closed`] while EOF
+//!   mid-frame is [`FrameError::Truncated`] — connection shutdown and data
+//!   corruption stay distinguishable;
+//! * a read timeout before the first header byte is [`FrameError::Timeout`]
+//!   (pollers use short socket timeouts as idle ticks); once any byte of a
+//!   frame has arrived, timeouts keep retrying — the peer has promised the
+//!   rest.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame payload (1 GiB), checked against the length
+/// prefix before any allocation.
+pub const MAX_FRAME_BYTES: usize = 1 << 30;
+
+/// Transport-level framing failure.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying I/O error.
+    Io(io::Error),
+    /// Read timed out on a frame boundary (no header byte yet).
+    Timeout,
+    /// The peer closed the connection cleanly on a frame boundary.
+    Closed,
+    /// The connection ended mid-frame.
+    Truncated {
+        /// Bytes the frame promised.
+        expected: usize,
+        /// Bytes that actually arrived.
+        got: usize,
+    },
+    /// The length prefix exceeds the configured cap.
+    TooLarge {
+        /// Announced payload length.
+        len: usize,
+        /// Cap it violated.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::Timeout => write!(f, "frame read timed out"),
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated { expected, got } => {
+                write!(f, "connection ended mid-frame ({got}/{expected} bytes)")
+            }
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds cap of {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Write one frame: 4-byte big-endian payload length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge { len: payload.len(), max: MAX_FRAME_BYTES });
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Write one frame whose payload is the concatenation of `parts`, without
+/// staging them into one buffer first.
+///
+/// This is the rendezvous-path send of the socket transport: the fixed
+/// message header and the (possibly large) payload stream straight from
+/// their source slices.
+pub fn write_frame_parts(w: &mut impl Write, parts: &[&[u8]]) -> Result<(), FrameError> {
+    let len: usize = parts.iter().map(|p| p.len()).sum();
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge { len, max: MAX_FRAME_BYTES });
+    }
+    w.write_all(&(len as u32).to_be_bytes())?;
+    for p in parts {
+        w.write_all(p)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame's payload, enforcing `max` against the length prefix
+/// *before* allocating.
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; 4];
+    read_exactly(r, &mut header, true)?;
+    let len = u32::from_be_bytes(header) as usize;
+    if len > max {
+        return Err(FrameError::TooLarge { len, max });
+    }
+    let mut payload = vec![0u8; len];
+    read_exactly(r, &mut payload, false).map_err(|e| match e {
+        // EOF between header and payload is still a truncated frame
+        FrameError::Closed => FrameError::Truncated { expected: len, got: 0 },
+        other => other,
+    })?;
+    Ok(payload)
+}
+
+/// Fill `buf` completely. With `at_boundary`, a clean EOF or timeout at
+/// byte 0 is reported as `Closed`/`Timeout`; once any byte has arrived the
+/// frame is committed and only `Truncated`/`Io` can result.
+fn read_exactly(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result<(), FrameError> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(if got == 0 && at_boundary {
+                    FrameError::Closed
+                } else {
+                    FrameError::Truncated { expected: buf.len(), got }
+                });
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if got == 0 && at_boundary {
+                    return Err(FrameError::Timeout);
+                }
+                continue;
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r, MAX_FRAME_BYTES).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r, MAX_FRAME_BYTES).unwrap(), b"");
+        assert!(matches!(read_frame(&mut r, MAX_FRAME_BYTES), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn parts_concatenate_into_one_frame() {
+        let mut staged = Vec::new();
+        write_frame(&mut staged, b"headerpayload").unwrap();
+        let mut parted = Vec::new();
+        write_frame_parts(&mut parted, &[b"header", b"payload"]).unwrap();
+        assert_eq!(staged, parted);
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let mut r = &buf[..];
+        assert!(matches!(
+            read_frame(&mut r, 1024),
+            Err(FrameError::TooLarge { len, max: 1024 }) if len == u32::MAX as usize
+        ));
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let cut = &buf[..buf.len() - 2];
+        let mut r = cut;
+        assert!(matches!(
+            read_frame(&mut r, MAX_FRAME_BYTES),
+            Err(FrameError::Truncated { expected: 5, got: 3 })
+        ));
+    }
+}

@@ -1,0 +1,573 @@
+//! The Unix-domain-socket transport: ranks as OS processes.
+//!
+//! Each rank binds its own listener socket (`rank-<i>.sock`) inside a shared
+//! rendezvous directory, then builds a full mesh: rank `i` connects to every
+//! rank `j < i` (retrying until the peer's listener exists) and accepts a
+//! connection from every rank `j > i`. Every stream opens with a [`Hello`]
+//! frame carrying `(rank, topology, protocol version)`; rank 0 — the
+//! rendezvous point — validates that all ranks agree and releases the
+//! cluster with a `Welcome` frame. Connect-before-accept is deadlock-free
+//! because a bound listener queues connections in its backlog before
+//! `accept` is ever called.
+//!
+//! Messages are length-framed binary (the serve protocol's 4-byte-BE
+//! framing, shared via [`crate::frame`]) with a fixed 24-byte header. Sends
+//! below the eager threshold stage header + payload into one buffer and one
+//! `write`; larger sends stream the payload directly from its source slice
+//! (rendezvous path — the stream socket's flow control takes the place of a
+//! clear-to-send round trip). One reader thread per peer decodes frames
+//! into an internal queue that [`Transport::recv`] drains.
+
+use std::io::Write;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use claire_grid::{ClaireError, ClaireResult};
+use claire_mpi::transport::{AbortHandle, Transport, TransportError};
+use claire_mpi::{
+    ClusterError, ClusterResult, Comm, CommStats, LinkModel, Message, ModelClock, Topology,
+};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+
+use crate::frame::{self, FrameError, MAX_FRAME_BYTES};
+use crate::wire::{self, Hello};
+
+/// Default eager/rendezvous switchover: payloads up to this many bytes are
+/// staged and written in one syscall; larger ones stream unstaged.
+pub const DEFAULT_EAGER_THRESHOLD: usize = 256 * 1024;
+
+/// How often a blocked receive re-checks the abort flag.
+const ABORT_POLL: Duration = Duration::from_millis(2);
+
+/// Tuning knobs for [`SocketTransport::bootstrap`].
+#[derive(Clone)]
+pub struct SocketOpts {
+    /// Payloads at or below this size take the eager (staged, single-write)
+    /// path; larger payloads stream without staging. Env override:
+    /// `CLAIRE_IPC_EAGER` (bytes).
+    pub eager_threshold: usize,
+    /// How long to keep retrying the mesh construction before giving up
+    /// (covers peers that are still starting). Env override:
+    /// `CLAIRE_IPC_TIMEOUT` (seconds).
+    pub bootstrap_timeout: Duration,
+    /// Shared abort flag for in-process socket clusters; `None` for real
+    /// worker processes (the launcher supervises those).
+    pub abort: Option<Arc<AbortHandle>>,
+}
+
+impl Default for SocketOpts {
+    fn default() -> Self {
+        let eager = std::env::var("CLAIRE_IPC_EAGER")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(DEFAULT_EAGER_THRESHOLD);
+        let timeout = std::env::var("CLAIRE_IPC_TIMEOUT")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_secs)
+            .unwrap_or(Duration::from_secs(30));
+        SocketOpts { eager_threshold: eager, bootstrap_timeout: timeout, abort: None }
+    }
+}
+
+/// Path of rank `r`'s listener inside the rendezvous directory.
+pub fn rank_socket_path(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("rank-{rank}.sock"))
+}
+
+/// A fresh, unique rendezvous directory under the system temp dir.
+pub fn fresh_rendezvous_dir(label: &str) -> std::io::Result<PathBuf> {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "claire-{label}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+enum Inbound {
+    Msg(Message),
+    PeerDown { peer: usize, detail: String },
+}
+
+/// [`Transport`] over Unix-domain sockets: one stream per peer, one reader
+/// thread per stream, real bytes-on-wire accounting.
+pub struct SocketTransport {
+    rank: usize,
+    topo: Topology,
+    /// Write halves, indexed by peer rank (`None` at self).
+    peers: Vec<Option<UnixStream>>,
+    inbox: Receiver<Inbound>,
+    readers: Vec<JoinHandle<()>>,
+    eager_threshold: usize,
+    abort: Option<Arc<AbortHandle>>,
+    /// Reused staging buffer for the eager path.
+    scratch: Vec<u8>,
+    eager_msgs: u64,
+    rendezvous_msgs: u64,
+}
+
+fn io_err(context: &str, e: impl std::fmt::Display) -> ClaireError {
+    ClaireError::Io { context: "SocketTransport::bootstrap", message: format!("{context}: {e}") }
+}
+
+impl SocketTransport {
+    /// Join the cluster rendezvous in `dir` as `rank` and build the mesh.
+    ///
+    /// Blocks until every peer stream is connected, validated, and rank 0
+    /// has released the cluster; fails typed after `opts.bootstrap_timeout`.
+    pub fn bootstrap(
+        dir: &Path,
+        rank: usize,
+        topo: Topology,
+        opts: SocketOpts,
+    ) -> ClaireResult<SocketTransport> {
+        let size = topo.nranks;
+        assert!(rank < size, "rank {rank} out of range for {size} ranks");
+        let deadline = Instant::now() + opts.bootstrap_timeout;
+
+        let own_path = rank_socket_path(dir, rank);
+        // a stale socket file from a crashed previous run would make bind fail
+        let _ = std::fs::remove_file(&own_path);
+        let listener = UnixListener::bind(&own_path)
+            .map_err(|e| io_err(&format!("bind {}", own_path.display()), e))?;
+
+        let mut peers: Vec<Option<UnixStream>> = (0..size).map(|_| None).collect();
+
+        // connect to every lower rank (their listeners queue us in their
+        // backlog even before they accept)
+        #[allow(clippy::needless_range_loop)] // indexing `peers[j]` mirrors the mesh layout
+        for j in 0..rank {
+            let path = rank_socket_path(dir, j);
+            let stream = loop {
+                match UnixStream::connect(&path) {
+                    Ok(s) => break s,
+                    Err(e) => {
+                        if Instant::now() >= deadline {
+                            return Err(io_err(
+                                &format!("connect to rank {j} at {}", path.display()),
+                                e,
+                            ));
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            };
+            let hello = wire::encode_hello(&Hello { rank, topo });
+            let mut w = &stream;
+            frame::write_frame(&mut w, &hello)
+                .map_err(|e| io_err(&format!("hello to rank {j}"), e))?;
+            peers[j] = Some(stream);
+        }
+
+        // accept every higher rank; the Hello identifies which one connected
+        for _ in rank + 1..size {
+            let (stream, _) = listener.accept().map_err(|e| io_err("accept", e))?;
+            let mut r = &stream;
+            let hello_frame =
+                frame::read_frame(&mut r, MAX_FRAME_BYTES).map_err(|e| io_err("read hello", e))?;
+            let hello = wire::decode_hello(&hello_frame).map_err(|e| io_err("decode hello", e))?;
+            if hello.topo != topo {
+                return Err(io_err(
+                    "rendezvous",
+                    format!(
+                        "rank {} was launched with topology {:?}, this rank with {:?}",
+                        hello.rank, hello.topo, topo
+                    ),
+                ));
+            }
+            if hello.rank <= rank || hello.rank >= size || peers[hello.rank].is_some() {
+                return Err(io_err(
+                    "rendezvous",
+                    format!("unexpected or duplicate hello from rank {}", hello.rank),
+                ));
+            }
+            peers[hello.rank] = Some(stream);
+        }
+
+        // rank-0 rendezvous: once all hellos are in, release the cluster;
+        // everyone else waits for the release before exchanging data
+        if size > 1 {
+            if rank == 0 {
+                let welcome = wire::encode_welcome(&topo);
+                for peer in peers.iter().flatten() {
+                    let mut w = peer;
+                    frame::write_frame(&mut w, &welcome).map_err(|e| io_err("send welcome", e))?;
+                }
+            } else {
+                let mut r = peers[0].as_ref().expect("rank 0 stream");
+                let welcome_frame = frame::read_frame(&mut r, MAX_FRAME_BYTES)
+                    .map_err(|e| io_err("read welcome", e))?;
+                let agreed = wire::decode_welcome(&welcome_frame)
+                    .map_err(|e| io_err("decode welcome", e))?;
+                if agreed != topo {
+                    return Err(io_err("rendezvous", "rank 0 agreed on a different topology"));
+                }
+            }
+        }
+
+        // split each stream: reader threads decode frames into one queue
+        let (tx, inbox) = crossbeam::channel::unbounded::<Inbound>();
+        let mut readers = Vec::new();
+        for (peer, slot) in peers.iter().enumerate() {
+            let Some(stream) = slot else { continue };
+            let read_half = stream.try_clone().map_err(|e| io_err("clone stream for reader", e))?;
+            readers.push(spawn_reader(peer, read_half, tx.clone()));
+        }
+        drop(tx);
+
+        Ok(SocketTransport {
+            rank,
+            topo,
+            peers,
+            inbox,
+            readers,
+            eager_threshold: opts.eager_threshold,
+            abort: opts.abort,
+            scratch: Vec::new(),
+            eager_msgs: 0,
+            rendezvous_msgs: 0,
+        })
+    }
+
+    /// Messages sent through the eager (staged single-write) path.
+    pub fn eager_msgs(&self) -> u64 {
+        self.eager_msgs
+    }
+
+    /// Messages sent through the rendezvous (unstaged streaming) path.
+    pub fn rendezvous_msgs(&self) -> u64 {
+        self.rendezvous_msgs
+    }
+}
+
+fn spawn_reader(peer: usize, stream: UnixStream, tx: Sender<Inbound>) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut r = &stream;
+        loop {
+            match frame::read_frame(&mut r, MAX_FRAME_BYTES) {
+                Ok(payload) => match wire::decode_msg(&payload) {
+                    Ok(msg) => {
+                        if tx.send(Inbound::Msg(msg)).is_err() {
+                            return; // transport dropped
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send(Inbound::PeerDown { peer, detail: e.to_string() });
+                        return;
+                    }
+                },
+                // clean close on a frame boundary: the peer finished and
+                // dropped its transport — normal shutdown skew, not failure
+                Err(FrameError::Closed) => return,
+                Err(e) => {
+                    let _ = tx.send(Inbound::PeerDown { peer, detail: e.to_string() });
+                    return;
+                }
+            }
+        }
+    })
+}
+
+impl Transport for SocketTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    fn kind(&self) -> &'static str {
+        "socket"
+    }
+
+    fn send(&mut self, dst: usize, msg: Message) -> Result<u64, TransportError> {
+        let header = wire::encode_msg_header(&msg);
+        let frame_len = header.len() + msg.payload.len();
+        let wire_bytes = (4 + frame_len) as u64;
+        let stream = self.peers[dst].as_mut().ok_or_else(|| TransportError::Io {
+            detail: format!("no stream to rank {dst} (self-send is not routed over sockets)"),
+        })?;
+        let res = if msg.payload.len() <= self.eager_threshold {
+            // eager: one staged buffer, one write
+            self.eager_msgs += 1;
+            self.scratch.clear();
+            self.scratch.reserve(4 + frame_len);
+            self.scratch.extend_from_slice(&(frame_len as u32).to_be_bytes());
+            self.scratch.extend_from_slice(&header);
+            self.scratch.extend_from_slice(&msg.payload);
+            stream.write_all(&self.scratch).and_then(|_| stream.flush()).map_err(FrameError::Io)
+        } else {
+            // rendezvous: stream the payload from its source, no staging copy
+            self.rendezvous_msgs += 1;
+            frame::write_frame_parts(stream, &[&header, &msg.payload])
+        };
+        res.map_err(|e| TransportError::PeerLost { peer: dst, detail: e.to_string() })?;
+        Ok(wire_bytes)
+    }
+
+    fn recv(&mut self) -> Result<Message, TransportError> {
+        loop {
+            if let Some(abort) = &self.abort {
+                if abort.is_aborted() {
+                    let detail = abort.detail().unwrap_or_else(|| "peer rank failed".into());
+                    return Err(TransportError::Aborted { detail });
+                }
+            }
+            match self.inbox.recv_timeout(ABORT_POLL) {
+                Ok(Inbound::Msg(msg)) => return Ok(msg),
+                Ok(Inbound::PeerDown { peer, detail }) => {
+                    return Err(TransportError::PeerLost { peer, detail })
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(TransportError::Io { detail: "all peer connections closed".into() })
+                }
+            }
+        }
+    }
+}
+
+impl Drop for SocketTransport {
+    fn drop(&mut self) {
+        // unblock our readers (and peers' readers) so joins are bounded
+        for stream in self.peers.iter().flatten() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        for h in self.readers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// in-process socket clusters (tests, benches, the --in-process comparison)
+// ---------------------------------------------------------------------------
+
+fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(e) = payload.downcast_ref::<TransportError>() {
+        e.to_string()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "rank panicked".to_string()
+    }
+}
+
+fn is_secondary(payload: &(dyn std::any::Any + Send)) -> bool {
+    matches!(payload.downcast_ref::<TransportError>(), Some(TransportError::Aborted { .. }))
+}
+
+/// Run `f` on every rank of a cluster whose ranks are threads of this
+/// process but whose messages travel through real Unix-domain sockets.
+///
+/// This exercises the full socket path — bootstrap handshake, framing,
+/// eager/rendezvous sends, reader threads — without spawning processes;
+/// the proptest equivalence suite and the transport bench rows use it.
+/// Panics on failure; see [`try_run_socket_cluster`] for the typed variant.
+pub fn run_socket_cluster<R, F>(topo: Topology, f: F) -> ClusterResult<R>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
+    match try_run_socket_cluster(topo, f) {
+        Ok(res) => res,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`run_socket_cluster`]: one dead rank aborts the others and
+/// surfaces as a typed [`ClusterError`].
+pub fn try_run_socket_cluster<R, F>(topo: Topology, f: F) -> Result<ClusterResult<R>, ClusterError>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
+    let p = topo.nranks;
+    let dir = fresh_rendezvous_dir("sockcluster")
+        .unwrap_or_else(|e| panic!("cannot create rendezvous dir: {e}"));
+    let abort = Arc::new(AbortHandle::new());
+
+    type RankOutcome<R> = Result<(R, CommStats, ModelClock), Box<dyn std::any::Any + Send>>;
+    let mut results: Vec<Option<RankOutcome<R>>> = (0..p).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for rank in 0..p {
+            let dir = dir.clone();
+            let abort = Arc::clone(&abort);
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let opts = SocketOpts { abort: Some(Arc::clone(&abort)), ..Default::default() };
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let transport = SocketTransport::bootstrap(&dir, rank, topo, opts)
+                        .unwrap_or_else(|e| {
+                            std::panic::panic_any(TransportError::Io { detail: e.to_string() })
+                        });
+                    let mut comm = Comm::from_transport(Box::new(transport), LinkModel::default());
+                    let out = f(&mut comm);
+                    let (stats, clock) = comm.take_results();
+                    (out, stats, clock)
+                }));
+                match out {
+                    Ok(v) => Ok(v),
+                    Err(payload) => {
+                        if !is_secondary(payload.as_ref()) {
+                            abort.abort(describe_panic(payload.as_ref()));
+                        }
+                        Err(payload)
+                    }
+                }
+            }));
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            results[rank] = Some(h.join().expect("socket cluster harness panicked"));
+        }
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut primary: Option<ClusterError> = None;
+    let mut fallback: Option<ClusterError> = None;
+    for (rank, r) in results.iter().enumerate() {
+        if let Some(Err(payload)) = r {
+            let e = ClusterError { rank, detail: describe_panic(payload.as_ref()) };
+            if is_secondary(payload.as_ref()) {
+                fallback.get_or_insert(e);
+            } else if primary.is_none() {
+                primary = Some(e);
+            }
+        }
+    }
+    if let Some(e) = primary.or(fallback) {
+        return Err(e);
+    }
+
+    let mut outputs = Vec::with_capacity(p);
+    let mut stats = Vec::with_capacity(p);
+    let mut clocks = Vec::with_capacity(p);
+    for r in results {
+        let (o, s, c) = r.expect("rank result missing").unwrap_or_else(|_| unreachable!());
+        outputs.push(o);
+        stats.push(s);
+        clocks.push(c);
+    }
+    Ok(ClusterResult { outputs, stats, clocks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use claire_mpi::{AlltoallMethod, CommCat};
+
+    #[test]
+    fn socket_cluster_ring_exchange() {
+        let res = run_socket_cluster(Topology::new(3, 2), |comm| {
+            assert_eq!(comm.transport_kind(), "socket");
+            let right = (comm.rank() + 1) % comm.size();
+            let left = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(right, 7, CommCat::Other, &[comm.rank() as u64]);
+            let got: Vec<u64> = comm.recv(left, 7, CommCat::Other);
+            got[0]
+        });
+        assert_eq!(res.outputs, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn socket_send_reports_real_wire_bytes() {
+        let res = run_socket_cluster(Topology::new(2, 2), |comm| {
+            let peer = 1 - comm.rank();
+            let got: Vec<u8> = comm.sendrecv(peer, peer, 3, CommCat::Ghost, &[0u8; 100]);
+            assert_eq!(got.len(), 100);
+            comm.stats().cat(CommCat::Ghost).wire_bytes
+        });
+        // 4-byte frame length + 24-byte header + 100 payload bytes
+        assert_eq!(res.outputs, vec![128, 128]);
+    }
+
+    #[test]
+    fn rendezvous_path_used_above_threshold() {
+        let dir = fresh_rendezvous_dir("eager-test").unwrap();
+        let topo = Topology::new(2, 2);
+        let small = vec![0u8; 64];
+        let big = vec![0u8; 4096];
+        std::thread::scope(|scope| {
+            let d = dir.clone();
+            let (small, big) = (small.clone(), big.clone());
+            scope.spawn(move || {
+                let opts = SocketOpts { eager_threshold: 1024, ..Default::default() };
+                let mut t = SocketTransport::bootstrap(&d, 0, topo, opts).unwrap();
+                let mk = |payload: &[u8], tag| Message {
+                    src: 0,
+                    tag,
+                    cat: CommCat::Other,
+                    sent_clock: 0.0,
+                    link_free: false,
+                    payload: bytes::Bytes::copy_from_slice(payload),
+                };
+                t.send(1, mk(&small, 1)).unwrap();
+                t.send(1, mk(&big, 2)).unwrap();
+                assert_eq!((t.eager_msgs(), t.rendezvous_msgs()), (1, 1));
+                // hold until the peer confirms receipt
+                let done = t.recv().unwrap();
+                assert_eq!(done.tag, 99);
+            });
+            scope.spawn(move || {
+                let mut t =
+                    SocketTransport::bootstrap(&dir, 1, topo, SocketOpts::default()).unwrap();
+                let m1 = t.recv().unwrap();
+                let m2 = t.recv().unwrap();
+                assert_eq!((m1.tag, m1.payload.len()), (1, 64));
+                assert_eq!((m2.tag, m2.payload.len()), (2, 4096));
+                let ack = Message {
+                    src: 1,
+                    tag: 99,
+                    cat: CommCat::Other,
+                    sent_clock: 0.0,
+                    link_free: false,
+                    payload: bytes::Bytes::copy_from_slice(&[]),
+                };
+                t.send(0, ack).unwrap();
+            });
+        });
+        let _ = std::fs::remove_dir_all(std::env::temp_dir().join("claire-eager-test"));
+    }
+
+    #[test]
+    fn collectives_run_over_sockets() {
+        let res = run_socket_cluster(Topology::new(4, 2), |comm| {
+            let sum = comm.allreduce_sum_scalar(comm.rank() as f64 + 1.0);
+            let bufs: Vec<Vec<u64>> =
+                (0..comm.size()).map(|d| vec![(comm.rank() * 10 + d) as u64]).collect();
+            let a2a = comm.alltoallv(&bufs, CommCat::FftTranspose, AlltoallMethod::Auto);
+            comm.barrier();
+            (sum, a2a[2][0])
+        });
+        for (r, &(sum, from2)) in res.outputs.iter().enumerate() {
+            assert_eq!(sum, 10.0);
+            assert_eq!(from2, (2 * 10 + r) as u64);
+        }
+    }
+
+    #[test]
+    fn dead_rank_yields_typed_error_not_hang() {
+        let t0 = Instant::now();
+        let err = try_run_socket_cluster(Topology::new(3, 2), |comm| {
+            if comm.rank() == 1 {
+                panic!("socket rank down");
+            }
+            let _: Vec<u8> = comm.recv(1, 5, CommCat::Other);
+        })
+        .unwrap_err();
+        assert_eq!(err.rank, 1);
+        assert!(err.detail.contains("socket rank down"), "{}", err.detail);
+        assert!(t0.elapsed() < Duration::from_secs(20));
+    }
+}

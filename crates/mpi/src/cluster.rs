@@ -1,14 +1,17 @@
 //! Launching a virtual cluster: one thread per rank.
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use crossbeam::channel::unbounded;
 
-use crate::comm::{BarrierState, Comm};
+use crate::comm::Comm;
 use crate::message::Message;
 use crate::model::LinkModel;
 use crate::stats::{CommStats, ModelClock};
 use crate::topology::Topology;
+use crate::transport::{AbortHandle, ChannelTransport, TransportError};
 
 /// Everything a cluster run produces: per-rank outputs, traffic ledgers and
 /// logical clocks (indexed by rank).
@@ -54,10 +57,50 @@ impl<R> ClusterResult<R> {
     }
 }
 
+/// Typed failure of a cluster run: the first rank whose function failed.
+///
+/// Raised instead of a deadlock: when one rank panics, the shared
+/// [`AbortHandle`] wakes every peer blocked in a receive, the secondary
+/// `Aborted` failures are filtered out, and the originating rank's failure
+/// is reported. `claire-grid` converts this into `ClaireError::RankFailed`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterError {
+    /// The rank that failed first.
+    pub rank: usize,
+    /// Description of the failure (panic message or transport error).
+    pub detail: String,
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {} failed: {}", self.rank, self.detail)
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+fn describe_panic(payload: &(dyn Any + Send)) -> String {
+    if let Some(e) = payload.downcast_ref::<TransportError>() {
+        e.to_string()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "rank panicked".to_string()
+    }
+}
+
+/// A failure that only happened because some other rank failed first.
+fn is_secondary(payload: &(dyn Any + Send)) -> bool {
+    matches!(payload.downcast_ref::<TransportError>(), Some(TransportError::Aborted { .. }))
+}
+
 /// Run `f` on every rank of a virtual cluster with the default link model.
 ///
 /// Blocks until all ranks return. Rank functions communicate through the
-/// [`Comm`] handle they receive. See the crate-level example.
+/// [`Comm`] handle they receive. See the crate-level example. Panics if any
+/// rank fails; use [`try_run_cluster`] for a typed error instead.
 pub fn run_cluster<R, F>(topo: Topology, f: F) -> ClusterResult<R>
 where
     R: Send,
@@ -72,6 +115,32 @@ where
     R: Send,
     F: Fn(&mut Comm) -> R + Sync,
 {
+    match try_run_cluster_with_link(topo, link, f) {
+        Ok(res) => res,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible cluster run: one dead rank aborts the others and surfaces as a
+/// typed [`ClusterError`] instead of a hang or an opaque join panic.
+pub fn try_run_cluster<R, F>(topo: Topology, f: F) -> Result<ClusterResult<R>, ClusterError>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
+    try_run_cluster_with_link(topo, LinkModel::default(), f)
+}
+
+/// [`try_run_cluster`] with an explicit link model.
+pub fn try_run_cluster_with_link<R, F>(
+    topo: Topology,
+    link: LinkModel,
+    f: F,
+) -> Result<ClusterResult<R>, ClusterError>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
     let p = topo.nranks;
     let mut txs = Vec::with_capacity(p);
     let mut rxs = Vec::with_capacity(p);
@@ -80,44 +149,79 @@ where
         txs.push(tx);
         rxs.push(rx);
     }
-    let barrier = Arc::new(BarrierState::new(p));
+    let abort = Arc::new(AbortHandle::new());
 
-    let mut results: Vec<Option<(R, CommStats, ModelClock)>> = (0..p).map(|_| None).collect();
+    type RankOutcome<R> = Result<(R, CommStats, ModelClock), Box<dyn Any + Send>>;
+    let mut results: Vec<Option<RankOutcome<R>>> = (0..p).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
         for (rank, rx) in rxs.into_iter().enumerate() {
             let senders = txs.clone();
-            let barrier = Arc::clone(&barrier);
+            let abort = Arc::clone(&abort);
             let f = &f;
             handles.push(scope.spawn(move || {
-                let mut comm = Comm::new(rank, topo, senders, rx, link, barrier);
-                let out = f(&mut comm);
-                let (stats, clock) = comm.take_results();
-                (out, stats, clock)
+                let transport =
+                    ChannelTransport::new(rank, topo, senders, rx, Some(Arc::clone(&abort)));
+                let mut comm = Comm::from_transport(Box::new(transport), link);
+                match catch_unwind(AssertUnwindSafe(|| f(&mut comm))) {
+                    Ok(out) => {
+                        let (stats, clock) = comm.take_results();
+                        Ok((out, stats, clock))
+                    }
+                    Err(payload) => {
+                        // wake the peers this rank will never answer; the
+                        // first failure's description wins
+                        if !is_secondary(payload.as_ref()) {
+                            abort.abort(describe_panic(payload.as_ref()));
+                        }
+                        Err(payload)
+                    }
+                }
             }));
         }
         drop(txs);
         for (rank, h) in handles.into_iter().enumerate() {
-            results[rank] = Some(h.join().expect("rank thread panicked"));
+            // rank functions are fully caught above; a join error would mean
+            // a panic in the harness itself, so propagate that one
+            results[rank] = Some(h.join().expect("cluster harness panicked"));
         }
     });
+
+    // pick the primary failure: the lowest-ranked non-secondary panic (a
+    // rank that only died because the cluster was already aborting is noise)
+    let mut primary: Option<ClusterError> = None;
+    let mut fallback: Option<ClusterError> = None;
+    for (rank, r) in results.iter().enumerate() {
+        if let Some(Err(payload)) = r {
+            let e = ClusterError { rank, detail: describe_panic(payload.as_ref()) };
+            if is_secondary(payload.as_ref()) {
+                fallback.get_or_insert(e);
+            } else if primary.is_none() {
+                primary = Some(e);
+            }
+        }
+    }
+    if let Some(e) = primary.or(fallback) {
+        return Err(e);
+    }
 
     let mut outputs = Vec::with_capacity(p);
     let mut stats = Vec::with_capacity(p);
     let mut clocks = Vec::with_capacity(p);
     for r in results {
-        let (o, s, c) = r.expect("rank result missing");
+        let (o, s, c) = r.expect("rank result missing").unwrap_or_else(|_| unreachable!());
         outputs.push(o);
         stats.push(s);
         clocks.push(c);
     }
-    ClusterResult { outputs, stats, clocks }
+    Ok(ClusterResult { outputs, stats, clocks })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::stats::CommCat;
+    use std::time::{Duration, Instant};
 
     #[test]
     fn outputs_indexed_by_rank() {
@@ -153,5 +257,44 @@ mod tests {
             comm.allreduce_sum_scalar(5.0)
         });
         assert_eq!(res.outputs, vec![5.0]);
+    }
+
+    #[test]
+    fn dead_rank_aborts_blocked_peers_with_typed_error() {
+        // rank 2 dies while every other rank is blocked in a receive that
+        // will never be answered: the run must fail promptly with the
+        // originating rank's message, not deadlock or report a secondary
+        // abort
+        let t0 = Instant::now();
+        let err = try_run_cluster(Topology::new(4, 4), |comm| {
+            if comm.rank() == 2 {
+                panic!("simulated rank failure");
+            }
+            let _: Vec<u8> = comm.recv(2, 77, CommCat::Other);
+        })
+        .unwrap_err();
+        assert_eq!(err.rank, 2);
+        assert!(err.detail.contains("simulated rank failure"), "detail: {}", err.detail);
+        assert!(t0.elapsed() < Duration::from_secs(10), "abort should be prompt");
+    }
+
+    #[test]
+    fn run_cluster_panics_with_failed_rank_message() {
+        let caught = std::panic::catch_unwind(|| {
+            run_cluster(Topology::new(2, 4), |comm| {
+                if comm.rank() == 1 {
+                    panic!("boom");
+                }
+                comm.barrier();
+            });
+        })
+        .unwrap_err();
+        let msg = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| caught.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("rank 1 failed"), "panic message: {msg}");
+        assert!(msg.contains("boom"), "panic message: {msg}");
     }
 }

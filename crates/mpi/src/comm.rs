@@ -4,70 +4,61 @@
 // the MPI-style pseudocode they implement.
 #![allow(clippy::needless_range_loop)]
 
-use std::sync::{Arc, Barrier, Mutex};
 use std::time::Instant;
 
 use bytes::Bytes;
-use crossbeam::channel::{Receiver, Sender};
 
 use crate::message::Message;
 use crate::model::{AlltoallMethod, DeviceModel, LinkModel};
 use crate::pod::{as_bytes, from_bytes, Pod};
 use crate::stats::{CollOp, CommCat, CommStats, ModelClock};
 use crate::topology::Topology;
+use crate::transport::{ChannelTransport, Transport};
 
-/// Shared state for clock-synchronizing barriers.
-pub(crate) struct BarrierState {
-    pub(crate) enter: Barrier,
-    pub(crate) leave: Barrier,
-    pub(crate) clocks: Mutex<Vec<f64>>,
-}
-
-impl BarrierState {
-    pub(crate) fn new(n: usize) -> Self {
-        Self { enter: Barrier::new(n), leave: Barrier::new(n), clocks: Mutex::new(vec![0.0; n]) }
-    }
-}
+/// Reserved control tags (top of the tag space). User tags must stay below
+/// `u64::MAX - 15`; the collectives and the barrier rendezvous own the rest.
+const TAG_BAR_UP: u64 = u64::MAX - 10;
+const TAG_BAR_DOWN: u64 = u64::MAX - 11;
 
 /// MPI-like communicator for one virtual rank.
 ///
-/// Created by [`crate::run_cluster`] (one per rank thread) or by
-/// [`Comm::solo`] for serial execution. All collective operations must be
-/// called by every rank of the cluster, in the same order — exactly the MPI
-/// contract the paper's CLAIRE code relies on.
+/// Created by [`crate::run_cluster`] (one per rank thread), by
+/// [`Comm::solo`] for serial execution, or by [`Comm::from_transport`] over
+/// any [`Transport`] — including the multi-process socket transport in
+/// `claire-ipc`. All collective operations must be called by every rank of
+/// the cluster, in the same order — exactly the MPI contract the paper's
+/// CLAIRE code relies on.
+///
+/// Every collective is implemented over tagged point-to-point messages in a
+/// fixed deterministic rank order (reductions fold contributions in rank
+/// order at rank 0), so results are bitwise identical across transports.
 pub struct Comm {
     rank: usize,
     topo: Topology,
-    senders: Vec<Sender<Message>>,
-    rx: Receiver<Message>,
+    transport: Box<dyn Transport>,
     pending: Vec<Message>,
     stats: CommStats,
     clock: ModelClock,
     link: LinkModel,
     device: DeviceModel,
-    barrier: Arc<BarrierState>,
 }
 
 impl Comm {
-    pub(crate) fn new(
-        rank: usize,
-        topo: Topology,
-        senders: Vec<Sender<Message>>,
-        rx: Receiver<Message>,
-        link: LinkModel,
-        barrier: Arc<BarrierState>,
-    ) -> Self {
+    /// Wrap a bootstrapped transport in a communicator.
+    ///
+    /// This is the seam multi-process execution plugs into: `claire-ipc`
+    /// hands a `SocketTransport` here and every kernel built on [`Comm`]
+    /// runs unchanged across process boundaries.
+    pub fn from_transport(transport: Box<dyn Transport>, link: LinkModel) -> Self {
         Self {
-            rank,
-            topo,
-            senders,
-            rx,
+            rank: transport.rank(),
+            topo: *transport.topo(),
+            transport,
             pending: Vec::new(),
             stats: CommStats::default(),
             clock: ModelClock::default(),
             link,
             device: DeviceModel::default(),
-            barrier,
         }
     }
 
@@ -75,15 +66,7 @@ impl Comm {
     ///
     /// Self-sends work: they are queued and matched by the next receive.
     pub fn solo() -> Self {
-        let (tx, rx) = crossbeam::channel::unbounded();
-        Comm::new(
-            0,
-            Topology::solo(),
-            vec![tx],
-            rx,
-            LinkModel::default(),
-            Arc::new(BarrierState::new(1)),
-        )
+        Comm::from_transport(Box::new(ChannelTransport::solo()), LinkModel::default())
     }
 
     /// This rank's id in `0..size()`.
@@ -121,6 +104,12 @@ impl Comm {
         self.device = device;
     }
 
+    /// Which transport carries this rank's messages (`"channel"`,
+    /// `"socket"`, ...); recorded in RunReport.
+    pub fn transport_kind(&self) -> &'static str {
+        self.transport.kind()
+    }
+
     /// Advance the modeled clock by the roofline time of a kernel that
     /// moved `bytes` through DRAM and executed `flops`.
     pub fn advance_kernel(&mut self, bytes: usize, flops: usize) {
@@ -144,7 +133,9 @@ impl Comm {
         self.clock.advance_compute(secs);
     }
 
-    pub(crate) fn take_results(self) -> (CommStats, ModelClock) {
+    /// Consume the communicator, yielding its ledgers (cluster runners
+    /// collect these per rank).
+    pub fn take_results(self) -> (CommStats, ModelClock) {
         (self.stats, self.clock)
     }
 
@@ -168,10 +159,27 @@ impl Comm {
         let nbytes = payload.len() as u64;
         let msg =
             Message { src: self.rank, tag, cat, sent_clock: self.clock.now(), link_free, payload };
-        self.senders[dst].send(msg).expect("virtual cluster channel closed (peer rank panicked?)");
+        let wire = self.transport.send(dst, msg).unwrap_or_else(|e| std::panic::panic_any(e));
         let c = self.stats.cat_mut(cat);
         c.bytes_sent += nbytes;
         c.msgs_sent += 1;
+        c.wire_bytes += wire;
+    }
+
+    /// Control-plane send (barrier rendezvous): bypasses the message/byte
+    /// ledger so the logical traffic accounting is identical across
+    /// transports, but still attributes real wire bytes to `Reduce`.
+    fn send_raw(&mut self, dst: usize, tag: u64, data: &[f64]) {
+        let msg = Message {
+            src: self.rank,
+            tag,
+            cat: CommCat::Reduce,
+            sent_clock: self.clock.now(),
+            link_free: true,
+            payload: Bytes::copy_from_slice(as_bytes(data)),
+        };
+        let wire = self.transport.send(dst, msg).unwrap_or_else(|e| std::panic::panic_any(e));
+        self.stats.cat_mut(CommCat::Reduce).wire_bytes += wire;
     }
 
     /// Blocking receive of a typed slice from `src` with `tag`.
@@ -191,19 +199,27 @@ impl Comm {
         from_bytes(&msg.payload)
     }
 
+    fn recv_match(&mut self, src: usize, tag: u64) -> Message {
+        if let Some(pos) = self.pending.iter().position(|m| m.src == src && m.tag == tag) {
+            return self.pending.remove(pos);
+        }
+        loop {
+            let msg = self.transport.recv().unwrap_or_else(|e| std::panic::panic_any(e));
+            if msg.src == src && msg.tag == tag {
+                return msg;
+            }
+            self.pending.push(msg);
+        }
+    }
+
     fn recv_msg(&mut self, src: usize, tag: u64, cat: CommCat) -> Message {
         if let Some(pos) = self.pending.iter().position(|m| m.src == src && m.tag == tag) {
             return self.pending.remove(pos);
         }
         let t0 = Instant::now();
-        loop {
-            let msg = self.rx.recv().expect("virtual cluster channel closed (peer rank panicked?)");
-            if msg.src == src && msg.tag == tag {
-                self.stats.cat_mut(cat).wall_blocked += t0.elapsed();
-                return msg;
-            }
-            self.pending.push(msg);
-        }
+        let msg = self.recv_match(src, tag);
+        self.stats.cat_mut(cat).wall_blocked += t0.elapsed();
+        msg
     }
 
     /// Combined send to `dst` and receive from `src` (safe pairwise exchange).
@@ -221,6 +237,33 @@ impl Comm {
 
     // ----- collectives ----------------------------------------------------
 
+    /// Rendezvous of all logical clocks through the transport: every rank
+    /// learns the maximum entry clock. Rank 0 collects entry times in rank
+    /// order and releases peers with the maximum — a true barrier (nobody
+    /// proceeds before everybody arrived), built on the same point-to-point
+    /// surface as everything else so it works across processes.
+    fn clock_rendezvous(&mut self) -> f64 {
+        if self.rank == 0 {
+            let mut max = self.clock.now();
+            for src in 1..self.size() {
+                let msg = self.recv_match(src, TAG_BAR_UP);
+                let t = from_bytes::<f64>(&msg.payload)[0];
+                if t > max {
+                    max = t;
+                }
+            }
+            for dst in 1..self.size() {
+                self.send_raw(dst, TAG_BAR_DOWN, &[max]);
+            }
+            max
+        } else {
+            let now = self.clock.now();
+            self.send_raw(0, TAG_BAR_UP, &[now]);
+            let msg = self.recv_match(0, TAG_BAR_DOWN);
+            from_bytes::<f64>(&msg.payload)[0]
+        }
+    }
+
     /// Barrier: all ranks wait; logical clocks synchronize to the maximum.
     pub fn barrier(&mut self) {
         self.stats.record_coll(CollOp::Barrier, 0);
@@ -228,16 +271,7 @@ impl Comm {
             return;
         }
         let t0 = Instant::now();
-        {
-            let mut clocks = self.barrier.clocks.lock().unwrap();
-            clocks[self.rank] = self.clock.now();
-        }
-        self.barrier.enter.wait();
-        let max = {
-            let clocks = self.barrier.clocks.lock().unwrap();
-            clocks.iter().cloned().fold(0.0, f64::max)
-        };
-        self.barrier.leave.wait();
+        let max = self.clock_rendezvous();
         self.clock.sync_to(max);
         let bt = self.link.barrier_time(&self.topo);
         self.clock.advance_comm(bt);
@@ -290,15 +324,7 @@ impl Comm {
     /// already exchanged); used to make collectives leave all ranks at the
     /// same logical time, like a blocking MPI collective.
     fn barrier_clock_sync(&mut self) {
-        let mut clocks = self.barrier.clocks.lock().unwrap();
-        clocks[self.rank] = self.clock.now();
-        drop(clocks);
-        self.barrier.enter.wait();
-        let max = {
-            let clocks = self.barrier.clocks.lock().unwrap();
-            clocks.iter().cloned().fold(0.0, f64::max)
-        };
-        self.barrier.leave.wait();
+        let max = self.clock_rendezvous();
         self.clock.sync_to(max);
     }
 
@@ -480,6 +506,7 @@ mod tests {
         let got: Vec<f64> = c.recv(0, 1, CommCat::Other);
         assert_eq!(got, vec![1.0, 2.0]);
         assert_eq!(c.stats().cat(CommCat::Other).msgs_sent, 1);
+        assert_eq!(c.transport_kind(), "channel");
     }
 
     #[test]
@@ -561,6 +588,24 @@ mod tests {
         let max = res.outputs.iter().cloned().fold(0.0, f64::max);
         for &t in &res.outputs {
             assert!(t >= 3.0, "all clocks should reach the slowest rank: {t} vs {max}");
+        }
+    }
+
+    #[test]
+    fn barrier_control_traffic_stays_off_the_ledger() {
+        // the rendezvous messages that implement barrier() are control
+        // plane: they must not show up as logical bytes/messages, or the
+        // ledger would differ between transports and from MPI semantics
+        let res = run_cluster(Topology::new(3, 4), |comm| {
+            comm.barrier();
+            comm.barrier();
+            (
+                comm.stats().cat(CommCat::Reduce).bytes_sent,
+                comm.stats().cat(CommCat::Reduce).msgs_sent,
+            )
+        });
+        for &(bytes, msgs) in &res.outputs {
+            assert_eq!((bytes, msgs), (0, 0));
         }
     }
 

@@ -6,6 +6,14 @@
 //! every MPI rank ("one GPU per rank" in the paper) becomes an OS thread, and
 //! messages travel through in-process channels instead of NVLink/InfiniBand.
 //!
+//! The message layer itself is pluggable: [`Comm`] is generic over a
+//! [`Transport`] (tagged point-to-point send/recv), with the in-process
+//! [`ChannelTransport`] as the zero-cost default. The `claire-ipc` crate
+//! provides a Unix-domain-socket transport so ranks can be real OS
+//! processes with disjoint address spaces — the paper's actual execution
+//! model. All collectives reduce in a fixed rank order over the transport
+//! primitives, so results are bitwise identical whichever transport runs.
+//!
 //! The substitution preserves two things the paper's evaluation depends on:
 //!
 //! 1. **Semantics.** [`Comm`] exposes the MPI-like operations CLAIRE uses:
@@ -53,10 +61,13 @@ pub mod model;
 pub mod pod;
 pub mod stats;
 pub mod topology;
+pub mod transport;
 
-pub use cluster::{run_cluster, ClusterResult};
+pub use cluster::{run_cluster, try_run_cluster, ClusterError, ClusterResult};
 pub use comm::Comm;
+pub use message::Message;
 pub use model::{AlltoallMethod, LinkModel};
 pub use pod::Pod;
-pub use stats::{CatStats, CollOp, CollStats, CommCat, CommStats};
+pub use stats::{CatStats, CollOp, CollStats, CommCat, CommStats, ModelClock};
 pub use topology::Topology;
+pub use transport::{AbortHandle, ChannelTransport, Transport, TransportError};

@@ -59,6 +59,11 @@ impl CommCat {
         }
     }
 
+    /// Inverse of [`CommCat::index`], for decoding wire messages.
+    pub fn from_index(i: usize) -> Option<CommCat> {
+        CommCat::ALL.get(i).copied()
+    }
+
     /// Human-readable label matching the paper's tables.
     pub fn label(self) -> &'static str {
         match self {
@@ -76,10 +81,15 @@ impl CommCat {
 /// Counters for one traffic category.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct CatStats {
-    /// Bytes sent by this rank in this category.
+    /// Bytes sent by this rank in this category (logical payload bytes;
+    /// identical across transports).
     pub bytes_sent: u64,
     /// Messages sent by this rank in this category.
     pub msgs_sent: u64,
+    /// Bytes that actually crossed a wire for this category, including
+    /// framing and control traffic. 0 on the in-process channel transport;
+    /// real bytes-on-wire on the socket transport.
+    pub wire_bytes: u64,
     /// Wall-clock time this rank spent blocked in receives/collectives.
     pub wall_blocked: Duration,
     /// Modeled communication seconds attributed to this category.
@@ -196,6 +206,7 @@ impl CommStats {
         for (a, b) in self.cats.iter_mut().zip(other.cats.iter()) {
             a.bytes_sent += b.bytes_sent;
             a.msgs_sent += b.msgs_sent;
+            a.wire_bytes += b.wire_bytes;
             a.wall_blocked += b.wall_blocked;
             a.modeled_secs += b.modeled_secs;
         }

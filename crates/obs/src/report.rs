@@ -22,6 +22,7 @@ pub const SCHEMA_KEYS: &[&str] = &[
     "nt",
     "precond",
     "backend",
+    "transport",
     "summary",
     "scheduling",
     "phases",
@@ -148,6 +149,9 @@ pub struct CommPhaseEntry {
     pub bytes: u64,
     /// Messages sent.
     pub msgs: u64,
+    /// Real bytes on the wire, framing and headers included (0 on the
+    /// in-process channel transport, where nothing is serialized).
+    pub wire_bytes: u64,
     /// Modeled network seconds for this category.
     pub modeled_secs: f64,
 }
@@ -241,6 +245,9 @@ pub struct RunReport {
     pub precond: String,
     /// Active SIMD backend for the hot kernels (`scalar` or `avx2`).
     pub backend: String,
+    /// Comm transport the ranks exchanged messages over (`channel` for the
+    /// in-process virtual cluster, `socket` for multi-process execution).
+    pub transport: String,
     /// Headline outcome.
     pub summary: RunSummary,
     /// Queue/scheduling metadata (zeroed for runs outside `claire-serve`).
@@ -273,6 +280,7 @@ impl RunReport {
             nt: 0,
             precond: String::new(),
             backend: String::new(),
+            transport: String::new(),
             summary: RunSummary::default(),
             scheduling: SchedulingInfo::default(),
             phases: PhaseShares::default(),

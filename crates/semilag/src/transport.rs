@@ -245,6 +245,31 @@ mod tests {
     }
 
     #[test]
+    fn state_solve_matches_over_socket_transport() {
+        // A distributed semi-Lagrangian state solve (trajectory + ghost
+        // exchanges + scattered interpolation) is bitwise transport-invariant.
+        let grid = Grid::cube(8);
+        let f = move |comm: &mut Comm| {
+            let layout = Layout::distributed(grid, comm);
+            let tr = Transport::new(4, IpOrder::Linear);
+            let mut ip = Interpolator::new(IpOrder::Linear);
+            let v = VectorField::from_fns(
+                layout,
+                |_, y, _| 0.3 * y.sin(),
+                |x, _, _| 0.2 * x.cos(),
+                |_, _, z| 0.1 * (2.0 * z).sin(),
+            );
+            let m0 = ScalarField::from_fn(layout, |x, y, z| x.sin() + (y - z).cos());
+            let traj = Trajectory::compute(&v, tr.nt, &mut ip, comm);
+            let sol = tr.solve_state(&traj, &m0, false, &mut ip, comm);
+            sol.final_state().data().iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        };
+        let chan = run_cluster(Topology::new(2, 4), f);
+        let sock = claire_ipc::run_socket_cluster(Topology::new(2, 4), f);
+        assert_eq!(chan.outputs, sock.outputs, "transports must agree bitwise");
+    }
+
+    #[test]
     fn adjoint_conserves_mass() {
         // the continuity equation conserves ∫λ dx exactly in the continuum
         let (layout, tr, mut ip, mut comm) = solo_setup(24, 8);

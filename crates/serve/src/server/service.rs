@@ -1008,6 +1008,7 @@ fn job_run_report(
     run.nt = report.nt;
     run.precond = report.pc.clone();
     run.backend = claire_simd::active_backend().label().to_string();
+    run.transport = comm.transport_kind().to_string();
     run.summary = RunSummary {
         gn_iters: report.gn_iters,
         pcg_iters: report.pcg_iters,
@@ -1034,10 +1035,11 @@ fn job_run_report(
                 phase: c.label().to_string(),
                 bytes: s.bytes_sent,
                 msgs: s.msgs_sent,
+                wire_bytes: s.wire_bytes,
                 modeled_secs: s.modeled_secs,
             }
         })
-        .filter(|e| e.bytes > 0 || e.msgs > 0)
+        .filter(|e| e.bytes > 0 || e.msgs > 0 || e.wire_bytes > 0)
         .collect();
     run.collectives = CollOp::ALL
         .iter()

@@ -31,8 +31,9 @@ pub const PROTOCOL_VERSION: u32 = 1;
 
 /// Hard upper bound on one frame's payload (guards against a hostile or
 /// corrupt length prefix allocating unbounded memory). Large enough for a
-/// 256³ image pair with slack.
-pub const MAX_FRAME_BYTES: usize = 1 << 30;
+/// 256³ image pair with slack. Shared with the socket transport's binary
+/// protocol — one framing discipline per workspace.
+pub use claire_ipc::frame::MAX_FRAME_BYTES;
 
 /// Typed wire failure. Transport-level variants (`Io`, `Timeout`,
 /// `Closed`, `Truncated`) mean the byte stream itself broke; the rest mean
@@ -181,18 +182,27 @@ impl ErrorCode {
 }
 
 // ---------------------------------------------------------------------------
-// framing
+// framing — the byte-level codec lives in `claire_ipc::frame`, shared with
+// the socket transport's binary rank protocol; these wrappers keep the
+// serve-facing API and map the codec's typed errors onto `WireError`
 // ---------------------------------------------------------------------------
+
+impl From<claire_ipc::FrameError> for WireError {
+    fn from(e: claire_ipc::FrameError) -> Self {
+        use claire_ipc::FrameError as F;
+        match e {
+            F::Io(e) => WireError::Io(e),
+            F::Timeout => WireError::Timeout,
+            F::Closed => WireError::Closed,
+            F::Truncated { expected, got } => WireError::Truncated { expected, got },
+            F::TooLarge { len, max } => WireError::FrameTooLarge { len, max },
+        }
+    }
+}
 
 /// Write one frame: 4-byte big-endian payload length, then the payload.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
-    if payload.len() > MAX_FRAME_BYTES {
-        return Err(WireError::FrameTooLarge { len: payload.len(), max: MAX_FRAME_BYTES });
-    }
-    w.write_all(&(payload.len() as u32).to_be_bytes())?;
-    w.write_all(payload)?;
-    w.flush()?;
-    Ok(())
+    claire_ipc::frame::write_frame(w, payload).map_err(WireError::from)
 }
 
 /// Read one frame's payload, enforcing `max` against the length prefix
@@ -201,48 +211,7 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> 
 /// [`WireError::Timeout`] (so pollers can use short socket timeouts as
 /// idle ticks); EOF mid-frame is [`WireError::Truncated`].
 pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Vec<u8>, WireError> {
-    let mut header = [0u8; 4];
-    read_exactly(r, &mut header, true)?;
-    let len = u32::from_be_bytes(header) as usize;
-    if len > max {
-        return Err(WireError::FrameTooLarge { len, max });
-    }
-    let mut payload = vec![0u8; len];
-    read_exactly(r, &mut payload, false).map_err(|e| match e {
-        // EOF between header and payload is still a truncated frame
-        WireError::Closed => WireError::Truncated { expected: len, got: 0 },
-        other => other,
-    })?;
-    Ok(payload)
-}
-
-/// Fill `buf` completely. With `at_boundary`, a clean EOF or timeout at
-/// byte 0 is reported as `Closed`/`Timeout`; once any byte has arrived the
-/// frame is committed and only `Truncated`/`Io` can result (timeouts
-/// mid-frame keep retrying — the peer has promised the rest).
-fn read_exactly(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result<(), WireError> {
-    let mut got = 0usize;
-    while got < buf.len() {
-        match r.read(&mut buf[got..]) {
-            Ok(0) => {
-                return Err(if got == 0 && at_boundary {
-                    WireError::Closed
-                } else {
-                    WireError::Truncated { expected: buf.len(), got }
-                });
-            }
-            Ok(n) => got += n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
-                if got == 0 && at_boundary {
-                    return Err(WireError::Timeout);
-                }
-                continue;
-            }
-            Err(e) => return Err(WireError::Io(e)),
-        }
-    }
-    Ok(())
+    claire_ipc::frame::read_frame(r, max).map_err(WireError::from)
 }
 
 /// Serialize any wire message to its frame payload.

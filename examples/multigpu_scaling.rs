@@ -1,7 +1,7 @@
 //! Multi-GPU registration on the virtual cluster.
 //!
 //! ```bash
-//! cargo run --release --example multigpu_scaling -- [n]
+//! cargo run --release --example multigpu_scaling -- [n] [--proc]
 //! ```
 //!
 //! Runs the same fixed-work SYN registration (5 Gauss–Newton × 10 PCG
@@ -10,19 +10,29 @@
 //! modeled communication fraction, and the per-category traffic ledger —
 //! demonstrating that the whole solver (FFTs, ghost exchanges, scattered
 //! interpolation, reductions) runs distributed.
+//!
+//! Pass `--proc` to route the ranks over the Unix-domain-socket transport
+//! (the `claire-cli launch` wire path) instead of in-process channels; the
+//! mismatch column is bitwise-identical either way, and the MB columns then
+//! report real framed bytes on the wire.
 
 use claire::prelude::*;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(24);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let proc_mode = args.iter().any(|a| a == "--proc");
+    let n: usize = args.iter().find_map(|a| a.parse().ok()).unwrap_or(24);
     let size = [n, n, n];
 
+    if proc_mode {
+        println!("transport: unix-domain sockets (launch wire path)");
+    }
     println!(
         "{:>5} | {:>9} {:>12} {:>7} | {:>10} {:>10} {:>10} {:>10}",
         "GPUs", "wall (s)", "modeled (s)", "%comm", "ghost MB", "scatter MB", "fft MB", "reduce MB"
     );
     for p in [1usize, 2, 4] {
-        let res = run_cluster(Topology::new(p, 4), move |comm| {
+        let solve = move |comm: &mut Comm| {
             let prob = syn_problem(size, comm);
             let cfg = RegistrationConfig::builder()
                 .nt(4)
@@ -40,7 +50,12 @@ fn main() {
             let (_, report) =
                 solver.register_from(&prob.template, &prob.reference, None, "SYN", comm);
             (t0.elapsed().as_secs_f64(), report.rel_mismatch)
-        });
+        };
+        let res = if proc_mode {
+            claire::ipc::run_socket_cluster(Topology::new(p, 4), solve)
+        } else {
+            run_cluster(Topology::new(p, 4), solve)
+        };
         let wall = res.outputs.iter().map(|o| o.0).fold(0.0, f64::max);
         let stats = res.total_stats();
         let mb = |c: CommCat| stats.cat(c).bytes_sent as f64 / 1e6;

@@ -4,7 +4,8 @@
 #   scripts/ci.sh            full gate: build, tests, lints, formatting,
 #                            bench smoke-runs + perf-regression check
 #                            against results/baselines/, report-schema
-#                            validation, serve load smoke-run
+#                            validation, serve load smoke-run, multi-process
+#                            launch smoke-run
 #   scripts/ci.sh --quick    inner-loop gate: build + tier-1 tests + clippy
 #
 # The perf gate diffs fresh BENCH_kernels.json / BENCH_solver.json /
@@ -100,8 +101,8 @@ stage_report_schema() {
     report="$(mktemp -d)/run.json"
     cargo run --release --example quickstart -- 16 --report "$report"
     echo "validating RunReport schema keys in $report"
-    for key in label grid nranks nt precond backend summary scheduling phases gn_trace \
-               kernels comm collectives metrics memory spans; do
+    for key in label grid nranks nt precond backend transport summary scheduling phases \
+               gn_trace kernels comm collectives metrics memory spans; do
         grep -q "\"$key\"" "$report" || { echo "RunReport missing key: $key"; exit 1; }
     done
     grep -q '"name": "solve"' "$report" || { echo "RunReport span tree missing solve root"; exit 1; }
@@ -204,6 +205,48 @@ EOF
     echo "net smoke: router + 2 workers served, streamed, and cached OK"
 }
 
+stage_proc_smoke() {
+    # Boot a real 4-process rank cluster with `claire-cli launch` (each rank
+    # its own OS process, Unix-domain-socket transport), validate the merged
+    # RunReport, require its solve trajectory to match the same problem run
+    # threads-as-ranks in one process, and check that a rank dying mid-solve
+    # surfaces as a typed exit — not a hang.
+    local dir; dir="$(mktemp -d)"
+    ./target/release/claire-cli launch --ranks 4 --syn 16 --report "$dir/proc.json" -q
+    echo "validating launch RunReport schema keys in $dir/proc.json"
+    for key in label grid nranks nt precond backend transport summary scheduling phases \
+               gn_trace kernels comm collectives metrics memory spans; do
+        grep -q "\"$key\"" "$dir/proc.json" || { echo "launch report missing key: $key"; exit 1; }
+    done
+    grep -q '"transport": "socket"' "$dir/proc.json" || {
+        echo "proc smoke: launch report transport is not socket"; exit 1; }
+    grep -q '"nranks": 4' "$dir/proc.json" || {
+        echo "proc smoke: launch report nranks != 4"; exit 1; }
+
+    # same problem, threads-as-ranks in one process: trajectories must agree
+    ./target/release/claire-cli launch --ranks 4 --syn 16 --in-process \
+        --report "$dir/thr.json" -q
+    local pm tm
+    pm="$(grep '"rel_mismatch"' "$dir/proc.json")"
+    tm="$(grep '"rel_mismatch"' "$dir/thr.json")"
+    [ -n "$pm" ] && [ "$pm" = "$tm" ] || {
+        echo "proc smoke: mismatch diverges between transports: '$pm' vs '$tm'"; exit 1; }
+
+    # rank-failure path: worker 1 exits mid-solve; the launcher must reap
+    # the survivors and fail typed (exit 8) within the timeout
+    local code=0
+    CLAIRE_IPC_TEST_DIE_RANK=1 timeout 120 ./target/release/claire-cli launch \
+        --ranks 3 --syn 16 -q 2> "$dir/fail.err" || code=$?
+    [ "$code" -eq 8 ] || {
+        echo "proc smoke: expected exit 8 for a dead rank, got $code"
+        cat "$dir/fail.err"; exit 1; }
+    grep -q "rank 1" "$dir/fail.err" || {
+        echo "proc smoke: failure not attributed to rank 1"; cat "$dir/fail.err"; exit 1; }
+
+    rm -rf "$dir"
+    echo "proc smoke: 4-process launch, transport-equivalent report, typed rank failure OK"
+}
+
 stage build stage_build
 stage "tier-1 tests (root package)" stage_tier1_tests
 stage "clippy (deny warnings)" stage_clippy
@@ -216,6 +259,7 @@ if [ "$QUICK" -eq 0 ]; then
     stage "RunReport schema smoke-run" stage_report_schema
     stage "serve bench + perf gate" stage_bench_serve
     stage "networked serve smoke-run" stage_net_smoke
+    stage "multi-process launch smoke-run" stage_proc_smoke
 fi
 
 echo

@@ -5,6 +5,7 @@
 //! claire-cli batch <manifest.json> [batch options]
 //! claire-cli serve --listen ADDR [serve options]
 //! claire-cli submit --addr ADDR <manifest.json> [submit options]
+//! claire-cli launch --ranks N --syn M [launch options]
 //!
 //! options:
 //!   -o DIR           output directory (default: claire_out)
@@ -52,6 +53,27 @@
 //!                    (queued/running/gn_iter/terminal) while each job runs
 //!   --ping           just check the server answers the handshake; exit 0/1
 //!   -q               quiet
+//!
+//! launch options:
+//!   --ranks N        rank processes to spawn (required)
+//!   --syn M          synthetic M³ problem size (required; launch mode is
+//!                    driven by the synthetic dataset so every rank can
+//!                    generate its own slab without shared input files)
+//!   --gpus-per-node G  modeled topology (default: 4)
+//!   --nt N           semi-Lagrangian time steps          (default: 4)
+//!   --beta V         regularization parameter            (default: 1e-2)
+//!   --order KIND     linear | cubic                      (default: linear)
+//!   --precond NAME   InvA | InvH0 | 2LInvH0              (default: InvA)
+//!   --max-gn N       Gauss–Newton iteration cap          (default: 3)
+//!   --fixed-pcg N    fixed PCG iterations per GN step    (default: 5)
+//!   --timeout SECS   supervision budget before the cluster is reaped
+//!                    (default: 300)
+//!   --report PATH    write rank 0's merged RunReport JSON to PATH
+//!   --in-process     run the identical solve on the threads-as-ranks
+//!                    virtual cluster instead of spawning processes (the
+//!                    two modes produce bitwise-identical trajectories;
+//!                    CI diffs their reports)
+//!   -q               quiet
 //! ```
 //!
 //! Single mode writes `deformed_template.nii`, `velocity_[123].nii`,
@@ -65,14 +87,24 @@
 //! supported for single-shot local runs but new scheduling features
 //! (result cache, tenant quotas, sharding) land on the served path only.
 //!
+//! `launch` spawns N `worker-rank` child processes (a hidden subcommand)
+//! that bootstrap a Unix-domain-socket mesh in a private rendezvous
+//! directory, solve the synthetic problem as a real multi-process cluster,
+//! and stream their RunReports back to the launcher. A child that dies is
+//! detected and the rest of the cluster reaped — never a hang.
+//!
 //! Exit codes: 0 success, 2 usage, and one code per `ClaireError` variant —
 //! 3 configuration, 4 layout mismatch, 5 decomposition, 6 I/O, 7 cancelled
-//! or deadline expired. Batch mode exits 1 when any job ends non-succeeded.
+//! or deadline expired, 8 rank failed (a launched worker process died or a
+//! virtual-cluster rank panicked). Batch mode exits 1 when any job ends
+//! non-succeeded.
 
-use claire::core::{observe, Claire, ClaireError, PrecondKind, RegistrationConfig};
+use claire::core::{observe, Claire, ClaireError, PrecondKind, RegistrationConfig, SolverHooks};
 use claire::data::nifti;
 use claire::interp::{Interpolator, IpOrder};
-use claire::mpi::Comm;
+use claire::ipc::{LaunchSpec, SocketOpts, SocketTransport};
+use claire::mpi::{Comm, LinkModel, Topology, TransportError};
+use claire::obs::report::RunReport;
 use claire::semilag::{displacement, Trajectory};
 use claire::serve::{
     Client, JobInput, JobSpec, JobStatus, NetServer, NetServerConfig, Priority, QuotaConfig,
@@ -91,6 +123,7 @@ fn error_exit_code(e: &ClaireError) -> i32 {
         ClaireError::Decomposition { .. } => 5,
         ClaireError::Io { .. } => 6,
         ClaireError::Cancelled { .. } => 7,
+        ClaireError::RankFailed { .. } => 8,
     }
 }
 
@@ -127,6 +160,11 @@ fn usage() -> ! {
     eprintln!("                  [--no-batch] [--max-batch N] [--cache N] [--quota B:R] [-q]");
     eprintln!("       claire-cli submit --addr ADDR <manifest.json> [-o DIR] [--tenant NAME]");
     eprintln!("                  [--stream] [--ping] [-q]");
+    eprintln!("       claire-cli launch --ranks N --syn M [--gpus-per-node G] [--nt N] [--beta V]");
+    eprintln!("                  [--order linear|cubic] [--precond NAME] [--max-gn N]");
+    eprintln!(
+        "                  [--fixed-pcg N] [--timeout SECS] [--report PATH] [--in-process] [-q]"
+    );
     eprintln!();
     eprintln!("note: `batch` runs jobs in-process and stays supported for one-shot local");
     eprintln!("runs; shared deployments should move to `serve` + `submit` (same manifest),");
@@ -244,6 +282,14 @@ fn main() {
         Some("submit") => {
             args.remove(0);
             submit_main(args);
+        }
+        Some("launch") => {
+            args.remove(0);
+            launch_main(args);
+        }
+        Some("worker-rank") => {
+            args.remove(0);
+            worker_rank_main(args);
         }
         _ => single_main(parse_args(args)),
     }
@@ -879,5 +925,341 @@ fn submit_main(args: Vec<String>) {
     if failures > 0 {
         eprintln!("claire-cli: {failures} job(s) did not succeed");
         exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// launch mode (multi-process execution)
+// ---------------------------------------------------------------------------
+
+/// Options shared by `launch` and the hidden `worker-rank` subcommand. The
+/// launcher re-serializes the solver flags onto every worker's command line,
+/// so both sides parse the same grammar and build the same config.
+struct LaunchOpts {
+    ranks: usize,
+    gpus_per_node: usize,
+    syn: usize,
+    nt: usize,
+    beta: f64,
+    order: IpOrder,
+    precond: PrecondKind,
+    max_gn: usize,
+    fixed_pcg: usize,
+    timeout_secs: u64,
+    report: Option<PathBuf>,
+    in_process: bool,
+    quiet: bool,
+    /// Rendezvous directory (worker-rank only).
+    dir: Option<PathBuf>,
+    /// Own rank (worker-rank only).
+    rank: Option<usize>,
+}
+
+fn parse_launch_args(args: Vec<String>, worker: bool) -> LaunchOpts {
+    let mut o = LaunchOpts {
+        ranks: 0,
+        gpus_per_node: 4,
+        syn: 0,
+        nt: 4,
+        beta: 1e-2,
+        order: IpOrder::Linear,
+        precond: PrecondKind::InvA,
+        max_gn: 3,
+        fixed_pcg: 5,
+        timeout_secs: 300,
+        report: None,
+        in_process: false,
+        quiet: false,
+        dir: None,
+        rank: None,
+    };
+    fn num<T: std::str::FromStr>(v: String, flag: &str) -> T {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for {flag}: {v}");
+            usage()
+        })
+    }
+    let mut args = args.into_iter();
+    let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            usage()
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ranks" => o.ranks = num(next_value(&mut args, "--ranks"), "--ranks"),
+            "--gpus-per-node" => {
+                o.gpus_per_node = num(next_value(&mut args, "--gpus-per-node"), "--gpus-per-node")
+            }
+            "--syn" => o.syn = num(next_value(&mut args, "--syn"), "--syn"),
+            "--nt" => o.nt = num(next_value(&mut args, "--nt"), "--nt"),
+            "--beta" => o.beta = num(next_value(&mut args, "--beta"), "--beta"),
+            "--order" => {
+                o.order = match next_value(&mut args, "--order").as_str() {
+                    "linear" => IpOrder::Linear,
+                    "cubic" => IpOrder::Cubic,
+                    other => {
+                        eprintln!("unknown interpolation order {other}");
+                        usage()
+                    }
+                }
+            }
+            "--precond" => {
+                o.precond = match next_value(&mut args, "--precond").as_str() {
+                    "InvA" => PrecondKind::InvA,
+                    "InvH0" => PrecondKind::InvH0,
+                    "2LInvH0" => PrecondKind::TwoLevelInvH0,
+                    other => {
+                        eprintln!("unknown preconditioner {other}");
+                        usage()
+                    }
+                }
+            }
+            "--max-gn" => o.max_gn = num(next_value(&mut args, "--max-gn"), "--max-gn"),
+            "--fixed-pcg" => o.fixed_pcg = num(next_value(&mut args, "--fixed-pcg"), "--fixed-pcg"),
+            "--timeout" if !worker => {
+                o.timeout_secs = num(next_value(&mut args, "--timeout"), "--timeout")
+            }
+            "--report" if !worker => {
+                o.report = Some(PathBuf::from(next_value(&mut args, "--report")))
+            }
+            "--in-process" if !worker => o.in_process = true,
+            "--dir" if worker => o.dir = Some(PathBuf::from(next_value(&mut args, "--dir"))),
+            "--rank" if worker => o.rank = Some(num(next_value(&mut args, "--rank"), "--rank")),
+            "-q" => o.quiet = true,
+            "-h" | "--help" => usage(),
+            other => {
+                eprintln!("unknown launch option {other}");
+                usage()
+            }
+        }
+    }
+    if o.ranks == 0 {
+        eprintln!("--ranks is required (>= 1)");
+        usage()
+    }
+    if o.syn < 2 {
+        eprintln!("--syn is required (grid needs >= 2 points per dim)");
+        usage()
+    }
+    if worker && (o.dir.is_none() || o.rank.is_none()) {
+        eprintln!("worker-rank needs --dir and --rank");
+        usage()
+    }
+    o
+}
+
+/// The deterministic launch-mode solver configuration: β-continuation off
+/// and a fixed PCG iteration count, so the GN trajectory is a pure function
+/// of the problem — identical across the process and in-process paths.
+fn launch_cfg(o: &LaunchOpts) -> RegistrationConfig {
+    RegistrationConfig::builder()
+        .nt(o.nt)
+        .beta(o.beta)
+        .ip_order(o.order)
+        .precond(o.precond)
+        .continuation(false)
+        .max_gn_iter(o.max_gn)
+        .fixed_pcg(Some(o.fixed_pcg))
+        .verbose(false)
+        .build()
+        .unwrap_or_else(|e| fail(&e))
+}
+
+fn precond_name(pc: PrecondKind) -> &'static str {
+    match pc {
+        PrecondKind::InvA => "InvA",
+        PrecondKind::InvH0 => "InvH0",
+        PrecondKind::TwoLevelInvH0 => "2LInvH0",
+    }
+}
+
+fn launch_main(args: Vec<String>) {
+    let o = parse_launch_args(args, false);
+    if o.in_process {
+        return launch_in_process(&o);
+    }
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        fail(&ClaireError::Io { context: "current_exe", message: e.to_string() })
+    });
+    let worker_args: Vec<String> = [
+        "--syn",
+        &o.syn.to_string(),
+        "--nt",
+        &o.nt.to_string(),
+        "--beta",
+        &format!("{:e}", o.beta),
+        "--order",
+        if o.order == IpOrder::Cubic { "cubic" } else { "linear" },
+        "--precond",
+        precond_name(o.precond),
+        "--max-gn",
+        &o.max_gn.to_string(),
+        "--fixed-pcg",
+        &o.fixed_pcg.to_string(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut spec = LaunchSpec::new(exe, o.ranks, o.gpus_per_node, worker_args);
+    spec.timeout = Duration::from_secs(o.timeout_secs);
+    let outcome = claire::ipc::launch(&spec).unwrap_or_else(|e| fail(&e));
+    let rank0 = outcome.reports.into_iter().next().unwrap_or_default();
+    finish_launch(&o, rank0, "socket");
+}
+
+/// `--in-process`: the identical solve on the threads-as-ranks virtual
+/// cluster, as a reference for the multi-process path.
+///
+/// Observability state is process-global, so with p ranks in one process
+/// every rank's GN records land in one ledger and the objective/Hessian
+/// counters are p-fold. Normalize both back to per-rank form so the report
+/// diffs cleanly against a real rank process's.
+fn launch_in_process(o: &LaunchOpts) {
+    let topo = Topology::new(o.ranks, o.gpus_per_node);
+    let cfg = launch_cfg(o);
+    let syn = o.syn;
+    observe::begin();
+    let result = claire::mpi::try_run_cluster(topo, |comm| {
+        let prob = claire::data::syn::syn_problem([syn; 3], comm);
+        let mut solver = Claire::new(cfg);
+        let (_v, report) =
+            solver.register_from(&prob.template, &prob.reference, None, "launch", comm);
+        // Mirror the worker's pre-collection barrier so both transports
+        // ledger identical collective counts.
+        comm.barrier();
+        if comm.rank() == 0 {
+            Some(observe::collect_run_report("launch", &report, comm))
+        } else {
+            None
+        }
+    });
+    claire::obs::set_enabled(false);
+    let outputs = match result {
+        Ok(res) => res.outputs,
+        Err(e) => fail(&ClaireError::from(e)),
+    };
+    let mut run = outputs.into_iter().flatten().next().unwrap_or_else(|| {
+        fail(&ClaireError::RankFailed { rank: 0, message: "no rank-0 report".into() })
+    });
+    normalize_threads_report(&mut run, o.ranks);
+    finish_launch(o, run.to_json(), "channel");
+}
+
+/// Undo the artifacts of running p ranks inside one process (see
+/// [`launch_in_process`]): keep the first copy of each GN record and divide
+/// the process-global counters by the rank count.
+fn normalize_threads_report(run: &mut RunReport, ranks: usize) {
+    let mut seen = std::collections::HashSet::new();
+    run.gn_trace.retain(|r| seen.insert((r.level, r.beta.to_bits(), r.iter)));
+    run.summary.obj_evals /= ranks;
+    run.summary.hess_applies /= ranks;
+}
+
+/// Write/print the rank-0 report on the launcher side.
+fn finish_launch(o: &LaunchOpts, json: String, transport: &str) {
+    if let Some(path) = &o.report {
+        write_text(path, &json);
+    }
+    if !o.quiet {
+        let parsed = serde_json::from_str(&json).ok();
+        let summary = parsed.as_ref().and_then(|v| field(v, "summary"));
+        let gn = summary.and_then(|s| field_u64(s, "gn_iters")).unwrap_or(0);
+        let mm = summary.and_then(|s| field_f64(s, "rel_mismatch")).unwrap_or(f64::NAN);
+        eprintln!("launch: {} ranks ({transport}): {gn} GN iters, mismatch {mm:.3e}", o.ranks);
+        if let Some(path) = &o.report {
+            eprintln!("rank-0 RunReport written to {}", path.display());
+        }
+    }
+}
+
+/// Hidden subcommand: one rank process of a `claire-cli launch` cluster.
+/// Bootstraps the socket mesh in the launcher's rendezvous directory, runs
+/// the solve, and sends the RunReport (or an in-band failure) back over
+/// `launch.sock` before exiting.
+fn worker_rank_main(args: Vec<String>) {
+    let o = parse_launch_args(args, true);
+    let (dir, rank) = (o.dir.clone().unwrap(), o.rank.unwrap());
+    let topo = Topology::new(o.ranks, o.gpus_per_node);
+    let transport = match SocketTransport::bootstrap(&dir, rank, topo, SocketOpts::default()) {
+        Ok(t) => t,
+        Err(e) => {
+            let _ = claire::ipc::launch::send_failure(&dir, rank, e.to_string());
+            fail(&e)
+        }
+    };
+    let mut comm = Comm::from_transport(Box::new(transport), LinkModel::default());
+    observe::begin();
+
+    // The default panic hook prints an opaque "Box<dyn Any>" line for
+    // `panic_any(TransportError)`; silence just that case — the catch
+    // around the solve below turns it into a proper in-band report.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if info.payload().downcast_ref::<TransportError>().is_none() {
+            default_hook(info);
+        }
+    }));
+
+    let mut hooks = SolverHooks::default();
+    if let Ok(v) = std::env::var("CLAIRE_IPC_TEST_DIE_RANK") {
+        // Failure-path test hook (proc-smoke): this rank dies mid-solve so
+        // the launcher's dead-rank detection can be exercised end to end.
+        if v.parse::<usize>() == Ok(rank) {
+            hooks.on_gn_iter = Some(std::sync::Arc::new(|_| std::process::exit(101)));
+        }
+    }
+
+    let prob = claire::data::syn::syn_problem([o.syn; 3], &mut comm);
+    let mut solver = Claire::with_hooks(launch_cfg(&o), hooks);
+    // Transport failures surface as panics carrying a `TransportError` (the
+    // same mechanism the virtual cluster uses); catch them so a rank that
+    // merely *observed* a peer die reports the culprit in-band and exits 0
+    // instead of panicking — the launcher then attributes the failure to the
+    // rank that actually died, never to a bystander.
+    let solve = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        solver.try_register_from(&prob.template, &prob.reference, None, "launch", &mut comm)
+    }));
+    match solve {
+        Ok(Ok((_v, report))) => {
+            // Barrier before collecting so every rank ledgers the same
+            // collective counts (mirrored by the in-process path).
+            comm.barrier();
+            let run = observe::collect_run_report("launch", &report, &comm);
+            claire::obs::set_enabled(false);
+            claire::ipc::launch::send_report(&dir, rank, run.to_json())
+                .unwrap_or_else(|e| fail(&e));
+        }
+        Ok(Err(e)) => {
+            let _ = claire::ipc::launch::send_failure(&dir, rank, e.to_string());
+            fail(&e)
+        }
+        Err(payload) => {
+            let (culprit, message) = match payload.downcast_ref::<TransportError>() {
+                Some(TransportError::PeerLost { peer, detail }) => {
+                    (*peer, format!("lost mid-solve: {detail}"))
+                }
+                Some(e) => (rank, e.to_string()),
+                None => (rank, describe_worker_panic(payload.as_ref())),
+            };
+            let _ = claire::ipc::launch::send_failure(&dir, culprit, message.clone());
+            if culprit == rank {
+                fail(&ClaireError::RankFailed { rank, message })
+            }
+            // A bystander: the culprit's own exit (or our Failure frame)
+            // already tells the launcher what happened; leave quietly.
+            exit(0)
+        }
+    }
+}
+
+fn describe_worker_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked".into()
     }
 }

@@ -26,6 +26,9 @@
 //!   the paper's GPU thread blocks) with deterministic reductions and
 //!   per-kernel timing counters
 //!
+//! * [`ipc`] — true multi-process execution: the Unix-domain-socket
+//!   [`mpi::Transport`], rendezvous bootstrap, and the rank process
+//!   launcher behind `claire-cli launch`
 //! * [`obs`] — spans, metrics, and the unified [`obs::report::RunReport`]
 //!   (enable with [`core::observe::begin`], collect with
 //!   [`core::observe::collect_run_report`])
@@ -60,6 +63,7 @@ pub use claire_diff as diff;
 pub use claire_fft as fft;
 pub use claire_grid as grid;
 pub use claire_interp as interp;
+pub use claire_ipc as ipc;
 pub use claire_mpi as mpi;
 pub use claire_obs as obs;
 pub use claire_opt as opt;

@@ -1,0 +1,216 @@
+//! Cross-transport equivalence: the socket transport must be bitwise
+//! indistinguishable from the channel transport.
+//!
+//! Every collective is built on the same deterministic rank-ordered
+//! point-to-point schedule, so swapping the bytes' carrier (crossbeam
+//! channels vs Unix-domain sockets) must not change a single result bit.
+//! The end-to-end half of the contract — a real multi-process
+//! `claire-cli launch` run reproducing the threads-as-ranks trajectory
+//! field-for-field — is exercised against the built binary.
+
+use claire::ipc::run_socket_cluster;
+use claire::mpi::{run_cluster, AlltoallMethod, Comm, CommCat, Topology};
+use proptest::prelude::*;
+use serde_json::Value;
+use std::process::Command;
+
+/// Deterministic pseudo-random f64 in [-1, 1) from (seed, stream, index).
+fn val(seed: u64, stream: usize, i: usize) -> f64 {
+    let h = (seed ^ 0x9E3779B97F4A7C15)
+        .wrapping_mul(0xD1B54A32D192ED03)
+        .wrapping_add((stream as u64).wrapping_mul(0xA24BAED4963EE407))
+        .wrapping_add((i as u64).wrapping_mul(0x2545F4914F6CDD1D));
+    ((h >> 17) % 2_000_000) as f64 / 1_000_000.0 - 1.0
+}
+
+/// Run every collective once with rank- and seed-dependent ragged data and
+/// return all results as exact bit patterns.
+fn collective_battery(comm: &mut Comm, seed: u64) -> Vec<u64> {
+    let rank = comm.rank();
+    let p = comm.size();
+    let mut bits: Vec<u64> = Vec::new();
+
+    let mut v: Vec<f64> = (0..8).map(|i| val(seed ^ 1, rank, i)).collect();
+    comm.allreduce_sum(&mut v);
+    bits.extend(v.iter().map(|x| x.to_bits()));
+
+    bits.push(comm.allreduce_sum_scalar(val(seed ^ 2, rank, 0)).to_bits());
+    bits.push(comm.allreduce_max_scalar(val(seed ^ 3, rank, 1)).to_bits());
+
+    let mut b: Vec<f64> =
+        if rank == 0 { (0..5).map(|i| val(seed ^ 4, 0, i)).collect() } else { Vec::new() };
+    comm.broadcast(0, &mut b);
+    bits.extend(b.iter().map(|x| x.to_bits()));
+
+    // Ragged gather to the last rank, then scatter the parts back out.
+    let root = p - 1;
+    let data: Vec<f64> = (0..16 + rank * 3).map(|i| val(seed, rank, i)).collect();
+    let gathered = comm.gatherv(root, &data, CommCat::FftTranspose);
+    let part = comm.scatterv(root, gathered.as_deref(), CommCat::FftTranspose);
+    bits.extend(part.iter().map(|x| x.to_bits()));
+
+    // Ragged all-to-all (the FFT transpose pattern).
+    let bufs: Vec<Vec<f64>> = (0..p)
+        .map(|d| (0..rank + 2 * d + 1).map(|i| val(seed ^ 5, rank * p + d, i)).collect())
+        .collect();
+    for got in comm.alltoallv(&bufs, CommCat::FftTranspose, AlltoallMethod::Auto) {
+        bits.extend(got.iter().map(|x| x.to_bits()));
+    }
+
+    comm.barrier();
+    bits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Every collective, every transport, 2–4 ranks: identical bits.
+    #[test]
+    fn collectives_bitwise_equal_across_transports(p in 2usize..=4, seed in 0u64..1000) {
+        let topo = Topology::new(p, 4);
+        let chan = run_cluster(topo, |comm| collective_battery(comm, seed));
+        let sock = run_socket_cluster(topo, |comm| collective_battery(comm, seed));
+        prop_assert_eq!(&chan.outputs, &sock.outputs);
+        // The logical ledgers agree too: same payload bytes, same message
+        // counts, same modeled time — only wire_bytes (real framing) differs.
+        for (cs, ss) in chan.stats.iter().zip(&sock.stats) {
+            for cat in claire::mpi::CommCat::ALL.iter().copied() {
+                prop_assert_eq!(cs.cat(cat).bytes_sent, ss.cat(cat).bytes_sent);
+                prop_assert_eq!(cs.cat(cat).msgs_sent, ss.cat(cat).msgs_sent);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// end-to-end: claire-cli launch (processes) vs --in-process (threads)
+// ---------------------------------------------------------------------------
+
+fn obj(v: &Value) -> &[(String, Value)] {
+    match v {
+        Value::Object(pairs) => pairs,
+        other => panic!("expected JSON object, got {other:?}"),
+    }
+}
+
+fn get<'a>(v: &'a Value, key: &str) -> &'a Value {
+    obj(v)
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or_else(|| panic!("missing key {key}"))
+}
+
+/// The transport-independent slice of a RunReport: problem identity, the
+/// full GN trajectory, and the logical communication ledgers. Wall-clock
+/// times, process-local telemetry (spans, kernels, metrics, memory), and
+/// the physical wire accounting are dropped.
+fn canonical(run: &Value) -> Value {
+    const KEEP: [&str; 9] = [
+        "grid",
+        "nranks",
+        "nt",
+        "precond",
+        "backend",
+        "summary",
+        "comm",
+        "collectives",
+        "gn_trace",
+    ];
+    let fields = KEEP
+        .iter()
+        .map(|&key| {
+            let v = get(run, key);
+            let v = match key {
+                "summary" => Value::Object(
+                    obj(v).iter().filter(|(k, _)| k != "time_total").cloned().collect(),
+                ),
+                "comm" => Value::Array(match v {
+                    Value::Array(entries) => entries
+                        .iter()
+                        .map(|e| {
+                            Value::Object(
+                                obj(e).iter().filter(|(k, _)| k != "wire_bytes").cloned().collect(),
+                            )
+                        })
+                        .collect(),
+                    other => panic!("comm should be an array, got {other:?}"),
+                }),
+                _ => v.clone(),
+            };
+            (key.to_string(), v)
+        })
+        .collect();
+    Value::Object(fields)
+}
+
+fn run_launch(dir: &std::path::Path, name: &str, extra: &[&str]) -> Value {
+    let report = dir.join(name);
+    let out = Command::new(env!("CARGO_BIN_EXE_claire-cli"))
+        .arg("launch")
+        .args(["--ranks", "4", "--syn", "8", "--timeout", "120", "-q"])
+        .args(["--report", report.to_str().unwrap()])
+        .args(extra)
+        .output()
+        .expect("spawn claire-cli");
+    assert!(
+        out.status.success(),
+        "claire-cli launch {extra:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&report).expect("report file");
+    serde_json::from_str(&json).expect("report JSON")
+}
+
+/// A 4-rank multi-process solve reproduces the threads-as-ranks run
+/// field-for-field: same trajectory, same mismatch bits, same ledgers.
+#[test]
+fn launch_report_matches_in_process_report() {
+    let dir = std::env::temp_dir().join(format!("claire-ipc-eq-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let proc_run = run_launch(&dir, "proc.json", &[]);
+    let thr_run = run_launch(&dir, "thr.json", &["--in-process"]);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(get(&proc_run, "transport"), &Value::Str("socket".into()));
+    assert_eq!(get(&thr_run, "transport"), &Value::Str("channel".into()));
+    // Real bytes hit the wire in process mode, none in channel mode.
+    let wire = |run: &Value| -> u64 {
+        match get(run, "comm") {
+            Value::Array(entries) => entries
+                .iter()
+                .map(|e| match get(e, "wire_bytes") {
+                    Value::UInt(n) => *n,
+                    _ => 0,
+                })
+                .sum(),
+            _ => 0,
+        }
+    };
+    assert!(wire(&proc_run) > 0, "socket transport should account wire bytes");
+    assert_eq!(wire(&thr_run), 0, "channel transport has no wire");
+
+    let (a, b) = (canonical(&proc_run), canonical(&thr_run));
+    assert_eq!(
+        serde_json::to_string_pretty(&a).unwrap(),
+        serde_json::to_string_pretty(&b).unwrap(),
+        "multi-process and threads-as-ranks reports diverged"
+    );
+}
+
+/// Killing one rank mid-solve yields the typed rank-failure exit code —
+/// promptly, and never a hang.
+#[test]
+fn killed_rank_fails_typed_not_hung() {
+    let start = std::time::Instant::now();
+    let out = Command::new(env!("CARGO_BIN_EXE_claire-cli"))
+        .arg("launch")
+        .args(["--ranks", "3", "--syn", "8", "--timeout", "60", "-q"])
+        .env("CLAIRE_IPC_TEST_DIE_RANK", "1")
+        .output()
+        .expect("spawn claire-cli");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(8), "want rank-failed exit code; stderr: {stderr}");
+    assert!(stderr.contains("rank 1"), "culprit rank should be named: {stderr}");
+    assert!(start.elapsed() < std::time::Duration::from_secs(60), "should fail fast");
+}

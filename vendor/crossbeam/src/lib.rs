@@ -38,6 +38,29 @@ pub mod channel {
 
     impl std::error::Error for RecvError {}
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the deadline; the channel may still
+        /// produce messages later.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
     /// The sending half of an unbounded channel. Cloneable.
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
@@ -96,6 +119,32 @@ pub mod channel {
             }
         }
 
+        /// Block until a message arrives, every sender is dropped, or
+        /// `timeout` elapses — whichever comes first.
+        ///
+        /// Needed by abort-aware receivers (a rank blocked in `recv` must
+        /// periodically re-check an out-of-band abort flag so one dead peer
+        /// cannot strand the whole cluster).
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut q = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _res) = self.shared.ready.wait_timeout(q, left).unwrap();
+                q = guard;
+            }
+        }
+
         /// Non-blocking receive: `None` when the queue is currently empty.
         pub fn try_recv(&self) -> Option<T> {
             self.shared.queue.lock().unwrap().pop_front()
@@ -146,6 +195,17 @@ pub mod channel {
             let (tx, rx) = unbounded::<u32>();
             drop(tx);
             assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = unbounded::<u32>();
+            let d = std::time::Duration::from_millis(5);
+            assert_eq!(rx.recv_timeout(d), Err(RecvTimeoutError::Timeout));
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv_timeout(d), Ok(7));
+            drop(tx);
+            assert_eq!(rx.recv_timeout(d), Err(RecvTimeoutError::Disconnected));
         }
     }
 }
