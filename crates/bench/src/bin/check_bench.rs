@@ -5,22 +5,27 @@
 //! check_bench <fresh.json> <baseline.json> [--threshold <frac>]
 //! ```
 //!
-//! Works on any report with a `results` array of rows keyed by
-//! `(kernel, n, threads, backend)` carrying one gated metric — either
-//! `ns_per_point` (lower is better: `BENCH_kernels.json`,
-//! `BENCH_solver.json`) or `pairs_per_sec` (higher is better:
-//! `BENCH_batch.json` throughput rows). Rows without a `backend` field
-//! (pre-SIMD baselines) match rows with an empty one. Only `threads == 1`
-//! rows are compared: they are the stable ones (multi-thread rows measure
-//! scheduler noise as much as code). A row regresses when its fresh metric
-//! moves in the bad direction by more than the threshold (default 30%):
-//! `ns_per_point` above baseline, `pairs_per_sec` below it. Any regression
-//! prints a delta table and exits non-zero, failing `ci.sh`. Rows with an
-//! `allocs_per_iter` field additionally fail on any increase — allocation
-//! regressions are exact, not noisy.
+//! Works on any report with a `results` array (and optionally a
+//! `roofline` array) of rows keyed by `(kernel, n, threads, backend)`
+//! carrying one gated metric — `ns_per_point` (lower is better:
+//! `BENCH_kernels.json`, `BENCH_solver.json`), `pairs_per_sec` (higher is
+//! better: `BENCH_batch.json` throughput rows), or `pct_of_peak` (higher
+//! is better: the `roofline` achieved-bandwidth rows, normalized per host
+//! by the STREAM probe so the baseline transfers across machines). Rows
+//! without a `backend` field (pre-SIMD baselines) match rows with an
+//! empty one. Only `threads == 1` rows are compared: they are the stable
+//! ones (multi-thread rows measure scheduler noise as much as code). A
+//! row regresses when its fresh metric moves in the bad direction by more
+//! than the threshold (default 30%): `ns_per_point` above baseline,
+//! `pairs_per_sec` / `pct_of_peak` below it. Any regression prints a
+//! delta table covering every gated row type and exits non-zero, failing
+//! `ci.sh`. Rows with an `allocs_per_iter` field additionally fail on any
+//! increase — allocation regressions are exact, not noisy.
 //!
 //! A missing baseline file is seeded from the fresh run (and the gate
-//! passes): the first CI run on a host commits its own reference.
+//! passes): the first CI run on a host commits its own reference. The
+//! seed is announced with a GitHub `::warning::` annotation so it is
+//! visible on the workflow summary, not silently green.
 
 use serde::Value;
 
@@ -81,13 +86,23 @@ fn load_rows(path: &str) -> Vec<Row> {
     let Some(Value::Array(rows)) = get(&doc, "results") else {
         panic!("check_bench: {path} has no `results` array");
     };
+    // `roofline` rows (achieved bandwidth as % of host DRAM peak) gate
+    // alongside the timing rows; older baselines simply lack the array
+    let empty = Vec::new();
+    let roofline = match get(&doc, "roofline") {
+        Some(Value::Array(rows)) => rows,
+        _ => &empty,
+    };
     rows.iter()
+        .chain(roofline.iter())
         .filter_map(|r| {
             let (value, unit, higher_is_better) =
                 if let Some(v) = get(r, "ns_per_point").and_then(as_f64) {
                     (v, "ns/pt", false)
                 } else if let Some(v) = get(r, "pairs_per_sec").and_then(as_f64) {
                     (v, "pairs/s", true)
+                } else if let Some(v) = get(r, "pct_of_peak").and_then(as_f64) {
+                    (v, "%peak", true)
                 } else {
                     return None; // row carries no gated metric
                 };
@@ -136,7 +151,12 @@ fn main() {
         }
         std::fs::copy(fresh_path, baseline_path).expect("seed baseline");
         println!("check_bench: no baseline at {baseline_path}; seeded from {fresh_path}");
-        println!("check_bench: commit the new baseline to arm the gate");
+        // GitHub Actions annotation: surface the unarmed gate on the
+        // workflow summary instead of passing silently
+        println!(
+            "::warning file={baseline_path}::check_bench seeded a missing baseline from \
+             {fresh_path}; commit it to arm the perf gate"
+        );
         return;
     }
 
@@ -150,9 +170,11 @@ fn main() {
     let mut deltas: Vec<Delta> = Vec::new();
     let mut compared = 0usize;
     for b in &baseline {
-        let Some(f) =
-            fresh.iter().find(|f| f.kernel == b.kernel && f.n == b.n && f.backend == b.backend)
-        else {
+        // unit participates in the key: a kernel can carry both a timing row
+        // and a roofline row under the same (kernel, n, backend) triple
+        let Some(f) = fresh.iter().find(|f| {
+            f.kernel == b.kernel && f.n == b.n && f.backend == b.backend && f.unit == b.unit
+        }) else {
             println!(
                 "{:<24} {:>5} {:<8} {:<8} {:>12.1} {:>12} {:>8}  MISSING",
                 b.kernel, b.n, b.backend, b.unit, b.value, "-", "-"
@@ -205,8 +227,9 @@ fn main() {
     // rows the fresh run emits that the baseline lacks are informational —
     // committing a refreshed baseline arms the gate for them
     for f in &fresh {
-        let known =
-            baseline.iter().any(|b| b.kernel == f.kernel && b.n == f.n && b.backend == f.backend);
+        let known = baseline.iter().any(|b| {
+            b.kernel == f.kernel && b.n == f.n && b.backend == f.backend && b.unit == f.unit
+        });
         if !known {
             println!(
                 "{:<24} {:>5} {:<8} {:<8} {:>12} {:>12.1} {:>8}  NEW (not gated)",

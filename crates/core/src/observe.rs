@@ -23,7 +23,7 @@
 use claire_mpi::{CollOp, Comm, CommCat};
 use claire_obs::report::{
     CollectiveEntry, CommPhaseEntry, KernelEntry, MemoryCatEntry, MemoryInfo, PhaseShares,
-    RunReport, RunSummary,
+    RooflineInfo, RooflineKernelEntry, RunReport, RunSummary,
 };
 use claire_obs::{metrics, records, span};
 
@@ -104,9 +104,38 @@ pub fn collect_run_report(label: &str, report: &RegistrationReport, comm: &Comm)
 
     run.metrics = metrics::snapshot();
     run.memory = collect_memory(report.memory_bytes_per_rank);
+    run.roofline = collect_roofline(&run.kernels, report.grid, report.nranks);
     run.gn_trace = records::take_gn();
     run.spans = span::take_spans();
     run
+}
+
+/// Per-kernel achieved bytes/sec against the host DRAM roofline: measured
+/// kernel seconds (claire-par timers) divided into modeled streaming traffic
+/// (`claire_perf::machine::kernel_traffic_bytes`), as a percentage of the
+/// STREAM-probed (or `CLAIRE_DRAM_PEAK`-pinned) host peak.
+fn collect_roofline(kernels: &[KernelEntry], grid: [usize; 3], nranks: usize) -> RooflineInfo {
+    let host = claire_perf::machine::host_roofline();
+    let points = (grid[0] * grid[1] * grid[2] / nranks.max(1)) as u64;
+    let real_bytes = std::mem::size_of::<claire_grid::Real>() as u64;
+    let entries = kernels
+        .iter()
+        .filter(|k| k.calls > 0 && k.secs > 0.0)
+        .filter_map(|k| {
+            let per_call = claire_perf::machine::kernel_traffic_bytes(&k.name, points, real_bytes)?;
+            let modeled_bytes = per_call * k.calls as f64;
+            let achieved_bps = modeled_bytes / k.secs;
+            Some(RooflineKernelEntry {
+                kernel: k.name.clone(),
+                calls: k.calls,
+                secs: k.secs,
+                modeled_bytes,
+                achieved_bps,
+                pct_of_peak: 100.0 * achieved_bps / host.dram_bw,
+            })
+        })
+        .collect();
+    RooflineInfo { dram_peak_bps: host.dram_bw, probed: host.probed, kernels: entries }
 }
 
 /// Snapshot the workspace pools and the FFT plan cache into the report's
@@ -194,6 +223,12 @@ mod tests {
             "µPDE category expected in the breakdown"
         );
         assert!(run.memory.fft_plans > 0, "plan cache should have planned");
+        assert!(run.roofline.dram_peak_bps > 0.0, "host roofline should be calibrated");
+        assert!(!run.roofline.kernels.is_empty(), "roofline entries expected");
+        for k in &run.roofline.kernels {
+            assert!(k.modeled_bytes > 0.0 && k.achieved_bps > 0.0, "{}", k.kernel);
+            assert!(k.pct_of_peak.is_finite() && k.pct_of_peak > 0.0, "{}", k.kernel);
+        }
         // Draining is one-shot (spans are thread-local, so this is exact
         // even with other tests running concurrently).
         let again = collect_run_report("unit2", &report, &comm);

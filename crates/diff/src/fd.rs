@@ -98,6 +98,25 @@ pub fn deriv_into(
     out: &mut ScalarField,
     scratch: &mut FdScratch,
 ) {
+    // `inv_h · 1.0 == inv_h` exactly, so delegating to the scaled kernel
+    // with `s = 1` is bit-identical to the historical unscaled sweep.
+    deriv_scaled_into(f, dim, comm, out, scratch, 1.0 as Real);
+}
+
+/// Allocation-free *scaled* partial derivative: writes `s · ∂f/∂x_dim` into
+/// `out` in the same stencil sweep (the scale folds into the `1/h` factor
+/// already applied per point, so it costs nothing). Lets consumers that
+/// immediately rescale a derivative — e.g. the `½·dt·(∇·v)` term of the
+/// semi-Lagrangian adjoint — drop a whole extra pass over memory.
+/// Collective when `dim == 0`.
+pub fn deriv_scaled_into(
+    f: &ScalarField,
+    dim: usize,
+    comm: &mut Comm,
+    out: &mut ScalarField,
+    scratch: &mut FdScratch,
+    s: Real,
+) {
     assert!(dim < 3);
     let layout = *f.layout();
     assert_eq!(out.layout(), &layout, "output layout mismatch");
@@ -120,12 +139,13 @@ pub fn deriv_into(
                         let row = |p: usize| &gd[(p * n2 + j) * n3..(p * n2 + j) * n3 + n3];
                         let plus = [row(sp + 1), row(sp + 2), row(sp + 3), row(sp + 4)];
                         let minus = [row(sp - 1), row(sp - 2), row(sp - 3), row(sp - 4)];
-                        claire_simd::fd8_combine(
+                        claire_simd::fd8_combine_scale(
                             &mut o[j * n3..(j + 1) * n3],
                             &plus,
                             &minus,
                             &FD8,
                             inv_h,
+                            s,
                         );
                     }
                 });
@@ -146,12 +166,13 @@ pub fn deriv_into(
                         }
                         let plus = std::array::from_fn(|m| &src[rows_p[m]..rows_p[m] + n3]);
                         let minus = std::array::from_fn(|m| &src[rows_m[m]..rows_m[m] + n3]);
-                        claire_simd::fd8_combine(
+                        claire_simd::fd8_combine_scale(
                             &mut o[j * n3..(j + 1) * n3],
                             &plus,
                             &minus,
                             &FD8,
                             inv_h,
+                            s,
                         );
                     }
                 });
@@ -159,6 +180,7 @@ pub fn deriv_into(
         }
         _ => {
             let src = f.data();
+            let ihs = inv_h * s;
             timing::time(Kernel::Fd, || {
                 par_chunks_mut(out.data_mut(), n3, |row, o| {
                     let sr = &src[row * n3..(row + 1) * n3];
@@ -171,7 +193,7 @@ pub fn deriv_into(
                                 let km = (k + n3 - d % n3) % n3;
                                 acc += c * (sr[kp] - sr[km]);
                             }
-                            o[k] = acc * inv_h;
+                            o[k] = acc * ihs;
                         }
                     };
                     if n3 >= 2 * FD8_WIDTH {
@@ -181,12 +203,13 @@ pub fn deriv_into(
                         wrap(o, n3 - FD8_WIDTH..n3);
                         let plus = [&sr[5..], &sr[6..], &sr[7..], &sr[8..]];
                         let minus = [&sr[3..], &sr[2..], &sr[1..], &sr[0..]];
-                        claire_simd::fd8_combine(
+                        claire_simd::fd8_combine_scale(
                             &mut o[FD8_WIDTH..n3 - FD8_WIDTH],
                             &plus,
                             &minus,
                             &FD8,
                             inv_h,
+                            s,
                         );
                     } else {
                         wrap(o, 0..n3);
@@ -238,7 +261,20 @@ pub fn divergence_into(
     out: &mut ScalarField,
     scratch: &mut FdScratch,
 ) {
-    deriv_into(&v.c[0], 0, comm, out, scratch);
+    divergence_scaled_into(v, comm, out, scratch, 1.0 as Real);
+}
+
+/// Scaled divergence `s·(∇·v)`, allocation-free: the scale folds into each
+/// component's stencil sweep (see [`deriv_scaled_into`]), so a consumer that
+/// needs `s·∇·v` pays zero extra memory passes compared to `∇·v`. Collective.
+pub fn divergence_scaled_into(
+    v: &VectorField,
+    comm: &mut Comm,
+    out: &mut ScalarField,
+    scratch: &mut FdScratch,
+    s: Real,
+) {
+    deriv_scaled_into(&v.c[0], 0, comm, out, scratch, s);
     // one temporary serves both tangential derivatives
     let mut tmp = scratch
         .tmp
@@ -246,10 +282,18 @@ pub fn divergence_into(
         .filter(|t| t.layout() == v.layout())
         .unwrap_or_else(|| ScalarField::zeros(*v.layout()));
     for dim in 1..3 {
-        deriv_into(&v.c[dim], dim, comm, &mut tmp, scratch);
+        deriv_scaled_into(&v.c[dim], dim, comm, &mut tmp, scratch, s);
         out.axpy(1.0, &tmp);
     }
     scratch.tmp = Some(tmp);
+}
+
+/// Scaled divergence wrapper over [`divergence_scaled_into`] using the
+/// pooled thread-local scratch. Collective.
+pub fn divergence_scaled(v: &VectorField, comm: &mut Comm, s: Real) -> ScalarField {
+    let mut out = ScalarField::zeros(*v.layout());
+    with_wrapper_scratch(|scratch| divergence_scaled_into(v, comm, &mut out, scratch, s));
+    out
 }
 
 #[cfg(test)]
@@ -326,6 +370,46 @@ mod tests {
         let mut scratch = FdScratch::new();
         divergence_into(&v, &mut comm, &mut out, &mut scratch);
         assert_eq!(out.data(), expect.data());
+    }
+
+    #[test]
+    fn scaled_deriv_matches_deriv_then_scale() {
+        let layout = Layout::serial(Grid::cube(16));
+        let mut comm = Comm::solo();
+        let f = ScalarField::from_fn(layout, |x, y, z| (x + 2.0 * y).sin() + (z * 0.5).cos());
+        let s = 0.37 as Real;
+        let mut scratch = FdScratch::new();
+        for dim in 0..3 {
+            let mut expect = deriv(&f, dim, &mut comm);
+            expect.scale(s);
+            let mut out = ScalarField::zeros(layout);
+            deriv_scaled_into(&f, dim, &mut comm, &mut out, &mut scratch, s);
+            let e = max_err(&out, &expect);
+            assert!(e < 1e-11, "dim {dim}: err {e}");
+        }
+        // s == 1 is bit-identical to the unscaled path
+        let unscaled = deriv(&f, 0, &mut comm);
+        let mut out = ScalarField::zeros(layout);
+        deriv_scaled_into(&f, 0, &mut comm, &mut out, &mut scratch, 1.0);
+        assert_eq!(out.data(), unscaled.data());
+    }
+
+    #[test]
+    fn scaled_divergence_matches_divergence_then_scale() {
+        let layout = Layout::serial(Grid::cube(16));
+        let mut comm = Comm::solo();
+        let v = VectorField::from_fns(
+            layout,
+            |x, y, _| (x + y).sin(),
+            |_, y, z| (y * 0.5).cos() + z.sin(),
+            |x, _, z| (x + z).cos(),
+        );
+        let s = -1.75 as Real;
+        let mut expect = divergence(&v, &mut comm);
+        expect.scale(s);
+        let got = divergence_scaled(&v, &mut comm, s);
+        let e = max_err(&got, &expect);
+        assert!(e < 1e-11, "err {e}");
     }
 
     #[test]

@@ -282,11 +282,12 @@ impl DistFft {
             par_map_collect_work(p, ni * n2 * n3c / p.max(1), |dst| {
                 let js = Slab::of_rank(n2, p, dst);
                 let mut buf = Vec::with_capacity(ni * js.ni * n3c);
+                // rows j ∈ js are consecutive at fixed il, so the whole
+                // destination-rank stripe of a plane is one contiguous run —
+                // one large memcpy per plane instead of one per row
                 for il in 0..ni {
-                    for j in js.i0..js.i_end() {
-                        let base = (il * n2 + j) * n3c;
-                        buf.extend_from_slice(&work[base..base + n3c]);
-                    }
+                    let base = (il * n2 + js.i0) * n3c;
+                    buf.extend_from_slice(&work[base..base + js.ni * n3c]);
                 }
                 buf
             })
@@ -307,16 +308,18 @@ impl DistFft {
                     let part = &parts[src];
                     let src_slab = Slab::of_rank(n1, p, src);
                     assert_eq!(part.len(), src_slab.ni * nj * n3c, "transpose block size mismatch");
+                    // all nj rows of one global-x1 plane are contiguous in
+                    // both the packed block and the spectral storage — one
+                    // plane-sized memcpy instead of nj row copies
+                    let run = nj * n3c;
                     let mut it = 0;
                     for il in 0..src_slab.ni {
                         let i = src_slab.i0 + il;
-                        for jl in 0..nj {
-                            let base = (i * nj + jl) * n3c;
-                            // SAFETY: src slabs partition x1, so blocks are disjoint.
-                            let dst = unsafe { shared.slice_mut(base..base + n3c) };
-                            dst.copy_from_slice(&part[it..it + n3c]);
-                            it += n3c;
-                        }
+                        let base = i * run;
+                        // SAFETY: src slabs partition x1, so blocks are disjoint.
+                        let dst = unsafe { shared.slice_mut(base..base + run) };
+                        dst.copy_from_slice(&part[it..it + run]);
+                        it += run;
                     }
                 }
             });
@@ -365,12 +368,11 @@ impl DistFft {
             par_map_collect_work(p, n1 * nj * n3c / p.max(1), |dst| {
                 let is = Slab::of_rank(n1, p, dst);
                 let mut buf = Vec::with_capacity(is.ni * nj * n3c);
+                // all nj local rows of a global-x1 plane are contiguous in
+                // spectral storage — one plane-sized memcpy per plane
                 for il in 0..is.ni {
-                    let i = is.i0 + il;
-                    for jl in 0..nj {
-                        let base = spec.idx(i, jl, 0);
-                        buf.extend_from_slice(&spec.data[base..base + n3c]);
-                    }
+                    let base = spec.idx(is.i0 + il, 0, 0);
+                    buf.extend_from_slice(&spec.data[base..base + nj * n3c]);
                 }
                 buf
             })
@@ -390,15 +392,16 @@ impl DistFft {
                     let part = &parts[src];
                     let src_js = Slab::of_rank(n2, p, src);
                     assert_eq!(part.len(), ni * src_js.ni * n3c, "transpose block size mismatch");
+                    // rows j ∈ src_js are consecutive at fixed il — one
+                    // stripe-sized memcpy per plane instead of per-row copies
+                    let run = src_js.ni * n3c;
                     let mut it = 0;
                     for il in 0..ni {
-                        for j in src_js.i0..src_js.i_end() {
-                            let base = (il * n2 + j) * n3c;
-                            // SAFETY: src slabs partition x2, so blocks are disjoint.
-                            let dst = unsafe { shared.slice_mut(base..base + n3c) };
-                            dst.copy_from_slice(&part[it..it + n3c]);
-                            it += n3c;
-                        }
+                        let base = (il * n2 + src_js.i0) * n3c;
+                        // SAFETY: src slabs partition x2, so blocks are disjoint.
+                        let dst = unsafe { shared.slice_mut(base..base + run) };
+                        dst.copy_from_slice(&part[it..it + run]);
+                        it += run;
                     }
                 }
             });

@@ -12,7 +12,7 @@
 
 use claire_mpi::Comm;
 use claire_par::timing::{self, Kernel};
-use claire_par::{par_chunks_mut, par_max_blocks, par_sum_blocks, SUM_BLOCK};
+use claire_par::{par_chunks_mut, par_chunks_mut_sum, par_max_blocks, par_sum_blocks, SUM_BLOCK};
 
 use crate::real::Real;
 use crate::slab::Layout;
@@ -181,6 +181,61 @@ impl ScalarField {
         });
     }
 
+    // ----- fused update + reduction ---------------------------------------
+    //
+    // These single-pass variants halve the DRAM traffic of the PCG field-op
+    // chains (update then norm): the solver is bandwidth-bound (paper §3
+    // counts memory passes, not flops), so one streamed pass instead of two
+    // is a direct win. `ELEM_CHUNK == SUM_BLOCK`, so the fused reduction has
+    // the same block boundaries as `dot_local` — on the scalar backend the
+    // fused result is bit-identical to the unfused pair.
+
+    /// `self += a·x`, returning the local raw self-dot `Σ selfᵢ²` of the
+    /// updated field from the same pass over memory.
+    pub fn axpy_dot_local(&mut self, a: Real, x: &ScalarField) -> f64 {
+        self.check_same_layout(x);
+        let xd = &x.data;
+        timing::time(Kernel::FieldOps, || {
+            par_chunks_mut_sum(&mut self.data, ELEM_CHUNK, |ci, c| {
+                let base = ci * ELEM_CHUNK;
+                claire_simd::axpy_dot(a, &xd[base..base + c.len()], c)
+            })
+        })
+    }
+
+    /// `self = a·self + x`, returning the local raw self-dot `Σ selfᵢ²` of
+    /// the updated field from the same pass over memory.
+    pub fn aypx_norm2_local(&mut self, a: Real, x: &ScalarField) -> f64 {
+        self.check_same_layout(x);
+        let xd = &x.data;
+        timing::time(Kernel::FieldOps, || {
+            par_chunks_mut_sum(&mut self.data, ELEM_CHUNK, |ci, c| {
+                let base = ci * ELEM_CHUNK;
+                claire_simd::aypx_norm2(a, &xd[base..base + c.len()], c)
+            })
+        })
+    }
+
+    /// `self = a·x + y` in one pass — replaces the clone-then-axpy pattern
+    /// (which costs a copy pass plus an update pass) at line-search call
+    /// sites where `self` is a reused trial buffer.
+    pub fn scale_add_from(&mut self, a: Real, x: &ScalarField, y: &ScalarField) {
+        self.check_same_layout(x);
+        self.check_same_layout(y);
+        let (xd, yd) = (&x.data, &y.data);
+        timing::time(Kernel::FieldOps, || {
+            par_chunks_mut(&mut self.data, ELEM_CHUNK, |ci, c| {
+                let base = ci * ELEM_CHUNK;
+                claire_simd::scale_add_norm(
+                    a,
+                    &xd[base..base + c.len()],
+                    &yd[base..base + c.len()],
+                    c,
+                );
+            })
+        });
+    }
+
     fn check_same_layout(&self, other: &ScalarField) {
         assert_eq!(self.layout, other.layout, "field layout mismatch");
     }
@@ -302,6 +357,38 @@ impl VectorField {
         }
     }
 
+    /// `self += a·x`, returning the global L2(Ω)³ norm of the updated field
+    /// — the fused form of `axpy` followed by `norm_l2`, one streamed pass
+    /// over each component instead of two plus the same single allreduce.
+    /// Component partials are summed in component order, so the scalar
+    /// backend reproduces the unfused result bit for bit.
+    pub fn axpy_norm_l2(&mut self, a: Real, x: &VectorField, comm: &mut Comm) -> f64 {
+        let mut local = 0.0;
+        for (s, xc) in self.c.iter_mut().zip(&x.c) {
+            local += s.axpy_dot_local(a, xc);
+        }
+        let vol = self.layout().grid.cell_volume() as f64;
+        (comm.allreduce_sum_scalar(local) * vol).max(0.0).sqrt()
+    }
+
+    /// `self = a·self + x`, returning the global L2(Ω)³ norm of the updated
+    /// field (fused `aypx` + `norm_l2`, same contract as [`Self::axpy_norm_l2`]).
+    pub fn aypx_norm_l2(&mut self, a: Real, x: &VectorField, comm: &mut Comm) -> f64 {
+        let mut local = 0.0;
+        for (s, xc) in self.c.iter_mut().zip(&x.c) {
+            local += s.aypx_norm2_local(a, xc);
+        }
+        let vol = self.layout().grid.cell_volume() as f64;
+        (comm.allreduce_sum_scalar(local) * vol).max(0.0).sqrt()
+    }
+
+    /// `self = a·x + y` per component in one pass (non-collective).
+    pub fn scale_add_from(&mut self, a: Real, x: &VectorField, y: &VectorField) {
+        for ((s, xc), yc) in self.c.iter_mut().zip(&x.c).zip(&y.c) {
+            s.scale_add_from(a, xc, yc);
+        }
+    }
+
     /// Global raw dot product over all components.
     pub fn dot(&self, other: &VectorField, comm: &mut Comm) -> f64 {
         let local: f64 = self.c.iter().zip(&other.c).map(|(a, b)| a.dot_local(b)).sum();
@@ -386,6 +473,46 @@ mod tests {
         let y = ScalarField::from_fn(l, |_, _, _| 4.0);
         acc.add_scaled_product(0.5, &x, &y);
         assert!(acc.data().iter().all(|&v| (v - 6.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn fused_field_ops_bitwise_match_unfused_on_scalar_backend() {
+        claire_simd::force_backend(Some(claire_simd::Choice::Scalar));
+        let l = serial(16);
+        let mut comm = Comm::solo();
+        let v = VectorField::from_fns(l, |x, _, _| x.sin(), |_, y, _| y.cos(), |_, _, z| z.sin());
+        let w = VectorField::from_fns(
+            l,
+            |x, _, _| (2.0 * x).cos(),
+            |_, y, _| 0.5 - y.sin(),
+            |_, _, z| z.cos() * 1.5,
+        );
+
+        // axpy + norm vs fused axpy_norm_l2
+        let mut a = v.clone();
+        a.axpy(-0.75, &w);
+        let n_unfused = a.norm_l2(&mut comm);
+        let mut b = v.clone();
+        let n_fused = b.axpy_norm_l2(-0.75, &w, &mut comm);
+        assert_eq!(a, b);
+        assert_eq!(n_unfused.to_bits(), n_fused.to_bits());
+
+        // aypx + norm vs fused aypx_norm_l2
+        let mut a = v.clone();
+        a.aypx(0.3, &w);
+        let n_unfused = a.norm_l2(&mut comm);
+        let mut b = v.clone();
+        let n_fused = b.aypx_norm_l2(0.3, &w, &mut comm);
+        assert_eq!(a, b);
+        assert_eq!(n_unfused.to_bits(), n_fused.to_bits());
+
+        // clone + axpy vs single-pass scale_add_from into a reused buffer
+        let mut a = w.clone();
+        a.axpy(1.25, &v);
+        let mut b = VectorField::zeros(l);
+        b.scale_add_from(1.25, &v, &w);
+        assert_eq!(a, b);
+        claire_simd::force_backend(None);
     }
 
     #[test]

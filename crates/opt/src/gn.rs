@@ -324,13 +324,17 @@ impl GnState {
         let mut alpha = 1.0 as Real;
         let mut accepted = false;
         let mut j_new = j0;
+        // One trial buffer for the whole backtracking loop; each trial is a
+        // single fused pass `trial = α·step + v` instead of clone (copy pass)
+        // + axpy (update pass), and acceptance swaps buffers instead of
+        // copying.
+        let mut trial = VectorField::zeros(*self.v.layout());
         for _ in 0..cfg.max_linesearch {
-            let mut trial = self.v.clone();
-            trial.axpy(alpha, &step);
+            trial.scale_add_from(alpha, &step, &self.v);
             let j = problem.objective(&trial, comm);
             stats.obj_evals += 1;
             if j <= j0 + cfg.armijo_c1 * alpha as f64 * slope {
-                self.v = trial;
+                std::mem::swap(&mut self.v, &mut trial);
                 stats.objective_history.push(j);
                 accepted = true;
                 j_new = j;

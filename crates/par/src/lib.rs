@@ -232,6 +232,71 @@ where
     });
 }
 
+/// Fused mutate-and-reduce over fixed-size chunks: like [`par_chunks_mut`],
+/// but `f(chunk_index, chunk)` also returns a per-chunk partial (sum) and the
+/// partials are combined in chunk order. Because the chunk boundaries depend
+/// only on `chunk` and `data.len()` — never on the thread count — the result
+/// is bitwise identical for every thread count, exactly like
+/// [`par_sum_blocks`] with `chunk == SUM_BLOCK`. This is the substrate for
+/// fused field-op kernels (update + norm in one pass over memory), which is
+/// where a bandwidth-bound solver wins: one DRAM pass instead of two.
+/// Steady-state allocation-free (partials live in a reused thread-local
+/// buffer).
+pub fn par_chunks_mut_sum<T, F>(data: &mut [T], chunk: usize, f: F) -> f64
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) -> f64 + Sync,
+{
+    assert!(chunk > 0, "chunk length must be positive");
+    let len = data.len();
+    if len == 0 {
+        return 0.0;
+    }
+    let nchunks = len.div_ceil(chunk);
+    with_reduce_partials(
+        nchunks,
+        |partials| {
+            let shared = SharedSlice::new(partials);
+            let nt = effective_threads(len).min(nchunks.max(1));
+            if nt <= 1 {
+                for (ci, c) in data.chunks_mut(chunk).enumerate() {
+                    // SAFETY: serial loop — each partial written exactly once.
+                    unsafe { shared.write(ci, f(ci, c)) };
+                }
+                return;
+            }
+            std::thread::scope(|s| {
+                let mut rest = data;
+                let mut chunk_base = 0usize;
+                for t in 0..nt {
+                    let r = split_range(nchunks, nt, t);
+                    let elems = ((r.end - r.start) * chunk).min(rest.len());
+                    let (mine, tail) = rest.split_at_mut(elems);
+                    rest = tail;
+                    let base = chunk_base;
+                    chunk_base += r.end - r.start;
+                    let f = &f;
+                    if t + 1 == nt {
+                        for (ci, c) in mine.chunks_mut(chunk).enumerate() {
+                            // SAFETY: chunk ranges are disjoint across workers,
+                            // so each partial slot is written by exactly one.
+                            unsafe { shared.write(base + ci, f(base + ci, c)) };
+                        }
+                    } else {
+                        s.spawn(move || {
+                            for (ci, c) in mine.chunks_mut(chunk).enumerate() {
+                                // SAFETY: as above — disjoint chunk ranges.
+                                unsafe { shared.write(base + ci, f(base + ci, c)) };
+                            }
+                        });
+                    }
+                }
+            });
+        },
+        |p| p.iter().sum(),
+    )
+}
+
 /// Map `f` over `0..n` collecting results in index order. Each worker fills a
 /// contiguous segment of the output directly, so ordering — and therefore the
 /// result — is identical for every thread count.
@@ -471,6 +536,40 @@ mod tests {
         let serial = with_threads(1, || par_map_collect(n, |i| i * i));
         let par = with_threads(8, || par_map_collect(n, |i| i * i));
         assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn chunks_mut_sum_bitwise_stable_and_matches_two_passes() {
+        let n = MIN_PAR_LEN * 3 + 29;
+        let base: Vec<f64> = (0..n).map(|i| ((i * 2654435761) % 997) as f64 * 1e-3).collect();
+        let run = |nt: usize| {
+            let mut data = base.clone();
+            let s = with_threads(nt, || {
+                par_chunks_mut_sum(&mut data, SUM_BLOCK, |_, c| {
+                    let mut acc = 0.0;
+                    for v in c.iter_mut() {
+                        *v = *v * 2.0 + 1.0;
+                        acc += *v * *v;
+                    }
+                    acc
+                })
+            });
+            (data, s)
+        };
+        let (d1, s1) = run(1);
+        // two-pass reference with the same block boundaries
+        let mut dref = base.clone();
+        for v in dref.iter_mut() {
+            *v = *v * 2.0 + 1.0;
+        }
+        let sref = par_sum_blocks(n, |r| dref[r].iter().map(|x| x * x).sum());
+        assert_eq!(d1, dref);
+        assert_eq!(s1.to_bits(), sref.to_bits());
+        for nt in [2, 3, 8] {
+            let (d, s) = run(nt);
+            assert_eq!(d, d1, "nt={nt}");
+            assert_eq!(s.to_bits(), s1.to_bits(), "nt={nt}");
+        }
     }
 
     #[test]

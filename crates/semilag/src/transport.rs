@@ -117,7 +117,9 @@ impl Transport {
                     // SAFETY: worker ranges are disjoint.
                     let dst = unsafe { shared.slice_mut(range.clone()) };
                     for (o, i) in dst.iter_mut().zip(range) {
-                        let src = 0.5 * traj.dt * (traj.div_v_at_fwd[i] + divv[i]);
+                        // div_v carries the ½·δt factor already (prescaled
+                        // into the divergence stencil sweep in Trajectory)
+                        let src = traj.div_v_at_fwd[i] + divv[i];
                         *o *= src.exp();
                     }
                 });

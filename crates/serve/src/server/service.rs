@@ -33,8 +33,8 @@ use claire_grid::workspace;
 use claire_mpi::{CollOp, Comm, CommCat};
 use claire_obs::metrics::{Counter, Gauge, Histogram};
 use claire_obs::report::{
-    CollectiveEntry, CommPhaseEntry, MemoryCatEntry, MemoryInfo, PhaseShares, RunReport,
-    RunSummary, SchedulingInfo,
+    CollectiveEntry, CommPhaseEntry, MemoryCatEntry, MemoryInfo, PhaseShares, RooflineInfo,
+    RunReport, RunSummary, SchedulingInfo,
 };
 use claire_obs::span;
 
@@ -1025,6 +1025,12 @@ fn job_run_report(
     run.scheduling = scheduling;
     run.phases = PhaseShares::from_kernels(&[], report.time_total);
     run.memory = job_memory(mem, report.memory_bytes_per_rank);
+    // Kernel timers are process-global, so per-kernel roofline entries are
+    // unattributable here; the host DRAM calibration is still per-process
+    // valid and lets report consumers see the same peak as solo runs.
+    let host = claire_perf::machine::host_roofline();
+    run.roofline =
+        RooflineInfo { dram_peak_bps: host.dram_bw, probed: host.probed, kernels: Vec::new() };
 
     let stats = comm.stats();
     run.comm = CommCat::ALL

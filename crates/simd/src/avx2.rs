@@ -127,6 +127,84 @@ pub unsafe fn add_scaled_product(a: f64, x: &[f64], y: &[f64], s: &mut [f64]) {
     }
 }
 
+// ----- fused element-wise + reduction -------------------------------------
+
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn axpy_dot(a: f64, x: &[f64], y: &mut [f64]) -> f64 {
+    let av = _mm256_set1_pd(a);
+    let n = y.len();
+    let px = x.as_ptr();
+    let py = y.as_mut_ptr();
+    let mut acc = _mm256_setzero_pd();
+    let mut i = 0;
+    while i + 4 <= n {
+        let xv = _mm256_loadu_pd(px.add(i));
+        let yv = _mm256_loadu_pd(py.add(i));
+        let upd = _mm256_fmadd_pd(av, xv, yv);
+        _mm256_storeu_pd(py.add(i), upd);
+        acc = _mm256_fmadd_pd(upd, upd, acc);
+        i += 4;
+    }
+    let mut r = hsum(acc);
+    while i < n {
+        y[i] += a * x[i];
+        r += y[i] * y[i];
+        i += 1;
+    }
+    r
+}
+
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn aypx_norm2(a: f64, x: &[f64], y: &mut [f64]) -> f64 {
+    let av = _mm256_set1_pd(a);
+    let n = y.len();
+    let px = x.as_ptr();
+    let py = y.as_mut_ptr();
+    let mut acc = _mm256_setzero_pd();
+    let mut i = 0;
+    while i + 4 <= n {
+        let xv = _mm256_loadu_pd(px.add(i));
+        let yv = _mm256_loadu_pd(py.add(i));
+        let upd = _mm256_fmadd_pd(av, yv, xv);
+        _mm256_storeu_pd(py.add(i), upd);
+        acc = _mm256_fmadd_pd(upd, upd, acc);
+        i += 4;
+    }
+    let mut r = hsum(acc);
+    while i < n {
+        y[i] = a * y[i] + x[i];
+        r += y[i] * y[i];
+        i += 1;
+    }
+    r
+}
+
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn scale_add_norm(a: f64, x: &[f64], y: &[f64], out: &mut [f64]) -> f64 {
+    let av = _mm256_set1_pd(a);
+    let n = out.len();
+    let px = x.as_ptr();
+    let py = y.as_ptr();
+    let po = out.as_mut_ptr();
+    let mut acc = _mm256_setzero_pd();
+    let mut i = 0;
+    while i + 4 <= n {
+        let xv = _mm256_loadu_pd(px.add(i));
+        let yv = _mm256_loadu_pd(py.add(i));
+        let upd = _mm256_fmadd_pd(av, xv, yv);
+        _mm256_storeu_pd(po.add(i), upd);
+        acc = _mm256_fmadd_pd(upd, upd, acc);
+        i += 4;
+    }
+    let mut r = hsum(acc);
+    while i < n {
+        out[i] = a * x[i] + y[i];
+        r += out[i] * out[i];
+        i += 1;
+    }
+    r
+}
+
 // ----- reductions ---------------------------------------------------------
 
 #[target_feature(enable = "avx2,fma")]
@@ -196,6 +274,21 @@ pub unsafe fn fd8_combine(
     c: &[f64; 4],
     inv_h: f64,
 ) {
+    fd8_combine_scale(out, plus, minus, c, inv_h, 1.0)
+}
+
+/// [`fd8_combine`] with a folded output scale: `inv_h·s` is broadcast once,
+/// so the fused kernel costs the same as the unscaled one (and is identical
+/// to it when `s == 1`).
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn fd8_combine_scale(
+    out: &mut [f64],
+    plus: &[&[f64]; 4],
+    minus: &[&[f64]; 4],
+    c: &[f64; 4],
+    inv_h: f64,
+    s: f64,
+) {
     let n = out.len();
     let po = out.as_mut_ptr();
     let pp: [*const f64; 4] =
@@ -204,7 +297,7 @@ pub unsafe fn fd8_combine(
         [minus[0].as_ptr(), minus[1].as_ptr(), minus[2].as_ptr(), minus[3].as_ptr()];
     let cv: [__m256d; 4] =
         [_mm256_set1_pd(c[0]), _mm256_set1_pd(c[1]), _mm256_set1_pd(c[2]), _mm256_set1_pd(c[3])];
-    let ih = _mm256_set1_pd(inv_h);
+    let ih = _mm256_set1_pd(inv_h * s);
     let mut i = 0;
     while i + 4 <= n {
         let mut acc = _mm256_mul_pd(

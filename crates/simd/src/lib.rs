@@ -14,6 +14,14 @@
 //! * the portable scalar fallback reproduces the pre-SIMD loops **exactly**
 //!   (same operation order), so `CLAIRE_SIMD=scalar` is bit-identical to
 //!   the historical solver;
+//! * the `portable` wide backend (`CLAIRE_SIMD=portable`) runs chunked
+//!   scalar loops written for autovectorization — ISA-independent lanes
+//!   that serve as the AVX-512-ready seam (see the `portable` module);
+//! * **fused single-pass kernels** ([`axpy_dot`], [`aypx_norm2`],
+//!   [`scale_add_norm`], [`fd8_combine_scale`]) combine a BLAS-1 update
+//!   with the reduction (or scale) the solver takes immediately after,
+//!   halving DRAM traffic for the memory-bound PCG chains (paper §3's
+//!   cost model counts passes over memory, not flops);
 //! * [`F64x4`] is the portable 4-lane building block (add/mul/fma, lane
 //!   shuffles, horizontal sum, masked head/tail loads) mirroring the lane
 //!   semantics the AVX2 kernels use via intrinsics.
@@ -21,8 +29,8 @@
 //! Dispatch granularity is a kernel call (a row sweep, a reduction block,
 //! a 64-point stencil), never a single vector op — a per-op branch would
 //! cost more than the op itself. The backend is resolved once from the
-//! `CLAIRE_SIMD` environment variable (`auto` | `avx2` | `scalar`,
-//! default `auto`) and cached; tests and benches can override it
+//! `CLAIRE_SIMD` environment variable (`auto` | `avx2` | `portable` |
+//! `scalar`, default `auto`) and cached; tests and benches can override it
 //! in-process with [`force_backend`].
 //!
 //! # Equivalence contract
@@ -53,6 +61,7 @@ const AVX2_COMPILED: bool = false;
 
 #[cfg(all(target_arch = "x86_64", not(feature = "single")))]
 mod avx2;
+mod portable;
 mod scalar;
 mod vector;
 
@@ -68,6 +77,8 @@ pub enum Backend {
     Scalar,
     /// AVX2+FMA vector kernels (f64 builds on x86-64 with detected support).
     Avx2,
+    /// Chunked autovectorizable loops — ISA-independent wide backend.
+    Portable,
 }
 
 impl Backend {
@@ -76,6 +87,7 @@ impl Backend {
         match self {
             Backend::Scalar => "scalar",
             Backend::Avx2 => "avx2",
+            Backend::Portable => "portable",
         }
     }
 }
@@ -88,6 +100,8 @@ pub enum Choice {
     Auto,
     /// Require AVX2; falls back to scalar with a warning if unavailable.
     Avx2,
+    /// The chunked autovectorizable wide backend (always available).
+    Portable,
     /// Force the portable scalar path.
     Scalar,
 }
@@ -98,6 +112,7 @@ impl Choice {
         match s.trim().to_ascii_lowercase().as_str() {
             "" | "auto" => Some(Choice::Auto),
             "avx2" => Some(Choice::Avx2),
+            "portable" => Some(Choice::Portable),
             "scalar" => Some(Choice::Scalar),
             _ => None,
         }
@@ -117,13 +132,14 @@ pub fn avx2_available() -> bool {
     }
 }
 
-// 0 = unresolved, 1 = scalar, 2 = avx2.
+// 0 = unresolved, 1 = scalar, 2 = avx2, 3 = portable.
 static BACKEND: AtomicU8 = AtomicU8::new(0);
 static WARN_ONCE: Once = Once::new();
 
 fn resolve(choice: Choice) -> Backend {
     match choice {
         Choice::Scalar => Backend::Scalar,
+        Choice::Portable => Backend::Portable,
         Choice::Auto => {
             if avx2_available() {
                 Backend::Avx2
@@ -170,6 +186,7 @@ pub fn active_backend() -> Backend {
     match BACKEND.load(Ordering::Relaxed) {
         1 => Backend::Scalar,
         2 => Backend::Avx2,
+        3 => Backend::Portable,
         _ => resolve_from_env(),
     }
 }
@@ -184,19 +201,20 @@ pub fn force_backend(choice: Option<Choice>) {
     }
 }
 
-/// Shorthand used by every kernel wrapper: take the AVX2 path when it is
-/// both compiled in and the dispatched backend.
+/// Shorthand used by every kernel wrapper: route one call to the dispatched
+/// backend. The AVX2 arm only exists when compiled in; `Backend::Avx2` can
+/// never be cached otherwise, so the fallthrough to scalar is unreachable
+/// on those targets but keeps the match exhaustive.
 macro_rules! dispatch {
-    ($avx2:expr, $scalar:expr) => {{
-        #[cfg(all(target_arch = "x86_64", not(feature = "single")))]
-        if active_backend() == Backend::Avx2 {
+    ($avx2:expr, $portable:expr, $scalar:expr) => {{
+        match active_backend() {
+            #[cfg(all(target_arch = "x86_64", not(feature = "single")))]
             // SAFETY: Backend::Avx2 is only ever cached after
             // `is_x86_feature_detected!("avx2")` + `("fma")` succeeded.
-            return unsafe { $avx2 };
+            Backend::Avx2 => unsafe { $avx2 },
+            Backend::Portable => $portable,
+            _ => $scalar,
         }
-        #[cfg(not(all(target_arch = "x86_64", not(feature = "single"))))]
-        let _ = active_backend();
-        $scalar
     }};
 }
 
@@ -204,26 +222,67 @@ macro_rules! dispatch {
 
 /// `y[i] *= a`.
 pub fn scale(a: Real, y: &mut [Real]) {
-    dispatch!(avx2::scale(a, y), scalar::scale(a, y))
+    dispatch!(avx2::scale(a, y), portable::scale(a, y), scalar::scale(a, y))
 }
 
 /// `y[i] += a · x[i]` (slices must have equal length).
 pub fn axpy(a: Real, x: &[Real], y: &mut [Real]) {
     assert_eq!(x.len(), y.len(), "axpy length mismatch");
-    dispatch!(avx2::axpy(a, x, y), scalar::axpy(a, x, y))
+    dispatch!(avx2::axpy(a, x, y), portable::axpy(a, x, y), scalar::axpy(a, x, y))
 }
 
 /// `y[i] = a · y[i] + x[i]` (slices must have equal length).
 pub fn aypx(a: Real, x: &[Real], y: &mut [Real]) {
     assert_eq!(x.len(), y.len(), "aypx length mismatch");
-    dispatch!(avx2::aypx(a, x, y), scalar::aypx(a, x, y))
+    dispatch!(avx2::aypx(a, x, y), portable::aypx(a, x, y), scalar::aypx(a, x, y))
 }
 
 /// `s[i] += a · x[i] · y[i]` (slices must have equal length).
 pub fn add_scaled_product(a: Real, x: &[Real], y: &[Real], s: &mut [Real]) {
     assert_eq!(x.len(), s.len(), "add_scaled_product length mismatch");
     assert_eq!(y.len(), s.len(), "add_scaled_product length mismatch");
-    dispatch!(avx2::add_scaled_product(a, x, y, s), scalar::add_scaled_product(a, x, y, s))
+    dispatch!(
+        avx2::add_scaled_product(a, x, y, s),
+        portable::add_scaled_product(a, x, y, s),
+        scalar::add_scaled_product(a, x, y, s)
+    )
+}
+
+// ----- fused element-wise + reduction kernels -----------------------------
+//
+// Each fuses a BLAS-1 update with the reduction the solver computes right
+// after it, turning two passes over DRAM into one. On the scalar backend
+// the fused kernel is bit-identical to its unfused pair run back to back
+// (same per-element expression, same left-to-right reduction order); the
+// vector backends sit under the crate's ≤1e-12 equivalence contract.
+
+/// Fused `axpy` + self-dot: `y[i] += a · x[i]`, returning `Σ y'[i]²` of the
+/// *updated* values in f64 — the residual-norm half of a PCG iteration in
+/// the same pass as the residual update.
+pub fn axpy_dot(a: Real, x: &[Real], y: &mut [Real]) -> f64 {
+    assert_eq!(x.len(), y.len(), "axpy_dot length mismatch");
+    dispatch!(avx2::axpy_dot(a, x, y), portable::axpy_dot(a, x, y), scalar::axpy_dot(a, x, y))
+}
+
+/// Fused `aypx` + self-dot: `y[i] = a · y[i] + x[i]`, returning `Σ y'[i]²`
+/// of the updated values in f64 (search-direction update with its norm).
+pub fn aypx_norm2(a: Real, x: &[Real], y: &mut [Real]) -> f64 {
+    assert_eq!(x.len(), y.len(), "aypx_norm2 length mismatch");
+    dispatch!(avx2::aypx_norm2(a, x, y), portable::aypx_norm2(a, x, y), scalar::aypx_norm2(a, x, y))
+}
+
+/// Fused scaled-add into a fresh buffer + self-dot:
+/// `out[i] = a · x[i] + y[i]`, returning `Σ out[i]²` in f64. Replaces the
+/// clone-then-axpy(-then-norm) multi-pass chain (line-search trials,
+/// warm-start residuals) with a single read-read-write pass.
+pub fn scale_add_norm(a: Real, x: &[Real], y: &[Real], out: &mut [Real]) -> f64 {
+    assert_eq!(x.len(), out.len(), "scale_add_norm length mismatch");
+    assert_eq!(y.len(), out.len(), "scale_add_norm length mismatch");
+    dispatch!(
+        avx2::scale_add_norm(a, x, y, out),
+        portable::scale_add_norm(a, x, y, out),
+        scalar::scale_add_norm(a, x, y, out)
+    )
 }
 
 // ----- reductions (f64 accumulation regardless of `Real`) ----------------
@@ -232,17 +291,17 @@ pub fn add_scaled_product(a: Real, x: &[Real], y: &[Real], s: &mut [Real]) {
 /// thread counts by invoking this on fixed-size blocks (`par_sum_blocks`).
 pub fn dot(x: &[Real], y: &[Real]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot length mismatch");
-    dispatch!(avx2::dot(x, y), scalar::dot(x, y))
+    dispatch!(avx2::dot(x, y), portable::dot(x, y), scalar::dot(x, y))
 }
 
 /// `Σ x[i]` accumulated in f64.
 pub fn sum(x: &[Real]) -> f64 {
-    dispatch!(avx2::sum(x), scalar::sum(x))
+    dispatch!(avx2::sum(x), portable::sum(x), scalar::sum(x))
 }
 
 /// `max_i |x[i]|` as f64 (0 for an empty slice).
 pub fn max_abs(x: &[Real]) -> f64 {
-    dispatch!(avx2::max_abs(x), scalar::max_abs(x))
+    dispatch!(avx2::max_abs(x), portable::max_abs(x), scalar::max_abs(x))
 }
 
 // ----- 8th-order FD stencil ----------------------------------------------
@@ -268,7 +327,34 @@ pub fn fd8_combine(
     }
     dispatch!(
         avx2::fd8_combine(out, plus, minus, c, inv_h),
+        portable::fd8_combine(out, plus, minus, c, inv_h),
         scalar::fd8_combine(out, plus, minus, c, inv_h)
+    )
+}
+
+/// [`fd8_combine`] with a folded output scale:
+/// `out[k] = s · inv_h · Σ_m c[m] · (plus[m][k] − minus[m][k])`.
+///
+/// The scale costs nothing extra — `inv_h·s` is folded into the single
+/// per-point multiply the unscaled kernel already performs — so a
+/// derivative-then-scale chain collapses from two memory passes into one.
+/// With `s == 1` every backend produces bits identical to [`fd8_combine`].
+pub fn fd8_combine_scale(
+    out: &mut [Real],
+    plus: &[&[Real]; 4],
+    minus: &[&[Real]; 4],
+    c: &[Real; 4],
+    inv_h: Real,
+    s: Real,
+) {
+    for m in 0..4 {
+        assert!(plus[m].len() >= out.len(), "fd8_combine_scale plus[{m}] too short");
+        assert!(minus[m].len() >= out.len(), "fd8_combine_scale minus[{m}] too short");
+    }
+    dispatch!(
+        avx2::fd8_combine_scale(out, plus, minus, c, inv_h, s),
+        portable::fd8_combine_scale(out, plus, minus, c, inv_h, s),
+        scalar::fd8_combine_scale(out, plus, minus, c, inv_h, s)
     )
 }
 
@@ -277,7 +363,7 @@ pub fn fd8_combine(
 /// Cubic Lagrange basis weights at fraction `t ∈ [0,1)` for node offsets
 /// `{−1, 0, 1, 2}` — the weight-evaluation half of the 64-point kernel.
 pub fn lagrange_weights(t: Real) -> [Real; 4] {
-    dispatch!(avx2::lagrange_weights(t), scalar::lagrange_weights(t))
+    dispatch!(avx2::lagrange_weights(t), portable::lagrange_weights(t), scalar::lagrange_weights(t))
 }
 
 /// The 64-point (4×4×4) weighted accumulation of the cubic kernel on a
@@ -299,6 +385,7 @@ pub fn cubic_accumulate(
     assert!(last + 4 <= data.len(), "cubic_accumulate support out of bounds");
     dispatch!(
         avx2::cubic_accumulate(data, base, plane_stride, row_stride, w1, w2, w3),
+        portable::cubic_accumulate(data, base, plane_stride, row_stride, w1, w2, w3),
         scalar::cubic_accumulate(data, base, plane_stride, row_stride, w1, w2, w3)
     )
 }
@@ -310,7 +397,7 @@ pub fn cubic_accumulate(
 pub fn cpx_mul(dst: &mut [Real], src: &[Real]) {
     assert_eq!(dst.len(), src.len(), "cpx_mul length mismatch");
     assert_eq!(dst.len() % 2, 0, "cpx_mul needs interleaved re/im pairs");
-    dispatch!(avx2::cpx_mul(dst, src), scalar::cpx_mul(dst, src))
+    dispatch!(avx2::cpx_mul(dst, src), portable::cpx_mul(dst, src), scalar::cpx_mul(dst, src))
 }
 
 /// Element-wise complex multiply `out[j] = a[j] · b[j]` (interleaved).
@@ -318,20 +405,28 @@ pub fn cpx_mul_into(out: &mut [Real], a: &[Real], b: &[Real]) {
     assert_eq!(out.len(), a.len(), "cpx_mul_into length mismatch");
     assert_eq!(out.len(), b.len(), "cpx_mul_into length mismatch");
     assert_eq!(out.len() % 2, 0, "cpx_mul_into needs interleaved re/im pairs");
-    dispatch!(avx2::cpx_mul_into(out, a, b), scalar::cpx_mul_into(out, a, b))
+    dispatch!(
+        avx2::cpx_mul_into(out, a, b),
+        portable::cpx_mul_into(out, a, b),
+        scalar::cpx_mul_into(out, a, b)
+    )
 }
 
 /// In-place complex conjugate of an interleaved slice.
 pub fn cpx_conj(data: &mut [Real]) {
     assert_eq!(data.len() % 2, 0, "cpx_conj needs interleaved re/im pairs");
-    dispatch!(avx2::cpx_conj(data), scalar::cpx_conj(data))
+    dispatch!(avx2::cpx_conj(data), portable::cpx_conj(data), scalar::cpx_conj(data))
 }
 
 /// In-place fused conjugate-and-scale: `z[j] = conj(z[j]) · s` (interleaved)
 /// — the tail of the inverse FFT (`1/n` normalization).
 pub fn cpx_conj_scale(data: &mut [Real], s: Real) {
     assert_eq!(data.len() % 2, 0, "cpx_conj_scale needs interleaved re/im pairs");
-    dispatch!(avx2::cpx_conj_scale(data, s), scalar::cpx_conj_scale(data, s))
+    dispatch!(
+        avx2::cpx_conj_scale(data, s),
+        portable::cpx_conj_scale(data, s),
+        scalar::cpx_conj_scale(data, s)
+    )
 }
 
 /// Radix-2 DIT butterfly combine over interleaved half-spectra:
@@ -347,7 +442,11 @@ pub fn cpx_radix2_combine(lo: &mut [Real], hi: &mut [Real], tw: &[Real], ws: usi
     if m > 0 {
         assert!(2 * ((m - 1) * ws) + 1 < tw.len(), "cpx_radix2_combine twiddle table too short");
     }
-    dispatch!(avx2::cpx_radix2_combine(lo, hi, tw, ws), scalar::cpx_radix2_combine(lo, hi, tw, ws))
+    dispatch!(
+        avx2::cpx_radix2_combine(lo, hi, tw, ws),
+        portable::cpx_radix2_combine(lo, hi, tw, ws),
+        scalar::cpx_radix2_combine(lo, hi, tw, ws)
+    )
 }
 
 #[cfg(test)]
@@ -360,7 +459,16 @@ mod tests {
         assert_eq!(Choice::parse(""), Some(Choice::Auto));
         assert_eq!(Choice::parse("AVX2"), Some(Choice::Avx2));
         assert_eq!(Choice::parse(" scalar "), Some(Choice::Scalar));
+        assert_eq!(Choice::parse("portable"), Some(Choice::Portable));
         assert_eq!(Choice::parse("neon"), None);
+    }
+
+    #[test]
+    fn forced_portable_backend_sticks() {
+        force_backend(Some(Choice::Portable));
+        assert_eq!(active_backend(), Backend::Portable);
+        assert_eq!(active_backend().label(), "portable");
+        force_backend(None);
     }
 
     #[test]
@@ -402,6 +510,70 @@ mod tests {
         #[allow(clippy::unnecessary_cast)] // Real = f32 under `single`
         let dref: f64 = x.iter().zip(&y).map(|(&a, &b)| a as f64 * b as f64).sum();
         assert_eq!(d, dref);
+        force_backend(None);
+    }
+
+    #[test]
+    fn fused_scalar_kernels_bitwise_match_unfused_pairs() {
+        force_backend(Some(Choice::Scalar));
+        let x: Vec<Real> = (0..37).map(|i| (i as Real).sin() * 2.0 - 0.7).collect();
+        let y0: Vec<Real> = (0..37).map(|i| (i as Real).cos() + 0.3).collect();
+
+        let mut yf = y0.clone();
+        let df = axpy_dot(1.5, &x, &mut yf);
+        let mut yu = y0.clone();
+        axpy(1.5, &x, &mut yu);
+        assert_eq!(yf, yu);
+        assert_eq!(df, dot(&yu, &yu));
+
+        let mut yf = y0.clone();
+        let nf = aypx_norm2(-0.25, &x, &mut yf);
+        let mut yu = y0.clone();
+        aypx(-0.25, &x, &mut yu);
+        assert_eq!(yf, yu);
+        assert_eq!(nf, dot(&yu, &yu));
+
+        let mut of = vec![0.0 as Real; x.len()];
+        let nf = scale_add_norm(0.8, &x, &y0, &mut of);
+        let ou: Vec<Real> = x.iter().zip(&y0).map(|(&a, &b)| 0.8 * a + b).collect();
+        assert_eq!(of, ou);
+        assert_eq!(nf, dot(&ou, &ou));
+        force_backend(None);
+    }
+
+    #[test]
+    fn portable_fused_kernels_match_scalar_within_tolerance() {
+        let x: Vec<Real> = (0..131).map(|i| (i as Real * 0.37).sin() - 0.4).collect();
+        let y0: Vec<Real> = (0..131).map(|i| (i as Real * 0.11).cos() * 1.5).collect();
+
+        force_backend(Some(Choice::Scalar));
+        let mut ys = y0.clone();
+        let ds = axpy_dot(1.25, &x, &mut ys);
+        force_backend(Some(Choice::Portable));
+        let mut yp = y0.clone();
+        let dp = axpy_dot(1.25, &x, &mut yp);
+        force_backend(None);
+
+        for (a, b) in ys.iter().zip(&yp) {
+            assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0), "{a} vs {b}");
+        }
+        assert!((ds - dp).abs() <= 1e-12 * ds.abs().max(1.0), "{ds} vs {dp}");
+    }
+
+    #[test]
+    fn fd8_combine_scale_with_unit_scale_matches_unscaled() {
+        force_backend(Some(Choice::Scalar));
+        let n = 24;
+        let rows: Vec<Vec<Real>> =
+            (0..8).map(|m| (0..n).map(|k| ((m * n + k) as Real * 0.13).sin()).collect()).collect();
+        let plus = [&rows[0][..], &rows[1][..], &rows[2][..], &rows[3][..]];
+        let minus = [&rows[4][..], &rows[5][..], &rows[6][..], &rows[7][..]];
+        let c = [0.8 as Real, -0.2, 0.038, -0.0035];
+        let mut a = vec![0.0 as Real; n];
+        let mut b = vec![0.0 as Real; n];
+        fd8_combine(&mut a, &plus, &minus, &c, 3.5);
+        fd8_combine_scale(&mut b, &plus, &minus, &c, 3.5, 1.0);
+        assert_eq!(a, b);
         force_backend(None);
     }
 }

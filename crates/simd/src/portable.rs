@@ -1,0 +1,344 @@
+//! Portable wide backend: chunked scalar loops written for
+//! autovectorization (`CLAIRE_SIMD=portable`).
+//!
+//! Every kernel processes `LANES` elements per step through fixed-size
+//! array temporaries, the shape LLVM's loop vectorizer maps onto whatever
+//! vector ISA the target offers — two AVX2 registers, a single AVX-512
+//! register, NEON pairs — without this crate naming an instruction set.
+//! The module is the AVX-512-ready seam: widening the solver to 512-bit
+//! vectors means compiling this backend with `-C target-cpu`, not writing
+//! new intrinsics.
+//!
+//! Reductions accumulate one f64 partial per lane and fold the lane
+//! accumulators with a fixed-shape pairwise tree, so results are
+//! deterministic for a given input (independent of thread count — the
+//! caller still blocks reductions via `par_sum_blocks`), but *not* bitwise
+//! equal to the scalar backend's left-to-right order. The backend sits
+//! under the crate-wide ≤1e-12 relative-error equivalence contract, same
+//! as AVX2.
+//!
+//! Sub-vector kernels where chunking buys nothing (`lagrange_weights`,
+//! `cubic_accumulate`, `cpx_radix2_combine`'s strided twiddle walk)
+//! delegate to the scalar reference loops.
+
+// `Real as f64` is a real conversion under the `single` (f32) feature and
+// an identity cast in the default build — keep the cast either way.
+#![allow(clippy::unnecessary_cast)]
+
+use crate::scalar;
+use crate::Real;
+
+/// Elements per chunk. Eight f64s = one AVX-512 register / two AVX2
+/// registers / four NEON registers — wide enough to saturate any of them,
+/// small enough that remainder handling stays cheap.
+const LANES: usize = 8;
+
+/// Fixed-shape pairwise fold of the lane accumulators:
+/// `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))`.
+#[inline]
+fn fold_sum(acc: [f64; LANES]) -> f64 {
+    ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]))
+}
+
+#[inline]
+fn fold_max(acc: [f64; LANES]) -> f64 {
+    let a = acc[0].max(acc[4]).max(acc[2].max(acc[6]));
+    let b = acc[1].max(acc[5]).max(acc[3].max(acc[7]));
+    a.max(b)
+}
+
+// ----- element-wise -------------------------------------------------------
+
+pub fn scale(a: Real, y: &mut [Real]) {
+    let mut chunks = y.chunks_exact_mut(LANES);
+    for c in &mut chunks {
+        for v in c.iter_mut() {
+            *v *= a;
+        }
+    }
+    for v in chunks.into_remainder() {
+        *v *= a;
+    }
+}
+
+pub fn axpy(a: Real, x: &[Real], y: &mut [Real]) {
+    let n = y.len();
+    let (xc, xr) = x[..n].split_at(n - n % LANES);
+    let (yc, yr) = y.split_at_mut(n - n % LANES);
+    for (yv, xv) in yc.chunks_exact_mut(LANES).zip(xc.chunks_exact(LANES)) {
+        for l in 0..LANES {
+            yv[l] += a * xv[l];
+        }
+    }
+    for (v, &xv) in yr.iter_mut().zip(xr) {
+        *v += a * xv;
+    }
+}
+
+pub fn aypx(a: Real, x: &[Real], y: &mut [Real]) {
+    let n = y.len();
+    let (xc, xr) = x[..n].split_at(n - n % LANES);
+    let (yc, yr) = y.split_at_mut(n - n % LANES);
+    for (yv, xv) in yc.chunks_exact_mut(LANES).zip(xc.chunks_exact(LANES)) {
+        for l in 0..LANES {
+            yv[l] = a * yv[l] + xv[l];
+        }
+    }
+    for (v, &xv) in yr.iter_mut().zip(xr) {
+        *v = a * *v + xv;
+    }
+}
+
+pub fn add_scaled_product(a: Real, x: &[Real], y: &[Real], s: &mut [Real]) {
+    let n = s.len();
+    let split = n - n % LANES;
+    let (sc, sr) = s.split_at_mut(split);
+    for (ci, sv) in sc.chunks_exact_mut(LANES).enumerate() {
+        let base = ci * LANES;
+        for l in 0..LANES {
+            sv[l] += a * x[base + l] * y[base + l];
+        }
+    }
+    for (i, v) in sr.iter_mut().enumerate() {
+        *v += a * x[split + i] * y[split + i];
+    }
+}
+
+// ----- fused element-wise + reduction -------------------------------------
+
+pub fn axpy_dot(a: Real, x: &[Real], y: &mut [Real]) -> f64 {
+    let n = y.len();
+    let split = n - n % LANES;
+    let (xc, xr) = x[..n].split_at(split);
+    let (yc, yr) = y.split_at_mut(split);
+    let mut acc = [0.0f64; LANES];
+    for (yv, xv) in yc.chunks_exact_mut(LANES).zip(xc.chunks_exact(LANES)) {
+        for l in 0..LANES {
+            yv[l] += a * xv[l];
+            acc[l] += yv[l] as f64 * yv[l] as f64;
+        }
+    }
+    let mut r = fold_sum(acc);
+    for (v, &xv) in yr.iter_mut().zip(xr) {
+        *v += a * xv;
+        r += *v as f64 * *v as f64;
+    }
+    r
+}
+
+pub fn aypx_norm2(a: Real, x: &[Real], y: &mut [Real]) -> f64 {
+    let n = y.len();
+    let split = n - n % LANES;
+    let (xc, xr) = x[..n].split_at(split);
+    let (yc, yr) = y.split_at_mut(split);
+    let mut acc = [0.0f64; LANES];
+    for (yv, xv) in yc.chunks_exact_mut(LANES).zip(xc.chunks_exact(LANES)) {
+        for l in 0..LANES {
+            yv[l] = a * yv[l] + xv[l];
+            acc[l] += yv[l] as f64 * yv[l] as f64;
+        }
+    }
+    let mut r = fold_sum(acc);
+    for (v, &xv) in yr.iter_mut().zip(xr) {
+        *v = a * *v + xv;
+        r += *v as f64 * *v as f64;
+    }
+    r
+}
+
+pub fn scale_add_norm(a: Real, x: &[Real], y: &[Real], out: &mut [Real]) -> f64 {
+    let n = out.len();
+    let split = n - n % LANES;
+    let (oc, or) = out.split_at_mut(split);
+    let mut acc = [0.0f64; LANES];
+    for (ci, ov) in oc.chunks_exact_mut(LANES).enumerate() {
+        let base = ci * LANES;
+        for l in 0..LANES {
+            ov[l] = a * x[base + l] + y[base + l];
+            acc[l] += ov[l] as f64 * ov[l] as f64;
+        }
+    }
+    let mut r = fold_sum(acc);
+    for (i, v) in or.iter_mut().enumerate() {
+        *v = a * x[split + i] + y[split + i];
+        r += *v as f64 * *v as f64;
+    }
+    r
+}
+
+// ----- reductions ---------------------------------------------------------
+
+pub fn dot(x: &[Real], y: &[Real]) -> f64 {
+    let n = x.len();
+    let split = n - n % LANES;
+    let mut acc = [0.0f64; LANES];
+    for (xv, yv) in x[..split].chunks_exact(LANES).zip(y[..split].chunks_exact(LANES)) {
+        for l in 0..LANES {
+            acc[l] += xv[l] as f64 * yv[l] as f64;
+        }
+    }
+    let mut r = fold_sum(acc);
+    for i in split..n {
+        r += x[i] as f64 * y[i] as f64;
+    }
+    r
+}
+
+pub fn sum(x: &[Real]) -> f64 {
+    let n = x.len();
+    let split = n - n % LANES;
+    let mut acc = [0.0f64; LANES];
+    for xv in x[..split].chunks_exact(LANES) {
+        for l in 0..LANES {
+            acc[l] += xv[l] as f64;
+        }
+    }
+    let mut r = fold_sum(acc);
+    for v in &x[split..] {
+        r += *v as f64;
+    }
+    r
+}
+
+pub fn max_abs(x: &[Real]) -> f64 {
+    let n = x.len();
+    let split = n - n % LANES;
+    let mut acc = [0.0f64; LANES];
+    for xv in x[..split].chunks_exact(LANES) {
+        for l in 0..LANES {
+            acc[l] = acc[l].max((xv[l] as f64).abs());
+        }
+    }
+    let mut r = fold_max(acc).max(0.0);
+    for v in &x[split..] {
+        r = r.max((*v as f64).abs());
+    }
+    r
+}
+
+// ----- 8th-order FD stencil ----------------------------------------------
+
+pub fn fd8_combine(
+    out: &mut [Real],
+    plus: &[&[Real]; 4],
+    minus: &[&[Real]; 4],
+    c: &[Real; 4],
+    inv_h: Real,
+) {
+    fd8_combine_scale(out, plus, minus, c, inv_h, 1.0 as Real)
+}
+
+pub fn fd8_combine_scale(
+    out: &mut [Real],
+    plus: &[&[Real]; 4],
+    minus: &[&[Real]; 4],
+    c: &[Real; 4],
+    inv_h: Real,
+    s: Real,
+) {
+    let ihs = inv_h * s;
+    let n = out.len();
+    let split = n - n % LANES;
+    let (oc, or) = out.split_at_mut(split);
+    for (ci, ov) in oc.chunks_exact_mut(LANES).enumerate() {
+        let base = ci * LANES;
+        let mut acc = [0.0 as Real; LANES];
+        for (m, &cm) in c.iter().enumerate() {
+            let (pm, mm) = (&plus[m][base..base + LANES], &minus[m][base..base + LANES]);
+            for l in 0..LANES {
+                acc[l] += cm * (pm[l] - mm[l]);
+            }
+        }
+        for l in 0..LANES {
+            ov[l] = acc[l] * ihs;
+        }
+    }
+    for (i, ov) in or.iter_mut().enumerate() {
+        let k = split + i;
+        let mut acc = 0.0 as Real;
+        for (m, &cm) in c.iter().enumerate() {
+            acc += cm * (plus[m][k] - minus[m][k]);
+        }
+        *ov = acc * ihs;
+    }
+}
+
+// ----- cubic interpolation (sub-vector: scalar reference) -----------------
+
+pub fn lagrange_weights(t: Real) -> [Real; 4] {
+    scalar::lagrange_weights(t)
+}
+
+pub fn cubic_accumulate(
+    data: &[Real],
+    base: usize,
+    plane_stride: usize,
+    row_stride: usize,
+    w1: &[Real; 4],
+    w2: &[Real; 4],
+    w3: &[Real; 4],
+) -> Real {
+    scalar::cubic_accumulate(data, base, plane_stride, row_stride, w1, w2, w3)
+}
+
+// ----- interleaved complex kernels ---------------------------------------
+
+/// Complexes per chunk (LANES reals = LANES/2 interleaved complexes).
+const CPX_PER: usize = LANES / 2;
+
+pub fn cpx_mul(dst: &mut [Real], src: &[Real]) {
+    let n = dst.len();
+    let split = n - n % LANES;
+    let (dc, dr) = dst.split_at_mut(split);
+    for (dv, sv) in dc.chunks_exact_mut(LANES).zip(src[..split].chunks_exact(LANES)) {
+        for l in 0..CPX_PER {
+            let (ar, ai) = (dv[2 * l], dv[2 * l + 1]);
+            let (br, bi) = (sv[2 * l], sv[2 * l + 1]);
+            dv[2 * l] = ar * br - ai * bi;
+            dv[2 * l + 1] = ar * bi + ai * br;
+        }
+    }
+    scalar::cpx_mul(dr, &src[split..]);
+}
+
+pub fn cpx_mul_into(out: &mut [Real], a: &[Real], b: &[Real]) {
+    let n = out.len();
+    let split = n - n % LANES;
+    let (oc, or) = out.split_at_mut(split);
+    for ((ov, av), bv) in oc
+        .chunks_exact_mut(LANES)
+        .zip(a[..split].chunks_exact(LANES))
+        .zip(b[..split].chunks_exact(LANES))
+    {
+        for l in 0..CPX_PER {
+            let (ar, ai) = (av[2 * l], av[2 * l + 1]);
+            let (br, bi) = (bv[2 * l], bv[2 * l + 1]);
+            ov[2 * l] = ar * br - ai * bi;
+            ov[2 * l + 1] = ar * bi + ai * br;
+        }
+    }
+    scalar::cpx_mul_into(or, &a[split..], &b[split..]);
+}
+
+pub fn cpx_conj(data: &mut [Real]) {
+    for z in data.chunks_exact_mut(2) {
+        z[1] = -z[1];
+    }
+}
+
+pub fn cpx_conj_scale(data: &mut [Real], s: Real) {
+    let n = data.len();
+    let split = n - n % LANES;
+    let (dc, dr) = data.split_at_mut(split);
+    for dv in dc.chunks_exact_mut(LANES) {
+        for l in 0..CPX_PER {
+            dv[2 * l] *= s;
+            dv[2 * l + 1] = -dv[2 * l + 1] * s;
+        }
+    }
+    scalar::cpx_conj_scale(dr, s);
+}
+
+pub fn cpx_radix2_combine(lo: &mut [Real], hi: &mut [Real], tw: &[Real], ws: usize) {
+    scalar::cpx_radix2_combine(lo, hi, tw, ws)
+}

@@ -35,6 +35,38 @@ pub fn add_scaled_product(a: Real, x: &[Real], y: &[Real], s: &mut [Real]) {
     }
 }
 
+// Fused single-pass variants: the per-element update is the same
+// expression as the unfused kernel and the reduction visits the updated
+// values left to right, so each fused scalar kernel is bit-identical to
+// running its unfused pair (update, then `dot`/norm) back to back.
+
+pub fn axpy_dot(a: Real, x: &[Real], y: &mut [Real]) -> f64 {
+    let mut acc = 0.0f64;
+    for (v, &xv) in y.iter_mut().zip(x) {
+        *v += a * xv;
+        acc += *v as f64 * *v as f64;
+    }
+    acc
+}
+
+pub fn aypx_norm2(a: Real, x: &[Real], y: &mut [Real]) -> f64 {
+    let mut acc = 0.0f64;
+    for (v, &xv) in y.iter_mut().zip(x) {
+        *v = a * *v + xv;
+        acc += *v as f64 * *v as f64;
+    }
+    acc
+}
+
+pub fn scale_add_norm(a: Real, x: &[Real], y: &[Real], out: &mut [Real]) -> f64 {
+    let mut acc = 0.0f64;
+    for (i, v) in out.iter_mut().enumerate() {
+        *v = a * x[i] + y[i];
+        acc += *v as f64 * *v as f64;
+    }
+    acc
+}
+
 pub fn dot(x: &[Real], y: &[Real]) -> f64 {
     x.iter().zip(y).map(|(&a, &b)| a as f64 * b as f64).sum()
 }
@@ -60,6 +92,26 @@ pub fn fd8_combine(
             acc += cm * (plus[m][k] - minus[m][k]);
         }
         *ov = acc * inv_h;
+    }
+}
+
+pub fn fd8_combine_scale(
+    out: &mut [Real],
+    plus: &[&[Real]; 4],
+    minus: &[&[Real]; 4],
+    c: &[Real; 4],
+    inv_h: Real,
+    s: Real,
+) {
+    // `inv_h·s` folds once up front; with `s == 1` the product is exactly
+    // `inv_h`, so the unscaled kernel can delegate here bit-identically.
+    let ihs = inv_h * s;
+    for (k, ov) in out.iter_mut().enumerate() {
+        let mut acc = 0.0 as Real;
+        for (m, &cm) in c.iter().enumerate() {
+            acc += cm * (plus[m][k] - minus[m][k]);
+        }
+        *ov = acc * ihs;
     }
 }
 

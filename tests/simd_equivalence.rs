@@ -4,12 +4,14 @@
 //!
 //! Two layers:
 //! - proptest cases drive every `claire-simd` kernel with random sizes —
-//!   including ragged tails (`n % 4 != 0`) — under both backends and
+//!   including ragged tails (`n % 4 != 0`) — under the vector backends and
 //!   require ≤1e-12 relative agreement (the FMA contract: one rounding
-//!   instead of two, never a different algorithm);
-//! - a smoke registration solve under `CLAIRE_SIMD=scalar` and `=auto`
-//!   must reach the same Gauss–Newton iteration count and the same final
-//!   mismatch to 6 significant digits.
+//!   instead of two, never a different algorithm); the fused
+//!   update+reduction kernels are additionally compared against their
+//!   unfused pairs on all three backends (scalar, portable, avx2);
+//! - a smoke registration solve under `CLAIRE_SIMD=scalar`, `=portable`,
+//!   and `=auto` must reach the same Gauss–Newton iteration count and the
+//!   same final mismatch to 6 significant digits.
 //!
 //! The backend override is process-global, so every test serializes on one
 //! mutex before flipping it. On hosts without AVX2+FMA the `auto` side
@@ -65,11 +67,103 @@ fn fill(seed: u64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
         .collect()
 }
 
+/// Run `f` under one forced backend, holding the flip lock.
+fn on_backend<R>(choice: Choice, mut f: impl FnMut() -> R) -> R {
+    let _g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    claire_simd::force_backend(Some(choice));
+    let r = f();
+    claire_simd::force_backend(None);
+    r
+}
+
+/// Every dispatch arm the fused kernels must agree across.
+const ALL_BACKENDS: [Choice; 3] = [Choice::Scalar, Choice::Portable, Choice::Avx2];
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     // n in 0..131 sweeps full 4-lane vectors, ragged tails (n % 4 != 0),
     // and sub-vector lengths (0..=3) for every kernel below.
+
+    // Fused update+reduction kernels vs. their unfused pairs, on all three
+    // backends (scalar, portable, avx2): the fused single-pass variants
+    // must agree with update-then-reduce to ≤1e-12 relative — same
+    // arithmetic, at most an FMA/chunked-fold rounding difference. The
+    // unfused reference is computed on the scalar backend so every arm is
+    // also pinned against one common answer.
+    #[test]
+    fn fused_kernels_match_unfused_on_all_backends(
+        n in 0usize..131,
+        seed in 0u64..1_000_000,
+        a in -3.0f64..3.0,
+    ) {
+        let x = fill(seed, n, -100.0, 100.0);
+        let y = fill(seed + 1, n, -100.0, 100.0);
+
+        // scalar unfused reference: update pass, then reduction pass
+        let (r_axpy, d_axpy, r_aypx, d_aypx, r_sa, d_sa) = on_backend(Choice::Scalar, || {
+            let mut ya = y.clone();
+            claire_simd::axpy(a, &x, &mut ya);
+            let da = claire_simd::dot(&ya, &ya);
+            let mut yp = y.clone();
+            claire_simd::aypx(a, &x, &mut yp);
+            let dp = claire_simd::dot(&yp, &yp);
+            let mut o = y.clone();
+            claire_simd::scale(a, &mut o);
+            claire_simd::axpy(1.0, &x, &mut o); // o = a·y + x
+            let ds = claire_simd::dot(&o, &o);
+            (ya, da, yp, dp, o, ds)
+        });
+
+        for choice in ALL_BACKENDS {
+            let (fa, fda, fp, fdp, fo, fds) = on_backend(choice, || {
+                let mut ya = y.clone();
+                let da = claire_simd::axpy_dot(a, &x, &mut ya);
+                let mut yp = y.clone();
+                let dp = claire_simd::aypx_norm2(a, &x, &mut yp);
+                let mut o = vec![0.0; n];
+                let ds = claire_simd::scale_add_norm(a, &y, &x, &mut o);
+                (ya, da, yp, dp, o, ds)
+            });
+            let tag = format!("{choice:?}");
+            assert_slices_close(&fa, &r_axpy, &format!("axpy_dot data [{tag}]"));
+            assert_close(fda, d_axpy, &format!("axpy_dot reduction [{tag}]"));
+            assert_slices_close(&fp, &r_aypx, &format!("aypx_norm2 data [{tag}]"));
+            assert_close(fdp, d_aypx, &format!("aypx_norm2 reduction [{tag}]"));
+            assert_slices_close(&fo, &r_sa, &format!("scale_add_norm data [{tag}]"));
+            assert_close(fds, d_sa, &format!("scale_add_norm reduction [{tag}]"));
+        }
+    }
+
+    // The scaled fd8 combine (inv_h·s folded into one sweep) must match
+    // combine-then-scale on every backend.
+    #[test]
+    fn fd8_combine_scale_matches_on_all_backends(
+        n in 0usize..131,
+        seed in 0u64..1_000_000,
+        inv_h in 0.1f64..10.0,
+        s in -4.0f64..4.0,
+    ) {
+        let rows: Vec<Vec<Real>> = (0..8).map(|r| fill(seed + r, n, -100.0, 100.0)).collect();
+        let cv = fill(seed + 8, 4, -1.0, 1.0);
+        let c = [cv[0], cv[1], cv[2], cv[3]];
+        let plus: [&[Real]; 4] = [&rows[0], &rows[1], &rows[2], &rows[3]];
+        let minus: [&[Real]; 4] = [&rows[4], &rows[5], &rows[6], &rows[7]];
+        let reference = on_backend(Choice::Scalar, || {
+            let mut out = vec![0.0 as Real; n];
+            claire_simd::fd8_combine(&mut out, &plus, &minus, &c, inv_h);
+            claire_simd::scale(s, &mut out);
+            out
+        });
+        for choice in ALL_BACKENDS {
+            let fused = on_backend(choice, || {
+                let mut out = vec![0.0 as Real; n];
+                claire_simd::fd8_combine_scale(&mut out, &plus, &minus, &c, inv_h, s);
+                out
+            });
+            assert_slices_close(&fused, &reference, &format!("fd8_combine_scale [{choice:?}]"));
+        }
+    }
 
     #[test]
     fn elementwise_ops_match(n in 0usize..131, seed in 0u64..1_000_000, a in -3.0f64..3.0) {
@@ -191,7 +285,7 @@ proptest! {
 #[test]
 fn backend_is_bitwise_deterministic() {
     let _g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
-    for choice in [Choice::Scalar, Choice::Avx2] {
+    for choice in [Choice::Scalar, Choice::Portable, Choice::Avx2] {
         claire_simd::force_backend(Some(choice));
         let x: Vec<Real> = (0..1003).map(|i| ((i * 37 % 101) as Real) / 17.0 - 2.5).collect();
         let y: Vec<Real> = (0..1003).map(|i| ((i * 23 % 97) as Real) / 13.0 - 3.1).collect();
@@ -248,14 +342,15 @@ fn smoke_solve_is_backend_insensitive() {
         (report.gn_iters, report.rel_mismatch)
     };
     let (gn_scalar, mm_scalar) = run(Choice::Scalar);
-    let (gn_auto, mm_auto) = run(Choice::Auto);
+    for (name, choice) in [("portable", Choice::Portable), ("auto", Choice::Auto)] {
+        let (gn, mm) = run(choice);
+        assert_eq!(gn_scalar, gn, "backend {name} must not change the GN iteration count");
+        let rel = ((mm_scalar - mm) / mm_scalar.abs().max(1e-300)).abs();
+        assert!(
+            rel < 1e-6,
+            "final mismatch must agree to 6 digits: scalar {mm_scalar} vs {name} {mm} (rel {rel:.2e})"
+        );
+    }
     claire_simd::force_backend(None);
-
-    assert_eq!(gn_scalar, gn_auto, "backend choice must not change the GN iteration count");
-    let rel = ((mm_scalar - mm_auto) / mm_scalar.abs().max(1e-300)).abs();
-    assert!(
-        rel < 1e-6,
-        "final mismatch must agree to 6 digits: scalar {mm_scalar} vs auto {mm_auto} (rel {rel:.2e})"
-    );
     claire::par::set_threads(0);
 }

@@ -13,9 +13,9 @@
 //! the calling thread (no spawns), which both makes the run deterministic
 //! and keeps scoped-thread bookkeeping out of the counter.
 //!
-//! The whole measurement runs once per SIMD backend (scalar and auto) —
-//! the vectorized kernels must be as allocation-free as the loops they
-//! replaced.
+//! The whole measurement runs once per SIMD backend (scalar, portable,
+//! and auto) — the vectorized kernels, including the fused PCG field-op
+//! chains, must be as allocation-free as the loops they replaced.
 
 use std::sync::{Arc, Mutex};
 
@@ -60,7 +60,9 @@ fn steady_state_gn_iteration_is_allocation_free() {
     let (m0, m1) = blob_pair(layout, 0.5);
     let cfg = config();
 
-    for choice in [claire_simd::Choice::Scalar, claire_simd::Choice::Auto] {
+    for choice in
+        [claire_simd::Choice::Scalar, claire_simd::Choice::Portable, claire_simd::Choice::Auto]
+    {
         claire_simd::force_backend(Some(choice));
 
         // Warm-up solve: fills the workspace pools and the FFT plan cache.
@@ -129,7 +131,9 @@ fn steady_state_batch_round_is_allocation_free() {
             .collect()
     };
 
-    for choice in [claire_simd::Choice::Scalar, claire_simd::Choice::Auto] {
+    for choice in
+        [claire_simd::Choice::Scalar, claire_simd::Choice::Portable, claire_simd::Choice::Auto]
+    {
         claire_simd::force_backend(Some(choice));
 
         // Warm-up batch: fills the pools and the plan cache.
