@@ -224,6 +224,150 @@ fn bench_at(
     }
 }
 
+/// f32 arms of the three §3 compute kernels plus the fused PCG stream op,
+/// at the same loop structure as their f64 counterparts — the element
+/// width is the only variable, so the f64-row / `_f32`-row gap is the
+/// mixed-precision traffic reduction the roofline model predicts (~2× on
+/// bandwidth-bound kernels). Rows are threads==1 only (the stable gated
+/// set); both timing and `pct_of_peak` roofline rows gate in CI.
+fn bench_f32_at(n: usize, backend: &str, out: &mut Vec<BenchRow>) {
+    set_threads(1);
+    let reps = if n >= 128 { 2 } else { 5 };
+    let grid = Grid::cube(n);
+    let h = grid.spacing()[0];
+    let src: Vec<f32> = test_field(n).data().iter().map(|&v| v as f32).collect();
+    let mut push = |mut r: BenchRow| {
+        r.backend = backend.to_string();
+        out.push(r);
+    };
+
+    // FD8 gradient: three stencil sweeps (one per dim) over an f32 field,
+    // expressed as the same contiguous-x3-row combines as claire-diff's
+    // sweeps — periodic neighbour rows for x1/x2, shifted views for x3.
+    {
+        let c: [f32; 4] = claire_diff::fd::FD8.map(|v| v as f32);
+        let inv_h = (1.0 / h) as f32;
+        let mut g = vec![0.0f32; n * n * n];
+        let row = |p: usize, j: usize| p * n * n + j * n;
+        push(measure("fd_gradient_f32", n, 1, false, reps, || {
+            for dim in 0..3usize {
+                match dim {
+                    0 | 1 => {
+                        for i in 0..n {
+                            for j in 0..n {
+                                let neigh = |m: usize, up: bool| {
+                                    let d = m + 1;
+                                    let (pi, pj) = match (dim, up) {
+                                        (0, true) => ((i + d) % n, j),
+                                        (0, false) => ((i + n - d) % n, j),
+                                        (1, true) => (i, (j + d) % n),
+                                        _ => (i, (j + n - d) % n),
+                                    };
+                                    let b = row(pi, pj);
+                                    &src[b..b + n]
+                                };
+                                let plus = std::array::from_fn(|m| neigh(m, true));
+                                let minus = std::array::from_fn(|m| neigh(m, false));
+                                let b = row(i, j);
+                                claire_simd::f32k::fd8_combine_scale(
+                                    &mut g[b..b + n],
+                                    &plus,
+                                    &minus,
+                                    &c,
+                                    inv_h,
+                                    1.0,
+                                );
+                            }
+                        }
+                    }
+                    _ => {
+                        for r in 0..n * n {
+                            let sr = &src[r * n..(r + 1) * n];
+                            let o = &mut g[r * n..(r + 1) * n];
+                            for k in (0..4).chain(n - 4..n) {
+                                let mut acc = 0.0f32;
+                                for (m, &cm) in c.iter().enumerate() {
+                                    let d = m + 1;
+                                    acc += cm * (sr[(k + d) % n] - sr[(k + n - d) % n]);
+                                }
+                                o[k] = acc * inv_h;
+                            }
+                            let plus = [&sr[5..], &sr[6..], &sr[7..], &sr[8..]];
+                            let minus = [&sr[3..], &sr[2..], &sr[1..], &sr[0..]];
+                            claire_simd::f32k::fd8_combine_scale(
+                                &mut o[4..n - 4],
+                                &plus,
+                                &minus,
+                                &c,
+                                inv_h,
+                                1.0,
+                            );
+                        }
+                    }
+                }
+                std::hint::black_box(&g);
+            }
+        }));
+    }
+
+    // Cubic Lagrange interpolation: one off-grid query per grid point at
+    // the same fractional offsets as the f64 row, on a ghost-extended f32
+    // copy (2 planes per side along x1, the cubic support width).
+    {
+        let gw = 2usize;
+        let mut ext = vec![0.0f32; (n + 2 * gw) * n * n];
+        for p in 0..n + 2 * gw {
+            let sp = (p + n - gw) % n;
+            ext[p * n * n..(p + 1) * n * n].copy_from_slice(&src[sp * n * n..(sp + 1) * n * n]);
+        }
+        // fractions of the query offsets (+0.37h, −0.21h, +0.11h)
+        let (t1, t2, t3) = (0.37f32, 0.79f32, 0.11f32);
+        let mut vals = vec![0.0f32; n * n * n];
+        push(measure("interp_cubic_f32", n, 1, false, reps, || {
+            let w1 = claire_simd::f32k::lagrange_weights(t1);
+            let w2 = claire_simd::f32k::lagrange_weights(t2);
+            let w3 = claire_simd::f32k::lagrange_weights(t3);
+            for i in 0..n {
+                for j in 0..n {
+                    // x2 base is j−1 (offset −0.21h); x3 base is k
+                    let b2 = (j + n - 1) % n;
+                    for k in 0..n {
+                        let v = if b2 >= 1 && b2 + 2 < n && k >= 1 && k + 2 < n {
+                            let base = ((i + gw - 1) * n + (b2 - 1)) * n + (k - 1);
+                            claire_simd::f32k::cubic_accumulate(&ext, base, n * n, n, &w1, &w2, &w3)
+                        } else {
+                            let mut acc = 0.0f32;
+                            for (a, &wa) in w1.iter().enumerate() {
+                                let ii = i + gw + a - 1;
+                                for (b, &wb) in w2.iter().enumerate() {
+                                    let jj = (b2 + n + b - 1) % n;
+                                    let wab = wa * wb;
+                                    for (cix, &wc) in w3.iter().enumerate() {
+                                        let kk = (k + n + cix - 1) % n;
+                                        acc += wab * wc * ext[(ii * n + jj) * n + kk];
+                                    }
+                                }
+                            }
+                            acc
+                        };
+                        vals[(i * n + j) * n + k] = v;
+                    }
+                }
+            }
+            std::hint::black_box(&vals);
+        }));
+    }
+
+    // fused axpy+dot stream op (the PCG residual-update chain) at f32
+    {
+        let x: Vec<f32> = test_field(n).data().iter().map(|&v| v as f32).collect();
+        let mut y = src.clone();
+        push(measure("axpy_dot_f32", n, 1, false, reps * 4, || {
+            std::hint::black_box(claire_simd::f32k::axpy_dot(1.0000001, &x, &mut y));
+        }));
+    }
+}
+
 /// Socket-transport collectives over real Unix-domain sockets: the FFT
 /// alltoallv transpose payload and a width-4 ghost exchange at `n`³, on 2
 /// and 4 ranks. Unlike the in-process channel rows these cross the kernel
@@ -292,6 +436,8 @@ fn main() {
                 eprintln!("bench: {n}^3 with {threads} thread(s), backend={backend}...");
                 bench_at(n, threads, over, backend, &mut results);
             }
+            eprintln!("bench: {n}^3 f32 kernel arms, backend={backend}...");
+            bench_f32_at(n, backend, &mut results);
         }
         // socket rows cost real syscalls, not SIMD lanes; one pass suffices
         if backend == "auto" {
@@ -302,18 +448,23 @@ fn main() {
     claire_simd::force_backend(None); // back to env-based resolution
     set_threads(0); // restore default resolution
 
-    // Roofline rows for the streaming field-op kernels, where the pass count
-    // is exact: achieved bytes/sec = passes × 8 bytes ÷ measured ns/point,
-    // normalized by the host STREAM peak. Only the stable threads==1 rows.
-    // Values can exceed 100%: the bench fields (2–16 MiB) are partly
-    // cache-resident while the probe streams a 24 MiB working set — the
-    // gate tracks relative drift, not the absolute DRAM ceiling.
+    // Roofline rows for the streaming kernels, where the pass count is
+    // exact: achieved bytes/sec = passes × element size ÷ measured
+    // ns/point, normalized by the host STREAM peak. The element size comes
+    // from the row's actual width (4 bytes for the `_f32` arms, the size
+    // of `Real` otherwise) — not a hard-coded 8. Only the stable
+    // threads==1 rows. Values can exceed 100%: the bench fields (1–16 MiB)
+    // are partly cache-resident while the probe streams a 24 MiB working
+    // set — the gate tracks relative drift, not the absolute DRAM ceiling.
     let host = claire_perf::machine::host_roofline();
     let passes_of = |kernel: &str| -> Option<f64> {
         match kernel {
             "axpy" => Some(3.0),              // read x, read + write y
             "axpy_norm_fused" => Some(3.0),   // same pass also reduces
             "axpy_norm_unfused" => Some(4.0), // + one re-read for the dot
+            "axpy_dot_f32" => Some(3.0),      // fused chain, f32 elements
+            "fd_gradient_f32" => Some(6.0),   // 3 dims × (read + write)
+            "interp_cubic_f32" => Some(2.0),  // gather (cached) + write
             _ => None,
         }
     };
@@ -322,7 +473,9 @@ fn main() {
         .filter(|r| r.threads == 1)
         .filter_map(|r| {
             let passes = passes_of(&r.kernel)?;
-            let achieved = passes * 8.0 / (r.ns_per_point * 1e-9);
+            let elem_bytes =
+                if r.kernel.ends_with("_f32") { 4.0 } else { std::mem::size_of::<Real>() as f64 };
+            let achieved = passes * elem_bytes / (r.ns_per_point * 1e-9);
             Some(RooflineRow {
                 kernel: r.kernel.clone(),
                 n: r.n,

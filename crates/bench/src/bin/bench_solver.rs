@@ -15,13 +15,22 @@
 //! The GN iteration includes the fused PCG field-op chains, so its
 //! `ns_per_point` row gates the fusion work end to end, and its
 //! `allocs_per_iter` field asserts the fused loop stayed allocation-free.
+//!
+//! Each configuration runs at both precisions (`gn_iteration` /
+//! `gn_iteration_mixed`), and a `pcg_h0` / `pcg_h0_mixed` row pair times a
+//! fixed-iteration inner PCG on the zero-velocity Hessian at 64³ and 96³
+//! — both widths on the identical schedule — so the committed baseline
+//! pins the mixed-precision speedup of the PCG-dominated phase.
 
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use claire_core::{Claire, PrecondKind, RegistrationConfig, SolverHooks};
-use claire_grid::{Grid, Layout, Real, ScalarField};
+use claire_core::{Claire, Precision, PrecondKind, RegistrationConfig, SolverHooks};
+use claire_diff::SpectralT;
+use claire_fft::FftElem;
+use claire_grid::{Grid, Layout, Real, ScalarField, VectorField, VectorFieldT, WsCat};
 use claire_mpi::Comm;
+use claire_opt::{pcg, PcgConfig, PcgOperator};
 use claire_par::alloc_counter::{allocation_count, CountingAlloc};
 use claire_par::set_threads;
 use serde::Serialize;
@@ -62,7 +71,7 @@ fn blob_pair(layout: Layout, shift: Real) -> (ScalarField, ScalarField) {
     (ScalarField::from_fn(layout, blob(3.0)), ScalarField::from_fn(layout, blob(3.0 + shift)))
 }
 
-fn bench_grid(n: usize, backend: &str) -> SolverRow {
+fn bench_grid(n: usize, backend: &str, precision: Precision) -> SolverRow {
     let nt = 2;
     let cfg = RegistrationConfig {
         nt,
@@ -73,6 +82,7 @@ fn bench_grid(n: usize, backend: &str) -> SolverRow {
         max_gn_iter: 6,
         max_pcg_iter: 5,
         grad_rtol: 1e-14, // run all iterations; this measures cost, not fit
+        precision,
         verbose: false,
         ..Default::default()
     };
@@ -109,7 +119,10 @@ fn bench_grid(n: usize, backend: &str) -> SolverRow {
     let allocs_per_iter = gaps.iter().map(|g| g.1).max().unwrap_or(0);
 
     SolverRow {
-        kernel: "gn_iteration".to_string(),
+        kernel: match precision {
+            Precision::F64 => "gn_iteration".to_string(),
+            Precision::Mixed => "gn_iteration_mixed".to_string(),
+        },
         n,
         threads: 1,
         backend: backend.to_string(),
@@ -118,6 +131,94 @@ fn bench_grid(n: usize, backend: &str) -> SolverRow {
         ns_per_point,
         total_ms,
         allocs_per_iter,
+    }
+}
+
+/// The zero-velocity Hessian `H0 = βA + ∇m̄ ⊗ ∇m̄` solved by PCG with the
+/// `(βA)⁻¹` left preconditioner — the paper's inner solve, and the part of
+/// a Gauss-Newton iteration the mixed-precision seam runs at f32. Same
+/// operator structure as claire-core's `InvH0` apply, generic over the
+/// element width so the `pcg_h0` / `pcg_h0_mixed` row pair isolates the
+/// PCG-dominated phase at both widths.
+struct H0Bench<'a, T: FftElem> {
+    spectral: &'a SpectralT<T>,
+    grad: &'a VectorFieldT<T>,
+    beta: f64,
+}
+
+impl<T: FftElem> PcgOperator<T> for H0Bench<'_, T> {
+    fn apply(&mut self, s: &VectorFieldT<T>, comm: &mut Comm) -> VectorFieldT<T> {
+        let mut out = self.spectral.reg_apply(s, self.beta, comm);
+        let mut w = claire_grid::ScalarFieldT::<T>::zeros(*s.layout());
+        for d in 0..3 {
+            w.add_scaled_product(T::ONE, &self.grad.c[d], &s.c[d]);
+        }
+        for d in 0..3 {
+            out.c[d].add_scaled_product(T::ONE, &self.grad.c[d], &w);
+        }
+        out
+    }
+
+    fn prec(&mut self, r: &VectorFieldT<T>, comm: &mut Comm) -> VectorFieldT<T> {
+        self.spectral.reg_inv(r, self.beta, comm)
+    }
+}
+
+/// ns per grid point per inner-PCG iteration on the H0 system at element
+/// width `T`, pinned to a fixed iteration count (`tol_rel = 0`) so both
+/// widths run the identical schedule and the row pair measures pure
+/// per-iteration cost.
+fn bench_pcg_h0<T: FftElem>(n: usize, backend: &str, kernel: &str) -> SolverRow {
+    let layout = Layout::serial(Grid::cube(n));
+    let mut comm = Comm::solo();
+    let spectral = SpectralT::<T>::new(layout.grid, &comm);
+    let grad64 = VectorField::from_fns(
+        layout,
+        |x, y, _| (x - 3.0) * (-(x - 3.0) * (x - 3.0) - (y - 3.0) * (y - 3.0)).exp(),
+        |_, y, z| (y - 3.0) * (-(y - 3.0) * (y - 3.0) - (z - 3.0) * (z - 3.0)).exp(),
+        |x, _, z| (z - 3.0) * (-(z - 3.0) * (z - 3.0) - (x - 3.0) * (x - 3.0)).exp(),
+    );
+    let rhs64 = VectorField::from_fns(
+        layout,
+        |x, y, z| (x + 0.5 * y).sin() * z.cos(),
+        |x, y, z| (y + 0.5 * z).sin() * x.cos(),
+        |x, y, z| (z + 0.5 * x).sin() * y.cos(),
+    );
+    let grad: VectorFieldT<T> = grad64.converted(WsCat::Other);
+    let rhs: VectorFieldT<T> = rhs64.converted(WsCat::Other);
+    let mut ops = H0Bench { spectral: &spectral, grad: &grad, beta: 1e-2 };
+    let iters = 12usize;
+    let cfg = PcgConfig { tol_rel: 0.0, max_iter: iters, trace: false };
+
+    // warm-up: plan the FFTs, fill the width's workspace pools
+    let _ = pcg(&rhs, None, &cfg, &mut ops, &mut comm);
+
+    let reps = 3usize;
+    let mut best = std::time::Duration::MAX;
+    let mut allocs = u64::MAX;
+    let mut done = 0usize;
+    for _ in 0..3 {
+        let a0 = allocation_count();
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let (_, res) = pcg(&rhs, None, &cfg, &mut ops, &mut comm);
+            done = res.iters;
+        }
+        best = best.min(t0.elapsed());
+        allocs = allocs.min(allocation_count() - a0);
+    }
+    assert_eq!(done, iters, "fixed-iteration PCG must run the pinned schedule");
+    let points = (n * n * n) as f64;
+    SolverRow {
+        kernel: kernel.to_string(),
+        n,
+        threads: 1,
+        backend: backend.to_string(),
+        nt: 0,
+        gn_iters: iters,
+        ns_per_point: best.as_nanos() as f64 / (reps as f64 * iters as f64 * points),
+        total_ms: best.as_secs_f64() * 1e3,
+        allocs_per_iter: allocs / (reps as u64 * iters as u64),
     }
 }
 
@@ -133,13 +234,34 @@ fn main() {
     ] {
         claire_simd::force_backend(Some(choice));
         for n in [32usize, 48] {
-            eprintln!("bench_solver: {n}^3, 1 thread, backend={backend}...");
-            let row = bench_grid(n, backend);
+            for precision in [Precision::F64, Precision::Mixed] {
+                eprintln!(
+                    "bench_solver: {n}^3, 1 thread, backend={backend}, {}...",
+                    precision.label()
+                );
+                let row = bench_grid(n, backend, precision);
+                eprintln!(
+                    "bench_solver:   {:.1} ns/pt per GN iter, {} alloc(s)/iter over {} iters",
+                    row.ns_per_point, row.allocs_per_iter, row.gn_iters
+                );
+                results.push(row);
+            }
+        }
+        // the PCG-dominated phase in isolation: identical fixed-iteration
+        // inner solves at f64 and f32 widths. Larger grids than the GN rows:
+        // the mixed win is halved memory traffic, which only shows once the
+        // working set leaves the last-level cache.
+        for n in [64usize, 96] {
+            let r64 = bench_pcg_h0::<f64>(n, backend, "pcg_h0");
+            let r32 = bench_pcg_h0::<f32>(n, backend, "pcg_h0_mixed");
             eprintln!(
-                "bench_solver:   {:.1} ns/pt per GN iter, {} alloc(s)/iter over {} iters",
-                row.ns_per_point, row.allocs_per_iter, row.gn_iters
+                "bench_solver:   pcg_h0 {n}^3 {:.1} ns/pt vs mixed {:.1} ns/pt ({:.2}x)",
+                r64.ns_per_point,
+                r32.ns_per_point,
+                r64.ns_per_point / r32.ns_per_point
             );
-            results.push(row);
+            results.push(r64);
+            results.push(r32);
         }
     }
     claire_simd::force_backend(None); // back to env-based resolution

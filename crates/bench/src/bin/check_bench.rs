@@ -54,6 +54,57 @@ struct Delta {
     status: &'static str,
 }
 
+/// Pure comparison: every baseline row is matched against the fresh run
+/// by `(kernel, n, backend, unit)` and classified. A baseline row with no
+/// fresh counterpart is a `MISSING` delta — a silently dropped bench row
+/// must fail the gate just like a slow one, otherwise deleting a bench
+/// "fixes" its regression. `compared` counts the rows that matched.
+fn compare(baseline: &[Row], fresh: &[Row], threshold: f64) -> (Vec<Delta>, usize) {
+    let mut deltas: Vec<Delta> = Vec::new();
+    let mut compared = 0usize;
+    for b in baseline {
+        // unit participates in the key: a kernel can carry both a timing row
+        // and a roofline row under the same (kernel, n, backend) triple
+        let Some(f) = fresh.iter().find(|f| {
+            f.kernel == b.kernel && f.n == b.n && f.backend == b.backend && f.unit == b.unit
+        }) else {
+            deltas.push(Delta {
+                kernel: b.kernel.clone(),
+                n: b.n,
+                backend: b.backend.clone(),
+                unit: b.unit,
+                base: b.value,
+                fresh: None,
+                delta: 0.0,
+                status: "MISSING",
+            });
+            continue;
+        };
+        compared += 1;
+        let delta = f.value / b.value - 1.0;
+        // the bad direction flips with the metric: slower (ns up) or less
+        // throughput (pairs/s down)
+        let regressed = if b.higher_is_better { delta < -threshold } else { delta > threshold };
+        let mut status = if regressed { "REGRESSED" } else { "ok" };
+        if let (Some(fa), Some(ba)) = (f.allocs_per_iter, b.allocs_per_iter) {
+            if fa > ba {
+                status = "ALLOC-REGRESSED";
+            }
+        }
+        deltas.push(Delta {
+            kernel: b.kernel.clone(),
+            n: b.n,
+            backend: b.backend.clone(),
+            unit: b.unit,
+            base: b.value,
+            fresh: Some(f.value),
+            delta,
+            status,
+        });
+    }
+    (deltas, compared)
+}
+
 fn get<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
     match v {
         Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
@@ -167,62 +218,25 @@ fn main() {
         "{:<24} {:>5} {:<8} {:<8} {:>12} {:>12} {:>8}  status",
         "kernel", "n", "backend", "unit", "base", "fresh", "delta"
     );
-    let mut deltas: Vec<Delta> = Vec::new();
-    let mut compared = 0usize;
-    for b in &baseline {
-        // unit participates in the key: a kernel can carry both a timing row
-        // and a roofline row under the same (kernel, n, backend) triple
-        let Some(f) = fresh.iter().find(|f| {
-            f.kernel == b.kernel && f.n == b.n && f.backend == b.backend && f.unit == b.unit
-        }) else {
-            println!(
-                "{:<24} {:>5} {:<8} {:<8} {:>12.1} {:>12} {:>8}  MISSING",
-                b.kernel, b.n, b.backend, b.unit, b.value, "-", "-"
-            );
-            deltas.push(Delta {
-                kernel: b.kernel.clone(),
-                n: b.n,
-                backend: b.backend.clone(),
-                unit: b.unit,
-                base: b.value,
-                fresh: None,
-                delta: 0.0,
-                status: "MISSING",
-            });
-            continue;
-        };
-        compared += 1;
-        let delta = f.value / b.value - 1.0;
-        // the bad direction flips with the metric: slower (ns up) or less
-        // throughput (pairs/s down)
-        let regressed = if b.higher_is_better { delta < -threshold } else { delta > threshold };
-        let mut status = if regressed { "REGRESSED" } else { "ok" };
-        if let (Some(fa), Some(ba)) = (f.allocs_per_iter, b.allocs_per_iter) {
-            if fa > ba {
-                status = "ALLOC-REGRESSED";
-            }
+    let (deltas, compared) = compare(&baseline, &fresh, threshold);
+    for d in &deltas {
+        match d.fresh {
+            Some(fr) => println!(
+                "{:<24} {:>5} {:<8} {:<8} {:>12.1} {:>12.1} {:>7.1}%  {}",
+                d.kernel,
+                d.n,
+                d.backend,
+                d.unit,
+                d.base,
+                fr,
+                d.delta * 100.0,
+                d.status
+            ),
+            None => println!(
+                "{:<24} {:>5} {:<8} {:<8} {:>12.1} {:>12} {:>8}  {}",
+                d.kernel, d.n, d.backend, d.unit, d.base, "-", "-", d.status
+            ),
         }
-        println!(
-            "{:<24} {:>5} {:<8} {:<8} {:>12.1} {:>12.1} {:>7.1}%  {}",
-            b.kernel,
-            b.n,
-            b.backend,
-            b.unit,
-            b.value,
-            f.value,
-            delta * 100.0,
-            status
-        );
-        deltas.push(Delta {
-            kernel: b.kernel.clone(),
-            n: b.n,
-            backend: b.backend.clone(),
-            unit: b.unit,
-            base: b.value,
-            fresh: Some(f.value),
-            delta,
-            status,
-        });
     }
     // rows the fresh run emits that the baseline lacks are informational —
     // committing a refreshed baseline arms the gate for them
@@ -278,4 +292,88 @@ fn main() {
         std::process::exit(1);
     }
     println!("check_bench: {compared} row(s) within {:.0}% of {baseline_path}", threshold * 100.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(kernel: &str, value: f64, higher_is_better: bool, allocs: Option<u64>) -> Row {
+        Row {
+            kernel: kernel.to_string(),
+            n: 32,
+            threads: 1,
+            backend: "scalar".to_string(),
+            value,
+            unit: if higher_is_better { "pairs/s" } else { "ns/pt" },
+            higher_is_better,
+            allocs_per_iter: allocs,
+        }
+    }
+
+    #[test]
+    fn within_threshold_is_ok() {
+        let base = vec![row("axpy", 10.0, false, None)];
+        let fresh = vec![row("axpy", 12.0, false, None)];
+        let (deltas, compared) = compare(&base, &fresh, 0.30);
+        assert_eq!(compared, 1);
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].status, "ok");
+    }
+
+    #[test]
+    fn slower_timing_row_regresses() {
+        let base = vec![row("axpy", 10.0, false, None)];
+        let fresh = vec![row("axpy", 14.0, false, None)];
+        let (deltas, _) = compare(&base, &fresh, 0.30);
+        assert_eq!(deltas[0].status, "REGRESSED");
+    }
+
+    #[test]
+    fn lower_throughput_row_regresses() {
+        let base = vec![row("batch", 100.0, true, None)];
+        let fresh = vec![row("batch", 60.0, true, None)];
+        let (deltas, _) = compare(&base, &fresh, 0.30);
+        assert_eq!(deltas[0].status, "REGRESSED");
+        // the same drop in a lower-is-better metric would be an improvement
+        let (deltas, _) =
+            compare(&[row("t", 100.0, false, None)], &[row("t", 60.0, false, None)], 0.30);
+        assert_eq!(deltas[0].status, "ok");
+    }
+
+    #[test]
+    fn alloc_increase_fails_exactly() {
+        let base = vec![row("gn_iteration", 10.0, false, Some(0))];
+        let fresh = vec![row("gn_iteration", 10.0, false, Some(1))];
+        let (deltas, _) = compare(&base, &fresh, 0.30);
+        assert_eq!(deltas[0].status, "ALLOC-REGRESSED");
+    }
+
+    #[test]
+    fn missing_baseline_row_is_named_and_offending() {
+        // a fresh run that silently drops a gated row must fail, and the
+        // delta must name the row so the failure is actionable
+        let base = vec![row("pcg_h0_mixed", 10.0, false, None), row("axpy", 5.0, false, None)];
+        let fresh = vec![row("axpy", 5.0, false, None)];
+        let (deltas, compared) = compare(&base, &fresh, 0.30);
+        assert_eq!(compared, 1);
+        let missing: Vec<&Delta> = deltas.iter().filter(|d| d.status == "MISSING").collect();
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].kernel, "pcg_h0_mixed");
+        assert!(missing[0].fresh.is_none());
+        // MISSING participates in the same status != "ok" filter main uses
+        assert!(deltas.iter().any(|d| d.status != "ok"));
+    }
+
+    #[test]
+    fn unit_participates_in_row_key() {
+        // a timing row must not satisfy a roofline row of the same kernel
+        let mut roof = row("axpy", 40.0, true, None);
+        roof.unit = "%peak";
+        let base = vec![row("axpy", 10.0, false, None), roof];
+        let fresh = vec![row("axpy", 10.0, false, None)];
+        let (deltas, compared) = compare(&base, &fresh, 0.30);
+        assert_eq!(compared, 1);
+        assert!(deltas.iter().any(|d| d.status == "MISSING" && d.unit == "%peak"));
+    }
 }

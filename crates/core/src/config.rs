@@ -30,6 +30,41 @@ impl PrecondKind {
 /// Interpolation order re-export for configuration ergonomics.
 pub use claire_interp::IpOrder;
 
+/// Solver arithmetic width (the mixed-precision seam, CLAIRE's GPU-era
+/// optimization): `F64` runs everything in double precision; `Mixed` keeps
+/// the outer Gauss–Newton iterate, gradient, objective, and reported
+/// mismatch in f64 but demotes the inner Krylov solve — PCG vectors,
+/// spectral preconditioner, FFTs, and their collective payloads — to f32,
+/// halving the memory traffic and wire bytes of the solver's dominant
+/// phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Precision {
+    /// Full double precision (bit-identical to the pre-seam solver).
+    F64,
+    /// f32 inner Krylov/FFT path under the f64 outer Gauss–Newton loop.
+    Mixed,
+}
+
+impl Precision {
+    /// Stable report label (`f64` / `mixed`) — the `"precision"` key of the
+    /// RunReport schema.
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::Mixed => "mixed",
+        }
+    }
+
+    /// Read `CLAIRE_PRECISION` (`mixed`/`f32`/`single` → [`Precision::Mixed`],
+    /// anything else or unset → [`Precision::F64`]).
+    pub fn from_env() -> Precision {
+        match std::env::var("CLAIRE_PRECISION").ok().as_deref() {
+            Some("mixed") | Some("f32") | Some("single") => Precision::Mixed,
+            _ => Precision::F64,
+        }
+    }
+}
+
 /// Full registration configuration (paper defaults).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize)]
 pub struct RegistrationConfig {
@@ -70,6 +105,9 @@ pub struct RegistrationConfig {
     /// Fixed PCG iterations (Table 7 scaling mode), disables the forcing
     /// sequence when set.
     pub fixed_pcg: Option<usize>,
+    /// Arithmetic width of the inner Krylov/FFT path (default: the
+    /// `CLAIRE_PRECISION` environment selection, `F64` when unset).
+    pub precision: Precision,
     /// Print progress on rank 0.
     pub verbose: bool,
 }
@@ -93,6 +131,7 @@ impl Default for RegistrationConfig {
             max_pcg_iter: 100,
             max_inner_iter: 50,
             fixed_pcg: None,
+            precision: Precision::from_env(),
             verbose: false,
         }
     }
@@ -304,6 +343,12 @@ impl RegistrationConfigBuilder {
         self
     }
 
+    /// Inner Krylov/FFT arithmetic width (overrides `CLAIRE_PRECISION`).
+    pub fn precision(mut self, p: Precision) -> Self {
+        self.cfg.precision = p;
+        self
+    }
+
     /// Print progress on rank 0.
     pub fn verbose(mut self, on: bool) -> Self {
         self.cfg.verbose = on;
@@ -342,6 +387,16 @@ mod tests {
     fn labels() {
         assert_eq!(PrecondKind::InvA.label(), "InvA");
         assert_eq!(PrecondKind::TwoLevelInvH0.label(), "2LInvH0");
+        assert_eq!(Precision::F64.label(), "f64");
+        assert_eq!(Precision::Mixed.label(), "mixed");
+    }
+
+    #[test]
+    fn builder_sets_precision() {
+        let cfg = RegistrationConfig::builder().precision(Precision::Mixed).build().unwrap();
+        assert_eq!(cfg.precision, Precision::Mixed);
+        let cfg = RegistrationConfig::builder().precision(Precision::F64).build().unwrap();
+        assert_eq!(cfg.precision, Precision::F64);
     }
 
     #[test]

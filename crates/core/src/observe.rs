@@ -52,6 +52,7 @@ pub fn collect_run_report(label: &str, report: &RegistrationReport, comm: &Comm)
     run.precond = report.pc.clone();
     run.backend = claire_simd::active_backend().label().to_string();
     run.transport = comm.transport_kind().to_string();
+    run.precision = report.precision.clone();
 
     run.summary = RunSummary {
         gn_iters: report.gn_iters,

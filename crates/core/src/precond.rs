@@ -20,40 +20,87 @@
 
 use std::sync::Arc;
 
-use claire_diff::{Spectral, TwoLevel};
-use claire_grid::{ScalarField, VectorField};
+use claire_diff::{Spectral, SpectralT, TwoLevel, TwoLevelT};
+use claire_fft::FftElem;
+use claire_grid::{Real, ScalarField, ScalarFieldT, VectorField, VectorFieldT, WsCat};
 use claire_mpi::Comm;
 use claire_opt::{pcg, PcgConfig, PcgOperator};
 
-use crate::config::{PrecondKind, RegistrationConfig};
+use crate::config::{Precision, PrecondKind, RegistrationConfig};
 use crate::problem::SolverScaffold;
 
-/// The zero-velocity Hessian `H0 = βA + ∇m̄ ⊗ ∇m̄` on one grid.
-struct H0Ops<'a> {
-    spectral: &'a Spectral,
-    grad_mbar: &'a VectorField,
+/// The zero-velocity Hessian `H0 = βA + ∇m̄ ⊗ ∇m̄` on one grid, generic over
+/// element width (f64 for the standard path, f32 for the mixed-precision
+/// inner solve).
+struct H0Ops<'a, T: FftElem = Real> {
+    spectral: &'a SpectralT<T>,
+    grad_mbar: &'a VectorFieldT<T>,
     beta: f64,
 }
 
-impl PcgOperator for H0Ops<'_> {
-    fn apply(&mut self, s: &VectorField, comm: &mut Comm) -> VectorField {
+impl<T: FftElem> PcgOperator<T> for H0Ops<'_, T> {
+    fn apply(&mut self, s: &VectorFieldT<T>, comm: &mut Comm) -> VectorFieldT<T> {
         let mut out = self.spectral.reg_apply(s, self.beta, comm);
         // rank-one-per-point term: ∇m̄ (∇m̄ · s)
         let layout = *s.layout();
-        let mut w = ScalarField::zeros(layout);
+        let mut w = ScalarFieldT::zeros(layout);
         for d in 0..3 {
-            w.add_scaled_product(1.0, &self.grad_mbar.c[d], &s.c[d]);
+            w.add_scaled_product(T::ONE, &self.grad_mbar.c[d], &s.c[d]);
         }
         for d in 0..3 {
-            out.c[d].add_scaled_product(1.0, &self.grad_mbar.c[d], &w);
+            out.c[d].add_scaled_product(T::ONE, &self.grad_mbar.c[d], &w);
         }
         out
     }
 
     /// Left preconditioner `(βA)⁻¹` — "this adds vanishing computational
     /// costs".
-    fn prec(&mut self, r: &VectorField, comm: &mut Comm) -> VectorField {
+    fn prec(&mut self, r: &VectorFieldT<T>, comm: &mut Comm) -> VectorFieldT<T> {
         self.spectral.reg_inv(r, self.beta, comm)
+    }
+}
+
+/// f32 mirrors for the mixed-precision inner solve: the spectral operators
+/// are planned at f32 width (plans cached per width, shared process-wide),
+/// and `∇m̄` is demoted on every [`PrecondState::refresh`]. Built only when
+/// [`RegistrationConfig::precision`] is [`Precision::Mixed`].
+struct MixedMirror {
+    /// Fine-grid spectral operators at f32.
+    spectral: SpectralT<f32>,
+    /// Grid transfers at f32 (2LInvH0 only).
+    two_level: Option<TwoLevelT<f32>>,
+    /// Coarse-grid spectral operators at f32 (2LInvH0 only).
+    spectral_c: Option<SpectralT<f32>>,
+    /// `∇m̄` demoted to f32 (refreshed with the f64 original).
+    grad_mbar: VectorFieldT<f32>,
+    /// Coarse `∇m̄` demoted to f32 (2LInvH0 only).
+    grad_mbar_c: Option<VectorFieldT<f32>>,
+}
+
+impl MixedMirror {
+    /// Plan the f32 mirrors; demotes the freshly computed fine/coarse `∇m̄`.
+    fn new(
+        kind: PrecondKind,
+        grid: claire_grid::Grid,
+        grad_mbar: &VectorField,
+        grad_mbar_c: Option<&VectorField>,
+        comm: &mut Comm,
+    ) -> MixedMirror {
+        let spectral = SpectralT::<f32>::new(grid, comm);
+        let (two_level, spectral_c) = if kind == PrecondKind::TwoLevelInvH0 {
+            let tl = TwoLevelT::<f32>::new(grid, comm);
+            let sc = SpectralT::<f32>::new(tl.coarse_grid(), comm);
+            (Some(tl), Some(sc))
+        } else {
+            (None, None)
+        };
+        MixedMirror {
+            spectral,
+            two_level,
+            spectral_c,
+            grad_mbar: grad_mbar.converted(WsCat::GnCg),
+            grad_mbar_c: grad_mbar_c.map(|g| g.converted(WsCat::GnCg)),
+        }
     }
 }
 
@@ -77,6 +124,8 @@ pub struct PrecondState {
     /// Persistent FD scratch so per-iteration refreshes reuse ghost/tmp
     /// buffers instead of allocating.
     fd_scratch: claire_diff::fd::FdScratch,
+    /// f32 operator/field mirrors (mixed precision only).
+    mixed: Option<MixedMirror>,
     /// Applications of InvA (`[A]` column; includes continuation levels
     /// with β > 5e−1).
     pub n_inva: usize,
@@ -100,6 +149,8 @@ impl PrecondState {
         } else {
             (None, None, None)
         };
+        let mixed = (cfg.precision == Precision::Mixed)
+            .then(|| MixedMirror::new(cfg.precond, grid, &grad_mbar, grad_mbar_c.as_ref(), comm));
         PrecondState {
             kind: cfg.precond,
             eps_h0: cfg.eps_h0,
@@ -110,6 +161,7 @@ impl PrecondState {
             spectral_c,
             grad_mbar_c,
             fd_scratch: claire_diff::fd::FdScratch::new(),
+            mixed,
             n_inva: 0,
             n_invh0: 0,
             inner_iters: 0,
@@ -145,6 +197,9 @@ impl PrecondState {
         } else {
             (None, None, None)
         };
+        let mixed = (cfg.precision == Precision::Mixed).then(|| {
+            MixedMirror::new(cfg.precond, m0.layout().grid, &grad_mbar, grad_mbar_c.as_ref(), comm)
+        });
         PrecondState {
             kind: cfg.precond,
             eps_h0: cfg.eps_h0,
@@ -155,6 +210,7 @@ impl PrecondState {
             spectral_c,
             grad_mbar_c,
             fd_scratch: claire_diff::fd::FdScratch::new(),
+            mixed,
             n_inva: 0,
             n_invh0: 0,
             inner_iters: 0,
@@ -172,6 +228,19 @@ impl PrecondState {
         if let Some(tl) = &self.two_level {
             self.grad_mbar_c = Some(tl.restrict_vector(&self.grad_mbar, comm));
         }
+        // keep the f32 mirrors in lockstep: demote in place (pooled, no
+        // steady-state allocation)
+        if let Some(mx) = &mut self.mixed {
+            mx.grad_mbar.convert_from(&self.grad_mbar);
+            if let (Some(gc32), Some(gc)) = (&mut mx.grad_mbar_c, &self.grad_mbar_c) {
+                gc32.convert_from(gc);
+            }
+        }
+    }
+
+    /// Whether the f32 mirrors are available (mixed-precision configured).
+    pub fn has_mixed(&self) -> bool {
+        self.mixed.is_some()
     }
 
     /// Effective kind at the current β: the continuation always uses InvA
@@ -249,6 +318,69 @@ impl PrecondState {
                 out
             }
         }
+    }
+
+    /// [`PrecondState::apply`] at f32 width — the mixed-precision inner
+    /// solve path. Spectral work, the inner H0 PCG, and (for 2LInvH0) the
+    /// grid-transfer collectives all run on f32 fields, halving their
+    /// memory and wire traffic. Returns `None` when the f32 mirrors were
+    /// not built (precision is `F64`); callers fall back to
+    /// promote-apply-demote. Collective.
+    pub fn apply32(
+        &mut self,
+        r: &VectorFieldT<f32>,
+        eps_k: f64,
+        beta: f64,
+        comm: &mut Comm,
+    ) -> Option<VectorFieldT<f32>> {
+        let mx = self.mixed.as_ref()?;
+        Some(match self.effective_kind(beta) {
+            PrecondKind::InvA => {
+                self.n_inva += 1;
+                mx.spectral.reg_inv(r, beta, comm)
+            }
+            PrecondKind::InvH0 => {
+                self.n_invh0 += 1;
+                let beta_h0 = beta.max(self.beta_floor);
+                let x0 = mx.spectral.reg_inv(r, beta_h0, comm);
+                let cfg = PcgConfig {
+                    tol_rel: (self.eps_h0 * eps_k).min(0.5),
+                    max_iter: self.max_inner,
+                    trace: false,
+                };
+                let mut ops =
+                    H0Ops { spectral: &mx.spectral, grad_mbar: &mx.grad_mbar, beta: beta_h0 };
+                let (s, res) = pcg(r, Some(&x0), &cfg, &mut ops, comm);
+                self.inner_iters += res.iters;
+                s
+            }
+            PrecondKind::TwoLevelInvH0 => {
+                self.n_invh0 += 1;
+                let beta_h0 = beta.max(self.beta_floor);
+                let tl = mx.two_level.as_ref().expect("2LInvH0 f32 state missing");
+                let sc_ops = mx.spectral_c.as_ref().expect("coarse f32 spectral missing");
+                let gc = mx.grad_mbar_c.as_ref().expect("coarse f32 ∇m̄ missing");
+
+                // sf ← (βA)⁻¹ r
+                let sf = mx.spectral.reg_inv(r, beta_h0, comm);
+                // coarse solve of (9) with restricted residual
+                let rc = tl.restrict_vector(r, comm);
+                let x0c = tl.restrict_vector(&sf, comm);
+                let cfg = PcgConfig {
+                    tol_rel: (self.eps_h0 * eps_k).min(0.5),
+                    max_iter: self.max_inner,
+                    trace: false,
+                };
+                let mut ops = H0Ops { spectral: sc_ops, grad_mbar: gc, beta: beta_h0 };
+                let (sc, res) = pcg(&rc, Some(&x0c), &cfg, &mut ops, comm);
+                self.inner_iters += res.iters;
+                // sf ← PROLONG(sc) + HIGHPASS(sf)
+                let mut out = tl.prolong_vector(&sc, comm);
+                let high = tl.highpass_vector(&sf, comm);
+                out.axpy(1.0, &high);
+                out
+            }
+        })
     }
 }
 

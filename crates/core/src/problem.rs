@@ -314,6 +314,27 @@ impl GnProblem for RegProblem {
     fn precond(&mut self, r: &VectorField, eps_k: f64, comm: &mut Comm) -> VectorField {
         self.pc.apply(r, eps_k, self.beta, &self.spectral, comm)
     }
+
+    /// Native f32 preconditioner for the mixed-precision inner solve: runs
+    /// on the f32 spectral mirrors when the config built them, so the
+    /// preconditioner's FFTs, Hadamard products, and (2LInvH0) transfer
+    /// collectives stream half the bytes. Falls back to
+    /// promote-apply-demote when precision is `F64` but the driver asked
+    /// for f32 anyway.
+    fn precond32(
+        &mut self,
+        r: &claire_grid::VectorFieldT<f32>,
+        eps_k: f64,
+        comm: &mut Comm,
+    ) -> claire_grid::VectorFieldT<f32> {
+        if let Some(s) = self.pc.apply32(r, eps_k, self.beta, comm) {
+            return s;
+        }
+        let r64: VectorField = r.converted(claire_grid::WsCat::GnCg);
+        self.pc
+            .apply(&r64, eps_k, self.beta, &self.spectral, comm)
+            .converted(claire_grid::WsCat::GnCg)
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,8 @@ pub struct RegistrationReport {
     pub data: String,
     /// Preconditioner label (`InvA`, `InvH0`, `2LInvH0`).
     pub pc: String,
+    /// Solver arithmetic width label (`f64` or `mixed`).
+    pub precision: String,
     /// Global grid.
     pub grid: [usize; 3],
     /// Semi-Lagrangian time steps.
@@ -124,6 +126,7 @@ mod tests {
         RegistrationReport {
             data: "na02".into(),
             pc: "2LInvH0".into(),
+            precision: "f64".into(),
             grid: [32, 32, 32],
             nt: 4,
             nranks: 1,

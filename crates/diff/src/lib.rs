@@ -25,5 +25,5 @@ pub mod coarse;
 pub mod fd;
 pub mod spectral;
 
-pub use coarse::TwoLevel;
-pub use spectral::Spectral;
+pub use coarse::{TwoLevel, TwoLevelT};
+pub use spectral::{Spectral, SpectralT};

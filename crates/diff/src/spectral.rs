@@ -5,26 +5,37 @@
 //! With `Ω = [0, 2π)³` the wavenumbers are integers, and the H1-Sobolev
 //! regularization operator has the symbol `β(|k|² + 1)`.
 //!
+//! The Hadamard product is **fused into the inverse transform**: instead of
+//! a standalone pass multiplying every spectral coefficient by the symbol
+//! and a second pass gathering them for the x1 inverse FFT, the symbol is
+//! applied as each coefficient is first gathered
+//! ([`DistFftT::inverse_scaled`]) — one sweep over the spectral array
+//! instead of two, with bit-identical results.
+//!
 //! Note on the zero mode: the paper uses an H1 *seminorm* (`A` = vector
 //! Laplacian) whose kernel (constant fields) is handled by the additional
 //! penalties; we lift the symbol by `+1` (full H1 norm) so `A` is SPD and
 //! `(βA)⁻¹` is well-defined — identical behaviour for all non-constant
 //! modes. This substitution is recorded in DESIGN.md §5.
 
-use claire_fft::{Cpx, DistFft, DistSpectral};
-use claire_grid::{Grid, Real, ScalarField, VectorField};
+use claire_fft::{CpxT, DistFftT, DistSpectralT, FftElem};
+use claire_grid::{Grid, Real, ScalarFieldT, VectorFieldT};
 use claire_mpi::Comm;
 
-/// Planned spectral operators on one grid for one rank.
-pub struct Spectral {
-    fft: DistFft,
+/// Planned spectral operators on one grid for one rank, generic over the
+/// element width (f64 solver path or f32 mixed-precision inner solve).
+pub struct SpectralT<T: FftElem> {
+    fft: DistFftT<T>,
     grid: Grid,
 }
 
-impl Spectral {
+/// Field-precision ([`Real`]) spectral operators.
+pub type Spectral = SpectralT<Real>;
+
+impl<T: FftElem> SpectralT<T> {
     /// Plan for `grid` on the calling rank of `comm`.
-    pub fn new(grid: Grid, comm: &Comm) -> Spectral {
-        Spectral { fft: DistFft::new(grid, comm), grid }
+    pub fn new(grid: Grid, comm: &Comm) -> SpectralT<T> {
+        SpectralT { fft: DistFftT::new(grid, comm), grid }
     }
 
     /// The grid.
@@ -33,57 +44,47 @@ impl Spectral {
     }
 
     /// Access the underlying FFT plan.
-    pub fn fft(&self) -> &DistFft {
+    pub fn fft(&self) -> &DistFftT<T> {
         &self.fft
     }
 
     /// Apply a real symbol `σ(|k|²)`: `f ↦ F⁻¹[ σ(k²) · F f ]`.
     ///
-    /// Two FFTs and a Hadamard product, as in the paper. Collective.
+    /// Two FFTs and a Hadamard product, as in the paper — with the Hadamard
+    /// fused into the inverse's first gather pass. Collective.
     pub fn apply_ksq_symbol(
         &self,
-        f: &ScalarField,
+        f: &ScalarFieldT<T>,
         comm: &mut Comm,
-        sym: impl Fn(f64) -> f64,
-    ) -> ScalarField {
-        let mut spec = self.fft.forward(f, comm);
-        self.multiply_ksq(&mut spec, &sym);
+        sym: impl Fn(f64) -> f64 + Sync,
+    ) -> ScalarFieldT<T> {
+        let spec = self.fft.forward(f, comm);
         self.charge_hadamard(comm, 1);
-        self.fft.inverse(spec, comm)
-    }
-
-    fn multiply_ksq(&self, spec: &mut DistSpectral, sym: &impl Fn(f64) -> f64) {
         let g = self.grid;
-        let n3c = spec.n3c();
-        let nj = spec.x2_slab.ni;
-        for i in 0..g.n[0] {
+        let scale = move |i: usize, j: usize, k: usize| {
             let k1 = g.wavenumber(0, i) as f64;
-            for jl in 0..nj {
-                let k2 = g.wavenumber(1, spec.j_global(jl)) as f64;
-                let base = (i * nj + jl) * n3c;
-                for k in 0..n3c {
-                    let k3 = k as f64;
-                    let s = sym(k1 * k1 + k2 * k2 + k3 * k3) as Real;
-                    spec.data[base + k] = spec.data[base + k].scale(s);
-                }
-            }
-        }
+            let k2 = g.wavenumber(1, j) as f64;
+            let k3 = k as f64;
+            T::from_f64(sym(k1 * k1 + k2 * k2 + k3 * k3))
+        };
+        self.fft.inverse_scaled(spec, comm, &scale)
     }
 
-    /// Modeled cost of `n` spectral Hadamard sweeps (DRAM-bound).
+    /// Modeled cost of `n` spectral Hadamard sweeps (DRAM-bound, at the
+    /// actual element width).
     fn charge_hadamard(&self, comm: &mut Comm, n: usize) {
         let words = self.grid.len() / comm.size().max(1);
-        comm.advance_kernel(n * words * std::mem::size_of::<Cpx>(), 4 * n * words);
+        comm.advance_kernel(n * words * std::mem::size_of::<CpxT<T>>(), 4 * n * words);
     }
 
     /// Laplacian `Δf` (spectral; used for verification and smoothing).
-    pub fn laplacian(&self, f: &ScalarField, comm: &mut Comm) -> ScalarField {
+    pub fn laplacian(&self, f: &ScalarFieldT<T>, comm: &mut Comm) -> ScalarFieldT<T> {
         self.apply_ksq_symbol(f, comm, |ksq| -ksq)
     }
 
     /// Apply the regularization operator `βA = β(I − Δ)` to each component.
-    pub fn reg_apply(&self, v: &VectorField, beta: f64, comm: &mut Comm) -> VectorField {
-        VectorField {
+    pub fn reg_apply(&self, v: &VectorFieldT<T>, beta: f64, comm: &mut Comm) -> VectorFieldT<T> {
+        VectorFieldT {
             c: std::array::from_fn(|d| {
                 self.apply_ksq_symbol(&v.c[d], comm, |ksq| beta * (1.0 + ksq))
             }),
@@ -92,49 +93,50 @@ impl Spectral {
 
     /// Apply `(βA)⁻¹` to each component — the `InvA` preconditioner (eq. 8)
     /// and the left-preconditioner inside `InvH0`.
-    pub fn reg_inv(&self, v: &VectorField, beta: f64, comm: &mut Comm) -> VectorField {
-        VectorField {
+    pub fn reg_inv(&self, v: &VectorFieldT<T>, beta: f64, comm: &mut Comm) -> VectorFieldT<T> {
+        VectorFieldT {
             c: std::array::from_fn(|d| {
                 self.apply_ksq_symbol(&v.c[d], comm, |ksq| 1.0 / (beta * (1.0 + ksq)))
             }),
         }
     }
 
-    /// Scalar version of [`Spectral::reg_apply`].
-    pub fn reg_apply_scalar(&self, f: &ScalarField, beta: f64, comm: &mut Comm) -> ScalarField {
+    /// Scalar version of [`SpectralT::reg_apply`].
+    pub fn reg_apply_scalar(
+        &self,
+        f: &ScalarFieldT<T>,
+        beta: f64,
+        comm: &mut Comm,
+    ) -> ScalarFieldT<T> {
         self.apply_ksq_symbol(f, comm, |ksq| beta * (1.0 + ksq))
     }
 
-    /// Scalar version of [`Spectral::reg_inv`].
-    pub fn reg_inv_scalar(&self, f: &ScalarField, beta: f64, comm: &mut Comm) -> ScalarField {
+    /// Scalar version of [`SpectralT::reg_inv`].
+    pub fn reg_inv_scalar(
+        &self,
+        f: &ScalarFieldT<T>,
+        beta: f64,
+        comm: &mut Comm,
+    ) -> ScalarFieldT<T> {
         self.apply_ksq_symbol(f, comm, |ksq| 1.0 / (beta * (1.0 + ksq)))
     }
 
     /// Apply a general per-mode real symbol `σ(k1, k2, k3)` (signed integer
-    /// wavenumbers). Two FFTs and a Hadamard product. Collective.
+    /// wavenumbers). Two FFTs with the Hadamard fused into the inverse.
+    /// Collective.
     pub fn apply_mode_symbol(
         &self,
-        f: &ScalarField,
+        f: &ScalarFieldT<T>,
         comm: &mut Comm,
-        sym: impl Fn([isize; 3]) -> f64,
-    ) -> ScalarField {
-        let mut spec = self.fft.forward(f, comm);
-        let g = self.grid;
-        let n3c = spec.n3c();
-        let nj = spec.x2_slab.ni;
-        for i in 0..g.n[0] {
-            let k1 = g.wavenumber(0, i);
-            for jl in 0..nj {
-                let k2 = g.wavenumber(1, spec.j_global(jl));
-                let base = (i * nj + jl) * n3c;
-                for k in 0..n3c {
-                    let s = sym([k1, k2, k as isize]) as Real;
-                    spec.data[base + k] = spec.data[base + k].scale(s);
-                }
-            }
-        }
+        sym: impl Fn([isize; 3]) -> f64 + Sync,
+    ) -> ScalarFieldT<T> {
+        let spec = self.fft.forward(f, comm);
         self.charge_hadamard(comm, 1);
-        self.fft.inverse(spec, comm)
+        let g = self.grid;
+        let scale = move |i: usize, j: usize, k: usize| {
+            T::from_f64(sym([g.wavenumber(0, i), g.wavenumber(1, j), k as isize]))
+        };
+        self.fft.inverse_scaled(spec, comm, &scale)
     }
 
     /// Cubic B-spline prefilter: convert image samples to B-spline
@@ -146,7 +148,7 @@ impl Spectral {
     /// distributed solver: the prefilter needs global data (an extra ghost
     /// exchange in their recursive implementation; a full FFT pair here),
     /// whereas `GPU-TXTLAG` reads raw samples (§3.1). Collective.
-    pub fn bspline_prefilter(&self, f: &ScalarField, comm: &mut Comm) -> ScalarField {
+    pub fn bspline_prefilter(&self, f: &ScalarFieldT<T>, comm: &mut Comm) -> ScalarFieldT<T> {
         let n = self.grid.n;
         let axis = |k: isize, nd: usize| -> f64 {
             let theta = 2.0 * std::f64::consts::PI * k as f64 / nd as f64;
@@ -159,7 +161,12 @@ impl Spectral {
 
     /// Gaussian smoothing `exp(−σ²|k|²/2)` — used for image preprocessing
     /// and phantom generation.
-    pub fn gauss_smooth(&self, f: &ScalarField, sigma: f64, comm: &mut Comm) -> ScalarField {
+    pub fn gauss_smooth(
+        &self,
+        f: &ScalarFieldT<T>,
+        sigma: f64,
+        comm: &mut Comm,
+    ) -> ScalarFieldT<T> {
         self.apply_ksq_symbol(f, comm, |ksq| (-0.5 * sigma * sigma * ksq).exp())
     }
 
@@ -167,27 +174,31 @@ impl Spectral {
     /// `v ↦ v − ∇Δ⁻¹(∇·v)`, i.e. `v̂ ↦ v̂ − k (k·v̂)/|k|²`.
     ///
     /// This is the projection CLAIRE uses for the incompressibility penalty
-    /// (§1.1, [48]). Collective.
-    pub fn leray(&self, v: &VectorField, comm: &mut Comm) -> VectorField {
-        let mut specs: [DistSpectral; 3] = [0, 1, 2].map(|d| self.fft.forward(&v.c[d], comm));
+    /// (§1.1, [48]). The three spectra couple per mode, so this one keeps
+    /// an explicit spectral pass instead of the fused symbol. Collective.
+    pub fn leray(&self, v: &VectorFieldT<T>, comm: &mut Comm) -> VectorFieldT<T> {
+        let mut specs: [DistSpectralT<T>; 3] = [0, 1, 2].map(|d| self.fft.forward(&v.c[d], comm));
         let g = self.grid;
         let n3c = specs[0].n3c();
         let nj = specs[0].x2_slab.ni;
         for i in 0..g.n[0] {
-            let k1 = g.wavenumber(0, i) as Real;
+            let k1f = g.wavenumber(0, i) as f64;
+            let k1 = T::from_f64(k1f);
             for jl in 0..nj {
-                let k2 = g.wavenumber(1, specs[0].j_global(jl)) as Real;
+                let k2f = g.wavenumber(1, specs[0].j_global(jl)) as f64;
+                let k2 = T::from_f64(k2f);
                 let base = (i * nj + jl) * n3c;
                 for k in 0..n3c {
-                    let k3 = k as Real;
-                    let ksq = k1 * k1 + k2 * k2 + k3 * k3;
+                    let k3f = k as f64;
+                    let k3 = T::from_f64(k3f);
+                    let ksq = k1f * k1f + k2f * k2f + k3f * k3f;
                     if ksq == 0.0 {
                         continue;
                     }
                     let dot = specs[0].data[base + k].scale(k1)
                         + specs[1].data[base + k].scale(k2)
                         + specs[2].data[base + k].scale(k3);
-                    let proj = dot.scale(1.0 as Real / ksq);
+                    let proj = dot.scale(T::from_f64(1.0 / ksq));
                     specs[0].data[base + k] = specs[0].data[base + k] - proj.scale(k1);
                     specs[1].data[base + k] = specs[1].data[base + k] - proj.scale(k2);
                     specs[2].data[base + k] = specs[2].data[base + k] - proj.scale(k3);
@@ -196,7 +207,7 @@ impl Spectral {
         }
         self.charge_hadamard(comm, 3);
         let [s0, s1, s2] = specs;
-        VectorField {
+        VectorFieldT {
             c: [self.fft.inverse(s0, comm), self.fft.inverse(s1, comm), self.fft.inverse(s2, comm)],
         }
     }
@@ -205,7 +216,7 @@ impl Spectral {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use claire_grid::Layout;
+    use claire_grid::{Layout, ScalarField, VectorField, WsCat};
     use claire_mpi::{run_cluster, Topology};
 
     #[test]
@@ -222,6 +233,28 @@ mod tests {
         let err =
             lap.data().iter().zip(expect.data()).map(|(&a, &b)| (a - b).abs()).fold(0.0, f64::max);
         assert!(err < 1e-8, "err {err}");
+    }
+
+    #[test]
+    fn f32_reg_inv_tracks_f64() {
+        // The f32 spectral operators (the mixed-precision inner solve's
+        // preconditioner) must track the f64 path to single precision.
+        let grid = Grid::cube(8);
+        let layout = Layout::serial(grid);
+        let mut comm = Comm::solo();
+        let sp64 = Spectral::new(grid, &comm);
+        let sp32 = SpectralT::<f32>::new(grid, &comm);
+        let f = ScalarField::from_fn(layout, |x, y, z| (x + y).sin() + (2.0 * z).cos());
+        let out64 = sp64.reg_inv_scalar(&f, 0.05, &mut comm);
+        let f32_in: ScalarFieldT<f32> = f.converted(WsCat::Fft);
+        let out32 = sp32.reg_inv_scalar(&f32_in, 0.05, &mut comm);
+        let err = out32
+            .data()
+            .iter()
+            .zip(out64.data())
+            .map(|(&a, &b)| (a as f64 - b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-5, "f32 spectral path diverged: {err}");
     }
 
     #[test]

@@ -1,136 +1,154 @@
-//! Complex arithmetic in field precision.
+//! Complex arithmetic, generic over the element width.
+//!
+//! [`CpxT<T>`] is the generic complex number used by every plan in this
+//! crate; [`Cpx`] is the field-precision ([`Real`]) alias the solver's f64
+//! path uses. The mixed-precision inner solve instantiates the same plans
+//! with `CpxT<f32>`, halving spectral storage and transpose wire traffic.
 
 use claire_grid::Real;
+use claire_simd::Elem;
 
-/// A complex number in field precision ([`Real`]).
+/// A complex number over element type `T` (`f32` or `f64`).
 ///
 /// Deliberately minimal: just what the FFT and the spectral operators need.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 #[repr(C)]
-pub struct Cpx {
+pub struct CpxT<T> {
     /// Real part.
-    pub re: Real,
+    pub re: T,
     /// Imaginary part.
-    pub im: Real,
+    pub im: T,
 }
 
-// SAFETY: repr(C) struct of two Reals — no padding, any bit pattern valid.
-unsafe impl claire_mpi::Pod for Cpx {}
+/// A complex number in field precision ([`Real`]).
+pub type Cpx = CpxT<Real>;
 
-impl Cpx {
+// SAFETY: repr(C) struct of two Pod floats — no padding (align == size of
+// each member), any bit pattern valid.
+unsafe impl<T: claire_mpi::Pod> claire_mpi::Pod for CpxT<T> {}
+
+impl<T: Elem> CpxT<T> {
     /// 0 + 0i.
-    pub const ZERO: Cpx = Cpx { re: 0.0, im: 0.0 };
+    pub const ZERO: CpxT<T> = CpxT { re: T::ZERO, im: T::ZERO };
     /// 1 + 0i.
-    pub const ONE: Cpx = Cpx { re: 1.0, im: 0.0 };
+    pub const ONE: CpxT<T> = CpxT { re: T::ONE, im: T::ZERO };
 
     /// Construct from real and imaginary parts.
     #[inline]
-    pub fn new(re: Real, im: Real) -> Cpx {
-        Cpx { re, im }
+    pub fn new(re: T, im: T) -> CpxT<T> {
+        CpxT { re, im }
     }
 
     /// Purely real value.
     #[inline]
-    pub fn real(re: Real) -> Cpx {
-        Cpx { re, im: 0.0 }
+    pub fn real(re: T) -> CpxT<T> {
+        CpxT { re, im: T::ZERO }
     }
 
-    /// `e^{iθ} = cos θ + i sin θ`.
+    /// `e^{iθ} = cos θ + i sin θ` (argument evaluated in f64, then rounded
+    /// to `T` — identical to direct evaluation when `T` is f64).
     #[inline]
-    pub fn cis(theta: Real) -> Cpx {
-        Cpx { re: theta.cos(), im: theta.sin() }
+    pub fn cis(theta: T) -> CpxT<T> {
+        let t = theta.to_f64();
+        CpxT { re: T::from_f64(t.cos()), im: T::from_f64(t.sin()) }
     }
 
     /// Complex conjugate.
     #[inline]
-    pub fn conj(self) -> Cpx {
-        Cpx { re: self.re, im: -self.im }
+    pub fn conj(self) -> CpxT<T> {
+        CpxT { re: self.re, im: -self.im }
     }
 
     /// Squared magnitude.
     #[inline]
-    pub fn norm_sqr(self) -> Real {
+    pub fn norm_sqr(self) -> T {
         self.re * self.re + self.im * self.im
     }
 
     /// Magnitude.
     #[inline]
-    pub fn abs(self) -> Real {
-        self.norm_sqr().sqrt()
+    pub fn abs(self) -> T {
+        T::from_f64(self.norm_sqr().to_f64().sqrt())
     }
 
     /// Scale by a real factor.
     #[inline]
-    pub fn scale(self, a: Real) -> Cpx {
-        Cpx { re: self.re * a, im: self.im * a }
+    pub fn scale(self, a: T) -> CpxT<T> {
+        CpxT { re: self.re * a, im: self.im * a }
     }
 
     /// Multiply by `i` (90° rotation) — the spectral first derivative.
     #[inline]
-    pub fn mul_i(self) -> Cpx {
-        Cpx { re: -self.im, im: self.re }
+    pub fn mul_i(self) -> CpxT<T> {
+        CpxT { re: -self.im, im: self.re }
+    }
+
+    /// Demote/promote to another element width (used at the precision seam).
+    #[inline]
+    pub fn cast<U: Elem>(self) -> CpxT<U> {
+        CpxT { re: U::from_f64(self.re.to_f64()), im: U::from_f64(self.im.to_f64()) }
     }
 }
 
-/// Reinterpret a complex slice as interleaved `[re, im, re, im, …]` reals —
+/// Reinterpret a complex slice as interleaved `[re, im, re, im, …]` floats —
 /// the layout the `claire-simd` complex kernels operate on.
 #[inline]
-pub fn as_real(z: &[Cpx]) -> &[Real] {
-    // SAFETY: Cpx is repr(C) { re: Real, im: Real } — no padding, same
-    // alignment as Real — so a slice of n Cpx is exactly 2n Reals.
-    unsafe { std::slice::from_raw_parts(z.as_ptr() as *const Real, z.len() * 2) }
+pub fn as_real<T: Elem>(z: &[CpxT<T>]) -> &[T] {
+    // SAFETY: CpxT is repr(C) { re: T, im: T } — no padding, same alignment
+    // as T — so a slice of n CpxT is exactly 2n Ts.
+    unsafe { std::slice::from_raw_parts(z.as_ptr() as *const T, z.len() * 2) }
 }
 
 /// Mutable variant of [`as_real`].
 #[inline]
-pub fn as_real_mut(z: &mut [Cpx]) -> &mut [Real] {
+pub fn as_real_mut<T: Elem>(z: &mut [CpxT<T>]) -> &mut [T] {
     // SAFETY: see `as_real`.
-    unsafe { std::slice::from_raw_parts_mut(z.as_mut_ptr() as *mut Real, z.len() * 2) }
+    unsafe { std::slice::from_raw_parts_mut(z.as_mut_ptr() as *mut T, z.len() * 2) }
 }
 
-impl std::ops::Add for Cpx {
-    type Output = Cpx;
+impl<T: Elem> std::ops::Add for CpxT<T> {
+    type Output = CpxT<T>;
     #[inline]
-    fn add(self, o: Cpx) -> Cpx {
-        Cpx { re: self.re + o.re, im: self.im + o.im }
+    fn add(self, o: CpxT<T>) -> CpxT<T> {
+        CpxT { re: self.re + o.re, im: self.im + o.im }
     }
 }
 
-impl std::ops::Sub for Cpx {
-    type Output = Cpx;
+impl<T: Elem> std::ops::Sub for CpxT<T> {
+    type Output = CpxT<T>;
     #[inline]
-    fn sub(self, o: Cpx) -> Cpx {
-        Cpx { re: self.re - o.re, im: self.im - o.im }
+    fn sub(self, o: CpxT<T>) -> CpxT<T> {
+        CpxT { re: self.re - o.re, im: self.im - o.im }
     }
 }
 
-impl std::ops::Mul for Cpx {
-    type Output = Cpx;
+impl<T: Elem> std::ops::Mul for CpxT<T> {
+    type Output = CpxT<T>;
     #[inline]
-    fn mul(self, o: Cpx) -> Cpx {
-        Cpx { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
+    fn mul(self, o: CpxT<T>) -> CpxT<T> {
+        CpxT { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
     }
 }
 
-impl std::ops::Neg for Cpx {
-    type Output = Cpx;
+impl<T: Elem> std::ops::Neg for CpxT<T> {
+    type Output = CpxT<T>;
     #[inline]
-    fn neg(self) -> Cpx {
-        Cpx { re: -self.re, im: -self.im }
+    fn neg(self) -> CpxT<T> {
+        CpxT { re: -self.re, im: -self.im }
     }
 }
 
-impl std::ops::AddAssign for Cpx {
+impl<T: Elem> std::ops::AddAssign for CpxT<T> {
     #[inline]
-    fn add_assign(&mut self, o: Cpx) {
+    fn add_assign(&mut self, o: CpxT<T>) {
         self.re += o.re;
         self.im += o.im;
     }
 }
 
-impl std::ops::MulAssign for Cpx {
+impl<T: Elem> std::ops::MulAssign for CpxT<T> {
     #[inline]
-    fn mul_assign(&mut self, o: Cpx) {
+    fn mul_assign(&mut self, o: CpxT<T>) {
         *self = *self * o;
     }
 }
@@ -161,5 +179,16 @@ mod tests {
         let p = z * z.conj();
         assert!((p.re - 25.0).abs() < 1e-6);
         assert!(p.im.abs() < 1e-6);
+    }
+
+    #[test]
+    fn f32_arithmetic_and_cast_roundtrip() {
+        let z = CpxT::<f32>::new(3.0, -4.0);
+        assert_eq!(z.norm_sqr(), 25.0f32);
+        let w: Cpx = z.cast();
+        assert_eq!(w, Cpx::new(3.0, -4.0));
+        let back: CpxT<f32> = w.cast();
+        assert_eq!(back, z);
+        assert_eq!(CpxT::<f32>::ONE * z, z);
     }
 }

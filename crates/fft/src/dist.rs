@@ -15,6 +15,11 @@
 //! single rank the plan falls back to the serial 3D transform, exactly like
 //! the paper falls back to cuFFT's 3D FFT ("to avoid additional operations,
 //! in particular an explicit transpose").
+//!
+//! Everything is generic over the element width [`FftElem`]: the mixed-
+//! precision inner solve transforms `f32` fields, which halves the
+//! all-to-all transpose payload on the wire (the dominant collective of the
+//! inner Krylov iteration).
 
 // The strided gather/scatter loops index several arrays with coupled
 // offsets; iterator adapters would obscure the stride math.
@@ -23,7 +28,7 @@
 use std::sync::Arc;
 
 use claire_grid::{
-    ClaireError, ClaireResult, Grid, Layout, PoolVec, Real, ScalarField, Slab, WsCat,
+    ClaireError, ClaireResult, Grid, Layout, PoolVec, Real, ScalarFieldT, Slab, WsCat,
 };
 use claire_mpi::{AlltoallMethod, Comm, CommCat};
 use claire_obs::span::span;
@@ -31,36 +36,43 @@ use claire_par::timing::{self, Kernel};
 use claire_par::{par_map_collect_work, par_parts, SharedSlice};
 
 use crate::cache;
-use crate::complex::Cpx;
-use crate::plan::Fft1d;
-use crate::real::RealFft1d;
-use crate::serial3d::Fft3;
-use crate::CPX_POOL;
+use crate::complex::CpxT;
+use crate::plan::Fft1dT;
+use crate::real::RealFft1dT;
+use crate::serial3d::Fft3T;
+use crate::FftElem;
 
-/// Spectral coefficients distributed in x2 slabs.
+/// Spectral coefficients distributed in x2 slabs, generic over width.
 ///
 /// Local dims are `[n1, nj, n3c]` with `nj` the owned x2 extent and
 /// `n3c = n3/2 + 1`; x1 is fully local (slowest), x3 fastest.
 #[derive(Clone, Debug)]
-pub struct DistSpectral {
+pub struct DistSpectralT<T: FftElem> {
     /// Global real-space grid.
     pub grid: Grid,
     /// Owned x2 range.
     pub x2_slab: Slab,
     /// Complex coefficients, dims `[n1, nj, n3c]` (pooled, µFFT budget).
-    pub data: PoolVec<Cpx>,
+    pub data: PoolVec<CpxT<T>>,
 }
 
-impl DistSpectral {
+/// Field-precision ([`Real`]) distributed spectrum.
+pub type DistSpectral = DistSpectralT<Real>;
+
+impl<T: FftElem> DistSpectralT<T> {
     /// Spectral extent along x3.
     pub fn n3c(&self) -> usize {
         self.grid.n[2] / 2 + 1
     }
 
     /// Zeroed spectral storage for the given grid/slab.
-    pub fn zeros(grid: Grid, x2_slab: Slab) -> DistSpectral {
+    pub fn zeros(grid: Grid, x2_slab: Slab) -> DistSpectralT<T> {
         let len = grid.n[0] * x2_slab.ni * (grid.n[2] / 2 + 1);
-        DistSpectral { grid, x2_slab, data: CPX_POOL.checkout_filled(len, Cpx::ZERO, WsCat::Fft) }
+        DistSpectralT {
+            grid,
+            x2_slab,
+            data: T::cpx_pool().checkout_filled(len, CpxT::ZERO, WsCat::Fft),
+        }
     }
 
     /// Linear index of `(i, jl, k)` — global x1 `i`, local x2 `jl`, x3 `k`.
@@ -76,39 +88,45 @@ impl DistSpectral {
     }
 }
 
+/// Marker closure type for the unscaled inverse path (never called).
+type NoScale<T> = fn(usize, usize, usize) -> T;
+
 /// Planned distributed 3D real↔complex FFT for one rank of a cluster.
 // The strided gather/scatter loops below index several arrays with
 // coupled offsets; iterator adapters would obscure the stride math.
 #[allow(clippy::needless_range_loop)]
-pub struct DistFft {
+pub struct DistFftT<T: FftElem> {
     grid: Grid,
     nranks: usize,
     rank: usize,
     method: AlltoallMethod,
-    serial: Option<Arc<Fft3>>,
-    r3: Arc<RealFft1d>,
-    c2: Arc<Fft1d>,
-    c1: Arc<Fft1d>,
+    serial: Option<Arc<Fft3T<T>>>,
+    r3: Arc<RealFft1dT<T>>,
+    c2: Arc<Fft1dT<T>>,
+    c1: Arc<Fft1dT<T>>,
 }
 
-impl DistFft {
+/// Field-precision ([`Real`]) distributed FFT plan.
+pub type DistFft = DistFftT<Real>;
+
+impl<T: FftElem> DistFftT<T> {
     /// Plan for the calling rank of `comm` with the paper's production
     /// communication switch ([`AlltoallMethod::Auto`]).
-    /// Panicking convenience wrapper around [`DistFft::try_new`].
-    pub fn new(grid: Grid, comm: &Comm) -> DistFft {
-        DistFft::try_new(grid, comm).unwrap_or_else(|e| panic!("{e}"))
+    /// Panicking convenience wrapper around [`DistFftT::try_new`].
+    pub fn new(grid: Grid, comm: &Comm) -> DistFftT<T> {
+        DistFftT::try_new(grid, comm).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Plan for the calling rank of `comm`, rejecting grids the slab
     /// decomposition cannot split across `comm.size()` ranks.
-    pub fn try_new(grid: Grid, comm: &Comm) -> ClaireResult<DistFft> {
-        DistFft::try_with_method(grid, comm, AlltoallMethod::Auto)
+    pub fn try_new(grid: Grid, comm: &Comm) -> ClaireResult<DistFftT<T>> {
+        DistFftT::try_with_method(grid, comm, AlltoallMethod::Auto)
     }
 
     /// Plan with an explicit all-to-all method (for Table 4/5 studies).
-    /// Panicking convenience wrapper around [`DistFft::try_with_method`].
-    pub fn with_method(grid: Grid, comm: &Comm, method: AlltoallMethod) -> DistFft {
-        DistFft::try_with_method(grid, comm, method).unwrap_or_else(|e| panic!("{e}"))
+    /// Panicking convenience wrapper around [`DistFftT::try_with_method`].
+    pub fn with_method(grid: Grid, comm: &Comm, method: AlltoallMethod) -> DistFftT<T> {
+        DistFftT::try_with_method(grid, comm, method).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Plan with an explicit all-to-all method, returning a typed error when
@@ -117,7 +135,7 @@ impl DistFft {
         grid: Grid,
         comm: &Comm,
         method: AlltoallMethod,
-    ) -> ClaireResult<DistFft> {
+    ) -> ClaireResult<DistFftT<T>> {
         let p = comm.size();
         if p > grid.n[0] || p > grid.n[1] {
             return Err(ClaireError::Decomposition {
@@ -128,15 +146,15 @@ impl DistFft {
                 ),
             });
         }
-        Ok(DistFft {
+        Ok(DistFftT {
             grid,
             nranks: p,
             rank: comm.rank(),
             method,
-            serial: if p == 1 { Some(cache::fft3(grid)) } else { None },
-            r3: cache::real_fft1d(grid.n[2]),
-            c2: cache::fft1d(grid.n[1]),
-            c1: cache::fft1d(grid.n[0]),
+            serial: if p == 1 { Some(cache::fft3_t(grid)) } else { None },
+            r3: cache::real_fft1d_t(grid.n[2]),
+            c2: cache::fft1d_t(grid.n[1]),
+            c1: cache::fft1d_t(grid.n[0]),
         })
     }
 
@@ -156,13 +174,13 @@ impl DistFft {
 
     /// Step 1: batched 2-D FFT of `ni` local x2–x3 planes (r2c along x3,
     /// complex along x2), split across workers like the serial plan.
-    fn planes2d_forward(&self, src: &[Real], work: &mut [Cpx], ni: usize) {
+    fn planes2d_forward(&self, src: &[T], work: &mut [CpxT<T>], ni: usize) {
         let [_, n2, n3] = self.grid.n;
         let n3c = n3 / 2 + 1;
         let scratch_len = self.scratch_len();
         let shared = SharedSlice::new(work);
         par_parts(ni * n2, ni * n2 * n3, |rows| {
-            let mut scratch = CPX_POOL.checkout_filled(scratch_len, Cpx::ZERO, WsCat::Fft);
+            let mut scratch = T::cpx_pool().checkout_filled(scratch_len, CpxT::ZERO, WsCat::Fft);
             for row in rows {
                 // SAFETY: row ranges are disjoint across workers.
                 let dst = unsafe { shared.slice_mut(row * n3c..(row + 1) * n3c) };
@@ -170,8 +188,8 @@ impl DistFft {
             }
         });
         par_parts(ni * n3c, ni * n3c * n2, |lines| {
-            let mut scratch = CPX_POOL.checkout_filled(scratch_len, Cpx::ZERO, WsCat::Fft);
-            let mut line = CPX_POOL.checkout_filled(n2, Cpx::ZERO, WsCat::Fft);
+            let mut scratch = T::cpx_pool().checkout_filled(scratch_len, CpxT::ZERO, WsCat::Fft);
+            let mut line = T::cpx_pool().checkout_filled(n2, CpxT::ZERO, WsCat::Fft);
             for t in lines {
                 let (il, k) = (t / n3c, t % n3c);
                 let base = il * n2 * n3c + k;
@@ -190,14 +208,14 @@ impl DistFft {
     }
 
     /// Step 1 inverse: batched inverse 2-D FFT of `ni` planes, then c2r.
-    fn planes2d_inverse(&self, work: &mut [Cpx], out: &mut [Real], ni: usize) {
+    fn planes2d_inverse(&self, work: &mut [CpxT<T>], out: &mut [T], ni: usize) {
         let [_, n2, n3] = self.grid.n;
         let n3c = n3 / 2 + 1;
         let scratch_len = self.scratch_len();
         let shared = SharedSlice::new(work);
         par_parts(ni * n3c, ni * n3c * n2, |lines| {
-            let mut scratch = CPX_POOL.checkout_filled(scratch_len, Cpx::ZERO, WsCat::Fft);
-            let mut line = CPX_POOL.checkout_filled(n2, Cpx::ZERO, WsCat::Fft);
+            let mut scratch = T::cpx_pool().checkout_filled(scratch_len, CpxT::ZERO, WsCat::Fft);
+            let mut line = T::cpx_pool().checkout_filled(n2, CpxT::ZERO, WsCat::Fft);
             for t in lines {
                 let (il, k) = (t / n3c, t % n3c);
                 let base = il * n2 * n3c + k;
@@ -215,7 +233,7 @@ impl DistFft {
         });
         let out_shared = SharedSlice::new(out);
         par_parts(ni * n2, ni * n2 * n3, |rows| {
-            let mut scratch = CPX_POOL.checkout_filled(scratch_len, Cpx::ZERO, WsCat::Fft);
+            let mut scratch = T::cpx_pool().checkout_filled(scratch_len, CpxT::ZERO, WsCat::Fft);
             for row in rows {
                 // SAFETY: work/out row ranges are disjoint across workers and
                 // work is only read during this pass.
@@ -227,19 +245,42 @@ impl DistFft {
     }
 
     /// Step 3: batched 1-D complex FFT along x1 with the given jk-stride,
-    /// one pencil per (j, k), split across workers.
-    fn pencils_x1(&self, data: &mut [Cpx], stride: usize, inverse: bool) {
+    /// one pencil per (j, k), split across workers. When `scale` is set
+    /// (inverse only), each coefficient is multiplied by
+    /// `scale(i, j_global, k)` as it is first gathered — the fused spectral
+    /// symbol application, one pass instead of two.
+    fn pencils_x1_opt<S>(
+        &self,
+        data: &mut [CpxT<T>],
+        stride: usize,
+        inverse: bool,
+        j0: usize,
+        scale: Option<&S>,
+    ) where
+        S: Fn(usize, usize, usize) -> T + Sync,
+    {
         let n1 = self.grid.n[0];
+        let n3c = self.grid.n[2] / 2 + 1;
         let scratch_len = self.scratch_len();
         let shared = SharedSlice::new(data);
         par_parts(stride, stride * n1, |lines| {
-            let mut scratch = CPX_POOL.checkout_filled(scratch_len, Cpx::ZERO, WsCat::Fft);
-            let mut line1 = CPX_POOL.checkout_filled(n1, Cpx::ZERO, WsCat::Fft);
+            let mut scratch = T::cpx_pool().checkout_filled(scratch_len, CpxT::ZERO, WsCat::Fft);
+            let mut line1 = T::cpx_pool().checkout_filled(n1, CpxT::ZERO, WsCat::Fft);
             for jk in lines {
                 // SAFETY: distinct jk touch disjoint strided indices.
                 unsafe {
-                    for i in 0..n1 {
-                        line1[i] = shared.read(i * stride + jk);
+                    match scale {
+                        None => {
+                            for i in 0..n1 {
+                                line1[i] = shared.read(i * stride + jk);
+                            }
+                        }
+                        Some(f) => {
+                            let (j, k) = (j0 + jk / n3c, jk % n3c);
+                            for i in 0..n1 {
+                                line1[i] = shared.read(i * stride + jk).scale(f(i, j, k));
+                            }
+                        }
                     }
                     if inverse {
                         self.c1.inverse(&mut line1, &mut scratch);
@@ -254,15 +295,19 @@ impl DistFft {
         });
     }
 
+    fn pencils_x1(&self, data: &mut [CpxT<T>], stride: usize, inverse: bool) {
+        self.pencils_x1_opt(data, stride, inverse, 0, None::<&NoScale<T>>);
+    }
+
     /// Forward r2c transform of a slab-distributed field.
-    pub fn forward(&self, field: &ScalarField, comm: &mut Comm) -> DistSpectral {
+    pub fn forward(&self, field: &ScalarFieldT<T>, comm: &mut Comm) -> DistSpectralT<T> {
         let _s = span("fft.forward");
         assert_eq!(field.layout().grid, self.grid, "field grid mismatch");
         let [n1, n2, n3] = self.grid.n;
         let n3c = n3 / 2 + 1;
 
         if let Some(serial) = &self.serial {
-            let mut spec = DistSpectral::zeros(self.grid, Slab::full(n2));
+            let mut spec = DistSpectralT::zeros(self.grid, Slab::full(n2));
             serial.forward(field.data(), &mut spec.data);
             return spec;
         }
@@ -270,7 +315,7 @@ impl DistFft {
         let ni = field.layout().slab.ni;
 
         // step 1: 2D FFT per local x1 plane
-        let mut work = CPX_POOL.checkout_filled(ni * n2 * n3c, Cpx::ZERO, WsCat::Fft);
+        let mut work = T::cpx_pool().checkout_filled(ni * n2 * n3c, CpxT::ZERO, WsCat::Fft);
         timing::time(Kernel::FftDist, || {
             self.planes2d_forward(field.data(), &mut work, ni);
         });
@@ -278,7 +323,7 @@ impl DistFft {
         // step 2: transpose x1-slabs -> x2-slabs; pack one block per
         // destination rank in parallel
         let p = self.nranks;
-        let bufs: Vec<Vec<Cpx>> = timing::time(Kernel::FftTranspose, || {
+        let bufs: Vec<Vec<CpxT<T>>> = timing::time(Kernel::FftTranspose, || {
             par_map_collect_work(p, ni * n2 * n3c / p.max(1), |dst| {
                 let js = Slab::of_rank(n2, p, dst);
                 let mut buf = Vec::with_capacity(ni * js.ni * n3c);
@@ -299,7 +344,7 @@ impl DistFft {
 
         let my_js = self.x2_slab();
         let nj = my_js.ni;
-        let mut spec = DistSpectral::zeros(self.grid, my_js);
+        let mut spec = DistSpectralT::zeros(self.grid, my_js);
         timing::time(Kernel::FftTranspose, || {
             // unpack: each source block covers a disjoint global-x1 range
             let shared = SharedSlice::new(&mut spec.data);
@@ -333,7 +378,37 @@ impl DistFft {
     }
 
     /// Inverse c2r transform back to a slab-distributed real field.
-    pub fn inverse(&self, mut spec: DistSpectral, comm: &mut Comm) -> ScalarField {
+    pub fn inverse(&self, spec: DistSpectralT<T>, comm: &mut Comm) -> ScalarFieldT<T> {
+        self.inverse_opt(spec, comm, None::<&NoScale<T>>)
+    }
+
+    /// Inverse transform with a per-coefficient scale fused into the first
+    /// (x1-pencil) pass: each coefficient is multiplied by
+    /// `scale(i, j, k)` — global spectral indices — as it is first
+    /// gathered, saving a separate pass over the spectral array. The
+    /// per-element multiply is identical to a standalone scaling pass, so
+    /// results are bit-identical to scale-then-[`DistFftT::inverse`].
+    pub fn inverse_scaled<S>(
+        &self,
+        spec: DistSpectralT<T>,
+        comm: &mut Comm,
+        scale: &S,
+    ) -> ScalarFieldT<T>
+    where
+        S: Fn(usize, usize, usize) -> T + Sync,
+    {
+        self.inverse_opt(spec, comm, Some(scale))
+    }
+
+    fn inverse_opt<S>(
+        &self,
+        mut spec: DistSpectralT<T>,
+        comm: &mut Comm,
+        scale: Option<&S>,
+    ) -> ScalarFieldT<T>
+    where
+        S: Fn(usize, usize, usize) -> T + Sync,
+    {
         let _s = span("fft.inverse");
         assert_eq!(spec.grid, self.grid, "spectral grid mismatch");
         let [n1, n2, n3] = self.grid.n;
@@ -350,21 +425,24 @@ impl DistFft {
         };
 
         if let Some(serial) = &self.serial {
-            let mut out = ScalarField::zeros_in(layout, WsCat::Fft);
-            serial.inverse(&mut spec.data, out.data_mut());
+            let mut out = ScalarFieldT::zeros_in(layout, WsCat::Fft);
+            match scale {
+                None => serial.inverse(&mut spec.data, out.data_mut()),
+                Some(f) => serial.inverse_scaled(&mut spec.data, out.data_mut(), f),
+            }
             return out;
         }
 
         let nj = spec.x2_slab.ni;
 
-        // step 3': inverse 1D along x1
+        // step 3': inverse 1D along x1 (with the optional fused symbol)
         timing::time(Kernel::FftDist, || {
-            self.pencils_x1(&mut spec.data, nj * n3c, true);
+            self.pencils_x1_opt(&mut spec.data, nj * n3c, true, spec.x2_slab.i0, scale);
         });
 
         // step 2': transpose x2-slabs -> x1-slabs; parallel pack per rank
         let p = self.nranks;
-        let bufs: Vec<Vec<Cpx>> = timing::time(Kernel::FftTranspose, || {
+        let bufs: Vec<Vec<CpxT<T>>> = timing::time(Kernel::FftTranspose, || {
             par_map_collect_work(p, n1 * nj * n3c / p.max(1), |dst| {
                 let is = Slab::of_rank(n1, p, dst);
                 let mut buf = Vec::with_capacity(is.ni * nj * n3c);
@@ -383,7 +461,7 @@ impl DistFft {
         };
 
         let ni = layout.slab.ni;
-        let mut work = CPX_POOL.checkout_filled(ni * n2 * n3c, Cpx::ZERO, WsCat::Fft);
+        let mut work = T::cpx_pool().checkout_filled(ni * n2 * n3c, CpxT::ZERO, WsCat::Fft);
         timing::time(Kernel::FftTranspose, || {
             // unpack: each source block covers a disjoint global-x2 range
             let shared = SharedSlice::new(&mut work);
@@ -408,7 +486,7 @@ impl DistFft {
         });
 
         // step 1': inverse 2D per plane
-        let mut out = ScalarField::zeros_in(layout, WsCat::Fft);
+        let mut out = ScalarFieldT::zeros_in(layout, WsCat::Fft);
         timing::time(Kernel::FftDist, || {
             self.planes2d_inverse(&mut work, out.data_mut(), ni);
         });
@@ -419,7 +497,9 @@ impl DistFft {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use claire_grid::redist;
+    use crate::complex::Cpx;
+    use crate::serial3d::Fft3;
+    use claire_grid::{redist, ScalarField};
     use claire_mpi::{run_cluster, Topology};
 
     fn test_field(layout: Layout) -> ScalarField {
@@ -473,6 +553,70 @@ mod tests {
     }
 
     #[test]
+    fn f32_distributed_roundtrip() {
+        // The f32 instantiation must roundtrip across ranks to single
+        // precision, exercising the f32 transpose payload end to end.
+        let grid = Grid::new([8, 6, 4]);
+        let res = run_cluster(Topology::new(3, 4), move |comm| {
+            let layout = Layout::distributed(grid, comm);
+            let f64_field = test_field(layout);
+            let f: ScalarFieldT<f32> = f64_field.converted(WsCat::Fft);
+            let dfft = DistFftT::<f32>::new(grid, comm);
+            let spec = dfft.forward(&f, comm);
+            let back = dfft.inverse(spec, comm);
+            let mut rt_err = 0.0f64;
+            for (a, b) in back.data().iter().zip(f.data()) {
+                rt_err = rt_err.max((a - b).abs() as f64);
+            }
+            rt_err
+        });
+        for (i, &re) in res.outputs.iter().enumerate() {
+            assert!(re < 1e-4, "rank={i}: f32 roundtrip err {re}");
+        }
+    }
+
+    #[test]
+    fn inverse_scaled_matches_scale_then_inverse() {
+        // The fused symbol application must be bit-identical to a separate
+        // elementwise scaling pass followed by the plain inverse, on every
+        // rank count (serial fallback and true distributed path).
+        let grid = Grid::new([8, 6, 4]);
+        let n3c = grid.n[2] / 2 + 1;
+        let sym =
+            move |i: usize, j: usize, k: usize| 1.0 / (1.0 + (i + 2 * j + 3 * k) as Real * 0.25);
+        for p in [1usize, 3] {
+            let res = run_cluster(Topology::new(p, 4), move |comm| {
+                let layout = Layout::distributed(grid, comm);
+                let f = test_field(layout);
+                let dfft = DistFft::new(grid, comm);
+
+                let spec = dfft.forward(&f, comm);
+                let mut spec_ref = spec.clone();
+                for i in 0..grid.n[0] {
+                    for jl in 0..spec_ref.x2_slab.ni {
+                        let j = spec_ref.j_global(jl);
+                        for k in 0..n3c {
+                            let idx = spec_ref.idx(i, jl, k);
+                            spec_ref.data[idx] = spec_ref.data[idx].scale(sym(i, j, k));
+                        }
+                    }
+                }
+                let ref_out = dfft.inverse(spec_ref, comm);
+                let fused_out = dfft.inverse_scaled(spec, comm, &sym);
+                let bits_match = ref_out
+                    .data()
+                    .iter()
+                    .zip(fused_out.data())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                bits_match
+            });
+            for (i, &ok) in res.outputs.iter().enumerate() {
+                assert!(ok, "p={p} rank={i}: fused inverse must be bit-identical");
+            }
+        }
+    }
+
+    #[test]
     fn transpose_traffic_recorded() {
         let grid = Grid::new([8, 8, 8]);
         let res = run_cluster(Topology::new(4, 4), move |comm| {
@@ -489,6 +633,27 @@ mod tests {
         let expect_one_way = local * 3 / 4;
         for &b in &res.outputs {
             assert_eq!(b as usize, 2 * expect_one_way, "forward + inverse transposes");
+        }
+    }
+
+    #[test]
+    fn f32_transpose_traffic_is_half() {
+        // Same transpose schedule, f32 coefficients: exactly half the bytes
+        // of the f64 plan on the wire.
+        let grid = Grid::new([8, 8, 8]);
+        let res = run_cluster(Topology::new(4, 4), move |comm| {
+            let layout = Layout::distributed(grid, comm);
+            let f: ScalarFieldT<f32> = test_field(layout).converted(WsCat::Fft);
+            let dfft = DistFftT::<f32>::new(grid, comm);
+            let spec = dfft.forward(&f, comm);
+            let _ = dfft.inverse(spec, comm);
+            comm.stats().cat(CommCat::FftTranspose).bytes_sent
+        });
+        let n3c = 8 / 2 + 1;
+        let local = 2 * 8 * n3c * std::mem::size_of::<CpxT<f32>>();
+        let expect_one_way = local * 3 / 4;
+        for &b in &res.outputs {
+            assert_eq!(b as usize, 2 * expect_one_way, "f32 transposes carry half the bytes");
         }
     }
 

@@ -8,7 +8,7 @@
 //! transpose to an x2 decomposition, and batched 1D FFTs along x1 (§3.3).
 //! This crate reproduces exactly that structure in pure Rust:
 //!
-//! * [`Cpx`] — complex numbers in field precision;
+//! * [`Cpx`]/[`CpxT`] — complex numbers, generic over element width;
 //! * [`Fft1d`] — 1D complex FFT: mixed-radix Cooley–Tukey for {2,3,5}-smooth
 //!   lengths, Bluestein's algorithm otherwise (so NIREP's 300-point axis
 //!   works too);
@@ -24,6 +24,11 @@
 //!   across every plan built afterwards, including the β- and
 //!   grid-continuation levels of the solver.
 //!
+//! Every plan is generic over [`FftElem`] (`f32` or `f64`): the
+//! mixed-precision solver runs its inner Krylov/FFT path in f32, halving
+//! spectral memory and transpose wire traffic, while the f64 instantiation
+//! is bit-identical to the historically monomorphic code.
+//!
 //! Spectral data uses the half-spectrum convention: for real input of dims
 //! `[n1, n2, n3]`, the transform is complex of dims `[n1, n2, n3/2 + 1]`.
 
@@ -36,12 +41,68 @@ pub mod real;
 pub mod serial3d;
 
 pub use claire_grid::{ClaireError, ClaireResult};
-pub use complex::Cpx;
-pub use dist::{DistFft, DistSpectral};
-pub use plan::Fft1d;
-pub use real::RealFft1d;
-pub use serial3d::Fft3;
+pub use complex::{Cpx, CpxT};
+pub use dist::{DistFft, DistFftT, DistSpectral, DistSpectralT};
+pub use plan::{Fft1d, Fft1dT};
+pub use real::{RealFft1d, RealFft1dT};
+pub use serial3d::{Fft3, Fft3T};
 
-/// Shared pool for complex work buffers (per-worker transform scratch,
-/// gathered lines, transpose staging) — all charged to the µFFT budget.
+/// Shared pool for field-precision complex work buffers (per-worker
+/// transform scratch, gathered lines, transpose staging) — all charged to
+/// the µFFT budget.
 pub static CPX_POOL: claire_grid::Pool<Cpx> = claire_grid::Pool::new();
+
+/// Off-width complex pool: f32 spectral scratch for the mixed-precision
+/// inner solve (half the bytes of [`CPX_POOL`] buffers).
+#[cfg(not(feature = "single"))]
+pub static CPX32_POOL: claire_grid::Pool<CpxT<f32>> = claire_grid::Pool::new();
+
+/// Off-width complex pool under the `single` feature (Real = f32): f64
+/// complex scratch for code that explicitly asks for double.
+#[cfg(feature = "single")]
+pub static CPX64_POOL: claire_grid::Pool<CpxT<f64>> = claire_grid::Pool::new();
+
+/// Element widths the FFT stack can transform.
+///
+/// Extends [`claire_grid::FieldElem`] (pooled field storage + SIMD kernels)
+/// with what the spectral layer needs: wire-safety ([`claire_mpi::Pod`]) for
+/// the transpose all-to-all, a width-matched complex buffer pool, and a
+/// width-matched plan cache. Implemented for exactly `f32` and `f64`.
+pub trait FftElem: claire_grid::FieldElem + claire_mpi::Pod {
+    /// Pool for complex scratch of this width.
+    fn cpx_pool() -> &'static claire_grid::Pool<CpxT<Self>>;
+    /// Process-wide plan cache for this width.
+    fn caches() -> &'static cache::Caches<Self>;
+}
+
+impl FftElem for f64 {
+    fn cpx_pool() -> &'static claire_grid::Pool<CpxT<f64>> {
+        #[cfg(not(feature = "single"))]
+        {
+            &CPX_POOL
+        }
+        #[cfg(feature = "single")]
+        {
+            &CPX64_POOL
+        }
+    }
+    fn caches() -> &'static cache::Caches<f64> {
+        &cache::CACHES_F64
+    }
+}
+
+impl FftElem for f32 {
+    fn cpx_pool() -> &'static claire_grid::Pool<CpxT<f32>> {
+        #[cfg(not(feature = "single"))]
+        {
+            &CPX32_POOL
+        }
+        #[cfg(feature = "single")]
+        {
+            &CPX_POOL
+        }
+    }
+    fn caches() -> &'static cache::Caches<f32> {
+        &cache::CACHES_F32
+    }
+}

@@ -1,45 +1,51 @@
 //! 1D complex FFT plans: mixed-radix Cooley–Tukey and Bluestein.
 
 use claire_grid::{ClaireError, ClaireResult, Real};
+use claire_simd::Elem;
 
-use crate::complex::{as_real, as_real_mut, Cpx};
+use crate::complex::{as_real, as_real_mut, Cpx, CpxT};
 use crate::factor::{is_smooth, next_pow2, smallest_prime_factor};
 
-/// A planned 1D complex FFT of fixed length.
+/// A planned 1D complex FFT of fixed length, generic over element width.
 ///
 /// {2,3,5}-smooth lengths take the recursive mixed-radix Cooley–Tukey path;
 /// any other length uses Bluestein's chirp-z algorithm on top of a
 /// power-of-two plan. The forward transform uses the `e^{-i k x}` sign
-/// convention; [`Fft1d::inverse`] includes the `1/n` normalization, so
-/// `inverse(forward(x)) == x`.
-pub struct Fft1d {
+/// convention; [`Fft1dT::inverse`] includes the `1/n` normalization, so
+/// `inverse(forward(x)) == x`. Twiddle/chirp tables are evaluated in f64 and
+/// rounded once to `T`, so the f64 instantiation is bit-identical to a
+/// direct f64 plan.
+pub struct Fft1dT<T> {
     n: usize,
-    kind: Kind,
+    kind: Kind<T>,
 }
 
-enum Kind {
+/// Field-precision ([`Real`]) 1D plan — the solver's default path.
+pub type Fft1d = Fft1dT<Real>;
+
+enum Kind<T> {
     /// Twiddle table `w[j] = e^{-2πi j / n}` for the recursive path.
-    Smooth { tw: Vec<Cpx> },
+    Smooth { tw: Vec<CpxT<T>> },
     Bluestein {
         /// `chirp[j] = e^{-iπ j²/n}` (j² reduced mod 2n for accuracy).
-        chirp: Vec<Cpx>,
+        chirp: Vec<CpxT<T>>,
         /// Power-of-two inner plan of length `m`.
-        inner: Box<Fft1d>,
+        inner: Box<Fft1dT<T>>,
         /// FFT of the chirp convolution kernel, length `m`.
-        kernel_hat: Vec<Cpx>,
+        kernel_hat: Vec<CpxT<T>>,
         m: usize,
     },
 }
 
-impl Fft1d {
+impl<T: Elem> Fft1dT<T> {
     /// Plan a transform of length `n >= 1`. Panicking convenience wrapper
-    /// around [`Fft1d::try_new`].
-    pub fn new(n: usize) -> Fft1d {
-        Fft1d::try_new(n).unwrap_or_else(|e| panic!("{e}"))
+    /// around [`Fft1dT::try_new`].
+    pub fn new(n: usize) -> Fft1dT<T> {
+        Fft1dT::try_new(n).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Plan a transform, rejecting the empty length with a typed error.
-    pub fn try_new(n: usize) -> ClaireResult<Fft1d> {
+    pub fn try_new(n: usize) -> ClaireResult<Fft1dT<T>> {
         if n < 1 {
             return Err(ClaireError::Config {
                 param: "n",
@@ -49,36 +55,36 @@ impl Fft1d {
         Ok(Self::plan(n))
     }
 
-    fn plan(n: usize) -> Fft1d {
+    fn plan(n: usize) -> Fft1dT<T> {
         if is_smooth(n) || n == 1 {
             let tw = (0..n)
                 .map(|j| {
                     let theta = -2.0 * std::f64::consts::PI * j as f64 / n as f64;
-                    Cpx::new(theta.cos() as Real, theta.sin() as Real)
+                    CpxT::new(T::from_f64(theta.cos()), T::from_f64(theta.sin()))
                 })
                 .collect();
-            Fft1d { n, kind: Kind::Smooth { tw } }
+            Fft1dT { n, kind: Kind::Smooth { tw } }
         } else {
             let m = next_pow2(2 * n - 1);
-            let inner = Box::new(Fft1d::new(m));
+            let inner = Box::new(Fft1dT::new(m));
             // chirp[j] = e^{-iπ j²/n}; reduce j² modulo 2n to keep the
             // argument small (the chirp has period 2n in j).
-            let chirp: Vec<Cpx> = (0..n)
+            let chirp: Vec<CpxT<T>> = (0..n)
                 .map(|j| {
                     let jsq = (j * j) % (2 * n);
                     let theta = -std::f64::consts::PI * jsq as f64 / n as f64;
-                    Cpx::new(theta.cos() as Real, theta.sin() as Real)
+                    CpxT::new(T::from_f64(theta.cos()), T::from_f64(theta.sin()))
                 })
                 .collect();
-            let mut kernel = vec![Cpx::ZERO; m];
+            let mut kernel = vec![CpxT::ZERO; m];
             kernel[0] = chirp[0].conj();
             for j in 1..n {
                 kernel[j] = chirp[j].conj();
                 kernel[m - j] = chirp[j].conj();
             }
-            let mut scratch = vec![Cpx::ZERO; m];
+            let mut scratch = vec![CpxT::ZERO; m];
             inner.forward(&mut kernel, &mut scratch);
-            Fft1d { n, kind: Kind::Bluestein { chirp, inner, kernel_hat: kernel, m } }
+            Fft1dT { n, kind: Kind::Bluestein { chirp, inner, kernel_hat: kernel, m } }
         }
     }
 
@@ -92,7 +98,7 @@ impl Fft1d {
         false
     }
 
-    /// Required scratch length for [`Fft1d::forward`]/[`Fft1d::inverse`].
+    /// Required scratch length for [`Fft1dT::forward`]/[`Fft1dT::inverse`].
     pub fn scratch_len(&self) -> usize {
         match &self.kind {
             Kind::Smooth { .. } => self.n,
@@ -102,8 +108,8 @@ impl Fft1d {
 
     /// In-place forward DFT (`e^{-ikx}` convention, unnormalized).
     ///
-    /// `scratch` must have at least [`Fft1d::scratch_len`] elements.
-    pub fn forward(&self, data: &mut [Cpx], scratch: &mut [Cpx]) {
+    /// `scratch` must have at least [`Fft1dT::scratch_len`] elements.
+    pub fn forward(&self, data: &mut [CpxT<T>], scratch: &mut [CpxT<T>]) {
         assert_eq!(data.len(), self.n, "data length mismatch");
         assert!(scratch.len() >= self.scratch_len(), "scratch too small");
         match &self.kind {
@@ -117,26 +123,22 @@ impl Fft1d {
             }
             Kind::Bluestein { chirp, inner, kernel_hat, m } => {
                 let (a, inner_scratch) = scratch.split_at_mut(*m);
-                a.fill(Cpx::ZERO);
-                claire_simd::cpx_mul_into(
-                    as_real_mut(&mut a[..self.n]),
-                    as_real(data),
-                    as_real(chirp),
-                );
+                a.fill(CpxT::ZERO);
+                T::kcpx_mul_into(as_real_mut(&mut a[..self.n]), as_real(data), as_real(chirp));
                 inner.forward(a, inner_scratch);
-                claire_simd::cpx_mul(as_real_mut(a), as_real(kernel_hat));
+                T::kcpx_mul(as_real_mut(a), as_real(kernel_hat));
                 inner.inverse(a, inner_scratch);
-                claire_simd::cpx_mul_into(as_real_mut(data), as_real(&a[..self.n]), as_real(chirp));
+                T::kcpx_mul_into(as_real_mut(data), as_real(&a[..self.n]), as_real(chirp));
             }
         }
     }
 
     /// In-place inverse DFT including the `1/n` normalization.
-    pub fn inverse(&self, data: &mut [Cpx], scratch: &mut [Cpx]) {
-        claire_simd::cpx_conj(as_real_mut(data));
+    pub fn inverse(&self, data: &mut [CpxT<T>], scratch: &mut [CpxT<T>]) {
+        T::kcpx_conj(as_real_mut(data));
         self.forward(data, scratch);
-        let s = 1.0 as Real / self.n as Real;
-        claire_simd::cpx_conj_scale(as_real_mut(data), s);
+        let s = T::ONE / T::from_f64(self.n as f64);
+        T::kcpx_conj_scale(as_real_mut(data), s);
     }
 }
 
@@ -145,9 +147,26 @@ impl Fft1d {
 /// Computes `out[0..n] = DFT_n(inp[0], inp[s], inp[2s], …)` where the
 /// current sub-transform's twiddle `w_n^t` is the global table entry
 /// `tw[(t · ws) mod N]` (invariant: `n · ws == N == tw.len()`).
-fn fft_rec(inp: &[Cpx], s: usize, out: &mut [Cpx], n: usize, ws: usize, tw: &[Cpx]) {
+fn fft_rec<T: Elem>(
+    inp: &[CpxT<T>],
+    s: usize,
+    out: &mut [CpxT<T>],
+    n: usize,
+    ws: usize,
+    tw: &[CpxT<T>],
+) {
     if n == 1 {
         out[0] = inp[0];
+        return;
+    }
+    // Off-width arm only: stop the recursion at unrolled small DFTs. The
+    // primary (`Real`) width keeps the historical single-element leaves —
+    // its spectra are pinned bit-for-bit against pre-seam results — while
+    // the f32 inner-solve arm trades that pedigree for eliminating the
+    // per-leaf call and modular-index overhead that dominates small
+    // transforms. The width check monomorphizes to a constant.
+    if n <= 5 && T::BYTES != core::mem::size_of::<Real>() {
+        dft_small(inp, s, out, n, ws, tw);
         return;
     }
     let r = smallest_prime_factor(n);
@@ -164,10 +183,20 @@ fn fft_rec(inp: &[Cpx], s: usize, out: &mut [Cpx], n: usize, ws: usize, tw: &[Cp
         // of the twiddle table is read and the whole pass runs as one SIMD
         // kernel over interleaved re/im pairs.
         let (lo, hi) = out.split_at_mut(m);
-        claire_simd::cpx_radix2_combine(as_real_mut(lo), as_real_mut(hi), as_real(tw), ws);
+        // off-width arm: short combines inline — the dispatched kernel's
+        // call and assert overhead outweighs SIMD on a handful of pairs
+        if m <= 16 && T::BYTES != core::mem::size_of::<Real>() {
+            for k in 0..m {
+                let t = tw[k * ws] * hi[k];
+                hi[k] = lo[k] - t;
+                lo[k] += t;
+            }
+            return;
+        }
+        T::kcpx_radix2_combine(as_real_mut(lo), as_real_mut(hi), as_real(tw), ws);
         return;
     }
-    let mut temp = [Cpx::ZERO; 8];
+    let mut temp = [CpxT::ZERO; 8];
     debug_assert!(r <= 8, "smooth radix should be 2, 3, or 5");
     for k in 0..m {
         for (q, t) in temp.iter_mut().enumerate().take(r) {
@@ -180,6 +209,49 @@ fn fft_rec(inp: &[Cpx], s: usize, out: &mut [Cpx], n: usize, ws: usize, tw: &[Cp
                 acc += tw[(kk * q * ws) % nn] * t;
             }
             out[kk] = acc;
+        }
+    }
+}
+
+/// Unrolled strided DFTs of length 2–5, the recursion base cases of the
+/// off-width arm. Radix 2 and 4 use exact ±1/±i rotations; 3 and 5 read
+/// the global twiddle table (`w_n^k = tw[k·ws]`) so their constants match
+/// the planned values.
+fn dft_small<T: Elem>(
+    inp: &[CpxT<T>],
+    s: usize,
+    out: &mut [CpxT<T>],
+    n: usize,
+    ws: usize,
+    tw: &[CpxT<T>],
+) {
+    match n {
+        2 => {
+            let (a, b) = (inp[0], inp[s]);
+            out[0] = a + b;
+            out[1] = a - b;
+        }
+        4 => {
+            let (x0, x1, x2, x3) = (inp[0], inp[s], inp[2 * s], inp[3 * s]);
+            let (t0, t1) = (x0 + x2, x0 - x2);
+            let t2 = x1 + x3;
+            let d = x1 - x3;
+            let j = CpxT::new(d.im, -d.re); // −i·(x1 − x3)
+            out[0] = t0 + t2;
+            out[1] = t1 + j;
+            out[2] = t0 - t2;
+            out[3] = t1 - j;
+        }
+        _ => {
+            // 3 or 5: direct DFT against the global table
+            let nn = tw.len();
+            for p in 0..n {
+                let mut acc = inp[0];
+                for q in 1..n {
+                    acc += tw[(p * q * ws) % nn] * inp[q * s];
+                }
+                out[p] = acc;
+            }
         }
     }
 }
@@ -272,6 +344,37 @@ mod tests {
         let e_time: f64 = input.iter().map(|z| z.norm_sqr()).sum();
         let e_freq: f64 = data.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
         assert!((e_time - e_freq).abs() < 1e-8 * e_time);
+    }
+
+    #[test]
+    fn f32_plan_tracks_f64_plan() {
+        // The f32 instantiation runs the same algorithm on demoted twiddles;
+        // both smooth and Bluestein lengths must agree with the f64 plan to
+        // single-precision accuracy.
+        for n in [16usize, 30, 97] {
+            let input: Vec<Cpx> = (0..n)
+                .map(|j| Cpx::new(((j * 5 + 2) % 9) as Real - 4.0, ((j * 11) % 13) as Real / 6.5))
+                .collect();
+            let p64 = Fft1d::new(n);
+            let mut d64 = input.clone();
+            let mut s64 = vec![Cpx::ZERO; p64.scratch_len()];
+            p64.forward(&mut d64, &mut s64);
+
+            let p32 = Fft1dT::<f32>::new(n);
+            let mut d32: Vec<CpxT<f32>> = input.iter().map(|z| z.cast()).collect();
+            let mut s32 = vec![CpxT::<f32>::ZERO; p32.scratch_len()];
+            p32.forward(&mut d32, &mut s32);
+
+            let scale = d64.iter().map(|z| z.abs()).fold(1.0f64, f64::max);
+            for (a, b) in d32.iter().zip(&d64) {
+                let d = (a.cast::<f64>() - *b).abs();
+                assert!(d < 1e-4 * scale, "n={n}: {a:?} vs {b:?}");
+            }
+            p32.inverse(&mut d32, &mut s32);
+            for (a, b) in d32.iter().zip(&input) {
+                assert!((a.cast::<f64>() - *b).abs() < 1e-5, "{a:?} vs {b:?}");
+            }
+        }
     }
 
     proptest! {

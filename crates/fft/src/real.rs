@@ -7,28 +7,33 @@
 //! a complex sequence of half the length.
 
 use claire_grid::{ClaireError, ClaireResult, Real};
+use claire_simd::Elem;
 
-use crate::complex::{as_real, as_real_mut, Cpx};
-use crate::plan::Fft1d;
+use crate::complex::{as_real, as_real_mut, CpxT};
+use crate::plan::Fft1dT;
 
-/// Planned real↔half-complex transform of even length `n`.
-pub struct RealFft1d {
+/// Planned real↔half-complex transform of even length `n`, generic over
+/// element width.
+pub struct RealFft1dT<T> {
     n: usize,
-    half: Fft1d,
+    half: Fft1dT<T>,
     /// Unpacking twiddles `w^k = e^{-2πik/n}` for `k = 0..=n/2`.
-    w: Vec<Cpx>,
+    w: Vec<CpxT<T>>,
 }
 
-impl RealFft1d {
+/// Field-precision ([`Real`]) real↔half-complex plan.
+pub type RealFft1d = RealFft1dT<Real>;
+
+impl<T: Elem> RealFft1dT<T> {
     /// Plan a real transform; `n` must be even and ≥ 2. Panicking
-    /// convenience wrapper around [`RealFft1d::try_new`].
-    pub fn new(n: usize) -> RealFft1d {
-        RealFft1d::try_new(n).unwrap_or_else(|e| panic!("{e}"))
+    /// convenience wrapper around [`RealFft1dT::try_new`].
+    pub fn new(n: usize) -> RealFft1dT<T> {
+        RealFft1dT::try_new(n).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Plan a real transform, rejecting odd or tiny lengths with a typed
     /// error instead of a panic deep inside the plan cache.
-    pub fn try_new(n: usize) -> ClaireResult<RealFft1d> {
+    pub fn try_new(n: usize) -> ClaireResult<RealFft1dT<T>> {
         if n < 2 || !n.is_multiple_of(2) {
             return Err(ClaireError::Config {
                 param: "n",
@@ -38,10 +43,10 @@ impl RealFft1d {
         let w = (0..=n / 2)
             .map(|k| {
                 let theta = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
-                Cpx::new(theta.cos() as Real, theta.sin() as Real)
+                CpxT::new(T::from_f64(theta.cos()), T::from_f64(theta.sin()))
             })
             .collect();
-        Ok(RealFft1d { n, half: Fft1d::try_new(n / 2)?, w })
+        Ok(RealFft1dT { n, half: Fft1dT::try_new(n / 2)?, w })
     }
 
     /// Real length `n`.
@@ -65,11 +70,12 @@ impl RealFft1d {
     }
 
     /// Forward r2c: `input.len() == n`, `out.len() == n/2 + 1`.
-    pub fn forward(&self, input: &[Real], out: &mut [Cpx], scratch: &mut [Cpx]) {
+    pub fn forward(&self, input: &[T], out: &mut [CpxT<T>], scratch: &mut [CpxT<T>]) {
         let m = self.n / 2;
         assert_eq!(input.len(), self.n);
         assert_eq!(out.len(), m + 1);
         assert!(scratch.len() >= self.scratch_len());
+        let half = T::from_f64(0.5);
         let (z, inner_scratch) = scratch.split_at_mut(m);
         // pack even/odd samples into z[j] = (input[2j], input[2j+1]) — a
         // pure reinterpretation of the interleaved storage, so memcpy
@@ -79,26 +85,27 @@ impl RealFft1d {
             // indices wrap with period m: z[m] := z[0]
             let zk = if k == m { z[0] } else { z[k] };
             let zmk = if k == 0 { z[0] } else { z[m - k] };
-            let e = (zk + zmk.conj()).scale(0.5);
-            let o = (zk - zmk.conj()).scale(0.5).mul_i().scale(-1.0); // -i(z-ẑ)/2
+            let e = (zk + zmk.conj()).scale(half);
+            let o = (zk - zmk.conj()).scale(half).mul_i().scale(-T::ONE); // -i(z-ẑ)/2
             out[k] = e + self.w[k] * o;
         }
     }
 
     /// Inverse c2r with `1/n` normalization: `spec.len() == n/2 + 1`,
     /// `out.len() == n`.
-    pub fn inverse(&self, spec: &[Cpx], out: &mut [Real], scratch: &mut [Cpx]) {
+    pub fn inverse(&self, spec: &[CpxT<T>], out: &mut [T], scratch: &mut [CpxT<T>]) {
         let m = self.n / 2;
         assert_eq!(spec.len(), m + 1);
         assert_eq!(out.len(), self.n);
         assert!(scratch.len() >= self.scratch_len());
+        let half = T::from_f64(0.5);
         let (z, inner_scratch) = scratch.split_at_mut(m);
         for (k, zk) in z.iter_mut().enumerate() {
             let xk = spec[k];
             let xmk = spec[m - k].conj();
-            let e = (xk + xmk).scale(0.5);
+            let e = (xk + xmk).scale(half);
             // o[k] = w^{-k} (x[k] - conj(x[m-k]))/2; w^{-k} = conj(w^k)
-            let o = self.w[k].conj() * (xk - xmk).scale(0.5);
+            let o = self.w[k].conj() * (xk - xmk).scale(half);
             *zk = e + o.mul_i();
         }
         self.half.inverse(z, inner_scratch);
@@ -110,6 +117,7 @@ impl RealFft1d {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::complex::Cpx;
     use crate::plan::dft_naive;
     use proptest::prelude::*;
 
@@ -153,6 +161,30 @@ mod tests {
         plan.forward(&input, &mut spec, &mut scratch);
         assert!(spec[0].im.abs() < 1e-10, "DC must be real");
         assert!(spec[n / 2].im.abs() < 1e-10, "Nyquist must be real");
+    }
+
+    #[test]
+    fn f32_real_plan_tracks_f64() {
+        let n = 32;
+        let input: Vec<Real> = (0..n).map(|j| ((j * 13 + 5) % 17) as Real / 8.5 - 1.0).collect();
+        let p64 = RealFft1d::new(n);
+        let mut s64 = vec![Cpx::ZERO; p64.spectral_len()];
+        let mut sc64 = vec![Cpx::ZERO; p64.scratch_len()];
+        p64.forward(&input, &mut s64, &mut sc64);
+
+        let in32: Vec<f32> = input.iter().map(|&x| x as f32).collect();
+        let p32 = RealFft1dT::<f32>::new(n);
+        let mut s32 = vec![CpxT::<f32>::ZERO; p32.spectral_len()];
+        let mut sc32 = vec![CpxT::<f32>::ZERO; p32.scratch_len()];
+        p32.forward(&in32, &mut s32, &mut sc32);
+        for (a, b) in s32.iter().zip(&s64) {
+            assert!((a.cast::<f64>() - *b).abs() < 1e-4, "{a:?} vs {b:?}");
+        }
+        let mut back = vec![0.0f32; n];
+        p32.inverse(&s32, &mut back, &mut sc32);
+        for (a, b) in back.iter().zip(&input) {
+            assert!((*a as f64 - b).abs() < 1e-5);
+        }
     }
 
     #[test]

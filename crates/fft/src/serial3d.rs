@@ -15,33 +15,40 @@ use claire_par::timing::{self, Kernel};
 use claire_par::{par_parts, SharedSlice};
 
 use crate::cache;
-use crate::complex::Cpx;
-use crate::plan::Fft1d;
-use crate::real::RealFft1d;
-use crate::CPX_POOL;
+use crate::complex::CpxT;
+use crate::plan::Fft1dT;
+use crate::real::RealFft1dT;
+use crate::FftElem;
 
-/// Planned 3D real↔complex transform on a full (serial) grid.
+/// Planned 3D real↔complex transform on a full (serial) grid, generic over
+/// element width.
 ///
 /// Real input has dims `[n1, n2, n3]` (x3 fastest); spectral output has dims
 /// `[n1, n2, n3/2 + 1]` in the same ordering. Forward is unnormalized;
 /// inverse includes `1/N`, so the pair is an identity. The 1-D factor plans
-/// come from the process-wide [`cache`], so constructing an `Fft3` for an
+/// come from the process-wide [`cache`], so constructing an `Fft3T` for an
 /// already-seen grid does no planning work.
-pub struct Fft3 {
+pub struct Fft3T<T: FftElem> {
     grid: Grid,
-    r3: Arc<RealFft1d>,
-    c2: Arc<Fft1d>,
-    c1: Arc<Fft1d>,
+    r3: Arc<RealFft1dT<T>>,
+    c2: Arc<Fft1dT<T>>,
+    c1: Arc<Fft1dT<T>>,
 }
 
-impl Fft3 {
+/// Field-precision ([`Real`]) serial 3D plan.
+pub type Fft3 = Fft3T<Real>;
+
+/// Marker closure type for the unscaled inverse path (never called).
+type NoScale<T> = fn(usize, usize, usize) -> T;
+
+impl<T: FftElem> Fft3T<T> {
     /// Plan transforms for `grid` (requires even `n3`).
-    pub fn new(grid: Grid) -> Fft3 {
-        Fft3 {
+    pub fn new(grid: Grid) -> Fft3T<T> {
+        Fft3T {
             grid,
-            r3: cache::real_fft1d(grid.n[2]),
-            c2: cache::fft1d(grid.n[1]),
-            c1: cache::fft1d(grid.n[0]),
+            r3: cache::real_fft1d_t(grid.n[2]),
+            c2: cache::fft1d_t(grid.n[1]),
+            c1: cache::fft1d_t(grid.n[0]),
         }
     }
 
@@ -66,7 +73,7 @@ impl Fft3 {
     }
 
     /// Forward r2c transform: `real.len() == N`, `out.len() == spectral_len()`.
-    pub fn forward(&self, real: &[Real], out: &mut [Cpx]) {
+    pub fn forward(&self, real: &[T], out: &mut [CpxT<T>]) {
         let [n1, n2, n3] = self.grid.n;
         let n3c = self.n3c();
         assert_eq!(real.len(), self.grid.len());
@@ -78,7 +85,8 @@ impl Fft3 {
             // chunks, split across workers with per-worker scratch
             let shared = SharedSlice::new(out);
             par_parts(n1 * n2, n1 * n2 * n3, |rows| {
-                let mut scratch = CPX_POOL.checkout_filled(scratch_len, Cpx::ZERO, WsCat::Fft);
+                let mut scratch =
+                    T::cpx_pool().checkout_filled(scratch_len, CpxT::ZERO, WsCat::Fft);
                 for row in rows {
                     // SAFETY: row ranges are disjoint across workers.
                     let dst = unsafe { shared.slice_mut(row * n3c..(row + 1) * n3c) };
@@ -87,8 +95,9 @@ impl Fft3 {
             });
             // x2: complex FFT with stride n3c, batched over (i, k) lines
             par_parts(n1 * n3c, n1 * n3c * n2, |lines| {
-                let mut scratch = CPX_POOL.checkout_filled(scratch_len, Cpx::ZERO, WsCat::Fft);
-                let mut line = CPX_POOL.checkout_filled(n2, Cpx::ZERO, WsCat::Fft);
+                let mut scratch =
+                    T::cpx_pool().checkout_filled(scratch_len, CpxT::ZERO, WsCat::Fft);
+                let mut line = T::cpx_pool().checkout_filled(n2, CpxT::ZERO, WsCat::Fft);
                 for t in lines {
                     let (i, k) = (t / n3c, t % n3c);
                     let base = i * n2 * n3c + k;
@@ -107,8 +116,9 @@ impl Fft3 {
             // x1: complex FFT with stride n2·n3c, batched over (j, k) lines
             let stride = n2 * n3c;
             par_parts(stride, stride * n1, |lines| {
-                let mut scratch = CPX_POOL.checkout_filled(scratch_len, Cpx::ZERO, WsCat::Fft);
-                let mut line1 = CPX_POOL.checkout_filled(n1, Cpx::ZERO, WsCat::Fft);
+                let mut scratch =
+                    T::cpx_pool().checkout_filled(scratch_len, CpxT::ZERO, WsCat::Fft);
+                let mut line1 = T::cpx_pool().checkout_filled(n1, CpxT::ZERO, WsCat::Fft);
                 for jk in lines {
                     // SAFETY: distinct jk touch disjoint strided indices.
                     unsafe {
@@ -127,7 +137,27 @@ impl Fft3 {
 
     /// Inverse c2r transform (normalized): `spec.len() == spectral_len()`,
     /// `out.len() == N`. `spec` is consumed as scratch.
-    pub fn inverse(&self, spec: &mut [Cpx], out: &mut [Real]) {
+    pub fn inverse(&self, spec: &mut [CpxT<T>], out: &mut [T]) {
+        self.inverse_opt(spec, out, None::<&NoScale<T>>);
+    }
+
+    /// Inverse transform with a per-coefficient scale fused into the first
+    /// (x1) pass: each coefficient is multiplied by `scale(i, j, k)` —
+    /// global spectral indices — as it is first gathered, saving a separate
+    /// pass over the spectral array. Applying a symbol this way performs
+    /// the exact same per-element multiply the standalone scaling pass
+    /// would, so results are bit-identical to scale-then-`inverse`.
+    pub fn inverse_scaled<S>(&self, spec: &mut [CpxT<T>], out: &mut [T], scale: &S)
+    where
+        S: Fn(usize, usize, usize) -> T + Sync,
+    {
+        self.inverse_opt(spec, out, Some(scale));
+    }
+
+    fn inverse_opt<S>(&self, spec: &mut [CpxT<T>], out: &mut [T], scale: Option<&S>)
+    where
+        S: Fn(usize, usize, usize) -> T + Sync,
+    {
         let [n1, n2, n3] = self.grid.n;
         let n3c = self.n3c();
         assert_eq!(spec.len(), self.spectral_len());
@@ -136,16 +166,27 @@ impl Fft3 {
 
         timing::time(Kernel::FftSerial, || {
             let shared = SharedSlice::new(spec);
-            // x1 inverse
+            // x1 inverse (with the optional symbol fused into the gather)
             let stride = n2 * n3c;
             par_parts(stride, stride * n1, |lines| {
-                let mut scratch = CPX_POOL.checkout_filled(scratch_len, Cpx::ZERO, WsCat::Fft);
-                let mut line1 = CPX_POOL.checkout_filled(n1, Cpx::ZERO, WsCat::Fft);
+                let mut scratch =
+                    T::cpx_pool().checkout_filled(scratch_len, CpxT::ZERO, WsCat::Fft);
+                let mut line1 = T::cpx_pool().checkout_filled(n1, CpxT::ZERO, WsCat::Fft);
                 for jk in lines {
                     // SAFETY: distinct jk touch disjoint strided indices.
                     unsafe {
-                        for i in 0..n1 {
-                            line1[i] = shared.read(i * stride + jk);
+                        match scale {
+                            None => {
+                                for i in 0..n1 {
+                                    line1[i] = shared.read(i * stride + jk);
+                                }
+                            }
+                            Some(f) => {
+                                let (j, k) = (jk / n3c, jk % n3c);
+                                for i in 0..n1 {
+                                    line1[i] = shared.read(i * stride + jk).scale(f(i, j, k));
+                                }
+                            }
                         }
                         self.c1.inverse(&mut line1, &mut scratch);
                         for i in 0..n1 {
@@ -156,8 +197,9 @@ impl Fft3 {
             });
             // x2 inverse
             par_parts(n1 * n3c, n1 * n3c * n2, |lines| {
-                let mut scratch = CPX_POOL.checkout_filled(scratch_len, Cpx::ZERO, WsCat::Fft);
-                let mut line = CPX_POOL.checkout_filled(n2, Cpx::ZERO, WsCat::Fft);
+                let mut scratch =
+                    T::cpx_pool().checkout_filled(scratch_len, CpxT::ZERO, WsCat::Fft);
+                let mut line = T::cpx_pool().checkout_filled(n2, CpxT::ZERO, WsCat::Fft);
                 for t in lines {
                     let (i, k) = (t / n3c, t % n3c);
                     let base = i * n2 * n3c + k;
@@ -176,7 +218,8 @@ impl Fft3 {
             // x3 inverse (c2r): rows are disjoint spec/output chunks
             let out_shared = SharedSlice::new(out);
             par_parts(n1 * n2, n1 * n2 * n3, |rows| {
-                let mut scratch = CPX_POOL.checkout_filled(scratch_len, Cpx::ZERO, WsCat::Fft);
+                let mut scratch =
+                    T::cpx_pool().checkout_filled(scratch_len, CpxT::ZERO, WsCat::Fft);
                 for row in rows {
                     // SAFETY: spec/out row ranges are disjoint across workers
                     // and spec is only read during this pass.
@@ -192,6 +235,7 @@ impl Fft3 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::complex::Cpx;
     use claire_grid::{Layout, ScalarField, TWO_PI};
 
     #[test]
@@ -207,6 +251,59 @@ mod tests {
         plan.inverse(&mut spec, &mut back);
         for (a, b) in back.iter().zip(f.data()) {
             assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn f32_roundtrip_identity() {
+        let grid = Grid::new([4, 6, 8]);
+        let f = ScalarField::from_fn(Layout::serial(grid), |x, y, z| {
+            (x.sin() * (2.0 * y).cos()) + z * 0.1
+        });
+        let f32_data: Vec<f32> = f.data().iter().map(|&x| x as f32).collect();
+        let plan = Fft3T::<f32>::new(grid);
+        let mut spec = vec![CpxT::<f32>::ZERO; plan.spectral_len()];
+        plan.forward(&f32_data, &mut spec);
+        let mut back = vec![0.0f32; grid.len()];
+        plan.inverse(&mut spec, &mut back);
+        for (a, b) in back.iter().zip(&f32_data) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn inverse_scaled_matches_scale_then_inverse() {
+        // The fused symbol application must be bit-identical to an explicit
+        // elementwise scaling pass followed by the plain inverse.
+        let grid = Grid::new([6, 4, 8]);
+        let f = ScalarField::from_fn(Layout::serial(grid), |x, y, z| {
+            (x - 0.2 * y).cos() + (3.0 * z).sin()
+        });
+        let plan = Fft3::new(grid);
+        let n3c = plan.n3c();
+        let [_, n2, _] = grid.n;
+        let sym = |i: usize, j: usize, k: usize| 1.0 / (1.0 + (i * i + j * j + k * k) as Real);
+
+        let mut spec = vec![Cpx::ZERO; plan.spectral_len()];
+        plan.forward(f.data(), &mut spec);
+
+        // reference: separate scaling pass, then inverse
+        let mut spec_ref = spec.clone();
+        for i in 0..grid.n[0] {
+            for j in 0..n2 {
+                for k in 0..n3c {
+                    let idx = (i * n2 + j) * n3c + k;
+                    spec_ref[idx] = spec_ref[idx].scale(sym(i, j, k));
+                }
+            }
+        }
+        let mut out_ref = vec![0.0 as Real; grid.len()];
+        plan.inverse(&mut spec_ref, &mut out_ref);
+
+        let mut out_fused = vec![0.0 as Real; grid.len()];
+        plan.inverse_scaled(&mut spec, &mut out_fused, &sym);
+        for (a, b) in out_fused.iter().zip(&out_ref) {
+            assert_eq!(a.to_bits(), b.to_bits(), "fused symbol must be bit-identical");
         }
     }
 

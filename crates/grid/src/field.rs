@@ -5,6 +5,13 @@
 //! kernel to its fixed-size chunk, so thread-level and data-level
 //! parallelism compose and block boundaries (hence reduction order) stay
 //! independent of both thread count and backend.
+//!
+//! Fields are generic over the element width ([`FieldElem`]: `f64` | `f32`)
+//! for the mixed-precision solver core. [`ScalarField`]/[`VectorField`]
+//! remain the `Real`-width aliases the rest of the system names; the f32
+//! instantiation carries the inner Krylov/spectral state at half the
+//! footprint. Every reduction accumulates and returns `f64` regardless of
+//! the element width, so convergence logic is width-independent.
 
 // Reductions accumulate in f64 even when `Real = f32` (the `single`
 // feature); the casts are load-bearing there, so the lint is off.
@@ -16,7 +23,7 @@ use claire_par::{par_chunks_mut, par_chunks_mut_sum, par_max_blocks, par_sum_blo
 
 use crate::real::Real;
 use crate::slab::Layout;
-use crate::workspace::{PoolVec, WsCat, REAL_POOL};
+use crate::workspace::{FieldElem, PoolVec, WsCat};
 
 /// Per-chunk element count for parallel element-wise loops. Matches the
 /// reduction block so element-wise and reduction passes stream the same
@@ -26,23 +33,26 @@ const ELEM_CHUNK: usize = SUM_BLOCK;
 /// Per-block max-abs partials with thread-count-independent block boundaries
 /// (same contract as [`par_sum_blocks`]; max is reorder-safe anyway, but
 /// keeping every reduction deterministic keeps the equivalence tests exact).
-fn par_max_abs(d: &[Real]) -> f64 {
-    par_max_blocks(d.len(), |r| claire_simd::max_abs(&d[r])).max(0.0)
+fn par_max_abs<T: FieldElem>(d: &[T]) -> f64 {
+    par_max_blocks(d.len(), |r| T::kmax_abs(&d[r])).max(0.0)
 }
 
 /// A scalar field: this rank's slab of samples of a function on Ω.
 ///
-/// Storage comes from the workspace pool ([`crate::workspace::REAL_POOL`]):
-/// constructing a field checks a buffer out, dropping one checks it back
-/// in, so field churn in the solver hot path recycles memory instead of
-/// allocating.
+/// Storage comes from the element width's workspace pool
+/// ([`FieldElem::pool`]): constructing a field checks a buffer out, dropping
+/// one checks it back in, so field churn in the solver hot path recycles
+/// memory instead of allocating.
 #[derive(Clone, Debug, PartialEq)]
-pub struct ScalarField {
+pub struct ScalarFieldT<T: FieldElem> {
     layout: Layout,
-    data: PoolVec<Real>,
+    data: PoolVec<T>,
 }
 
-impl ScalarField {
+/// The `Real`-width scalar field (what the paper's solver state stores).
+pub type ScalarField = ScalarFieldT<Real>;
+
+impl<T: FieldElem> ScalarFieldT<T> {
     /// Zero field with the given layout (pooled, charged to µPDE).
     pub fn zeros(layout: Layout) -> Self {
         Self::zeros_in(layout, WsCat::Pde)
@@ -50,31 +60,14 @@ impl ScalarField {
 
     /// Zero field charged to an explicit workspace category.
     pub fn zeros_in(layout: Layout, cat: WsCat) -> Self {
-        Self { layout, data: REAL_POOL.checkout_filled(layout.local_len(), 0.0 as Real, cat) }
+        Self { layout, data: T::pool().checkout_filled(layout.local_len(), T::ZERO, cat) }
     }
 
     /// Field from existing local data (must match the layout's local length).
     /// The vector migrates into the workspace pool when the field drops.
-    pub fn from_data(layout: Layout, data: Vec<Real>) -> Self {
+    pub fn from_data(layout: Layout, data: Vec<T>) -> Self {
         assert_eq!(data.len(), layout.local_len(), "data/layout size mismatch");
-        Self { layout, data: REAL_POOL.adopt(data, WsCat::Pde) }
-    }
-
-    /// Sample an analytic function `f(x1, x2, x3)` at the owned grid points.
-    /// Rows (fixed `il`, `j`) are sampled in parallel.
-    pub fn from_fn(layout: Layout, f: impl Fn(Real, Real, Real) -> Real + Sync) -> Self {
-        let mut field = Self::zeros(layout);
-        let h = layout.grid.spacing();
-        let [_, n2, n3] = layout.local_dims();
-        let i0 = layout.slab.i0;
-        par_chunks_mut(&mut field.data, n3, |row, line| {
-            let x1 = (i0 + row / n2) as Real * h[0];
-            let x2 = (row % n2) as Real * h[1];
-            for (k, v) in line.iter_mut().enumerate() {
-                *v = f(x1, x2, k as Real * h[2]);
-            }
-        });
-        field
+        Self { layout, data: T::pool().adopt(data, WsCat::Pde) }
     }
 
     /// The layout (grid + slab) of this field.
@@ -83,76 +76,76 @@ impl ScalarField {
     }
 
     /// Local data slice.
-    pub fn data(&self) -> &[Real] {
+    pub fn data(&self) -> &[T] {
         &self.data
     }
 
     /// Mutable local data slice.
-    pub fn data_mut(&mut self) -> &mut [Real] {
+    pub fn data_mut(&mut self) -> &mut [T] {
         &mut self.data
     }
 
     /// Consume into the local data vector (detached from the pool).
-    pub fn into_data(self) -> Vec<Real> {
+    pub fn into_data(self) -> Vec<T> {
         self.data.into_vec()
     }
 
     /// Value at local plane `il`, `j`, `k`.
-    pub fn at(&self, il: usize, j: usize, k: usize) -> Real {
+    pub fn at(&self, il: usize, j: usize, k: usize) -> T {
         self.data[self.layout.local_idx(il, j, k)]
     }
 
     /// Mutable value at local plane `il`, `j`, `k`.
-    pub fn at_mut(&mut self, il: usize, j: usize, k: usize) -> &mut Real {
+    pub fn at_mut(&mut self, il: usize, j: usize, k: usize) -> &mut T {
         &mut self.data[self.layout.local_idx(il, j, k)]
     }
 
     // ----- elementwise operations ----------------------------------------
 
     /// Set every sample to `v`.
-    pub fn fill(&mut self, v: Real) {
+    pub fn fill(&mut self, v: T) {
         self.data.fill(v);
     }
 
     /// `self *= a`.
-    pub fn scale(&mut self, a: Real) {
+    pub fn scale(&mut self, a: T) {
         timing::time(Kernel::FieldOps, || {
-            par_chunks_mut(&mut self.data, ELEM_CHUNK, |_, c| claire_simd::scale(a, c))
+            par_chunks_mut(&mut self.data, ELEM_CHUNK, |_, c| T::kscale(a, c))
         });
     }
 
     /// `self += a·x` (same layout required).
-    pub fn axpy(&mut self, a: Real, x: &ScalarField) {
+    pub fn axpy(&mut self, a: T, x: &Self) {
         self.check_same_layout(x);
         let xd = &x.data;
         timing::time(Kernel::FieldOps, || {
             par_chunks_mut(&mut self.data, ELEM_CHUNK, |ci, c| {
                 let base = ci * ELEM_CHUNK;
-                claire_simd::axpy(a, &xd[base..base + c.len()], c);
+                T::kaxpy(a, &xd[base..base + c.len()], c);
             })
         });
     }
 
     /// `self = a·self + x`.
-    pub fn aypx(&mut self, a: Real, x: &ScalarField) {
+    pub fn aypx(&mut self, a: T, x: &Self) {
         self.check_same_layout(x);
         let xd = &x.data;
         timing::time(Kernel::FieldOps, || {
             par_chunks_mut(&mut self.data, ELEM_CHUNK, |ci, c| {
                 let base = ci * ELEM_CHUNK;
-                claire_simd::aypx(a, &xd[base..base + c.len()], c);
+                T::kaypx(a, &xd[base..base + c.len()], c);
             })
         });
     }
 
     /// Copy values from another field of the same layout.
-    pub fn copy_from(&mut self, x: &ScalarField) {
+    pub fn copy_from(&mut self, x: &Self) {
         self.check_same_layout(x);
         self.data.copy_from_slice(&x.data);
     }
 
     /// Apply `f` to every sample in place.
-    pub fn map_inplace(&mut self, f: impl Fn(Real) -> Real + Sync) {
+    pub fn map_inplace(&mut self, f: impl Fn(T) -> T + Sync) {
         timing::time(Kernel::FieldOps, || {
             par_chunks_mut(&mut self.data, ELEM_CHUNK, |_, c| {
                 for x in c {
@@ -164,21 +157,43 @@ impl ScalarField {
 
     /// `self[i] += a · x[i] · y[i]` — fused multiply-accumulate of a product,
     /// used for `λ∇m` terms in the reduced gradient.
-    pub fn add_scaled_product(&mut self, a: Real, x: &ScalarField, y: &ScalarField) {
+    pub fn add_scaled_product(&mut self, a: T, x: &Self, y: &Self) {
         self.check_same_layout(x);
         self.check_same_layout(y);
         let (xd, yd) = (&x.data, &y.data);
         timing::time(Kernel::FieldOps, || {
             par_chunks_mut(&mut self.data, ELEM_CHUNK, |ci, c| {
                 let base = ci * ELEM_CHUNK;
-                claire_simd::add_scaled_product(
-                    a,
-                    &xd[base..base + c.len()],
-                    &yd[base..base + c.len()],
-                    c,
-                );
+                T::kadd_scaled_product(a, &xd[base..base + c.len()], &yd[base..base + c.len()], c);
             })
         });
+    }
+
+    // ----- precision conversion (the GN demote/promote boundary) -----------
+
+    /// Overwrite `self` with `src` converted element-by-element through f64
+    /// (`U::to_f64` → `T::from_f64`). This is the mixed-precision boundary
+    /// crossing: pooled destination + in-place write keep it allocation-free
+    /// in the steady state.
+    pub fn convert_from<U: FieldElem>(&mut self, src: &ScalarFieldT<U>) {
+        assert_eq!(self.layout, src.layout, "field layout mismatch");
+        let sd = &src.data;
+        timing::time(Kernel::FieldOps, || {
+            par_chunks_mut(&mut self.data, ELEM_CHUNK, |ci, c| {
+                let base = ci * ELEM_CHUNK;
+                let sv = &sd[base..base + c.len()];
+                for (o, &v) in c.iter_mut().zip(sv) {
+                    *o = T::from_f64(v.to_f64());
+                }
+            })
+        });
+    }
+
+    /// A freshly pooled field holding `self` converted to width `U`.
+    pub fn converted<U: FieldElem>(&self, cat: WsCat) -> ScalarFieldT<U> {
+        let mut out = ScalarFieldT::<U>::zeros_in(self.layout, cat);
+        out.convert_from(self);
+        out
     }
 
     // ----- fused update + reduction ---------------------------------------
@@ -192,26 +207,26 @@ impl ScalarField {
 
     /// `self += a·x`, returning the local raw self-dot `Σ selfᵢ²` of the
     /// updated field from the same pass over memory.
-    pub fn axpy_dot_local(&mut self, a: Real, x: &ScalarField) -> f64 {
+    pub fn axpy_dot_local(&mut self, a: T, x: &Self) -> f64 {
         self.check_same_layout(x);
         let xd = &x.data;
         timing::time(Kernel::FieldOps, || {
             par_chunks_mut_sum(&mut self.data, ELEM_CHUNK, |ci, c| {
                 let base = ci * ELEM_CHUNK;
-                claire_simd::axpy_dot(a, &xd[base..base + c.len()], c)
+                T::kaxpy_dot(a, &xd[base..base + c.len()], c)
             })
         })
     }
 
     /// `self = a·self + x`, returning the local raw self-dot `Σ selfᵢ²` of
     /// the updated field from the same pass over memory.
-    pub fn aypx_norm2_local(&mut self, a: Real, x: &ScalarField) -> f64 {
+    pub fn aypx_norm2_local(&mut self, a: T, x: &Self) -> f64 {
         self.check_same_layout(x);
         let xd = &x.data;
         timing::time(Kernel::FieldOps, || {
             par_chunks_mut_sum(&mut self.data, ELEM_CHUNK, |ci, c| {
                 let base = ci * ELEM_CHUNK;
-                claire_simd::aypx_norm2(a, &xd[base..base + c.len()], c)
+                T::kaypx_norm2(a, &xd[base..base + c.len()], c)
             })
         })
     }
@@ -219,24 +234,19 @@ impl ScalarField {
     /// `self = a·x + y` in one pass — replaces the clone-then-axpy pattern
     /// (which costs a copy pass plus an update pass) at line-search call
     /// sites where `self` is a reused trial buffer.
-    pub fn scale_add_from(&mut self, a: Real, x: &ScalarField, y: &ScalarField) {
+    pub fn scale_add_from(&mut self, a: T, x: &Self, y: &Self) {
         self.check_same_layout(x);
         self.check_same_layout(y);
         let (xd, yd) = (&x.data, &y.data);
         timing::time(Kernel::FieldOps, || {
             par_chunks_mut(&mut self.data, ELEM_CHUNK, |ci, c| {
                 let base = ci * ELEM_CHUNK;
-                claire_simd::scale_add_norm(
-                    a,
-                    &xd[base..base + c.len()],
-                    &yd[base..base + c.len()],
-                    c,
-                );
+                T::kscale_add_norm(a, &xd[base..base + c.len()], &yd[base..base + c.len()], c);
             })
         });
     }
 
-    fn check_same_layout(&self, other: &ScalarField) {
+    fn check_same_layout(&self, other: &Self) {
         assert_eq!(self.layout, other.layout, "field layout mismatch");
     }
 
@@ -244,21 +254,21 @@ impl ScalarField {
 
     /// Local (this-rank) raw dot product, accumulated in f64 over fixed-size
     /// blocks so the result is bitwise identical for every thread count.
-    pub fn dot_local(&self, other: &ScalarField) -> f64 {
+    pub fn dot_local(&self, other: &Self) -> f64 {
         self.check_same_layout(other);
         let (a, b) = (&self.data, &other.data);
         timing::time(Kernel::FieldOps, || {
-            par_sum_blocks(a.len(), |r| claire_simd::dot(&a[r.clone()], &b[r]))
+            par_sum_blocks(a.len(), |r| T::kdot(&a[r.clone()], &b[r]))
         })
     }
 
     /// Global raw dot product (sum over all grid points).
-    pub fn dot(&self, other: &ScalarField, comm: &mut Comm) -> f64 {
+    pub fn dot(&self, other: &Self, comm: &mut Comm) -> f64 {
         comm.allreduce_sum_scalar(self.dot_local(other))
     }
 
     /// Global L2(Ω) inner product: `∫ f·g ≈ h³ Σ f·g`.
-    pub fn inner(&self, other: &ScalarField, comm: &mut Comm) -> f64 {
+    pub fn inner(&self, other: &Self, comm: &mut Comm) -> f64 {
         self.dot(other, comm) * self.layout.grid.cell_volume() as f64
     }
 
@@ -276,21 +286,43 @@ impl ScalarField {
     /// Global sum of samples.
     pub fn sum(&self, comm: &mut Comm) -> f64 {
         let local = timing::time(Kernel::FieldOps, || {
-            par_sum_blocks(self.data.len(), |r| claire_simd::sum(&self.data[r]))
+            par_sum_blocks(self.data.len(), |r| T::ksum(&self.data[r]))
         });
         comm.allreduce_sum_scalar(local)
+    }
+}
+
+impl ScalarField {
+    /// Sample an analytic function `f(x1, x2, x3)` at the owned grid points.
+    /// Rows (fixed `il`, `j`) are sampled in parallel.
+    pub fn from_fn(layout: Layout, f: impl Fn(Real, Real, Real) -> Real + Sync) -> Self {
+        let mut field = Self::zeros(layout);
+        let h = layout.grid.spacing();
+        let [_, n2, n3] = layout.local_dims();
+        let i0 = layout.slab.i0;
+        par_chunks_mut(&mut field.data, n3, |row, line| {
+            let x1 = (i0 + row / n2) as Real * h[0];
+            let x2 = (row % n2) as Real * h[1];
+            for (k, v) in line.iter_mut().enumerate() {
+                *v = f(x1, x2, k as Real * h[2]);
+            }
+        });
+        field
     }
 }
 
 /// A vector field `v : Ω → R³`, stored as three scalar components
 /// (structure-of-arrays, like CLAIRE).
 #[derive(Clone, Debug, PartialEq)]
-pub struct VectorField {
+pub struct VectorFieldT<T: FieldElem> {
     /// Components `[v1, v2, v3]`.
-    pub c: [ScalarField; 3],
+    pub c: [ScalarFieldT<T>; 3],
 }
 
-impl VectorField {
+/// The `Real`-width vector field.
+pub type VectorField = VectorFieldT<Real>;
+
+impl<T: FieldElem> VectorFieldT<T> {
     /// Zero vector field (pooled, charged to µPDE).
     pub fn zeros(layout: Layout) -> Self {
         Self::zeros_in(layout, WsCat::Pde)
@@ -298,23 +330,7 @@ impl VectorField {
 
     /// Zero vector field charged to an explicit workspace category.
     pub fn zeros_in(layout: Layout, cat: WsCat) -> Self {
-        Self { c: std::array::from_fn(|_| ScalarField::zeros_in(layout, cat)) }
-    }
-
-    /// Sample three analytic component functions.
-    pub fn from_fns(
-        layout: Layout,
-        f1: impl Fn(Real, Real, Real) -> Real + Sync,
-        f2: impl Fn(Real, Real, Real) -> Real + Sync,
-        f3: impl Fn(Real, Real, Real) -> Real + Sync,
-    ) -> Self {
-        Self {
-            c: [
-                ScalarField::from_fn(layout, f1),
-                ScalarField::from_fn(layout, f2),
-                ScalarField::from_fn(layout, f3),
-            ],
-        }
+        Self { c: std::array::from_fn(|_| ScalarFieldT::zeros_in(layout, cat)) }
     }
 
     /// The layout shared by all components.
@@ -323,38 +339,53 @@ impl VectorField {
     }
 
     /// `self *= a`.
-    pub fn scale(&mut self, a: Real) {
+    pub fn scale(&mut self, a: T) {
         for comp in &mut self.c {
             comp.scale(a);
         }
     }
 
     /// `self += a·x`.
-    pub fn axpy(&mut self, a: Real, x: &VectorField) {
+    pub fn axpy(&mut self, a: T, x: &Self) {
         for (s, xc) in self.c.iter_mut().zip(&x.c) {
             s.axpy(a, xc);
         }
     }
 
     /// `self = a·self + x`.
-    pub fn aypx(&mut self, a: Real, x: &VectorField) {
+    pub fn aypx(&mut self, a: T, x: &Self) {
         for (s, xc) in self.c.iter_mut().zip(&x.c) {
             s.aypx(a, xc);
         }
     }
 
     /// Copy from another vector field of the same layout.
-    pub fn copy_from(&mut self, x: &VectorField) {
+    pub fn copy_from(&mut self, x: &Self) {
         for (s, xc) in self.c.iter_mut().zip(&x.c) {
             s.copy_from(xc);
         }
     }
 
     /// Set all components to zero.
-    pub fn fill(&mut self, v: Real) {
+    pub fn fill(&mut self, v: T) {
         for comp in &mut self.c {
             comp.fill(v);
         }
+    }
+
+    /// Overwrite `self` with `src` converted per component (the GN boundary
+    /// demote/promote for search directions and Newton steps).
+    pub fn convert_from<U: FieldElem>(&mut self, src: &VectorFieldT<U>) {
+        for (s, xc) in self.c.iter_mut().zip(&src.c) {
+            s.convert_from(xc);
+        }
+    }
+
+    /// A freshly pooled vector field holding `self` converted to width `U`.
+    pub fn converted<U: FieldElem>(&self, cat: WsCat) -> VectorFieldT<U> {
+        let mut out = VectorFieldT::<U>::zeros_in(*self.layout(), cat);
+        out.convert_from(self);
+        out
     }
 
     /// `self += a·x`, returning the global L2(Ω)³ norm of the updated field
@@ -362,7 +393,7 @@ impl VectorField {
     /// over each component instead of two plus the same single allreduce.
     /// Component partials are summed in component order, so the scalar
     /// backend reproduces the unfused result bit for bit.
-    pub fn axpy_norm_l2(&mut self, a: Real, x: &VectorField, comm: &mut Comm) -> f64 {
+    pub fn axpy_norm_l2(&mut self, a: T, x: &Self, comm: &mut Comm) -> f64 {
         let mut local = 0.0;
         for (s, xc) in self.c.iter_mut().zip(&x.c) {
             local += s.axpy_dot_local(a, xc);
@@ -373,7 +404,7 @@ impl VectorField {
 
     /// `self = a·self + x`, returning the global L2(Ω)³ norm of the updated
     /// field (fused `aypx` + `norm_l2`, same contract as [`Self::axpy_norm_l2`]).
-    pub fn aypx_norm_l2(&mut self, a: Real, x: &VectorField, comm: &mut Comm) -> f64 {
+    pub fn aypx_norm_l2(&mut self, a: T, x: &Self, comm: &mut Comm) -> f64 {
         let mut local = 0.0;
         for (s, xc) in self.c.iter_mut().zip(&x.c) {
             local += s.aypx_norm2_local(a, xc);
@@ -383,20 +414,20 @@ impl VectorField {
     }
 
     /// `self = a·x + y` per component in one pass (non-collective).
-    pub fn scale_add_from(&mut self, a: Real, x: &VectorField, y: &VectorField) {
+    pub fn scale_add_from(&mut self, a: T, x: &Self, y: &Self) {
         for ((s, xc), yc) in self.c.iter_mut().zip(&x.c).zip(&y.c) {
             s.scale_add_from(a, xc, yc);
         }
     }
 
     /// Global raw dot product over all components.
-    pub fn dot(&self, other: &VectorField, comm: &mut Comm) -> f64 {
+    pub fn dot(&self, other: &Self, comm: &mut Comm) -> f64 {
         let local: f64 = self.c.iter().zip(&other.c).map(|(a, b)| a.dot_local(b)).sum();
         comm.allreduce_sum_scalar(local)
     }
 
     /// Global L2(Ω)³ inner product.
-    pub fn inner(&self, other: &VectorField, comm: &mut Comm) -> f64 {
+    pub fn inner(&self, other: &Self, comm: &mut Comm) -> f64 {
         self.dot(other, comm) * self.layout().grid.cell_volume() as f64
     }
 
@@ -412,6 +443,24 @@ impl VectorField {
             self.c.iter().map(|c| par_max_abs(c.data())).fold(0.0, f64::max)
         });
         comm.allreduce_max_scalar(local)
+    }
+}
+
+impl VectorField {
+    /// Sample three analytic component functions.
+    pub fn from_fns(
+        layout: Layout,
+        f1: impl Fn(Real, Real, Real) -> Real + Sync,
+        f2: impl Fn(Real, Real, Real) -> Real + Sync,
+        f3: impl Fn(Real, Real, Real) -> Real + Sync,
+    ) -> Self {
+        Self {
+            c: [
+                ScalarField::from_fn(layout, f1),
+                ScalarField::from_fn(layout, f2),
+                ScalarField::from_fn(layout, f3),
+            ],
+        }
     }
 }
 
@@ -513,6 +562,25 @@ mod tests {
         b.scale_add_from(1.25, &v, &w);
         assert_eq!(a, b);
         claire_simd::force_backend(None);
+    }
+
+    #[test]
+    fn conversion_roundtrips_within_f32_ulp() {
+        let l = serial(8);
+        let f = ScalarField::from_fn(l, |x, y, z| (x + 0.5 * y).sin() * z.cos());
+        let demoted: ScalarFieldT<f32> = f.converted(WsCat::GnCg);
+        let mut back = ScalarField::zeros_in(l, WsCat::GnCg);
+        back.convert_from(&demoted);
+        for (a, b) in f.data().iter().zip(back.data()) {
+            assert!(
+                (a - b).abs() <= 1e-6 * a.abs().max(1.0),
+                "f64→f32→f64 roundtrip out of tolerance: {a} vs {b}"
+            );
+        }
+        // the demoted field's reductions still accumulate in f64
+        let n64 = f.dot_local(&f);
+        let n32 = demoted.dot_local(&demoted);
+        assert!((n64 - n32).abs() <= 1e-5 * n64.max(1.0), "{n64} vs {n32}");
     }
 
     #[test]

@@ -34,8 +34,8 @@ pub mod slab;
 pub mod workspace;
 
 pub use error::{ClaireError, ClaireResult};
-pub use field::{ScalarField, VectorField};
+pub use field::{ScalarField, ScalarFieldT, VectorField, VectorFieldT};
 pub use grid::Grid;
 pub use real::{Real, PI, TWO_PI};
 pub use slab::{Layout, Slab};
-pub use workspace::{Pool, PoolVec, WsCat};
+pub use workspace::{FieldElem, Pool, PoolVec, WsCat};

@@ -334,6 +334,16 @@ impl<T: PartialEq + Send + 'static> PartialEq for PoolVec<T> {
 
 /// Scalar samples: field storage, interpolation values, FD ghost layers.
 pub static REAL_POOL: Pool<Real> = Pool::new();
+/// Off-width scalar samples for the mixed-precision inner solve: f32 PCG
+/// vectors and spectral scratch in a default (f64) build. Kept separate
+/// from [`REAL_POOL`] so pool shelves stay keyed by element size and the
+/// memory accounting reflects the halved footprint.
+#[cfg(not(feature = "single"))]
+pub static REAL32_POOL: Pool<f32> = Pool::new();
+/// Off-width (f64) pool under the `single` feature — cold path, exists so
+/// the precision seam compiles in both field widths.
+#[cfg(feature = "single")]
+pub static REAL64_POOL: Pool<f64> = Pool::new();
 /// Points/displacements `[x1, x2, x3]`: characteristic feet, RK2 stages.
 pub static R3_POOL: Pool<[Real; 3]> = Pool::new();
 /// Time-series containers of scalar fields (state/adjoint trajectories).
@@ -341,17 +351,49 @@ pub static SCALAR_FIELDS: Pool<ScalarField> = Pool::new();
 /// Time-series containers of vector fields (stored state gradients).
 pub static VECTOR_FIELDS: Pool<VectorField> = Pool::new();
 
+/// A scalar element field storage can be generic over: [`claire_simd::Elem`]
+/// (the dispatched kernel seam) plus a binding to the solver-wide pool that
+/// shelves buffers of this width. Implemented for exactly `f64` and `f32`.
+pub trait FieldElem: claire_simd::Elem + Send {
+    /// The solver-wide pool backing fields of this element width.
+    fn pool() -> &'static Pool<Self>;
+}
+
+impl FieldElem for Real {
+    fn pool() -> &'static Pool<Real> {
+        &REAL_POOL
+    }
+}
+
+#[cfg(not(feature = "single"))]
+impl FieldElem for f32 {
+    fn pool() -> &'static Pool<f32> {
+        &REAL32_POOL
+    }
+}
+
+#[cfg(feature = "single")]
+impl FieldElem for f64 {
+    fn pool() -> &'static Pool<f64> {
+        &REAL64_POOL
+    }
+}
+
 /// Checked-out zeroed scalar buffer of length `len`.
 pub fn real_zeroed(len: usize, cat: WsCat) -> PoolVec<Real> {
     REAL_POOL.checkout_filled(len, 0.0 as Real, cat)
 }
 
-/// Free every shelved buffer in all four solver pools. Checked-out buffers
+/// Free every shelved buffer in all solver pools. Checked-out buffers
 /// are unaffected. This exists for benchmarks that model a cold process
 /// (e.g. `bench_batch`'s sequential baseline) — production code should
 /// never need it.
 pub fn drain_all() {
     REAL_POOL.drain();
+    #[cfg(not(feature = "single"))]
+    REAL32_POOL.drain();
+    #[cfg(feature = "single")]
+    REAL64_POOL.drain();
     R3_POOL.drain();
     SCALAR_FIELDS.drain();
     VECTOR_FIELDS.drain();

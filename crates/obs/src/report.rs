@@ -23,6 +23,7 @@ pub const SCHEMA_KEYS: &[&str] = &[
     "precond",
     "backend",
     "transport",
+    "precision",
     "summary",
     "scheduling",
     "phases",
@@ -284,6 +285,9 @@ pub struct RunReport {
     /// Comm transport the ranks exchanged messages over (`channel` for the
     /// in-process virtual cluster, `socket` for multi-process execution).
     pub transport: String,
+    /// Solver arithmetic width: `f64` (full double precision) or `mixed`
+    /// (f32 inner Krylov/FFT path under the f64 outer Gauss–Newton loop).
+    pub precision: String,
     /// Headline outcome.
     pub summary: RunSummary,
     /// Queue/scheduling metadata (zeroed for runs outside `claire-serve`).
@@ -319,6 +323,7 @@ impl RunReport {
             precond: String::new(),
             backend: String::new(),
             transport: String::new(),
+            precision: "f64".into(),
             summary: RunSummary::default(),
             scheduling: SchedulingInfo::default(),
             phases: PhaseShares::default(),

@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use claire_grid::{Real, VectorField};
+use claire_grid::{Real, VectorField, VectorFieldT, WsCat};
 use claire_mpi::Comm;
 use claire_obs::{
     metrics::{Counter, Gauge},
@@ -40,6 +40,21 @@ pub trait GnProblem {
     /// Called after a Gauss–Newton step is accepted (InvH0 refreshes its
     /// deformed template here).
     fn new_iterate(&mut self, _v: &VectorField, _comm: &mut Comm) {}
+
+    /// Single-precision preconditioner application for the mixed-precision
+    /// inner Krylov solve ([`GnConfig::mixed`]). Problems with a native f32
+    /// preconditioner (f32 spectral mirrors) override this; the default
+    /// promotes the residual, applies [`GnProblem::precond`] in f64, and
+    /// demotes the result — correct but without the bandwidth win.
+    fn precond32(
+        &mut self,
+        r: &VectorFieldT<f32>,
+        eps_k: f64,
+        comm: &mut Comm,
+    ) -> VectorFieldT<f32> {
+        let r64: VectorField = r.converted(WsCat::GnCg);
+        self.precond(&r64, eps_k, comm).converted(WsCat::GnCg)
+    }
 }
 
 /// Gauss–Newton options.
@@ -61,6 +76,13 @@ pub struct GnConfig {
     pub max_linesearch: usize,
     /// Print per-iteration progress on rank 0.
     pub verbose: bool,
+    /// Run the inner Newton-PCG solve in f32 (mixed precision): the GN
+    /// right-hand side is demoted at the solve boundary, Hessian matvecs
+    /// promote/demote around the f64 physics, the preconditioner goes
+    /// through [`GnProblem::precond32`], and the resulting step is promoted
+    /// back to f64. Outer iterate, gradient, objective, and convergence
+    /// checks stay f64.
+    pub mixed: bool,
 }
 
 impl Default for GnConfig {
@@ -73,6 +95,7 @@ impl Default for GnConfig {
             armijo_c1: 1e-4,
             max_linesearch: 20,
             verbose: false,
+            mixed: false,
         }
     }
 }
@@ -137,11 +160,10 @@ pub struct GnStats {
     pub grad_rel: f64,
 }
 
-/// Newton-step operator wrapper: times Hessian matvecs and preconditioner
-/// applications for the Table 6 breakdown.
-struct TimedNewtonOps<'a, P: GnProblem> {
-    problem: &'a mut P,
-    eps_k: f64,
+/// Timing/count tally shared by the f64 and mixed Newton-step operator
+/// wrappers (Table 6 breakdown columns).
+#[derive(Default)]
+struct OpsTally {
     t_hess: f64,
     t_pc: f64,
     m_hess: f64,
@@ -150,15 +172,23 @@ struct TimedNewtonOps<'a, P: GnProblem> {
     n_pc: usize,
 }
 
+/// Newton-step operator wrapper: times Hessian matvecs and preconditioner
+/// applications for the Table 6 breakdown.
+struct TimedNewtonOps<'a, P: GnProblem> {
+    problem: &'a mut P,
+    eps_k: f64,
+    tally: OpsTally,
+}
+
 impl<P: GnProblem> PcgOperator for TimedNewtonOps<'_, P> {
     fn apply(&mut self, p: &VectorField, comm: &mut Comm) -> VectorField {
         let _s = span("hess_matvec");
         let t = Instant::now();
         let m = comm.clock().now();
         let out = self.problem.hess_vec(p, comm);
-        self.t_hess += t.elapsed().as_secs_f64();
-        self.m_hess += comm.clock().now() - m;
-        self.n_hess += 1;
+        self.tally.t_hess += t.elapsed().as_secs_f64();
+        self.tally.m_hess += comm.clock().now() - m;
+        self.tally.n_hess += 1;
         out
     }
     fn prec(&mut self, r: &VectorField, comm: &mut Comm) -> VectorField {
@@ -166,9 +196,46 @@ impl<P: GnProblem> PcgOperator for TimedNewtonOps<'_, P> {
         let t = Instant::now();
         let m = comm.clock().now();
         let out = self.problem.precond(r, self.eps_k, comm);
-        self.t_pc += t.elapsed().as_secs_f64();
-        self.m_pc += comm.clock().now() - m;
-        self.n_pc += 1;
+        self.tally.t_pc += t.elapsed().as_secs_f64();
+        self.tally.m_pc += comm.clock().now() - m;
+        self.tally.n_pc += 1;
+        out
+    }
+}
+
+/// Mixed-precision Newton-step operator: the PCG vectors are f32, the
+/// Hessian physics stays f64. `apply` promotes the Krylov direction into a
+/// reused f64 scratch field, runs the f64 matvec, and demotes the result;
+/// `prec` goes straight to the problem's f32 preconditioner hook. The
+/// promote/demote passes are streamed conversions charged to µGN/CG.
+struct MixedNewtonOps<'a, P: GnProblem> {
+    problem: &'a mut P,
+    eps_k: f64,
+    /// f64 promote target, reused across every matvec of the solve.
+    p64: VectorField,
+    tally: OpsTally,
+}
+
+impl<P: GnProblem> PcgOperator<f32> for MixedNewtonOps<'_, P> {
+    fn apply(&mut self, p: &VectorFieldT<f32>, comm: &mut Comm) -> VectorFieldT<f32> {
+        let _s = span("hess_matvec");
+        let t = Instant::now();
+        let m = comm.clock().now();
+        self.p64.convert_from(p);
+        let out = self.problem.hess_vec(&self.p64, comm).converted(WsCat::GnCg);
+        self.tally.t_hess += t.elapsed().as_secs_f64();
+        self.tally.m_hess += comm.clock().now() - m;
+        self.tally.n_hess += 1;
+        out
+    }
+    fn prec(&mut self, r: &VectorFieldT<f32>, comm: &mut Comm) -> VectorFieldT<f32> {
+        let _s = span("precond");
+        let t = Instant::now();
+        let m = comm.clock().now();
+        let out = self.problem.precond32(r, self.eps_k, comm);
+        self.tally.t_pc += t.elapsed().as_secs_f64();
+        self.tally.m_pc += comm.clock().now() - m;
+        self.tally.n_pc += 1;
         out
     }
 }
@@ -295,23 +362,30 @@ impl GnState {
         let mut rhs = g.clone();
         rhs.scale(-1.0 as Real);
 
-        let mut ops = TimedNewtonOps {
-            problem,
-            eps_k,
-            t_hess: 0.0,
-            t_pc: 0.0,
-            m_hess: 0.0,
-            m_pc: 0.0,
-            n_hess: 0,
-            n_pc: 0,
+        let (step, pcg_res, tally) = if cfg.mixed {
+            // Mixed precision: demote the right-hand side at the solve
+            // boundary, run the Krylov iteration entirely in f32, promote
+            // the step back. The f64 branch below is untouched.
+            let rhs32: VectorFieldT<f32> = rhs.converted(WsCat::GnCg);
+            let mut ops = MixedNewtonOps {
+                problem,
+                eps_k,
+                p64: VectorField::zeros_in(*self.v.layout(), WsCat::GnCg),
+                tally: OpsTally::default(),
+            };
+            let (step32, res) = pcg(&rhs32, None, &pcg_cfg, &mut ops, comm);
+            (step32.converted(WsCat::GnCg), res, ops.tally)
+        } else {
+            let mut ops = TimedNewtonOps { problem, eps_k, tally: OpsTally::default() };
+            let (step, res) = pcg(&rhs, None, &pcg_cfg, &mut ops, comm);
+            (step, res, ops.tally)
         };
-        let (step, pcg_res) = pcg(&rhs, None, &pcg_cfg, &mut ops, comm);
-        stats.time.hess += ops.t_hess;
-        stats.time.pc += ops.t_pc;
-        stats.modeled.hess += ops.m_hess;
-        stats.modeled.pc += ops.m_pc;
-        stats.hess_applies += ops.n_hess;
-        stats.pc_applies += ops.n_pc;
+        stats.time.hess += tally.t_hess;
+        stats.time.pc += tally.t_pc;
+        stats.modeled.hess += tally.m_hess;
+        stats.modeled.pc += tally.m_pc;
+        stats.hess_applies += tally.n_hess;
+        stats.pc_applies += tally.n_pc;
         stats.pcg_iters_total += pcg_res.iters;
 
         // Armijo line search on J
@@ -461,6 +535,47 @@ mod tests {
         for w in stats.objective_history.windows(2) {
             assert!(w[1] <= w[0] + 1e-12);
         }
+    }
+
+    #[test]
+    fn mixed_mode_converges_to_same_solution() {
+        let layout = Layout::serial(Grid::cube(8));
+        let mut comm = Comm::solo();
+        let make = || Quadratic {
+            a: VectorField::from_fns(layout, |x, _, _| x.sin(), |_, y, _| y.cos(), |_, _, z| z),
+            d: ScalarField::from_fn(layout, |x, _, _| 1.5 + x.sin().powi(2)),
+        };
+        let cfg64 = GnConfig { grad_rtol: 1e-6, max_iter: 20, ..Default::default() };
+        let cfg32 = GnConfig { mixed: true, ..cfg64 };
+        let (v64, s64) = gauss_newton(&mut make(), VectorField::zeros(layout), &cfg64, &mut comm);
+        let (v32, s32) = gauss_newton(&mut make(), VectorField::zeros(layout), &cfg32, &mut comm);
+        assert!(s64.converged && s32.converged, "{} {}", s64.grad_rel, s32.grad_rel);
+        // the outer convergence check is f64 in both modes; the f32 inner
+        // solve only perturbs the step, which the line search absorbs
+        let mut d = v32.clone();
+        d.axpy(-1.0, &v64);
+        let rel = d.norm_l2(&mut comm) / v64.norm_l2(&mut comm).max(1e-30);
+        assert!(rel < 1e-4, "mixed solution drifted: rel {rel}");
+        // final objectives agree to the documented mixed tolerance
+        let j64 = *s64.objective_history.last().unwrap();
+        let j32 = *s32.objective_history.last().unwrap();
+        assert!((j64 - j32).abs() <= 1e-6 * j64.abs() + 1e-10, "{j64} vs {j32}");
+    }
+
+    #[test]
+    fn mixed_mode_default_precond32_round_trips() {
+        // A problem that never overrides precond32 must still work: the
+        // default promotes, applies the f64 preconditioner, and demotes.
+        let layout = Layout::serial(Grid::cube(4));
+        let mut comm = Comm::solo();
+        let mut prob = Quadratic {
+            a: VectorField::from_fns(layout, |x, _, _| x.cos(), |_, _, _| 0.25, |_, _, z| z.sin()),
+            d: ScalarField::from_fn(layout, |_, y, _| 2.0 + y.cos().powi(2)),
+        };
+        let cfg = GnConfig { grad_rtol: 1e-5, max_iter: 15, mixed: true, ..Default::default() };
+        let (_, stats) = gauss_newton(&mut prob, VectorField::zeros(layout), &cfg, &mut comm);
+        assert!(stats.converged, "rel grad {}", stats.grad_rel);
+        assert!(stats.pc_applies > 0);
     }
 
     #[test]

@@ -1,6 +1,12 @@
 //! Matrix-free preconditioned conjugate gradients on vector fields.
+//!
+//! The solver is generic over the field element width `T` (the
+//! mixed-precision seam): the outer Gauss–Newton driver runs it at [`Real`]
+//! (f64) by default, or at `f32` when the inner Krylov solve is demoted.
+//! All reductions (`inner`, fused norms) accumulate in f64 regardless of
+//! `T`, so only the streamed field storage and matvec traffic narrow.
 
-use claire_grid::VectorField;
+use claire_grid::{FieldElem, Real, VectorField, VectorFieldT};
 use claire_mpi::Comm;
 use claire_obs::{metrics::Counter, span::span};
 
@@ -41,11 +47,14 @@ pub struct PcgResult {
 /// The operator pair PCG iterates with: the SPD system operator and a
 /// preconditioner. One object provides both so a single mutable context
 /// (e.g. the registration problem) can back them.
-pub trait PcgOperator {
+///
+/// Generic over element width; `T` defaults to [`Real`] so existing f64
+/// operators (`impl PcgOperator for …`) are unchanged.
+pub trait PcgOperator<T: FieldElem = Real> {
     /// `A·p`.
-    fn apply(&mut self, p: &VectorField, comm: &mut Comm) -> VectorField;
+    fn apply(&mut self, p: &VectorFieldT<T>, comm: &mut Comm) -> VectorFieldT<T>;
     /// `M·r ≈ A⁻¹ r`. Default: identity (unpreconditioned CG).
-    fn prec(&mut self, r: &VectorField, _comm: &mut Comm) -> VectorField {
+    fn prec(&mut self, r: &VectorFieldT<T>, _comm: &mut Comm) -> VectorFieldT<T> {
         r.clone()
     }
 }
@@ -72,21 +81,25 @@ where
 
 /// Solve `A x = b` for SPD `A` with preconditioner `M ≈ A⁻¹`.
 ///
-/// `x0` seeds the iteration (zero if `None`). Collective.
-pub fn pcg<O: PcgOperator>(
-    b: &VectorField,
-    x0: Option<&VectorField>,
+/// `x0` seeds the iteration (zero if `None`). Collective. At `T = f64` the
+/// scalar recurrences (`α`, `β`) are computed in f64 and applied through
+/// the identity `from_f64`, so this is bit-identical to a hard-coded f64
+/// solver; at `T = f32` the recurrences stay f64 (reductions accumulate in
+/// f64) and only the field updates round.
+pub fn pcg<T: FieldElem, O: PcgOperator<T>>(
+    b: &VectorFieldT<T>,
+    x0: Option<&VectorFieldT<T>>,
     cfg: &PcgConfig,
     ops: &mut O,
     comm: &mut Comm,
-) -> (VectorField, PcgResult) {
+) -> (VectorFieldT<T>, PcgResult) {
     let _s = span("pcg");
     PCG_SOLVES.inc();
     let layout = *b.layout();
 
     let mut x = match x0 {
         Some(v) => v.clone(),
-        None => VectorField::zeros(layout),
+        None => VectorFieldT::zeros(layout),
     };
     // r = b − A x. Cold start has r == b, so one fused reduction serves both
     // ‖b‖ and the initial residual; warm start fuses the residual update with
@@ -95,7 +108,7 @@ pub fn pcg<O: PcgOperator>(
     let (bnorm, mut rel) = if x0.is_some() {
         let bnorm = b.norm_l2(comm).max(f64::MIN_POSITIVE);
         let ax = ops.apply(&x, comm);
-        (bnorm, r.axpy_norm_l2(-1.0, &ax, comm) / bnorm)
+        (bnorm, r.axpy_norm_l2(-T::ONE, &ax, comm) / bnorm)
     } else {
         let bn_raw = r.norm_l2(comm);
         let bnorm = bn_raw.max(f64::MIN_POSITIVE);
@@ -122,11 +135,11 @@ pub fn pcg<O: PcgOperator>(
             // as convergence to the best available step (defensive guard).
             break;
         }
-        let alpha = (rz / pq) as claire_grid::Real;
-        x.axpy(alpha, &p);
+        let alpha = rz / pq;
+        x.axpy(T::from_f64(alpha), &p);
         // fused residual update + norm: one streamed pass over r per
         // iteration instead of two (the solver's dominant field-op chain)
-        let rnorm = r.axpy_norm_l2(-alpha, &q, comm);
+        let rnorm = r.axpy_norm_l2(T::from_f64(-alpha), &q, comm);
         iters += 1;
         PCG_ITERS.inc();
 
@@ -143,7 +156,7 @@ pub fn pcg<O: PcgOperator>(
         let beta = rz_new / rz;
         rz = rz_new;
         // p = z + β p
-        p.aypx(beta as claire_grid::Real, &z);
+        p.aypx(T::from_f64(beta), &z);
     }
 
     (x, PcgResult { iters, rel_residual: rel, converged: rel <= cfg.tol_rel, trace })
@@ -152,7 +165,8 @@ pub fn pcg<O: PcgOperator>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use claire_grid::{Grid, Layout, Real, ScalarField};
+    use claire_grid::{Grid, Layout, Real, ScalarField, ScalarFieldT, WsCat};
+    use proptest::prelude::*;
 
     /// Diagonal SPD test operator: componentwise scaling by (2 + sin²(x)).
     fn diag_coeff(layout: Layout) -> ScalarField {
@@ -263,6 +277,64 @@ mod tests {
         assert!(warm.iters == 0, "warm start at solution needs no iterations: {}", warm.iters);
         assert!(cold.iters > 0);
         let _ = Real::EPSILON;
+    }
+
+    /// Diagonal SPD operator at f32 width for the mixed-agreement proptest.
+    struct Diag32<'a>(&'a ScalarFieldT<f32>);
+
+    impl PcgOperator<f32> for Diag32<'_> {
+        fn apply(&mut self, v: &VectorFieldT<f32>, _: &mut Comm) -> VectorFieldT<f32> {
+            let mut out = v.clone();
+            for c in &mut out.c {
+                for (o, &d) in c.data_mut().iter_mut().zip(self.0.data()) {
+                    *o *= d;
+                }
+            }
+            out
+        }
+    }
+
+    proptest! {
+        /// Mixed-precision agreement (the documented inner-solve tolerance):
+        /// an f32 PCG solve of the same well-conditioned SPD system tracks
+        /// the f64 solve to 1e-4 relative in the solution. Reductions
+        /// accumulate in f64 in both widths, so the gap is pure streamed
+        /// f32 rounding (~κ·ε_f32).
+        #[test]
+        fn f32_pcg_tracks_f64(seed in 0u64..40) {
+            let layout = Layout::serial(Grid::cube(8));
+            let mut comm = Comm::solo();
+            let s = 0.1 + (seed as f64) * 0.17;
+            let coef = ScalarField::from_fn(layout, move |x, y, z| {
+                2.0 + ((x + 2.0 * y + z) * s).sin().powi(2)
+            });
+            let b = VectorField::from_fns(
+                layout,
+                move |x, _, _| (x * s).sin(),
+                |_, y, _| y.cos(),
+                |_, _, z| 0.5 * z,
+            );
+            let cfg = PcgConfig { tol_rel: 1e-5, max_iter: 200, trace: false };
+            let (x64, r64) = pcg(
+                &b,
+                None,
+                &cfg,
+                &mut FnOps(
+                    |v: &VectorField, _: &mut Comm| apply_diag(&coef, v),
+                    |r: &VectorField, _: &mut Comm| r.clone(),
+                ),
+                &mut comm,
+            );
+            let coef32: ScalarFieldT<f32> = coef.converted(WsCat::Other);
+            let b32: VectorFieldT<f32> = b.converted(WsCat::Other);
+            let (x32, r32) = pcg(&b32, None, &cfg, &mut Diag32(&coef32), &mut comm);
+            prop_assert!(r64.converged && r32.converged,
+                "f64 rel {} / f32 rel {}", r64.rel_residual, r32.rel_residual);
+            let mut d: VectorField = x32.converted(WsCat::Other);
+            d.axpy(-1.0, &x64);
+            let rel = d.norm_l2(&mut comm) / x64.norm_l2(&mut comm).max(1e-30);
+            prop_assert!(rel < 1e-4, "solutions diverged: rel {rel}");
+        }
     }
 
     #[test]

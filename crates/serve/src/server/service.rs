@@ -568,6 +568,7 @@ fn fingerprint(spec: &JobSpec) -> u64 {
     c.max_inner_iter.hash(&mut h);
     c.fixed_pcg.hash(&mut h);
     c.verbose.hash(&mut h);
+    std::mem::discriminant(&c.precision).hash(&mut h);
     h.finish()
 }
 
@@ -1009,6 +1010,7 @@ fn job_run_report(
     run.precond = report.pc.clone();
     run.backend = claire_simd::active_backend().label().to_string();
     run.transport = comm.transport_kind().to_string();
+    run.precision = report.precision.clone();
     run.summary = RunSummary {
         gn_iters: report.gn_iters,
         pcg_iters: report.pcg_iters,
@@ -1093,6 +1095,31 @@ mod tests {
         assert!(run.to_json().contains("\"scheduling\""));
         let drained = svc.shutdown();
         assert_eq!(drained.len(), 1);
+    }
+
+    #[test]
+    fn served_job_report_carries_precision_and_precision_splits_batches() {
+        use claire_core::Precision;
+        let mut mixed_cfg = tiny_config();
+        mixed_cfg.precision = Precision::Mixed;
+        let mut f64_cfg = tiny_config();
+        f64_cfg.precision = Precision::F64;
+
+        // jobs differing only in precision run different arithmetic — they
+        // must never coalesce into one BatchSolver
+        let a = JobSpec::new("m", mixed_cfg, JobInput::Synthetic { n: [8, 8, 8] });
+        let b = JobSpec::new("d", f64_cfg, JobInput::Synthetic { n: [8, 8, 8] });
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+
+        let mut svc = RegistrationService::start(ServiceConfig::default().workers(1));
+        let id = svc.try_submit(a).unwrap();
+        let res = svc.wait(id).unwrap();
+        assert_eq!(res.status, JobStatus::Succeeded, "{:?}", res.error);
+        assert_eq!(res.run.expect("run report").precision, "mixed");
+        let id = svc.try_submit(b).unwrap();
+        let res = svc.wait(id).unwrap();
+        assert_eq!(res.run.expect("run report").precision, "f64");
+        svc.shutdown();
     }
 
     #[test]

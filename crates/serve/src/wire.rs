@@ -19,7 +19,7 @@ use std::io::{self, Read, Write};
 use std::time::Duration;
 
 use claire_core::config::IpOrder;
-use claire_core::{PrecondKind, RegistrationConfig, RegistrationReport};
+use claire_core::{Precision, PrecondKind, RegistrationConfig, RegistrationReport};
 use claire_grid::{Grid, Layout, Real, ScalarField};
 use serde::{Serialize, Value};
 
@@ -602,6 +602,14 @@ fn precond_parse(s: &str) -> Option<PrecondKind> {
     }
 }
 
+fn precision_parse(s: &str) -> Option<Precision> {
+    match s {
+        "f64" => Some(Precision::F64),
+        "mixed" => Some(Precision::Mixed),
+        _ => None,
+    }
+}
+
 fn config_to_value(c: &RegistrationConfig) -> Value {
     obj(vec![
         ("nt", Value::UInt(c.nt as u64)),
@@ -620,6 +628,7 @@ fn config_to_value(c: &RegistrationConfig) -> Value {
         ("max_pcg_iter", Value::UInt(c.max_pcg_iter as u64)),
         ("max_inner_iter", Value::UInt(c.max_inner_iter as u64)),
         ("fixed_pcg", c.fixed_pcg.map(|n| n as u64).to_value()),
+        ("precision", Value::Str(c.precision.label().into())),
         ("verbose", Value::Bool(c.verbose)),
     ])
 }
@@ -856,6 +865,13 @@ fn decode_config(v: &Value) -> Result<RegistrationConfig, WireError> {
             Value::Null => None,
             v => Some(as_usize(v, "fixed_pcg")?),
         },
+        // Absent on pre-precision peers: default to the full-width path.
+        precision: opt_field(o, "precision")
+            .map(|v| as_str(v, "precision"))
+            .transpose()?
+            .map(|s| precision_parse(&s).ok_or_else(|| bad(format!("unknown precision `{s}`"))))
+            .transpose()?
+            .unwrap_or(Precision::F64),
         verbose: as_bool(field(o, "verbose")?, "verbose")?,
     })
 }
@@ -896,6 +912,10 @@ fn decode_report(v: &Value) -> Result<RegistrationReport, WireError> {
     Ok(RegistrationReport {
         data: as_str(field(o, "data")?, "data")?,
         pc: as_str(field(o, "pc")?, "pc")?,
+        precision: opt_field(o, "precision")
+            .map(|v| as_str(v, "precision"))
+            .transpose()?
+            .unwrap_or_else(|| "f64".into()),
         grid: [
             as_usize(&grid_v[0], "grid")?,
             as_usize(&grid_v[1], "grid")?,

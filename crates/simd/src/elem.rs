@@ -1,0 +1,334 @@
+//! The precision seam: a field element type the solver's generic hot path
+//! can be instantiated over.
+//!
+//! [`Elem`] is implemented for exactly `f64` and `f32`. Whichever width
+//! equals [`crate::Real`] routes through the crate's primary dispatched
+//! kernels (bit-identical to the monomorphic path — the f64 mode of the
+//! mixed-precision solver must reproduce historical results exactly); the
+//! other width routes through its own dispatched arms (`f32k` in a default
+//! build) or, for the cold f64-under-`single` combination, the scalar
+//! reference loops.
+//!
+//! Reductions return `f64` for every element width — PCG's convergence
+//! logic, Armijo decisions, and reported norms stay in double even when the
+//! vectors they summarize are stored in single (the mixed-precision design
+//! of the companion GPU work: f32 storage + wire traffic, f64 control flow).
+
+use core::fmt::{Debug, Display};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A scalar field element the solver core can be generic over (f64 | f32).
+///
+/// The `k*` associated functions mirror the crate's free kernel functions
+/// one-for-one (same contracts, same asserts via the delegated target) and
+/// dispatch over the same process-wide backend choice.
+pub trait Elem:
+    Copy
+    + Send
+    + Sync
+    + 'static
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Debug
+    + Display
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Storage size in bytes (8 | 4) — feeds pool accounting, comm payload
+    /// sizing, and the roofline bytes model.
+    const BYTES: usize;
+    /// Stable label for reports and bench rows (`"f64"` | `"f32"`).
+    const LABEL: &'static str;
+
+    /// Demote/convert from f64 (identity for f64).
+    fn from_f64(x: f64) -> Self;
+    /// Promote to f64 (exact for both widths).
+    fn to_f64(self) -> f64;
+
+    /// `y[i] *= a`.
+    fn kscale(a: Self, y: &mut [Self]);
+    /// `y[i] += a · x[i]`.
+    fn kaxpy(a: Self, x: &[Self], y: &mut [Self]);
+    /// `y[i] = a · y[i] + x[i]`.
+    fn kaypx(a: Self, x: &[Self], y: &mut [Self]);
+    /// `s[i] += a · x[i] · y[i]`.
+    fn kadd_scaled_product(a: Self, x: &[Self], y: &[Self], s: &mut [Self]);
+    /// Fused `axpy` + self-dot of the updated values (f64 accumulation).
+    fn kaxpy_dot(a: Self, x: &[Self], y: &mut [Self]) -> f64;
+    /// Fused `aypx` + self-dot of the updated values (f64 accumulation).
+    fn kaypx_norm2(a: Self, x: &[Self], y: &mut [Self]) -> f64;
+    /// `out[i] = a · x[i] + y[i]` + self-dot (f64 accumulation).
+    fn kscale_add_norm(a: Self, x: &[Self], y: &[Self], out: &mut [Self]) -> f64;
+    /// `Σ x[i]·y[i]` in f64.
+    fn kdot(x: &[Self], y: &[Self]) -> f64;
+    /// `Σ x[i]` in f64.
+    fn ksum(x: &[Self]) -> f64;
+    /// `max |x[i]|` in f64.
+    fn kmax_abs(x: &[Self]) -> f64;
+    /// Interleaved complex `dst[j] *= src[j]`.
+    fn kcpx_mul(dst: &mut [Self], src: &[Self]);
+    /// Interleaved complex `out[j] = a[j] · b[j]`.
+    fn kcpx_mul_into(out: &mut [Self], a: &[Self], b: &[Self]);
+    /// Interleaved complex conjugate in place.
+    fn kcpx_conj(data: &mut [Self]);
+    /// Interleaved fused conjugate-and-scale.
+    fn kcpx_conj_scale(data: &mut [Self], s: Self);
+    /// Radix-2 DIT butterfly combine over interleaved half-spectra.
+    fn kcpx_radix2_combine(lo: &mut [Self], hi: &mut [Self], tw: &[Self], ws: usize);
+}
+
+macro_rules! delegate_elem {
+    ($t:ty, $bytes:expr, $label:expr, $path:path) => {
+        impl Elem for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const BYTES: usize = $bytes;
+            const LABEL: &'static str = $label;
+
+            #[inline(always)]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+
+            #[inline]
+            fn kscale(a: Self, y: &mut [Self]) {
+                use $path as k;
+                k::scale(a, y)
+            }
+            #[inline]
+            fn kaxpy(a: Self, x: &[Self], y: &mut [Self]) {
+                use $path as k;
+                k::axpy(a, x, y)
+            }
+            #[inline]
+            fn kaypx(a: Self, x: &[Self], y: &mut [Self]) {
+                use $path as k;
+                k::aypx(a, x, y)
+            }
+            #[inline]
+            fn kadd_scaled_product(a: Self, x: &[Self], y: &[Self], s: &mut [Self]) {
+                use $path as k;
+                k::add_scaled_product(a, x, y, s)
+            }
+            #[inline]
+            fn kaxpy_dot(a: Self, x: &[Self], y: &mut [Self]) -> f64 {
+                use $path as k;
+                k::axpy_dot(a, x, y)
+            }
+            #[inline]
+            fn kaypx_norm2(a: Self, x: &[Self], y: &mut [Self]) -> f64 {
+                use $path as k;
+                k::aypx_norm2(a, x, y)
+            }
+            #[inline]
+            fn kscale_add_norm(a: Self, x: &[Self], y: &[Self], out: &mut [Self]) -> f64 {
+                use $path as k;
+                k::scale_add_norm(a, x, y, out)
+            }
+            #[inline]
+            fn kdot(x: &[Self], y: &[Self]) -> f64 {
+                use $path as k;
+                k::dot(x, y)
+            }
+            #[inline]
+            fn ksum(x: &[Self]) -> f64 {
+                use $path as k;
+                k::sum(x)
+            }
+            #[inline]
+            fn kmax_abs(x: &[Self]) -> f64 {
+                use $path as k;
+                k::max_abs(x)
+            }
+            #[inline]
+            fn kcpx_mul(dst: &mut [Self], src: &[Self]) {
+                use $path as k;
+                k::cpx_mul(dst, src)
+            }
+            #[inline]
+            fn kcpx_mul_into(out: &mut [Self], a: &[Self], b: &[Self]) {
+                use $path as k;
+                k::cpx_mul_into(out, a, b)
+            }
+            #[inline]
+            fn kcpx_conj(data: &mut [Self]) {
+                use $path as k;
+                k::cpx_conj(data)
+            }
+            #[inline]
+            fn kcpx_conj_scale(data: &mut [Self], s: Self) {
+                use $path as k;
+                k::cpx_conj_scale(data, s)
+            }
+            #[inline]
+            fn kcpx_radix2_combine(lo: &mut [Self], hi: &mut [Self], tw: &[Self], ws: usize) {
+                use $path as k;
+                k::cpx_radix2_combine(lo, hi, tw, ws)
+            }
+        }
+    };
+}
+
+/// Re-export shim so `delegate_elem!` can target the crate-level `Real`
+/// kernels through a plain module path.
+mod real_k {
+    pub use crate::{
+        add_scaled_product, axpy, axpy_dot, aypx, aypx_norm2, cpx_conj, cpx_conj_scale, cpx_mul,
+        cpx_mul_into, cpx_radix2_combine, dot, max_abs, scale, scale_add_norm, sum,
+    };
+}
+
+// Default build: f64 is `Real` (primary dispatched kernels), f32 gets its
+// own dispatched arms.
+#[cfg(not(feature = "single"))]
+delegate_elem!(f64, 8, "f64", self::real_k);
+#[cfg(not(feature = "single"))]
+delegate_elem!(f32, 4, "f32", crate::f32k);
+
+// `single` build: f32 is `Real`; f64 is the cold off-width (scalar
+// reference loops — nothing in the single-precision hot path uses it).
+#[cfg(feature = "single")]
+delegate_elem!(f32, 4, "f32", self::real_k);
+
+#[cfg(feature = "single")]
+mod f64_cold {
+    //! Scalar-only arms for the f64 off-width under the `single` feature,
+    //! shaped like a kernel module so `delegate_elem!` can target it.
+    use crate::xk;
+
+    pub fn scale(a: f64, y: &mut [f64]) {
+        xk::scalar_scale(a, y)
+    }
+    pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), y.len(), "axpy length mismatch");
+        xk::scalar_axpy(a, x, y)
+    }
+    pub fn aypx(a: f64, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), y.len(), "aypx length mismatch");
+        xk::scalar_aypx(a, x, y)
+    }
+    pub fn add_scaled_product(a: f64, x: &[f64], y: &[f64], s: &mut [f64]) {
+        assert_eq!(x.len(), s.len(), "add_scaled_product length mismatch");
+        assert_eq!(y.len(), s.len(), "add_scaled_product length mismatch");
+        xk::scalar_add_scaled_product(a, x, y, s)
+    }
+    pub fn axpy_dot(a: f64, x: &[f64], y: &mut [f64]) -> f64 {
+        assert_eq!(x.len(), y.len(), "axpy_dot length mismatch");
+        xk::scalar_axpy_dot(a, x, y)
+    }
+    pub fn aypx_norm2(a: f64, x: &[f64], y: &mut [f64]) -> f64 {
+        assert_eq!(x.len(), y.len(), "aypx_norm2 length mismatch");
+        xk::scalar_aypx_norm2(a, x, y)
+    }
+    pub fn scale_add_norm(a: f64, x: &[f64], y: &[f64], out: &mut [f64]) -> f64 {
+        assert_eq!(x.len(), out.len(), "scale_add_norm length mismatch");
+        assert_eq!(y.len(), out.len(), "scale_add_norm length mismatch");
+        xk::scalar_scale_add_norm(a, x, y, out)
+    }
+    pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len(), "dot length mismatch");
+        xk::scalar_dot(x, y)
+    }
+    pub fn sum(x: &[f64]) -> f64 {
+        xk::scalar_sum(x)
+    }
+    pub fn max_abs(x: &[f64]) -> f64 {
+        xk::scalar_max_abs(x)
+    }
+    pub fn cpx_mul(dst: &mut [f64], src: &[f64]) {
+        assert_eq!(dst.len(), src.len(), "cpx_mul length mismatch");
+        assert_eq!(dst.len() % 2, 0, "cpx_mul needs interleaved re/im pairs");
+        xk::scalar_cpx_mul(dst, src)
+    }
+    pub fn cpx_mul_into(out: &mut [f64], a: &[f64], b: &[f64]) {
+        assert_eq!(out.len(), a.len(), "cpx_mul_into length mismatch");
+        assert_eq!(out.len(), b.len(), "cpx_mul_into length mismatch");
+        assert_eq!(out.len() % 2, 0, "cpx_mul_into needs interleaved re/im pairs");
+        xk::scalar_cpx_mul_into(out, a, b)
+    }
+    pub fn cpx_conj(data: &mut [f64]) {
+        assert_eq!(data.len() % 2, 0, "cpx_conj needs interleaved re/im pairs");
+        xk::scalar_cpx_conj(data)
+    }
+    pub fn cpx_conj_scale(data: &mut [f64], s: f64) {
+        assert_eq!(data.len() % 2, 0, "cpx_conj_scale needs interleaved re/im pairs");
+        xk::scalar_cpx_conj_scale(data, s)
+    }
+    pub fn cpx_radix2_combine(lo: &mut [f64], hi: &mut [f64], tw: &[f64], ws: usize) {
+        assert_eq!(lo.len(), hi.len(), "cpx_radix2_combine half length mismatch");
+        assert_eq!(lo.len() % 2, 0, "cpx_radix2_combine needs interleaved re/im pairs");
+        let m = lo.len() / 2;
+        if m > 0 {
+            assert!(
+                2 * ((m - 1) * ws) + 1 < tw.len(),
+                "cpx_radix2_combine twiddle table too short"
+            );
+        }
+        xk::scalar_cpx_radix2_combine(lo, hi, tw, ws)
+    }
+}
+
+#[cfg(feature = "single")]
+delegate_elem!(f64, 8, "f64", self::f64_cold);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l2_generic<T: Elem>(v: &[T]) -> f64 {
+        T::kdot(v, v).sqrt()
+    }
+
+    #[test]
+    fn elem_consts_and_conversions() {
+        assert_eq!(<f64 as Elem>::BYTES, 8);
+        assert_eq!(<f32 as Elem>::BYTES, 4);
+        assert_eq!(<f64 as Elem>::LABEL, "f64");
+        assert_eq!(<f32 as Elem>::LABEL, "f32");
+        assert_eq!(<f32 as Elem>::from_f64(1.5).to_f64(), 1.5);
+        assert_eq!(<f64 as Elem>::from_f64(-2.25), -2.25);
+    }
+
+    #[test]
+    fn generic_kernels_agree_across_widths() {
+        let xs64: Vec<f64> = (0..57).map(|i| (i as f64 * 0.21).sin()).collect();
+        let xs32: Vec<f32> = xs64.iter().map(|&v| v as f32).collect();
+        let n64 = l2_generic(&xs64);
+        let n32 = l2_generic(&xs32);
+        assert!((n64 - n32).abs() <= 1e-5 * n64.max(1.0), "{n64} vs {n32}");
+
+        let mut y64 = vec![0.5f64; 57];
+        let mut y32 = vec![0.5f32; 57];
+        let d64 = <f64 as Elem>::kaxpy_dot(2.0, &xs64, &mut y64);
+        let d32 = <f32 as Elem>::kaxpy_dot(2.0, &xs32, &mut y32);
+        assert!((d64 - d32).abs() <= 1e-4 * d64.abs().max(1.0), "{d64} vs {d32}");
+    }
+
+    #[test]
+    fn real_width_elem_is_bit_identical_to_primary_kernels() {
+        use crate::Real;
+        let x: Vec<Real> = (0..41).map(|i| (i as Real * 0.13).cos()).collect();
+        let mut ya: Vec<Real> = (0..41).map(|i| i as Real * 0.01 - 0.2).collect();
+        let mut yb = ya.clone();
+        let da = <Real as Elem>::kaxpy_dot(1.75, &x, &mut ya);
+        let db = crate::axpy_dot(1.75, &x, &mut yb);
+        assert_eq!(ya, yb);
+        assert_eq!(da, db);
+    }
+}

@@ -1,0 +1,342 @@
+//! f32 kernel arms behind the same runtime backend dispatch as the `Real`
+//! kernels — the SIMD layer of the mixed-precision inner solve.
+//!
+//! Only compiled when `Real = f64` (default build): under the `single`
+//! feature the crate-level kernels already are f32 and this module would be
+//! redundant. Function-for-function this mirrors the public `Real` surface
+//! (same asserts, same backend semantics):
+//!
+//! * `scalar` arm: the reference loops from `xk` (f64 accumulation for
+//!   every reduction, so mixed-mode dots/norms lose no more precision than
+//!   the element storage already did);
+//! * `portable` arm: `xk`'s 8-lane chunked loops;
+//! * `avx2` arm: the *same* chunked bodies compiled under
+//!   `#[target_feature(enable = "avx2,fma")]` — the bodies are
+//!   `#[inline(always)]`, so they inline into the feature-gated wrapper and
+//!   the autovectorizer emits full-width 8-lane f32 AVX2+FMA code without a
+//!   second hand-written intrinsics file.
+//!
+//! Equivalence contract: within a backend results are bitwise deterministic;
+//! across backends they agree to ≤ 1e-5 relative error (f32 elementwise
+//! rounding; reductions still accumulate in f64).
+
+use crate::xk;
+use crate::{active_backend, Backend};
+
+/// AVX2+FMA instantiations of the wide f32 bodies. Safe to call only after
+/// runtime detection — the dispatcher guarantees `Backend::Avx2` is cached
+/// exclusively when `avx2` + `fma` were detected.
+#[cfg(target_arch = "x86_64")]
+mod avx2f {
+    use crate::xk;
+
+    macro_rules! wrap {
+        ($name:ident, $body:ident, ($($arg:ident : $ty:ty),*) $(-> $ret:ty)?) => {
+            #[target_feature(enable = "avx2,fma")]
+            pub unsafe fn $name($($arg: $ty),*) $(-> $ret)? {
+                xk::$body::<f32>($($arg),*)
+            }
+        };
+    }
+
+    wrap!(scale, wide_scale, (a: f32, y: &mut [f32]));
+    wrap!(axpy, wide_axpy, (a: f32, x: &[f32], y: &mut [f32]));
+    wrap!(aypx, wide_aypx, (a: f32, x: &[f32], y: &mut [f32]));
+    wrap!(add_scaled_product, wide_add_scaled_product,
+        (a: f32, x: &[f32], y: &[f32], s: &mut [f32]));
+    wrap!(axpy_dot, wide_axpy_dot, (a: f32, x: &[f32], y: &mut [f32]) -> f64);
+    wrap!(aypx_norm2, wide_aypx_norm2, (a: f32, x: &[f32], y: &mut [f32]) -> f64);
+    wrap!(scale_add_norm, wide_scale_add_norm,
+        (a: f32, x: &[f32], y: &[f32], out: &mut [f32]) -> f64);
+    wrap!(dot, wide_dot, (x: &[f32], y: &[f32]) -> f64);
+    wrap!(sum, wide_sum, (x: &[f32]) -> f64);
+    wrap!(max_abs, wide_max_abs, (x: &[f32]) -> f64);
+    wrap!(cpx_mul, wide_cpx_mul, (dst: &mut [f32], src: &[f32]));
+    wrap!(cpx_mul_into, wide_cpx_mul_into, (out: &mut [f32], a: &[f32], b: &[f32]));
+    wrap!(cpx_conj, wide_cpx_conj, (data: &mut [f32]));
+    wrap!(cpx_conj_scale, wide_cpx_conj_scale, (data: &mut [f32], s: f32));
+    wrap!(cpx_radix2_combine, scalar_cpx_radix2_combine,
+        (lo: &mut [f32], hi: &mut [f32], tw: &[f32], ws: usize));
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn fd8_combine_scale(
+        out: &mut [f32],
+        plus: &[&[f32]; 4],
+        minus: &[&[f32]; 4],
+        c: &[f32; 4],
+        inv_h: f32,
+        s: f32,
+    ) {
+        xk::wide_fd8_combine_scale::<f32>(out, plus, minus, c, inv_h, s)
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn cubic_accumulate(
+        data: &[f32],
+        base: usize,
+        plane_stride: usize,
+        row_stride: usize,
+        w1: &[f32; 4],
+        w2: &[f32; 4],
+        w3: &[f32; 4],
+    ) -> f32 {
+        xk::scalar_cubic_accumulate::<f32>(data, base, plane_stride, row_stride, w1, w2, w3)
+    }
+}
+
+/// f32 counterpart of the crate-level `dispatch!`: the AVX2 arm exists on
+/// x86-64 (runtime-detected); elsewhere it is cfg-stripped and `Avx2` can
+/// never be cached, so the `_` fallthrough to scalar is unreachable there.
+macro_rules! dispatch32 {
+    ($avx2:expr, $portable:expr, $scalar:expr) => {{
+        match active_backend() {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: Backend::Avx2 is only cached after avx2+fma detection.
+            Backend::Avx2 => unsafe { $avx2 },
+            Backend::Portable => $portable,
+            _ => $scalar,
+        }
+    }};
+}
+
+/// `y[i] *= a` (f32).
+pub fn scale(a: f32, y: &mut [f32]) {
+    dispatch32!(avx2f::scale(a, y), xk::wide_scale(a, y), xk::scalar_scale(a, y))
+}
+
+/// `y[i] += a · x[i]` (f32).
+pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    dispatch32!(avx2f::axpy(a, x, y), xk::wide_axpy(a, x, y), xk::scalar_axpy(a, x, y))
+}
+
+/// `y[i] = a · y[i] + x[i]` (f32).
+pub fn aypx(a: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "aypx length mismatch");
+    dispatch32!(avx2f::aypx(a, x, y), xk::wide_aypx(a, x, y), xk::scalar_aypx(a, x, y))
+}
+
+/// `s[i] += a · x[i] · y[i]` (f32).
+pub fn add_scaled_product(a: f32, x: &[f32], y: &[f32], s: &mut [f32]) {
+    assert_eq!(x.len(), s.len(), "add_scaled_product length mismatch");
+    assert_eq!(y.len(), s.len(), "add_scaled_product length mismatch");
+    dispatch32!(
+        avx2f::add_scaled_product(a, x, y, s),
+        xk::wide_add_scaled_product(a, x, y, s),
+        xk::scalar_add_scaled_product(a, x, y, s)
+    )
+}
+
+/// Fused `axpy` + self-dot (f32 storage, f64 accumulation).
+pub fn axpy_dot(a: f32, x: &[f32], y: &mut [f32]) -> f64 {
+    assert_eq!(x.len(), y.len(), "axpy_dot length mismatch");
+    dispatch32!(avx2f::axpy_dot(a, x, y), xk::wide_axpy_dot(a, x, y), xk::scalar_axpy_dot(a, x, y))
+}
+
+/// Fused `aypx` + self-dot (f32 storage, f64 accumulation).
+pub fn aypx_norm2(a: f32, x: &[f32], y: &mut [f32]) -> f64 {
+    assert_eq!(x.len(), y.len(), "aypx_norm2 length mismatch");
+    dispatch32!(
+        avx2f::aypx_norm2(a, x, y),
+        xk::wide_aypx_norm2(a, x, y),
+        xk::scalar_aypx_norm2(a, x, y)
+    )
+}
+
+/// Fused scaled-add into a fresh buffer + self-dot (f32).
+pub fn scale_add_norm(a: f32, x: &[f32], y: &[f32], out: &mut [f32]) -> f64 {
+    assert_eq!(x.len(), out.len(), "scale_add_norm length mismatch");
+    assert_eq!(y.len(), out.len(), "scale_add_norm length mismatch");
+    dispatch32!(
+        avx2f::scale_add_norm(a, x, y, out),
+        xk::wide_scale_add_norm(a, x, y, out),
+        xk::scalar_scale_add_norm(a, x, y, out)
+    )
+}
+
+/// `Σ x[i]·y[i]` accumulated in f64.
+pub fn dot(x: &[f32], y: &[f32]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    dispatch32!(avx2f::dot(x, y), xk::wide_dot(x, y), xk::scalar_dot(x, y))
+}
+
+/// `Σ x[i]` accumulated in f64.
+pub fn sum(x: &[f32]) -> f64 {
+    dispatch32!(avx2f::sum(x), xk::wide_sum(x), xk::scalar_sum(x))
+}
+
+/// `max_i |x[i]|` as f64 (0 for an empty slice).
+pub fn max_abs(x: &[f32]) -> f64 {
+    dispatch32!(avx2f::max_abs(x), xk::wide_max_abs(x), xk::scalar_max_abs(x))
+}
+
+/// f32 arm of [`crate::fd8_combine_scale`] (same slice-length contract).
+pub fn fd8_combine_scale(
+    out: &mut [f32],
+    plus: &[&[f32]; 4],
+    minus: &[&[f32]; 4],
+    c: &[f32; 4],
+    inv_h: f32,
+    s: f32,
+) {
+    for m in 0..4 {
+        assert!(plus[m].len() >= out.len(), "fd8_combine_scale plus[{m}] too short");
+        assert!(minus[m].len() >= out.len(), "fd8_combine_scale minus[{m}] too short");
+    }
+    dispatch32!(
+        avx2f::fd8_combine_scale(out, plus, minus, c, inv_h, s),
+        xk::wide_fd8_combine_scale(out, plus, minus, c, inv_h, s),
+        xk::scalar_fd8_combine_scale(out, plus, minus, c, inv_h, s)
+    )
+}
+
+/// f32 cubic Lagrange basis weights at fraction `t ∈ [0,1)`.
+pub fn lagrange_weights(t: f32) -> [f32; 4] {
+    xk::scalar_lagrange_weights(t)
+}
+
+/// f32 arm of [`crate::cubic_accumulate`] (same bounds contract).
+pub fn cubic_accumulate(
+    data: &[f32],
+    base: usize,
+    plane_stride: usize,
+    row_stride: usize,
+    w1: &[f32; 4],
+    w2: &[f32; 4],
+    w3: &[f32; 4],
+) -> f32 {
+    let last = base + 3 * plane_stride + 3 * row_stride;
+    assert!(last + 4 <= data.len(), "cubic_accumulate support out of bounds");
+    dispatch32!(
+        avx2f::cubic_accumulate(data, base, plane_stride, row_stride, w1, w2, w3),
+        xk::scalar_cubic_accumulate(data, base, plane_stride, row_stride, w1, w2, w3),
+        xk::scalar_cubic_accumulate(data, base, plane_stride, row_stride, w1, w2, w3)
+    )
+}
+
+/// Element-wise complex multiply `dst[j] *= src[j]` (interleaved f32).
+pub fn cpx_mul(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "cpx_mul length mismatch");
+    assert_eq!(dst.len() % 2, 0, "cpx_mul needs interleaved re/im pairs");
+    dispatch32!(avx2f::cpx_mul(dst, src), xk::wide_cpx_mul(dst, src), xk::scalar_cpx_mul(dst, src))
+}
+
+/// Element-wise complex multiply `out[j] = a[j] · b[j]` (interleaved f32).
+pub fn cpx_mul_into(out: &mut [f32], a: &[f32], b: &[f32]) {
+    assert_eq!(out.len(), a.len(), "cpx_mul_into length mismatch");
+    assert_eq!(out.len(), b.len(), "cpx_mul_into length mismatch");
+    assert_eq!(out.len() % 2, 0, "cpx_mul_into needs interleaved re/im pairs");
+    dispatch32!(
+        avx2f::cpx_mul_into(out, a, b),
+        xk::wide_cpx_mul_into(out, a, b),
+        xk::scalar_cpx_mul_into(out, a, b)
+    )
+}
+
+/// In-place complex conjugate (interleaved f32).
+pub fn cpx_conj(data: &mut [f32]) {
+    assert_eq!(data.len() % 2, 0, "cpx_conj needs interleaved re/im pairs");
+    dispatch32!(avx2f::cpx_conj(data), xk::wide_cpx_conj(data), xk::scalar_cpx_conj(data))
+}
+
+/// In-place fused conjugate-and-scale (interleaved f32).
+pub fn cpx_conj_scale(data: &mut [f32], s: f32) {
+    assert_eq!(data.len() % 2, 0, "cpx_conj_scale needs interleaved re/im pairs");
+    dispatch32!(
+        avx2f::cpx_conj_scale(data, s),
+        xk::wide_cpx_conj_scale(data, s),
+        xk::scalar_cpx_conj_scale(data, s)
+    )
+}
+
+/// Radix-2 DIT butterfly combine (interleaved f32 half-spectra); same
+/// twiddle-table contract as [`crate::cpx_radix2_combine`].
+pub fn cpx_radix2_combine(lo: &mut [f32], hi: &mut [f32], tw: &[f32], ws: usize) {
+    assert_eq!(lo.len(), hi.len(), "cpx_radix2_combine half length mismatch");
+    assert_eq!(lo.len() % 2, 0, "cpx_radix2_combine needs interleaved re/im pairs");
+    let m = lo.len() / 2;
+    if m > 0 {
+        assert!(2 * ((m - 1) * ws) + 1 < tw.len(), "cpx_radix2_combine twiddle table too short");
+    }
+    dispatch32!(
+        avx2f::cpx_radix2_combine(lo, hi, tw, ws),
+        xk::scalar_cpx_radix2_combine(lo, hi, tw, ws),
+        xk::scalar_cpx_radix2_combine(lo, hi, tw, ws)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{force_backend, Choice};
+
+    fn probe(n: usize) -> (Vec<f32>, Vec<f32>) {
+        let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin() - 0.4).collect();
+        let y: Vec<f32> = (0..n).map(|i| (i as f32 * 0.11).cos() * 1.5).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn backends_agree_on_fused_kernels() {
+        let (x, y0) = probe(133);
+        let mut results = Vec::new();
+        for c in [Choice::Scalar, Choice::Portable, Choice::Avx2] {
+            force_backend(Some(c));
+            let mut y = y0.clone();
+            let d = axpy_dot(1.25, &x, &mut y);
+            let mut p = y0.clone();
+            let n2 = aypx_norm2(-0.5, &x, &mut p);
+            let mut o = vec![0.0f32; x.len()];
+            let sn = scale_add_norm(0.8, &x, &y0, &mut o);
+            results.push((y, d, p, n2, o, sn));
+        }
+        force_backend(None);
+        let (ys, ds, ps, ns, os, ss) = &results[0];
+        for (y, d, p, n2, o, sn) in &results[1..] {
+            for (a, b) in ys.iter().zip(y) {
+                assert!((a - b).abs() <= 1e-5 * a.abs().max(1.0), "{a} vs {b}");
+            }
+            assert!((ds - d).abs() <= 1e-5 * ds.abs().max(1.0));
+            for (a, b) in ps.iter().zip(p) {
+                assert!((a - b).abs() <= 1e-5 * a.abs().max(1.0));
+            }
+            assert!((ns - n2).abs() <= 1e-5 * ns.abs().max(1.0));
+            for (a, b) in os.iter().zip(o) {
+                assert!((a - b).abs() <= 1e-5 * a.abs().max(1.0));
+            }
+            assert!((ss - sn).abs() <= 1e-5 * ss.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn reductions_accumulate_in_f64() {
+        // 2²⁴ + 1 is not representable in f32; an f32 accumulator would
+        // stall, the mandated f64 accumulation must not.
+        let big = vec![1.0f32; 1 << 12];
+        for c in [Choice::Scalar, Choice::Portable, Choice::Avx2] {
+            force_backend(Some(c));
+            let s = sum(&big) + 16_777_216.0;
+            assert_eq!(s, 16_777_216.0 + (1 << 12) as f64);
+        }
+        force_backend(None);
+    }
+
+    #[test]
+    fn cpx_kernels_match_reference() {
+        let (a0, b) = probe(64);
+        for c in [Choice::Scalar, Choice::Portable, Choice::Avx2] {
+            force_backend(Some(c));
+            let mut a = a0.clone();
+            cpx_mul(&mut a, &b);
+            for k in 0..32 {
+                let (ar, ai) = (a0[2 * k], a0[2 * k + 1]);
+                let (br, bi) = (b[2 * k], b[2 * k + 1]);
+                let er = ar * br - ai * bi;
+                let ei = ar * bi + ai * br;
+                assert!((a[2 * k] - er).abs() <= 1e-5 * er.abs().max(1.0));
+                assert!((a[2 * k + 1] - ei).abs() <= 1e-5 * ei.abs().max(1.0));
+            }
+        }
+        force_backend(None);
+    }
+}

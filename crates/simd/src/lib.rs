@@ -61,10 +61,16 @@ const AVX2_COMPILED: bool = false;
 
 #[cfg(all(target_arch = "x86_64", not(feature = "single")))]
 mod avx2;
+mod elem;
+#[cfg(not(feature = "single"))]
+pub mod f32k;
 mod portable;
 mod scalar;
 mod vector;
+#[allow(dead_code)] // wide bodies are unused by the cold f64 arm under `single`
+mod xk;
 
+pub use elem::Elem;
 pub use vector::F64x4;
 
 use std::sync::atomic::{AtomicU8, Ordering};

@@ -1,0 +1,529 @@
+//! Cross-precision kernel bodies shared by the non-`Real` element type.
+//!
+//! The crate's primary kernel surface (`scale`, `axpy_dot`, `cpx_mul`, …)
+//! is monomorphic over [`crate::Real`]. The mixed-precision solver core
+//! additionally needs the *other* width — f32 in a default build, f64 under
+//! the `single` feature — so the loop bodies live here once, generic over
+//! [`Xs`], and are instantiated per width by the dispatch wrappers in
+//! `lib.rs` (`f32k`) and by the [`crate::Elem`] impls.
+//!
+//! Loop shapes deliberately mirror the monomorphic backends:
+//!
+//! * `scalar_*` reproduces `scalar.rs` exactly (same per-element
+//!   expressions, same left-to-right reduction order, f64 accumulation);
+//! * `wide_*` reproduces `portable.rs` — `LANES = 8` chunks with the fixed
+//!   fold shape `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))` and a scalar
+//!   remainder — so every width keeps the determinism contract: results
+//!   depend only on input values and the selected backend, never on thread
+//!   count or allocation state.
+//!
+//! The AVX2 arm for f32 is *these same wide bodies* compiled under
+//! `#[target_feature(enable = "avx2,fma")]` (see `f32k` in `lib.rs`): the
+//! bodies are `#[inline(always)]`, so they inline into the feature-gated
+//! wrapper and autovectorize at the full 8-lane f32 width.
+
+/// Scalar widths the cross-precision kernels are generic over.
+pub(crate) trait Xs:
+    Copy
+    + PartialOrd
+    + core::ops::Add<Output = Self>
+    + core::ops::Sub<Output = Self>
+    + core::ops::Mul<Output = Self>
+    + core::ops::Div<Output = Self>
+    + core::ops::Neg<Output = Self>
+    + core::ops::AddAssign
+    + core::ops::MulAssign
+{
+    const ZERO: Self;
+    const ONE: Self;
+    fn f64(self) -> f64;
+    fn of(x: f64) -> Self;
+}
+
+impl Xs for f32 {
+    const ZERO: f32 = 0.0;
+    const ONE: f32 = 1.0;
+    #[inline(always)]
+    fn f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn of(x: f64) -> f32 {
+        x as f32
+    }
+}
+
+impl Xs for f64 {
+    const ZERO: f64 = 0.0;
+    const ONE: f64 = 1.0;
+    #[inline(always)]
+    fn f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn of(x: f64) -> f64 {
+        x
+    }
+}
+
+// ----- scalar reference loops (mirror scalar.rs) --------------------------
+
+#[inline(always)]
+pub(crate) fn scalar_scale<T: Xs>(a: T, y: &mut [T]) {
+    for v in y {
+        *v *= a;
+    }
+}
+
+#[inline(always)]
+pub(crate) fn scalar_axpy<T: Xs>(a: T, x: &[T], y: &mut [T]) {
+    for (v, &xv) in y.iter_mut().zip(x) {
+        *v += a * xv;
+    }
+}
+
+#[inline(always)]
+pub(crate) fn scalar_aypx<T: Xs>(a: T, x: &[T], y: &mut [T]) {
+    for (v, &xv) in y.iter_mut().zip(x) {
+        *v = a * *v + xv;
+    }
+}
+
+#[inline(always)]
+pub(crate) fn scalar_add_scaled_product<T: Xs>(a: T, x: &[T], y: &[T], s: &mut [T]) {
+    for ((sv, &xv), &yv) in s.iter_mut().zip(x).zip(y) {
+        *sv += a * xv * yv;
+    }
+}
+
+#[inline(always)]
+pub(crate) fn scalar_axpy_dot<T: Xs>(a: T, x: &[T], y: &mut [T]) -> f64 {
+    let mut acc = 0.0f64;
+    for (v, &xv) in y.iter_mut().zip(x) {
+        *v += a * xv;
+        acc += v.f64() * v.f64();
+    }
+    acc
+}
+
+#[inline(always)]
+pub(crate) fn scalar_aypx_norm2<T: Xs>(a: T, x: &[T], y: &mut [T]) -> f64 {
+    let mut acc = 0.0f64;
+    for (v, &xv) in y.iter_mut().zip(x) {
+        *v = a * *v + xv;
+        acc += v.f64() * v.f64();
+    }
+    acc
+}
+
+#[inline(always)]
+pub(crate) fn scalar_scale_add_norm<T: Xs>(a: T, x: &[T], y: &[T], out: &mut [T]) -> f64 {
+    let mut acc = 0.0f64;
+    for ((o, &xv), &yv) in out.iter_mut().zip(x).zip(y) {
+        *o = a * xv + yv;
+        acc += o.f64() * o.f64();
+    }
+    acc
+}
+
+#[inline(always)]
+pub(crate) fn scalar_dot<T: Xs>(x: &[T], y: &[T]) -> f64 {
+    let mut acc = 0.0f64;
+    for (&a, &b) in x.iter().zip(y) {
+        acc += a.f64() * b.f64();
+    }
+    acc
+}
+
+#[inline(always)]
+pub(crate) fn scalar_sum<T: Xs>(x: &[T]) -> f64 {
+    let mut acc = 0.0f64;
+    for &v in x {
+        acc += v.f64();
+    }
+    acc
+}
+
+#[inline(always)]
+pub(crate) fn scalar_max_abs<T: Xs>(x: &[T]) -> f64 {
+    let mut m = 0.0f64;
+    for &v in x {
+        let a = v.f64().abs();
+        if a > m {
+            m = a;
+        }
+    }
+    m
+}
+
+#[inline(always)]
+pub(crate) fn scalar_fd8_combine_scale<T: Xs>(
+    out: &mut [T],
+    plus: &[&[T]; 4],
+    minus: &[&[T]; 4],
+    c: &[T; 4],
+    inv_h: T,
+    s: T,
+) {
+    let ihs = inv_h * s;
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = c[0] * (plus[0][k] - minus[0][k]);
+        acc += c[1] * (plus[1][k] - minus[1][k]);
+        acc += c[2] * (plus[2][k] - minus[2][k]);
+        acc += c[3] * (plus[3][k] - minus[3][k]);
+        *o = acc * ihs;
+    }
+}
+
+#[inline(always)]
+pub(crate) fn scalar_lagrange_weights<T: Xs>(t: T) -> [T; 4] {
+    let t1 = t - T::ONE;
+    let t2 = t - T::of(2.0);
+    let tp = t + T::ONE;
+    [
+        -t * t1 * t2 / T::of(6.0),
+        tp * t1 * t2 / T::of(2.0),
+        -tp * t * t2 / T::of(2.0),
+        tp * t * t1 / T::of(6.0),
+    ]
+}
+
+#[inline(always)]
+pub(crate) fn scalar_cubic_accumulate<T: Xs>(
+    data: &[T],
+    base: usize,
+    plane_stride: usize,
+    row_stride: usize,
+    w1: &[T; 4],
+    w2: &[T; 4],
+    w3: &[T; 4],
+) -> T {
+    let mut acc = T::ZERO;
+    for (a, &wa) in w1.iter().enumerate() {
+        let pa = base + a * plane_stride;
+        for (b, &wb) in w2.iter().enumerate() {
+            let row = &data[pa + b * row_stride..pa + b * row_stride + 4];
+            let wab = wa * wb;
+            acc += wab * (w3[0] * row[0] + w3[1] * row[1] + w3[2] * row[2] + w3[3] * row[3]);
+        }
+    }
+    acc
+}
+
+#[inline(always)]
+pub(crate) fn scalar_cpx_mul<T: Xs>(dst: &mut [T], src: &[T]) {
+    for (d, s) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
+        let (ar, ai) = (d[0], d[1]);
+        let (br, bi) = (s[0], s[1]);
+        d[0] = ar * br - ai * bi;
+        d[1] = ar * bi + ai * br;
+    }
+}
+
+#[inline(always)]
+pub(crate) fn scalar_cpx_mul_into<T: Xs>(out: &mut [T], a: &[T], b: &[T]) {
+    for ((o, x), y) in out.chunks_exact_mut(2).zip(a.chunks_exact(2)).zip(b.chunks_exact(2)) {
+        let (ar, ai) = (x[0], x[1]);
+        let (br, bi) = (y[0], y[1]);
+        o[0] = ar * br - ai * bi;
+        o[1] = ar * bi + ai * br;
+    }
+}
+
+#[inline(always)]
+pub(crate) fn scalar_cpx_conj<T: Xs>(data: &mut [T]) {
+    for z in data.chunks_exact_mut(2) {
+        z[1] = -z[1];
+    }
+}
+
+#[inline(always)]
+pub(crate) fn scalar_cpx_conj_scale<T: Xs>(data: &mut [T], s: T) {
+    for z in data.chunks_exact_mut(2) {
+        z[0] *= s;
+        z[1] = -z[1] * s;
+    }
+}
+
+#[inline(always)]
+pub(crate) fn scalar_cpx_radix2_combine<T: Xs>(lo: &mut [T], hi: &mut [T], tw: &[T], ws: usize) {
+    let m = lo.len() / 2;
+    for k in 0..m {
+        let (wr, wi) = (tw[2 * k * ws], tw[2 * k * ws + 1]);
+        let (t0r, t0i) = (lo[2 * k], lo[2 * k + 1]);
+        let (t1r, t1i) = (hi[2 * k], hi[2 * k + 1]);
+        let xr = wr * t1r - wi * t1i;
+        let xi = wr * t1i + wi * t1r;
+        lo[2 * k] = t0r + xr;
+        lo[2 * k + 1] = t0i + xi;
+        hi[2 * k] = t0r - xr;
+        hi[2 * k + 1] = t0i - xi;
+    }
+}
+
+// ----- wide chunked loops (mirror portable.rs) ----------------------------
+
+pub(crate) const LANES: usize = 8;
+
+/// Fixed-shape fold of 8 f64 partials; matches `portable::fold_sum`.
+#[inline(always)]
+fn fold_sum(acc: [f64; LANES]) -> f64 {
+    ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]))
+}
+
+#[inline(always)]
+fn fold_max(acc: [f64; LANES]) -> f64 {
+    let a = acc[0].max(acc[4]).max(acc[2].max(acc[6]));
+    let b = acc[1].max(acc[5]).max(acc[3].max(acc[7]));
+    a.max(b)
+}
+
+#[inline(always)]
+fn split<T>(x: &[T]) -> (&[T], &[T]) {
+    x.split_at(x.len() - x.len() % LANES)
+}
+
+#[inline(always)]
+fn split_mut<T>(x: &mut [T]) -> (&mut [T], &mut [T]) {
+    let n = x.len();
+    x.split_at_mut(n - n % LANES)
+}
+
+#[inline(always)]
+pub(crate) fn wide_scale<T: Xs>(a: T, y: &mut [T]) {
+    let (body, tail) = split_mut(y);
+    for c in body.chunks_exact_mut(LANES) {
+        for v in c {
+            *v *= a;
+        }
+    }
+    scalar_scale(a, tail);
+}
+
+#[inline(always)]
+pub(crate) fn wide_axpy<T: Xs>(a: T, x: &[T], y: &mut [T]) {
+    let (xb, xt) = split(x);
+    let (yb, yt) = split_mut(y);
+    for (yc, xc) in yb.chunks_exact_mut(LANES).zip(xb.chunks_exact(LANES)) {
+        for (v, &xv) in yc.iter_mut().zip(xc) {
+            *v += a * xv;
+        }
+    }
+    scalar_axpy(a, xt, yt);
+}
+
+#[inline(always)]
+pub(crate) fn wide_aypx<T: Xs>(a: T, x: &[T], y: &mut [T]) {
+    let (xb, xt) = split(x);
+    let (yb, yt) = split_mut(y);
+    for (yc, xc) in yb.chunks_exact_mut(LANES).zip(xb.chunks_exact(LANES)) {
+        for (v, &xv) in yc.iter_mut().zip(xc) {
+            *v = a * *v + xv;
+        }
+    }
+    scalar_aypx(a, xt, yt);
+}
+
+#[inline(always)]
+pub(crate) fn wide_add_scaled_product<T: Xs>(a: T, x: &[T], y: &[T], s: &mut [T]) {
+    let (xb, xt) = split(x);
+    let (yb, yt) = split(y);
+    let (sb, st) = split_mut(s);
+    for ((sc, xc), yc) in
+        sb.chunks_exact_mut(LANES).zip(xb.chunks_exact(LANES)).zip(yb.chunks_exact(LANES))
+    {
+        for ((sv, &xv), &yv) in sc.iter_mut().zip(xc).zip(yc) {
+            *sv += a * xv * yv;
+        }
+    }
+    scalar_add_scaled_product(a, xt, yt, st);
+}
+
+#[inline(always)]
+pub(crate) fn wide_axpy_dot<T: Xs>(a: T, x: &[T], y: &mut [T]) -> f64 {
+    let (xb, xt) = split(x);
+    let (yb, yt) = split_mut(y);
+    let mut acc = [0.0f64; LANES];
+    for (yc, xc) in yb.chunks_exact_mut(LANES).zip(xb.chunks_exact(LANES)) {
+        for ((v, &xv), l) in yc.iter_mut().zip(xc).zip(acc.iter_mut()) {
+            *v += a * xv;
+            *l += v.f64() * v.f64();
+        }
+    }
+    fold_sum(acc) + scalar_axpy_dot(a, xt, yt)
+}
+
+#[inline(always)]
+pub(crate) fn wide_aypx_norm2<T: Xs>(a: T, x: &[T], y: &mut [T]) -> f64 {
+    let (xb, xt) = split(x);
+    let (yb, yt) = split_mut(y);
+    let mut acc = [0.0f64; LANES];
+    for (yc, xc) in yb.chunks_exact_mut(LANES).zip(xb.chunks_exact(LANES)) {
+        for ((v, &xv), l) in yc.iter_mut().zip(xc).zip(acc.iter_mut()) {
+            *v = a * *v + xv;
+            *l += v.f64() * v.f64();
+        }
+    }
+    let mut r = fold_sum(acc);
+    r += scalar_aypx_norm2(a, xt, yt);
+    r
+}
+
+#[inline(always)]
+pub(crate) fn wide_scale_add_norm<T: Xs>(a: T, x: &[T], y: &[T], out: &mut [T]) -> f64 {
+    let (xb, xt) = split(x);
+    let (yb, yt) = split(y);
+    let (ob, ot) = split_mut(out);
+    let mut acc = [0.0f64; LANES];
+    for ((oc, xc), yc) in
+        ob.chunks_exact_mut(LANES).zip(xb.chunks_exact(LANES)).zip(yb.chunks_exact(LANES))
+    {
+        for (((o, &xv), &yv), l) in oc.iter_mut().zip(xc).zip(yc).zip(acc.iter_mut()) {
+            *o = a * xv + yv;
+            *l += o.f64() * o.f64();
+        }
+    }
+    fold_sum(acc) + scalar_scale_add_norm(a, xt, yt, ot)
+}
+
+#[inline(always)]
+pub(crate) fn wide_dot<T: Xs>(x: &[T], y: &[T]) -> f64 {
+    let (xb, xt) = split(x);
+    let (yb, yt) = split(y);
+    let mut acc = [0.0f64; LANES];
+    for (xc, yc) in xb.chunks_exact(LANES).zip(yb.chunks_exact(LANES)) {
+        for ((&a, &b), l) in xc.iter().zip(yc).zip(acc.iter_mut()) {
+            *l += a.f64() * b.f64();
+        }
+    }
+    fold_sum(acc) + scalar_dot(xt, yt)
+}
+
+#[inline(always)]
+pub(crate) fn wide_sum<T: Xs>(x: &[T]) -> f64 {
+    let (xb, xt) = split(x);
+    let mut acc = [0.0f64; LANES];
+    for xc in xb.chunks_exact(LANES) {
+        for (&v, l) in xc.iter().zip(acc.iter_mut()) {
+            *l += v.f64();
+        }
+    }
+    fold_sum(acc) + scalar_sum(xt)
+}
+
+#[inline(always)]
+pub(crate) fn wide_max_abs<T: Xs>(x: &[T]) -> f64 {
+    let (xb, xt) = split(x);
+    let mut acc = [0.0f64; LANES];
+    for xc in xb.chunks_exact(LANES) {
+        for (&v, l) in xc.iter().zip(acc.iter_mut()) {
+            let a = v.f64().abs();
+            if a > *l {
+                *l = a;
+            }
+        }
+    }
+    fold_max(acc).max(scalar_max_abs(xt))
+}
+
+#[inline(always)]
+pub(crate) fn wide_fd8_combine_scale<T: Xs>(
+    out: &mut [T],
+    plus: &[&[T]; 4],
+    minus: &[&[T]; 4],
+    c: &[T; 4],
+    inv_h: T,
+    s: T,
+) {
+    let ihs = inv_h * s;
+    let n = out.len();
+    let body = n - n % LANES;
+    let mut k = 0;
+    while k < body {
+        for j in 0..LANES {
+            let i = k + j;
+            let mut acc = c[0] * (plus[0][i] - minus[0][i]);
+            acc += c[1] * (plus[1][i] - minus[1][i]);
+            acc += c[2] * (plus[2][i] - minus[2][i]);
+            acc += c[3] * (plus[3][i] - minus[3][i]);
+            out[i] = acc * ihs;
+        }
+        k += LANES;
+    }
+    while k < n {
+        let mut acc = c[0] * (plus[0][k] - minus[0][k]);
+        acc += c[1] * (plus[1][k] - minus[1][k]);
+        acc += c[2] * (plus[2][k] - minus[2][k]);
+        acc += c[3] * (plus[3][k] - minus[3][k]);
+        out[k] = acc * ihs;
+        k += 1;
+    }
+}
+
+#[inline(always)]
+pub(crate) fn wide_cpx_mul<T: Xs>(dst: &mut [T], src: &[T]) {
+    let (db, dt) = split_mut(dst);
+    let (sb, st) = split(src);
+    for (dc, sc) in db.chunks_exact_mut(LANES).zip(sb.chunks_exact(LANES)) {
+        scalar_cpx_mul(dc, sc);
+    }
+    scalar_cpx_mul(dt, st);
+}
+
+#[inline(always)]
+pub(crate) fn wide_cpx_mul_into<T: Xs>(out: &mut [T], a: &[T], b: &[T]) {
+    let (ob, ot) = split_mut(out);
+    let (ab, at) = split(a);
+    let (bb, bt) = split(b);
+    for ((oc, ac), bc) in
+        ob.chunks_exact_mut(LANES).zip(ab.chunks_exact(LANES)).zip(bb.chunks_exact(LANES))
+    {
+        scalar_cpx_mul_into(oc, ac, bc);
+    }
+    scalar_cpx_mul_into(ot, at, bt);
+}
+
+#[inline(always)]
+pub(crate) fn wide_cpx_conj<T: Xs>(data: &mut [T]) {
+    let (b, t) = split_mut(data);
+    for c in b.chunks_exact_mut(LANES) {
+        scalar_cpx_conj(c);
+    }
+    scalar_cpx_conj(t);
+}
+
+#[inline(always)]
+pub(crate) fn wide_cpx_conj_scale<T: Xs>(data: &mut [T], s: T) {
+    let (b, t) = split_mut(data);
+    for c in b.chunks_exact_mut(LANES) {
+        scalar_cpx_conj_scale(c, s);
+    }
+    scalar_cpx_conj_scale(t, s);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wide_matches_scalar_f32() {
+        let x: Vec<f32> = (0..131).map(|i| (i as f32 * 0.37).sin() - 0.4).collect();
+        let y0: Vec<f32> = (0..131).map(|i| (i as f32 * 0.11).cos() * 1.5).collect();
+        let mut ys = y0.clone();
+        let ds = scalar_axpy_dot(1.25f32, &x, &mut ys);
+        let mut yw = y0.clone();
+        let dw = wide_axpy_dot(1.25f32, &x, &mut yw);
+        for (a, b) in ys.iter().zip(&yw) {
+            assert!((a - b).abs() <= 1e-5 * a.abs().max(1.0), "{a} vs {b}");
+        }
+        assert!((ds - dw).abs() <= 1e-5 * ds.abs().max(1.0));
+        assert!((scalar_dot(&x, &y0) - wide_dot(&x, &y0)).abs() <= 1e-5);
+    }
+
+    #[test]
+    fn lagrange_weights_partition_unity() {
+        let w = scalar_lagrange_weights(0.3f32);
+        let s: f32 = w.iter().sum();
+        assert!((s - 1.0).abs() < 1e-5, "weights must sum to 1: {s}");
+    }
+}

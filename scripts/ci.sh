@@ -12,7 +12,10 @@
 #
 # When CLAIRE_SIMD is set in the environment (the CI backend matrix exports
 # scalar | auto | portable), the tier-1 stage runs once under that backend;
-# otherwise it sweeps all three.
+# otherwise it sweeps all three. The full gate additionally runs the tier-1
+# suite once under CLAIRE_PRECISION=mixed × CLAIRE_SIMD=auto — the f32
+# inner-solve lane — and checks that the RunReport `"precision"` key
+# follows the environment selector.
 #
 # The perf gate diffs fresh BENCH_kernels.json / BENCH_solver.json /
 # BENCH_batch.json / BENCH_serve.json against the committed baselines under
@@ -113,6 +116,13 @@ stage_tier1_tests() {
     fi
 }
 
+stage_tier1_mixed() {
+    # mixed-precision lane: the entire tier-1 suite must hold with the f32
+    # inner Krylov/FFT path selected by environment (`Default` picks up
+    # CLAIRE_PRECISION, so every test that doesn't pin a width runs mixed)
+    CLAIRE_PRECISION=mixed CLAIRE_SIMD=auto cargo test -q --release
+}
+
 stage_workspace_tests() {
     cargo test -q --release --workspace
 }
@@ -163,13 +173,19 @@ stage_report_schema() {
     report="$(mktemp -d)/run.json"
     cargo run --release --example quickstart -- 16 --report "$report"
     echo "validating RunReport schema keys in $report"
-    for key in label grid nranks nt precond backend transport summary scheduling phases \
-               gn_trace kernels comm collectives metrics memory roofline spans; do
+    for key in label grid nranks nt precond backend transport precision summary scheduling \
+               phases gn_trace kernels comm collectives metrics memory roofline spans; do
         grep -q "\"$key\"" "$report" || { echo "RunReport missing key: $key"; exit 1; }
     done
+    grep -q '"precision": "f64"' "$report" || {
+        echo "RunReport precision should default to f64"; exit 1; }
     grep -q '"dram_peak_bps"' "$report" || {
         echo "RunReport roofline block missing dram_peak_bps"; exit 1; }
     grep -q '"name": "solve"' "$report" || { echo "RunReport span tree missing solve root"; exit 1; }
+    # the environment selector must land in the report verbatim
+    CLAIRE_PRECISION=mixed cargo run --release --example quickstart -- 16 --report "$report"
+    grep -q '"precision": "mixed"' "$report" || {
+        echo "RunReport precision should follow CLAIRE_PRECISION=mixed"; exit 1; }
     rm -f "$report"
 }
 
@@ -278,8 +294,8 @@ stage_proc_smoke() {
     local dir; dir="$(mktemp -d)"
     ./target/release/claire-cli launch --ranks 4 --syn 16 --report "$dir/proc.json" -q
     echo "validating launch RunReport schema keys in $dir/proc.json"
-    for key in label grid nranks nt precond backend transport summary scheduling phases \
-               gn_trace kernels comm collectives metrics memory roofline spans; do
+    for key in label grid nranks nt precond backend transport precision summary scheduling \
+               phases gn_trace kernels comm collectives metrics memory roofline spans; do
         grep -q "\"$key\"" "$dir/proc.json" || { echo "launch report missing key: $key"; exit 1; }
     done
     grep -q '"transport": "socket"' "$dir/proc.json" || {
@@ -326,6 +342,7 @@ stage build stage_build
 stage "tier-1 tests (root package)" stage_tier1_tests
 stage "clippy (deny warnings)" stage_clippy
 if [ "$QUICK" -eq 0 ]; then
+    stage "tier-1 tests (mixed-precision lane)" stage_tier1_mixed
     stage "full workspace tests" stage_workspace_tests
     stage "rustfmt check" stage_fmt
     stage "kernel bench + perf gate" stage_bench_kernels

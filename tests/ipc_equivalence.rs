@@ -214,3 +214,157 @@ fn killed_rank_fails_typed_not_hung() {
     assert!(stderr.contains("rank 1"), "culprit rank should be named: {stderr}");
     assert!(start.elapsed() < std::time::Duration::from_secs(60), "should fail fast");
 }
+
+// ---------------------------------------------------------------------------
+// mixed precision over the wire: f32 inner-solve collectives halve traffic
+// ---------------------------------------------------------------------------
+
+/// The zero-velocity Hessian `H0 = βA + ∇m̄ ⊗ ∇m̄` at element width `T`,
+/// applied through the distributed spectral operator — the inner-PCG
+/// system whose collectives the mixed-precision seam demotes to f32.
+struct H0<'a, T: claire::fft::FftElem> {
+    spectral: &'a claire::diff::SpectralT<T>,
+    grad: &'a claire::grid::VectorFieldT<T>,
+    beta: f64,
+}
+
+impl<T: claire::fft::FftElem> claire::opt::PcgOperator<T> for H0<'_, T> {
+    fn apply(
+        &mut self,
+        s: &claire::grid::VectorFieldT<T>,
+        comm: &mut Comm,
+    ) -> claire::grid::VectorFieldT<T> {
+        let mut out = self.spectral.reg_apply(s, self.beta, comm);
+        let mut w = claire::grid::ScalarFieldT::<T>::zeros(*s.layout());
+        for d in 0..3 {
+            w.add_scaled_product(T::ONE, &self.grad.c[d], &s.c[d]);
+        }
+        for d in 0..3 {
+            out.c[d].add_scaled_product(T::ONE, &self.grad.c[d], &w);
+        }
+        out
+    }
+
+    fn prec(
+        &mut self,
+        r: &claire::grid::VectorFieldT<T>,
+        comm: &mut Comm,
+    ) -> claire::grid::VectorFieldT<T> {
+        self.spectral.reg_inv(r, self.beta, comm)
+    }
+}
+
+/// Fixed-iteration distributed PCG on the H0 system at width `T` over real
+/// sockets. Returns this rank's FftTranspose wire bytes for the solve and
+/// the local solution promoted to f64 (for cross-width comparison).
+fn pcg_rank<T: claire::fft::FftElem>(comm: &mut Comm, n: usize) -> (u64, Vec<f64>) {
+    use claire::grid::{Grid, Layout, VectorField, WsCat};
+    let layout = Layout::distributed(Grid::cube(n), comm);
+    let spectral = claire::diff::SpectralT::<T>::new(layout.grid, comm);
+    let grad64 = VectorField::from_fns(
+        layout,
+        |x, y, _| (x - 3.0) * (-(x - 3.0) * (x - 3.0) - (y - 3.0) * (y - 3.0)).exp(),
+        |_, y, z| (y - 3.0) * (-(y - 3.0) * (y - 3.0) - (z - 3.0) * (z - 3.0)).exp(),
+        |x, _, z| (z - 3.0) * (-(z - 3.0) * (z - 3.0) - (x - 3.0) * (x - 3.0)).exp(),
+    );
+    let rhs64 = VectorField::from_fns(
+        layout,
+        |x, y, z| (x + 0.5 * y).sin() * z.cos(),
+        |x, y, z| (y + 0.5 * z).sin() * x.cos(),
+        |x, y, z| (z + 0.5 * x).sin() * y.cos(),
+    );
+    let grad: claire::grid::VectorFieldT<T> = grad64.converted(WsCat::Other);
+    let rhs: claire::grid::VectorFieldT<T> = rhs64.converted(WsCat::Other);
+    let mut ops = H0 { spectral: &spectral, grad: &grad, beta: 1e-2 };
+    // tol_rel = 0 pins the schedule: both widths run exactly 8 iterations,
+    // so the wire-byte ratio measures element width alone
+    let cfg = claire::opt::PcgConfig { tol_rel: 0.0, max_iter: 8, trace: false };
+
+    let before = comm.stats().cat(CommCat::FftTranspose).wire_bytes;
+    let (x, res) = claire::opt::pcg(&rhs, None, &cfg, &mut ops, comm);
+    assert_eq!(res.iters, 8);
+    let wire = comm.stats().cat(CommCat::FftTranspose).wire_bytes - before;
+
+    let mut out = Vec::new();
+    for d in 0..3 {
+        out.extend(x.c[d].data().iter().map(|&v| T::to_f64(v)));
+    }
+    (wire, out)
+}
+
+/// The inner solve's collectives carry f32 payloads in mixed mode: the
+/// same fixed-iteration PCG moves ~half the FftTranspose wire bytes at
+/// f32 as at f64 (framing overhead keeps the ratio a little above 0.5),
+/// and the promoted f32 solution matches the f64 one to single-precision
+/// accuracy. This is the wire half of the mixed-precision contract; the
+/// solver-level same-mismatch half lives in claire-core's solver tests.
+#[test]
+fn f32_inner_solve_halves_transpose_wire_bytes() {
+    let topo = Topology::new(2, 4);
+    let r64 = run_socket_cluster(topo, |comm| pcg_rank::<f64>(comm, 16));
+    let r32 = run_socket_cluster(topo, |comm| pcg_rank::<f32>(comm, 16));
+
+    let wire64: u64 = r64.outputs.iter().map(|(w, _)| *w).sum();
+    let wire32: u64 = r32.outputs.iter().map(|(w, _)| *w).sum();
+    assert!(wire64 > 0, "distributed FFTs should move transpose bytes");
+    let ratio = wire32 as f64 / wire64 as f64;
+    assert!(
+        (0.45..=0.65).contains(&ratio),
+        "f32 inner solve should roughly halve transpose wire traffic, got {ratio:.3} \
+         ({wire32} vs {wire64} bytes)"
+    );
+
+    let x64: Vec<f64> = r64.outputs.iter().flat_map(|(_, x)| x.iter().copied()).collect();
+    let x32: Vec<f64> = r32.outputs.iter().flat_map(|(_, x)| x.iter().copied()).collect();
+    assert_eq!(x64.len(), x32.len());
+    let num: f64 = x64.iter().zip(&x32).map(|(a, b)| (a - b) * (a - b)).sum();
+    let den: f64 = x64.iter().map(|a| a * a).sum();
+    let rel = (num / den).sqrt();
+    assert!(rel < 1e-4, "promoted f32 PCG solution should track f64, rel diff {rel:.3e}");
+}
+
+/// End-to-end over sockets: a mixed-precision registration converges to
+/// the same mismatch as the f64 run within the documented tolerance
+/// (`|Δ| ≤ 1e-3·rel + 1e-6`, the single-precision inner-solve error the
+/// f64 outer iteration absorbs).
+#[test]
+fn mixed_registration_matches_f64_mismatch_over_sockets() {
+    use claire::core::{Claire, Precision, RegistrationConfig};
+    use claire::grid::{Grid, Layout, Real, ScalarField};
+
+    let solve = move |precision: Precision| {
+        run_socket_cluster(Topology::new(2, 4), move |comm| {
+            let layout = Layout::distributed(Grid::cube(16), comm);
+            let blob = move |cx: Real| {
+                move |x: Real, y: Real, z: Real| {
+                    let d2 = (x - cx).powi(2) + (y - 3.0).powi(2) + (z - 3.0).powi(2);
+                    (-d2 / 1.2).exp()
+                }
+            };
+            let m0 = ScalarField::from_fn(layout, blob(3.0));
+            let m1 = ScalarField::from_fn(layout, blob(3.5));
+            let cfg = RegistrationConfig {
+                nt: 2,
+                continuation: false,
+                grid_continuation: false,
+                beta_target: 1e-2,
+                max_gn_iter: 6,
+                precision,
+                verbose: false,
+                ..Default::default()
+            };
+            let (_, report) = Claire::new(cfg).register(&m0, &m1, comm);
+            (report.rel_mismatch, report.precision.clone())
+        })
+    };
+    let r64 = solve(Precision::F64);
+    let r32 = solve(Precision::Mixed);
+    let (m64, p64) = &r64.outputs[0];
+    let (m32, p32) = &r32.outputs[0];
+    assert_eq!(p64, "f64");
+    assert_eq!(p32, "mixed");
+    assert!(
+        (m64 - m32).abs() <= 1e-3 * m64 + 1e-6,
+        "mixed solve over sockets should reach the f64 mismatch: {m32:.6e} vs {m64:.6e}"
+    );
+}

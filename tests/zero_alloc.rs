@@ -102,6 +102,55 @@ fn steady_state_gn_iteration_is_allocation_free() {
     claire_simd::force_backend(None);
 }
 
+/// The mixed-precision seam must not cost the zero-alloc property: the f32
+/// inner PCG draws its demoted fields from the f32 workspace pool and its
+/// promote/demote scratch from the f64 pool, so once both pools are warm a
+/// mixed GN iteration is checkout/checkin traffic like the f64 one.
+#[test]
+fn steady_state_mixed_gn_iteration_is_allocation_free() {
+    claire::par::set_threads(1);
+    claire::obs::set_enabled(false);
+    let mut comm = Comm::solo();
+    let layout = Layout::serial(Grid::cube(16));
+    let (m0, m1) = blob_pair(layout, 0.5);
+    let cfg = RegistrationConfig { precision: claire::core::Precision::Mixed, ..config() };
+
+    for choice in
+        [claire_simd::Choice::Scalar, claire_simd::Choice::Portable, claire_simd::Choice::Auto]
+    {
+        claire_simd::force_backend(Some(choice));
+
+        let _ = Claire::new(cfg).register(&m0, &m1, &mut comm);
+
+        let samples: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::with_capacity(64)));
+        let sink = samples.clone();
+        let hooks = claire::core::SolverHooks {
+            cancel: None,
+            on_gn_iter: Some(Arc::new(move |_| {
+                sink.lock().unwrap().push(allocation_count());
+            })),
+        };
+        let (_, report) = Claire::with_hooks(cfg, hooks).register(&m0, &m1, &mut comm);
+        assert_eq!(report.precision, "mixed");
+
+        let s = samples.lock().unwrap();
+        assert!(
+            s.len() >= 4,
+            "need several GN iterations to observe a steady state, got {} boundaries",
+            s.len()
+        );
+        let deltas: Vec<u64> = s.windows(2).map(|w| w[1] - w[0]).collect();
+        let tail = &deltas[deltas.len() - 2..];
+        assert_eq!(
+            tail,
+            &[0, 0],
+            "steady-state mixed-precision GN iterations must not allocate under {choice:?}; \
+             per-iteration allocations: {deltas:?}"
+        );
+    }
+    claire_simd::force_backend(None);
+}
+
 /// The batched path must be as allocation-clean as the sequential one: once
 /// every member of a K-pair batch is past its first interleaved round (all
 /// pools and plan caches warm, every `GnState` history at capacity), a full
